@@ -1,0 +1,81 @@
+//! Experiment E3: how the whole-program path-matrix analysis scales with the
+//! number of statements and the number of live handles — supporting the
+//! paper's claim that restricting the method to regular recursive structures
+//! keeps the analysis cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sil_analysis::analyze_program;
+use sil_lang::{check_program, normalize_program};
+use sil_workloads::generator::{GeneratorConfig, ProgramGenerator};
+use sil_workloads::programs::Workload;
+use std::hint::black_box;
+
+/// A fast Criterion configuration so the whole suite completes quickly while
+/// still giving stable relative numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn analysis_vs_statement_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_vs_statements");
+    for statements in [50usize, 100, 200, 400] {
+        let mut generator = ProgramGenerator::new(GeneratorConfig {
+            statements,
+            handle_vars: 10,
+            int_vars: 4,
+            seed: 11,
+        });
+        let program = normalize_program(&generator.generate());
+        let types = check_program(&program).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(statements),
+            &statements,
+            |b, _| b.iter(|| black_box(analyze_program(&program, &types))),
+        );
+    }
+    group.finish();
+}
+
+fn analysis_vs_handle_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_vs_handles");
+    for handles in [4usize, 8, 16, 32] {
+        let mut generator = ProgramGenerator::new(GeneratorConfig {
+            statements: 150,
+            handle_vars: handles,
+            int_vars: 4,
+            seed: 13,
+        });
+        let program = normalize_program(&generator.generate());
+        let types = check_program(&program).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(handles), &handles, |b, _| {
+            b.iter(|| black_box(analyze_program(&program, &types)))
+        });
+    }
+    group.finish();
+}
+
+fn analysis_of_real_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_of_workloads");
+    for workload in [Workload::AddAndReverse, Workload::TreeSum, Workload::Bisort] {
+        let src = workload.source(4);
+        let (program, types) = sil_lang::frontend(&src).unwrap();
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| black_box(analyze_program(&program, &types)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = analysis_scalability;
+    config = bench_config();
+    targets =
+    analysis_vs_statement_count,
+    analysis_vs_handle_count,
+    analysis_of_real_workloads
+
+}
+criterion_main!(analysis_scalability);

@@ -1,0 +1,120 @@
+//! Benchmarks of the code paths behind each figure of the paper:
+//! the transfer functions (Fig. 2), the while-loop fixpoint (Fig. 3),
+//! statement packing (Fig. 4), interference sets (Figs. 5/6), the full
+//! interprocedural analysis of `add_and_reverse` (Fig. 7), its
+//! parallelization (Fig. 8), and statement-sequence interference (Figs. 9/10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sil_analysis::interference::interference_set;
+use sil_analysis::sequences::sequences_independent;
+use sil_analysis::state::AbstractState;
+use sil_analysis::analyze_program;
+use sil_bench::figures;
+use sil_lang::parser::parse_stmt;
+use sil_lang::types::Type;
+use sil_lang::{frontend, testsrc};
+use sil_parallelizer::parallelize_program;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// A fast Criterion configuration so the whole suite completes quickly while
+/// still giving stable relative numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn signature(handles: &[&str], ints: &[&str]) -> sil_lang::types::ProcSignature {
+    let mut vars = HashMap::new();
+    for h in handles {
+        vars.insert(h.to_string(), Type::Handle);
+    }
+    for i in ints {
+        vars.insert(i.to_string(), Type::Int);
+    }
+    sil_lang::types::ProcSignature {
+        name: "bench".into(),
+        params: vec![],
+        return_type: None,
+        vars,
+    }
+}
+
+fn fig2_handle_assignment(c: &mut Criterion) {
+    c.bench_function("fig2_handle_assignment_transfers", |b| {
+        b.iter(|| black_box(figures::run_figure_2_transfers()))
+    });
+}
+
+fn fig3_while_fixpoint(c: &mut Criterion) {
+    c.bench_function("fig3_while_loop_fixpoint", |b| {
+        b.iter(|| black_box(figures::run_figure_3_fixpoint()))
+    });
+}
+
+fn fig4_statement_packing(c: &mut Criterion) {
+    let (program, types) = frontend(testsrc::STRAIGHT_LINE).unwrap();
+    c.bench_function("fig4_statement_packing", |b| {
+        b.iter(|| black_box(parallelize_program(&program, &types)))
+    });
+}
+
+fn fig6_interference(c: &mut Criterion) {
+    let sig = signature(&["a", "b", "c", "d"], &["x", "y", "n"]);
+    let mut state = AbstractState::with_handles(["a", "b", "c", "d"]);
+    state
+        .matrix
+        .set("a", "b", sil_pathmatrix::PathSet::singleton(sil_pathmatrix::same()));
+    let s1 = parse_stmt("x := a.left").unwrap();
+    let s2 = parse_stmt("b.left := nil").unwrap();
+    c.bench_function("fig6_interference_set", |b| {
+        b.iter(|| black_box(interference_set(&s1, &s2, &sig, &state.matrix)))
+    });
+}
+
+fn fig7_analysis(c: &mut Criterion) {
+    let (program, types) = frontend(testsrc::ADD_AND_REVERSE).unwrap();
+    c.bench_function("fig7_add_and_reverse_analysis", |b| {
+        b.iter(|| black_box(analyze_program(&program, &types)))
+    });
+}
+
+fn fig8_parallelization(c: &mut Criterion) {
+    let (program, types) = frontend(testsrc::ADD_AND_REVERSE).unwrap();
+    c.bench_function("fig8_add_and_reverse_parallelization", |b| {
+        b.iter(|| black_box(parallelize_program(&program, &types)))
+    });
+}
+
+fn fig9_sequence_interference(c: &mut Criterion) {
+    let sig = signature(&["t", "a", "b"], &["x", "y"]);
+    let entry = AbstractState::with_handles(["t"]);
+    let u: Vec<_> = ["a := t.left", "x := a.value", "a.value := x + 1"]
+        .iter()
+        .map(|s| parse_stmt(s).unwrap())
+        .collect();
+    let v: Vec<_> = ["b := t.right", "y := b.value", "b.value := y + 1"]
+        .iter()
+        .map(|s| parse_stmt(s).unwrap())
+        .collect();
+    c.bench_function("fig9_sequence_interference", |b| {
+        b.iter(|| black_box(sequences_independent(&u, &v, &entry, &sig)))
+    });
+}
+
+criterion_group! {
+    name = figures_benches;
+    config = bench_config();
+    targets =
+    fig2_handle_assignment,
+    fig3_while_fixpoint,
+    fig4_statement_packing,
+    fig6_interference,
+    fig7_analysis,
+    fig8_parallelization,
+    fig9_sequence_interference
+
+}
+criterion_main!(figures_benches);

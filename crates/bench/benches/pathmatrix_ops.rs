@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the path-matrix abstract domain: the operations the
+//! paper's §4 singles out as needing to be efficient ("efficient operations
+//! for merging and equality testing of path matrices").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sil_pathmatrix::{at_least, exact, Certainty, Dir, Link, Path, PathMatrix, PathSet};
+use std::hint::black_box;
+
+/// A fast Criterion configuration so the whole suite completes quickly while
+/// still giving stable relative numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+/// A matrix over `n` handles forming a left-spine chain plus assorted
+/// cross-relations, representative of what the analysis builds.
+fn chain_matrix(n: usize) -> PathMatrix {
+    let names: Vec<String> = (0..n).map(|i| format!("h{i}")).collect();
+    let mut m = PathMatrix::with_handles(names.iter().cloned());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = (j - i) as u32;
+            let path = if dist == 1 {
+                exact(Dir::Left, 1)
+            } else {
+                at_least(Dir::Down, dist.min(3))
+            };
+            m.set(&names[i], &names[j], PathSet::singleton(path));
+        }
+    }
+    m
+}
+
+fn matrix_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathmatrix_join");
+    for n in [4usize, 8, 16, 32] {
+        let a = chain_matrix(n);
+        let mut b = chain_matrix(n);
+        // make the two sides differ so the join has real work to do
+        b.set("h0", "h1", PathSet::singleton(exact(Dir::Right, 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.join(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn matrix_equality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathmatrix_equality");
+    for n in [4usize, 8, 16, 32] {
+        let a = chain_matrix(n);
+        let b = chain_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.same_relations(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn matrix_alias_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathmatrix_alias_handle");
+    for n in [8usize, 32] {
+        let m = chain_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut copy = m.clone();
+                copy.alias_handle("fresh", "h0");
+                black_box(copy)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn path_operations(c: &mut Criterion) {
+    let long = Path::from_links(
+        vec![
+            Link::exact(Dir::Right, 1),
+            Link::at_least(Dir::Down, 2),
+            Link::exact(Dir::Left, 1),
+        ],
+        Certainty::Definite,
+    );
+    let other = Path::from_links(
+        vec![Link::exact(Dir::Right, 1), Link::at_least(Dir::Left, 1)],
+        Certainty::Possible,
+    );
+    c.bench_function("path_covers", |b| {
+        b.iter(|| black_box(long.covers(&other)))
+    });
+    c.bench_function("path_concat", |b| {
+        b.iter(|| black_box(long.concat(&other)))
+    });
+    c.bench_function("path_strip_first", |b| {
+        b.iter(|| black_box(long.strip_first(Dir::Right)))
+    });
+    c.bench_function("path_generalize", |b| {
+        b.iter(|| black_box(long.generalize(&other)))
+    });
+    let mut set = PathSet::empty();
+    for i in 1..=4u32 {
+        set.insert(exact(Dir::Left, i).weakened());
+    }
+    let set2 = PathSet::from_paths(vec![at_least(Dir::Down, 1), exact(Dir::Right, 2)]);
+    c.bench_function("pathset_union", |b| b.iter(|| black_box(set.union(&set2))));
+    c.bench_function("pathset_join", |b| b.iter(|| black_box(set.join(&set2))));
+}
+
+criterion_group! {
+    name = pathmatrix_ops;
+    config = bench_config();
+    targets =
+    matrix_join,
+    matrix_equality,
+    matrix_alias_store,
+    path_operations
+
+}
+criterion_main!(pathmatrix_ops);

@@ -1,0 +1,750 @@
+//! Interference between basic statements and between procedure calls
+//! (Sections 5.1 and 5.2).
+//!
+//! * A *location* is `(name, kind)` where kind is `var`, `left`, `right` or
+//!   `value`.
+//! * The *alias function* `A(a, f, p)` returns every location `(x, f)` such
+//!   that the path-matrix entry `p[a, x]` contains `S` or `S?` — i.e. `x` may
+//!   name the same node as `a`.
+//! * `R(s, p)` / `W(s, p)` are the read and write sets of Figure 5 (extended
+//!   to the scalar, value and call statement forms).
+//! * The *interference set* `I(si, sj, p)` is empty exactly when it is safe
+//!   to execute the two statements in parallel; the incremental n-statement
+//!   generalisation underlies the statement-packing transformation
+//!   (Figure 4).
+//! * Procedure calls interfere unless every *update* argument of one call is
+//!   unrelated to every argument of the other (and vice versa) — §5.2.
+
+use crate::state::AbstractState;
+use crate::summary::ProcSummary;
+use sil_lang::ast::*;
+use sil_lang::basic::BasicStmt;
+use sil_lang::types::ProcSignature;
+use sil_pathmatrix::PathMatrix;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of a location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LocationKind {
+    /// The variable itself.
+    Var,
+    /// The `left` field of the node named by the variable.
+    Left,
+    /// The `right` field of the node named by the variable.
+    Right,
+    /// The `value` field of the node named by the variable.
+    Value,
+}
+
+impl LocationKind {
+    /// The location kind of a structural field.
+    pub fn of_field(field: Field) -> LocationKind {
+        match field {
+            Field::Left => LocationKind::Left,
+            Field::Right => LocationKind::Right,
+        }
+    }
+}
+
+impl fmt::Display for LocationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocationKind::Var => write!(f, "var"),
+            LocationKind::Left => write!(f, "left"),
+            LocationKind::Right => write!(f, "right"),
+            LocationKind::Value => write!(f, "value"),
+        }
+    }
+}
+
+/// A location `(name, kind)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location {
+    pub name: String,
+    pub kind: LocationKind,
+}
+
+impl Location {
+    pub fn new(name: impl Into<String>, kind: LocationKind) -> Location {
+        Location {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    pub fn var(name: impl Into<String>) -> Location {
+        Location::new(name, LocationKind::Var)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.name, self.kind)
+    }
+}
+
+/// The alias function `A(a, f, p)`: the set of locations `(x, f)` that may be
+/// aliased to `(a, f)` — including `(a, f)` itself.
+pub fn alias_set(a: &str, kind: LocationKind, matrix: &PathMatrix) -> BTreeSet<Location> {
+    let mut out = BTreeSet::new();
+    out.insert(Location::new(a, kind));
+    for x in matrix.handles() {
+        if x == a {
+            continue;
+        }
+        if matrix.get(a, x).may_be_same() || matrix.get(x, a).may_be_same() {
+            out.insert(Location::new(x.clone(), kind));
+        }
+    }
+    out
+}
+
+/// Locations read by the integer expression `e` (variable reads plus `value`
+/// fields of dereferenced handles, expanded through the alias function).
+fn expr_read_locations(e: &Expr, matrix: &PathMatrix) -> BTreeSet<Location> {
+    let mut out = BTreeSet::new();
+    collect_expr_reads(e, matrix, &mut out);
+    out
+}
+
+fn collect_expr_reads(e: &Expr, matrix: &PathMatrix, out: &mut BTreeSet<Location>) {
+    match e {
+        Expr::Int(_) | Expr::Nil => {}
+        Expr::Path(p) => {
+            out.insert(Location::var(p.base.clone()));
+            // A single-field load inside a condition also reads the field.
+            if let Some(field) = p.fields.first() {
+                out.extend(alias_set(&p.base, LocationKind::of_field(*field), matrix));
+            }
+        }
+        Expr::Value(p) => {
+            out.insert(Location::var(p.base.clone()));
+            out.extend(alias_set(&p.base, LocationKind::Value, matrix));
+        }
+        Expr::Unary(_, inner) => collect_expr_reads(inner, matrix, out),
+        Expr::Binary(_, lhs, rhs) => {
+            collect_expr_reads(lhs, matrix, out);
+            collect_expr_reads(rhs, matrix, out);
+        }
+    }
+}
+
+/// The read set `R(s, p)` of a basic statement (Figure 5, extended).
+pub fn read_set(stmt: &Stmt, sig: &ProcSignature, matrix: &PathMatrix) -> BTreeSet<Location> {
+    let mut out = BTreeSet::new();
+    let Some(basic) = BasicStmt::classify(stmt, sig) else {
+        // Conditions and compound statements: collect from the condition only.
+        if let Stmt::If { cond, .. } | Stmt::While { cond, .. } = stmt {
+            out.extend(expr_read_locations(cond, matrix));
+        }
+        return out;
+    };
+    match basic {
+        BasicStmt::AssignNil { .. } | BasicStmt::AssignNew { .. } => {}
+        BasicStmt::AssignCopy { src, .. } => {
+            out.insert(Location::var(src));
+        }
+        BasicStmt::AssignLoad { src, field, .. } => {
+            out.insert(Location::var(src));
+            out.extend(alias_set(src, LocationKind::of_field(field), matrix));
+        }
+        BasicStmt::StoreField { dst, src, .. } => {
+            out.insert(Location::var(dst));
+            out.insert(Location::var(src));
+        }
+        BasicStmt::StoreFieldNil { dst, .. } => {
+            out.insert(Location::var(dst));
+        }
+        BasicStmt::ValueLoad { src, .. } => {
+            out.insert(Location::var(src));
+            out.extend(alias_set(src, LocationKind::Value, matrix));
+        }
+        BasicStmt::ValueStore { dst, value } => {
+            out.insert(Location::var(dst));
+            out.extend(expr_read_locations(value, matrix));
+        }
+        BasicStmt::ScalarAssign { value, .. } => {
+            out.extend(expr_read_locations(value, matrix));
+        }
+        BasicStmt::FuncAssign { args, .. } | BasicStmt::ProcCall { args, .. } => {
+            for a in args {
+                out.extend(expr_read_locations(a, matrix));
+            }
+        }
+    }
+    out
+}
+
+/// The write set `W(s, p)` of a basic statement (Figure 5, extended).
+pub fn write_set(stmt: &Stmt, sig: &ProcSignature, matrix: &PathMatrix) -> BTreeSet<Location> {
+    let mut out = BTreeSet::new();
+    let Some(basic) = BasicStmt::classify(stmt, sig) else {
+        return out;
+    };
+    match basic {
+        BasicStmt::AssignNil { dst }
+        | BasicStmt::AssignNew { dst }
+        | BasicStmt::AssignCopy { dst, .. }
+        | BasicStmt::AssignLoad { dst, .. }
+        | BasicStmt::ValueLoad { dst, .. }
+        | BasicStmt::ScalarAssign { dst, .. }
+        | BasicStmt::FuncAssign { dst, .. } => {
+            out.insert(Location::var(dst));
+        }
+        BasicStmt::StoreField { dst, field, .. } | BasicStmt::StoreFieldNil { dst, field } => {
+            out.extend(alias_set(dst, LocationKind::of_field(field), matrix));
+        }
+        BasicStmt::ValueStore { dst, .. } => {
+            out.extend(alias_set(dst, LocationKind::Value, matrix));
+        }
+        BasicStmt::ProcCall { .. } => {}
+    }
+    out
+}
+
+/// The interference set `I(si, sj, p)`: the locations through which the two
+/// statements may interfere.  Empty means the statements may execute in
+/// parallel (§5.1).
+pub fn interference_set(
+    s1: &Stmt,
+    s2: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+) -> BTreeSet<Location> {
+    let r1 = read_set(s1, sig, matrix);
+    let w1 = write_set(s1, sig, matrix);
+    let r2 = read_set(s2, sig, matrix);
+    let w2 = write_set(s2, sig, matrix);
+    let mut out = BTreeSet::new();
+    for loc in &w1 {
+        if r2.contains(loc) || w2.contains(loc) {
+            out.insert(loc.clone());
+        }
+    }
+    for loc in &w2 {
+        if r1.contains(loc) || w1.contains(loc) {
+            out.insert(loc.clone());
+        }
+    }
+    out
+}
+
+/// Whether `n` statements are pairwise non-interfering at a program point
+/// with path matrix `matrix` — the incremental generalisation of §5.1.
+///
+/// Calls embedded in the slice are additionally checked with the
+/// coarse-grain §5.2 method through `summaries`.
+pub fn statements_independent(
+    stmts: &[&Stmt],
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> bool {
+    for i in 0..stmts.len() {
+        for j in (i + 1)..stmts.len() {
+            if !pair_independent(stmts[i], stmts[j], sig, matrix, summaries) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Decompose a statement into call parts if it is a procedure call or a
+/// function-call assignment: `(callee, args, assigned variable if any)`.
+pub fn call_parts<'a>(stmt: &'a Stmt) -> Option<(&'a str, &'a [Expr], Option<&'a str>)> {
+    match stmt {
+        Stmt::Call { proc, args, .. } => Some((proc, args, None)),
+        Stmt::Assign {
+            lhs: LValue::Var(dst),
+            rhs: Rhs::Call(func, args),
+            ..
+        } => Some((func, args, Some(dst))),
+        _ => None,
+    }
+}
+
+fn pair_independent(
+    s1: &Stmt,
+    s2: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> bool {
+    let c1 = call_parts(s1).is_some();
+    let c2 = call_parts(s2).is_some();
+    match (c1, c2) {
+        (false, false) => interference_set(s1, s2, sig, matrix).is_empty(),
+        (true, true) => !call_call_interference(s1, s2, sig, matrix, summaries),
+        (true, false) => !call_stmt_interference(s1, s2, sig, matrix, summaries),
+        (false, true) => !call_stmt_interference(s2, s1, sig, matrix, summaries),
+    }
+}
+
+/// The handle argument variables of a call statement.
+pub fn locations_of_call<'a>(call: &'a Stmt, sig: &ProcSignature) -> Vec<&'a str> {
+    let Stmt::Call { args, .. } = call else {
+        return Vec::new();
+    };
+    args.iter()
+        .filter_map(|a| a.as_var())
+        .filter(|v| sig.is_handle(v))
+        .collect()
+}
+
+fn handle_args_with_modes<'a>(
+    call: &'a Stmt,
+    sig: &ProcSignature,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> Option<(Vec<&'a str>, Vec<&'a str>, bool)> {
+    let (callee, args, _) = call_parts(call)?;
+    let summary = summaries.get(callee)?;
+    let mut all = Vec::new();
+    let mut update = Vec::new();
+    for (idx, arg) in args.iter().enumerate() {
+        let Some(var) = arg.as_var() else { continue };
+        if !sig.is_handle(var) {
+            continue;
+        }
+        all.push(var);
+        if summary
+            .mode_of_position(idx)
+            .is_some_and(|m| m.is_update())
+        {
+            update.push(var);
+        }
+    }
+    Some((all, update, summary.has_update_args()))
+}
+
+/// §5.2: do two procedure calls interfere?
+///
+/// The calls do **not** interfere when every handle in the first call's
+/// update-argument set is unrelated to every handle argument of the second
+/// call, and vice versa.  Scalar arguments never interfere (call-by-value).
+/// Unknown callees are assumed to interfere.
+pub fn call_call_interference(
+    call1: &Stmt,
+    call2: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> bool {
+    let Some((all1, update1, _)) = handle_args_with_modes(call1, sig, summaries) else {
+        return true;
+    };
+    let Some((all2, update2, _)) = handle_args_with_modes(call2, sig, summaries) else {
+        return true;
+    };
+    // Function-call assignments also write their destination variable and
+    // read the variables named in every argument expression.
+    let (_, args1, dst1) = call_parts(call1).expect("checked above");
+    let (_, args2, dst2) = call_parts(call2).expect("checked above");
+    let vars1: BTreeSet<String> = args1.iter().flat_map(|a| a.variables()).collect();
+    let vars2: BTreeSet<String> = args2.iter().flat_map(|a| a.variables()).collect();
+    if let Some(d1) = dst1 {
+        if vars2.contains(d1) || dst2 == Some(d1) {
+            return true;
+        }
+    }
+    if let Some(d2) = dst2 {
+        if vars1.contains(d2) {
+            return true;
+        }
+    }
+    let related = |x: &str, y: &str| x == y || !matrix.unrelated(x, y);
+    for u in &update1 {
+        if all2.iter().any(|a| related(u, a)) {
+            return true;
+        }
+    }
+    for u in &update2 {
+        if all1.iter().any(|a| related(u, a)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Interference between a procedure call and a basic statement.
+///
+/// The call may touch any node reachable from its handle arguments (writes
+/// only through its update arguments); the statement's read/write locations
+/// name nodes directly.  They interfere when a handle named in the
+/// statement's locations is related to an update argument (either order), or
+/// the statement writes a handle that is related to *any* argument, or the
+/// statement writes one of the call's argument variables themselves.
+pub fn call_stmt_interference(
+    call: &Stmt,
+    stmt: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> bool {
+    let Some((all_args, update_args, _)) = handle_args_with_modes(call, sig, summaries) else {
+        return true;
+    };
+    let reads = read_set(stmt, sig, matrix);
+    let writes = write_set(stmt, sig, matrix);
+
+    // The statement redefines a variable the call reads as an argument.
+    let Some((_, args, dst)) = call_parts(call) else {
+        return true;
+    };
+    let arg_vars: BTreeSet<String> = args.iter().flat_map(|a| a.variables()).collect();
+    if writes
+        .iter()
+        .any(|w| w.kind == LocationKind::Var && arg_vars.contains(&w.name))
+    {
+        return true;
+    }
+    // A function-call assignment writes its destination variable.
+    if let Some(d) = dst {
+        let dloc = Location::var(d);
+        if reads.contains(&dloc) || writes.contains(&dloc) {
+            return true;
+        }
+    }
+
+    let related = |x: &str, y: &str| x == y || !matrix.unrelated(x, y);
+    // The call may write nodes reachable from its update arguments; the
+    // statement touches node fields of handles related to them.
+    let stmt_node_handles =
+        |locs: &BTreeSet<Location>| -> Vec<String> {
+            locs.iter()
+                .filter(|l| l.kind != LocationKind::Var && sig.is_handle(&l.name))
+                .map(|l| l.name.clone())
+                .collect()
+        };
+    for h in stmt_node_handles(&reads)
+        .into_iter()
+        .chain(stmt_node_handles(&writes))
+    {
+        if update_args.iter().any(|u| related(&h, u)) {
+            return true;
+        }
+    }
+    // The statement *writes* node fields of handles related to any argument
+    // (the call might read them).
+    for h in stmt_node_handles(&writes) {
+        if all_args.iter().any(|a| related(&h, a)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether a statement may read or write heap node locations (any `left`,
+/// `right` or `value` field), or is a call (which may touch any node
+/// reachable from its arguments).  Statements that only touch variables are
+/// safe to parallelize regardless of the heap's structural classification;
+/// node-touching statements rely on the TREE disjointness guarantees of
+/// §3.1, so the parallelizer only packs them when the analysis still
+/// classifies the structure as a TREE.
+pub fn touches_node_locations(stmt: &Stmt, sig: &ProcSignature) -> bool {
+    if call_parts(stmt).is_some() {
+        return true;
+    }
+    let empty = PathMatrix::new();
+    let reads = read_set(stmt, sig, &empty);
+    let writes = write_set(stmt, sig, &empty);
+    reads
+        .iter()
+        .chain(writes.iter())
+        .any(|l| l.kind != LocationKind::Var)
+}
+
+/// Convenience wrapper: interference of two statements in a full abstract
+/// state (uses the state's matrix).
+pub fn independent_in_state(
+    s1: &Stmt,
+    s2: &Stmt,
+    sig: &ProcSignature,
+    state: &AbstractState,
+    summaries: &std::collections::HashMap<String, ProcSummary>,
+) -> bool {
+    pair_independent(s1, s2, sig, &state.matrix, summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::compute_summaries;
+    use sil_lang::frontend;
+    use sil_lang::parser::parse_stmt;
+    use sil_lang::types::Type;
+    use sil_pathmatrix::{at_least, exact, same, Dir, PathSet};
+    use std::collections::HashMap;
+
+    fn sig(handles: &[&str], ints: &[&str]) -> ProcSignature {
+        let mut vars = HashMap::new();
+        for h in handles {
+            vars.insert(h.to_string(), Type::Handle);
+        }
+        for i in ints {
+            vars.insert(i.to_string(), Type::Int);
+        }
+        ProcSignature {
+            name: "test".into(),
+            params: vec![],
+            return_type: None,
+            vars,
+        }
+    }
+
+    /// The path matrix of Figure 6: a and b are handles to the same node;
+    /// c and d may be the same node or d may be some right links below c.
+    fn figure6_matrix() -> PathMatrix {
+        let mut m = PathMatrix::with_handles(["a", "b", "c", "d"]);
+        m.set("a", "b", PathSet::singleton(same()));
+        m.set("b", "a", PathSet::singleton(same()));
+        m.set("a", "d", PathSet::singleton(at_least(Dir::Down, 1)));
+        m.set("b", "d", PathSet::singleton(at_least(Dir::Down, 1)));
+        m.set(
+            "c",
+            "d",
+            PathSet::from_paths(vec![same().weakened(), at_least(Dir::Right, 1).weakened()]),
+        );
+        m.set("d", "c", PathSet::singleton(same().weakened()));
+        m
+    }
+
+    #[test]
+    fn alias_set_follows_s_entries() {
+        let m = figure6_matrix();
+        let aliases = alias_set("a", LocationKind::Left, &m);
+        let names: Vec<&str> = aliases.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b"));
+        assert!(!names.contains(&"d"), "D+ is not an S relation");
+        let aliases = alias_set("c", LocationKind::Value, &m);
+        let names: Vec<&str> = aliases.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"c") && names.contains(&"d"));
+    }
+
+    #[test]
+    fn figure_6_example_1_variable_interference() {
+        // s1: x := a.left   s2: y := x   — interfere through (x, var)
+        let s = sig(&["a", "b", "c", "d"], &["x", "y", "n"]);
+        let m = figure6_matrix();
+        let s1 = parse_stmt("x := a.left").unwrap();
+        let s2 = parse_stmt("y := x").unwrap();
+        let i = interference_set(&s1, &s2, &s, &m);
+        assert_eq!(
+            i,
+            BTreeSet::from([Location::var("x")]),
+            "expected interference exactly through (x, var)"
+        );
+    }
+
+    #[test]
+    fn figure_6_example_2_field_interference() {
+        // s1: x := a.left   s2: b.left := nil — interfere through the left
+        // field of the shared node (a,left)/(b,left).
+        let s = sig(&["a", "b", "c", "d"], &["x", "y", "n"]);
+        let m = figure6_matrix();
+        let s1 = parse_stmt("x := a.left").unwrap();
+        let s2 = parse_stmt("b.left := nil").unwrap();
+        let i = interference_set(&s1, &s2, &s, &m);
+        assert!(i.contains(&Location::new("a", LocationKind::Left)), "{i:?}");
+        assert!(i.contains(&Location::new("b", LocationKind::Left)), "{i:?}");
+        assert!(!i.contains(&Location::var("x")));
+    }
+
+    #[test]
+    fn figure_6_example_3_conservative_value_interference() {
+        // s1: n := d.value   s2: c.value := 0 — c and d may alias, so the
+        // analysis conservatively reports interference on the value field.
+        let s = sig(&["a", "b", "c", "d"], &["x", "y", "n"]);
+        let m = figure6_matrix();
+        let s1 = parse_stmt("n := d.value").unwrap();
+        let s2 = parse_stmt("c.value := 0").unwrap();
+        let i = interference_set(&s1, &s2, &s, &m);
+        assert!(i.contains(&Location::new("c", LocationKind::Value)), "{i:?}");
+        assert!(i.contains(&Location::new("d", LocationKind::Value)), "{i:?}");
+    }
+
+    #[test]
+    fn independent_statements_have_empty_interference() {
+        let s = sig(&["h", "l", "r"], &["n"]);
+        let mut m = PathMatrix::with_handles(["h", "l", "r"]);
+        m.set("h", "l", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("h", "r", PathSet::singleton(exact(Dir::Right, 1)));
+        // The parallel statement of Figure 8's add_n:
+        //   h.value := h.value + n || l := h.left || r := h.right
+        let s1 = parse_stmt("h.value := h.value + n").unwrap();
+        let s2 = parse_stmt("l := h.left").unwrap();
+        let s3 = parse_stmt("r := h.right").unwrap();
+        assert!(interference_set(&s1, &s2, &s, &m).is_empty());
+        assert!(interference_set(&s1, &s3, &s, &m).is_empty());
+        assert!(interference_set(&s2, &s3, &s, &m).is_empty());
+        let summaries = HashMap::new();
+        assert!(statements_independent(&[&s1, &s2, &s3], &s, &m, &summaries));
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let s = sig(&["a"], &["x"]);
+        let m = PathMatrix::with_handles(["a"]);
+        let s1 = parse_stmt("x := 1").unwrap();
+        let s2 = parse_stmt("x := 2").unwrap();
+        assert!(!interference_set(&s1, &s2, &s, &m).is_empty());
+    }
+
+    #[test]
+    fn aliased_value_store_conflicts() {
+        let s = sig(&["a", "b"], &[]);
+        let mut m = PathMatrix::with_handles(["a", "b"]);
+        m.set("a", "b", PathSet::singleton(same().weakened()));
+        let s1 = parse_stmt("a.value := 1").unwrap();
+        let s2 = parse_stmt("b.value := 2").unwrap();
+        assert!(!interference_set(&s1, &s2, &s, &m).is_empty());
+        // unrelated handles do not conflict
+        let m2 = PathMatrix::with_handles(["a", "b"]);
+        assert!(interference_set(&s1, &s2, &s, &m2).is_empty());
+    }
+
+    #[test]
+    fn load_conflicts_with_store_of_same_field() {
+        let s = sig(&["a", "b", "c"], &[]);
+        let m = PathMatrix::with_handles(["a", "b", "c"]);
+        let s1 = parse_stmt("b := a.left").unwrap();
+        let s2 = parse_stmt("a.left := c").unwrap();
+        assert!(!interference_set(&s1, &s2, &s, &m).is_empty());
+        // a store to the *other* field does not conflict
+        let s3 = parse_stmt("a.right := c").unwrap();
+        assert!(interference_set(&s1, &s3, &s, &m).is_empty());
+    }
+
+    fn add_and_reverse_setup() -> (
+        sil_lang::Program,
+        sil_lang::ProgramTypes,
+        HashMap<String, ProcSummary>,
+    ) {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let summaries = compute_summaries(&program, &types);
+        (program, types, summaries)
+    }
+
+    #[test]
+    fn figure_7_point_a_calls_do_not_interfere() {
+        // pA: root -> lside (L1), root -> rside (R1); lside and rside unrelated.
+        let (_, types, summaries) = add_and_reverse_setup();
+        let sig = types.proc("main").unwrap();
+        let mut m = PathMatrix::with_handles(["root", "lside", "rside"]);
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("root", "rside", PathSet::singleton(exact(Dir::Right, 1)));
+        let c1 = parse_stmt("add_n(lside, 1)").unwrap();
+        let c2 = parse_stmt("add_n(rside, -1)").unwrap();
+        assert!(!call_call_interference(&c1, &c2, sig, &m, &summaries));
+        // but each add_n call interferes with reverse(root): root is related
+        // to both argument handles.
+        let c3 = parse_stmt("reverse(root)").unwrap();
+        assert!(call_call_interference(&c1, &c3, sig, &m, &summaries));
+        assert!(call_call_interference(&c2, &c3, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn figure_7_point_b_recursive_calls_do_not_interfere() {
+        let (_, types, summaries) = add_and_reverse_setup();
+        let sig = types.proc("add_n").unwrap();
+        let mut m = PathMatrix::with_handles(["h", "l", "r"]);
+        m.set("h", "l", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("h", "r", PathSet::singleton(exact(Dir::Right, 1)));
+        let c1 = parse_stmt("add_n(l, n)").unwrap();
+        let c2 = parse_stmt("add_n(r, n)").unwrap();
+        assert!(!call_call_interference(&c1, &c2, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn read_only_calls_never_interfere_even_when_related() {
+        let src = r#"
+program p
+procedure visit(t: handle)
+  l: handle
+begin
+  if t <> nil then
+  begin
+    l := t.left;
+    visit(l)
+  end
+end
+procedure main()
+  root, sub: handle
+begin
+  root := new();
+  sub := root.left;
+  visit(root);
+  visit(sub)
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let summaries = compute_summaries(&program, &types);
+        let sig = types.proc("main").unwrap();
+        let mut m = PathMatrix::with_handles(["root", "sub"]);
+        m.set("root", "sub", PathSet::singleton(exact(Dir::Left, 1)));
+        let c1 = parse_stmt("visit(root)").unwrap();
+        let c2 = parse_stmt("visit(sub)").unwrap();
+        assert!(!call_call_interference(&c1, &c2, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn calls_on_related_handles_interfere_when_updating() {
+        let (_, types, summaries) = add_and_reverse_setup();
+        let sig = types.proc("main").unwrap();
+        let mut m = PathMatrix::with_handles(["root", "lside"]);
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        let c1 = parse_stmt("add_n(root, 1)").unwrap();
+        let c2 = parse_stmt("add_n(lside, 1)").unwrap();
+        assert!(call_call_interference(&c1, &c2, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn unknown_callee_is_conservative() {
+        let (_, types, _) = add_and_reverse_setup();
+        let sig = types.proc("main").unwrap();
+        let m = PathMatrix::with_handles(["lside", "rside"]);
+        let summaries = HashMap::new();
+        let c1 = parse_stmt("add_n(lside, 1)").unwrap();
+        let c2 = parse_stmt("add_n(rside, -1)").unwrap();
+        assert!(call_call_interference(&c1, &c2, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn call_vs_statement_interference() {
+        let (_, types, summaries) = add_and_reverse_setup();
+        let sig = types.proc("main").unwrap();
+        let mut m = PathMatrix::with_handles(["root", "lside", "rside"]);
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("root", "rside", PathSet::singleton(exact(Dir::Right, 1)));
+        let call = parse_stmt("add_n(lside, 1)").unwrap();
+        // writing a value inside the updated subtree conflicts
+        let w = parse_stmt("lside.value := 0").unwrap();
+        assert!(call_stmt_interference(&call, &w, sig, &m, &summaries));
+        // reading a value inside the updated subtree conflicts (add_n writes values)
+        let r = parse_stmt("i := lside.value").unwrap();
+        let mut sig2 = sig.clone();
+        sig2.vars.insert("i".to_string(), Type::Int);
+        assert!(call_stmt_interference(&call, &r, &sig2, &m, &summaries));
+        // touching the disjoint right subtree does not conflict
+        let ok = parse_stmt("rside.value := 0").unwrap();
+        assert!(!call_stmt_interference(&call, &ok, sig, &m, &summaries));
+        // redefining the argument variable itself conflicts
+        let redef = parse_stmt("lside := nil").unwrap();
+        assert!(call_stmt_interference(&call, &redef, sig, &m, &summaries));
+    }
+
+    #[test]
+    fn statements_independent_mixed_calls_and_statements() {
+        let (_, types, summaries) = add_and_reverse_setup();
+        let sig = types.proc("main").unwrap();
+        let mut m = PathMatrix::with_handles(["root", "lside", "rside"]);
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("root", "rside", PathSet::singleton(exact(Dir::Right, 1)));
+        let c1 = parse_stmt("add_n(lside, 1)").unwrap();
+        let s1 = parse_stmt("rside.value := 7").unwrap();
+        assert!(statements_independent(&[&c1, &s1], sig, &m, &summaries));
+        let bad = parse_stmt("lside := nil").unwrap();
+        assert!(!statements_independent(&[&c1, &s1, &bad], sig, &m, &summaries));
+    }
+}

@@ -1,0 +1,606 @@
+//! The interprocedural analysis and whole-program driver.
+//!
+//! Each procedure is analyzed under an *entry context*: a path matrix over
+//! its handle formals plus the symbolic handles `f*` (relations contributed
+//! by the immediate caller's handles) and `f**` (relations contributed by all
+//! stacked invocations — the paper's `h*` / `h**` of Figure 7).  Every call
+//! site folds the caller's current relationships into the callee's context;
+//! recursive calls fold the current formals into `f*` and the previous
+//! symbolic handles into `f**`.  The whole program is re-analyzed until all
+//! contexts (and function-return summaries) stabilize.
+
+use crate::state::{AbstractState, StructureWarning};
+use crate::summary::{ProcSummary, ReturnSummary};
+use crate::transfer::{Analyzer, CallSite};
+use sil_lang::ast::*;
+use sil_lang::pretty::pretty_stmt;
+use sil_lang::types::{ProcSignature, ProgramTypes, Type};
+use std::collections::HashMap;
+
+/// Maximum number of whole-program rounds before declaring convergence
+/// failure (the widened path domain converges in a handful of rounds).
+pub const MAX_ROUNDS: usize = 16;
+
+/// The symbolic handle collecting the immediate caller's relations to a
+/// formal.
+pub fn immediate_symbol(formal: &str) -> String {
+    format!("{formal}*")
+}
+
+/// The symbolic handle collecting relations from all stacked invocations.
+pub fn stacked_symbol(formal: &str) -> String {
+    format!("{formal}**")
+}
+
+/// Whether a handle name denotes one of the symbolic context handles.
+pub fn is_symbolic(name: &str) -> bool {
+    name.contains('*')
+}
+
+/// The analysis information recorded at one program point (just *before* the
+/// recorded statement executes).
+#[derive(Debug, Clone)]
+pub struct ProgramPoint {
+    /// `procedure:index` label, in execution order of the body walk.
+    pub label: String,
+    /// Pretty-printed statement the point precedes.
+    pub statement: String,
+    /// If the statement is a procedure call, the callee name.
+    pub callee: Option<String>,
+    /// The abstract state before the statement.
+    pub state: AbstractState,
+}
+
+/// Per-procedure analysis results.
+#[derive(Debug, Clone)]
+pub struct ProcedureAnalysis {
+    pub name: String,
+    /// The entry context the body was analyzed under.
+    pub entry: AbstractState,
+    /// The state before every simple statement of the body, in walk order.
+    pub points: Vec<ProgramPoint>,
+    /// The state at procedure exit.
+    pub exit: AbstractState,
+    /// Structure warnings raised while analyzing the body.
+    pub warnings: Vec<StructureWarning>,
+}
+
+impl ProcedureAnalysis {
+    /// The state just before the `nth` (0-based) call to `callee`.
+    pub fn state_before_call(&self, callee: &str, nth: usize) -> Option<&AbstractState> {
+        self.points
+            .iter()
+            .filter(|p| p.callee.as_deref() == Some(callee))
+            .nth(nth)
+            .map(|p| &p.state)
+    }
+
+    /// The state just before the first statement whose rendering contains
+    /// `text`.
+    pub fn state_before(&self, text: &str) -> Option<&AbstractState> {
+        self.points
+            .iter()
+            .find(|p| p.statement.contains(text))
+            .map(|p| &p.state)
+    }
+}
+
+/// Whole-program analysis results.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    procedures: HashMap<String, ProcedureAnalysis>,
+    /// Argument-mode summaries.
+    pub summaries: HashMap<String, ProcSummary>,
+    /// Function-return summaries.
+    pub return_summaries: HashMap<String, ReturnSummary>,
+    /// All structure warnings, deduplicated.
+    pub warnings: Vec<StructureWarning>,
+    /// Number of whole-program rounds needed to stabilize.
+    pub rounds: usize,
+}
+
+impl AnalysisResult {
+    /// The per-procedure results.
+    pub fn procedure(&self, name: &str) -> Option<&ProcedureAnalysis> {
+        self.procedures.get(name)
+    }
+
+    /// Iterate over all analyzed procedures.
+    pub fn procedures(&self) -> impl Iterator<Item = &ProcedureAnalysis> {
+        self.procedures.values()
+    }
+
+    /// Whether the program never degrades the structure below TREE.
+    pub fn preserves_tree(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// The entry state for a procedure that has not been called yet: its handle
+/// parameters exist but are unrelated (used for `main` and as a fallback).
+fn default_entry(sig: &ProcSignature) -> AbstractState {
+    let handles: Vec<&str> = sig.handle_params();
+    let mut state = AbstractState::with_handles(handles.iter().copied());
+    for h in handles {
+        state.mark_attached(h);
+    }
+    state
+}
+
+/// Build the callee entry-context contribution for one observed call site.
+fn context_contribution(site: &CallSite, types: &ProgramTypes) -> AbstractState {
+    let Some(callee_sig) = types.proc(&site.callee) else {
+        return AbstractState::new();
+    };
+    let caller_state = &site.state_before;
+    let mut ctx = AbstractState::new();
+    ctx.structure = caller_state.structure;
+
+    let formals: Vec<&str> = callee_sig.handle_params();
+    // The actual variable bound to each formal at this site.
+    let actual_of = |formal: &str| -> Option<&str> {
+        site.handle_actuals
+            .iter()
+            .find(|(f, _)| f == formal)
+            .map(|(_, a)| a.as_str())
+    };
+
+    for f in &formals {
+        ctx.matrix.add_handle(f.to_string());
+        ctx.matrix.add_handle(immediate_symbol(f));
+        ctx.matrix.add_handle(stacked_symbol(f));
+        ctx.mark_attached(&immediate_symbol(f));
+        ctx.mark_attached(&stacked_symbol(f));
+        if let Some(a) = actual_of(f) {
+            if caller_state.is_attached(a) {
+                ctx.mark_attached(f);
+            }
+            if caller_state.shared.contains(a) {
+                ctx.shared.insert(f.to_string());
+            }
+        }
+    }
+
+    // Relations among the formals mirror the relations among the actuals.
+    for fi in &formals {
+        for fj in &formals {
+            if fi == fj {
+                continue;
+            }
+            if let (Some(ai), Some(aj)) = (actual_of(fi), actual_of(fj)) {
+                let rel = caller_state.matrix.get(ai, aj);
+                if !rel.is_empty() {
+                    ctx.matrix.set(fi, fj, rel);
+                }
+            }
+        }
+    }
+
+    // Relations between the formals and the rest of the caller's world fold
+    // into the symbolic handles.
+    let caller_handles: Vec<String> = caller_state.matrix.handles().to_vec();
+    for fi in &formals {
+        let Some(ai) = actual_of(fi) else { continue };
+        let sym_now = immediate_symbol(fi);
+        let sym_stack = stacked_symbol(fi);
+        for x in &caller_handles {
+            if x == ai || site.handle_actuals.iter().any(|(_, a)| a == x) {
+                continue;
+            }
+            let target = if is_symbolic(x) { &sym_stack } else { &sym_now };
+            // Only the "caller handle reaches the argument" direction is
+            // folded in: it is what the callee needs to know (nodes above or
+            // at its argument exist in the caller's world).  Folding the
+            // downward direction would conflate *several* distinct caller
+            // handles below the argument into one symbolic name and make the
+            // analysis believe, e.g., that the left and right children are
+            // both "the same" symbolic node (the paper's pB likewise has no
+            // entries from `h` to `h*`).
+            let into = caller_state.matrix.get(x, ai);
+            if !into.is_empty() {
+                let merged = ctx.matrix.get(target, fi).union(&into);
+                ctx.matrix.set(target, fi, merged);
+            }
+        }
+        // The immediate caller's handles may themselves be related to the
+        // stacked ones in unknown ways.
+        if !ctx.matrix.get(&sym_now, fi).is_empty() && !ctx.matrix.get(&sym_stack, fi).is_empty() {
+            let merged = ctx
+                .matrix
+                .get(&sym_now, &sym_stack)
+                .union(&crate::transfer::unknown_relation());
+            ctx.matrix.set(&sym_now, &sym_stack, merged);
+        }
+    }
+    ctx
+}
+
+/// Walk a statement, recording a [`ProgramPoint`] before every simple
+/// statement, and return the state after it.
+fn record_points(
+    analyzer: &Analyzer<'_>,
+    state: &AbstractState,
+    stmt: &Stmt,
+    sig: &ProcSignature,
+    counter: &mut usize,
+    points: &mut Vec<ProgramPoint>,
+    warnings: &mut Vec<StructureWarning>,
+) -> AbstractState {
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            let mut current = state.clone();
+            for s in stmts {
+                current = record_points(analyzer, &current, s, sig, counter, points, warnings);
+            }
+            current
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let then_exit =
+                record_points(analyzer, state, then_branch, sig, counter, points, warnings);
+            let else_exit = match else_branch {
+                Some(e) => record_points(analyzer, state, e, sig, counter, points, warnings),
+                None => state.clone(),
+            };
+            then_exit.join(&else_exit)
+        }
+        Stmt::While { body, .. } => {
+            // The transfer function computes the loop invariant; interior
+            // points are recorded under that invariant.
+            let invariant = analyzer.transfer(state, stmt, sig, warnings);
+            let _ = record_points(analyzer, &invariant, body, sig, counter, points, warnings);
+            invariant
+        }
+        Stmt::Par { arms, .. } => {
+            let mut current = state.clone();
+            for arm in arms {
+                current = record_points(analyzer, &current, arm, sig, counter, points, warnings);
+            }
+            current
+        }
+        Stmt::Assign { .. } | Stmt::Call { .. } => {
+            let callee = match stmt {
+                Stmt::Call { proc, .. } => Some(proc.clone()),
+                _ => None,
+            };
+            *counter += 1;
+            points.push(ProgramPoint {
+                label: format!("{}:{}", sig.name, counter),
+                statement: pretty_stmt(stmt),
+                callee,
+                state: state.clone(),
+            });
+            analyzer.transfer(state, stmt, sig, warnings)
+        }
+    }
+}
+
+fn return_summary_from_exit(
+    proc: &Procedure,
+    sig: &ProcSignature,
+    exit: &AbstractState,
+) -> Option<ReturnSummary> {
+    if sig.return_type != Some(Type::Handle) {
+        return None;
+    }
+    let retvar = proc.return_var.as_deref()?;
+    let mut relations = Vec::new();
+    let mut any = false;
+    for f in sig.handle_params() {
+        let to_ret = exit.matrix.get(f, retvar);
+        let from_ret = exit.matrix.get(retvar, f);
+        if !to_ret.is_empty() || !from_ret.is_empty() {
+            any = true;
+        }
+        relations.push((f.to_string(), to_ret, from_ret));
+    }
+    // Fresh if unrelated to every formal and every symbolic context handle.
+    let unrelated_to_symbolics = exit
+        .matrix
+        .handles()
+        .iter()
+        .filter(|h| is_symbolic(h))
+        .all(|h| exit.matrix.unrelated(h, retvar));
+    Some(ReturnSummary {
+        fresh: !any && unrelated_to_symbolics,
+        relations,
+    })
+}
+
+/// Analyze a whole (normalized, type-checked) program.
+pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResult {
+    let analyzer = Analyzer::new(program, types);
+    let mut contexts: HashMap<String, AbstractState> = HashMap::new();
+    if let Some(main_sig) = types.proc("main") {
+        contexts.insert("main".to_string(), default_entry(main_sig));
+    }
+    let mut procedures: HashMap<String, ProcedureAnalysis> = HashMap::new();
+    let mut return_summaries: HashMap<String, ReturnSummary> = HashMap::new();
+    let mut rounds = 0;
+
+    for round in 0..MAX_ROUNDS {
+        rounds = round + 1;
+        let mut changed = false;
+        for proc in &program.procedures {
+            let Some(sig) = types.proc(&proc.name) else { continue };
+            let Some(entry) = contexts.get(&proc.name).cloned() else {
+                continue;
+            };
+            let mut warnings = Vec::new();
+            let mut points = Vec::new();
+            let mut counter = 0usize;
+            let exit = record_points(
+                &analyzer,
+                &entry,
+                &proc.body,
+                sig,
+                &mut counter,
+                &mut points,
+                &mut warnings,
+            );
+
+            // Propagate call-site contributions into callee contexts.
+            for site in analyzer.take_call_sites() {
+                let contribution = context_contribution(&site, types);
+                let updated = match contexts.get(&site.callee) {
+                    Some(existing) => existing.join(&contribution),
+                    None => contribution,
+                };
+                let is_new = !contexts.contains_key(&site.callee);
+                if is_new || !contexts[&site.callee].same_as(&updated) {
+                    contexts.insert(site.callee.clone(), updated);
+                    changed = true;
+                }
+            }
+
+            // Function-return summaries feed the next round.
+            if let Some(summary) = return_summary_from_exit(proc, sig, &exit) {
+                let is_change = return_summaries.get(&proc.name) != Some(&summary);
+                if is_change {
+                    return_summaries.insert(proc.name.clone(), summary.clone());
+                    analyzer.set_return_summary(&proc.name, summary);
+                    changed = true;
+                }
+            }
+
+            // The structural classification at exit feeds the caller-side
+            // call transfer in the next round.
+            let prev_exit_kind = analyzer
+                .exit_structures
+                .borrow()
+                .get(&proc.name)
+                .copied();
+            if prev_exit_kind != Some(exit.structure) {
+                analyzer.set_exit_structure(&proc.name, exit.structure);
+                changed = true;
+            }
+
+            procedures.insert(
+                proc.name.clone(),
+                ProcedureAnalysis {
+                    name: proc.name.clone(),
+                    entry,
+                    points,
+                    exit,
+                    warnings,
+                },
+            );
+        }
+        if !changed {
+            break;
+        }
+        // Refresh entries for the next round from the (possibly grown)
+        // contexts.
+        for proc in &program.procedures {
+            if let (Some(_sig), Some(_)) = (types.proc(&proc.name), contexts.get(&proc.name)) {
+                // nothing extra: contexts map is already up to date
+            }
+        }
+    }
+
+    let mut warnings: Vec<StructureWarning> = Vec::new();
+    for analysis in procedures.values() {
+        for w in &analysis.warnings {
+            if !warnings.contains(w) {
+                warnings.push(w.clone());
+            }
+        }
+    }
+    warnings.sort_by(|a, b| (a.procedure.clone(), a.statement.clone()).cmp(&(b.procedure.clone(), b.statement.clone())));
+
+    AnalysisResult {
+        procedures,
+        summaries: analyzer.summaries.clone(),
+        return_summaries,
+        warnings,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_lang::frontend;
+
+    fn analyze(src: &str) -> (AnalysisResult, sil_lang::Program, ProgramTypes) {
+        let (program, types) = frontend(src).unwrap();
+        let result = analyze_program(&program, &types);
+        (result, program, types)
+    }
+
+    #[test]
+    fn figure_7_point_a_matrix() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        let main = result.procedure("main").unwrap();
+        let point_a = main.state_before_call("add_n", 0).unwrap();
+        // pA of Figure 7: root → lside = L1, root → rside = R1, lside and
+        // rside unrelated.
+        assert_eq!(point_a.matrix.get("root", "lside").to_string(), "L1");
+        assert_eq!(point_a.matrix.get("root", "rside").to_string(), "R1");
+        assert!(point_a.matrix.unrelated("lside", "rside"));
+        assert!(point_a.structure.is_tree());
+    }
+
+    #[test]
+    fn figure_7_point_b_matrix() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        let add_n = result.procedure("add_n").expect("add_n was analyzed");
+        let point_b = add_n.state_before_call("add_n", 0).unwrap();
+        // pB of Figure 7: h → l = L1, h → r = R1, l and r unrelated — the
+        // recursive calls may execute in parallel.
+        assert_eq!(point_b.matrix.get("h", "l").to_string(), "L1");
+        assert_eq!(point_b.matrix.get("h", "r").to_string(), "R1");
+        assert!(point_b.matrix.unrelated("l", "r"));
+        // The symbolic caller handles are present and sit above h.
+        let sym = immediate_symbol("h");
+        assert!(point_b.matrix.contains(&sym));
+        assert!(
+            !point_b.matrix.get(&sym, "h").is_empty(),
+            "h* should be related (above) h:\n{}",
+            point_b.matrix.render()
+        );
+        assert!(point_b.matrix.get("h", &sym).is_empty());
+    }
+
+    #[test]
+    fn figure_7_point_c_matrix() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        let reverse = result.procedure("reverse").expect("reverse was analyzed");
+        let point_c = reverse.state_before_call("reverse", 0).unwrap();
+        assert!(point_c.matrix.unrelated("l", "r"));
+        assert_eq!(point_c.matrix.get("h", "l").to_string(), "L1");
+    }
+
+    #[test]
+    fn add_and_reverse_preserves_tree() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        // The temporary DAG inside reverse's swap is reported as a warning…
+        let reverse = result.procedure("reverse").unwrap();
+        assert_eq!(reverse.exit.structure, crate::state::StructureKind::Tree);
+        // …but the structure is a TREE again at procedure exit, and main
+        // finishes with a TREE.
+        let main = result.procedure("main").unwrap();
+        assert!(main.exit.structure.is_tree());
+        assert!(result.rounds <= MAX_ROUNDS);
+    }
+
+    #[test]
+    fn build_function_returns_fresh_tree() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        let build = result.return_summaries.get("build").expect("summary for build");
+        assert!(build.fresh);
+        // and in main, root is unrelated to the loop counter handles
+        let main = result.procedure("main").unwrap();
+        let point = main.state_before("lside := root.left").unwrap();
+        assert!(point.matrix.contains("root"));
+    }
+
+    #[test]
+    fn cycle_creation_is_reported() {
+        let src = r#"
+program bad
+procedure main()
+  t, d: handle
+begin
+  t := new();
+  d := new();
+  t.left := d;
+  d.left := t
+end
+"#;
+        let (result, _, _) = analyze(src);
+        assert!(!result.preserves_tree());
+        assert!(result
+            .warnings
+            .iter()
+            .any(|w| w.kind == crate::state::StructureKind::PossiblyCyclic));
+        let main = result.procedure("main").unwrap();
+        assert_eq!(
+            main.exit.structure,
+            crate::state::StructureKind::PossiblyCyclic
+        );
+    }
+
+    #[test]
+    fn dag_creation_is_reported() {
+        let src = r#"
+program shares
+procedure main()
+  t, u, a: handle
+begin
+  t := new();
+  u := new();
+  a := new();
+  t.left := a;
+  u.left := a
+end
+"#;
+        let (result, _, _) = analyze(src);
+        assert!(result
+            .warnings
+            .iter()
+            .any(|w| w.kind == crate::state::StructureKind::PossiblyDag));
+        let main = result.procedure("main").unwrap();
+        assert_eq!(main.exit.structure, crate::state::StructureKind::PossiblyDag);
+    }
+
+    #[test]
+    fn recursive_context_stabilizes() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        assert!(
+            result.rounds < MAX_ROUNDS,
+            "analysis did not converge early enough ({} rounds)",
+            result.rounds
+        );
+        // every reachable procedure got analyzed
+        for name in ["main", "add_n", "reverse", "build"] {
+            assert!(result.procedure(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn leftmost_loop_analysis() {
+        let (result, _, _) = analyze(sil_lang::testsrc::LEFTMOST_LOOP);
+        let main = result.procedure("main").unwrap();
+        // after the loop (exit state) l is somewhere on the left spine of h
+        let hl = main.exit.matrix.get("h", "l");
+        assert!(!hl.is_empty());
+        assert!(hl.iter().all(|p| p
+            .links()
+            .iter()
+            .all(|l| l.dir == sil_pathmatrix::Dir::Left)));
+        assert!(main.exit.structure.is_tree());
+    }
+
+    #[test]
+    fn unreachable_procedures_are_not_analyzed() {
+        let src = r#"
+program p
+procedure never(t: handle)
+begin
+  t.left := t
+end
+procedure main()
+  x: handle
+begin
+  x := new()
+end
+"#;
+        let (result, _, _) = analyze(src);
+        assert!(result.procedure("never").is_none());
+        assert!(result.preserves_tree(), "dead code raises no warnings");
+    }
+
+    #[test]
+    fn points_have_stable_labels() {
+        let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
+        let main = result.procedure("main").unwrap();
+        assert!(main.points.iter().all(|p| p.label.starts_with("main:")));
+        assert!(main.points.len() >= 6);
+        // the first point is before `i := 4`
+        assert!(main.points[0].statement.contains("i := 4"));
+    }
+}

@@ -1,0 +1,542 @@
+//! Interference between statement sequences (Section 5.3, Figures 9 and 10).
+//!
+//! To decide whether two statement *sequences* `U` and `V` starting at the
+//! same program point may execute in parallel, locations are described
+//! *relative* to the handles `L` that are used before being defined in either
+//! sequence: a relative location is `(name, kind, access-paths)` where
+//! `name ∈ L` and the access paths describe how the touched node is reached
+//! from `name`.  Two relative locations may denote the same memory cell only
+//! if they agree on the base handle and field kind and their access paths may
+//! intersect.
+//!
+//! The result is sound only when the data structure is a TREE at the fork
+//! point (the paper proves this by induction on the height of the tree);
+//! [`sequences_independent`] therefore also checks the structural
+//! classification.  Sequences containing procedure calls or loops are
+//! conservatively reported as interfering — call-level parallelism is
+//! handled by the coarse-grain method of §5.2 instead.
+
+use crate::interference::LocationKind;
+use crate::state::AbstractState;
+use crate::transfer::transfer_stmt;
+use sil_lang::ast::*;
+use sil_lang::basic::BasicStmt;
+use sil_lang::live::used_before_defined;
+use sil_lang::types::ProcSignature;
+use sil_pathmatrix::{Path, PathMatrix, PathSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relative location: a field of the node reached from `base` along one of
+/// the `access` paths (`S` = the node `base` itself), or a variable when
+/// `kind == Var` (then `access` is ignored).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelativeLocation {
+    pub base: String,
+    pub kind: LocationKind,
+    pub access: PathSet,
+}
+
+impl RelativeLocation {
+    pub fn var(name: impl Into<String>) -> RelativeLocation {
+        RelativeLocation {
+            base: name.into(),
+            kind: LocationKind::Var,
+            access: PathSet::singleton(Path::same(sil_pathmatrix::Certainty::Definite)),
+        }
+    }
+
+    pub fn node(
+        base: impl Into<String>,
+        kind: LocationKind,
+        access: PathSet,
+    ) -> RelativeLocation {
+        RelativeLocation {
+            base: base.into(),
+            kind,
+            access,
+        }
+    }
+
+    /// Whether this location and `other` may denote the same memory cell.
+    pub fn may_overlap(&self, other: &RelativeLocation) -> bool {
+        if self.kind != other.kind {
+            return false;
+        }
+        if self.kind == LocationKind::Var {
+            return self.base == other.base;
+        }
+        if self.base != other.base {
+            // Both are described from handles in L; distinct L handles may
+            // still reach the same node only if they are related, which the
+            // caller accounts for by expanding aliases before comparing.
+            return false;
+        }
+        paths_may_intersect(&self.access, &other.access)
+    }
+}
+
+impl fmt::Display for RelativeLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == LocationKind::Var {
+            write!(f, "({},var)", self.base)
+        } else {
+            write!(f, "({},{},{})", self.base, self.kind, self.access)
+        }
+    }
+}
+
+/// Whether two access-path sets may describe a common node.
+pub fn paths_may_intersect(a: &PathSet, b: &PathSet) -> bool {
+    a.iter().any(|p| b.iter().any(|q| path_may_equal(p, q)))
+}
+
+/// Whether two paths (from the same base handle) may lead to the same node.
+fn path_may_equal(p: &Path, q: &Path) -> bool {
+    match (p.is_same(), q.is_same()) {
+        (true, true) => true,
+        (true, false) | (false, true) => false,
+        (false, false) => {
+            // Provably different first edges means provably different subtrees
+            // (in a TREE).
+            if let (Some(lp), Some(lq)) = (p.first_link(), q.first_link()) {
+                use sil_pathmatrix::Dir;
+                if lp.dir != Dir::Down && lq.dir != Dir::Down && lp.dir != lq.dir {
+                    return false;
+                }
+            }
+            // Otherwise require the length intervals to intersect.
+            let (pmin, pmax) = (p.min_len(), p.max_len());
+            let (qmin, qmax) = (q.min_len(), q.max_len());
+            let upper_ok_p = pmax.map_or(true, |m| m >= qmin);
+            let upper_ok_q = qmax.map_or(true, |m| m >= pmin);
+            upper_ok_p && upper_ok_q
+        }
+    }
+}
+
+/// The relative alias function `A^r(h, kind, L, p)`: the locations, described
+/// from the handles in `L`, that may be aliased to the `kind` field of the
+/// node named by `h`.
+pub fn relative_alias(
+    h: &str,
+    kind: LocationKind,
+    live: &BTreeSet<String>,
+    matrix: &PathMatrix,
+) -> Vec<RelativeLocation> {
+    let mut out = Vec::new();
+    for l in live {
+        let entry = if l == h {
+            PathSet::singleton(Path::same(sil_pathmatrix::Certainty::Definite))
+        } else {
+            matrix.get(l, h)
+        };
+        if !entry.is_empty() {
+            out.push(RelativeLocation::node(l.clone(), kind, entry));
+        }
+    }
+    if out.is_empty() {
+        // The node is not describable from L (e.g. freshly allocated inside
+        // the sequence): fall back to an unknown access from every live
+        // handle, which is conservative.
+        for l in live {
+            out.push(RelativeLocation::node(
+                l.clone(),
+                kind,
+                crate::transfer::unknown_relation(),
+            ));
+        }
+    }
+    out
+}
+
+/// The relative read set `R^r(s, p, L)` (Figure 10, extended to value and
+/// scalar statements).
+pub fn relative_read_set(
+    stmt: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    live: &BTreeSet<String>,
+) -> Vec<RelativeLocation> {
+    let mut out = Vec::new();
+    let Some(basic) = BasicStmt::classify(stmt, sig) else {
+        if let Stmt::If { cond, .. } | Stmt::While { cond, .. } = stmt {
+            for v in cond.variables() {
+                out.push(RelativeLocation::var(v));
+            }
+        }
+        return out;
+    };
+    match basic {
+        BasicStmt::AssignNil { .. } | BasicStmt::AssignNew { .. } => {}
+        BasicStmt::AssignCopy { src, .. } => out.push(RelativeLocation::var(src)),
+        BasicStmt::AssignLoad { src, field, .. } => {
+            out.push(RelativeLocation::var(src));
+            out.extend(relative_alias(
+                src,
+                LocationKind::of_field(field),
+                live,
+                matrix,
+            ));
+        }
+        BasicStmt::StoreField { dst, src, .. } => {
+            out.push(RelativeLocation::var(dst));
+            out.push(RelativeLocation::var(src));
+        }
+        BasicStmt::StoreFieldNil { dst, .. } => out.push(RelativeLocation::var(dst)),
+        BasicStmt::ValueLoad { src, .. } => {
+            out.push(RelativeLocation::var(src));
+            out.extend(relative_alias(src, LocationKind::Value, live, matrix));
+        }
+        BasicStmt::ValueStore { dst, value } => {
+            out.push(RelativeLocation::var(dst));
+            collect_expr_relative_reads(value, sig, matrix, live, &mut out);
+        }
+        BasicStmt::ScalarAssign { value, .. } => {
+            collect_expr_relative_reads(value, sig, matrix, live, &mut out);
+        }
+        BasicStmt::FuncAssign { args, .. } | BasicStmt::ProcCall { args, .. } => {
+            for a in args {
+                collect_expr_relative_reads(a, sig, matrix, live, &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn collect_expr_relative_reads(
+    e: &Expr,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    live: &BTreeSet<String>,
+    out: &mut Vec<RelativeLocation>,
+) {
+    match e {
+        Expr::Int(_) | Expr::Nil => {}
+        Expr::Path(p) => {
+            out.push(RelativeLocation::var(p.base.clone()));
+            if let Some(field) = p.fields.first() {
+                out.extend(relative_alias(
+                    &p.base,
+                    LocationKind::of_field(*field),
+                    live,
+                    matrix,
+                ));
+            }
+        }
+        Expr::Value(p) => {
+            out.push(RelativeLocation::var(p.base.clone()));
+            out.extend(relative_alias(&p.base, LocationKind::Value, live, matrix));
+        }
+        Expr::Unary(_, inner) => collect_expr_relative_reads(inner, sig, matrix, live, out),
+        Expr::Binary(_, l, r) => {
+            collect_expr_relative_reads(l, sig, matrix, live, out);
+            collect_expr_relative_reads(r, sig, matrix, live, out);
+        }
+    }
+}
+
+/// The relative write set `W^r(s, p, L)` (Figure 10).
+pub fn relative_write_set(
+    stmt: &Stmt,
+    sig: &ProcSignature,
+    matrix: &PathMatrix,
+    live: &BTreeSet<String>,
+) -> Vec<RelativeLocation> {
+    let mut out = Vec::new();
+    let Some(basic) = BasicStmt::classify(stmt, sig) else {
+        return out;
+    };
+    match basic {
+        BasicStmt::AssignNil { dst }
+        | BasicStmt::AssignNew { dst }
+        | BasicStmt::AssignCopy { dst, .. }
+        | BasicStmt::AssignLoad { dst, .. }
+        | BasicStmt::ValueLoad { dst, .. }
+        | BasicStmt::ScalarAssign { dst, .. }
+        | BasicStmt::FuncAssign { dst, .. } => out.push(RelativeLocation::var(dst)),
+        BasicStmt::StoreField { dst, field, .. } | BasicStmt::StoreFieldNil { dst, field } => {
+            out.extend(relative_alias(
+                dst,
+                LocationKind::of_field(field),
+                live,
+                matrix,
+            ));
+        }
+        BasicStmt::ValueStore { dst, .. } => {
+            out.extend(relative_alias(dst, LocationKind::Value, live, matrix));
+        }
+        BasicStmt::ProcCall { .. } => {}
+    }
+    out
+}
+
+/// A conflict found between the two sequences.
+#[derive(Debug, Clone)]
+pub struct SequenceConflict {
+    pub from_u: RelativeLocation,
+    pub from_v: RelativeLocation,
+}
+
+impl fmt::Display for SequenceConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ↯ {}", self.from_u, self.from_v)
+    }
+}
+
+/// Whether a sequence consists purely of basic (non-call) simple statements.
+fn is_basic_sequence(stmts: &[Stmt], sig: &ProcSignature) -> bool {
+    stmts.iter().all(|s| {
+        matches!(
+            BasicStmt::classify(s, sig),
+            Some(b) if !matches!(b, BasicStmt::ProcCall { .. } | BasicStmt::FuncAssign { .. })
+        )
+    })
+}
+
+/// Compute the matrices `p1..pn` before each statement of a basic-statement
+/// sequence executed from `entry`.
+fn matrices_through(
+    entry: &AbstractState,
+    stmts: &[Stmt],
+    sig: &ProcSignature,
+) -> Vec<PathMatrix> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut current = entry.clone();
+    let mut warnings = Vec::new();
+    for s in stmts {
+        out.push(current.matrix.clone());
+        current = transfer_stmt(&current, s, sig, &mut warnings);
+    }
+    out
+}
+
+/// The relative interference set `I^r(U, P, V, Q, L)` of §5.3.
+pub fn relative_interference(
+    u: &[Stmt],
+    v: &[Stmt],
+    entry: &AbstractState,
+    sig: &ProcSignature,
+) -> Vec<SequenceConflict> {
+    let block_u = Stmt::block(u.to_vec());
+    let block_v = Stmt::block(v.to_vec());
+    let mut live: BTreeSet<String> = used_before_defined(&block_u);
+    live.extend(used_before_defined(&block_v));
+    // restrict to handles
+    live.retain(|n| sig.is_handle(n));
+
+    let pu = matrices_through(entry, u, sig);
+    let pv = matrices_through(entry, v, sig);
+
+    let mut reads_u = Vec::new();
+    let mut writes_u = Vec::new();
+    for (s, m) in u.iter().zip(pu.iter()) {
+        reads_u.extend(relative_read_set(s, sig, m, &live));
+        writes_u.extend(relative_write_set(s, sig, m, &live));
+    }
+    let mut reads_v = Vec::new();
+    let mut writes_v = Vec::new();
+    for (s, m) in v.iter().zip(pv.iter()) {
+        reads_v.extend(relative_read_set(s, sig, m, &live));
+        writes_v.extend(relative_write_set(s, sig, m, &live));
+    }
+
+    let mut conflicts = Vec::new();
+    for w in &writes_u {
+        for other in reads_v.iter().chain(writes_v.iter()) {
+            if w.may_overlap(other) {
+                conflicts.push(SequenceConflict {
+                    from_u: w.clone(),
+                    from_v: other.clone(),
+                });
+            }
+        }
+    }
+    for w in &writes_v {
+        for other in reads_u.iter().chain(writes_u.iter()) {
+            if w.may_overlap(other) {
+                conflicts.push(SequenceConflict {
+                    from_u: other.clone(),
+                    from_v: w.clone(),
+                });
+            }
+        }
+    }
+    conflicts
+}
+
+/// Whether the statement sequences `U` and `V`, started from the same
+/// program point with abstract state `entry`, may safely execute in parallel
+/// (`U || V`).
+///
+/// Requirements for a positive answer (all checked):
+/// * the data structure is a TREE at the fork point (§5.3's soundness
+///   condition),
+/// * both sequences consist of basic non-call statements (call-level
+///   parallelism is §5.2's job),
+/// * the relative interference set is empty.
+pub fn sequences_independent(
+    u: &[Stmt],
+    v: &[Stmt],
+    entry: &AbstractState,
+    sig: &ProcSignature,
+) -> bool {
+    if !entry.structure.is_tree() {
+        return false;
+    }
+    if !is_basic_sequence(u, sig) || !is_basic_sequence(v, sig) {
+        return false;
+    }
+    relative_interference(u, v, entry, sig).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StructureKind;
+    use sil_lang::parser::parse_stmt;
+    use sil_lang::types::Type;
+    use sil_pathmatrix::{exact, Dir};
+    use std::collections::HashMap;
+
+    fn sig(handles: &[&str], ints: &[&str]) -> ProcSignature {
+        let mut vars = HashMap::new();
+        for h in handles {
+            vars.insert(h.to_string(), Type::Handle);
+        }
+        for i in ints {
+            vars.insert(i.to_string(), Type::Int);
+        }
+        ProcSignature {
+            name: "test".into(),
+            params: vec![],
+            return_type: None,
+            vars,
+        }
+    }
+
+    fn stmts(srcs: &[&str]) -> Vec<Stmt> {
+        srcs.iter().map(|s| parse_stmt(s).unwrap()).collect()
+    }
+
+    /// The canonical §5.3 example: working on the two disjoint subtrees of a
+    /// tree `t` in parallel.
+    #[test]
+    fn disjoint_subtree_sequences_are_independent() {
+        let s = sig(&["t", "a", "b"], &["x", "y"]);
+        let entry = AbstractState::with_handles(["t"]);
+        let u = stmts(&["a := t.left", "x := a.value", "a.value := x + 1"]);
+        let v = stmts(&["b := t.right", "y := b.value", "b.value := y + 1"]);
+        assert!(sequences_independent(&u, &v, &entry, &s));
+        assert!(relative_interference(&u, &v, &entry, &s).is_empty());
+    }
+
+    #[test]
+    fn same_subtree_sequences_interfere() {
+        let s = sig(&["t", "a", "b"], &["x", "y"]);
+        let entry = AbstractState::with_handles(["t"]);
+        let u = stmts(&["a := t.left", "a.value := 1"]);
+        let v = stmts(&["b := t.left", "y := b.value"]);
+        assert!(!sequences_independent(&u, &v, &entry, &s));
+        let conflicts = relative_interference(&u, &v, &entry, &s);
+        assert!(!conflicts.is_empty());
+        // the conflict is on the value field reached through t.left from both sides
+        assert!(conflicts
+            .iter()
+            .any(|c| c.from_u.kind == LocationKind::Value && c.from_u.base == "t"));
+    }
+
+    #[test]
+    fn variable_conflicts_are_detected() {
+        let s = sig(&["t", "a"], &["x"]);
+        let entry = AbstractState::with_handles(["t"]);
+        let u = stmts(&["x := 1"]);
+        let v = stmts(&["x := 2"]);
+        assert!(!sequences_independent(&u, &v, &entry, &s));
+        // writing different variables is fine
+        let v2 = stmts(&["a := t.left"]);
+        assert!(sequences_independent(&u, &v2, &entry, &s));
+    }
+
+    #[test]
+    fn structural_update_in_one_subtree_is_independent_of_the_other() {
+        let s = sig(&["t", "a", "b", "c"], &[]);
+        let entry = AbstractState::with_handles(["t"]);
+        // U reverses the children below t.left; V only reads t.right's value field.
+        let u = stmts(&["a := t.left", "c := a.left", "a.left := nil", "a.right := c"]);
+        let v = stmts(&["b := t.right", "b.value := 3"]);
+        assert!(sequences_independent(&u, &v, &entry, &s));
+    }
+
+    #[test]
+    fn structural_update_conflicts_with_read_of_same_field() {
+        let s = sig(&["t", "a", "b"], &[]);
+        let entry = AbstractState::with_handles(["t"]);
+        let u = stmts(&["a := t.left", "a.left := nil"]);
+        let v = stmts(&["b := t.left", "b := b.left"]);
+        assert!(!sequences_independent(&u, &v, &entry, &s));
+    }
+
+    #[test]
+    fn non_tree_fork_point_refuses() {
+        let s = sig(&["t", "a", "b"], &[]);
+        let mut entry = AbstractState::with_handles(["t"]);
+        entry.degrade_structure(StructureKind::PossiblyDag);
+        let u = stmts(&["a := t.left", "a.value := 1"]);
+        let v = stmts(&["b := t.right", "b.value := 2"]);
+        assert!(!sequences_independent(&u, &v, &entry, &s));
+    }
+
+    #[test]
+    fn sequences_with_calls_are_conservative() {
+        let s = sig(&["t", "a", "b"], &[]);
+        let entry = AbstractState::with_handles(["t"]);
+        let u = stmts(&["visit(t)"]);
+        let v = stmts(&["b := t.right"]);
+        assert!(!sequences_independent(&u, &v, &entry, &s));
+    }
+
+    #[test]
+    fn relative_alias_describes_node_from_live_handles() {
+        let s = sig(&["t", "a"], &[]);
+        let _ = &s;
+        let mut m = PathMatrix::with_handles(["t", "a"]);
+        m.set("t", "a", PathSet::singleton(exact(Dir::Left, 1)));
+        let live: BTreeSet<String> = BTreeSet::from(["t".to_string()]);
+        let locs = relative_alias("a", LocationKind::Value, &live, &m);
+        assert_eq!(locs.len(), 1);
+        assert_eq!(locs[0].base, "t");
+        assert_eq!(locs[0].access.to_string(), "L1");
+    }
+
+    #[test]
+    fn path_overlap_rules() {
+        use sil_pathmatrix::{at_least, same};
+        // same vs same: overlap
+        assert!(path_may_equal(&same(), &same()));
+        // same vs strict descendant: no overlap
+        assert!(!path_may_equal(&same(), &exact(Dir::Left, 1)));
+        // L1 vs R1: provably different subtrees
+        assert!(!path_may_equal(&exact(Dir::Left, 1), &exact(Dir::Right, 1)));
+        // L1 vs L1: may be the same node
+        assert!(path_may_equal(&exact(Dir::Left, 1), &exact(Dir::Left, 1)));
+        // L1 vs L2: different depths, cannot be the same node
+        assert!(!path_may_equal(&exact(Dir::Left, 1), &exact(Dir::Left, 2)));
+        // L1 vs D+: lengths intersect and directions are compatible
+        assert!(path_may_equal(&exact(Dir::Left, 1), &at_least(Dir::Down, 1)));
+        // R2 vs L+: first edges provably diverge
+        assert!(!path_may_equal(&exact(Dir::Right, 2), &at_least(Dir::Left, 1)));
+    }
+
+    #[test]
+    fn figure_9_transform_u_v_to_parallel() {
+        // Figure 9: it is safe to run U || V when the relative interference
+        // set is empty.  Build the two halves of add_n's parallel statement
+        // as sequences.
+        let s = sig(&["h", "l", "r"], &["n"]);
+        let entry = AbstractState::with_handles(["h"]);
+        let u = stmts(&["l := h.left", "l.value := n"]);
+        let v = stmts(&["r := h.right", "r.value := n"]);
+        assert!(sequences_independent(&u, &v, &entry, &s));
+    }
+}

@@ -1,0 +1,496 @@
+//! Statement and call packing (Figure 4, §5.1 and §5.2).
+//!
+//! Within every block the pass walks the statements in order, incrementally
+//! growing a group of simple statements (assignments and procedure calls)
+//! that are pairwise non-interfering with respect to the path matrix at the
+//! point just before the group.  When a statement interferes with the group
+//! (or a compound statement is reached) the group is flushed: groups of two
+//! or more statements become a single parallel statement `s1 || ... || sn`.
+//!
+//! Interference between two basic statements uses the interference set of
+//! §5.1; interference involving procedure calls uses the coarse-grain
+//! argument-relatedness method of §5.2 (refined by read-only/update argument
+//! classification).
+
+use crate::report::{TransformKind, TransformRecord, TransformReport};
+use sil_analysis::interference::{statements_independent, touches_node_locations};
+use sil_analysis::state::AbstractState;
+use sil_analysis::summary::ProcSummary;
+use sil_analysis::transfer::Analyzer;
+use sil_analysis::{analyze_program, AnalysisResult};
+use sil_lang::ast::*;
+use sil_lang::pretty::pretty_stmt;
+use sil_lang::types::{ProcSignature, ProgramTypes};
+use std::collections::HashMap;
+
+/// Options controlling the packing pass.
+#[derive(Debug, Clone)]
+pub struct PackOptions {
+    /// Pack basic statements (§5.1).
+    pub pack_statements: bool,
+    /// Pack procedure calls (§5.2).
+    pub pack_calls: bool,
+    /// Maximum number of arms in one parallel statement (0 = unlimited).
+    pub max_arms: usize,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        PackOptions {
+            pack_statements: true,
+            pack_calls: true,
+            max_arms: 0,
+        }
+    }
+}
+
+/// Run the packing pass over every (reachable) procedure of `program`.
+pub fn pack_program(
+    program: &Program,
+    types: &ProgramTypes,
+    options: &PackOptions,
+) -> (Program, TransformReport) {
+    let analysis = analyze_program(program, types);
+    pack_program_with_analysis(program, types, &analysis, options)
+}
+
+/// Run the packing pass re-using an existing whole-program analysis.
+pub fn pack_program_with_analysis(
+    program: &Program,
+    types: &ProgramTypes,
+    analysis: &AnalysisResult,
+    options: &PackOptions,
+) -> (Program, TransformReport) {
+    let mut analyzer = Analyzer::new(program, types);
+    analyzer.set_record_calls(false);
+    let mut report = TransformReport::default();
+    let mut procedures = Vec::with_capacity(program.procedures.len());
+    for proc in &program.procedures {
+        let Some(sig) = types.proc(&proc.name) else {
+            procedures.push(proc.clone());
+            continue;
+        };
+        let entry = analysis
+            .procedure(&proc.name)
+            .map(|a| a.entry.clone())
+            .unwrap_or_default();
+        let packer = Packer {
+            analyzer: &analyzer,
+            sig,
+            summaries: &analyzer.summaries,
+            options,
+            report: &mut report,
+        };
+        let body = packer.pack(proc.body.clone(), &entry);
+        procedures.push(Procedure {
+            body,
+            ..proc.clone()
+        });
+    }
+    (
+        Program {
+            name: program.name.clone(),
+            procedures,
+            span: program.span,
+        },
+        report,
+    )
+}
+
+struct Packer<'a, 'r> {
+    analyzer: &'a Analyzer<'a>,
+    sig: &'a ProcSignature,
+    summaries: &'a HashMap<String, ProcSummary>,
+    options: &'a PackOptions,
+    report: &'r mut TransformReport,
+}
+
+impl Packer<'_, '_> {
+    /// Whether a statement is eligible to join a parallel group at all.
+    fn eligible(&self, stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::Assign { .. } => self.options.pack_statements,
+            Stmt::Call { .. } => self.options.pack_calls,
+            _ => false,
+        }
+    }
+
+    fn pack(mut self, stmt: Stmt, state: &AbstractState) -> Stmt {
+        self.pack_stmt(stmt, state)
+    }
+
+    fn pack_stmt(&mut self, stmt: Stmt, state: &AbstractState) -> Stmt {
+        match stmt {
+            Stmt::Block { stmts, span } => Stmt::Block {
+                stmts: self.pack_block(stmts, state),
+                span,
+            },
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Stmt::If {
+                cond,
+                then_branch: Box::new(self.pack_stmt(*then_branch, state)),
+                else_branch: else_branch.map(|e| Box::new(self.pack_stmt(*e, state))),
+                span,
+            },
+            Stmt::While { cond, body, span } => {
+                // The loop body is packed under the loop invariant state.
+                let mut warnings = Vec::new();
+                let original = Stmt::While {
+                    cond: cond.clone(),
+                    body: body.clone(),
+                    span,
+                };
+                let invariant = self
+                    .analyzer
+                    .transfer(state, &original, self.sig, &mut warnings);
+                Stmt::While {
+                    cond,
+                    body: Box::new(self.pack_stmt(*body, &invariant)),
+                    span,
+                }
+            }
+            Stmt::Par { arms, span } => Stmt::Par {
+                arms: arms
+                    .into_iter()
+                    .map(|a| self.pack_stmt(a, state))
+                    .collect(),
+                span,
+            },
+            simple => simple,
+        }
+    }
+
+    fn pack_block(&mut self, stmts: Vec<Stmt>, entry: &AbstractState) -> Vec<Stmt> {
+        let mut warnings = Vec::new();
+        let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+        let mut current = entry.clone();
+
+        // The group being grown, plus the state at the point just before it.
+        let mut group: Vec<Stmt> = Vec::new();
+        let mut group_state = current.clone();
+
+        macro_rules! flush {
+            ($self:ident, $group:ident, $group_state:ident, $out:ident) => {
+                if !$group.is_empty() {
+                    if $group.len() >= 2 {
+                        $self.record_group(&$group, &$group_state);
+                        $out.push(Stmt::par(std::mem::take(&mut $group)));
+                    } else {
+                        $out.append(&mut $group);
+                    }
+                }
+            };
+        }
+
+        for stmt in stmts {
+            let state_before = current.clone();
+            // Advance the analysis past this statement regardless of how it
+            // will be placed.
+            current = self
+                .analyzer
+                .transfer(&current, &stmt, self.sig, &mut warnings);
+
+            // Compound statements are packed recursively and break any group.
+            if !self.eligible(&stmt) {
+                flush!(self, group, group_state, out);
+                let packed = self.pack_stmt(stmt, &state_before);
+                out.push(packed);
+                group_state = current.clone();
+                continue;
+            }
+
+            if group.is_empty() {
+                group_state = state_before;
+                group.push(stmt);
+                continue;
+            }
+
+            let arms_full =
+                self.options.max_arms != 0 && group.len() >= self.options.max_arms;
+            let mut candidate: Vec<&Stmt> = group.iter().collect();
+            candidate.push(&stmt);
+            // The disjointness guarantees behind the interference analysis
+            // (§3.1) require the structure to be a TREE; when it may be a
+            // DAG or cyclic, only variable-level statements may be grouped.
+            let structure_ok = group_state.structure.is_tree()
+                || candidate
+                    .iter()
+                    .all(|s| !touches_node_locations(s, self.sig));
+            let independent = !arms_full
+                && structure_ok
+                && statements_independent(
+                    &candidate,
+                    self.sig,
+                    &group_state.matrix,
+                    self.summaries,
+                );
+            if independent {
+                group.push(stmt);
+            } else {
+                flush!(self, group, group_state, out);
+                group_state = state_before;
+                group.push(stmt);
+            }
+        }
+        flush!(self, group, group_state, out);
+        out
+    }
+
+    fn record_group(&mut self, group: &[Stmt], state: &AbstractState) {
+        let arms: Vec<String> = group.iter().map(pretty_stmt).collect();
+        let call_count = group
+            .iter()
+            .filter(|s| matches!(s, Stmt::Call { .. }))
+            .count();
+        let kind = if call_count == group.len() {
+            TransformKind::CallPacking
+        } else if call_count == 0 {
+            TransformKind::StatementPacking
+        } else {
+            TransformKind::MixedPacking
+        };
+        let justification = match kind {
+            TransformKind::CallPacking => format!(
+                "the update arguments of each call are unrelated to the arguments of the others \
+                 in the path matrix at this point ({} relations)",
+                state.matrix.relation_count()
+            ),
+            _ => "the pairwise interference sets are empty at this program point".to_string(),
+        };
+        self.report.records.push(TransformRecord {
+            procedure: self.sig.name.clone(),
+            kind,
+            arms,
+            justification,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_lang::frontend;
+    use sil_lang::pretty::pretty_program;
+    use sil_lang::visit::collect_simple_stmts;
+
+    fn parallelize(src: &str) -> (Program, TransformReport) {
+        let (program, types) = frontend(src).unwrap();
+        pack_program(&program, &types, &PackOptions::default())
+    }
+
+    /// Figure 8: the automatically parallelized add_and_reverse program.
+    #[test]
+    fn figure_8_add_and_reverse() {
+        let (parallel, report) = parallelize(sil_lang::testsrc::ADD_AND_REVERSE);
+        let printed = pretty_program(&parallel);
+
+        // main: the two loads and the two add_n calls are parallelized.
+        assert!(
+            printed.contains("lside := root.left || rside := root.right"),
+            "{printed}"
+        );
+        assert!(
+            printed.contains("add_n(lside, 1) || add_n(rside, -1)"),
+            "{printed}"
+        );
+        // reverse(root) must stay sequential (root is related to both sides).
+        assert!(!printed.contains("add_n(rside, -1) || reverse(root)"), "{printed}");
+        assert!(!printed.contains("reverse(root) ||"), "{printed}");
+
+        // add_n: value update and the two loads in parallel; the two
+        // recursive calls in parallel.
+        assert!(
+            printed.contains("h.value := h.value + n || l := h.left || r := h.right"),
+            "{printed}"
+        );
+        assert!(printed.contains("add_n(l, n) || add_n(r, n)"), "{printed}");
+
+        // reverse: the two loads, the two recursive calls, and the two stores
+        // each form a parallel statement.
+        assert!(printed.contains("l := h.left || r := h.right"), "{printed}");
+        assert!(printed.contains("reverse(l) || reverse(r)"), "{printed}");
+        assert!(printed.contains("h.left := r || h.right := l"), "{printed}");
+
+        // And the report documents every group.
+        assert!(report.count() >= 6, "{report}");
+        assert!(report.count_of(TransformKind::CallPacking) >= 3, "{report}");
+        assert!(!report.for_procedure("add_n").is_empty());
+    }
+
+    #[test]
+    fn parallel_output_reparses_and_typechecks() {
+        let (parallel, _) = parallelize(sil_lang::testsrc::ADD_AND_REVERSE);
+        let printed = pretty_program(&parallel);
+        let (reparsed, _types) = frontend(&printed).expect("parallel output is valid SIL");
+        assert!(reparsed.procedure("add_n").unwrap().body.has_par());
+    }
+
+    #[test]
+    fn packing_preserves_statement_multiset() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let (parallel, _) = pack_program(&program, &types, &PackOptions::default());
+        for (orig, new) in program.procedures.iter().zip(parallel.procedures.iter()) {
+            let mut orig_stmts: Vec<String> = collect_simple_stmts(&orig.body)
+                .iter()
+                .map(|s| pretty_stmt(s))
+                .collect();
+            let mut new_stmts: Vec<String> = collect_simple_stmts(&new.body)
+                .iter()
+                .map(|s| pretty_stmt(s))
+                .collect();
+            orig_stmts.sort();
+            new_stmts.sort();
+            assert_eq!(orig_stmts, new_stmts, "statements must be preserved");
+        }
+    }
+
+    #[test]
+    fn dependent_statements_are_not_packed() {
+        let src = r#"
+program dep
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := a;
+  c := b
+end
+"#;
+        let (parallel, report) = parallelize(src);
+        // every statement depends on the previous one
+        assert!(!parallel.procedure("main").unwrap().body.has_par());
+        assert_eq!(report.count(), 0);
+    }
+
+    #[test]
+    fn independent_news_are_packed() {
+        let src = r#"
+program indep
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := new();
+  c := new()
+end
+"#;
+        let (parallel, report) = parallelize(src);
+        assert!(parallel.procedure("main").unwrap().body.has_par());
+        assert_eq!(report.count(), 1);
+        assert_eq!(report.records[0].arms.len(), 3);
+    }
+
+    #[test]
+    fn interfering_calls_are_not_packed() {
+        // both calls update overlapping parts of the same tree
+        let src = r#"
+program conflict
+procedure bump(t: handle)
+  l: handle
+begin
+  if t <> nil then
+  begin
+    t.value := t.value + 1;
+    l := t.left;
+    bump(l)
+  end
+end
+procedure main()
+  root, sub: handle
+begin
+  root := new();
+  sub := root.left;
+  bump(root);
+  bump(sub)
+end
+"#;
+        let (parallel, report) = parallelize(src);
+        let main = parallel.procedure("main").unwrap();
+        let printed = sil_lang::pretty::pretty_procedure(main);
+        assert!(!printed.contains("bump(root) || bump(sub)"), "{printed}");
+        assert_eq!(report.count_of(TransformKind::CallPacking), 0, "{report}");
+    }
+
+    #[test]
+    fn read_only_calls_on_related_handles_are_packed() {
+        let src = r#"
+program reads
+function sum(t: handle) int
+  l, r: handle; s, a, b: int
+begin
+  s := 0;
+  if t <> nil then
+  begin
+    l := t.left;
+    r := t.right;
+    a := sum(l);
+    b := sum(r);
+    s := t.value + a + b
+  end
+end
+return (s)
+procedure main()
+  root, sub: handle; x, y: int
+begin
+  root := new();
+  sub := root.left;
+  x := sum(root);
+  y := sum(sub)
+end
+"#;
+        let (_parallel, report) = parallelize(src);
+        // The two recursive sum calls inside `sum` are function-call
+        // *assignments* whose results feed the same expression; they write
+        // different scalars and read disjoint subtrees, so they pack.
+        assert!(
+            report
+                .for_procedure("sum")
+                .iter()
+                .any(|r| r.arms.iter().any(|a| a.contains("sum(l)"))
+                    && r.arms.iter().any(|a| a.contains("sum(r)"))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn max_arms_limits_group_size() {
+        let src = r#"
+program wide
+procedure main()
+  a, b, c, d: handle
+begin
+  a := new();
+  b := new();
+  c := new();
+  d := new()
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let options = PackOptions {
+            max_arms: 2,
+            ..PackOptions::default()
+        };
+        let (_, report) = pack_program(&program, &types, &options);
+        assert_eq!(report.count(), 2);
+        assert!(report.records.iter().all(|r| r.arms.len() <= 2));
+    }
+
+    #[test]
+    fn disabling_call_packing_keeps_calls_sequential() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let options = PackOptions {
+            pack_calls: false,
+            ..PackOptions::default()
+        };
+        let (parallel, report) = pack_program(&program, &types, &options);
+        let printed = pretty_program(&parallel);
+        assert!(!printed.contains("add_n(l, n) || add_n(r, n)"));
+        assert_eq!(report.count_of(TransformKind::CallPacking), 0);
+        // statement packing still happens
+        assert!(printed.contains("l := h.left || r := h.right"), "{printed}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Transformation reports: what was parallelized, where, and why.
+
+use std::fmt;
+
+/// The kind of transformation that was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// §5.1: several basic statements packed into one parallel statement.
+    StatementPacking,
+    /// §5.2: procedure calls packed into one parallel statement.
+    CallPacking,
+    /// §5.1 + §5.2: a mix of calls and basic statements packed together.
+    MixedPacking,
+    /// §5.3: a statement sequence split into two parallel halves.
+    SequenceSplit,
+}
+
+impl fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformKind::StatementPacking => write!(f, "statement packing (§5.1)"),
+            TransformKind::CallPacking => write!(f, "call packing (§5.2)"),
+            TransformKind::MixedPacking => write!(f, "mixed packing (§5.1+§5.2)"),
+            TransformKind::SequenceSplit => write!(f, "sequence split (§5.3)"),
+        }
+    }
+}
+
+/// One applied transformation.
+#[derive(Debug, Clone)]
+pub struct TransformRecord {
+    /// The procedure the transformation occurred in.
+    pub procedure: String,
+    /// What kind of transformation.
+    pub kind: TransformKind,
+    /// Pretty-printed arms of the resulting parallel statement.
+    pub arms: Vec<String>,
+    /// Why the transformation is safe (e.g. "interference set empty",
+    /// "handle arguments unrelated").
+    pub justification: String,
+}
+
+impl fmt::Display for TransformRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] in `{}`:", self.kind, self.procedure)?;
+        writeln!(f, "    {}", self.arms.join(" || "))?;
+        write!(f, "    because {}", self.justification)
+    }
+}
+
+/// The full report of a parallelization run.
+#[derive(Debug, Clone, Default)]
+pub struct TransformReport {
+    pub records: Vec<TransformRecord>,
+}
+
+impl TransformReport {
+    /// Number of parallel statements introduced.
+    pub fn count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of parallel statements of a given kind.
+    pub fn count_of(&self, kind: TransformKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Records for one procedure.
+    pub fn for_procedure(&self, name: &str) -> Vec<&TransformRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.procedure == name)
+            .collect()
+    }
+
+    /// Total number of statements now running in parallel arms.
+    pub fn total_parallel_arms(&self) -> usize {
+        self.records.iter().map(|r| r.arms.len()).sum()
+    }
+}
+
+impl fmt::Display for TransformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.records.is_empty() {
+            return writeln!(f, "no parallelism detected");
+        }
+        writeln!(f, "{} parallel statement(s) introduced:", self.records.len())?;
+        for r in &self.records {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: TransformKind) -> TransformRecord {
+        TransformRecord {
+            procedure: "main".into(),
+            kind,
+            arms: vec!["a := b.left".into(), "c := b.right".into()],
+            justification: "interference set is empty".into(),
+        }
+    }
+
+    #[test]
+    fn report_counts() {
+        let mut report = TransformReport::default();
+        report.records.push(record(TransformKind::StatementPacking));
+        report.records.push(record(TransformKind::CallPacking));
+        report.records.push(record(TransformKind::CallPacking));
+        assert_eq!(report.count(), 3);
+        assert_eq!(report.count_of(TransformKind::CallPacking), 2);
+        assert_eq!(report.count_of(TransformKind::SequenceSplit), 0);
+        assert_eq!(report.for_procedure("main").len(), 3);
+        assert_eq!(report.for_procedure("other").len(), 0);
+        assert_eq!(report.total_parallel_arms(), 6);
+    }
+
+    #[test]
+    fn display_mentions_kind_and_arms() {
+        let r = record(TransformKind::StatementPacking);
+        let s = r.to_string();
+        assert!(s.contains("5.1"));
+        assert!(s.contains("a := b.left || c := b.right"));
+        let empty = TransformReport::default();
+        assert!(empty.to_string().contains("no parallelism"));
+    }
+}

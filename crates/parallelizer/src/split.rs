@@ -1,0 +1,314 @@
+//! Sequence splitting (§5.3, Figure 9): transform `U; V` into `U || V`.
+//!
+//! Within each block the pass looks at maximal runs of basic (non-call)
+//! statements and tries to divide them into two contiguous halves whose
+//! relative interference set is empty.  Split points are tried from the
+//! middle outwards so the two arms are as balanced as possible (the point of
+//! the transformation is to create coarse-grain parallelism).
+
+use crate::report::{TransformKind, TransformRecord, TransformReport};
+use sil_analysis::sequences::sequences_independent;
+use sil_analysis::state::AbstractState;
+use sil_analysis::transfer::Analyzer;
+use sil_analysis::{analyze_program, AnalysisResult};
+use sil_lang::ast::*;
+use sil_lang::basic::BasicStmt;
+use sil_lang::pretty::pretty_stmt;
+use sil_lang::types::{ProcSignature, ProgramTypes};
+
+/// Minimum number of statements in a run before a split is attempted.
+pub const MIN_RUN: usize = 4;
+
+/// Run the sequence-splitting pass over every procedure.
+pub fn split_program(program: &Program, types: &ProgramTypes) -> (Program, TransformReport) {
+    let analysis = analyze_program(program, types);
+    split_program_with_analysis(program, types, &analysis)
+}
+
+/// Run the sequence-splitting pass re-using an existing analysis.
+pub fn split_program_with_analysis(
+    program: &Program,
+    types: &ProgramTypes,
+    analysis: &AnalysisResult,
+) -> (Program, TransformReport) {
+    let mut analyzer = Analyzer::new(program, types);
+    analyzer.set_record_calls(false);
+    let mut report = TransformReport::default();
+    let mut procedures = Vec::with_capacity(program.procedures.len());
+    for proc in &program.procedures {
+        let Some(sig) = types.proc(&proc.name) else {
+            procedures.push(proc.clone());
+            continue;
+        };
+        let entry = analysis
+            .procedure(&proc.name)
+            .map(|a| a.entry.clone())
+            .unwrap_or_default();
+        let body = split_stmt(&analyzer, proc.body.clone(), &entry, sig, &mut report);
+        procedures.push(Procedure {
+            body,
+            ..proc.clone()
+        });
+    }
+    (
+        Program {
+            name: program.name.clone(),
+            procedures,
+            span: program.span,
+        },
+        report,
+    )
+}
+
+fn is_basic_non_call(stmt: &Stmt, sig: &ProcSignature) -> bool {
+    matches!(
+        BasicStmt::classify(stmt, sig),
+        Some(b) if !matches!(b, BasicStmt::ProcCall { .. } | BasicStmt::FuncAssign { .. })
+    )
+}
+
+fn split_stmt(
+    analyzer: &Analyzer<'_>,
+    stmt: Stmt,
+    state: &AbstractState,
+    sig: &ProcSignature,
+    report: &mut TransformReport,
+) -> Stmt {
+    match stmt {
+        Stmt::Block { stmts, span } => Stmt::Block {
+            stmts: split_block(analyzer, stmts, state, sig, report),
+            span,
+        },
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Stmt::If {
+            cond,
+            then_branch: Box::new(split_stmt(analyzer, *then_branch, state, sig, report)),
+            else_branch: else_branch.map(|e| Box::new(split_stmt(analyzer, *e, state, sig, report))),
+            span,
+        },
+        Stmt::While { cond, body, span } => {
+            let mut warnings = Vec::new();
+            let original = Stmt::While {
+                cond: cond.clone(),
+                body: body.clone(),
+                span,
+            };
+            let invariant = analyzer.transfer(state, &original, sig, &mut warnings);
+            Stmt::While {
+                cond,
+                body: Box::new(split_stmt(analyzer, *body, &invariant, sig, report)),
+                span,
+            }
+        }
+        Stmt::Par { arms, span } => Stmt::Par {
+            arms: arms
+                .into_iter()
+                .map(|a| split_stmt(analyzer, a, state, sig, report))
+                .collect(),
+            span,
+        },
+        simple => simple,
+    }
+}
+
+fn split_block(
+    analyzer: &Analyzer<'_>,
+    stmts: Vec<Stmt>,
+    entry: &AbstractState,
+    sig: &ProcSignature,
+    report: &mut TransformReport,
+) -> Vec<Stmt> {
+    let mut warnings = Vec::new();
+    let mut out = Vec::with_capacity(stmts.len());
+    let mut current = entry.clone();
+    let mut idx = 0;
+    while idx < stmts.len() {
+        // Gather the maximal run of basic statements starting here.
+        let mut end = idx;
+        while end < stmts.len() && is_basic_non_call(&stmts[end], sig) {
+            end += 1;
+        }
+        let run = &stmts[idx..end];
+        if run.len() >= MIN_RUN {
+            if let Some((u, v)) = find_split(run, &current, sig) {
+                report.records.push(TransformRecord {
+                    procedure: sig.name.clone(),
+                    kind: TransformKind::SequenceSplit,
+                    arms: vec![
+                        u.iter().map(pretty_stmt).collect::<Vec<_>>().join("; "),
+                        v.iter().map(pretty_stmt).collect::<Vec<_>>().join("; "),
+                    ],
+                    justification: "the relative interference set of the two halves is empty"
+                        .to_string(),
+                });
+                let par = Stmt::par(vec![Stmt::block(u.to_vec()), Stmt::block(v.to_vec())]);
+                // Advance the analysis over the original run.
+                for s in run {
+                    current = analyzer.transfer(&current, s, sig, &mut warnings);
+                }
+                out.push(par);
+                idx = end;
+                continue;
+            }
+        }
+        if run.is_empty() {
+            // A non-basic statement: recurse into it and move on.
+            let stmt = stmts[idx].clone();
+            let state_before = current.clone();
+            current = analyzer.transfer(&current, &stmt, sig, &mut warnings);
+            out.push(split_stmt(analyzer, stmt, &state_before, sig, report));
+            idx += 1;
+        } else {
+            for s in run {
+                current = analyzer.transfer(&current, s, sig, &mut warnings);
+                out.push(s.clone());
+            }
+            idx = end;
+        }
+    }
+    out
+}
+
+/// Try split points from the middle outwards; return the first independent
+/// division into two non-empty halves.
+fn find_split<'a>(
+    run: &'a [Stmt],
+    state: &AbstractState,
+    sig: &ProcSignature,
+) -> Option<(&'a [Stmt], &'a [Stmt])> {
+    let n = run.len();
+    let mid = n / 2;
+    let mut candidates: Vec<usize> = vec![mid];
+    for delta in 1..n {
+        if mid >= delta && mid - delta >= 1 {
+            candidates.push(mid - delta);
+        }
+        if mid + delta <= n - 1 {
+            candidates.push(mid + delta);
+        }
+    }
+    for cut in candidates {
+        let (u, v) = run.split_at(cut);
+        if u.is_empty() || v.is_empty() {
+            continue;
+        }
+        if sequences_independent(u, v, state, sig) {
+            return Some((u, v));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_lang::frontend;
+    use sil_lang::pretty::pretty_program;
+
+    #[test]
+    fn splits_independent_subtree_work() {
+        let src = r#"
+program halves
+procedure main()
+  t, a, b: handle; x, y: int
+begin
+  t := build(3);
+  a := t.left;
+  x := a.value;
+  a.value := x + 1;
+  b := t.right;
+  y := b.value;
+  b.value := y + 1
+end
+function build(depth: int) handle
+  t, l, r: handle; d: int
+begin
+  t := new();
+  if depth > 0 then
+  begin
+    d := depth - 1;
+    l := build(d);
+    r := build(d);
+    t.left := l;
+    t.right := r
+  end
+end
+return (t)
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let (split, report) = split_program(&program, &types);
+        let printed = pretty_program(&split);
+        assert_eq!(report.count_of(TransformKind::SequenceSplit), 1, "{printed}");
+        assert!(split.procedure("main").unwrap().body.has_par());
+        // the two halves each touch one subtree
+        let record = &report.records[0];
+        assert!(record.arms[0].contains("a := t.left"), "{record}");
+        assert!(record.arms[1].contains("b := t.right"), "{record}");
+    }
+
+    #[test]
+    fn does_not_split_dependent_sequences() {
+        let src = r#"
+program chained
+procedure main()
+  t, a, b: handle; x: int
+begin
+  t := new();
+  a := t.left;
+  b := a.left;
+  x := b.value;
+  b.value := x + 1;
+  a.value := x
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let (split, report) = split_program(&program, &types);
+        assert_eq!(report.count_of(TransformKind::SequenceSplit), 0);
+        assert!(!split.procedure("main").unwrap().body.has_par());
+    }
+
+    #[test]
+    fn short_runs_are_left_alone() {
+        let src = r#"
+program short
+procedure main()
+  a, b: handle
+begin
+  a := new();
+  b := new()
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let (split, report) = split_program(&program, &types);
+        assert_eq!(report.count(), 0);
+        assert!(!split.procedure("main").unwrap().body.has_par());
+    }
+
+    #[test]
+    fn split_preserves_statements() {
+        let src = r#"
+program halves
+procedure main()
+  t, a, b: handle; x, y: int
+begin
+  t := new();
+  a := t.left;
+  x := a.value;
+  a.value := x + 1;
+  b := t.right;
+  y := b.value;
+  b.value := y + 1
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let (split, _) = split_program(&program, &types);
+        use sil_lang::visit::collect_simple_stmts;
+        let before: usize = collect_simple_stmts(&program.procedure("main").unwrap().body).len();
+        let after: usize = collect_simple_stmts(&split.procedure("main").unwrap().body).len();
+        assert_eq!(before, after);
+    }
+}

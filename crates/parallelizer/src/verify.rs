@@ -1,0 +1,334 @@
+//! Re-verification of parallel programs — the "debugging" use of the
+//! analysis described in the paper's introduction: *"By checking explicit
+//! parallel and synchronization constructs against data-structure
+//! specifications and manipulation, the system could detect inconsistencies
+//! and non-deterministic behavior."*
+//!
+//! [`verify_parallel_program`] walks a program containing explicit `||`
+//! statements and checks every parallel statement against the interference
+//! analysis: arms that are simple statements or calls are checked with the
+//! §5.1/§5.2 interference sets; arms that are blocks of basic statements are
+//! checked with the §5.3 relative-interference method; anything else is
+//! conservatively reported as unverifiable.
+
+use sil_analysis::interference::{statements_independent, touches_node_locations};
+use sil_analysis::sequences::sequences_independent;
+use sil_analysis::state::AbstractState;
+use sil_analysis::transfer::Analyzer;
+use sil_analysis::analyze_program;
+use sil_lang::ast::*;
+use sil_lang::basic::BasicStmt;
+use sil_lang::pretty::pretty_stmt;
+use sil_lang::types::{ProcSignature, ProgramTypes};
+use std::fmt;
+
+/// A parallel statement the analysis could not prove safe.
+#[derive(Debug, Clone)]
+pub struct ParViolation {
+    pub procedure: String,
+    /// Rendering of the offending parallel statement.
+    pub statement: String,
+    /// Why it was flagged.
+    pub reason: String,
+}
+
+impl fmt::Display for ParViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`: `{}` — {}", self.procedure, self.statement, self.reason)
+    }
+}
+
+/// Check every explicit parallel statement of `program`.  An empty result
+/// means every `||` was proven interference-free.
+pub fn verify_parallel_program(program: &Program, types: &ProgramTypes) -> Vec<ParViolation> {
+    let analysis = analyze_program(program, types);
+    let mut analyzer = Analyzer::new(program, types);
+    analyzer.set_record_calls(false);
+    let mut violations = Vec::new();
+    for proc in &program.procedures {
+        let Some(sig) = types.proc(&proc.name) else { continue };
+        let entry = analysis
+            .procedure(&proc.name)
+            .map(|a| a.entry.clone())
+            .unwrap_or_else(|| {
+                // Procedure never called from main: verify it under the
+                // pessimistic "arguments may be anything" entry.
+                let mut state = AbstractState::with_handles(sig.handle_params());
+                for h in sig.handle_params() {
+                    state.mark_attached(h);
+                }
+                state
+            });
+        verify_stmt(&analyzer, &proc.body, &entry, sig, &mut violations);
+    }
+    violations
+}
+
+fn verify_stmt(
+    analyzer: &Analyzer<'_>,
+    stmt: &Stmt,
+    state: &AbstractState,
+    sig: &ProcSignature,
+    violations: &mut Vec<ParViolation>,
+) {
+    let mut warnings = Vec::new();
+    match stmt {
+        Stmt::Block { stmts, .. } => {
+            let mut current = state.clone();
+            for s in stmts {
+                verify_stmt(analyzer, s, &current, sig, violations);
+                current = analyzer.transfer(&current, s, sig, &mut warnings);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            verify_stmt(analyzer, then_branch, state, sig, violations);
+            if let Some(e) = else_branch {
+                verify_stmt(analyzer, e, state, sig, violations);
+            }
+        }
+        Stmt::While { body, .. } => {
+            let invariant = analyzer.transfer(state, stmt, sig, &mut warnings);
+            verify_stmt(analyzer, body, &invariant, sig, violations);
+        }
+        Stmt::Par { arms, .. } => {
+            check_par(analyzer, arms, stmt, state, sig, violations);
+            // also verify nested parallel statements inside the arms
+            for arm in arms {
+                verify_stmt(analyzer, arm, state, sig, violations);
+            }
+        }
+        Stmt::Assign { .. } | Stmt::Call { .. } => {}
+    }
+}
+
+fn check_par(
+    analyzer: &Analyzer<'_>,
+    arms: &[Stmt],
+    whole: &Stmt,
+    state: &AbstractState,
+    sig: &ProcSignature,
+    violations: &mut Vec<ParViolation>,
+) {
+    // The disjointness arguments of §3.1 need a TREE; parallel statements
+    // that touch node locations under a possible DAG / cycle cannot be
+    // verified.
+    if !state.structure.is_tree()
+        && arms
+            .iter()
+            .any(|a| touches_node_locations(a, sig) || a.has_par() || matches!(a, Stmt::Block { .. }))
+    {
+        violations.push(ParViolation {
+            procedure: sig.name.clone(),
+            statement: pretty_stmt(whole),
+            reason: format!(
+                "the structure may not be a TREE here ({}); node accesses cannot be proven disjoint",
+                state.structure
+            ),
+        });
+        return;
+    }
+
+    // Case 1: every arm is a simple statement or call — §5.1/§5.2.
+    if arms
+        .iter()
+        .all(|a| matches!(a, Stmt::Assign { .. } | Stmt::Call { .. }))
+    {
+        let refs: Vec<&Stmt> = arms.iter().collect();
+        if !statements_independent(&refs, sig, &state.matrix, &analyzer.summaries) {
+            violations.push(ParViolation {
+                procedure: sig.name.clone(),
+                statement: pretty_stmt(whole),
+                reason: "the arms have a non-empty interference set".to_string(),
+            });
+        }
+        return;
+    }
+
+    // Case 2: arms are sequences of basic statements — §5.3.
+    let as_sequences: Option<Vec<Vec<Stmt>>> = arms.iter().map(arm_as_basic_sequence(sig)).collect();
+    if let Some(seqs) = as_sequences {
+        for i in 0..seqs.len() {
+            for j in (i + 1)..seqs.len() {
+                if !sequences_independent(&seqs[i], &seqs[j], state, sig) {
+                    violations.push(ParViolation {
+                        procedure: sig.name.clone(),
+                        statement: pretty_stmt(whole),
+                        reason: format!(
+                            "arms {} and {} have a non-empty relative interference set",
+                            i + 1,
+                            j + 1
+                        ),
+                    });
+                }
+            }
+        }
+        return;
+    }
+
+    // Case 3: anything more complicated is beyond the method — report it.
+    violations.push(ParViolation {
+        procedure: sig.name.clone(),
+        statement: pretty_stmt(whole),
+        reason: "arms contain loops or calls inside blocks; the analysis cannot verify them"
+            .to_string(),
+    });
+}
+
+fn arm_as_basic_sequence(sig: &ProcSignature) -> impl Fn(&Stmt) -> Option<Vec<Stmt>> + '_ {
+    move |arm: &Stmt| -> Option<Vec<Stmt>> {
+        let stmts: Vec<Stmt> = match arm {
+            Stmt::Block { stmts, .. } => stmts.clone(),
+            simple @ (Stmt::Assign { .. } | Stmt::Call { .. }) => vec![simple.clone()],
+            _ => return None,
+        };
+        let all_basic = stmts.iter().all(|s| {
+            matches!(
+                BasicStmt::classify(s, sig),
+                Some(b) if !matches!(b, BasicStmt::ProcCall { .. } | BasicStmt::FuncAssign { .. })
+            )
+        });
+        if all_basic {
+            Some(stmts)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_lang::frontend;
+
+    #[test]
+    fn figure_8_program_verifies_clean() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE_PARALLEL).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert!(
+            violations.is_empty(),
+            "Figure 8 must verify: {:?}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn our_own_parallelizer_output_verifies_clean() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let (parallel, _) = crate::parallelize_program(&program, &types);
+        let printed = sil_lang::pretty::pretty_program(&parallel);
+        let (reparsed, retypes) = frontend(&printed).unwrap();
+        let violations = verify_parallel_program(&reparsed, &retypes);
+        assert!(
+            violations.is_empty(),
+            "{:?}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unsafe_parallel_statement_is_flagged() {
+        // Both arms update the *same* subtree: not safe.
+        let src = r#"
+program unsafe
+procedure bump(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + 1;
+    l := h.left;
+    r := h.left;
+    bump(l) || bump(r)
+  end
+end
+procedure main()
+  root: handle
+begin
+  root := new();
+  bump(root)
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert!(!violations.is_empty());
+        assert!(violations[0].statement.contains("bump(l) || bump(r)"));
+        assert_eq!(violations[0].procedure, "bump");
+    }
+
+    #[test]
+    fn unsafe_variable_race_is_flagged() {
+        let src = r#"
+program race
+procedure main()
+  a: handle; x: int
+begin
+  a := new();
+  x := 1 || x := 2
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].reason.contains("interference"));
+    }
+
+    #[test]
+    fn safe_block_arms_verify_via_sequences() {
+        let src = r#"
+program blocks
+procedure main()
+  t, a, b: handle; x, y: int
+begin
+  t := new();
+  begin a := t.left; a.value := 1 end || begin b := t.right; b.value := 2 end
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unsafe_block_arms_are_flagged() {
+        let src = r#"
+program blocks
+procedure main()
+  t, a, b: handle; x, y: int
+begin
+  t := new();
+  begin a := t.left; a.value := 1 end || begin b := t.left; y := b.value end
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].reason.contains("relative interference"));
+    }
+
+    #[test]
+    fn uncalled_procedure_with_unsafe_par_is_still_checked() {
+        let src = r#"
+program dead
+procedure helper(h: handle)
+  l, r: handle
+begin
+  l := h.left;
+  r := h.left;
+  l.value := 1 || r.value := 2
+end
+procedure main()
+  a: handle
+begin
+  a := new()
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let violations = verify_parallel_program(&program, &types);
+        assert!(!violations.is_empty());
+        assert_eq!(violations[0].procedure, "helper");
+    }
+}

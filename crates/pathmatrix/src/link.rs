@@ -1,0 +1,310 @@
+//! Path links: a direction plus a length abstraction.
+
+use std::fmt;
+
+/// The direction of a link.
+///
+/// `Down` means "left or right" — the direction approximation of the paper
+/// (the path `R^1 D^+` of Figure 2 has an exact first direction and an
+/// approximate remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    Left,
+    Right,
+    Down,
+}
+
+impl Dir {
+    /// Whether a concrete edge in direction `other` is described by `self`.
+    /// `Down` covers both concrete directions; `Left`/`Right` cover only
+    /// themselves.
+    pub fn covers(self, other: Dir) -> bool {
+        self == Dir::Down || self == other
+    }
+
+    /// The least upper bound of two directions.
+    pub fn join(self, other: Dir) -> Dir {
+        if self == other {
+            self
+        } else {
+            Dir::Down
+        }
+    }
+
+    /// Single-letter rendering used in path expressions.
+    pub fn letter(self) -> char {
+        match self {
+            Dir::Left => 'L',
+            Dir::Right => 'R',
+            Dir::Down => 'D',
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One link of a path expression: `dir^min` when `exact`, otherwise
+/// "`min` or more edges in direction `dir`" (`dir^min+`, printed `dir+` when
+/// `min == 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    pub dir: Dir,
+    /// Minimum number of edges (always at least 1).
+    pub min: u32,
+    /// If `true` the link stands for exactly `min` edges.
+    pub exact: bool,
+}
+
+impl Link {
+    /// `dir^n` — exactly `n` edges (`n >= 1`).
+    pub fn exact(dir: Dir, n: u32) -> Link {
+        assert!(n >= 1, "links describe at least one edge");
+        Link {
+            dir,
+            min: n,
+            exact: true,
+        }
+    }
+
+    /// `dir^n+` — `n` or more edges (`n >= 1`).
+    pub fn at_least(dir: Dir, n: u32) -> Link {
+        assert!(n >= 1, "links describe at least one edge");
+        Link {
+            dir,
+            min: n,
+            exact: false,
+        }
+    }
+
+    /// The maximum number of edges, or `None` when unbounded.
+    pub fn max_edges(&self) -> Option<u32> {
+        if self.exact {
+            Some(self.min)
+        } else {
+            None
+        }
+    }
+
+    /// Whether every concrete edge sequence described by `other` is also
+    /// described by `self` (direction and length inclusion).
+    pub fn covers(&self, other: &Link) -> bool {
+        if !self.dir.covers(other.dir) {
+            return false;
+        }
+        // length interval inclusion: [other.min, other.max] ⊆ [self.min, self.max]
+        if other.min < self.min {
+            return false;
+        }
+        match (self.max_edges(), other.max_edges()) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(smax), Some(omax)) => omax <= smax,
+        }
+    }
+
+    /// Fuse two adjacent links of the same direction into one
+    /// (`L^1 · L+  =  L^2+`).  Returns `None` when the directions differ.
+    pub fn fuse(&self, other: &Link) -> Option<Link> {
+        if self.dir != other.dir {
+            return None;
+        }
+        Some(Link {
+            dir: self.dir,
+            min: self.min + other.min,
+            exact: self.exact && other.exact,
+        })
+    }
+
+    /// Least upper bound of two links viewed as single-segment summaries:
+    /// the direction join and the smallest length interval containing both.
+    pub fn generalize(&self, other: &Link) -> Link {
+        let dir = self.dir.join(other.dir);
+        let min = self.min.min(other.min);
+        let exact = match (self.max_edges(), other.max_edges()) {
+            (Some(a), Some(b)) => a == b && a == min,
+            _ => false,
+        };
+        Link { dir, min, exact }
+    }
+
+    /// Remove one leading edge in direction `removed`.
+    ///
+    /// Used when re-rooting a path at a child (`a := b.f`): a path from `b`
+    /// that starts with this link is viewed from `b.f`.  Returns:
+    /// * `None` — the link cannot start with an edge in that direction, so no
+    ///   path survives,
+    /// * `Some(None)` — the link can consist of exactly that one edge, and
+    ///   nothing of it remains,
+    /// * `Some(Some(rest))` — the remainder of the link after removing one
+    ///   edge.
+    ///
+    /// Note that both of the last two can apply (e.g. `L+` minus one left
+    /// edge is "nothing or `L+` again"); callers get that by also checking
+    /// [`Link::can_be_single_edge`].
+    pub fn strip_one(&self, removed: Dir) -> Option<Option<Link>> {
+        if !self.dir.covers(removed) && !removed.covers(self.dir) {
+            // Directions are incompatible (e.g. stripping a left edge from R^2).
+            return None;
+        }
+        if self.exact {
+            if self.min == 1 {
+                Some(None)
+            } else {
+                Some(Some(Link::exact(self.dir, self.min - 1)))
+            }
+        } else if self.min <= 1 {
+            // `dir+` minus one edge: one-or-more minus one = zero-or-more;
+            // the non-empty remainder is `dir+` again.
+            Some(Some(Link::at_least(self.dir, 1)))
+        } else {
+            Some(Some(Link::at_least(self.dir, self.min - 1)))
+        }
+    }
+
+    /// Whether the link can describe exactly one edge.
+    pub fn can_be_single_edge(&self) -> bool {
+        self.min == 1
+    }
+
+    /// Whether the first edge of this link could be in direction `d`.
+    pub fn first_edge_may_be(&self, d: Dir) -> bool {
+        self.dir.covers(d) || d.covers(self.dir)
+    }
+
+    /// Whether the first edge of this link is *guaranteed* to be in
+    /// direction `d` (only when the link direction is concrete and equal,
+    /// or `d` is `Down`).
+    pub fn first_edge_must_be(&self, d: Dir) -> bool {
+        d.covers(self.dir)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exact {
+            write!(f, "{}{}", self.dir, self.min)
+        } else if self.min == 1 {
+            write!(f, "{}+", self.dir)
+        } else {
+            write!(f, "{}{}+", self.dir, self.min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_covers_and_join() {
+        assert!(Dir::Down.covers(Dir::Left));
+        assert!(Dir::Down.covers(Dir::Right));
+        assert!(Dir::Left.covers(Dir::Left));
+        assert!(!Dir::Left.covers(Dir::Right));
+        assert!(!Dir::Left.covers(Dir::Down));
+        assert_eq!(Dir::Left.join(Dir::Left), Dir::Left);
+        assert_eq!(Dir::Left.join(Dir::Right), Dir::Down);
+        assert_eq!(Dir::Down.join(Dir::Right), Dir::Down);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Link::exact(Dir::Left, 1).to_string(), "L1");
+        assert_eq!(Link::exact(Dir::Right, 3).to_string(), "R3");
+        assert_eq!(Link::at_least(Dir::Left, 1).to_string(), "L+");
+        assert_eq!(Link::at_least(Dir::Down, 2).to_string(), "D2+");
+    }
+
+    #[test]
+    fn coverage_by_direction() {
+        let d_plus = Link::at_least(Dir::Down, 1);
+        assert!(d_plus.covers(&Link::exact(Dir::Left, 2)));
+        assert!(d_plus.covers(&Link::at_least(Dir::Right, 5)));
+        assert!(!Link::at_least(Dir::Left, 1).covers(&Link::exact(Dir::Right, 1)));
+        assert!(!Link::at_least(Dir::Left, 1).covers(&Link::at_least(Dir::Down, 1)));
+    }
+
+    #[test]
+    fn coverage_by_length() {
+        assert!(Link::at_least(Dir::Left, 1).covers(&Link::exact(Dir::Left, 7)));
+        assert!(!Link::at_least(Dir::Left, 3).covers(&Link::exact(Dir::Left, 2)));
+        assert!(Link::exact(Dir::Left, 2).covers(&Link::exact(Dir::Left, 2)));
+        assert!(!Link::exact(Dir::Left, 2).covers(&Link::exact(Dir::Left, 3)));
+        assert!(!Link::exact(Dir::Left, 2).covers(&Link::at_least(Dir::Left, 2)));
+    }
+
+    #[test]
+    fn fuse_same_direction() {
+        let a = Link::exact(Dir::Left, 1);
+        let b = Link::at_least(Dir::Left, 1);
+        assert_eq!(a.fuse(&b), Some(Link::at_least(Dir::Left, 2)));
+        assert_eq!(
+            a.fuse(&Link::exact(Dir::Left, 2)),
+            Some(Link::exact(Dir::Left, 3))
+        );
+        assert_eq!(a.fuse(&Link::exact(Dir::Right, 1)), None);
+    }
+
+    #[test]
+    fn generalize_is_upper_bound() {
+        let a = Link::exact(Dir::Left, 1);
+        let b = Link::exact(Dir::Left, 2);
+        let g = a.generalize(&b);
+        assert!(g.covers(&a));
+        assert!(g.covers(&b));
+        assert_eq!(g, Link::at_least(Dir::Left, 1));
+
+        let c = Link::exact(Dir::Right, 1);
+        let g = a.generalize(&c);
+        assert_eq!(g, Link::exact(Dir::Down, 1));
+        assert!(g.covers(&a) && g.covers(&c));
+
+        let same = a.generalize(&a);
+        assert_eq!(same, a);
+    }
+
+    #[test]
+    fn strip_one_edge() {
+        // L^1 minus a left edge: nothing remains
+        assert_eq!(Link::exact(Dir::Left, 1).strip_one(Dir::Left), Some(None));
+        // L^3 minus a left edge: L^2
+        assert_eq!(
+            Link::exact(Dir::Left, 3).strip_one(Dir::Left),
+            Some(Some(Link::exact(Dir::Left, 2)))
+        );
+        // L+ minus a left edge: L+ remains possible (and the empty case is
+        // signalled by can_be_single_edge)
+        assert_eq!(
+            Link::at_least(Dir::Left, 1).strip_one(Dir::Left),
+            Some(Some(Link::at_least(Dir::Left, 1)))
+        );
+        assert!(Link::at_least(Dir::Left, 1).can_be_single_edge());
+        // R^2 minus a left edge: impossible
+        assert_eq!(Link::exact(Dir::Right, 2).strip_one(Dir::Left), None);
+        // D+ minus a left edge: D+ or nothing
+        assert_eq!(
+            Link::at_least(Dir::Down, 1).strip_one(Dir::Left),
+            Some(Some(Link::at_least(Dir::Down, 1)))
+        );
+    }
+
+    #[test]
+    fn first_edge_predicates() {
+        assert!(Link::exact(Dir::Left, 2).first_edge_may_be(Dir::Left));
+        assert!(!Link::exact(Dir::Left, 2).first_edge_may_be(Dir::Right));
+        assert!(Link::at_least(Dir::Down, 1).first_edge_may_be(Dir::Left));
+        assert!(Link::exact(Dir::Left, 2).first_edge_must_be(Dir::Left));
+        assert!(!Link::at_least(Dir::Down, 1).first_edge_must_be(Dir::Left));
+        assert!(Link::exact(Dir::Left, 2).first_edge_must_be(Dir::Down));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_link_is_rejected() {
+        let _ = Link::exact(Dir::Left, 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! The path matrix: one [`PathSet`] per ordered pair of handles.
+//!
+//! "The relationships among a set of handles are described by a path matrix.
+//! Each entry in the matrix describes the relationship between two handles."
+//! (Section 4.)  Besides entry access this module provides the operations the
+//! analysis needs: adding/removing/renaming handles, aliasing one handle to
+//! another, the control-flow `join`, equality testing for fixpoint
+//! detection, and the tabular rendering used to reproduce Figures 2, 3 and 7.
+
+use crate::path::Path;
+use crate::pathset::PathSet;
+use crate::Certainty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A path matrix over a set of named handles.
+///
+/// The diagonal of every known handle is `{S}` (definite).  Entries that are
+/// absent are empty: the two handles are unrelated.
+#[derive(Debug, Clone, Default)]
+pub struct PathMatrix {
+    /// Handle names in insertion order (the order used for display).
+    handles: Vec<String>,
+    /// Non-empty off-diagonal entries.
+    entries: HashMap<(String, String), PathSet>,
+}
+
+impl PathMatrix {
+    /// An empty matrix with no handles.
+    pub fn new() -> PathMatrix {
+        PathMatrix::default()
+    }
+
+    /// A matrix over the given handles, all mutually unrelated.
+    pub fn with_handles<I, S>(handles: I) -> PathMatrix
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut m = PathMatrix::new();
+        for h in handles {
+            m.add_handle(h.into());
+        }
+        m
+    }
+
+    /// The handles known to the matrix, in insertion order.
+    pub fn handles(&self) -> &[String] {
+        &self.handles
+    }
+
+    /// Whether `name` is a handle of this matrix.
+    pub fn contains(&self, name: &str) -> bool {
+        self.handles.iter().any(|h| h == name)
+    }
+
+    /// Add a handle unrelated to every existing handle.  No-op if present.
+    pub fn add_handle(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.contains(&name) {
+            self.handles.push(name);
+        }
+    }
+
+    /// Remove a handle and every relationship involving it.
+    pub fn remove_handle(&mut self, name: &str) {
+        self.handles.retain(|h| h != name);
+        self.entries.retain(|(a, b), _| a != name && b != name);
+    }
+
+    /// Keep only the given handles (used to restrict a matrix to the live
+    /// handles at a program point).
+    pub fn restrict_to<'a>(&mut self, keep: impl IntoIterator<Item = &'a str>) {
+        let keep: Vec<&str> = keep.into_iter().collect();
+        let to_remove: Vec<String> = self
+            .handles
+            .iter()
+            .filter(|h| !keep.contains(&h.as_str()))
+            .cloned()
+            .collect();
+        for h in to_remove {
+            self.remove_handle(&h);
+        }
+    }
+
+    /// Rename a handle, preserving all its relationships.
+    pub fn rename_handle(&mut self, old: &str, new: impl Into<String>) {
+        let new = new.into();
+        if old == new {
+            return;
+        }
+        for h in &mut self.handles {
+            if h == old {
+                *h = new.clone();
+            }
+        }
+        let old_entries: Vec<((String, String), PathSet)> = self
+            .entries
+            .drain()
+            .map(|((a, b), v)| {
+                let a = if a == old { new.clone() } else { a };
+                let b = if b == old { new.clone() } else { b };
+                ((a, b), v)
+            })
+            .collect();
+        for (k, v) in old_entries {
+            // If both old and new existed, merge their relations.
+            self.entries
+                .entry(k)
+                .and_modify(|existing| *existing = existing.union(&v))
+                .or_insert(v);
+        }
+    }
+
+    /// The relationship from `a` to `b`.  The diagonal of a known handle is
+    /// `{S}`; unknown handles and absent entries are empty.
+    pub fn get(&self, a: &str, b: &str) -> PathSet {
+        if a == b {
+            if self.contains(a) {
+                return PathSet::singleton(Path::same(Certainty::Definite));
+            }
+            return PathSet::empty();
+        }
+        self.entries
+            .get(&(a.to_string(), b.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Set the relationship from `a` to `b` (both handles are added if
+    /// missing).  Setting the diagonal is ignored — it is always `{S}`.
+    pub fn set(&mut self, a: &str, b: &str, set: PathSet) {
+        self.add_handle(a.to_string());
+        self.add_handle(b.to_string());
+        if a == b {
+            return;
+        }
+        if set.is_empty() {
+            self.entries.remove(&(a.to_string(), b.to_string()));
+        } else {
+            self.entries.insert((a.to_string(), b.to_string()), set);
+        }
+    }
+
+    /// Add `path` to the relationship from `a` to `b`.
+    pub fn add_path(&mut self, a: &str, b: &str, path: Path) {
+        let mut set = self.get(a, b);
+        if a == b {
+            return;
+        }
+        set.insert(path);
+        self.set(a, b, set);
+    }
+
+    /// Remove every relationship (in both directions) involving `name`, but
+    /// keep the handle (its diagonal stays `{S}`).  This is the effect of
+    /// `name := nil` / `name := new()` on the matrix.
+    pub fn clear_handle(&mut self, name: &str) {
+        self.add_handle(name.to_string());
+        self.entries.retain(|(a, b), _| a != name && b != name);
+    }
+
+    /// Make `dst` an alias of `src` (the effect of `dst := src`): `dst`
+    /// takes on exactly `src`'s relationships plus `S` between the two.
+    pub fn alias_handle(&mut self, dst: &str, src: &str) {
+        if dst == src {
+            return;
+        }
+        self.clear_handle(dst);
+        self.add_handle(src.to_string());
+        for other in self.handles.clone() {
+            if other == dst || other == src {
+                continue;
+            }
+            let from_src = self.get(src, &other);
+            if !from_src.is_empty() {
+                self.set(dst, &other, from_src);
+            }
+            let to_src = self.get(&other, src);
+            if !to_src.is_empty() {
+                self.set(&other, dst, to_src);
+            }
+        }
+        self.set(dst, src, PathSet::singleton(Path::same(Certainty::Definite)));
+        self.set(src, dst, PathSet::singleton(Path::same(Certainty::Definite)));
+    }
+
+    /// Whether `a` and `b` are *unrelated*: no path in either direction and
+    /// they cannot be the same node.  Unrelated handles head disjoint
+    /// subtrees in a TREE, so computations on them cannot interfere (§3.1).
+    pub fn unrelated(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return false;
+        }
+        self.get(a, b).is_empty() && self.get(b, a).is_empty()
+    }
+
+    /// Iterate over all non-empty off-diagonal entries.
+    pub fn related_pairs(&self) -> impl Iterator<Item = (&str, &str, &PathSet)> {
+        self.entries
+            .iter()
+            .map(|((a, b), v)| (a.as_str(), b.as_str(), v))
+    }
+
+    /// Number of non-empty off-diagonal entries.
+    pub fn relation_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The control-flow join of two matrices (e.g. at the end of an `if`).
+    /// Shapes from both sides survive; definiteness survives only when both
+    /// sides guarantee a covered path.  Handles present on only one side keep
+    /// their relations weakened to *possible*.
+    pub fn join(&self, other: &PathMatrix) -> PathMatrix {
+        let mut result = PathMatrix::new();
+        for h in self.handles.iter().chain(other.handles.iter()) {
+            result.add_handle(h.clone());
+        }
+        let names = result.handles.clone();
+        for a in &names {
+            for b in &names {
+                if a == b {
+                    continue;
+                }
+                let in_self = self.contains(a) && self.contains(b);
+                let in_other = other.contains(a) && other.contains(b);
+                let entry = match (in_self, in_other) {
+                    (true, true) => self.get(a, b).join(&other.get(a, b)),
+                    (true, false) => self.get(a, b).weakened(),
+                    (false, true) => other.get(a, b).weakened(),
+                    (false, false) => PathSet::empty(),
+                };
+                if !entry.is_empty() {
+                    result.set(a, b, entry);
+                }
+            }
+        }
+        result
+    }
+
+    /// Weaken every relationship to *possible* (used by conservative
+    /// procedure-call effects).
+    pub fn weakened(&self) -> PathMatrix {
+        let mut result = self.clone();
+        for ((_, _), set) in result.entries.iter_mut() {
+            *set = set.weakened();
+        }
+        result
+    }
+
+    /// Whether two matrices describe exactly the same relations over the
+    /// same handles (used as the fixpoint termination test).
+    pub fn same_relations(&self, other: &PathMatrix) -> bool {
+        let mut mine: Vec<&String> = self.handles.iter().collect();
+        let mut theirs: Vec<&String> = other.handles.iter().collect();
+        mine.sort();
+        theirs.sort();
+        if mine != theirs {
+            return false;
+        }
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries
+            .iter()
+            .all(|(k, v)| other.entries.get(k) == Some(v))
+    }
+
+    /// Render the matrix as the kind of table printed in the paper's figures.
+    pub fn render(&self) -> String {
+        let names = &self.handles;
+        if names.is_empty() {
+            return String::from("(empty path matrix)\n");
+        }
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(names.len() + 1);
+        let mut header = vec![String::new()];
+        header.extend(names.iter().cloned());
+        cells.push(header);
+        for a in names {
+            let mut row = vec![a.clone()];
+            for b in names {
+                let entry = self.get(a, b);
+                row.push(if entry.is_empty() {
+                    String::new()
+                } else {
+                    entry.to_string()
+                });
+            }
+            cells.push(row);
+        }
+        let cols = names.len() + 1;
+        let mut widths = vec![0usize; cols];
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &cells {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl PartialEq for PathMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_relations(other)
+    }
+}
+
+impl Eq for PathMatrix {}
+
+impl fmt::Display for PathMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Dir;
+    use crate::{at_least, exact, same};
+
+    #[test]
+    fn diagonal_is_same() {
+        let m = PathMatrix::with_handles(["a", "b"]);
+        assert!(m.get("a", "a").must_be_same());
+        assert!(m.get("b", "b").must_be_same());
+        assert!(m.get("a", "b").is_empty());
+        assert!(m.unrelated("a", "b"));
+        assert!(!m.unrelated("a", "a"));
+    }
+
+    #[test]
+    fn unknown_handles_are_unrelated_and_empty() {
+        let m = PathMatrix::new();
+        assert!(m.get("x", "x").is_empty());
+        assert!(m.get("x", "y").is_empty());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut m = PathMatrix::new();
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        assert_eq!(m.get("root", "lside").to_string(), "L1");
+        assert!(m.contains("root") && m.contains("lside"));
+        assert!(m.get("lside", "root").is_empty());
+        assert!(!m.unrelated("root", "lside"));
+    }
+
+    #[test]
+    fn setting_empty_removes_entry() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        assert_eq!(m.relation_count(), 1);
+        m.set("a", "b", PathSet::empty());
+        assert_eq!(m.relation_count(), 0);
+    }
+
+    #[test]
+    fn clear_handle_severs_relations() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("c", "a", PathSet::singleton(at_least(Dir::Down, 1)));
+        m.clear_handle("a");
+        assert!(m.get("a", "b").is_empty());
+        assert!(m.get("c", "a").is_empty());
+        assert!(m.get("a", "a").must_be_same());
+        assert!(m.contains("a"));
+    }
+
+    #[test]
+    fn alias_handle_copies_relations() {
+        // Figure 2(a)-ish: a above c; let d := a, then d has a's relations.
+        let mut m = PathMatrix::new();
+        m.set("a", "c", PathSet::singleton(at_least(Dir::Down, 1)));
+        m.set("b", "a", PathSet::singleton(exact(Dir::Left, 1)));
+        m.alias_handle("d", "a");
+        assert_eq!(m.get("d", "c").to_string(), "D+");
+        assert_eq!(m.get("b", "d").to_string(), "L1");
+        assert!(m.get("d", "a").must_be_same());
+        assert!(m.get("a", "d").must_be_same());
+    }
+
+    #[test]
+    fn alias_handle_overwrites_previous_relations() {
+        let mut m = PathMatrix::new();
+        m.set("d", "x", PathSet::singleton(exact(Dir::Left, 5)));
+        m.set("a", "c", PathSet::singleton(at_least(Dir::Down, 1)));
+        m.alias_handle("d", "a");
+        assert!(m.get("d", "x").is_empty(), "old relation must be severed");
+        assert_eq!(m.get("d", "c").to_string(), "D+");
+    }
+
+    #[test]
+    fn self_alias_is_noop() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        m.alias_handle("a", "a");
+        assert_eq!(m.get("a", "b").to_string(), "L1");
+    }
+
+    #[test]
+    fn rename_handle_preserves_relations() {
+        let mut m = PathMatrix::new();
+        m.set("h", "l", PathSet::singleton(exact(Dir::Left, 1)));
+        m.rename_handle("h", "h*");
+        assert!(m.contains("h*"));
+        assert!(!m.contains("h"));
+        assert_eq!(m.get("h*", "l").to_string(), "L1");
+    }
+
+    #[test]
+    fn remove_handle() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        m.remove_handle("b");
+        assert!(!m.contains("b"));
+        assert_eq!(m.relation_count(), 0);
+    }
+
+    #[test]
+    fn restrict_to_live_handles() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("a", "c", PathSet::singleton(exact(Dir::Right, 1)));
+        m.restrict_to(["a", "b"]);
+        assert!(m.contains("a") && m.contains("b") && !m.contains("c"));
+        assert_eq!(m.relation_count(), 1);
+    }
+
+    #[test]
+    fn join_of_identical_matrices_is_identity() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        assert!(m.join(&m).same_relations(&m));
+    }
+
+    #[test]
+    fn join_demotes_one_sided_relations() {
+        let mut m1 = PathMatrix::with_handles(["a", "b"]);
+        m1.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        let m2 = PathMatrix::with_handles(["a", "b"]);
+        let j = m1.join(&m2);
+        let entry = j.get("a", "b");
+        assert_eq!(entry.len(), 1);
+        assert!(!entry.has_definite());
+    }
+
+    #[test]
+    fn join_handles_union() {
+        let mut m1 = PathMatrix::with_handles(["a"]);
+        m1.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        let m2 = PathMatrix::with_handles(["a", "c"]);
+        let j = m1.join(&m2);
+        assert!(j.contains("a") && j.contains("b") && j.contains("c"));
+        // b only existed on one side: relation kept but weakened
+        assert!(!j.get("a", "b").has_definite());
+    }
+
+    #[test]
+    fn same_relations_ignores_handle_order() {
+        let mut m1 = PathMatrix::with_handles(["a", "b"]);
+        m1.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        let mut m2 = PathMatrix::with_handles(["b", "a"]);
+        m2.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        assert!(m1.same_relations(&m2));
+        m2.set("b", "a", PathSet::singleton(same()));
+        assert!(!m1.same_relations(&m2));
+    }
+
+    #[test]
+    fn render_contains_header_and_entries() {
+        // The pA matrix of Figure 7.
+        let mut m = PathMatrix::with_handles(["root", "lside", "rside"]);
+        m.set("root", "lside", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("root", "rside", PathSet::singleton(exact(Dir::Right, 1)));
+        let rendered = m.render();
+        assert!(rendered.contains("root"), "{rendered}");
+        assert!(rendered.contains("L1"), "{rendered}");
+        assert!(rendered.contains("R1"), "{rendered}");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn weakened_matrix() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        let w = m.weakened();
+        assert!(!w.get("a", "b").has_definite());
+        assert!(m.get("a", "b").has_definite(), "original untouched");
+    }
+}

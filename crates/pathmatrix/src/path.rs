@@ -1,0 +1,597 @@
+//! Path expressions: `S` or a non-empty sequence of links, each *definite*
+//! or *possible*.
+
+use crate::link::{Dir, Link};
+use std::fmt;
+
+/// Whether a path is guaranteed to exist or only may exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Certainty {
+    /// The path is guaranteed to exist (rendered without a suffix).
+    Definite,
+    /// The path may or may not exist (rendered with a trailing `?`).
+    Possible,
+}
+
+impl Certainty {
+    /// The weaker of two certainties.
+    pub fn and(self, other: Certainty) -> Certainty {
+        if self == Certainty::Definite && other == Certainty::Definite {
+            Certainty::Definite
+        } else {
+            Certainty::Possible
+        }
+    }
+
+    pub fn is_definite(self) -> bool {
+        self == Certainty::Definite
+    }
+}
+
+/// The shape of a path: same node, or a sequence of links.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathKind {
+    /// `S` — the two handles refer to the same node.
+    Same,
+    /// A non-empty, normalized (no two adjacent links share a direction)
+    /// sequence of links describing a downward path.
+    Links(Vec<Link>),
+}
+
+/// A path expression with its certainty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    pub kind: PathKind,
+    pub certainty: Certainty,
+}
+
+/// Paths longer than this many (normalized) links are widened to a single
+/// summary link.  Keeping the bound small guarantees a finite abstract domain
+/// and hence termination of every fixpoint computation.
+pub const MAX_LINKS: usize = 4;
+
+impl Path {
+    /// The `S` path.
+    pub fn same(certainty: Certainty) -> Path {
+        Path {
+            kind: PathKind::Same,
+            certainty,
+        }
+    }
+
+    /// A single-link path.
+    pub fn from_link(link: Link, certainty: Certainty) -> Path {
+        Path {
+            kind: PathKind::Links(vec![link]),
+            certainty,
+        }
+    }
+
+    /// Build a path from a sequence of links, normalizing adjacent links of
+    /// the same direction and widening over-long paths.
+    pub fn from_links(links: Vec<Link>, certainty: Certainty) -> Path {
+        assert!(!links.is_empty(), "link paths must be non-empty; use Path::same");
+        let mut normalized: Vec<Link> = Vec::with_capacity(links.len());
+        for link in links {
+            match normalized.last_mut() {
+                Some(last) => match last.fuse(&link) {
+                    Some(fused) => *last = fused,
+                    None => normalized.push(link),
+                },
+                None => normalized.push(link),
+            }
+        }
+        if normalized.len() > MAX_LINKS {
+            let summary = Self::summarize_links(&normalized);
+            return Path::from_link(summary, certainty);
+        }
+        Path {
+            kind: PathKind::Links(normalized),
+            certainty,
+        }
+    }
+
+    fn summarize_links(links: &[Link]) -> Link {
+        let dir = links
+            .iter()
+            .map(|l| l.dir)
+            .reduce(Dir::join)
+            .expect("non-empty");
+        let min: u32 = links.iter().map(|l| l.min).sum();
+        let exact = links.iter().all(|l| l.exact);
+        Link { dir, min, exact }
+    }
+
+    /// Whether this is the `S` path.
+    pub fn is_same(&self) -> bool {
+        matches!(self.kind, PathKind::Same)
+    }
+
+    /// The link sequence, empty for `S`.
+    pub fn links(&self) -> &[Link] {
+        match &self.kind {
+            PathKind::Same => &[],
+            PathKind::Links(links) => links,
+        }
+    }
+
+    /// A copy of this path with the given certainty.
+    pub fn with_certainty(&self, certainty: Certainty) -> Path {
+        Path {
+            kind: self.kind.clone(),
+            certainty,
+        }
+    }
+
+    /// A copy demoted to `Possible`.
+    pub fn weakened(&self) -> Path {
+        self.with_certainty(Certainty::Possible)
+    }
+
+    pub fn is_definite(&self) -> bool {
+        self.certainty.is_definite()
+    }
+
+    /// The minimum number of edges along the path (0 for `S`).
+    pub fn min_len(&self) -> u32 {
+        self.links().iter().map(|l| l.min).sum()
+    }
+
+    /// The maximum number of edges, `None` if unbounded.
+    pub fn max_len(&self) -> Option<u32> {
+        let mut total = 0u32;
+        for l in self.links() {
+            total += l.max_edges()?;
+        }
+        Some(total)
+    }
+
+    /// Append one link at the end of the path (`p · dir^1` etc.).
+    pub fn append_link(&self, link: Link) -> Path {
+        match &self.kind {
+            PathKind::Same => Path {
+                kind: PathKind::Links(vec![link]),
+                certainty: self.certainty,
+            },
+            PathKind::Links(links) => {
+                let mut new_links = links.clone();
+                new_links.push(link);
+                Path::from_links(new_links, self.certainty)
+            }
+        }
+    }
+
+    /// Concatenate two paths (`self · other`).  The certainty of the result
+    /// is the weaker of the two.
+    pub fn concat(&self, other: &Path) -> Path {
+        let certainty = self.certainty.and(other.certainty);
+        match (&self.kind, &other.kind) {
+            (PathKind::Same, _) => other.with_certainty(certainty),
+            (_, PathKind::Same) => self.with_certainty(certainty),
+            (PathKind::Links(a), PathKind::Links(b)) => {
+                let mut links = a.clone();
+                links.extend(b.iter().copied());
+                Path::from_links(links, certainty)
+            }
+        }
+    }
+
+    /// Whether every concrete path described by `other` is also described by
+    /// `self` (shape only; certainty is ignored).
+    pub fn covers(&self, other: &Path) -> bool {
+        match (&self.kind, &other.kind) {
+            (PathKind::Same, PathKind::Same) => true,
+            (PathKind::Same, _) | (_, PathKind::Same) => false,
+            (PathKind::Links(a), PathKind::Links(b)) => covers_links(a, b),
+        }
+    }
+
+    /// The least upper bound of two paths as a *single* path, if one exists
+    /// (`S` cannot be generalized with a link path).  Used for widening and
+    /// for bounding path-set cardinality.
+    pub fn generalize(&self, other: &Path) -> Option<Path> {
+        let certainty = self.certainty.and(other.certainty);
+        match (&self.kind, &other.kind) {
+            (PathKind::Same, PathKind::Same) => Some(Path::same(certainty)),
+            (PathKind::Same, _) | (_, PathKind::Same) => None,
+            (PathKind::Links(a), PathKind::Links(b)) => {
+                if a.len() == 1 && b.len() == 1 {
+                    return Some(Path::from_link(a[0].generalize(&b[0]), certainty));
+                }
+                if a.len() == b.len() {
+                    // element-wise generalization keeps more structure,
+                    // e.g. R1 D2 ⊔ R1 D5 = R1 D2+ ... only sound element-wise
+                    // when lengths may differ; fall back to the summary when
+                    // any pair disagrees on direction badly.  Element-wise
+                    // generalization is always an upper bound because each
+                    // segment's concretizations are covered.
+                    let links: Vec<Link> =
+                        a.iter().zip(b.iter()).map(|(x, y)| x.generalize(y)).collect();
+                    return Some(Path::from_links(links, certainty));
+                }
+                let sa = Self::summarize_links(a);
+                let sb = Self::summarize_links(b);
+                Some(Path::from_link(sa.generalize(&sb), certainty))
+            }
+        }
+    }
+
+    /// The first link of the path, if it is a link path.
+    pub fn first_link(&self) -> Option<&Link> {
+        self.links().first()
+    }
+
+    /// Whether the path's first edge is guaranteed to follow `dir`
+    /// (`dir` is a concrete direction, `Left` or `Right`).
+    pub fn starts_definitely_with(&self, dir: Dir) -> bool {
+        self.first_link().is_some_and(|l| l.dir == dir)
+    }
+
+    /// Whether the path's first edge could follow `dir`.
+    pub fn may_start_with(&self, dir: Dir) -> bool {
+        self.first_link().is_some_and(|l| l.first_edge_may_be(dir))
+    }
+
+    /// View this path (from node `b` to some node `x`) from the `dir`-child
+    /// of `b` instead: the results describe the possible relationships
+    /// between `b.dir` and `x`.
+    ///
+    /// Returns every surviving shape; an empty vector means `x` cannot be
+    /// reached from the child along this path.  The `S` path never survives
+    /// re-rooting (the caller handles the `x` *is* `b` case separately).
+    pub fn strip_first(&self, dir: Dir) -> Vec<Path> {
+        let links = match &self.kind {
+            PathKind::Same => return Vec::new(),
+            PathKind::Links(links) => links,
+        };
+        let first = links[0];
+        let rest = &links[1..];
+        let Some(stripped) = first.strip_one(dir) else {
+            return Vec::new();
+        };
+
+        // The decomposition is forced (certainty preserved) only when the
+        // first edge *must* be `dir` and the remaining length is determined.
+        let forced = first.first_edge_must_be(dir) && first.exact;
+        let certainty = if forced {
+            self.certainty
+        } else {
+            Certainty::Possible
+        };
+
+        let mut out = Vec::new();
+
+        // Case 1: the first link is consumed entirely by the removed edge.
+        if first.can_be_single_edge() {
+            if rest.is_empty() {
+                out.push(Path::same(certainty));
+            } else {
+                out.push(Path::from_links(rest.to_vec(), certainty));
+            }
+        }
+
+        // Case 2: part of the first link remains.
+        if let Some(remaining) = stripped {
+            // `remaining` only applies when the link may span more than one
+            // edge; `strip_one` already encodes that (exact-1 links return
+            // `Some(None)` only).
+            let mut new_links = vec![remaining];
+            new_links.extend_from_slice(rest);
+            let path = Path::from_links(new_links, certainty);
+            if !out.contains(&path) {
+                out.push(path);
+            }
+        }
+        out
+    }
+}
+
+/// Partition-based coverage check for link sequences.
+fn covers_links(cover: &[Link], covered: &[Link]) -> bool {
+    if cover.is_empty() {
+        return covered.is_empty();
+    }
+    if covered.is_empty() {
+        return false;
+    }
+    // Assign a non-empty prefix of `covered` to `cover[0]` and recurse.
+    let head = cover[0];
+    let mut dirs_ok = true;
+    let mut total_min = 0u32;
+    let mut total_max = Some(0u32);
+    for k in 1..=covered.len() {
+        let link = covered[k - 1];
+        dirs_ok &= head.dir.covers(link.dir);
+        if !dirs_ok {
+            return false;
+        }
+        total_min += link.min;
+        total_max = match (total_max, link.max_edges()) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        // length interval of the group must fit inside head's interval
+        let len_ok = total_min >= head.min
+            && match (head.max_edges(), total_max) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(hm), Some(tm)) => tm <= hm,
+            };
+        if len_ok && covers_links(&cover[1..], &covered[k..]) {
+            return true;
+        }
+        // If the group is already longer than an exact head allows, adding
+        // more links cannot help.
+        if let Some(hm) = head.max_edges() {
+            if total_min > hm {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PathKind::Same => write!(f, "S")?,
+            PathKind::Links(links) => {
+                for l in links {
+                    write!(f, "{l}")?;
+                }
+            }
+        }
+        if self.certainty == Certainty::Possible {
+            write!(f, "?")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{at_least, exact, same};
+
+    #[test]
+    fn display_matches_paper() {
+        // Figure 2(a): the path L^1 L+ L^1 between a and b (normalized here
+        // to L3+ — "3 or more left links", the same set of concrete paths).
+        let p = Path::from_links(
+            vec![
+                Link::exact(Dir::Left, 1),
+                Link::at_least(Dir::Left, 1),
+                Link::exact(Dir::Left, 1),
+            ],
+            Certainty::Definite,
+        );
+        assert_eq!(p.to_string(), "L3+");
+        // Figure 2(a): R^1 D^+ between a and c.
+        let p = Path::from_links(
+            vec![Link::exact(Dir::Right, 1), Link::at_least(Dir::Down, 1)],
+            Certainty::Definite,
+        );
+        assert_eq!(p.to_string(), "R1D+");
+        assert_eq!(same().to_string(), "S");
+        assert_eq!(same().weakened().to_string(), "S?");
+        assert_eq!(at_least(Dir::Down, 1).weakened().to_string(), "D+?");
+    }
+
+    #[test]
+    fn normalization_fuses_adjacent_links() {
+        let p = Path::from_links(
+            vec![Link::exact(Dir::Left, 2), Link::exact(Dir::Left, 3)],
+            Certainty::Definite,
+        );
+        assert_eq!(p.links(), &[Link::exact(Dir::Left, 5)]);
+    }
+
+    #[test]
+    fn over_long_paths_are_widened() {
+        let links: Vec<Link> = vec![
+            Link::exact(Dir::Left, 1),
+            Link::exact(Dir::Right, 1),
+            Link::exact(Dir::Left, 1),
+            Link::exact(Dir::Right, 1),
+            Link::exact(Dir::Left, 1),
+            Link::exact(Dir::Right, 1),
+        ];
+        let p = Path::from_links(links, Certainty::Definite);
+        assert_eq!(p.links().len(), 1);
+        assert_eq!(p.links()[0], Link::exact(Dir::Down, 6));
+    }
+
+    #[test]
+    fn min_and_max_len() {
+        assert_eq!(same().min_len(), 0);
+        assert_eq!(same().max_len(), Some(0));
+        let p = Path::from_links(
+            vec![Link::exact(Dir::Right, 1), Link::at_least(Dir::Down, 1)],
+            Certainty::Definite,
+        );
+        assert_eq!(p.min_len(), 2);
+        assert_eq!(p.max_len(), None);
+        assert_eq!(exact(Dir::Left, 3).max_len(), Some(3));
+    }
+
+    #[test]
+    fn append_and_concat() {
+        let p = same().append_link(Link::exact(Dir::Left, 1));
+        assert_eq!(p, exact(Dir::Left, 1));
+        let p = exact(Dir::Left, 1).append_link(Link::exact(Dir::Left, 1));
+        assert_eq!(p, exact(Dir::Left, 2));
+        let q = exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1));
+        assert_eq!(q.to_string(), "R1D+");
+        assert_eq!(same().concat(&q), q);
+        assert_eq!(q.concat(&same()), q);
+        // possible · definite = possible
+        let weak = exact(Dir::Left, 1).weakened().concat(&exact(Dir::Left, 1));
+        assert_eq!(weak.certainty, Certainty::Possible);
+    }
+
+    #[test]
+    fn coverage_examples() {
+        assert!(at_least(Dir::Down, 1).covers(&exact(Dir::Left, 2)));
+        assert!(at_least(Dir::Down, 1).covers(&at_least(Dir::Right, 1)));
+        assert!(!exact(Dir::Left, 1).covers(&exact(Dir::Left, 2)));
+        assert!(same().covers(&same()));
+        assert!(!same().covers(&exact(Dir::Left, 1)));
+        assert!(!exact(Dir::Left, 1).covers(&same()));
+        // multi-link: D+ covers R1 D+ ; R1 D+ does not cover D+
+        let r1dp = exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1));
+        assert!(at_least(Dir::Down, 1).covers(&r1dp));
+        assert!(!r1dp.covers(&at_least(Dir::Down, 1)));
+        // R1 D+ covers R1 L3
+        let r1l3 = exact(Dir::Right, 1).concat(&exact(Dir::Left, 3));
+        assert!(r1dp.covers(&r1l3));
+        // L+ does not cover R1 L3
+        assert!(!at_least(Dir::Left, 1).covers(&r1l3));
+    }
+
+    #[test]
+    fn coverage_ignores_certainty() {
+        assert!(at_least(Dir::Down, 1)
+            .weakened()
+            .covers(&exact(Dir::Left, 1)));
+    }
+
+    #[test]
+    fn generalize_is_upper_bound() {
+        let cases = vec![
+            (exact(Dir::Left, 1), exact(Dir::Left, 2)),
+            (exact(Dir::Left, 1), exact(Dir::Right, 1)),
+            (at_least(Dir::Left, 1), exact(Dir::Right, 3)),
+            (
+                exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1)),
+                exact(Dir::Right, 1).concat(&exact(Dir::Left, 1)),
+            ),
+            (
+                exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1)),
+                exact(Dir::Left, 2),
+            ),
+        ];
+        for (a, b) in cases {
+            let g = a.generalize(&b).expect("link paths generalize");
+            assert!(g.covers(&a), "{g} should cover {a}");
+            assert!(g.covers(&b), "{g} should cover {b}");
+        }
+        assert_eq!(
+            same().generalize(&same()),
+            Some(Path::same(Certainty::Definite))
+        );
+        assert_eq!(same().generalize(&exact(Dir::Left, 1)), None);
+    }
+
+    #[test]
+    fn strip_first_exact_one() {
+        // Figure 2(b)→(c): p[a,c] = R1 D+ ; d := a.right ⇒ p[d,c] = D+
+        // (the first edge is definitely the right edge, so the remainder is
+        // definite).
+        let r1dp = exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1));
+        let stripped = r1dp.strip_first(Dir::Right);
+        assert_eq!(stripped, vec![at_least(Dir::Down, 1)]);
+
+        // Stripping the *left* edge of R1 D+ is impossible.
+        assert!(r1dp.strip_first(Dir::Left).is_empty());
+    }
+
+    #[test]
+    fn strip_first_of_d_plus() {
+        // Figure 2(c): p[d,c] = D+ ; e := d.left ⇒ p[e,c] = { S?, D+? }
+        let dplus = at_least(Dir::Down, 1);
+        let stripped = dplus.strip_first(Dir::Left);
+        assert_eq!(stripped.len(), 2);
+        assert!(stripped.contains(&Path::same(Certainty::Possible)));
+        assert!(stripped.contains(&at_least(Dir::Down, 1).weakened()));
+    }
+
+    #[test]
+    fn strip_first_exact_longer() {
+        // L^3 from the left child is definitely L^2.
+        let l3 = exact(Dir::Left, 3);
+        assert_eq!(l3.strip_first(Dir::Left), vec![exact(Dir::Left, 2)]);
+        // ... and empty from the right child.
+        assert!(l3.strip_first(Dir::Right).is_empty());
+    }
+
+    #[test]
+    fn strip_first_of_l_plus() {
+        // L+ from the left child: S? or L+?
+        let lp = at_least(Dir::Left, 1);
+        let stripped = lp.strip_first(Dir::Left);
+        assert!(stripped.contains(&Path::same(Certainty::Possible)));
+        assert!(stripped.contains(&at_least(Dir::Left, 1).weakened()));
+        // L+ from the right child: nothing.
+        assert!(lp.strip_first(Dir::Right).is_empty());
+    }
+
+    #[test]
+    fn strip_first_of_same_is_empty() {
+        assert!(same().strip_first(Dir::Left).is_empty());
+    }
+
+    #[test]
+    fn strip_results_cover_reality() {
+        // Soundness spot-check: for every concrete path of length n with a
+        // known first edge, stripping must produce a shape covering the
+        // suffix.  Model concrete paths as sequences of Dir::Left/Right.
+        let abstractions = vec![
+            at_least(Dir::Down, 1),
+            exact(Dir::Down, 3),
+            at_least(Dir::Left, 2),
+            exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1)),
+        ];
+        let concrete: Vec<Vec<Dir>> = vec![
+            vec![Dir::Left],
+            vec![Dir::Left, Dir::Right],
+            vec![Dir::Left, Dir::Left, Dir::Left],
+            vec![Dir::Right, Dir::Left, Dir::Right],
+        ];
+        for abs in &abstractions {
+            for conc in &concrete {
+                // Does `abs` describe `conc`?
+                let conc_path = Path::from_links(
+                    conc.iter().map(|d| Link::exact(*d, 1)).collect(),
+                    Certainty::Definite,
+                );
+                if !abs.covers(&conc_path) {
+                    continue;
+                }
+                // Strip the first edge of `conc` and check some result of
+                // strip_first covers the suffix.
+                let first = conc[0];
+                let suffix = &conc[1..];
+                let stripped = abs.strip_first(first);
+                if suffix.is_empty() {
+                    assert!(
+                        stripped.iter().any(|p| p.is_same()),
+                        "{abs} stripped by {first:?} should allow S"
+                    );
+                } else {
+                    let suffix_path = Path::from_links(
+                        suffix.iter().map(|d| Link::exact(*d, 1)).collect(),
+                        Certainty::Definite,
+                    );
+                    assert!(
+                        stripped.iter().any(|p| p.covers(&suffix_path)),
+                        "{abs} stripped by {first:?} should cover {suffix_path}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn start_predicates() {
+        let r1dp = exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1));
+        assert!(r1dp.starts_definitely_with(Dir::Right));
+        assert!(!r1dp.starts_definitely_with(Dir::Left));
+        assert!(r1dp.may_start_with(Dir::Right));
+        assert!(!r1dp.may_start_with(Dir::Left));
+        let dp = at_least(Dir::Down, 1);
+        assert!(!dp.starts_definitely_with(Dir::Left));
+        assert!(dp.may_start_with(Dir::Left));
+        assert!(dp.may_start_with(Dir::Right));
+        assert!(!same().may_start_with(Dir::Left));
+    }
+}

@@ -1,0 +1,373 @@
+//! Canonical, bounded sets of paths — one path-matrix entry.
+//!
+//! An entry `r[a,b]` is a set of paths.  The set is kept small and canonical:
+//!
+//! * duplicate shapes are merged (keeping the stronger certainty),
+//! * a *possible* path covered by another path in the set is dropped,
+//! * if the set grows beyond [`MAX_PATHS`], link paths are pairwise
+//!   generalized until it fits — a widening that keeps the abstract domain
+//!   finite.
+
+use crate::path::{Certainty, Path};
+use std::fmt;
+
+/// Maximum number of paths retained per matrix entry before widening.
+pub const MAX_PATHS: usize = 4;
+
+/// A canonical set of paths describing the relationship between two handles.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// The empty relationship: the two handles are unrelated.
+    pub fn empty() -> PathSet {
+        PathSet::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(path: Path) -> PathSet {
+        let mut s = PathSet::empty();
+        s.insert(path);
+        s
+    }
+
+    /// Build from an iterator of paths.
+    pub fn from_paths(paths: impl IntoIterator<Item = Path>) -> PathSet {
+        let mut s = PathSet::empty();
+        for p in paths {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Whether the set is empty (the handles are unrelated).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Number of paths in the set.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterate over the paths.
+    pub fn iter(&self) -> impl Iterator<Item = &Path> {
+        self.paths.iter()
+    }
+
+    /// The paths as a slice.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Whether the set contains `S` (definitely or possibly): the two
+    /// handles may name the same node.
+    pub fn may_be_same(&self) -> bool {
+        self.paths.iter().any(Path::is_same)
+    }
+
+    /// Whether the set contains a definite `S`: the two handles certainly
+    /// name the same node.
+    pub fn must_be_same(&self) -> bool {
+        self.paths.iter().any(|p| p.is_same() && p.is_definite())
+    }
+
+    /// Whether any (definite or possible) path of one or more links exists —
+    /// i.e. `b` may be a proper descendant of `a`.
+    pub fn may_be_descendant(&self) -> bool {
+        self.paths.iter().any(|p| !p.is_same())
+    }
+
+    /// Whether the relationship definitely holds via some path
+    /// (some member is definite).
+    pub fn has_definite(&self) -> bool {
+        self.paths.iter().any(Path::is_definite)
+    }
+
+    /// Insert a path, keeping the set canonical.
+    pub fn insert(&mut self, path: Path) {
+        // Exact-shape duplicate: keep the stronger certainty.
+        for existing in &mut self.paths {
+            if existing.kind == path.kind {
+                if path.is_definite() {
+                    existing.certainty = Certainty::Definite;
+                }
+                return;
+            }
+        }
+        // A possible path already covered by an existing path adds nothing.
+        if !path.is_definite() && self.paths.iter().any(|p| p.covers(&path)) {
+            return;
+        }
+        // Drop existing possible paths that the new path covers.
+        self.paths
+            .retain(|p| p.is_definite() || !path.covers(p) || p.kind == path.kind);
+        self.paths.push(path);
+        self.paths.sort();
+        if self.paths.len() > MAX_PATHS {
+            self.widen_to_fit();
+        }
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &PathSet) -> PathSet {
+        let mut result = self.clone();
+        for p in &other.paths {
+            result.insert(p.clone());
+        }
+        result
+    }
+
+    /// The control-flow join of two entries (meet of information): every
+    /// shape of either side survives, but a path stays definite only if the
+    /// *other* side also guarantees a path it covers.  Joining an entry with
+    /// itself is the identity.
+    pub fn join(&self, other: &PathSet) -> PathSet {
+        if self == other {
+            return self.clone();
+        }
+        let mut result = PathSet::empty();
+        for (mine, theirs) in [(self, other), (other, self)] {
+            for p in &mine.paths {
+                let certainty = if p.is_definite()
+                    && theirs
+                        .paths
+                        .iter()
+                        .any(|q| q.is_definite() && p.covers(q))
+                {
+                    Certainty::Definite
+                } else {
+                    Certainty::Possible
+                };
+                result.insert(p.with_certainty(certainty));
+            }
+        }
+        result
+    }
+
+    /// Demote every path to *possible*.
+    pub fn weakened(&self) -> PathSet {
+        PathSet::from_paths(self.paths.iter().map(Path::weakened))
+    }
+
+    /// Map every path through `f`, rebuilding a canonical set.
+    pub fn map(&self, f: impl Fn(&Path) -> Path) -> PathSet {
+        PathSet::from_paths(self.paths.iter().map(f))
+    }
+
+    /// Keep only paths satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&Path) -> bool) -> PathSet {
+        PathSet::from_paths(self.paths.iter().filter(|p| f(p)).cloned())
+    }
+
+    /// Concatenate every path of `self` with every path of `other`
+    /// (`{p · q | p ∈ self, q ∈ other}`).
+    pub fn concat(&self, other: &PathSet) -> PathSet {
+        let mut result = PathSet::empty();
+        for p in &self.paths {
+            for q in &other.paths {
+                result.insert(p.concat(q));
+            }
+        }
+        result
+    }
+
+    /// Whether every path of `other` is covered by some path of `self`
+    /// (shape containment of the described relations).
+    pub fn covers(&self, other: &PathSet) -> bool {
+        other
+            .paths
+            .iter()
+            .all(|q| self.paths.iter().any(|p| p.covers(q)))
+    }
+
+    fn widen_to_fit(&mut self) {
+        while self.paths.len() > MAX_PATHS {
+            // Generalize the two "closest" link paths (prefer pairs that
+            // generalize at all; `S` cannot be merged with link paths).
+            let mut best: Option<(usize, usize, Path)> = None;
+            'outer: for i in 0..self.paths.len() {
+                for j in (i + 1)..self.paths.len() {
+                    if let Some(g) = self.paths[i].generalize(&self.paths[j]) {
+                        best = Some((i, j, g));
+                        break 'outer;
+                    }
+                }
+            }
+            match best {
+                Some((i, j, g)) => {
+                    // Remove j first (j > i) to keep indices valid.
+                    self.paths.remove(j);
+                    self.paths.remove(i);
+                    // Re-insert through the canonical path.
+                    let mut rebuilt = PathSet::from_paths(self.paths.drain(..));
+                    rebuilt.insert(g);
+                    *self = rebuilt;
+                }
+                None => break, // only `S` variants remain; nothing to widen
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.paths.is_empty() {
+            return write!(f, "·");
+        }
+        let rendered: Vec<String> = self.paths.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", rendered.join(","))
+    }
+}
+
+impl FromIterator<Path> for PathSet {
+    fn from_iter<T: IntoIterator<Item = Path>>(iter: T) -> Self {
+        PathSet::from_paths(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Dir;
+    use crate::{at_least, exact, same};
+
+    #[test]
+    fn empty_set_properties() {
+        let s = PathSet::empty();
+        assert!(s.is_empty());
+        assert!(!s.may_be_same());
+        assert!(!s.may_be_descendant());
+        assert_eq!(s.to_string(), "·");
+    }
+
+    #[test]
+    fn insert_deduplicates_shapes() {
+        let mut s = PathSet::empty();
+        s.insert(exact(Dir::Left, 1).weakened());
+        s.insert(exact(Dir::Left, 1));
+        assert_eq!(s.len(), 1);
+        assert!(s.has_definite());
+    }
+
+    #[test]
+    fn insert_drops_covered_possible_paths() {
+        let mut s = PathSet::empty();
+        s.insert(at_least(Dir::Down, 1));
+        s.insert(exact(Dir::Left, 2).weakened());
+        assert_eq!(s.len(), 1, "{s}");
+        // but a definite specific path is kept alongside a covering one
+        let mut s = PathSet::empty();
+        s.insert(at_least(Dir::Down, 1).weakened());
+        s.insert(exact(Dir::Left, 2));
+        assert_eq!(s.len(), 2, "{s}");
+    }
+
+    #[test]
+    fn may_and_must_be_same() {
+        let s = PathSet::singleton(same());
+        assert!(s.may_be_same());
+        assert!(s.must_be_same());
+        let s = PathSet::singleton(same().weakened());
+        assert!(s.may_be_same());
+        assert!(!s.must_be_same());
+        let s = PathSet::singleton(exact(Dir::Left, 1));
+        assert!(!s.may_be_same());
+        assert!(s.may_be_descendant());
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let a = PathSet::singleton(exact(Dir::Left, 1));
+        let b = PathSet::singleton(exact(Dir::Right, 1));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn join_with_self_is_identity() {
+        let s = PathSet::from_paths(vec![same(), at_least(Dir::Down, 1)]);
+        assert_eq!(s.join(&s), s);
+    }
+
+    #[test]
+    fn join_demotes_unmatched_definites() {
+        // Figure 3 flavour: {S} ⊔ {L1} = {S?, L1?}
+        let a = PathSet::singleton(same());
+        let b = PathSet::singleton(exact(Dir::Left, 1));
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert!(!j.has_definite(), "{j}");
+        assert!(j.may_be_same());
+    }
+
+    #[test]
+    fn join_keeps_covered_definites() {
+        // {D+} ⊔ {L2} : D+ stays definite (both branches guarantee a
+        // downward path), L2 becomes possible.
+        let a = PathSet::singleton(at_least(Dir::Down, 1));
+        let b = PathSet::singleton(exact(Dir::Left, 2));
+        let j = a.join(&b);
+        let dplus = j
+            .iter()
+            .find(|p| p.to_string().starts_with("D+"))
+            .expect("D+ present");
+        assert!(dplus.is_definite(), "{j}");
+        let l2 = j.iter().find(|p| p.to_string().starts_with("L2"));
+        if let Some(l2) = l2 {
+            assert!(!l2.is_definite());
+        }
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let a = PathSet::from_paths(vec![same(), exact(Dir::Left, 2).weakened()]);
+        let b = PathSet::from_paths(vec![at_least(Dir::Left, 1)]);
+        assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn concat_of_sets() {
+        let a = PathSet::from_paths(vec![exact(Dir::Left, 1), exact(Dir::Right, 1)]);
+        let b = PathSet::singleton(at_least(Dir::Down, 1));
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().any(|p| p.to_string() == "L1D+"));
+        assert!(c.iter().any(|p| p.to_string() == "R1D+"));
+    }
+
+    #[test]
+    fn widening_bounds_cardinality() {
+        let mut s = PathSet::empty();
+        for i in 1..=10u32 {
+            s.insert(exact(Dir::Left, i));
+        }
+        assert!(s.len() <= MAX_PATHS, "{s}");
+        // the widened set must still cover each of the inserted paths
+        for i in 1..=10u32 {
+            assert!(
+                s.iter().any(|p| p.covers(&exact(Dir::Left, i))),
+                "{s} lost L{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_set_containment() {
+        let big = PathSet::from_paths(vec![same().weakened(), at_least(Dir::Down, 1).weakened()]);
+        let small = PathSet::singleton(exact(Dir::Left, 3).weakened());
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&PathSet::empty()));
+    }
+
+    #[test]
+    fn display_ordering_is_stable() {
+        let s = PathSet::from_paths(vec![at_least(Dir::Down, 1).weakened(), same().weakened()]);
+        let t = PathSet::from_paths(vec![same().weakened(), at_least(Dir::Down, 1).weakened()]);
+        assert_eq!(s.to_string(), t.to_string());
+        assert_eq!(s.to_string(), "S?,D+?");
+    }
+}

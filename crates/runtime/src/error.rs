@@ -1,0 +1,88 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Errors raised while executing a SIL program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A `.left`, `.right` or `.value` access through a nil handle.
+    NilDereference { context: String },
+    /// A call to a procedure or function that does not exist.
+    UnknownProcedure { name: String },
+    /// Wrong number of arguments at a call site.
+    ArityMismatch {
+        name: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// Use of a variable that has no value yet.
+    UninitializedVariable { name: String },
+    /// The node arena ran out of capacity.
+    StoreExhausted { capacity: usize },
+    /// The call stack exceeded the configured recursion limit.
+    RecursionLimit { limit: usize },
+    /// Division by zero.
+    DivisionByZero,
+    /// A value had the wrong type at runtime (indicates a type-checker gap).
+    TypeMismatch { context: String },
+    /// The program has no `main` procedure.
+    NoMain,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NilDereference { context } => {
+                write!(f, "nil handle dereferenced in `{context}`")
+            }
+            RuntimeError::UnknownProcedure { name } => {
+                write!(f, "call to unknown procedure `{name}`")
+            }
+            RuntimeError::ArityMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "`{name}` expects {expected} argument(s), got {actual}"
+            ),
+            RuntimeError::UninitializedVariable { name } => {
+                write!(f, "variable `{name}` used before it was assigned")
+            }
+            RuntimeError::StoreExhausted { capacity } => {
+                write!(f, "node store exhausted (capacity {capacity})")
+            }
+            RuntimeError::RecursionLimit { limit } => {
+                write!(f, "recursion limit of {limit} frames exceeded")
+            }
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::TypeMismatch { context } => {
+                write!(f, "runtime type mismatch in `{context}`")
+            }
+            RuntimeError::NoMain => write!(f, "program has no `main` procedure"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RuntimeError::NilDereference {
+            context: "l := h.left".into()
+        }
+        .to_string()
+        .contains("nil handle"));
+        assert!(RuntimeError::StoreExhausted { capacity: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(RuntimeError::RecursionLimit { limit: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(RuntimeError::DivisionByZero.to_string().contains("zero"));
+    }
+}

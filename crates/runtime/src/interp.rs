@@ -1,0 +1,871 @@
+//! The SIL interpreter.
+//!
+//! One interpreter executes both sequential and parallel SIL.  In
+//! [`ExecMode::Sequential`] the arms of a parallel statement run one after
+//! another (each starting from the statement's entry frame, as the parallel
+//! semantics prescribe) — this mode is deterministic, can log accesses for
+//! the [`crate::race`] detector, and accounts work and span.  In
+//! [`ExecMode::Rayon`] the arms really run concurrently on the host's cores
+//! via rayon's work-stealing scheduler (see [`crate::parallel`]).
+
+use crate::costmodel::Cost;
+use crate::error::RuntimeError;
+use crate::race::{Access, AccessLog, RaceDetector, RaceReport, Target};
+use crate::store::{NodeId, Store};
+use crate::value::{Frame, Value};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use sil_lang::ast::*;
+use sil_lang::pretty::pretty_stmt;
+use sil_lang::types::ProgramTypes;
+
+/// How parallel statements are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Deterministic in-order execution of parallel arms.
+    Sequential,
+    /// Real threads via rayon.
+    Rayon,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Capacity of the node store.
+    pub store_capacity: usize,
+    /// Maximum call-stack depth.
+    pub recursion_limit: usize,
+    /// Log accesses inside parallel statements and detect races
+    /// (sequential mode only).
+    pub detect_races: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            store_capacity: crate::store::DEFAULT_CAPACITY,
+            recursion_limit: 100_000,
+            detect_races: false,
+        }
+    }
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Work/span cost of the whole run.
+    pub cost: Cost,
+    /// The final frame of `main` (handles in it can be snapshotted through
+    /// the interpreter's store).
+    pub main_frame: Frame,
+    /// Races detected (only when `detect_races` was enabled).
+    pub races: Vec<RaceReport>,
+    /// Number of nodes allocated.
+    pub allocated_nodes: usize,
+}
+
+/// The SIL interpreter.
+pub struct Interpreter<'a> {
+    program: &'a Program,
+    types: &'a ProgramTypes,
+    pub config: RunConfig,
+    mode: ExecMode,
+    store: Store,
+    races: Mutex<Vec<RaceReport>>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// A sequential interpreter with the default configuration.
+    pub fn new(program: &'a Program, types: &'a ProgramTypes) -> Interpreter<'a> {
+        Interpreter::with_config(program, types, RunConfig::default())
+    }
+
+    /// A sequential interpreter with a custom configuration.
+    pub fn with_config(
+        program: &'a Program,
+        types: &'a ProgramTypes,
+        config: RunConfig,
+    ) -> Interpreter<'a> {
+        Interpreter::with_mode(program, types, config, ExecMode::Sequential)
+    }
+
+    /// An interpreter with an explicit execution mode (used by
+    /// [`crate::parallel::ParallelExecutor`]).
+    pub fn with_mode(
+        program: &'a Program,
+        types: &'a ProgramTypes,
+        config: RunConfig,
+        mode: ExecMode,
+    ) -> Interpreter<'a> {
+        let store = Store::with_capacity(config.store_capacity);
+        Interpreter {
+            program,
+            types,
+            config,
+            mode,
+            store,
+            races: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The node store (for snapshots after a run).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Run the program from `main`.
+    pub fn run(&mut self) -> Result<Outcome, RuntimeError> {
+        // start from a fresh store and race log on every run
+        self.store = Store::with_capacity(self.config.store_capacity);
+        self.races.lock().clear();
+        let main = self.program.main().ok_or(RuntimeError::NoMain)?;
+        let mut frame = Frame::new();
+        let mut log = None;
+        let cost = self.exec_stmt(&main.body, &mut frame, 0, &mut log)?;
+        Ok(Outcome {
+            cost,
+            main_frame: frame,
+            races: self.races.lock().clone(),
+            allocated_nodes: self.store.len(),
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        frame: &mut Frame,
+        depth: usize,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Cost, RuntimeError> {
+        match stmt {
+            Stmt::Block { stmts, .. } => {
+                let mut cost = Cost::ZERO;
+                for s in stmts {
+                    cost = cost.then(self.exec_stmt(s, frame, depth, log)?);
+                }
+                Ok(cost)
+            }
+            Stmt::Assign { lhs, rhs, .. } => self.exec_assign(lhs, rhs, frame, depth, log),
+            Stmt::Call { proc, args, .. } => {
+                let arg_values = self.eval_args(args, frame, log)?;
+                let (_, cost) = self.call(proc, arg_values, depth, log)?;
+                Ok(Cost::UNIT.then(cost))
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let taken = self.eval_bool(cond, frame, log)?;
+                let branch_cost = if taken {
+                    self.exec_stmt(then_branch, frame, depth, log)?
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, frame, depth, log)?
+                } else {
+                    Cost::ZERO
+                };
+                Ok(Cost::UNIT.then(branch_cost))
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut cost = Cost::ZERO;
+                loop {
+                    cost = cost.then(Cost::UNIT);
+                    if !self.eval_bool(cond, frame, log)? {
+                        break;
+                    }
+                    cost = cost.then(self.exec_stmt(body, frame, depth, log)?);
+                }
+                Ok(cost)
+            }
+            Stmt::Par { arms, .. } => self.exec_par(stmt, arms, frame, depth, log),
+        }
+    }
+
+    fn exec_par(
+        &self,
+        whole: &Stmt,
+        arms: &[Stmt],
+        frame: &mut Frame,
+        depth: usize,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Cost, RuntimeError> {
+        let base = frame.clone();
+        let results: Vec<Result<(Frame, Cost, AccessLog), RuntimeError>> = match self.mode {
+            ExecMode::Rayon => arms
+                .par_iter()
+                .map(|arm| {
+                    let mut arm_frame = base.clone();
+                    let mut arm_log = None;
+                    let cost = self.exec_stmt(arm, &mut arm_frame, depth, &mut arm_log)?;
+                    Ok((arm_frame, cost, AccessLog::new()))
+                })
+                .collect(),
+            ExecMode::Sequential => arms
+                .iter()
+                .map(|arm| {
+                    let mut arm_frame = base.clone();
+                    let mut arm_log = if self.config.detect_races {
+                        Some(AccessLog::new())
+                    } else {
+                        None
+                    };
+                    let cost = self.exec_stmt(arm, &mut arm_frame, depth, &mut arm_log)?;
+                    Ok((arm_frame, cost, arm_log.unwrap_or_default()))
+                })
+                .collect(),
+        };
+
+        let mut frames = Vec::with_capacity(arms.len());
+        let mut logs = Vec::with_capacity(arms.len());
+        let mut cost = Cost::ZERO;
+        for r in results {
+            let (f, c, l) = r?;
+            frames.push(f);
+            logs.push(l);
+            cost = cost.alongside(c);
+        }
+        if self.config.detect_races && self.mode == ExecMode::Sequential {
+            let races = RaceDetector::check(&logs, &pretty_stmt(whole));
+            if !races.is_empty() {
+                self.races.lock().extend(races);
+            }
+            if let Some(parent) = log.as_mut() {
+                for l in logs {
+                    parent.extend(l);
+                }
+            }
+        }
+        frame.merge_parallel(&base, &frames);
+        // The parallel statement itself is free: its work is its arms' work
+        // and its span is the longest arm, so a parallelized program has
+        // exactly the same work as its sequential original.
+        Ok(cost)
+    }
+
+    fn exec_assign(
+        &self,
+        lhs: &LValue,
+        rhs: &Rhs,
+        frame: &mut Frame,
+        depth: usize,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Cost, RuntimeError> {
+        let (value, rhs_cost) = match rhs {
+            Rhs::New => (Value::Handle(Some(self.store.alloc()?)), Cost::ZERO),
+            Rhs::Expr(e) => (self.eval_expr(e, frame, log)?, Cost::ZERO),
+            Rhs::Call(func, args) => {
+                let arg_values = self.eval_args(args, frame, log)?;
+                let (result, cost) = self.call(func, arg_values, depth, log)?;
+                let value = result.ok_or_else(|| RuntimeError::TypeMismatch {
+                    context: format!("{func} returned no value"),
+                })?;
+                (value, cost)
+            }
+        };
+        match lhs {
+            LValue::Var(name) => {
+                self.log_access(log, Access::write(Target::Var(name.clone())));
+                frame.set(name, value);
+            }
+            LValue::Field(path, field) => {
+                let id = self.eval_path_to_node(path, frame, log)?;
+                let child = value.as_handle().ok_or_else(|| RuntimeError::TypeMismatch {
+                    context: format!("{path}.{field} := <int>"),
+                })?;
+                self.log_access(log, Access::write(Target::NodeField(id, *field)));
+                self.store.set_child(id, *field, child);
+            }
+            LValue::Value(path) => {
+                let id = self.eval_path_to_node(path, frame, log)?;
+                let int = value.as_int().ok_or_else(|| RuntimeError::TypeMismatch {
+                    context: format!("{path}.value := <handle>"),
+                })?;
+                self.log_access(log, Access::write(Target::NodeValue(id)));
+                self.store.set_value(id, int);
+            }
+        }
+        Ok(Cost::UNIT.then(rhs_cost))
+    }
+
+    // ---- calls ------------------------------------------------------------
+
+    fn eval_args(
+        &self,
+        args: &[Expr],
+        frame: &mut Frame,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Vec<Value>, RuntimeError> {
+        args.iter().map(|a| self.eval_expr(a, frame, log)).collect()
+    }
+
+    /// Call a procedure or function.  Returns the returned value (for
+    /// functions) and the cost of the body.
+    fn call(
+        &self,
+        name: &str,
+        args: Vec<Value>,
+        depth: usize,
+        log: &mut Option<AccessLog>,
+    ) -> Result<(Option<Value>, Cost), RuntimeError> {
+        if depth + 1 > self.config.recursion_limit {
+            return Err(RuntimeError::RecursionLimit {
+                limit: self.config.recursion_limit,
+            });
+        }
+        let proc = self
+            .program
+            .procedure(name)
+            .ok_or_else(|| RuntimeError::UnknownProcedure {
+                name: name.to_string(),
+            })?;
+        if proc.params.len() != args.len() {
+            return Err(RuntimeError::ArityMismatch {
+                name: name.to_string(),
+                expected: proc.params.len(),
+                actual: args.len(),
+            });
+        }
+        let mut frame = Frame::new();
+        for (decl, value) in proc.params.iter().zip(args) {
+            frame.set(&decl.name, value);
+        }
+        // When the caller is being access-logged (race detection inside a
+        // parallel arm), the callee's *heap* accesses matter too — but its
+        // variable accesses are private to this invocation's frame and can
+        // never race, so they are filtered out before merging the logs.
+        let mut callee_log = if log.is_some() {
+            Some(AccessLog::new())
+        } else {
+            None
+        };
+        let cost = self.exec_stmt(&proc.body, &mut frame, depth + 1, &mut callee_log)?;
+        if let (Some(parent), Some(inner)) = (log.as_mut(), callee_log) {
+            for access in inner.accesses {
+                if !matches!(access.target, Target::Var(_)) {
+                    parent.record(access);
+                }
+            }
+        }
+        let result = match (&proc.return_type, &proc.return_var) {
+            (Some(_), Some(var)) => Some(frame.get(var).ok_or_else(|| {
+                RuntimeError::UninitializedVariable { name: var.clone() }
+            })?),
+            _ => None,
+        };
+        Ok((result, cost))
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn eval_bool(
+        &self,
+        expr: &Expr,
+        frame: &mut Frame,
+        log: &mut Option<AccessLog>,
+    ) -> Result<bool, RuntimeError> {
+        match self.eval_expr(expr, frame, log)? {
+            Value::Int(n) => Ok(n != 0),
+            Value::Handle(_) => Err(RuntimeError::TypeMismatch {
+                context: "handle used as a condition".to_string(),
+            }),
+        }
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        frame: &mut Frame,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Value, RuntimeError> {
+        match expr {
+            Expr::Int(n) => Ok(Value::Int(*n)),
+            Expr::Nil => Ok(Value::nil()),
+            Expr::Path(path) => self.eval_path(path, frame, log),
+            Expr::Value(path) => {
+                let id = self.eval_path_to_node(path, frame, log)?;
+                self.log_access(log, Access::read(Target::NodeValue(id)));
+                Ok(Value::Int(self.store.value(id)))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_expr(inner, frame, log)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Int(-self.expect_int(&v, "unary -")?)),
+                    UnOp::Not => Ok(Value::Int(
+                        if self.expect_int(&v, "not")? == 0 { 1 } else { 0 },
+                    )),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = self.eval_expr(lhs, frame, log)?;
+                let r = self.eval_expr(rhs, frame, log)?;
+                self.eval_binop(*op, l, r)
+            }
+        }
+    }
+
+    fn eval_binop(&self, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+        use BinOp::*;
+        match op {
+            Eq | Ne => {
+                let equal = match (l, r) {
+                    (Value::Int(a), Value::Int(b)) => a == b,
+                    (Value::Handle(a), Value::Handle(b)) => a == b,
+                    _ => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "comparison of int with handle".to_string(),
+                        })
+                    }
+                };
+                let result = if op == Eq { equal } else { !equal };
+                Ok(Value::Int(result as i64))
+            }
+            Lt | Le | Gt | Ge => {
+                let a = self.expect_int(&l, "ordering")?;
+                let b = self.expect_int(&r, "ordering")?;
+                let result = match op {
+                    Lt => a < b,
+                    Le => a <= b,
+                    Gt => a > b,
+                    Ge => a >= b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(result as i64))
+            }
+            And | Or => {
+                let a = self.expect_int(&l, "logical")? != 0;
+                let b = self.expect_int(&r, "logical")? != 0;
+                let result = if op == And { a && b } else { a || b };
+                Ok(Value::Int(result as i64))
+            }
+            Add | Sub | Mul | Div => {
+                let a = self.expect_int(&l, "arithmetic")?;
+                let b = self.expect_int(&r, "arithmetic")?;
+                let result = match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    Mul => a.wrapping_mul(b),
+                    Div => {
+                        if b == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(result))
+            }
+        }
+    }
+
+    fn expect_int(&self, v: &Value, context: &str) -> Result<i64, RuntimeError> {
+        v.as_int().ok_or_else(|| RuntimeError::TypeMismatch {
+            context: context.to_string(),
+        })
+    }
+
+    /// Evaluate a handle path to a value (following zero or more field
+    /// loads).
+    fn eval_path(
+        &self,
+        path: &HandlePath,
+        frame: &mut Frame,
+        log: &mut Option<AccessLog>,
+    ) -> Result<Value, RuntimeError> {
+        self.log_access(log, Access::read(Target::Var(path.base.clone())));
+        let mut current = frame
+            .get(&path.base)
+            .ok_or_else(|| RuntimeError::UninitializedVariable {
+                name: path.base.clone(),
+            })?;
+        for field in &path.fields {
+            let id = current
+                .as_handle()
+                .ok_or_else(|| RuntimeError::TypeMismatch {
+                    context: path.to_string(),
+                })?
+                .ok_or_else(|| RuntimeError::NilDereference {
+                    context: path.to_string(),
+                })?;
+            self.log_access(log, Access::read(Target::NodeField(id, *field)));
+            current = Value::Handle(self.store.child(id, *field));
+        }
+        Ok(current)
+    }
+
+    /// Evaluate a handle path and require it to name an actual node.
+    fn eval_path_to_node(
+        &self,
+        path: &HandlePath,
+        frame: &mut Frame,
+        log: &mut Option<AccessLog>,
+    ) -> Result<NodeId, RuntimeError> {
+        match self.eval_path(path, frame, log)? {
+            Value::Handle(Some(id)) => Ok(id),
+            Value::Handle(None) => Err(RuntimeError::NilDereference {
+                context: path.to_string(),
+            }),
+            Value::Int(_) => Err(RuntimeError::TypeMismatch {
+                context: path.to_string(),
+            }),
+        }
+    }
+
+    fn log_access(&self, log: &mut Option<AccessLog>, access: Access) {
+        if let Some(log) = log.as_mut() {
+            log.record(access);
+        }
+    }
+
+    /// Snapshot the structure reachable from a handle variable of the final
+    /// `main` frame.
+    pub fn snapshot_of(&self, outcome: &Outcome, var: &str) -> Option<crate::store::NodeSnapshot> {
+        match outcome.main_frame.get(var) {
+            Some(Value::Handle(h)) => Some(self.store.snapshot(h)),
+            _ => None,
+        }
+    }
+
+    /// The types table this interpreter was built with (exposed for
+    /// completeness; execution itself is untyped).
+    pub fn types(&self) -> &ProgramTypes {
+        self.types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_lang::frontend;
+
+    fn run_src(src: &str) -> (Outcome, Store) {
+        let (program, types) = frontend(src).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        let outcome = interp.run().unwrap();
+        let store = std::mem::take(&mut interp.store);
+        (outcome, store)
+    }
+
+    #[test]
+    fn runs_add_and_reverse() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        let outcome = interp.run().unwrap();
+        // build(4) allocates 2^4 - 1 = 15 nodes
+        assert_eq!(outcome.allocated_nodes, 15);
+        assert!(outcome.cost.work > 15);
+        assert_eq!(outcome.cost.span, outcome.cost.work, "sequential program");
+        let snap = interp.snapshot_of(&outcome, "root").unwrap();
+        assert_eq!(snap.size(), 15);
+        assert_eq!(snap.height(), 4);
+    }
+
+    #[test]
+    fn add_and_reverse_semantics() {
+        // After add_n(lside,1), add_n(rside,-1) and reverse(root):
+        // the whole tree is mirrored and the left/right subtrees got +1/-1.
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        let outcome = interp.run().unwrap();
+        let snap = interp.snapshot_of(&outcome, "root").unwrap();
+        // root value is `depth` = 4 (untouched by add_n on the subtrees)
+        match &snap {
+            crate::store::NodeSnapshot::Node { value, left, right } => {
+                assert_eq!(*value, 4);
+                // after reverse, the original left subtree (values +1) is on
+                // the right and vice versa
+                let left_sum: i64 = left.in_order().iter().sum();
+                let right_sum: i64 = right.in_order().iter().sum();
+                // subtree of depth 3 has values 3,2,2,1,1,1,1 summing to 11;
+                // +1 per node (7 nodes) = 18, -1 per node = 4
+                assert_eq!(right_sum, 18, "original left subtree, bumped by +1");
+                assert_eq!(left_sum, 4, "original right subtree, bumped by -1");
+            }
+            other => panic!("expected a node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_version_produces_identical_heap() {
+        let (seq_prog, seq_types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let (par_prog, par_types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE_PARALLEL).unwrap();
+        let mut seq = Interpreter::new(&seq_prog, &seq_types);
+        let seq_out = seq.run().unwrap();
+        let mut par = Interpreter::new(&par_prog, &par_types);
+        let par_out = par.run().unwrap();
+        let seq_snap = seq.snapshot_of(&seq_out, "root").unwrap();
+        let par_snap = par.snapshot_of(&par_out, "root").unwrap();
+        assert_eq!(seq_snap, par_snap);
+        // and the parallel version has a strictly shorter critical path
+        assert!(par_out.cost.span < seq_out.cost.span);
+        assert_eq!(par_out.cost.work, seq_out.cost.work);
+    }
+
+    #[test]
+    fn leftmost_loop_terminates() {
+        let (outcome, _) = run_src(sil_lang::testsrc::LEFTMOST_LOOP);
+        assert!(outcome.cost.work > 0);
+    }
+
+    #[test]
+    fn while_loop_and_arithmetic() {
+        let src = r#"
+program arith
+procedure main()
+  x, s: int
+begin
+  x := 1;
+  s := 0;
+  while x <= 10 do
+  begin
+    s := s + x;
+    x := x + 1
+  end
+end
+"#;
+        let (outcome, _) = run_src(src);
+        assert_eq!(outcome.main_frame.get("s"), Some(Value::Int(55)));
+        assert_eq!(outcome.main_frame.get("x"), Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn if_else_and_comparisons() {
+        let src = r#"
+program cmp
+procedure main()
+  a, b, mx: int
+begin
+  a := 3;
+  b := 7;
+  if a > b then mx := a else mx := b;
+  if a = 3 and b <> 3 then a := a * 2;
+  if a >= 100 or b < 100 then b := b - 1
+end
+"#;
+        let (outcome, _) = run_src(src);
+        assert_eq!(outcome.main_frame.get("mx"), Some(Value::Int(7)));
+        assert_eq!(outcome.main_frame.get("a"), Some(Value::Int(6)));
+        assert_eq!(outcome.main_frame.get("b"), Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn nil_dereference_is_reported() {
+        let src = r#"
+program boom
+procedure main()
+  a, b: handle
+begin
+  a := nil;
+  b := a.left
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        assert!(matches!(
+            interp.run(),
+            Err(RuntimeError::NilDereference { .. })
+        ));
+    }
+
+    #[test]
+    fn uninitialized_variable_is_reported() {
+        let src = r#"
+program boom
+procedure main()
+  a, b: handle
+begin
+  b := a
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        assert!(matches!(
+            interp.run(),
+            Err(RuntimeError::UninitializedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn recursion_limit_is_enforced() {
+        let src = r#"
+program deep
+procedure spin(n: int)
+begin
+  spin(n + 1)
+end
+procedure main()
+begin
+  spin(0)
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let config = RunConfig {
+            recursion_limit: 64,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::with_config(&program, &types, config);
+        assert!(matches!(
+            interp.run(),
+            Err(RuntimeError::RecursionLimit { limit: 64 })
+        ));
+    }
+
+    #[test]
+    fn store_capacity_is_enforced() {
+        let src = r#"
+program hungry
+procedure main()
+  a: handle; i: int
+begin
+  i := 0;
+  while i < 100 do
+  begin
+    a := new();
+    i := i + 1
+  end
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let config = RunConfig {
+            store_capacity: 10,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::with_config(&program, &types, config);
+        assert!(matches!(
+            interp.run(),
+            Err(RuntimeError::StoreExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn division_and_errors() {
+        let src = r#"
+program div
+procedure main()
+  x: int
+begin
+  x := 10 / 3
+end
+"#;
+        let (outcome, _) = run_src(src);
+        assert_eq!(outcome.main_frame.get("x"), Some(Value::Int(3)));
+
+        let src = r#"
+program div0
+procedure main()
+  x: int
+begin
+  x := 10 / 0
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let mut interp = Interpreter::new(&program, &types);
+        assert!(matches!(interp.run(), Err(RuntimeError::DivisionByZero)));
+    }
+
+    #[test]
+    fn function_return_values() {
+        let src = r#"
+program funcs
+function double(n: int) int
+  r: int
+begin
+  r := n * 2
+end
+return (r)
+procedure main()
+  x: int
+begin
+  x := double(21)
+end
+"#;
+        let (outcome, _) = run_src(src);
+        assert_eq!(outcome.main_frame.get("x"), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn parallel_arms_see_the_entry_frame() {
+        // Both arms read `x` as it was before the parallel statement.
+        let src = r#"
+program snapshot_semantics
+procedure main()
+  x, a, b: int
+begin
+  x := 5;
+  a := x + 1 || b := x + 2
+end
+"#;
+        let (outcome, _) = run_src(src);
+        assert_eq!(outcome.main_frame.get("a"), Some(Value::Int(6)));
+        assert_eq!(outcome.main_frame.get("b"), Some(Value::Int(7)));
+        assert_eq!(outcome.main_frame.get("x"), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn parallel_cost_takes_max_span() {
+        let src = r#"
+program spans
+procedure work(t: handle; n: int)
+  i: int
+begin
+  i := 0;
+  while i < n do
+  begin
+    t.value := t.value + 1;
+    i := i + 1
+  end
+end
+procedure main()
+  a, b: handle
+begin
+  a := new();
+  b := new();
+  work(a, 10) || work(b, 20)
+end
+"#;
+        let (outcome, _) = run_src(src);
+        // work is the sum of both calls, span is dominated by the longer one
+        assert!(outcome.cost.work > outcome.cost.span);
+        assert!(outcome.cost.parallelism() > 1.3);
+    }
+
+    #[test]
+    fn race_detection_flags_value_race() {
+        let src = r#"
+program racy
+procedure main()
+  a, b: handle
+begin
+  a := new();
+  b := a;
+  a.value := 1 || b.value := 2
+end
+"#;
+        let (program, types) = frontend(src).unwrap();
+        let config = RunConfig {
+            detect_races: true,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::with_config(&program, &types, config);
+        let outcome = interp.run().unwrap();
+        assert!(!outcome.races.is_empty());
+    }
+
+    #[test]
+    fn race_detection_passes_clean_parallel_program() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE_PARALLEL).unwrap();
+        let config = RunConfig {
+            detect_races: true,
+            ..RunConfig::default()
+        };
+        let mut interp = Interpreter::with_config(&program, &types, config);
+        let outcome = interp.run().unwrap();
+        assert!(
+            outcome.races.is_empty(),
+            "Figure 8 must be race free: {:?}",
+            outcome.races.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

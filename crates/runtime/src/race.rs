@@ -1,0 +1,232 @@
+//! A dynamic race detector for parallel SIL programs.
+//!
+//! During a *sequential* (deterministic) execution of a parallel program the
+//! interpreter can log every memory access made by each arm of a parallel
+//! statement.  Two arms race when one writes a location the other reads or
+//! writes.  The detector is used to validate the static analysis: programs
+//! the interference analysis approves must execute without races, and the
+//! deliberately broken programs used in the "debugging" experiments must
+//! produce reports.
+
+use crate::store::NodeId;
+use sil_lang::Field;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What was accessed.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Target {
+    /// A variable of the current frame.
+    Var(String),
+    /// The `left`/`right` field of a node.
+    NodeField(NodeId, Field),
+    /// The `value` field of a node.
+    NodeValue(NodeId),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Var(name) => write!(f, "variable `{name}`"),
+            Target::NodeField(id, field) => write!(f, "node #{id}.{field}"),
+            Target::NodeValue(id) => write!(f, "node #{id}.value"),
+        }
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One logged access.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Access {
+    pub kind: AccessKind,
+    pub target: Target,
+}
+
+impl Access {
+    pub fn read(target: Target) -> Access {
+        Access {
+            kind: AccessKind::Read,
+            target,
+        }
+    }
+
+    pub fn write(target: Target) -> Access {
+        Access {
+            kind: AccessKind::Write,
+            target,
+        }
+    }
+}
+
+/// The access log of one parallel arm.
+#[derive(Debug, Clone, Default)]
+pub struct AccessLog {
+    pub accesses: Vec<Access>,
+}
+
+impl AccessLog {
+    pub fn new() -> AccessLog {
+        AccessLog::default()
+    }
+
+    pub fn record(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    pub fn extend(&mut self, other: AccessLog) {
+        self.accesses.extend(other.accesses);
+    }
+
+    fn writes(&self) -> BTreeSet<&Target> {
+        self.accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Write)
+            .map(|a| &a.target)
+            .collect()
+    }
+
+    fn touched(&self) -> BTreeSet<&Target> {
+        self.accesses.iter().map(|a| &a.target).collect()
+    }
+}
+
+/// A detected race between two arms of a parallel statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Indices of the two conflicting arms.
+    pub arms: (usize, usize),
+    /// The conflicting location.
+    pub target: Target,
+    /// Pretty rendering of the parallel statement.
+    pub statement: String,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race between arms {} and {} of `{}` on {}",
+            self.arms.0 + 1,
+            self.arms.1 + 1,
+            self.statement,
+            self.target
+        )
+    }
+}
+
+/// Pairwise race detection over the arms of one parallel statement.
+#[derive(Debug, Default)]
+pub struct RaceDetector;
+
+impl RaceDetector {
+    /// Check the logs of all arms of a parallel statement.
+    pub fn check(arm_logs: &[AccessLog], statement: &str) -> Vec<RaceReport> {
+        let mut reports = Vec::new();
+        for i in 0..arm_logs.len() {
+            for j in (i + 1)..arm_logs.len() {
+                let writes_i = arm_logs[i].writes();
+                let writes_j = arm_logs[j].writes();
+                let touched_i = arm_logs[i].touched();
+                let touched_j = arm_logs[j].touched();
+                let mut conflicting: BTreeSet<&Target> = BTreeSet::new();
+                for w in &writes_i {
+                    if touched_j.contains(*w) {
+                        conflicting.insert(w);
+                    }
+                }
+                for w in &writes_j {
+                    if touched_i.contains(*w) {
+                        conflicting.insert(w);
+                    }
+                }
+                for target in conflicting {
+                    reports.push(RaceReport {
+                        arms: (i, j),
+                        target: target.clone(),
+                        statement: statement.to_string(),
+                    });
+                }
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(accesses: Vec<Access>) -> AccessLog {
+        AccessLog { accesses }
+    }
+
+    #[test]
+    fn disjoint_arms_do_not_race() {
+        let a = log(vec![
+            Access::read(Target::NodeValue(1)),
+            Access::write(Target::NodeValue(1)),
+            Access::write(Target::Var("x".into())),
+        ]);
+        let b = log(vec![
+            Access::read(Target::NodeValue(2)),
+            Access::write(Target::NodeValue(2)),
+            Access::write(Target::Var("y".into())),
+        ]);
+        assert!(RaceDetector::check(&[a, b], "s1 || s2").is_empty());
+    }
+
+    #[test]
+    fn write_write_race() {
+        let a = log(vec![Access::write(Target::NodeValue(7))]);
+        let b = log(vec![Access::write(Target::NodeValue(7))]);
+        let races = RaceDetector::check(&[a, b], "s1 || s2");
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].target, Target::NodeValue(7));
+        assert_eq!(races[0].arms, (0, 1));
+    }
+
+    #[test]
+    fn read_write_race() {
+        let a = log(vec![Access::read(Target::Var("x".into()))]);
+        let b = log(vec![Access::write(Target::Var("x".into()))]);
+        assert_eq!(RaceDetector::check(&[a, b], "s").len(), 1);
+        // read-read is fine
+        let a = log(vec![Access::read(Target::Var("x".into()))]);
+        let b = log(vec![Access::read(Target::Var("x".into()))]);
+        assert!(RaceDetector::check(&[a, b], "s").is_empty());
+    }
+
+    #[test]
+    fn field_and_value_of_same_node_do_not_conflict() {
+        let a = log(vec![Access::write(Target::NodeValue(3))]);
+        let b = log(vec![Access::write(Target::NodeField(3, Field::Left))]);
+        assert!(RaceDetector::check(&[a, b], "s").is_empty());
+    }
+
+    #[test]
+    fn three_way_races_report_each_pair() {
+        let mk = || log(vec![Access::write(Target::Var("x".into()))]);
+        let races = RaceDetector::check(&[mk(), mk(), mk()], "s");
+        assert_eq!(races.len(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let races = RaceDetector::check(
+            &[
+                log(vec![Access::write(Target::NodeValue(9))]),
+                log(vec![Access::read(Target::NodeValue(9))]),
+            ],
+            "a.value := 1 || x := b.value",
+        );
+        let s = races[0].to_string();
+        assert!(s.contains("node #9.value"));
+        assert!(s.contains("arms 1 and 2"));
+    }
+}

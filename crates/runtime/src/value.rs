@@ -1,0 +1,145 @@
+//! Runtime values and variable frames.
+
+use crate::store::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value: an integer or a handle (possibly nil).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    Int(i64),
+    Handle(Option<NodeId>),
+}
+
+impl Value {
+    /// The nil handle.
+    pub fn nil() -> Value {
+        Value::Handle(None)
+    }
+
+    /// The integer contained in the value, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Handle(_) => None,
+        }
+    }
+
+    /// The handle contained in the value, if it is a handle.
+    pub fn as_handle(&self) -> Option<Option<NodeId>> {
+        match self {
+            Value::Handle(h) => Some(*h),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Handle(None) => write!(f, "nil"),
+            Value::Handle(Some(id)) => write!(f, "#{id}"),
+        }
+    }
+}
+
+/// A variable environment for one procedure invocation (SIL is call-by-value
+/// and statically scoped, so a frame is a flat map of the procedure's
+/// parameters and locals).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Frame {
+    vars: HashMap<String, Value>,
+}
+
+impl Frame {
+    pub fn new() -> Frame {
+        Frame::default()
+    }
+
+    /// Read a variable.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).copied()
+    }
+
+    /// Write a variable.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    /// Whether the variable has been assigned.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// Iterate over the bound variables.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.vars.iter()
+    }
+
+    /// Merge the effects of parallel arms back into this frame: a variable
+    /// binding is taken from an arm if the arm changed it relative to the
+    /// `base` frame.  When several arms changed the same variable the last
+    /// arm wins (the verifier/race detector flags such programs — this is
+    /// only a fallback so execution can proceed deterministically).
+    pub fn merge_parallel(&mut self, base: &Frame, arms: &[Frame]) {
+        for arm in arms {
+            for (name, value) in arm.iter() {
+                if base.get(name) != Some(*value) {
+                    self.set(name, *value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_handle(), None);
+        assert_eq!(Value::Handle(Some(7)).as_handle(), Some(Some(7)));
+        assert_eq!(Value::nil().as_handle(), Some(None));
+        assert_eq!(Value::nil().to_string(), "nil");
+        assert_eq!(Value::Handle(Some(4)).to_string(), "#4");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn frame_get_set() {
+        let mut f = Frame::new();
+        assert!(!f.contains("x"));
+        f.set("x", Value::Int(1));
+        assert_eq!(f.get("x"), Some(Value::Int(1)));
+        f.set("x", Value::Int(2));
+        assert_eq!(f.get("x"), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn merge_parallel_takes_changed_bindings() {
+        let mut base = Frame::new();
+        base.set("a", Value::Int(0));
+        base.set("b", Value::Int(0));
+        let mut arm1 = base.clone();
+        arm1.set("a", Value::Int(10));
+        let mut arm2 = base.clone();
+        arm2.set("b", Value::Int(20));
+        let mut merged = base.clone();
+        merged.merge_parallel(&base, &[arm1, arm2]);
+        assert_eq!(merged.get("a"), Some(Value::Int(10)));
+        assert_eq!(merged.get("b"), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn merge_parallel_new_bindings() {
+        let base = Frame::new();
+        let mut arm = Frame::new();
+        arm.set("fresh", Value::Int(5));
+        let mut merged = base.clone();
+        merged.merge_parallel(&base, &[arm]);
+        assert_eq!(merged.get("fresh"), Some(Value::Int(5)));
+    }
+}

@@ -1,0 +1,279 @@
+//! Classification of normalized assignments into the paper's *basic handle
+//! statements*.
+//!
+//! The path-matrix analysis, the interference functions and the interpreter
+//! all dispatch on the shape of an assignment.  [`BasicStmt::classify`] gives
+//! them a single, exhaustive view: given an [`Stmt::Assign`] (or a call) in a
+//! normalized program together with the enclosing procedure's symbol table,
+//! it returns which of the paper's statement forms it is.
+
+use crate::ast::*;
+use crate::types::{ProcSignature, Type};
+
+/// The basic statement forms of the paper (Section 3.2) plus the scalar and
+/// call forms needed to cover every normalized statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BasicStmt<'a> {
+    /// `a := nil` where `a` is a handle.
+    AssignNil { dst: &'a str },
+    /// `a := new()`.
+    AssignNew { dst: &'a str },
+    /// `a := b` where both are handles.
+    AssignCopy { dst: &'a str, src: &'a str },
+    /// `a := b.left` / `a := b.right`.
+    AssignLoad {
+        dst: &'a str,
+        src: &'a str,
+        field: Field,
+    },
+    /// `a.left := b` / `a.right := b`.
+    StoreField {
+        dst: &'a str,
+        field: Field,
+        src: &'a str,
+    },
+    /// `a.left := nil` / `a.right := nil`.
+    StoreFieldNil { dst: &'a str, field: Field },
+    /// `x := a.value` — the value-load form singled out in Figure 5; `expr`
+    /// is exactly `a.value`.
+    ValueLoad { dst: &'a str, src: &'a str },
+    /// `a.value := e` — the value-store form; `e` is an integer expression.
+    ValueStore { dst: &'a str, value: &'a Expr },
+    /// `x := e` — a scalar (integer) assignment.  `e` may read `.value`
+    /// fields of handle variables.
+    ScalarAssign { dst: &'a str, value: &'a Expr },
+    /// `x := f(args)` / `a := f(args)` — a function-call assignment.
+    FuncAssign {
+        dst: &'a str,
+        func: &'a str,
+        args: &'a [Expr],
+    },
+    /// `p(args)` — a procedure call.
+    ProcCall { proc: &'a str, args: &'a [Expr] },
+}
+
+impl<'a> BasicStmt<'a> {
+    /// Classify a normalized statement.  Returns `None` for compound
+    /// statements (`if`, `while`, blocks, `||`) and for assignments that are
+    /// not in basic form (i.e. the program was not normalized).
+    pub fn classify(stmt: &'a Stmt, sig: &ProcSignature) -> Option<BasicStmt<'a>> {
+        match stmt {
+            Stmt::Call { proc, args, .. } => Some(BasicStmt::ProcCall { proc, args }),
+            Stmt::Assign { lhs, rhs, .. } => Self::classify_assign(lhs, rhs, sig),
+            _ => None,
+        }
+    }
+
+    fn classify_assign(lhs: &'a LValue, rhs: &'a Rhs, sig: &ProcSignature) -> Option<BasicStmt<'a>> {
+        match lhs {
+            LValue::Var(dst) => {
+                let dst_ty = sig.var_type(dst)?;
+                match rhs {
+                    Rhs::New => Some(BasicStmt::AssignNew { dst }),
+                    Rhs::Call(func, args) => Some(BasicStmt::FuncAssign { dst, func, args }),
+                    Rhs::Expr(Expr::Nil) => Some(BasicStmt::AssignNil { dst }),
+                    Rhs::Expr(expr) if dst_ty == Type::Handle => match expr {
+                        Expr::Path(p) if p.is_var() => Some(BasicStmt::AssignCopy {
+                            dst,
+                            src: &p.base,
+                        }),
+                        Expr::Path(p) if p.fields.len() == 1 => Some(BasicStmt::AssignLoad {
+                            dst,
+                            src: &p.base,
+                            field: p.fields[0],
+                        }),
+                        _ => None,
+                    },
+                    Rhs::Expr(expr) => match expr {
+                        Expr::Value(p) if p.is_var() => Some(BasicStmt::ValueLoad {
+                            dst,
+                            src: &p.base,
+                        }),
+                        _ => Some(BasicStmt::ScalarAssign { dst, value: expr }),
+                    },
+                }
+            }
+            LValue::Field(path, field) if path.is_var() => match rhs {
+                Rhs::Expr(Expr::Nil) => Some(BasicStmt::StoreFieldNil {
+                    dst: &path.base,
+                    field: *field,
+                }),
+                Rhs::Expr(Expr::Path(p)) if p.is_var() => Some(BasicStmt::StoreField {
+                    dst: &path.base,
+                    field: *field,
+                    src: &p.base,
+                }),
+                _ => None,
+            },
+            LValue::Value(path) if path.is_var() => match rhs {
+                Rhs::Expr(expr) => Some(BasicStmt::ValueStore {
+                    dst: &path.base,
+                    value: expr,
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Whether this statement can modify the *structure* of the heap
+    /// (as opposed to only scalar values).
+    pub fn is_structural_update(&self) -> bool {
+        matches!(
+            self,
+            BasicStmt::StoreField { .. } | BasicStmt::StoreFieldNil { .. }
+        )
+    }
+
+    /// Whether this statement writes to a node's `value` field.
+    pub fn is_value_update(&self) -> bool {
+        matches!(self, BasicStmt::ValueStore { .. })
+    }
+
+    /// The handle variable written by this statement, if any.
+    pub fn defined_handle(&self) -> Option<&'a str> {
+        match self {
+            BasicStmt::AssignNil { dst }
+            | BasicStmt::AssignNew { dst }
+            | BasicStmt::AssignCopy { dst, .. }
+            | BasicStmt::AssignLoad { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_stmt;
+    use crate::types::{ProcSignature, Type};
+    use std::collections::HashMap;
+
+    fn test_sig() -> ProcSignature {
+        let mut vars = HashMap::new();
+        for h in ["a", "b", "h", "l", "r"] {
+            vars.insert(h.to_string(), Type::Handle);
+        }
+        for i in ["x", "y", "n"] {
+            vars.insert(i.to_string(), Type::Int);
+        }
+        ProcSignature {
+            name: "test".into(),
+            params: vec![],
+            return_type: None,
+            vars,
+        }
+    }
+
+    fn classify_src(src: &str) -> BasicStmt<'static> {
+        let stmt = Box::leak(Box::new(parse_stmt(src).unwrap()));
+        let sig = Box::leak(Box::new(test_sig()));
+        BasicStmt::classify(stmt, sig).unwrap_or_else(|| panic!("{src} did not classify"))
+    }
+
+    #[test]
+    fn classifies_all_paper_forms() {
+        assert_eq!(classify_src("a := nil"), BasicStmt::AssignNil { dst: "a" });
+        assert_eq!(classify_src("a := new()"), BasicStmt::AssignNew { dst: "a" });
+        assert_eq!(
+            classify_src("a := b"),
+            BasicStmt::AssignCopy { dst: "a", src: "b" }
+        );
+        assert_eq!(
+            classify_src("a := b.left"),
+            BasicStmt::AssignLoad {
+                dst: "a",
+                src: "b",
+                field: Field::Left
+            }
+        );
+        assert_eq!(
+            classify_src("a.right := b"),
+            BasicStmt::StoreField {
+                dst: "a",
+                field: Field::Right,
+                src: "b"
+            }
+        );
+        assert_eq!(
+            classify_src("a.left := nil"),
+            BasicStmt::StoreFieldNil {
+                dst: "a",
+                field: Field::Left
+            }
+        );
+        assert_eq!(
+            classify_src("x := a.value"),
+            BasicStmt::ValueLoad { dst: "x", src: "a" }
+        );
+        assert!(matches!(
+            classify_src("a.value := x + 1"),
+            BasicStmt::ValueStore { dst: "a", .. }
+        ));
+        assert!(matches!(
+            classify_src("x := y + 1"),
+            BasicStmt::ScalarAssign { dst: "x", .. }
+        ));
+        assert!(matches!(
+            classify_src("x := y"),
+            BasicStmt::ScalarAssign { dst: "x", .. }
+        ));
+        assert!(matches!(
+            classify_src("visit(a, x)"),
+            BasicStmt::ProcCall { proc: "visit", .. }
+        ));
+        assert!(matches!(
+            classify_src("a := copy(b)"),
+            BasicStmt::FuncAssign {
+                dst: "a",
+                func: "copy",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn copy_between_ints_is_scalar() {
+        // `x := y` must not classify as a handle copy
+        assert!(matches!(
+            classify_src("x := y"),
+            BasicStmt::ScalarAssign { .. }
+        ));
+    }
+
+    #[test]
+    fn compound_statements_do_not_classify() {
+        let sig = test_sig();
+        let stmt = parse_stmt("if a <> nil then a := nil").unwrap();
+        assert!(BasicStmt::classify(&stmt, &sig).is_none());
+        let stmt = parse_stmt("begin a := nil end").unwrap();
+        assert!(BasicStmt::classify(&stmt, &sig).is_none());
+        let stmt = parse_stmt("a := nil || b := nil").unwrap();
+        assert!(BasicStmt::classify(&stmt, &sig).is_none());
+    }
+
+    #[test]
+    fn non_basic_assignment_does_not_classify() {
+        let sig = test_sig();
+        let stmt = parse_stmt("a := b.left.right").unwrap();
+        assert!(BasicStmt::classify(&stmt, &sig).is_none());
+        let stmt = parse_stmt("a.left.right := b").unwrap();
+        assert!(BasicStmt::classify(&stmt, &sig).is_none());
+    }
+
+    #[test]
+    fn update_kind_predicates() {
+        assert!(classify_src("a.left := b").is_structural_update());
+        assert!(classify_src("a.left := nil").is_structural_update());
+        assert!(!classify_src("a.value := x").is_structural_update());
+        assert!(classify_src("a.value := x").is_value_update());
+        assert!(!classify_src("a := b.left").is_structural_update());
+    }
+
+    #[test]
+    fn defined_handle() {
+        assert_eq!(classify_src("a := b.left").defined_handle(), Some("a"));
+        assert_eq!(classify_src("a.left := b").defined_handle(), None);
+        assert_eq!(classify_src("x := a.value").defined_handle(), None);
+    }
+}

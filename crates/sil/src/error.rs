@@ -1,0 +1,168 @@
+//! Diagnostics and error types shared by the SIL front end.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// The severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// A single diagnostic message attached to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diagnostic {
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render with line/column information resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let sm = SourceMap::new(src);
+        let pos = sm.span_start(self.span);
+        format!("{}: {} (at {})", self.severity, self.message, pos)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [{}]", self.severity, self.message, self.span)
+    }
+}
+
+/// Errors produced anywhere in the SIL front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SilError {
+    /// The lexer encountered a character it cannot tokenize.
+    Lex { message: String, span: Span },
+    /// The parser rejected the token stream.
+    Parse { message: String, span: Span },
+    /// The type checker rejected the program.
+    Type { diagnostics: Vec<Diagnostic> },
+}
+
+impl SilError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        SilError::Lex {
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        SilError::Parse {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The primary span of the error, if it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SilError::Lex { span, .. } | SilError::Parse { span, .. } => Some(*span),
+            SilError::Type { diagnostics } => diagnostics.first().map(|d| d.span),
+        }
+    }
+
+    /// Render the error with positions resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let sm = SourceMap::new(src);
+        match self {
+            SilError::Lex { message, span } => {
+                format!("lex error: {} (at {})", message, sm.span_start(*span))
+            }
+            SilError::Parse { message, span } => {
+                format!("parse error: {} (at {})", message, sm.span_start(*span))
+            }
+            SilError::Type { diagnostics } => diagnostics
+                .iter()
+                .map(|d| d.render(src))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+}
+
+impl fmt::Display for SilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SilError::Lex { message, span } => write!(f, "lex error: {} [{}]", message, span),
+            SilError::Parse { message, span } => {
+                write!(f, "parse error: {} [{}]", message, span)
+            }
+            SilError::Type { diagnostics } => {
+                write!(f, "type error:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {}", d)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SilError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_render_resolves_position() {
+        let src = "ab\ncdef";
+        let d = Diagnostic::error("bad thing", Span::new(4, 5));
+        let rendered = d.render(src);
+        assert!(rendered.contains("error"), "{rendered}");
+        assert!(rendered.contains("2:2"), "{rendered}");
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let e = SilError::lex("bad char", Span::new(0, 1));
+        assert!(e.to_string().contains("lex error"));
+        let e = SilError::parse("expected ident", Span::new(3, 4));
+        assert!(e.to_string().contains("parse error"));
+        let e = SilError::Type {
+            diagnostics: vec![Diagnostic::error("mismatch", Span::new(1, 2))],
+        };
+        assert!(e.to_string().contains("type error"));
+        assert_eq!(e.span(), Some(Span::new(1, 2)));
+    }
+
+    #[test]
+    fn severity_display() {
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(Severity::Note.to_string(), "note");
+    }
+}

@@ -1,0 +1,339 @@
+//! A hand-written lexer for SIL.
+//!
+//! The lexer converts a source string into a vector of [`Token`]s.  Comments
+//! are written `{ ... }` (as in the paper's example programs) and are
+//! discarded; they may not nest.
+
+use crate::error::SilError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `src` into a vector of tokens terminated by [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SilError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SilError> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.bytes[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'{' => self.skip_comment()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'0'..=b'9' => self.lex_number(start)?,
+                b':' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push(TokenKind::Assign, start, start + 2);
+                        self.pos += 2;
+                    } else {
+                        self.push(TokenKind::Colon, start, start + 1);
+                        self.pos += 1;
+                    }
+                }
+                b';' => self.single(TokenKind::Semicolon, start),
+                b',' => self.single(TokenKind::Comma, start),
+                b'.' => self.single(TokenKind::Dot, start),
+                b'(' => self.single(TokenKind::LParen, start),
+                b')' => self.single(TokenKind::RParen, start),
+                b'+' => self.single(TokenKind::Plus, start),
+                b'-' => self.single(TokenKind::Minus, start),
+                b'*' => self.single(TokenKind::Star, start),
+                b'/' => self.single(TokenKind::Slash, start),
+                b'=' => self.single(TokenKind::Eq, start),
+                b'!' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push(TokenKind::Ne, start, start + 2);
+                        self.pos += 2;
+                    } else {
+                        return Err(SilError::lex(
+                            "unexpected character `!` (did you mean `!=`?)",
+                            Span::new(start as u32, start as u32 + 1),
+                        ));
+                    }
+                }
+                b'<' => {
+                    match self.peek(1) {
+                        Some(b'>') => {
+                            self.push(TokenKind::Ne, start, start + 2);
+                            self.pos += 2;
+                        }
+                        Some(b'=') => {
+                            self.push(TokenKind::Le, start, start + 2);
+                            self.pos += 2;
+                        }
+                        _ => self.single(TokenKind::Lt, start),
+                    }
+                }
+                b'>' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.push(TokenKind::Ge, start, start + 2);
+                        self.pos += 2;
+                    } else {
+                        self.single(TokenKind::Gt, start);
+                    }
+                }
+                b'|' => {
+                    if self.peek(1) == Some(b'|') {
+                        self.push(TokenKind::Par, start, start + 2);
+                        self.pos += 2;
+                    } else {
+                        return Err(SilError::lex(
+                            "unexpected character `|` (did you mean `||`?)",
+                            Span::new(start as u32, start as u32 + 1),
+                        ));
+                    }
+                }
+                other => {
+                    return Err(SilError::lex(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start as u32, start as u32 + 1),
+                    ));
+                }
+            }
+        }
+        let end = self.bytes.len() as u32;
+        self.tokens.push(Token::new(TokenKind::Eof, Span::new(end, end)));
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, lo: usize, hi: usize) {
+        self.tokens
+            .push(Token::new(kind, Span::new(lo as u32, hi as u32)));
+    }
+
+    fn single(&mut self, kind: TokenKind, start: usize) {
+        self.push(kind, start, start + 1);
+        self.pos += 1;
+    }
+
+    fn skip_comment(&mut self) -> Result<(), SilError> {
+        let start = self.pos;
+        self.pos += 1; // consume `{`
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'}' {
+                self.pos += 1;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(SilError::lex(
+            "unterminated comment (missing `}`)",
+            Span::new(start as u32, self.bytes.len() as u32),
+        ))
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start, self.pos);
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<(), SilError> {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let value: i64 = text.parse().map_err(|_| {
+            SilError::lex(
+                format!("integer literal `{text}` out of range"),
+                Span::new(start as u32, self.pos as u32),
+            )
+        })?;
+        self.push(TokenKind::Int(value), start, self.pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("program add_n root"),
+            vec![
+                TokenKind::Program,
+                TokenKind::Ident("add_n".into()),
+                TokenKind::Ident("root".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn assignment_and_field_access() {
+        assert_eq!(
+            kinds("a := b.left"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Dot,
+                TokenKind::Left,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("<> != <= >= < > ="),
+            vec![
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_bars() {
+        assert_eq!(
+            kinds("a := b || c := d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Par,
+                TokenKind::Ident("c".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("x := 42 + 0"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Plus,
+                TokenKind::Int(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a { this is ignored } := { and this } nil"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Nil,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(tokenize("a { oops").is_err());
+    }
+
+    #[test]
+    fn stray_bang_is_error() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn stray_bar_is_error() {
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = tokenize("a # b").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let toks = tokenize("ab := 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(6, 8));
+    }
+
+    #[test]
+    fn huge_integer_is_error() {
+        assert!(tokenize("x := 99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn field_keywords() {
+        assert_eq!(
+            kinds("h.value h.left h.right"),
+            vec![
+                TokenKind::Ident("h".into()),
+                TokenKind::Dot,
+                TokenKind::Value,
+                TokenKind::Ident("h".into()),
+                TokenKind::Dot,
+                TokenKind::Left,
+                TokenKind::Ident("h".into()),
+                TokenKind::Dot,
+                TokenKind::Right,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,536 @@
+//! Lowering compound handle accesses to *basic handle statements*.
+//!
+//! The path-matrix analysis of Section 4 is defined over the basic handle
+//! statements `a := nil`, `a := new()`, `a := b`, `a := b.left`,
+//! `a := b.right`, `a.left := b`, `a.right := b`, `x := a.value` and
+//! `a.value := x`.  The paper notes that "more complex statements such as
+//! `a.left.right := b.right` are easily translated into a sequence of basic
+//! handle statements (`t1 := a.left; t2 := b.right; t1.right := t2`)" — this
+//! module performs exactly that translation.
+//!
+//! After [`normalize_program`]:
+//!
+//! * every assignment's left-hand side dereferences a *variable* (never a
+//!   compound path),
+//! * every handle-valued right-hand side is `nil`, `new()`, a variable, a
+//!   single field load `b.left` / `b.right`, or a function call with
+//!   variable/integer arguments,
+//! * every `p.value` read inside an integer expression dereferences a
+//!   variable,
+//! * handle arguments of calls are plain variables.
+//!
+//! Conditions of `if`/`while` are left intact (they may still contain single
+//! field loads such as `l.left <> nil`, exactly as in the paper's Figure 3);
+//! hoisting them into temporaries would change re-evaluation semantics.
+//! Fresh temporaries are named `_t1`, `_t2`, … and added to the procedure's
+//! local declarations.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Normalize every procedure of `program`.  The result is semantically
+/// equivalent and contains only basic handle statements.
+pub fn normalize_program(program: &Program) -> Program {
+    Program {
+        name: program.name.clone(),
+        procedures: program
+            .procedures
+            .iter()
+            .map(normalize_procedure)
+            .collect(),
+        span: program.span,
+    }
+}
+
+/// Normalize a single procedure.
+pub fn normalize_procedure(proc: &Procedure) -> Procedure {
+    let mut ctx = Normalizer::new(proc);
+    let body = ctx.stmt(&proc.body);
+    let mut locals = proc.locals.clone();
+    locals.extend(ctx.new_locals);
+    Procedure {
+        name: proc.name.clone(),
+        params: proc.params.clone(),
+        locals,
+        body,
+        return_type: proc.return_type,
+        return_var: proc.return_var.clone(),
+        span: proc.span,
+    }
+}
+
+struct Normalizer {
+    /// Names already in scope, to avoid collisions when inventing temps.
+    used: Vec<Ident>,
+    new_locals: Vec<Decl>,
+    counter: usize,
+}
+
+impl Normalizer {
+    fn new(proc: &Procedure) -> Self {
+        let used = proc
+            .params
+            .iter()
+            .chain(proc.locals.iter())
+            .map(|d| d.name.clone())
+            .collect();
+        Normalizer {
+            used,
+            new_locals: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, ty: TypeName) -> Ident {
+        loop {
+            self.counter += 1;
+            let name = format!("_t{}", self.counter);
+            if !self.used.contains(&name) {
+                self.used.push(name.clone());
+                self.new_locals.push(Decl::new(name.clone(), ty));
+                return name;
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Stmt {
+        match stmt {
+            Stmt::Assign { lhs, rhs, span } => {
+                let mut prelude = Vec::new();
+                let lhs = self.lower_lvalue(lhs, *span, &mut prelude);
+                let mut rhs = self.lower_rhs(rhs, *span, &mut prelude);
+                // The basic store statements `a.f := b` / `a.value := x` take
+                // a plain variable / integer expression on the right; a field
+                // load on the right of a *store* (`a.left := b.right`) must
+                // go through a temporary.
+                if !matches!(lhs, LValue::Var(_)) {
+                    if let Rhs::Expr(Expr::Path(p)) = &rhs {
+                        if !p.is_var() {
+                            let v = self.reduce_path_to_var(p, *span, &mut prelude);
+                            rhs = Rhs::Expr(Expr::var(v));
+                        }
+                    }
+                }
+                let assign = Stmt::Assign {
+                    lhs,
+                    rhs,
+                    span: *span,
+                };
+                if prelude.is_empty() {
+                    assign
+                } else {
+                    prelude.push(assign);
+                    Stmt::Block {
+                        stmts: prelude,
+                        span: *span,
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Stmt::If {
+                cond: cond.clone(),
+                then_branch: Box::new(self.stmt(then_branch)),
+                else_branch: else_branch.as_ref().map(|e| Box::new(self.stmt(e))),
+                span: *span,
+            },
+            Stmt::While { cond, body, span } => Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(self.stmt(body)),
+                span: *span,
+            },
+            Stmt::Block { stmts, span } => Stmt::Block {
+                stmts: stmts.iter().map(|s| self.stmt(s)).collect(),
+                span: *span,
+            },
+            Stmt::Call { proc, args, span } => {
+                let mut prelude = Vec::new();
+                let args = args
+                    .iter()
+                    .map(|a| self.lower_arg(a, *span, &mut prelude))
+                    .collect();
+                let call = Stmt::Call {
+                    proc: proc.clone(),
+                    args,
+                    span: *span,
+                };
+                if prelude.is_empty() {
+                    call
+                } else {
+                    prelude.push(call);
+                    Stmt::Block {
+                        stmts: prelude,
+                        span: *span,
+                    }
+                }
+            }
+            Stmt::Par { arms, span } => Stmt::Par {
+                arms: arms.iter().map(|s| self.stmt(s)).collect(),
+                span: *span,
+            },
+        }
+    }
+
+    /// Reduce a handle path to a plain variable, emitting loads into `prelude`.
+    fn reduce_path_to_var(
+        &mut self,
+        path: &HandlePath,
+        span: Span,
+        prelude: &mut Vec<Stmt>,
+    ) -> Ident {
+        let mut current = path.base.clone();
+        for field in &path.fields {
+            let tmp = self.fresh(TypeName::Handle);
+            prelude.push(Stmt::Assign {
+                lhs: LValue::Var(tmp.clone()),
+                rhs: Rhs::Expr(Expr::Path(HandlePath::var(current).then(*field))),
+                span,
+            });
+            current = tmp;
+        }
+        current
+    }
+
+    /// Reduce a handle path so at most one trailing field load remains,
+    /// returning the simplified path.
+    fn reduce_path_to_single_load(
+        &mut self,
+        path: &HandlePath,
+        span: Span,
+        prelude: &mut Vec<Stmt>,
+    ) -> HandlePath {
+        if path.fields.len() <= 1 {
+            return path.clone();
+        }
+        let prefix = HandlePath {
+            base: path.base.clone(),
+            fields: path.fields[..path.fields.len() - 1].to_vec(),
+        };
+        let base = self.reduce_path_to_var(&prefix, span, prelude);
+        HandlePath {
+            base,
+            fields: vec![*path.fields.last().expect("non-empty fields")],
+        }
+    }
+
+    fn lower_lvalue(&mut self, lvalue: &LValue, span: Span, prelude: &mut Vec<Stmt>) -> LValue {
+        match lvalue {
+            LValue::Var(v) => LValue::Var(v.clone()),
+            LValue::Field(path, field) => {
+                if path.is_var() {
+                    LValue::Field(path.clone(), *field)
+                } else {
+                    let base = self.reduce_path_to_var(path, span, prelude);
+                    LValue::Field(HandlePath::var(base), *field)
+                }
+            }
+            LValue::Value(path) => {
+                if path.is_var() {
+                    LValue::Value(path.clone())
+                } else {
+                    let base = self.reduce_path_to_var(path, span, prelude);
+                    LValue::Value(HandlePath::var(base))
+                }
+            }
+        }
+    }
+
+    fn lower_rhs(&mut self, rhs: &Rhs, span: Span, prelude: &mut Vec<Stmt>) -> Rhs {
+        match rhs {
+            Rhs::New => Rhs::New,
+            Rhs::Call(name, args) => Rhs::Call(
+                name.clone(),
+                args.iter()
+                    .map(|a| self.lower_arg(a, span, prelude))
+                    .collect(),
+            ),
+            Rhs::Expr(e) => Rhs::Expr(self.lower_expr(e, span, prelude)),
+        }
+    }
+
+    /// Handle arguments must be plain variable names after normalization.
+    fn lower_arg(&mut self, arg: &Expr, span: Span, prelude: &mut Vec<Stmt>) -> Expr {
+        match arg {
+            Expr::Path(path) if !path.is_var() => {
+                let v = self.reduce_path_to_var(path, span, prelude);
+                Expr::var(v)
+            }
+            other => self.lower_expr(other, span, prelude),
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr, span: Span, prelude: &mut Vec<Stmt>) -> Expr {
+        match expr {
+            Expr::Int(_) | Expr::Nil => expr.clone(),
+            Expr::Path(path) => {
+                // A handle rhs: at most one field load is basic.
+                Expr::Path(self.reduce_path_to_single_load(path, span, prelude))
+            }
+            Expr::Value(path) => {
+                // `p.value` reads: the node must be named by a variable.
+                if path.is_var() {
+                    Expr::Value(path.clone())
+                } else {
+                    let base = self.reduce_path_to_var(path, span, prelude);
+                    Expr::Value(HandlePath::var(base))
+                }
+            }
+            Expr::Unary(op, inner) => {
+                Expr::Unary(*op, Box::new(self.lower_expr(inner, span, prelude)))
+            }
+            Expr::Binary(op, lhs, rhs) => Expr::Binary(
+                *op,
+                Box::new(self.lower_expr(lhs, span, prelude)),
+                Box::new(self.lower_expr(rhs, span, prelude)),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_stmt};
+    use crate::pretty::pretty_stmt;
+
+    fn normalize_single(src: &str) -> Stmt {
+        let stmt = parse_stmt(src).unwrap();
+        let proc = Procedure {
+            name: "main".into(),
+            params: vec![],
+            locals: vec![
+                Decl::new("a", TypeName::Handle),
+                Decl::new("b", TypeName::Handle),
+                Decl::new("x", TypeName::Int),
+            ],
+            body: stmt,
+            return_type: None,
+            return_var: None,
+            span: Span::DUMMY,
+        };
+        normalize_procedure(&proc).body
+    }
+
+    #[test]
+    fn basic_statements_are_unchanged() {
+        for src in [
+            "a := nil",
+            "a := new()",
+            "a := b",
+            "a := b.left",
+            "a.right := b",
+            "a.value := x",
+            "x := a.value",
+            "x := a.value + 1",
+        ] {
+            let out = normalize_single(src);
+            assert!(
+                !matches!(out, Stmt::Block { .. }),
+                "{src} should not require lowering, got {}",
+                pretty_stmt(&out)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_lowering() {
+        // The paper: a.left.right := b.right  ~>  t1 := a.left; t2 := b.right; t1.right := t2
+        let out = normalize_single("a.left.right := b.right");
+        let Stmt::Block { stmts, .. } = out else {
+            panic!("expected lowering to a block");
+        };
+        assert_eq!(stmts.len(), 3);
+        // first: _t1 := a.left
+        match &stmts[0] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, &LValue::Var("_t1".into()));
+                assert_eq!(
+                    rhs,
+                    &Rhs::Expr(Expr::Path(HandlePath::var("a").then(Field::Left)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // second: _t2 := b.right
+        match &stmts[1] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, &LValue::Var("_t2".into()));
+                assert_eq!(
+                    rhs,
+                    &Rhs::Expr(Expr::Path(HandlePath::var("b").then(Field::Right)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // third: _t1.right := _t2
+        match &stmts[2] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, &LValue::Field(HandlePath::var("_t1"), Field::Right));
+                assert_eq!(rhs, &Rhs::Expr(Expr::var("_t2")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_of_field_load_goes_through_a_temporary() {
+        // `a.left := b.right` is not basic: the right-hand side load must be
+        // hoisted so the analysis sees both the load and the store.
+        let out = normalize_single("a.left := b.right");
+        let Stmt::Block { stmts, .. } = out else {
+            panic!("expected lowering to a block");
+        };
+        assert_eq!(stmts.len(), 2);
+        match &stmts[0] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, &LValue::Var("_t1".into()));
+                assert_eq!(
+                    rhs,
+                    &Rhs::Expr(Expr::Path(HandlePath::var("b").then(Field::Right)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[1] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, &LValue::Field(HandlePath::var("a"), Field::Left));
+                assert_eq!(rhs, &Rhs::Expr(Expr::var("_t1")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_load_chain() {
+        let out = normalize_single("a := b.left.left.right");
+        let Stmt::Block { stmts, .. } = out else {
+            panic!("expected block");
+        };
+        // two temporaries then the final single-load assignment
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn value_of_compound_path() {
+        let out = normalize_single("x := a.left.value");
+        let Stmt::Block { stmts, .. } = out else {
+            panic!("expected block");
+        };
+        assert_eq!(stmts.len(), 2);
+        match &stmts[1] {
+            Stmt::Assign { rhs, .. } => {
+                assert_eq!(rhs, &Rhs::Expr(Expr::Value(HandlePath::var("_t1"))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_store_through_compound_path() {
+        let out = normalize_single("a.left.value := x + 1");
+        let Stmt::Block { stmts, .. } = out else {
+            panic!("expected block");
+        };
+        assert_eq!(stmts.len(), 2);
+        match &stmts[1] {
+            Stmt::Assign { lhs, .. } => {
+                assert_eq!(lhs, &LValue::Value(HandlePath::var("_t1")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_arguments_become_variables() {
+        let stmt = parse_stmt("visit(a.left.right, x + 1)").unwrap();
+        let proc = Procedure {
+            name: "main".into(),
+            params: vec![],
+            locals: vec![Decl::new("a", TypeName::Handle), Decl::new("x", TypeName::Int)],
+            body: stmt,
+            return_type: None,
+            return_var: None,
+            span: Span::DUMMY,
+        };
+        let body = normalize_procedure(&proc).body;
+        let Stmt::Block { stmts, .. } = body else {
+            panic!("expected block");
+        };
+        match stmts.last().unwrap() {
+            Stmt::Call { args, .. } => {
+                assert_eq!(args[0].as_var(), Some("_t2"));
+                assert!(matches!(args[1], Expr::Binary(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporaries_are_declared() {
+        let stmt = parse_stmt("a := b.left.right").unwrap();
+        let proc = Procedure {
+            name: "main".into(),
+            params: vec![],
+            locals: vec![Decl::new("a", TypeName::Handle), Decl::new("b", TypeName::Handle)],
+            body: stmt,
+            return_type: None,
+            return_var: None,
+            span: Span::DUMMY,
+        };
+        let normalized = normalize_procedure(&proc);
+        assert!(normalized
+            .locals
+            .iter()
+            .any(|d| d.name == "_t1" && d.ty == TypeName::Handle));
+    }
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let stmt = parse_stmt("a := b.left.right").unwrap();
+        let proc = Procedure {
+            name: "main".into(),
+            params: vec![],
+            locals: vec![
+                Decl::new("a", TypeName::Handle),
+                Decl::new("b", TypeName::Handle),
+                Decl::new("_t1", TypeName::Int),
+            ],
+            body: stmt,
+            return_type: None,
+            return_var: None,
+            span: Span::DUMMY,
+        };
+        let normalized = normalize_procedure(&proc);
+        // the invented temp must not clash with the existing `_t1`
+        let invented: Vec<_> = normalized
+            .locals
+            .iter()
+            .filter(|d| d.name.starts_with("_t") && d.ty == TypeName::Handle)
+            .collect();
+        assert_eq!(invented.len(), 1);
+        assert_ne!(invented[0].name, "_t1");
+    }
+
+    #[test]
+    fn whole_program_normalization_preserves_structure() {
+        let prog = parse_program(crate::testsrc::ADD_AND_REVERSE).unwrap();
+        let normalized = normalize_program(&prog);
+        assert_eq!(normalized.procedures.len(), prog.procedures.len());
+        // the paper's program is already in basic form, so nothing changes
+        assert_eq!(normalized.statement_count(), prog.statement_count());
+    }
+
+    #[test]
+    fn conditions_are_left_intact() {
+        let out = normalize_single("while a.left <> nil do a := a.left");
+        match out {
+            Stmt::While { cond, .. } => {
+                assert!(matches!(cond, Expr::Binary(BinOp::Ne, _, _)));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+}

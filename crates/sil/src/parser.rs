@@ -1,0 +1,871 @@
+//! A recursive-descent parser for SIL.
+//!
+//! The concrete grammar follows Figure 1 of the paper:
+//!
+//! ```text
+//! Program    ::= "program" id ProcOrFunc*
+//! Procedure  ::= "procedure" id "(" Params ")" Locals Block
+//! Function   ::= "function" id "(" Params ")" Type Locals Block "return" "(" id ")"
+//! Params     ::= [ DeclGroup ( ";" DeclGroup )* ]
+//! Locals     ::= [ DeclGroup ( ";" DeclGroup )* ]
+//! DeclGroup  ::= id ( "," id )* ":" ( "int" | "handle" )
+//! Block      ::= "begin" [ Stmt ( ";" Stmt )* [";"] ] "end"
+//! Stmt       ::= Simple ( "||" Simple )*              -- "||" builds a parallel statement
+//! Simple     ::= Block
+//!              | "if" Expr "then" Stmt [ "else" Stmt ]
+//!              | "while" Expr "do" Stmt
+//!              | id "(" Args ")"                      -- procedure call
+//!              | LValue ":=" Rhs                      -- assignment
+//! LValue     ::= id ( "." ( "left" | "right" | "value" ) )*
+//! Rhs        ::= "new" "(" ")" | id "(" Args ")" | Expr
+//! ```
+//!
+//! Expressions use the usual precedence: `or` < `and` < comparisons < `+ -`
+//! < `* /` < unary.
+
+use crate::ast::*;
+use crate::error::SilError;
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a complete SIL program.
+pub fn parse_program(src: &str) -> Result<Program, SilError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(tokens);
+    let program = parser.program()?;
+    parser.expect_eof()?;
+    Ok(program)
+}
+
+/// Parse a single statement (useful in tests and the REPL-style examples).
+pub fn parse_stmt(src: &str) -> Result<Stmt, SilError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(tokens);
+    let stmt = parser.stmt()?;
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a single expression.
+pub fn parse_expr(src: &str) -> Result<Expr, SilError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SilError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(SilError::parse(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SilError> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(SilError::parse(
+                format!("expected end of input, found {}", self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Ident, SilError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(SilError::parse(
+                format!("expected identifier, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    // ---- program structure -------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, SilError> {
+        let start = self.span();
+        self.expect(&TokenKind::Program)?;
+        let name = self.ident()?;
+        let mut procedures = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Procedure => procedures.push(self.procedure(false)?),
+                TokenKind::Function => procedures.push(self.procedure(true)?),
+                TokenKind::Semicolon => {
+                    self.bump();
+                }
+                TokenKind::Eof => break,
+                other => {
+                    return Err(SilError::parse(
+                        format!(
+                            "expected `procedure`, `function` or end of input, found {}",
+                            other.describe()
+                        ),
+                        self.span(),
+                    ))
+                }
+            }
+        }
+        Ok(Program {
+            name,
+            procedures,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn procedure(&mut self, is_function: bool) -> Result<Procedure, SilError> {
+        let start = self.span();
+        self.bump(); // `procedure` or `function`
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let params = self.decl_groups(&TokenKind::RParen)?;
+        self.expect(&TokenKind::RParen)?;
+
+        let return_type = if is_function {
+            Some(self.type_name()?)
+        } else {
+            None
+        };
+
+        let locals = self.decl_groups(&TokenKind::Begin)?;
+        let body = self.block()?;
+
+        let return_var = if is_function {
+            self.expect(&TokenKind::Return)?;
+            self.expect(&TokenKind::LParen)?;
+            let v = self.ident()?;
+            self.expect(&TokenKind::RParen)?;
+            Some(v)
+        } else {
+            None
+        };
+
+        Ok(Procedure {
+            name,
+            params,
+            locals,
+            body,
+            return_type,
+            return_var,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, SilError> {
+        match self.peek() {
+            TokenKind::IntType => {
+                self.bump();
+                Ok(TypeName::Int)
+            }
+            TokenKind::HandleType => {
+                self.bump();
+                Ok(TypeName::Handle)
+            }
+            other => Err(SilError::parse(
+                format!("expected `int` or `handle`, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    /// Parse declaration groups `a, b: handle; n: int` until `terminator`.
+    fn decl_groups(&mut self, terminator: &TokenKind) -> Result<Vec<Decl>, SilError> {
+        let mut decls = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.at(terminator) || self.at(&TokenKind::Eof) {
+                break;
+            }
+            let mut names = Vec::new();
+            let start = self.span();
+            names.push(self.ident()?);
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.ident()?);
+            }
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.type_name()?;
+            let span = start.to(self.prev_span());
+            for name in names {
+                decls.push(Decl { name, ty, span });
+            }
+        }
+        Ok(decls)
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn block(&mut self) -> Result<Stmt, SilError> {
+        let start = self.span();
+        self.expect(&TokenKind::Begin)?;
+        let mut stmts = Vec::new();
+        loop {
+            while self.eat(&TokenKind::Semicolon) {}
+            if self.at(&TokenKind::End) || self.at(&TokenKind::Eof) {
+                break;
+            }
+            stmts.push(self.stmt()?);
+            if !self.at(&TokenKind::End) {
+                // statements are `;`-separated; the final `;` is optional
+                if !self.eat(&TokenKind::Semicolon) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::End)?;
+        Ok(Stmt::Block {
+            stmts,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// A statement, possibly a `||` parallel composition of simple statements.
+    fn stmt(&mut self) -> Result<Stmt, SilError> {
+        let start = self.span();
+        let first = self.simple_stmt()?;
+        if !self.at(&TokenKind::Par) {
+            return Ok(first);
+        }
+        let mut arms = vec![first];
+        while self.eat(&TokenKind::Par) {
+            arms.push(self.simple_stmt()?);
+        }
+        Ok(Stmt::Par {
+            arms,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn simple_stmt(&mut self) -> Result<Stmt, SilError> {
+        match self.peek().clone() {
+            TokenKind::Begin => self.block(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::Ident(_) => self.assign_or_call(),
+            other => Err(SilError::parse(
+                format!("expected a statement, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, SilError> {
+        let start = self.span();
+        self.expect(&TokenKind::If)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Then)?;
+        let then_branch = Box::new(self.stmt()?);
+        let else_branch = if self.eat(&TokenKind::Else) {
+            Some(Box::new(self.stmt()?))
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, SilError> {
+        let start = self.span();
+        self.expect(&TokenKind::While)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Do)?;
+        let body = Box::new(self.stmt()?);
+        Ok(Stmt::While {
+            cond,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// Either a procedure call `p(args)` or an assignment `lvalue := rhs`.
+    fn assign_or_call(&mut self) -> Result<Stmt, SilError> {
+        let start = self.span();
+        let name = self.ident()?;
+
+        // Procedure call: identifier immediately followed by `(`.
+        if self.at(&TokenKind::LParen) {
+            self.bump();
+            let args = self.args()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Stmt::Call {
+                proc: name,
+                args,
+                span: start.to(self.prev_span()),
+            });
+        }
+
+        // Otherwise an assignment.  Parse the selector chain on the left.
+        let lhs = self.lvalue_from(name)?;
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.rhs()?;
+        Ok(Stmt::Assign {
+            lhs,
+            rhs,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn lvalue_from(&mut self, base: Ident) -> Result<LValue, SilError> {
+        let mut fields = Vec::new();
+        let mut value = false;
+        while self.eat(&TokenKind::Dot) {
+            match self.peek().clone() {
+                TokenKind::Left => {
+                    self.bump();
+                    fields.push(Field::Left);
+                }
+                TokenKind::Right => {
+                    self.bump();
+                    fields.push(Field::Right);
+                }
+                TokenKind::Value => {
+                    self.bump();
+                    value = true;
+                    break;
+                }
+                other => {
+                    return Err(SilError::parse(
+                        format!(
+                            "expected `left`, `right` or `value` after `.`, found {}",
+                            other.describe()
+                        ),
+                        self.span(),
+                    ))
+                }
+            }
+        }
+        let path = HandlePath { base, fields };
+        if value {
+            Ok(LValue::Value(path))
+        } else if let Some(last) = path.fields.last().copied() {
+            let mut prefix = path;
+            prefix.fields.pop();
+            Ok(LValue::Field(prefix, last))
+        } else {
+            Ok(LValue::Var(path.base))
+        }
+    }
+
+    fn rhs(&mut self) -> Result<Rhs, SilError> {
+        match self.peek().clone() {
+            TokenKind::New => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Rhs::New)
+            }
+            // A function call: identifier followed immediately by `(`.
+            TokenKind::Ident(name) if *self.peek_at(1) == TokenKind::LParen => {
+                self.bump();
+                self.bump();
+                let args = self.args()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Rhs::Call(name, args))
+            }
+            _ => Ok(Rhs::Expr(self.expr()?)),
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, SilError> {
+        let mut args = Vec::new();
+        if self.at(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        args.push(self.expr()?);
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.expr()?);
+        }
+        Ok(args)
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SilError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SilError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SilError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, SilError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, SilError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, SilError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, SilError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                // Fold negative literals so `-1` is a literal, matching the
+                // paper's `add_n(rside, -1)` call.
+                if let Expr::Int(n) = inner {
+                    Ok(Expr::Int(-n))
+                } else {
+                    Ok(Expr::Unary(UnOp::Neg, Box::new(inner)))
+                }
+            }
+            TokenKind::Not => {
+                self.bump();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(inner)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, SilError> {
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::Nil => {
+                self.bump();
+                Ok(Expr::Nil)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                let mut fields = Vec::new();
+                let mut value = false;
+                while self.at(&TokenKind::Dot) {
+                    self.bump();
+                    match self.peek().clone() {
+                        TokenKind::Left => {
+                            self.bump();
+                            fields.push(Field::Left);
+                        }
+                        TokenKind::Right => {
+                            self.bump();
+                            fields.push(Field::Right);
+                        }
+                        TokenKind::Value => {
+                            self.bump();
+                            value = true;
+                            break;
+                        }
+                        other => {
+                            return Err(SilError::parse(
+                                format!(
+                                    "expected `left`, `right` or `value` after `.`, found {}",
+                                    other.describe()
+                                ),
+                                self.span(),
+                            ))
+                        }
+                    }
+                }
+                let path = HandlePath { base: name, fields };
+                if value {
+                    Ok(Expr::Value(path))
+                } else {
+                    Ok(Expr::Path(path))
+                }
+            }
+            other => Err(SilError::parse(
+                format!("expected an expression, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let prog = parse_program("program p procedure main() begin end").unwrap();
+        assert_eq!(prog.name, "p");
+        assert_eq!(prog.procedures.len(), 1);
+        assert_eq!(prog.procedures[0].name, "main");
+    }
+
+    #[test]
+    fn parses_locals_and_params() {
+        let src = r#"
+program p
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+end
+"#;
+        let prog = parse_program(src).unwrap();
+        let p = &prog.procedures[0];
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].ty, TypeName::Handle);
+        assert_eq!(p.params[1].ty, TypeName::Int);
+        assert_eq!(p.locals.len(), 2);
+        assert_eq!(p.locals[1].name, "r");
+    }
+
+    #[test]
+    fn parses_basic_handle_statements() {
+        let s = parse_stmt("a := b.left").unwrap();
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, LValue::Var("a".into()));
+                assert_eq!(
+                    rhs,
+                    Rhs::Expr(Expr::Path(HandlePath::var("b").then(Field::Left)))
+                );
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_field_store() {
+        let s = parse_stmt("a.left := b").unwrap();
+        match s {
+            Stmt::Assign { lhs, .. } => {
+                assert_eq!(lhs, LValue::Field(HandlePath::var("a"), Field::Left));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compound_store() {
+        let s = parse_stmt("a.left.right := b.right").unwrap();
+        match s {
+            Stmt::Assign { lhs, .. } => {
+                assert_eq!(
+                    lhs,
+                    LValue::Field(HandlePath::var("a").then(Field::Left), Field::Right)
+                );
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_value_statements() {
+        let s = parse_stmt("h.value := h.value + n").unwrap();
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                assert_eq!(lhs, LValue::Value(HandlePath::var("h")));
+                match rhs {
+                    Rhs::Expr(Expr::Binary(BinOp::Add, a, b)) => {
+                        assert_eq!(*a, Expr::Value(HandlePath::var("h")));
+                        assert_eq!(*b, Expr::var("n"));
+                    }
+                    other => panic!("unexpected rhs {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_new_and_nil() {
+        assert!(matches!(
+            parse_stmt("a := new()").unwrap(),
+            Stmt::Assign { rhs: Rhs::New, .. }
+        ));
+        assert!(matches!(
+            parse_stmt("a := nil").unwrap(),
+            Stmt::Assign {
+                rhs: Rhs::Expr(Expr::Nil),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_procedure_and_function_calls() {
+        let s = parse_stmt("add_n(lside, 1)").unwrap();
+        match s {
+            Stmt::Call { proc, args, .. } => {
+                assert_eq!(proc, "add_n");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[1], Expr::Int(1));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        let s = parse_stmt("x := height(root)").unwrap();
+        match s {
+            Stmt::Assign {
+                rhs: Rhs::Call(name, args),
+                ..
+            } => {
+                assert_eq!(name, "height");
+                assert_eq!(args, vec![Expr::var("root")]);
+            }
+            other => panic!("expected function-call assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_literal_argument() {
+        let s = parse_stmt("add_n(rside, -1)").unwrap();
+        match s {
+            Stmt::Call { args, .. } => assert_eq!(args[1], Expr::Int(-1)),
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_while() {
+        let s = parse_stmt("if h <> nil then begin l := h.left end else l := nil").unwrap();
+        match s {
+            Stmt::If {
+                cond, else_branch, ..
+            } => {
+                assert!(matches!(cond, Expr::Binary(BinOp::Ne, _, _)));
+                assert!(else_branch.is_some());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+        let s = parse_stmt("while l.left <> nil do l := l.left").unwrap();
+        assert!(matches!(s, Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_parallel_statement() {
+        let s = parse_stmt("l := h.left || r := h.right").unwrap();
+        match s {
+            Stmt::Par { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected par, got {other:?}"),
+        }
+        let s = parse_stmt("h.value := h.value + n || l := h.left || r := h.right").unwrap();
+        match s {
+            Stmt::Par { arms, .. } => assert_eq!(arms.len(), 3),
+            other => panic!("expected par, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parallel_calls() {
+        let s = parse_stmt("reverse(l) || reverse(r)").unwrap();
+        match s {
+            Stmt::Par { arms, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert!(matches!(arms[0], Stmt::Call { .. }));
+            }
+            other => panic!("expected par, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_expression_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                ))
+            )
+        );
+        let e = parse_expr("x < 3 and y > 4 or z = 0").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn parses_parenthesised_expressions() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_full_add_and_reverse() {
+        let src = crate::testsrc::ADD_AND_REVERSE;
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.name, "add_and_reverse");
+        assert_eq!(prog.procedures.len(), 4);
+        assert_eq!(prog.procedures[0].name, "main");
+        assert_eq!(prog.procedures[1].name, "add_n");
+        assert_eq!(prog.procedures[2].name, "reverse");
+        assert_eq!(prog.procedures[3].name, "build");
+        assert!(prog.procedures[3].is_function());
+    }
+
+    #[test]
+    fn parses_function_definition() {
+        let src = r#"
+program p
+function height(t: handle) int
+  hl, hr, h: int
+  l, r: handle
+begin
+  h := 0;
+  if t <> nil then
+  begin
+    l := t.left;
+    r := t.right;
+    hl := height(l);
+    hr := height(r);
+    if hl > hr then h := hl + 1 else h := hr + 1
+  end
+end
+return (h)
+
+procedure main()
+  root: handle; d: int
+begin
+  root := new();
+  d := height(root)
+end
+"#;
+        let prog = parse_program(src).unwrap();
+        let f = prog.procedure("height").unwrap();
+        assert!(f.is_function());
+        assert_eq!(f.return_type, Some(TypeName::Int));
+        assert_eq!(f.return_var.as_deref(), Some("h"));
+    }
+
+    #[test]
+    fn error_messages_mention_expectation() {
+        let err = parse_program("program").unwrap_err();
+        assert!(err.to_string().contains("identifier"));
+        let err = parse_stmt("a := ").unwrap_err();
+        assert!(err.to_string().contains("expression"));
+        let err = parse_stmt("a.b := c").unwrap_err();
+        assert!(err.to_string().contains("left"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse_stmt("a := b end").is_err());
+        assert!(parse_expr("1 + 2 3").is_err());
+    }
+
+    #[test]
+    fn nested_blocks_and_semicolons() {
+        let s = parse_stmt("begin a := nil; begin b := nil; end; c := nil end").unwrap();
+        match s {
+            Stmt::Block { stmts, .. } => assert_eq!(stmts.len(), 3),
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+}

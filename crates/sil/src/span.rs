@@ -1,0 +1,186 @@
+//! Source spans and position mapping.
+//!
+//! Every token and AST node carries a [`Span`] describing the byte range it
+//! occupies in the original source text.  Spans are used by the diagnostics
+//! in [`crate::error`] to report line/column positions.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// A span covering nothing (used for synthesized nodes).
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Create a new span.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo must not exceed hi");
+        Span { lo, hi }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether this is the dummy span of a synthesized node.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+
+    /// Extract the spanned slice from the source text, if in range.
+    pub fn slice<'a>(&self, src: &'a str) -> Option<&'a str> {
+        src.get(self.lo as usize..self.hi as usize)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A resolved line/column position (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column positions for a fixed source text.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offsets of the first character of every line.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Build a source map for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Resolve a byte offset to a 1-based line/column.
+    pub fn lookup(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Resolve the start of a span to a 1-based line/column.
+    pub fn span_start(&self, span: Span) -> LineCol {
+        self.lookup(span.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_merges() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 6).len(), 4);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+
+    #[test]
+    fn span_slice() {
+        let src = "hello world";
+        assert_eq!(Span::new(0, 5).slice(src), Some("hello"));
+        assert_eq!(Span::new(6, 11).slice(src), Some("world"));
+        assert_eq!(Span::new(6, 200).slice(src), None);
+    }
+
+    #[test]
+    fn dummy_span() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(0, 1).is_dummy());
+    }
+
+    #[test]
+    fn sourcemap_single_line() {
+        let sm = SourceMap::new("abc");
+        assert_eq!(sm.line_count(), 1);
+        assert_eq!(sm.lookup(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.lookup(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn sourcemap_multi_line() {
+        let src = "ab\ncde\n\nf";
+        let sm = SourceMap::new(src);
+        assert_eq!(sm.line_count(), 4);
+        assert_eq!(sm.lookup(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.lookup(3), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.lookup(5), LineCol { line: 2, col: 3 });
+        assert_eq!(sm.lookup(7), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.lookup(8), LineCol { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn sourcemap_out_of_range_clamps() {
+        let sm = SourceMap::new("ab");
+        assert_eq!(sm.lookup(1000).line, 1);
+    }
+
+    #[test]
+    fn linecol_display() {
+        assert_eq!(LineCol { line: 3, col: 9 }.to_string(), "3:9");
+    }
+}

@@ -1,0 +1,206 @@
+//! Canonical SIL program sources used throughout the documentation, tests and
+//! the workload library.
+//!
+//! The programs here are transcriptions of the programs printed in the paper;
+//! `ADD_AND_REVERSE` is Figure 7 and `ADD_AND_REVERSE_PARALLEL` is Figure 8.
+
+/// Figure 7 of the paper: build a tree, add 1 to the left subtree, add -1 to
+/// the right subtree, then reverse (mirror) the whole tree.
+///
+/// The `{ ... build a tree at root ... }` comment of the paper is expanded
+/// into a call to a `build` function so the program is complete and runnable.
+pub const ADD_AND_REVERSE: &str = r#"
+program add_and_reverse
+
+procedure main()
+  root, lside, rside: handle; i: int
+begin
+  i := 4;
+  root := build(i);
+  lside := root.left;
+  rside := root.right;
+  { <= PROGRAM POINT A -- path matrix pA }
+  add_n(lside, 1);
+  add_n(rside, -1);
+  reverse(root)
+end
+
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n;
+    l := h.left;
+    r := h.right;
+    { <= PROGRAM POINT B -- path matrix pB }
+    add_n(l, n);
+    add_n(r, n)
+  end
+end
+
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    { <= PROGRAM POINT C }
+    reverse(l);
+    reverse(r);
+    h.left := r;
+    h.right := l
+  end
+end
+
+function build(depth: int) handle
+  t, l, r: handle; d: int
+begin
+  t := nil;
+  if depth > 0 then
+  begin
+    t := new();
+    t.value := depth;
+    d := depth - 1;
+    l := build(d);
+    r := build(d);
+    t.left := l;
+    t.right := r
+  end
+end
+return (t)
+"#;
+
+/// Figure 8 of the paper: the parallel version of [`ADD_AND_REVERSE`]
+/// produced by the parallelization methods of Section 5.
+pub const ADD_AND_REVERSE_PARALLEL: &str = r#"
+program add_and_reverse
+
+procedure main()
+  root, lside, rside: handle; i: int
+begin
+  i := 4;
+  root := build(i);
+  lside := root.left || rside := root.right;
+  add_n(lside, 1) || add_n(rside, -1);
+  reverse(root)
+end
+
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n || l := h.left || r := h.right;
+    add_n(l, n) || add_n(r, n)
+  end
+end
+
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left || r := h.right;
+    reverse(l) || reverse(r);
+    h.left := r || h.right := l
+  end
+end
+
+function build(depth: int) handle
+  t, l, r: handle; d: int
+begin
+  t := nil;
+  if depth > 0 then
+  begin
+    t := new();
+    t.value := depth;
+    d := depth - 1;
+    l := build(d);
+    r := build(d);
+    t.left := l;
+    t.right := r
+  end
+end
+return (t)
+"#;
+
+/// The simple while loop of Figure 3: walk to the leftmost node.
+pub const LEFTMOST_LOOP: &str = r#"
+program leftmost
+
+procedure main()
+  h, l: handle; d: int
+begin
+  d := 5;
+  h := build(d);
+  l := h;
+  while l.left <> nil do
+    l := l.left
+end
+
+function build(depth: int) handle
+  t, l, r: handle; d: int
+begin
+  t := nil;
+  if depth > 0 then
+  begin
+    t := new();
+    t.value := depth;
+    d := depth - 1;
+    l := build(d);
+    r := build(d);
+    t.left := l;
+    t.right := r
+  end
+end
+return (t)
+"#;
+
+/// A tiny straight-line program used in the statement-packing examples
+/// (Figure 4): independent handle loads that can all execute in parallel.
+pub const STRAIGHT_LINE: &str = r#"
+program straight
+
+procedure main()
+  t, a, b, c, d: handle; x, y: int
+begin
+  t := new();
+  a := new();
+  b := new();
+  t.left := a;
+  t.right := b;
+  c := t.left;
+  d := t.right;
+  x := c.value;
+  y := d.value
+end
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn all_sources_parse() {
+        for (name, src) in [
+            ("add_and_reverse", ADD_AND_REVERSE),
+            ("add_and_reverse_parallel", ADD_AND_REVERSE_PARALLEL),
+            ("leftmost", LEFTMOST_LOOP),
+            ("straight", STRAIGHT_LINE),
+        ] {
+            parse_program(src).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_source_contains_par_statements() {
+        let prog = parse_program(ADD_AND_REVERSE_PARALLEL).unwrap();
+        let add_n = prog.procedure("add_n").unwrap();
+        assert!(add_n.body.has_par());
+        let seq = parse_program(ADD_AND_REVERSE).unwrap();
+        assert!(!seq.procedure("add_n").unwrap().body.has_par());
+    }
+}

@@ -1,0 +1,190 @@
+//! Token definitions for the SIL lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(String),
+    Int(i64),
+
+    // Keywords
+    Program,
+    Procedure,
+    Function,
+    Begin,
+    End,
+    If,
+    Then,
+    Else,
+    While,
+    Do,
+    Return,
+    Nil,
+    New,
+    IntType,
+    HandleType,
+
+    // Field selectors (keywords after `.`)
+    Left,
+    Right,
+    Value,
+
+    // Punctuation and operators
+    Assign,    // :=
+    Colon,     // :
+    Semicolon, // ;
+    Comma,     // ,
+    Dot,       // .
+    LParen,    // (
+    RParen,    // )
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // /
+    Eq,        // =
+    Ne,        // <> or !=
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    And,       // and
+    Or,        // or
+    Not,       // not
+    Par,       // ||  (parallel composition, appears in output programs)
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "program" => TokenKind::Program,
+            "procedure" => TokenKind::Procedure,
+            "function" => TokenKind::Function,
+            "begin" => TokenKind::Begin,
+            "end" => TokenKind::End,
+            "if" => TokenKind::If,
+            "then" => TokenKind::Then,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "do" => TokenKind::Do,
+            "return" => TokenKind::Return,
+            "nil" => TokenKind::Nil,
+            "new" => TokenKind::New,
+            "int" => TokenKind::IntType,
+            "handle" => TokenKind::HandleType,
+            "left" => TokenKind::Left,
+            "right" => TokenKind::Right,
+            "value" => TokenKind::Value,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            other => format!("`{}`", other),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Program => "program",
+            TokenKind::Procedure => "procedure",
+            TokenKind::Function => "function",
+            TokenKind::Begin => "begin",
+            TokenKind::End => "end",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::Return => "return",
+            TokenKind::Nil => "nil",
+            TokenKind::New => "new",
+            TokenKind::IntType => "int",
+            TokenKind::HandleType => "handle",
+            TokenKind::Left => "left",
+            TokenKind::Right => "right",
+            TokenKind::Value => "value",
+            TokenKind::Assign => ":=",
+            TokenKind::Colon => ":",
+            TokenKind::Semicolon => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::Not => "not",
+            TokenKind::Par => "||",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A token: a kind plus the span it occupies in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("handle"), Some(TokenKind::HandleType));
+        assert_eq!(TokenKind::keyword("lefty"), None);
+        assert_eq!(TokenKind::keyword("Left"), None, "keywords are lowercase");
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Assign.to_string(), ":=");
+        assert_eq!(TokenKind::Par.to_string(), "||");
+        assert_eq!(TokenKind::Ne.to_string(), "<>");
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "abc");
+        assert_eq!(TokenKind::Int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn describe_quotes_symbols() {
+        assert_eq!(TokenKind::Semicolon.describe(), "`;`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+    }
+}

@@ -1,0 +1,594 @@
+//! The SIL type checker.
+//!
+//! SIL supports two value types, `int` and `handle` (plus booleans that only
+//! occur in conditions).  The checker verifies declarations, expression and
+//! assignment typing, call signatures and the `main` entry point, and
+//! produces a [`ProgramTypes`] table that downstream crates (the analysis,
+//! the parallelizer and the runtime) use to distinguish handle variables from
+//! integer variables.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, SilError};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// The type of an expression or variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    Int,
+    Handle,
+    Bool,
+}
+
+impl Type {
+    fn of(name: TypeName) -> Type {
+        match name {
+            TypeName::Int => Type::Int,
+            TypeName::Handle => Type::Handle,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Handle => write!(f, "handle"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// The checked signature and symbol table of a single procedure or function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSignature {
+    pub name: Ident,
+    /// Parameter names and types, in declaration order.
+    pub params: Vec<(Ident, Type)>,
+    /// `Some(..)` for functions.
+    pub return_type: Option<Type>,
+    /// Every declared variable (parameters and locals) and its type.
+    pub vars: HashMap<Ident, Type>,
+}
+
+impl ProcSignature {
+    /// Type of a declared variable, if any.
+    pub fn var_type(&self, name: &str) -> Option<Type> {
+        self.vars.get(name).copied()
+    }
+
+    /// Whether `name` is a declared handle variable.
+    pub fn is_handle(&self, name: &str) -> bool {
+        self.var_type(name) == Some(Type::Handle)
+    }
+
+    /// The names of the handle-typed parameters, in order.
+    pub fn handle_params(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|(_, t)| *t == Type::Handle)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// Type information for a whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramTypes {
+    procs: HashMap<Ident, ProcSignature>,
+}
+
+impl ProgramTypes {
+    /// The signature of a procedure or function.
+    pub fn proc(&self, name: &str) -> Option<&ProcSignature> {
+        self.procs.get(name)
+    }
+
+    /// Whether `var` is a handle variable in procedure `proc`.
+    pub fn is_handle(&self, proc: &str, var: &str) -> bool {
+        self.proc(proc).is_some_and(|sig| sig.is_handle(var))
+    }
+
+    /// Iterate over all procedure signatures.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcSignature> {
+        self.procs.values()
+    }
+}
+
+/// Type check `program`, returning the symbol tables on success.
+pub fn check_program(program: &Program) -> Result<ProgramTypes, SilError> {
+    let mut checker = Checker::new(program);
+    checker.check();
+    if checker.diagnostics.is_empty() {
+        Ok(checker.types)
+    } else {
+        Err(SilError::Type {
+            diagnostics: checker.diagnostics,
+        })
+    }
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    types: ProgramTypes,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> Checker<'a> {
+    fn new(program: &'a Program) -> Self {
+        Checker {
+            program,
+            types: ProgramTypes::default(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.diagnostics.push(Diagnostic::error(message, span));
+    }
+
+    fn check(&mut self) {
+        // Pass 1: collect signatures (so calls can be checked in any order).
+        for proc in &self.program.procedures {
+            self.collect_signature(proc);
+        }
+
+        // Entry point.
+        match self.program.main() {
+            None => self.error("program has no `main` procedure", self.program.span),
+            Some(main) => {
+                if !main.params.is_empty() {
+                    self.error("`main` must be parameterless", main.span);
+                }
+                if main.is_function() {
+                    self.error("`main` must be a procedure, not a function", main.span);
+                }
+            }
+        }
+
+        // Pass 2: check bodies.
+        for proc in &self.program.procedures {
+            self.check_procedure(proc);
+        }
+    }
+
+    fn collect_signature(&mut self, proc: &Procedure) {
+        if self.types.procs.contains_key(&proc.name) {
+            self.error(
+                format!("duplicate procedure or function `{}`", proc.name),
+                proc.span,
+            );
+            return;
+        }
+        let mut vars = HashMap::new();
+        let mut params = Vec::new();
+        for decl in proc.params.iter().chain(proc.locals.iter()) {
+            let ty = Type::of(decl.ty);
+            if vars.insert(decl.name.clone(), ty).is_some() {
+                self.error(
+                    format!("duplicate declaration of `{}` in `{}`", decl.name, proc.name),
+                    decl.span,
+                );
+            }
+        }
+        for decl in &proc.params {
+            params.push((decl.name.clone(), Type::of(decl.ty)));
+        }
+        let return_type = proc.return_type.map(Type::of);
+        if let (Some(rt), Some(rv)) = (return_type, proc.return_var.as_ref()) {
+            match vars.get(rv) {
+                None => self.error(
+                    format!("return variable `{rv}` of `{}` is not declared", proc.name),
+                    proc.span,
+                ),
+                Some(&vt) if vt != rt => self.error(
+                    format!(
+                        "return variable `{rv}` has type {vt} but `{}` returns {rt}",
+                        proc.name
+                    ),
+                    proc.span,
+                ),
+                _ => {}
+            }
+        }
+        self.types.procs.insert(
+            proc.name.clone(),
+            ProcSignature {
+                name: proc.name.clone(),
+                params,
+                return_type,
+                vars,
+            },
+        );
+    }
+
+    fn check_procedure(&mut self, proc: &Procedure) {
+        let Some(sig) = self.types.procs.get(&proc.name).cloned() else {
+            return;
+        };
+        self.check_stmt(&proc.body, &sig);
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, sig: &ProcSignature) {
+        match stmt {
+            Stmt::Assign { lhs, rhs, span } => self.check_assign(lhs, rhs, *span, sig),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
+                self.expect_type(cond, Type::Bool, *span, sig);
+                self.check_stmt(then_branch, sig);
+                if let Some(e) = else_branch {
+                    self.check_stmt(e, sig);
+                }
+            }
+            Stmt::While { cond, body, span } => {
+                self.expect_type(cond, Type::Bool, *span, sig);
+                self.check_stmt(body, sig);
+            }
+            Stmt::Block { stmts, .. } => {
+                for s in stmts {
+                    self.check_stmt(s, sig);
+                }
+            }
+            Stmt::Call { proc, args, span } => {
+                self.check_call(proc, args, None, *span, sig);
+            }
+            Stmt::Par { arms, .. } => {
+                for arm in arms {
+                    self.check_stmt(arm, sig);
+                }
+            }
+        }
+    }
+
+    fn check_assign(&mut self, lhs: &LValue, rhs: &Rhs, span: Span, sig: &ProcSignature) {
+        let lhs_ty = match lhs {
+            LValue::Var(name) => match sig.var_type(name) {
+                Some(t) => Some(t),
+                None => {
+                    self.error(format!("undeclared variable `{name}`"), span);
+                    None
+                }
+            },
+            LValue::Field(path, _) => {
+                self.check_handle_path(path, span, sig);
+                Some(Type::Handle)
+            }
+            LValue::Value(path) => {
+                self.check_handle_path(path, span, sig);
+                Some(Type::Int)
+            }
+        };
+
+        let rhs_ty = match rhs {
+            Rhs::New => Some(Type::Handle),
+            Rhs::Expr(e) => self.type_of_expr(e, span, sig),
+            Rhs::Call(name, args) => self.check_call(name, args, Some(span), span, sig),
+        };
+
+        if let (Some(l), Some(r)) = (lhs_ty, rhs_ty) {
+            if l != r {
+                self.error(
+                    format!("cannot assign {r} value to {l} location `{lhs}`"),
+                    span,
+                );
+            }
+        }
+    }
+
+    /// Check a call; returns the result type for function calls.
+    fn check_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        expects_value: Option<Span>,
+        span: Span,
+        sig: &ProcSignature,
+    ) -> Option<Type> {
+        let Some(callee) = self.types.procs.get(name).cloned() else {
+            self.error(format!("call to undefined procedure or function `{name}`"), span);
+            return None;
+        };
+        if expects_value.is_some() && callee.return_type.is_none() {
+            self.error(
+                format!("`{name}` is a procedure and returns no value"),
+                span,
+            );
+        }
+        if expects_value.is_none() && callee.return_type.is_some() {
+            self.error(
+                format!("`{name}` is a function; its result must be assigned"),
+                span,
+            );
+        }
+        if args.len() != callee.params.len() {
+            self.error(
+                format!(
+                    "`{name}` expects {} argument(s) but was given {}",
+                    callee.params.len(),
+                    args.len()
+                ),
+                span,
+            );
+        }
+        for (arg, (pname, pty)) in args.iter().zip(callee.params.iter()) {
+            if let Some(aty) = self.type_of_expr(arg, span, sig) {
+                if aty != *pty {
+                    self.error(
+                        format!(
+                            "argument for parameter `{pname}` of `{name}` has type {aty}, expected {pty}"
+                        ),
+                        span,
+                    );
+                }
+            }
+        }
+        callee.return_type
+    }
+
+    fn check_handle_path(&mut self, path: &HandlePath, span: Span, sig: &ProcSignature) {
+        match sig.var_type(&path.base) {
+            None => self.error(format!("undeclared variable `{}`", path.base), span),
+            Some(Type::Handle) => {}
+            Some(other) => self.error(
+                format!(
+                    "`{}` has type {other}; only handles may be dereferenced",
+                    path.base
+                ),
+                span,
+            ),
+        }
+    }
+
+    fn expect_type(&mut self, expr: &Expr, expected: Type, span: Span, sig: &ProcSignature) {
+        if let Some(actual) = self.type_of_expr(expr, span, sig) {
+            if actual != expected {
+                self.error(format!("expected {expected} expression, found {actual}"), span);
+            }
+        }
+    }
+
+    fn type_of_expr(&mut self, expr: &Expr, span: Span, sig: &ProcSignature) -> Option<Type> {
+        match expr {
+            Expr::Int(_) => Some(Type::Int),
+            Expr::Nil => Some(Type::Handle),
+            Expr::Value(path) => {
+                self.check_handle_path(path, span, sig);
+                Some(Type::Int)
+            }
+            Expr::Path(path) => {
+                if path.is_var() {
+                    match sig.var_type(&path.base) {
+                        Some(t) => Some(t),
+                        None => {
+                            self.error(format!("undeclared variable `{}`", path.base), span);
+                            None
+                        }
+                    }
+                } else {
+                    self.check_handle_path(path, span, sig);
+                    Some(Type::Handle)
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let inner_ty = self.type_of_expr(inner, span, sig)?;
+                match op {
+                    UnOp::Neg => {
+                        if inner_ty != Type::Int {
+                            self.error(format!("unary `-` requires an int, found {inner_ty}"), span);
+                        }
+                        Some(Type::Int)
+                    }
+                    UnOp::Not => {
+                        if inner_ty != Type::Bool {
+                            self.error(format!("`not` requires a bool, found {inner_ty}"), span);
+                        }
+                        Some(Type::Bool)
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let lt = self.type_of_expr(lhs, span, sig);
+                let rt = self.type_of_expr(rhs, span, sig);
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        for t in [lt, rt].into_iter().flatten() {
+                            if t != Type::Int {
+                                self.error(
+                                    format!("arithmetic operator `{op}` requires ints, found {t}"),
+                                    span,
+                                );
+                            }
+                        }
+                        Some(Type::Int)
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if let (Some(l), Some(r)) = (lt, rt) {
+                            if l != r {
+                                self.error(
+                                    format!("cannot compare {l} with {r} using `{op}`"),
+                                    span,
+                                );
+                            } else if l == Type::Bool {
+                                self.error("cannot compare boolean expressions", span);
+                            }
+                        }
+                        Some(Type::Bool)
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        for t in [lt, rt].into_iter().flatten() {
+                            if t != Type::Int {
+                                self.error(
+                                    format!("ordering operator `{op}` requires ints, found {t}"),
+                                    span,
+                                );
+                            }
+                        }
+                        Some(Type::Bool)
+                    }
+                    BinOp::And | BinOp::Or => {
+                        for t in [lt, rt].into_iter().flatten() {
+                            if t != Type::Bool {
+                                self.error(
+                                    format!("logical operator `{op}` requires bools, found {t}"),
+                                    span,
+                                );
+                            }
+                        }
+                        Some(Type::Bool)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<ProgramTypes, SilError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    fn check_err(src: &str) -> String {
+        check(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        let types = check(crate::testsrc::ADD_AND_REVERSE).unwrap();
+        let add_n = types.proc("add_n").unwrap();
+        assert_eq!(add_n.params.len(), 2);
+        assert_eq!(add_n.params[0].1, Type::Handle);
+        assert_eq!(add_n.params[1].1, Type::Int);
+        assert!(add_n.is_handle("l"));
+        assert!(!add_n.is_handle("n"));
+        assert_eq!(add_n.handle_params(), vec!["h"]);
+        let build = types.proc("build").unwrap();
+        assert_eq!(build.return_type, Some(Type::Handle));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let err = check_err("program p procedure helper() begin end");
+        assert!(err.contains("main"), "{err}");
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        let err = check_err("program p procedure main(x: int) begin end");
+        assert!(err.contains("parameterless"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let err = check_err("program p procedure main() x: int; x: handle begin end");
+        assert!(err.contains("duplicate declaration"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_procedure() {
+        let err = check_err(
+            "program p procedure main() begin end procedure f() begin end procedure f() begin end",
+        );
+        assert!(err.contains("duplicate procedure"), "{err}");
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let err = check_err("program p procedure main() begin x := 1 end");
+        assert!(err.contains("undeclared variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_int_handle_mismatch() {
+        let err = check_err("program p procedure main() a: handle; x: int begin x := a end");
+        assert!(err.contains("cannot assign handle value to int"), "{err}");
+        let err = check_err("program p procedure main() a: handle begin a := 3 end");
+        assert!(err.contains("cannot assign int value to handle"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dereference_of_int() {
+        let err = check_err("program p procedure main() x: int; a: handle begin a := x.left end");
+        assert!(err.contains("only handles may be dereferenced"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nil_compared_to_int() {
+        let err =
+            check_err("program p procedure main() x: int begin if x = nil then x := 1 end");
+        assert!(err.contains("cannot compare int with handle"), "{err}");
+    }
+
+    #[test]
+    fn rejects_integer_condition() {
+        let err = check_err("program p procedure main() x: int begin if x then x := 1 end");
+        assert!(err.contains("expected bool expression"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity_call() {
+        let err = check_err(
+            "program p procedure f(a: handle) begin end procedure main() h: handle begin f(h, h) end",
+        );
+        assert!(err.contains("expects 1 argument"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_argument_type() {
+        let err = check_err(
+            "program p procedure f(a: handle) begin end procedure main() x: int begin f(x) end",
+        );
+        assert!(err.contains("expected handle"), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_to_unknown() {
+        let err = check_err("program p procedure main() begin f() end");
+        assert!(err.contains("undefined procedure"), "{err}");
+    }
+
+    #[test]
+    fn rejects_function_called_as_procedure() {
+        let err = check_err(
+            "program p function f() int x: int begin x := 1 end return (x) procedure main() begin f() end",
+        );
+        assert!(err.contains("must be assigned"), "{err}");
+    }
+
+    #[test]
+    fn rejects_procedure_used_as_function() {
+        let err = check_err(
+            "program p procedure f() begin end procedure main() x: int begin x := f() end",
+        );
+        assert!(err.contains("returns no value"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_return_var() {
+        let err = check_err(
+            "program p function f() int a: handle begin a := nil end return (a) procedure main() x: int begin x := f() end",
+        );
+        assert!(err.contains("return variable"), "{err}");
+    }
+
+    #[test]
+    fn accepts_parallel_statements() {
+        let types = check(crate::testsrc::ADD_AND_REVERSE_PARALLEL).unwrap();
+        assert!(types.proc("reverse").is_some());
+    }
+
+    #[test]
+    fn value_field_is_int() {
+        let err = check_err(
+            "program p procedure main() a, b: handle begin a := new(); b := a.value end",
+        );
+        assert!(err.contains("cannot assign int value to handle"), "{err}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Generic AST visitors and walkers.
+//!
+//! Downstream crates use these to enumerate statements, collect variable
+//! uses, and rewrite statement trees without re-implementing the recursion.
+
+use crate::ast::*;
+
+/// A read-only statement visitor.  Implement the hooks you need; the default
+/// implementations recurse into children via [`walk_stmt`].
+pub trait Visitor {
+    /// Called for every statement, before recursing into children.
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    /// Called for every expression occurring in a statement (assignments,
+    /// conditions, call arguments).
+    fn visit_expr(&mut self, _expr: &Expr) {}
+}
+
+/// Recurse into the children of `stmt`, invoking the visitor's hooks.
+pub fn walk_stmt<V: Visitor + ?Sized>(visitor: &mut V, stmt: &Stmt) {
+    match stmt {
+        Stmt::Assign { rhs, .. } => match rhs {
+            Rhs::Expr(e) => visitor.visit_expr(e),
+            Rhs::Call(_, args) => {
+                for a in args {
+                    visitor.visit_expr(a);
+                }
+            }
+            Rhs::New => {}
+        },
+        Stmt::Call { args, .. } => {
+            for a in args {
+                visitor.visit_expr(a);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            visitor.visit_expr(cond);
+            visitor.visit_stmt(then_branch);
+            if let Some(e) = else_branch {
+                visitor.visit_stmt(e);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            visitor.visit_expr(cond);
+            visitor.visit_stmt(body);
+        }
+        Stmt::Block { stmts, .. } => {
+            for s in stmts {
+                visitor.visit_stmt(s);
+            }
+        }
+        Stmt::Par { arms, .. } => {
+            for a in arms {
+                visitor.visit_stmt(a);
+            }
+        }
+    }
+}
+
+/// Collect every simple (non-compound) statement in evaluation order.
+pub fn collect_simple_stmts(stmt: &Stmt) -> Vec<&Stmt> {
+    struct Collector<'a> {
+        out: Vec<&'a Stmt>,
+    }
+    // A manual recursion keeps the borrow of `stmt` in the output.
+    fn go<'a>(stmt: &'a Stmt, out: &mut Vec<&'a Stmt>) {
+        match stmt {
+            Stmt::Assign { .. } | Stmt::Call { .. } => out.push(stmt),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                go(then_branch, out);
+                if let Some(e) = else_branch {
+                    go(e, out);
+                }
+            }
+            Stmt::While { body, .. } => go(body, out),
+            Stmt::Block { stmts, .. } => {
+                for s in stmts {
+                    go(s, out);
+                }
+            }
+            Stmt::Par { arms, .. } => {
+                for a in arms {
+                    go(a, out);
+                }
+            }
+        }
+    }
+    let mut c = Collector { out: Vec::new() };
+    go(stmt, &mut c.out);
+    c.out
+}
+
+/// Collect the names of every variable read or written anywhere in `stmt`.
+pub fn collect_variables(stmt: &Stmt) -> Vec<Ident> {
+    let mut out = Vec::new();
+    fn expr_vars(e: &Expr, out: &mut Vec<Ident>) {
+        out.extend(e.variables());
+    }
+    fn go(stmt: &Stmt, out: &mut Vec<Ident>) {
+        match stmt {
+            Stmt::Assign { lhs, rhs, .. } => {
+                match lhs {
+                    LValue::Var(v) => out.push(v.clone()),
+                    LValue::Field(p, _) | LValue::Value(p) => out.push(p.base.clone()),
+                }
+                match rhs {
+                    Rhs::Expr(e) => expr_vars(e, out),
+                    Rhs::Call(_, args) => args.iter().for_each(|a| expr_vars(a, out)),
+                    Rhs::New => {}
+                }
+            }
+            Stmt::Call { args, .. } => args.iter().for_each(|a| expr_vars(a, out)),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                expr_vars(cond, out);
+                go(then_branch, out);
+                if let Some(e) = else_branch {
+                    go(e, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                expr_vars(cond, out);
+                go(body, out);
+            }
+            Stmt::Block { stmts, .. } => stmts.iter().for_each(|s| go(s, out)),
+            Stmt::Par { arms, .. } => arms.iter().for_each(|a| go(a, out)),
+        }
+    }
+    go(stmt, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// A statement rewriter: maps every statement bottom-up through `f`.
+pub fn map_stmt(stmt: &Stmt, f: &mut impl FnMut(Stmt) -> Stmt) -> Stmt {
+    let rebuilt = match stmt {
+        Stmt::Assign { .. } | Stmt::Call { .. } => stmt.clone(),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: Box::new(map_stmt(then_branch, f)),
+            else_branch: else_branch.as_ref().map(|e| Box::new(map_stmt(e, f))),
+            span: *span,
+        },
+        Stmt::While { cond, body, span } => Stmt::While {
+            cond: cond.clone(),
+            body: Box::new(map_stmt(body, f)),
+            span: *span,
+        },
+        Stmt::Block { stmts, span } => Stmt::Block {
+            stmts: stmts.iter().map(|s| map_stmt(s, f)).collect(),
+            span: *span,
+        },
+        Stmt::Par { arms, span } => Stmt::Par {
+            arms: arms.iter().map(|a| map_stmt(a, f)).collect(),
+            span: *span,
+        },
+    };
+    f(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_stmt};
+
+    #[test]
+    fn collect_simple_stmts_in_order() {
+        let s = parse_stmt("begin a := nil; if a <> nil then b := a; while a <> nil do a := a.left end")
+            .unwrap();
+        let simple = collect_simple_stmts(&s);
+        assert_eq!(simple.len(), 3);
+        assert!(matches!(simple[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn collect_variables_dedups() {
+        let s = parse_stmt("begin a := b; b := a; x := a.value end").unwrap();
+        let vars = collect_variables(&s);
+        assert_eq!(vars, vec!["a".to_string(), "b".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn visitor_counts_expressions() {
+        struct Counter {
+            stmts: usize,
+            exprs: usize,
+        }
+        impl Visitor for Counter {
+            fn visit_stmt(&mut self, stmt: &Stmt) {
+                self.stmts += 1;
+                walk_stmt(self, stmt);
+            }
+            fn visit_expr(&mut self, _expr: &Expr) {
+                self.exprs += 1;
+            }
+        }
+        let prog = parse_program(crate::testsrc::ADD_AND_REVERSE).unwrap();
+        let mut c = Counter { stmts: 0, exprs: 0 };
+        for p in &prog.procedures {
+            c.visit_stmt(&p.body);
+        }
+        assert!(c.stmts > 20, "saw {} statements", c.stmts);
+        assert!(c.exprs > 10, "saw {} expressions", c.exprs);
+    }
+
+    #[test]
+    fn map_stmt_rewrites_bottom_up() {
+        let s = parse_stmt("begin a := nil; b := nil end").unwrap();
+        // rewrite every `x := nil` into `x := new()`
+        let rewritten = map_stmt(&s, &mut |st| match st {
+            Stmt::Assign {
+                lhs,
+                rhs: Rhs::Expr(Expr::Nil),
+                span,
+            } => Stmt::Assign {
+                lhs,
+                rhs: Rhs::New,
+                span,
+            },
+            other => other,
+        });
+        let simple = collect_simple_stmts(&rewritten);
+        assert!(simple
+            .iter()
+            .all(|s| matches!(s, Stmt::Assign { rhs: Rhs::New, .. })));
+    }
+
+    #[test]
+    fn par_arms_are_visited() {
+        let s = parse_stmt("a := nil || b := nil || c := nil").unwrap();
+        assert_eq!(collect_simple_stmts(&s).len(), 3);
+        assert_eq!(collect_variables(&s).len(), 3);
+    }
+}

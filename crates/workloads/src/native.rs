@@ -1,0 +1,396 @@
+//! Native Rust reference implementations of the benchmark kernels.
+//!
+//! These serve two purposes:
+//!
+//! 1. **Validation** — the SIL interpreter's results are checked against
+//!    them in the integration tests.
+//! 2. **Measurement** — the wall-clock speedup benchmarks compare the
+//!    sequential kernels with their rayon-parallel counterparts on the host,
+//!    mirroring the parallelism the analysis detects in the SIL versions
+//!    (recursive calls on the two disjoint subtrees run as a rayon `join`).
+
+use rayon::join;
+
+/// A heap-allocated binary tree, mirroring SIL's
+/// `type handle = Nil | {value, left, right}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    pub value: i64,
+    pub left: Option<Box<Tree>>,
+    pub right: Option<Box<Tree>>,
+}
+
+impl Tree {
+    /// A leaf node.
+    pub fn leaf(value: i64) -> Tree {
+        Tree {
+            value,
+            left: None,
+            right: None,
+        }
+    }
+
+    /// A perfect tree of the given depth; node values equal their depth,
+    /// exactly like the SIL `build` function.
+    pub fn perfect(depth: u32) -> Option<Box<Tree>> {
+        if depth == 0 {
+            return None;
+        }
+        Some(Box::new(Tree {
+            value: depth as i64,
+            left: Tree::perfect(depth - 1),
+            right: Tree::perfect(depth - 1),
+        }))
+    }
+
+    /// A perfect tree with pseudo-random but pairwise-distinct values,
+    /// mirroring the SIL `build_keyed` function (same recurrence, so the
+    /// values match node for node).  `idx` is the 1-based heap index of the
+    /// node; the value is a Fibonacci-style hash of it modulo the Mersenne
+    /// prime 2^31 - 1, which is injective for all indices that occur — the
+    /// adaptive bitonic sort assumes distinct keys.
+    pub fn perfect_keyed(depth: u32, idx: i64) -> Option<Box<Tree>> {
+        if depth == 0 {
+            return None;
+        }
+        let k = (idx * 2_654_435_761) % 2_147_483_647;
+        Some(Box::new(Tree {
+            value: k,
+            left: Tree::perfect_keyed(depth - 1, idx * 2),
+            right: Tree::perfect_keyed(depth - 1, idx * 2 + 1),
+        }))
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.left.as_deref().map_or(0, Tree::size)
+            + self.right.as_deref().map_or(0, Tree::size)
+    }
+
+    /// In-order values.
+    pub fn in_order(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.size());
+        self.collect_in_order(&mut out);
+        out
+    }
+
+    fn collect_in_order(&self, out: &mut Vec<i64>) {
+        if let Some(l) = &self.left {
+            l.collect_in_order(out);
+        }
+        out.push(self.value);
+        if let Some(r) = &self.right {
+            r.collect_in_order(out);
+        }
+    }
+}
+
+/// Sum all values, sequentially.
+pub fn sum_seq(tree: &Option<Box<Tree>>) -> i64 {
+    match tree {
+        None => 0,
+        Some(t) => t.value + sum_seq(&t.left) + sum_seq(&t.right),
+    }
+}
+
+/// Sum all values with rayon `join` on the two subtrees.
+pub fn sum_par(tree: &Option<Box<Tree>>) -> i64 {
+    match tree {
+        None => 0,
+        Some(t) => {
+            let (l, r) = join(|| sum_par(&t.left), || sum_par(&t.right));
+            t.value + l + r
+        }
+    }
+}
+
+/// Add `n` to every node, sequentially (the `add_n` of Figure 7).
+pub fn add_n_seq(tree: &mut Option<Box<Tree>>, n: i64) {
+    if let Some(t) = tree {
+        t.value += n;
+        add_n_seq(&mut t.left, n);
+        add_n_seq(&mut t.right, n);
+    }
+}
+
+/// Add `n` to every node with rayon `join`.
+pub fn add_n_par(tree: &mut Option<Box<Tree>>, n: i64) {
+    if let Some(t) = tree {
+        t.value += n;
+        let (left, right) = (&mut t.left, &mut t.right);
+        join(|| add_n_par(left, n), || add_n_par(right, n));
+    }
+}
+
+/// Mirror the tree in place, sequentially (the `reverse` of Figure 7).
+pub fn reverse_seq(tree: &mut Option<Box<Tree>>) {
+    if let Some(t) = tree {
+        reverse_seq(&mut t.left);
+        reverse_seq(&mut t.right);
+        std::mem::swap(&mut t.left, &mut t.right);
+    }
+}
+
+/// Mirror the tree in place with rayon `join`.
+pub fn reverse_par(tree: &mut Option<Box<Tree>>) {
+    if let Some(t) = tree {
+        let (left, right) = (&mut t.left, &mut t.right);
+        join(|| reverse_par(left), || reverse_par(right));
+        std::mem::swap(&mut t.left, &mut t.right);
+    }
+}
+
+/// The whole `add_and_reverse` program (Figure 7), sequentially.
+pub fn add_and_reverse_seq(depth: u32) -> Option<Box<Tree>> {
+    let mut root = Tree::perfect(depth);
+    if let Some(t) = root.as_mut() {
+        add_n_seq(&mut t.left, 1);
+        add_n_seq(&mut t.right, -1);
+    }
+    reverse_seq(&mut root);
+    root
+}
+
+/// The whole `add_and_reverse` program as parallelized in Figure 8.
+pub fn add_and_reverse_par(depth: u32) -> Option<Box<Tree>> {
+    let mut root = Tree::perfect(depth);
+    if let Some(t) = root.as_mut() {
+        let (left, right) = (&mut t.left, &mut t.right);
+        join(|| add_n_par(left, 1), || add_n_par(right, -1));
+    }
+    reverse_par(&mut root);
+    root
+}
+
+/// Olden treeadd, sequentially: every node becomes the sum of its subtree;
+/// returns the total.
+pub fn treeadd_seq(tree: &mut Option<Box<Tree>>) -> i64 {
+    match tree {
+        None => 0,
+        Some(t) => {
+            let s = t.value + treeadd_seq(&mut t.left) + treeadd_seq(&mut t.right);
+            t.value = s;
+            s
+        }
+    }
+}
+
+/// Olden treeadd with rayon `join`.
+pub fn treeadd_par(tree: &mut Option<Box<Tree>>) -> i64 {
+    match tree {
+        None => 0,
+        Some(t) => {
+            let (left, right) = (&mut t.left, &mut t.right);
+            let (a, b) = join(|| treeadd_par(left), || treeadd_par(right));
+            let s = t.value + a + b;
+            t.value = s;
+            s
+        }
+    }
+}
+
+/// Adaptive bitonic sort (Olden `bisort` formulation), sequential.
+/// Returns the new spare value.
+pub fn bisort_seq(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
+    let Some(t) = tree else { return spare };
+    if t.left.is_none() {
+        if (t.value > spare) != !ascending {
+            let v = t.value;
+            t.value = spare;
+            return v;
+        }
+        return spare;
+    }
+    let v = bisort_seq(&mut t.left, t.value, ascending);
+    let spare = bisort_seq(&mut t.right, spare, !ascending);
+    t.value = v;
+    bimerge_seq(t, spare, ascending)
+}
+
+/// Adaptive bitonic sort with the two recursive sorts (and the two recursive
+/// merges) running as rayon `join`s — the parallelism the analysis detects.
+pub fn bisort_par(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
+    let Some(t) = tree else { return spare };
+    if t.left.is_none() {
+        if (t.value > spare) != !ascending {
+            let v = t.value;
+            t.value = spare;
+            return v;
+        }
+        return spare;
+    }
+    let root_value = t.value;
+    let (left, right) = (&mut t.left, &mut t.right);
+    let (v, spare) = join(
+        || bisort_par(left, root_value, ascending),
+        || bisort_par(right, spare, !ascending),
+    );
+    t.value = v;
+    bimerge_par(t, spare, ascending)
+}
+
+fn bimerge_seq(t: &mut Tree, spare: i64, ascending: bool) -> i64 {
+    let mut spare = spare;
+    let right_exchange = (t.value > spare) != !ascending;
+    if right_exchange {
+        std::mem::swap(&mut t.value, &mut spare);
+    }
+    spine_walk(t, right_exchange, ascending);
+    if t.left.is_some() {
+        t.value = bimerge_opt_seq(&mut t.left, t.value, ascending);
+        spare = bimerge_opt_seq(&mut t.right, spare, ascending);
+    }
+    spare
+}
+
+fn bimerge_opt_seq(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
+    match tree {
+        None => spare,
+        Some(t) => bimerge_seq(t, spare, ascending),
+    }
+}
+
+fn bimerge_par(t: &mut Tree, spare: i64, ascending: bool) -> i64 {
+    let mut spare = spare;
+    let right_exchange = (t.value > spare) != !ascending;
+    if right_exchange {
+        std::mem::swap(&mut t.value, &mut spare);
+    }
+    spine_walk(t, right_exchange, ascending);
+    if t.left.is_some() {
+        let root_value = t.value;
+        let (left, right) = (&mut t.left, &mut t.right);
+        let (v, s) = join(
+            || bimerge_opt_par(left, root_value, ascending),
+            || bimerge_opt_par(right, spare, ascending),
+        );
+        t.value = v;
+        spare = s;
+    }
+    spare
+}
+
+fn bimerge_opt_par(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
+    match tree {
+        None => spare,
+        Some(t) => bimerge_par(t, spare, ascending),
+    }
+}
+
+/// The value/subtree spine walk shared by sequential and parallel bimerge
+/// (this part is inherently sequential — a pointer chase down both spines).
+fn spine_walk(t: &mut Tree, right_exchange: bool, ascending: bool) {
+    let (mut pl, mut pr) = (t.left.as_deref_mut(), t.right.as_deref_mut());
+    while let (Some(l), Some(r)) = (pl, pr) {
+        let element_exchange = (l.value > r.value) != !ascending;
+        if right_exchange {
+            if element_exchange {
+                std::mem::swap(&mut l.value, &mut r.value);
+                std::mem::swap(&mut l.right, &mut r.right);
+                pl = l.left.as_deref_mut();
+                pr = r.left.as_deref_mut();
+            } else {
+                pl = l.right.as_deref_mut();
+                pr = r.right.as_deref_mut();
+            }
+        } else if element_exchange {
+            std::mem::swap(&mut l.value, &mut r.value);
+            std::mem::swap(&mut l.left, &mut r.left);
+            pl = l.right.as_deref_mut();
+            pr = r.right.as_deref_mut();
+        } else {
+            pl = l.left.as_deref_mut();
+            pr = r.left.as_deref_mut();
+        }
+    }
+}
+
+/// Collect the sorted sequence produced by bisort: the in-order traversal of
+/// the tree followed by the spare value (ascending order).
+pub fn bisort_sequence(tree: &Option<Box<Tree>>, spare: i64) -> Vec<i64> {
+    let mut out = match tree {
+        Some(t) => t.in_order(),
+        None => Vec::new(),
+    };
+    out.push(spare);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tree_shape() {
+        let t = Tree::perfect(4).unwrap();
+        assert_eq!(t.size(), 15);
+        assert_eq!(t.value, 4);
+        assert_eq!(sum_seq(&Some(t)), 4 + 2 * 3 + 4 * 2 + 8);
+    }
+
+    #[test]
+    fn sum_par_matches_seq() {
+        let t = Tree::perfect(10);
+        assert_eq!(sum_seq(&t), sum_par(&t));
+    }
+
+    #[test]
+    fn add_n_and_reverse_match() {
+        let seq = add_and_reverse_seq(8);
+        let par = add_and_reverse_par(8);
+        assert_eq!(seq, par);
+        // the mirror of a perfect tree is a perfect tree of the same size
+        assert_eq!(seq.as_ref().unwrap().size(), 255);
+    }
+
+    #[test]
+    fn treeadd_par_matches_seq() {
+        let mut a = Tree::perfect(9);
+        let mut b = Tree::perfect(9);
+        assert_eq!(treeadd_seq(&mut a), treeadd_par(&mut b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keyed_tree_is_deterministic_and_varied() {
+        let a = Tree::perfect_keyed(6, 1);
+        let b = Tree::perfect_keyed(6, 1);
+        assert_eq!(a, b);
+        let values = a.as_ref().unwrap().in_order();
+        let distinct: std::collections::BTreeSet<i64> = values.iter().copied().collect();
+        assert!(distinct.len() > values.len() / 4, "values should be varied");
+    }
+
+    #[test]
+    fn bisort_sorts() {
+        for depth in [1u32, 2, 3, 4, 6, 8] {
+            let mut tree = Tree::perfect_keyed(depth, 1);
+            let spare = bisort_seq(&mut tree, 99_991, true);
+            let seq = bisort_sequence(&tree, spare);
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            assert_eq!(seq, sorted, "depth {depth} not sorted: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn bisort_par_matches_seq() {
+        let mut a = Tree::perfect_keyed(8, 1);
+        let mut b = Tree::perfect_keyed(8, 1);
+        let sa = bisort_seq(&mut a, 99_991, true);
+        let sb = bisort_par(&mut b, 99_991, true);
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bisort_preserves_multiset() {
+        let mut tree = Tree::perfect_keyed(7, 1);
+        let mut before = bisort_sequence(&tree, 99_991);
+        let spare = bisort_seq(&mut tree, 99_991, true);
+        let mut after = bisort_sequence(&tree, spare);
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's worked example, end to end: Figure 7 (the `add_and_reverse`
+//! program and its path matrices at points A, B and C) and Figure 8 (the
+//! automatically parallelized program), followed by execution on the cost
+//! model and on real threads.
+//!
+//! ```text
+//! cargo run --example add_and_reverse
+//! ```
+
+use sil_parallel::lang::testsrc;
+use sil_parallel::prelude::*;
+
+fn main() {
+    let (program, types) = frontend(testsrc::ADD_AND_REVERSE).unwrap();
+
+    // ----- Figure 7: the path matrices at the three program points --------
+    let analysis = analyze_program(&program, &types);
+    let main_proc = analysis.procedure("main").unwrap();
+    let add_n = analysis.procedure("add_n").unwrap();
+    let reverse = analysis.procedure("reverse").unwrap();
+
+    println!("== Figure 7: path matrices ==\n");
+    println!("pA (main, before add_n(lside, 1)):");
+    println!("{}", main_proc.state_before_call("add_n", 0).unwrap().matrix.render());
+    println!("pB (add_n, before the recursive calls):");
+    println!("{}", add_n.state_before_call("add_n", 0).unwrap().matrix.render());
+    println!("pC (reverse, before the recursive calls):");
+    println!("{}", reverse.state_before_call("reverse", 0).unwrap().matrix.render());
+
+    println!(
+        "lside/rside unrelated at A: {}",
+        main_proc
+            .state_before_call("add_n", 0)
+            .unwrap()
+            .matrix
+            .unrelated("lside", "rside")
+    );
+    println!(
+        "l/r unrelated at B: {}",
+        add_n
+            .state_before_call("add_n", 0)
+            .unwrap()
+            .matrix
+            .unrelated("l", "r")
+    );
+    println!(
+        "structure warnings (the temporary DAG in reverse's swap): {}",
+        analysis.warnings.len()
+    );
+    for w in &analysis.warnings {
+        println!("  {w}");
+    }
+
+    // ----- Figure 8: the parallelized program ------------------------------
+    let (parallel, report) = parallelize_program(&program, &types);
+    println!("\n== Figure 8: parallelized program ==\n");
+    println!("{}", pretty_program(&parallel));
+    println!("{report}");
+
+    // The result must itself verify clean.
+    let printed = pretty_program(&parallel);
+    let (par_program, par_types) = frontend(&printed).unwrap();
+    let violations = verify_parallel_program(&par_program, &par_types);
+    println!("re-verification violations: {}", violations.len());
+
+    // ----- Execution --------------------------------------------------------
+    let mut seq = Interpreter::new(&program, &types);
+    let seq_out = seq.run().unwrap();
+    let mut par = Interpreter::new(&par_program, &par_types);
+    let par_out = par.run().unwrap();
+    println!("\n== Execution ==");
+    println!("sequential: {}", seq_out.cost);
+    println!("parallel  : {}", par_out.cost);
+    println!(
+        "projected speedups: p=2 {:.2}x, p=4 {:.2}x, p=8 {:.2}x",
+        par_out.cost.speedup(2),
+        par_out.cost.speedup(4),
+        par_out.cost.speedup(8)
+    );
+
+    // The two versions compute the same tree.
+    let seq_snapshot = seq.snapshot_of(&seq_out, "root").unwrap();
+    let par_snapshot = par.snapshot_of(&par_out, "root").unwrap();
+    assert_eq!(seq_snapshot, par_snapshot);
+    println!(
+        "\nboth versions produced the same {}-node tree (height {})",
+        seq_snapshot.size(),
+        seq_snapshot.height()
+    );
+
+    // Finally, run the Figure 8 program on real threads.
+    let mut exec = ParallelExecutor::new(&par_program, &par_types);
+    let threaded = exec.run().unwrap();
+    assert_eq!(exec.snapshot_of(&threaded, "root").unwrap(), seq_snapshot);
+    println!("rayon-backed execution matches as well");
+}

@@ -1,0 +1,97 @@
+//! The adaptive bitonic sort (Bilardi & Nicolau [BN86]) that the paper's
+//! conclusions report analyzing "resulting in significant parallelism
+//! detection".
+//!
+//! The example runs the whole pipeline on the Olden-style `bisort` SIL
+//! program: analysis, parallelization, cost-model execution, and a
+//! comparison against the native Rust kernels (sequential and rayon).
+//!
+//! ```text
+//! cargo run --release --example bisort
+//! ```
+
+use sil_parallel::prelude::*;
+use sil_parallel::workloads::native;
+use std::time::Instant;
+
+fn main() {
+    let depth = 10u32;
+    let src = Workload::Bisort.source(depth);
+    let (program, types) = frontend(&src).unwrap();
+
+    // ----- analysis ---------------------------------------------------------
+    let analysis = analyze_program(&program, &types);
+    println!(
+        "analysis of bisort: {} rounds, tree preserved: {}",
+        analysis.rounds,
+        analysis.preserves_tree()
+    );
+    let summaries = &analysis.summaries;
+    for name in ["bisort", "bimerge"] {
+        let summary = &summaries[name];
+        println!(
+            "  {name}: argument modes = {:?}",
+            summary.handle_args
+        );
+    }
+
+    // ----- parallelization ---------------------------------------------------
+    let (parallel, report) = parallelize_program(&program, &types);
+    println!("\nparallel statements introduced: {}", report.count());
+    for record in &report.records {
+        println!("{record}");
+    }
+
+    // ----- cost-model execution ----------------------------------------------
+    let config = RunConfig {
+        store_capacity: 1 << (depth + 2),
+        ..RunConfig::default()
+    };
+    let mut seq = Interpreter::with_config(&program, &types, config.clone());
+    let seq_out = seq.run().unwrap();
+    let printed = pretty_program(&parallel);
+    let (par_program, par_types) = frontend(&printed).unwrap();
+    let mut par = Interpreter::with_config(&par_program, &par_types, config);
+    let par_out = par.run().unwrap();
+    println!("\ncost model, {} nodes:", seq_out.allocated_nodes);
+    println!("  sequential: {}", seq_out.cost);
+    println!("  parallel  : {}", par_out.cost);
+    println!(
+        "  projected speedups: p=4 {:.2}x, p=16 {:.2}x",
+        par_out.cost.speedup(4),
+        par_out.cost.speedup(16)
+    );
+
+    // the two versions must sort to the same tree
+    assert_eq!(
+        seq.snapshot_of(&seq_out, "root").unwrap(),
+        par.snapshot_of(&par_out, "root").unwrap()
+    );
+
+    // ----- native wall-clock comparison ---------------------------------------
+    let native_depth = 18u32;
+    let mut t_seq = native::Tree::perfect_keyed(native_depth, 1);
+    let start = Instant::now();
+    let spare = native::bisort_seq(&mut t_seq, i64::MAX, true);
+    let seq_time = start.elapsed();
+    let sorted = native::bisort_sequence(&t_seq, spare);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "native sort is correct");
+
+    let mut t_par = native::Tree::perfect_keyed(native_depth, 1);
+    let start = Instant::now();
+    let _ = native::bisort_par(&mut t_par, i64::MAX, true);
+    let par_time = start.elapsed();
+    assert_eq!(t_seq, t_par);
+
+    println!(
+        "\nnative bisort on a {}-node tree with {} rayon thread(s): sequential {:?}, rayon {:?} ({:.2}x)",
+        (1u64 << native_depth) - 1,
+        rayon::current_num_threads(),
+        seq_time,
+        par_time,
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9)
+    );
+    if rayon::current_num_threads() == 1 {
+        println!("(single-core host: the rayon run can only show task overhead; see the cost-model numbers above)");
+    }
+}

@@ -1,0 +1,91 @@
+//! The "debugging parallel programs" use of the analysis (paper, §1): check
+//! hand-written `||` annotations against the interference analysis, and
+//! cross-check with the dynamic race detector.
+//!
+//! ```text
+//! cargo run --example debug_parallel
+//! ```
+
+use sil_parallel::prelude::*;
+
+/// A hand-parallelized program with a subtle bug: the programmer loaded the
+/// *left* child twice, so the two "independent" recursive calls actually walk
+/// the same subtree.
+const BUGGY: &str = r#"
+program buggy
+
+procedure main()
+  root: handle
+begin
+  root := build(5);
+  bump(root, 1)
+end
+
+procedure bump(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n || l := h.left || r := h.left;
+    bump(l, n) || bump(r, n)
+  end
+end
+
+function build(depth: int) handle
+  t, l, r: handle; d: int
+begin
+  t := nil;
+  if depth > 0 then
+  begin
+    t := new();
+    t.value := depth;
+    d := depth - 1;
+    l := build(d);
+    r := build(d);
+    t.left := l;
+    t.right := r
+  end
+end
+return (t)
+"#;
+
+fn check(label: &str, source: &str) {
+    let (program, types) = frontend(source).unwrap();
+
+    // Static check: every parallel statement against the path-matrix
+    // interference analysis.
+    let violations = verify_parallel_program(&program, &types);
+    println!("[{label}] static verification: {} violation(s)", violations.len());
+    for v in &violations {
+        println!("    {v}");
+    }
+
+    // Dynamic check: run deterministically with per-arm access logging.
+    let config = RunConfig {
+        detect_races: true,
+        ..RunConfig::default()
+    };
+    let mut interp = Interpreter::with_config(&program, &types, config);
+    let outcome = interp.run().expect("program runs");
+    println!("[{label}] dynamic race detector: {} race(s)", outcome.races.len());
+    for race in outcome.races.iter().take(5) {
+        println!("    {race}");
+    }
+    println!();
+}
+
+fn main() {
+    // The correctly parallelized program of Figure 8 passes both checks.
+    check("figure-8", sil_parallel::lang::testsrc::ADD_AND_REVERSE_PARALLEL);
+
+    // The buggy program is caught by the static verifier, and the dynamic
+    // detector confirms the race is real.
+    check("buggy", BUGGY);
+
+    println!(
+        "The static verifier flags the buggy `bump(l, n) || bump(r, n)` because the\n\
+         path matrix shows l and r may name the same node (both were loaded from\n\
+         h.left); the race detector then observes conflicting writes to the same\n\
+         node's value field at run time."
+    );
+}

@@ -1,0 +1,283 @@
+//! Property-based tests across the whole stack.
+//!
+//! * algebraic laws of the path-expression domain (coverage, generalization,
+//!   concatenation, set join) exercised through the public API,
+//! * the central soundness property of the reproduction: for arbitrary
+//!   generated SIL programs, the parallelizer's output (a) still type
+//!   checks, (b) passes the static verifier, (c) executes to exactly the
+//!   same heap as the sequential original, and (d) never races according to
+//!   the dynamic detector.
+
+use proptest::prelude::*;
+use sil_parallel::pathmatrix::{Certainty, Dir, Link, Path, PathMatrix, PathSet};
+use sil_parallel::prelude::*;
+use sil_parallel::workloads::{GeneratorConfig, ProgramGenerator};
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+fn dir_strategy() -> impl Strategy<Value = Dir> {
+    prop_oneof![Just(Dir::Left), Just(Dir::Right), Just(Dir::Down)]
+}
+
+fn link_strategy() -> impl Strategy<Value = Link> {
+    (dir_strategy(), 1u32..4, any::<bool>()).prop_map(|(dir, n, exact)| {
+        if exact {
+            Link::exact(dir, n)
+        } else {
+            Link::at_least(dir, n)
+        }
+    })
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    let certainty = prop_oneof![Just(Certainty::Definite), Just(Certainty::Possible)];
+    prop_oneof![
+        certainty.clone().prop_map(Path::same),
+        (proptest::collection::vec(link_strategy(), 1..4), certainty)
+            .prop_map(|(links, c)| Path::from_links(links, c)),
+    ]
+}
+
+fn pathset_strategy() -> impl Strategy<Value = PathSet> {
+    proptest::collection::vec(path_strategy(), 0..4).prop_map(PathSet::from_paths)
+}
+
+/// A concrete path: a sequence of concrete edge directions.
+fn concrete_path_strategy() -> impl Strategy<Value = Vec<Dir>> {
+    proptest::collection::vec(prop_oneof![Just(Dir::Left), Just(Dir::Right)], 1..6)
+}
+
+fn concrete_to_path(dirs: &[Dir]) -> Path {
+    Path::from_links(
+        dirs.iter().map(|d| Link::exact(*d, 1)).collect(),
+        Certainty::Definite,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// path-domain laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `generalize` is an upper bound of both inputs.
+    #[test]
+    fn generalize_is_an_upper_bound(a in path_strategy(), b in path_strategy()) {
+        if let Some(g) = a.generalize(&b) {
+            prop_assert!(g.covers(&a), "{g} should cover {a}");
+            prop_assert!(g.covers(&b), "{g} should cover {b}");
+        }
+    }
+
+    /// Coverage is reflexive and transitive on randomly generated paths.
+    #[test]
+    fn coverage_is_reflexive_and_transitive(
+        a in path_strategy(),
+        b in path_strategy(),
+        c in path_strategy()
+    ) {
+        prop_assert!(a.covers(&a));
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c), "{a} covers {b} covers {c}");
+        }
+    }
+
+    /// Concatenation length arithmetic: min lengths add, and definiteness is
+    /// the conjunction.
+    #[test]
+    fn concat_adds_min_lengths(a in path_strategy(), b in path_strategy()) {
+        let c = a.concat(&b);
+        prop_assert_eq!(c.min_len(), a.min_len() + b.min_len());
+        prop_assert_eq!(c.is_definite(), a.is_definite() && b.is_definite());
+    }
+
+    /// Stripping the first edge of an abstraction covers the concrete suffix
+    /// whenever the abstraction covered the concrete path (the soundness
+    /// argument behind the `a := b.f` transfer function).
+    #[test]
+    fn strip_first_is_sound(abs in path_strategy(), conc in concrete_path_strategy()) {
+        let conc_path = concrete_to_path(&conc);
+        if abs.covers(&conc_path) {
+            let first = conc[0];
+            let suffix = &conc[1..];
+            let stripped = abs.strip_first(first);
+            if suffix.is_empty() {
+                prop_assert!(
+                    stripped.iter().any(|p| p.is_same()),
+                    "{abs} minus {first:?} must allow S"
+                );
+            } else {
+                let suffix_path = concrete_to_path(suffix);
+                prop_assert!(
+                    stripped.iter().any(|p| p.covers(&suffix_path)),
+                    "{abs} minus {first:?} must cover {suffix_path}"
+                );
+            }
+        }
+    }
+
+    /// Path sets stay within their cardinality bound and never lose coverage
+    /// of inserted paths.
+    #[test]
+    fn pathset_insert_preserves_coverage(paths in proptest::collection::vec(path_strategy(), 1..12)) {
+        let set = PathSet::from_paths(paths.clone());
+        prop_assert!(set.len() <= 4, "bounded at MAX_PATHS");
+        for p in &paths {
+            prop_assert!(
+                set.iter().any(|q| q.covers(p) || (q.is_same() && p.is_same())),
+                "{set} lost {p}"
+            );
+        }
+    }
+
+    /// The control-flow join of path sets is an upper bound of both sides in
+    /// either argument order (the widening applied when an entry grows past
+    /// its cardinality bound is order-sensitive, so syntactic equality of
+    /// `a ⊔ b` and `b ⊔ a` is *not* required — only soundness), and joining
+    /// a set with itself changes nothing.
+    #[test]
+    fn pathset_join_laws(a in pathset_strategy(), b in pathset_strategy()) {
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        for (join, label) in [(&ab, "a⊔b"), (&ba, "b⊔a")] {
+            prop_assert!(join.covers(&a), "{label} = {join} should cover {a}");
+            prop_assert!(join.covers(&b), "{label} = {join} should cover {b}");
+        }
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    /// Matrix joins are commutative and idempotent.
+    #[test]
+    fn matrix_join_laws(
+        entries in proptest::collection::vec(
+            ((0usize..4, 0usize..4), pathset_strategy()),
+            0..8
+        ),
+        entries2 in proptest::collection::vec(
+            ((0usize..4, 0usize..4), pathset_strategy()),
+            0..8
+        )
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let build = |entries: &[((usize, usize), PathSet)]| {
+            let mut m = PathMatrix::with_handles(names);
+            for ((i, j), set) in entries {
+                if i != j {
+                    m.set(names[*i], names[*j], set.clone());
+                }
+            }
+            m
+        };
+        let m1 = build(&entries);
+        let m2 = build(&entries2);
+        // The join is an upper bound entry-wise (in both argument orders) and
+        // idempotent.  As for path sets, syntactic commutativity is not
+        // guaranteed once the per-entry widening kicks in.
+        for joined in [m1.join(&m2), m2.join(&m1)] {
+            for a in names {
+                for b in names {
+                    if a == b {
+                        continue;
+                    }
+                    let entry = joined.get(a, b);
+                    prop_assert!(
+                        entry.covers(&m1.get(a, b)),
+                        "join entry {entry} does not cover {}",
+                        m1.get(a, b)
+                    );
+                    prop_assert!(
+                        entry.covers(&m2.get(a, b)),
+                        "join entry {entry} does not cover {}",
+                        m2.get(a, b)
+                    );
+                }
+            }
+        }
+        prop_assert!(m1.join(&m1).same_relations(&m1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// whole-pipeline soundness on generated programs
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary generated programs, packing is semantics- and
+    /// race-preserving.
+    #[test]
+    fn parallelization_of_generated_programs_is_sound(seed in any::<u64>()) {
+        let mut generator = ProgramGenerator::new(GeneratorConfig {
+            statements: 40,
+            handle_vars: 6,
+            int_vars: 3,
+            seed,
+        });
+        let program = sil_parallel::lang::normalize_program(&generator.generate());
+        let types = sil_parallel::lang::check_program(&program).expect("generated program types");
+
+        // Parallelize and re-verify.
+        let (parallel, _report) = parallelize_program(&program, &types);
+        let printed = pretty_program(&parallel);
+        let (par_program, par_types) = frontend(&printed).expect("packed output reparses");
+        let violations = verify_parallel_program(&par_program, &par_types);
+        prop_assert!(
+            violations.is_empty(),
+            "seed {seed}: verifier rejected packer output: {:?}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
+
+        // Execute both versions; the parallel one with race detection.
+        let config = RunConfig { store_capacity: 1 << 12, ..RunConfig::default() };
+        let mut seq_interp = Interpreter::with_config(&program, &types, config.clone());
+        let seq = seq_interp.run().expect("sequential run");
+        let race_config = RunConfig { detect_races: true, ..config };
+        let mut par_interp = Interpreter::with_config(&par_program, &par_types, race_config);
+        let par = par_interp.run().expect("parallel run");
+
+        prop_assert!(par.races.is_empty(), "seed {seed}: races {:?}", par.races);
+        prop_assert_eq!(seq.cost.work, par.cost.work);
+        prop_assert!(par.cost.span <= seq.cost.span);
+        prop_assert_eq!(seq.allocated_nodes, par.allocated_nodes);
+
+        // The final values of every variable of main agree.
+        for (name, value) in seq.main_frame.iter() {
+            let par_value = par.main_frame.get(name);
+            prop_assert_eq!(
+                Some(*value),
+                par_value,
+                "seed {}: variable {} differs",
+                seed,
+                name
+            );
+        }
+
+        // And the heaps reachable from every handle variable agree.
+        for (name, _) in seq.main_frame.iter() {
+            let a = seq_interp.snapshot_of(&seq, name);
+            let b = par_interp.snapshot_of(&par, name);
+            prop_assert_eq!(a, b, "seed {}: heap reachable from {} differs", seed, name);
+        }
+    }
+
+    /// The analysis never crashes and always converges on generated
+    /// programs, whatever structure they build.
+    #[test]
+    fn analysis_always_converges(seed in any::<u64>(), statements in 10usize..80) {
+        let mut generator = ProgramGenerator::new(GeneratorConfig {
+            statements,
+            handle_vars: 5,
+            int_vars: 3,
+            seed,
+        });
+        let program = sil_parallel::lang::normalize_program(&generator.generate());
+        let types = sil_parallel::lang::check_program(&program).unwrap();
+        let analysis = analyze_program(&program, &types);
+        prop_assert!(analysis.rounds <= 16);
+        prop_assert!(analysis.procedure("main").is_some());
+    }
+}
