@@ -1,0 +1,102 @@
+//! Experiment E5: the engine's content-addressed caches.
+//!
+//! * cold vs. warm whole-program analysis of an unchanged workload (the
+//!   warm path is a fingerprint plus a map lookup — the acceptance target
+//!   is >=5x, the observed ratio is orders of magnitude),
+//! * summary-cache reuse across program variants sharing a call-graph cone,
+//! * batch throughput over the whole workload suite, sequential engine vs.
+//!   rayon-parallel engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sil_engine::{Engine, EngineConfig};
+use sil_workloads::programs::Workload;
+use std::hint::black_box;
+
+/// A fast Criterion configuration so the whole suite completes quickly while
+/// still giving stable relative numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cold_vs_warm");
+    for workload in [Workload::AddAndReverse, Workload::Bisort, Workload::ListSum] {
+        let src = workload.source(workload.test_size());
+        let engine = Engine::new(EngineConfig::default());
+
+        group.bench_with_input(BenchmarkId::new("cold", workload.name()), &src, |b, src| {
+            b.iter(|| {
+                engine.clear_caches();
+                black_box(engine.analyze_source(src).unwrap())
+            })
+        });
+
+        engine.clear_caches();
+        engine.analyze_source(&src).unwrap(); // prime
+        group.bench_with_input(BenchmarkId::new("warm", workload.name()), &src, |b, src| {
+            b.iter(|| black_box(engine.analyze_source(src).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn summary_reuse_across_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_summary_reuse");
+    // Ten sizes of tree_sum share the build/sum cone; only `main` differs.
+    let variants: Vec<String> = (3..13).map(|d| Workload::TreeSum.source(d)).collect();
+
+    group.bench_function("no_summary_cache", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig {
+                summary_cache_capacity: 0,
+                ..EngineConfig::default()
+            });
+            for v in &variants {
+                black_box(engine.analyze_source(v).unwrap());
+            }
+        })
+    });
+    group.bench_function("with_summary_cache", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::default());
+            for v in &variants {
+                black_box(engine.analyze_source(v).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch_all_workloads");
+    let sources: Vec<String> = Workload::ALL
+        .iter()
+        .map(|w| w.source(w.test_size()))
+        .collect();
+    for parallel in [false, true] {
+        let label = if parallel { "rayon" } else { "sequential" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let engine = Engine::new(EngineConfig {
+                    parallel,
+                    ..EngineConfig::default()
+                });
+                black_box(engine.analyze_batch(&sources))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = engine_cache;
+    config = bench_config();
+    targets =
+    cold_vs_warm,
+    summary_reuse_across_variants,
+    batch_throughput
+}
+criterion_main!(engine_cache);

@@ -5,10 +5,10 @@
 //! parallelization (Fig. 8), and statement-sequence interference (Figs. 9/10).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sil_analysis::analyze_program;
 use sil_analysis::interference::interference_set;
 use sil_analysis::sequences::sequences_independent;
 use sil_analysis::state::AbstractState;
-use sil_analysis::analyze_program;
 use sil_bench::figures;
 use sil_lang::parser::parse_stmt;
 use sil_lang::types::Type;
@@ -64,9 +64,11 @@ fn fig4_statement_packing(c: &mut Criterion) {
 fn fig6_interference(c: &mut Criterion) {
     let sig = signature(&["a", "b", "c", "d"], &["x", "y", "n"]);
     let mut state = AbstractState::with_handles(["a", "b", "c", "d"]);
-    state
-        .matrix
-        .set("a", "b", sil_pathmatrix::PathSet::singleton(sil_pathmatrix::same()));
+    state.matrix.set(
+        "a",
+        "b",
+        sil_pathmatrix::PathSet::singleton(sil_pathmatrix::same()),
+    );
     let s1 = parse_stmt("x := a.left").unwrap();
     let s2 = parse_stmt("b.left := nil").unwrap();
     c.bench_function("fig6_interference_set", |b| {

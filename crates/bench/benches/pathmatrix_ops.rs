@@ -88,12 +88,8 @@ fn path_operations(c: &mut Criterion) {
         vec![Link::exact(Dir::Right, 1), Link::at_least(Dir::Left, 1)],
         Certainty::Possible,
     );
-    c.bench_function("path_covers", |b| {
-        b.iter(|| black_box(long.covers(&other)))
-    });
-    c.bench_function("path_concat", |b| {
-        b.iter(|| black_box(long.concat(&other)))
-    });
+    c.bench_function("path_covers", |b| b.iter(|| black_box(long.covers(&other))));
+    c.bench_function("path_concat", |b| b.iter(|| black_box(long.concat(&other))));
     c.bench_function("path_strip_first", |b| {
         b.iter(|| black_box(long.strip_first(Dir::Right)))
     });

@@ -42,8 +42,7 @@ fn interpreter_add_and_reverse(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("sequential", depth), &depth, |b, _| {
             b.iter(|| {
-                let mut interp =
-                    Interpreter::with_config(&seq_program, &seq_types, config.clone());
+                let mut interp = Interpreter::with_config(&seq_program, &seq_types, config.clone());
                 black_box(interp.run().unwrap())
             })
         });

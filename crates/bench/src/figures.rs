@@ -134,8 +134,12 @@ pub fn figure_4_statement_packing() -> String {
 pub fn figure_5_read_write_sets() -> String {
     let sig = demo_signature(&["a", "b"], &["x"]);
     let mut state = AbstractState::with_handles(["a", "b"]);
-    state.matrix.set("a", "b", PathSet::singleton(sil_pathmatrix::same()));
-    state.matrix.set("b", "a", PathSet::singleton(sil_pathmatrix::same()));
+    state
+        .matrix
+        .set("a", "b", PathSet::singleton(sil_pathmatrix::same()));
+    state
+        .matrix
+        .set("b", "a", PathSet::singleton(sil_pathmatrix::same()));
     let statements = [
         "a := nil",
         "a := new()",
@@ -174,8 +178,12 @@ pub fn figure_6_interference_examples() -> String {
     let sig = demo_signature(&["a", "b", "c", "d"], &["x", "y", "n"]);
     // the matrix drawn at the top of Figure 6
     let mut state = AbstractState::with_handles(["a", "b", "c", "d"]);
-    state.matrix.set("a", "b", PathSet::singleton(sil_pathmatrix::same()));
-    state.matrix.set("b", "a", PathSet::singleton(sil_pathmatrix::same()));
+    state
+        .matrix
+        .set("a", "b", PathSet::singleton(sil_pathmatrix::same()));
+    state
+        .matrix
+        .set("b", "a", PathSet::singleton(sil_pathmatrix::same()));
     state
         .matrix
         .set("a", "d", PathSet::singleton(at_least(Dir::Down, 1)));
@@ -190,9 +198,11 @@ pub fn figure_6_interference_examples() -> String {
             at_least(Dir::Right, 1).weakened(),
         ]),
     );
-    state
-        .matrix
-        .set("d", "c", PathSet::singleton(sil_pathmatrix::same().weakened()));
+    state.matrix.set(
+        "d",
+        "c",
+        PathSet::singleton(sil_pathmatrix::same().weakened()),
+    );
 
     let examples = [
         ("Example 1", "x := a.left", "y := x"),
@@ -226,10 +236,12 @@ pub fn figure_7_path_matrices() -> String {
     let mut out = String::new();
 
     let main = analysis.procedure("main").expect("main analyzed");
-    let point_a = main
-        .state_before_call("add_n", 0)
-        .expect("point A exists");
-    writeln!(out, "pA — program point A in main (before add_n(lside, 1)):").unwrap();
+    let point_a = main.state_before_call("add_n", 0).expect("point A exists");
+    writeln!(
+        out,
+        "pA — program point A in main (before add_n(lside, 1)):"
+    )
+    .unwrap();
     writeln!(out, "{}", point_a.matrix.render()).unwrap();
     writeln!(
         out,
@@ -239,10 +251,12 @@ pub fn figure_7_path_matrices() -> String {
     .unwrap();
 
     let add_n = analysis.procedure("add_n").expect("add_n analyzed");
-    let point_b = add_n
-        .state_before_call("add_n", 0)
-        .expect("point B exists");
-    writeln!(out, "pB — program point B in add_n (before the recursive calls):").unwrap();
+    let point_b = add_n.state_before_call("add_n", 0).expect("point B exists");
+    writeln!(
+        out,
+        "pB — program point B in add_n (before the recursive calls):"
+    )
+    .unwrap();
     writeln!(out, "{}", point_b.matrix.render()).unwrap();
     writeln!(
         out,
@@ -255,7 +269,11 @@ pub fn figure_7_path_matrices() -> String {
     let point_c = reverse
         .state_before_call("reverse", 0)
         .expect("point C exists");
-    writeln!(out, "pC — program point C in reverse (before the recursive calls):").unwrap();
+    writeln!(
+        out,
+        "pC — program point C in reverse (before the recursive calls):"
+    )
+    .unwrap();
     writeln!(out, "{}", point_c.matrix.render()).unwrap();
     writeln!(
         out,
@@ -292,16 +310,33 @@ pub fn figure_8_parallel_program() -> String {
 pub fn figure_9_sequence_interference() -> String {
     let sig = demo_signature(&["t", "a", "b"], &["x", "y"]);
     let entry = AbstractState::with_handles(["t"]);
-    let parse_seq = |srcs: &[&str]| -> Vec<Stmt> {
-        srcs.iter().map(|s| parse_stmt(s).unwrap()).collect()
-    };
+    let parse_seq =
+        |srcs: &[&str]| -> Vec<Stmt> { srcs.iter().map(|s| parse_stmt(s).unwrap()).collect() };
     let independent_u = parse_seq(&["a := t.left", "x := a.value", "a.value := x + 1"]);
     let independent_v = parse_seq(&["b := t.right", "y := b.value", "b.value := y + 1"]);
     let conflicting_v = parse_seq(&["b := t.left", "y := b.value", "b.value := y + 1"]);
 
     let mut out = String::new();
-    writeln!(out, "U = {}", independent_u.iter().map(pretty_stmt).collect::<Vec<_>>().join("; ")).unwrap();
-    writeln!(out, "V = {}", independent_v.iter().map(pretty_stmt).collect::<Vec<_>>().join("; ")).unwrap();
+    writeln!(
+        out,
+        "U = {}",
+        independent_u
+            .iter()
+            .map(pretty_stmt)
+            .collect::<Vec<_>>()
+            .join("; ")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "V = {}",
+        independent_v
+            .iter()
+            .map(pretty_stmt)
+            .collect::<Vec<_>>()
+            .join("; ")
+    )
+    .unwrap();
     writeln!(
         out,
         "U || V safe (disjoint subtrees): {}",
@@ -309,7 +344,16 @@ pub fn figure_9_sequence_interference() -> String {
     )
     .unwrap();
     writeln!(out).unwrap();
-    writeln!(out, "V' = {}", conflicting_v.iter().map(pretty_stmt).collect::<Vec<_>>().join("; ")).unwrap();
+    writeln!(
+        out,
+        "V' = {}",
+        conflicting_v
+            .iter()
+            .map(pretty_stmt)
+            .collect::<Vec<_>>()
+            .join("; ")
+    )
+    .unwrap();
     let conflicts = relative_interference(&independent_u, &conflicting_v, &entry, &sig);
     writeln!(
         out,
@@ -461,7 +505,10 @@ mod tests {
     #[test]
     fn figure_10_shows_relative_locations() {
         let out = figure_10_relative_sets();
-        assert!(out.contains("(t,left,L1)") || out.contains("(t,left,S)"), "{out}");
+        assert!(
+            out.contains("(t,left,L1)") || out.contains("(t,left,S)"),
+            "{out}"
+        );
         assert!(out.contains("W^r"), "{out}");
     }
 }

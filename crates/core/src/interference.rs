@@ -253,7 +253,7 @@ pub fn statements_independent(
 
 /// Decompose a statement into call parts if it is a procedure call or a
 /// function-call assignment: `(callee, args, assigned variable if any)`.
-pub fn call_parts<'a>(stmt: &'a Stmt) -> Option<(&'a str, &'a [Expr], Option<&'a str>)> {
+pub fn call_parts(stmt: &Stmt) -> Option<(&str, &[Expr], Option<&str>)> {
     match stmt {
         Stmt::Call { proc, args, .. } => Some((proc, args, None)),
         Stmt::Assign {
@@ -308,10 +308,7 @@ fn handle_args_with_modes<'a>(
             continue;
         }
         all.push(var);
-        if summary
-            .mode_of_position(idx)
-            .is_some_and(|m| m.is_update())
-        {
+        if summary.mode_of_position(idx).is_some_and(|m| m.is_update()) {
             update.push(var);
         }
     }
@@ -410,13 +407,12 @@ pub fn call_stmt_interference(
     let related = |x: &str, y: &str| x == y || !matrix.unrelated(x, y);
     // The call may write nodes reachable from its update arguments; the
     // statement touches node fields of handles related to them.
-    let stmt_node_handles =
-        |locs: &BTreeSet<Location>| -> Vec<String> {
-            locs.iter()
-                .filter(|l| l.kind != LocationKind::Var && sig.is_handle(&l.name))
-                .map(|l| l.name.clone())
-                .collect()
-        };
+    let stmt_node_handles = |locs: &BTreeSet<Location>| -> Vec<String> {
+        locs.iter()
+            .filter(|l| l.kind != LocationKind::Var && sig.is_handle(&l.name))
+            .map(|l| l.name.clone())
+            .collect()
+    };
     for h in stmt_node_handles(&reads)
         .into_iter()
         .chain(stmt_node_handles(&writes))
@@ -560,8 +556,14 @@ mod tests {
         let s1 = parse_stmt("n := d.value").unwrap();
         let s2 = parse_stmt("c.value := 0").unwrap();
         let i = interference_set(&s1, &s2, &s, &m);
-        assert!(i.contains(&Location::new("c", LocationKind::Value)), "{i:?}");
-        assert!(i.contains(&Location::new("d", LocationKind::Value)), "{i:?}");
+        assert!(
+            i.contains(&Location::new("c", LocationKind::Value)),
+            "{i:?}"
+        );
+        assert!(
+            i.contains(&Location::new("d", LocationKind::Value)),
+            "{i:?}"
+        );
     }
 
     #[test]
@@ -745,6 +747,11 @@ end
         let s1 = parse_stmt("rside.value := 7").unwrap();
         assert!(statements_independent(&[&c1, &s1], sig, &m, &summaries));
         let bad = parse_stmt("lside := nil").unwrap();
-        assert!(!statements_independent(&[&c1, &s1, &bad], sig, &m, &summaries));
+        assert!(!statements_independent(
+            &[&c1, &s1, &bad],
+            sig,
+            &m,
+            &summaries
+        ));
     }
 }

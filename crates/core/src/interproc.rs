@@ -114,6 +114,76 @@ impl AnalysisResult {
     pub fn preserves_tree(&self) -> bool {
         self.warnings.is_empty()
     }
+
+    /// A stable content digest of the analysis result: per-procedure entry
+    /// and exit states (matrix relations, structure, program points),
+    /// warnings, argument-mode and return summaries.  Two runs over the same
+    /// program produce the same digest, whatever thread interleaving or map
+    /// iteration order produced them — the engine's batch tests and its
+    /// warm-cache identity checks compare results through this.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = sil_lang::hash::StableHasher::new();
+        hasher.write_str("sil-analysis-digest-v1");
+
+        let mut names: Vec<&String> = self.procedures.keys().collect();
+        names.sort();
+        for name in names {
+            let analysis = &self.procedures[name];
+            hasher.write_str(name);
+            hash_state(&mut hasher, &analysis.entry);
+            hash_state(&mut hasher, &analysis.exit);
+            hasher.write_usize(analysis.points.len());
+            for point in &analysis.points {
+                hasher.write_str(&point.label);
+                hasher.write_str(&point.statement);
+                hash_state(&mut hasher, &point.state);
+            }
+        }
+
+        hasher.write_usize(self.warnings.len());
+        for w in &self.warnings {
+            hasher.write_str(&w.procedure);
+            hasher.write_str(&w.statement);
+            hasher.write_str(&w.kind.to_string());
+        }
+
+        let mut summary_names: Vec<&String> = self.summaries.keys().collect();
+        summary_names.sort();
+        for name in summary_names {
+            let summary = &self.summaries[name];
+            hasher.write_str(name);
+            for (formal, mode) in &summary.handle_args {
+                hasher.write_str(formal);
+                hasher.write_str(&format!("{mode:?}"));
+            }
+        }
+
+        let mut return_names: Vec<&String> = self.return_summaries.keys().collect();
+        return_names.sort();
+        for name in return_names {
+            let ret = &self.return_summaries[name];
+            hasher.write_str(name);
+            hasher.write_u64(ret.fresh as u64);
+            for (formal, to_ret, from_ret) in &ret.relations {
+                hasher.write_str(formal);
+                hasher.write_str(&to_ret.to_string());
+                hasher.write_str(&from_ret.to_string());
+            }
+        }
+
+        hasher.finish()
+    }
+}
+
+fn hash_state(hasher: &mut sil_lang::hash::StableHasher, state: &AbstractState) {
+    hasher.write_str(&state.structure.to_string());
+    hasher.write_str(&state.matrix.render());
+    for h in &state.attached {
+        hasher.write_str(h);
+    }
+    for h in &state.shared {
+        hasher.write_str(h);
+    }
 }
 
 /// The entry state for a procedure that has not been called yet: its handle
@@ -312,7 +382,29 @@ fn return_summary_from_exit(
 
 /// Analyze a whole (normalized, type-checked) program.
 pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResult {
-    let analyzer = Analyzer::new(program, types);
+    run_analysis(Analyzer::new(program, types), program, types)
+}
+
+/// Analyze a program with precomputed argument-mode summaries.
+///
+/// This is the summary-reuse hook for the memoizing engine: summaries are
+/// pure functions of each procedure's call-graph cone (see
+/// [`crate::callgraph::CallGraph::cone_fingerprints`]), so a cache can
+/// supply them and skip [`crate::summary::compute_summaries`] entirely.
+/// With identical summaries the result is identical to [`analyze_program`].
+pub fn analyze_program_with_summaries(
+    program: &Program,
+    types: &ProgramTypes,
+    summaries: HashMap<String, ProcSummary>,
+) -> AnalysisResult {
+    run_analysis(
+        Analyzer::with_summaries(program, types, summaries),
+        program,
+        types,
+    )
+}
+
+fn run_analysis(analyzer: Analyzer<'_>, program: &Program, types: &ProgramTypes) -> AnalysisResult {
     let mut contexts: HashMap<String, AbstractState> = HashMap::new();
     if let Some(main_sig) = types.proc("main") {
         contexts.insert("main".to_string(), default_entry(main_sig));
@@ -325,7 +417,9 @@ pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResul
         rounds = round + 1;
         let mut changed = false;
         for proc in &program.procedures {
-            let Some(sig) = types.proc(&proc.name) else { continue };
+            let Some(sig) = types.proc(&proc.name) else {
+                continue;
+            };
             let Some(entry) = contexts.get(&proc.name).cloned() else {
                 continue;
             };
@@ -368,11 +462,7 @@ pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResul
 
             // The structural classification at exit feeds the caller-side
             // call transfer in the next round.
-            let prev_exit_kind = analyzer
-                .exit_structures
-                .borrow()
-                .get(&proc.name)
-                .copied();
+            let prev_exit_kind = analyzer.exit_structures.borrow().get(&proc.name).copied();
             if prev_exit_kind != Some(exit.structure) {
                 analyzer.set_exit_structure(&proc.name, exit.structure);
                 changed = true;
@@ -409,7 +499,9 @@ pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResul
             }
         }
     }
-    warnings.sort_by(|a, b| (a.procedure.clone(), a.statement.clone()).cmp(&(b.procedure.clone(), b.statement.clone())));
+    warnings.sort_by(|a, b| {
+        (a.procedure.clone(), a.statement.clone()).cmp(&(b.procedure.clone(), b.statement.clone()))
+    });
 
     AnalysisResult {
         procedures,
@@ -490,7 +582,10 @@ mod tests {
     #[test]
     fn build_function_returns_fresh_tree() {
         let (result, _, _) = analyze(sil_lang::testsrc::ADD_AND_REVERSE);
-        let build = result.return_summaries.get("build").expect("summary for build");
+        let build = result
+            .return_summaries
+            .get("build")
+            .expect("summary for build");
         assert!(build.fresh);
         // and in main, root is unrelated to the loop counter handles
         let main = result.procedure("main").unwrap();
@@ -544,7 +639,10 @@ end
             .iter()
             .any(|w| w.kind == crate::state::StructureKind::PossiblyDag));
         let main = result.procedure("main").unwrap();
-        assert_eq!(main.exit.structure, crate::state::StructureKind::PossiblyDag);
+        assert_eq!(
+            main.exit.structure,
+            crate::state::StructureKind::PossiblyDag
+        );
     }
 
     #[test]
@@ -568,10 +666,9 @@ end
         // after the loop (exit state) l is somewhere on the left spine of h
         let hl = main.exit.matrix.get("h", "l");
         assert!(!hl.is_empty());
-        assert!(hl.iter().all(|p| p
-            .links()
+        assert!(hl
             .iter()
-            .all(|l| l.dir == sil_pathmatrix::Dir::Left)));
+            .all(|p| p.links().iter().all(|l| l.dir == sil_pathmatrix::Dir::Left)));
         assert!(main.exit.structure.is_tree());
     }
 

@@ -18,6 +18,9 @@
 //!   relationships,
 //! * [`interproc`] — the interprocedural analysis with the symbolic handles
 //!   `h*` / `h**` of Figure 7, and the whole-program driver,
+//! * [`callgraph`] — the static call graph, its SCC condensation, the
+//!   level schedule the engine parallelizes over, and the content-addressed
+//!   cone fingerprints that key the engine's summary cache,
 //! * [`interference`] — locations, the alias function, read/write sets
 //!   (Figure 5), interference sets between basic statements (§5.1) and
 //!   between procedure calls (§5.2),
@@ -40,6 +43,7 @@
 //! assert!(point_a.matrix.unrelated("lside", "rside"));
 //! ```
 
+pub mod callgraph;
 pub mod interference;
 pub mod interproc;
 pub mod sequences;
@@ -47,15 +51,19 @@ pub mod state;
 pub mod summary;
 pub mod transfer;
 
+pub use callgraph::CallGraph;
 pub use interference::{
-    call_call_interference, call_stmt_interference, interference_set, locations_of_call,
-    read_set, statements_independent, write_set, Location, LocationKind,
+    call_call_interference, call_stmt_interference, interference_set, locations_of_call, read_set,
+    statements_independent, write_set, Location, LocationKind,
 };
-pub use interproc::{analyze_program, AnalysisResult, ProcedureAnalysis, ProgramPoint};
+pub use interproc::{
+    analyze_program, analyze_program_with_summaries, AnalysisResult, ProcedureAnalysis,
+    ProgramPoint,
+};
 pub use sequences::{
     relative_interference, relative_read_set, relative_write_set, sequences_independent,
     RelativeLocation,
 };
 pub use state::{AbstractState, StructureKind, StructureWarning};
-pub use summary::{ArgMode, ProcSummary, ReturnSummary};
+pub use summary::{compute_scc_summaries, compute_summaries, ArgMode, ProcSummary, ReturnSummary};
 pub use transfer::{transfer_stmt, Analyzer};

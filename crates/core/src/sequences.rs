@@ -46,11 +46,7 @@ impl RelativeLocation {
         }
     }
 
-    pub fn node(
-        base: impl Into<String>,
-        kind: LocationKind,
-        access: PathSet,
-    ) -> RelativeLocation {
+    pub fn node(base: impl Into<String>, kind: LocationKind, access: PathSet) -> RelativeLocation {
         RelativeLocation {
             base: base.into(),
             kind,
@@ -108,8 +104,8 @@ fn path_may_equal(p: &Path, q: &Path) -> bool {
             // Otherwise require the length intervals to intersect.
             let (pmin, pmax) = (p.min_len(), p.max_len());
             let (qmin, qmax) = (q.min_len(), q.max_len());
-            let upper_ok_p = pmax.map_or(true, |m| m >= qmin);
-            let upper_ok_q = qmax.map_or(true, |m| m >= pmin);
+            let upper_ok_p = pmax.is_none_or(|m| m >= qmin);
+            let upper_ok_q = qmax.is_none_or(|m| m >= pmin);
             upper_ok_p && upper_ok_q
         }
     }
@@ -204,6 +200,7 @@ pub fn relative_read_set(
     out
 }
 
+#[allow(clippy::only_used_in_recursion)] // `sig` is part of the traversal context
 fn collect_expr_relative_reads(
     e: &Expr,
     sig: &ProcSignature,
@@ -296,11 +293,7 @@ fn is_basic_sequence(stmts: &[Stmt], sig: &ProcSignature) -> bool {
 
 /// Compute the matrices `p1..pn` before each statement of a basic-statement
 /// sequence executed from `entry`.
-fn matrices_through(
-    entry: &AbstractState,
-    stmts: &[Stmt],
-    sig: &ProcSignature,
-) -> Vec<PathMatrix> {
+fn matrices_through(entry: &AbstractState, stmts: &[Stmt], sig: &ProcSignature) -> Vec<PathMatrix> {
     let mut out = Vec::with_capacity(stmts.len());
     let mut current = entry.clone();
     let mut warnings = Vec::new();
@@ -463,7 +456,12 @@ mod tests {
         let s = sig(&["t", "a", "b", "c"], &[]);
         let entry = AbstractState::with_handles(["t"]);
         // U reverses the children below t.left; V only reads t.right's value field.
-        let u = stmts(&["a := t.left", "c := a.left", "a.left := nil", "a.right := c"]);
+        let u = stmts(&[
+            "a := t.left",
+            "c := a.left",
+            "a.left := nil",
+            "a.right := c",
+        ]);
         let v = stmts(&["b := t.right", "b.value := 3"]);
         assert!(sequences_independent(&u, &v, &entry, &s));
     }
@@ -523,9 +521,15 @@ mod tests {
         // L1 vs L2: different depths, cannot be the same node
         assert!(!path_may_equal(&exact(Dir::Left, 1), &exact(Dir::Left, 2)));
         // L1 vs D+: lengths intersect and directions are compatible
-        assert!(path_may_equal(&exact(Dir::Left, 1), &at_least(Dir::Down, 1)));
+        assert!(path_may_equal(
+            &exact(Dir::Left, 1),
+            &at_least(Dir::Down, 1)
+        ));
         // R2 vs L+: first edges provably diverge
-        assert!(!path_may_equal(&exact(Dir::Right, 2), &at_least(Dir::Left, 1)));
+        assert!(!path_may_equal(
+            &exact(Dir::Right, 2),
+            &at_least(Dir::Left, 1)
+        ));
     }
 
     #[test]

@@ -147,105 +147,133 @@ pub fn derived_from(proc: &Procedure, types: &ProgramTypes) -> BTreeMap<String, 
     derived
 }
 
-/// Compute the argument-mode summaries for every procedure of `program`.
-///
-/// Recursion (and mutual recursion) is handled by iterating over the whole
-/// program until no summary changes.
-pub fn compute_summaries(
-    program: &Program,
-    types: &ProgramTypes,
-) -> HashMap<String, ProcSummary> {
-    let mut summaries: HashMap<String, ProcSummary> = HashMap::new();
-    for proc in &program.procedures {
-        let Some(sig) = types.proc(&proc.name) else {
+/// The all-read-only summary every fixpoint starts from.
+fn initial_summary(name: &str, sig: &sil_lang::types::ProcSignature) -> ProcSummary {
+    let handle_args: BTreeMap<String, ArgMode> = sig
+        .handle_params()
+        .into_iter()
+        .map(|n| (n.to_string(), ArgMode::ReadOnly))
+        .collect();
+    let arg_modes = sig
+        .params
+        .iter()
+        .map(|(_, t)| {
+            if *t == Type::Handle {
+                Some(ArgMode::ReadOnly)
+            } else {
+                None
+            }
+        })
+        .collect();
+    ProcSummary {
+        name: name.to_string(),
+        handle_args,
+        arg_modes,
+    }
+}
+
+/// One summary round for one procedure: the `(formal, mode)` upgrades its
+/// body demands, given the current view of callee summaries.
+fn collect_updates(
+    proc: &Procedure,
+    sig: &sil_lang::types::ProcSignature,
+    derived: &BTreeMap<String, BTreeSet<String>>,
+    callee_summary: impl Fn(&str) -> Option<ProcSummary>,
+) -> Vec<(String, ArgMode)> {
+    let mut updates: Vec<(String, ArgMode)> = Vec::new();
+    for stmt in collect_simple_stmts(&proc.body) {
+        let Some(basic) = BasicStmt::classify(stmt, sig) else {
             continue;
         };
-        let handle_args: BTreeMap<String, ArgMode> = sig
-            .handle_params()
-            .into_iter()
-            .map(|n| (n.to_string(), ArgMode::ReadOnly))
-            .collect();
-        let arg_modes = sig
-            .params
-            .iter()
-            .map(|(_, t)| {
-                if *t == Type::Handle {
-                    Some(ArgMode::ReadOnly)
-                } else {
-                    None
+        match basic {
+            BasicStmt::StoreField { dst, .. } | BasicStmt::StoreFieldNil { dst, .. } => {
+                if let Some(formals) = derived.get(dst) {
+                    for f in formals {
+                        updates.push((f.clone(), ArgMode::StructUpdate));
+                    }
                 }
-            })
-            .collect();
-        summaries.insert(
-            proc.name.clone(),
-            ProcSummary {
-                name: proc.name.clone(),
-                handle_args,
-                arg_modes,
-            },
-        );
+            }
+            BasicStmt::ValueStore { dst, .. } => {
+                if let Some(formals) = derived.get(dst) {
+                    for f in formals {
+                        updates.push((f.clone(), ArgMode::ValueUpdate));
+                    }
+                }
+            }
+            BasicStmt::ProcCall { proc: callee, args }
+            | BasicStmt::FuncAssign {
+                func: callee, args, ..
+            } => {
+                let Some(callee_summary) = callee_summary(callee) else {
+                    continue;
+                };
+                for (idx, arg) in args.iter().enumerate() {
+                    let Some(mode) = callee_summary.mode_of_position(idx) else {
+                        continue;
+                    };
+                    if !mode.is_update() {
+                        continue;
+                    }
+                    let Some(var) = arg.as_var() else { continue };
+                    if let Some(formals) = derived.get(var) {
+                        for f in formals {
+                            updates.push((f.clone(), mode));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
     }
+    updates
+}
 
-    let derived_maps: HashMap<String, BTreeMap<String, BTreeSet<String>>> = program
-        .procedures
+/// Compute the summaries of one strongly connected component of the call
+/// graph, given `resolved` summaries for everything below it.
+///
+/// This is the engine's summary-reuse hook: callers that know some
+/// components' summaries already (from a content-addressed cache) resolve
+/// them and only pay the fixpoint for the components that missed.  The
+/// members' summaries are a pure function of the members and their
+/// transitive callees — see
+/// [`crate::callgraph::CallGraph::cone_fingerprints`] for the matching cache
+/// key.
+pub fn compute_scc_summaries(
+    program: &Program,
+    types: &ProgramTypes,
+    members: &[String],
+    resolved: &HashMap<String, ProcSummary>,
+) -> HashMap<String, ProcSummary> {
+    let procs: Vec<&Procedure> = members
+        .iter()
+        .filter_map(|name| program.procedure(name))
+        .collect();
+    let mut local: HashMap<String, ProcSummary> = procs
+        .iter()
+        .filter_map(|p| {
+            types
+                .proc(&p.name)
+                .map(|sig| (p.name.clone(), initial_summary(&p.name, sig)))
+        })
+        .collect();
+    let derived_maps: HashMap<String, BTreeMap<String, BTreeSet<String>>> = procs
         .iter()
         .map(|p| (p.name.clone(), derived_from(p, types)))
         .collect();
 
-    // Iterate the whole program until stable.
-    for _round in 0..(program.procedures.len() + 2) {
+    // Iterate the component until stable (the lattice has height ≤ 2 per
+    // formal, so this converges in a handful of rounds).
+    loop {
         let mut changed = false;
-        for proc in &program.procedures {
+        for proc in &procs {
             let Some(sig) = types.proc(&proc.name) else {
                 continue;
             };
             let derived = &derived_maps[&proc.name];
-            let mut updates: Vec<(String, ArgMode)> = Vec::new();
-            for stmt in collect_simple_stmts(&proc.body) {
-                let Some(basic) = BasicStmt::classify(stmt, sig) else {
-                    continue;
-                };
-                match basic {
-                    BasicStmt::StoreField { dst, .. } | BasicStmt::StoreFieldNil { dst, .. } => {
-                        if let Some(formals) = derived.get(dst) {
-                            for f in formals {
-                                updates.push((f.clone(), ArgMode::StructUpdate));
-                            }
-                        }
-                    }
-                    BasicStmt::ValueStore { dst, .. } => {
-                        if let Some(formals) = derived.get(dst) {
-                            for f in formals {
-                                updates.push((f.clone(), ArgMode::ValueUpdate));
-                            }
-                        }
-                    }
-                    BasicStmt::ProcCall { proc: callee, args }
-                    | BasicStmt::FuncAssign {
-                        func: callee, args, ..
-                    } => {
-                        let Some(callee_summary) = summaries.get(callee).cloned() else {
-                            continue;
-                        };
-                        for (idx, arg) in args.iter().enumerate() {
-                            let Some(mode) = callee_summary.mode_of_position(idx) else {
-                                continue;
-                            };
-                            if !mode.is_update() {
-                                continue;
-                            }
-                            let Some(var) = arg.as_var() else { continue };
-                            if let Some(formals) = derived.get(var) {
-                                for f in formals {
-                                    updates.push((f.clone(), mode));
-                                }
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            let summary = summaries.get_mut(&proc.name).expect("seeded above");
+            let updates = collect_updates(proc, sig, derived, |callee| {
+                local.get(callee).or_else(|| resolved.get(callee)).cloned()
+            });
+            let summary = local.get_mut(&proc.name).expect("seeded above");
             for (formal, mode) in updates {
                 if let Some(current) = summary.handle_args.get_mut(&formal) {
                     if mode > *current {
@@ -272,7 +300,22 @@ pub fn compute_summaries(
             break;
         }
     }
-    summaries
+    local
+}
+
+/// Compute the argument-mode summaries for every procedure of `program`.
+///
+/// The call graph is condensed into strongly connected components which are
+/// processed bottom-up; recursion (and mutual recursion) is the per-SCC
+/// fixpoint of [`compute_scc_summaries`].
+pub fn compute_summaries(program: &Program, types: &ProgramTypes) -> HashMap<String, ProcSummary> {
+    let graph = crate::callgraph::CallGraph::of_program(program);
+    let mut resolved: HashMap<String, ProcSummary> = HashMap::new();
+    for component in graph.sccs() {
+        let computed = compute_scc_summaries(program, types, &component, &resolved);
+        resolved.extend(computed);
+    }
+    resolved
 }
 
 #[cfg(test)]

@@ -87,7 +87,12 @@ pub fn transfer_assign_copy(state: &AbstractState, a: &str, b: &str) -> Abstract
 }
 
 /// `a := b.f` — `a` names the `f`-child of `b`'s node (Figure 2).
-pub fn transfer_assign_load(state: &AbstractState, a: &str, b: &str, field: Field) -> AbstractState {
+pub fn transfer_assign_load(
+    state: &AbstractState,
+    a: &str,
+    b: &str,
+    field: Field,
+) -> AbstractState {
     // `l := l.left` style statements read the old value of the variable; use
     // a temporary and rename.
     if a == b {
@@ -329,9 +334,7 @@ pub fn transfer_basic(
         BasicStmt::AssignNil { dst } => transfer_assign_nil(state, dst),
         BasicStmt::AssignNew { dst } => transfer_assign_new(state, dst),
         BasicStmt::AssignCopy { dst, src } => transfer_assign_copy(state, dst, src),
-        BasicStmt::AssignLoad { dst, src, field } => {
-            transfer_assign_load(state, dst, src, *field)
-        }
+        BasicStmt::AssignLoad { dst, src, field } => transfer_assign_load(state, dst, src, *field),
         BasicStmt::StoreField { dst, field, src } => transfer_store_field(
             state,
             dst,
@@ -407,10 +410,24 @@ pub struct Analyzer<'a> {
 impl<'a> Analyzer<'a> {
     /// Build an analyzer for a (normalized, type-checked) program.
     pub fn new(program: &'a Program, types: &'a ProgramTypes) -> Analyzer<'a> {
+        Analyzer::with_summaries(program, types, compute_summaries(program, types))
+    }
+
+    /// Build an analyzer with precomputed argument-mode summaries.
+    ///
+    /// Summaries are pure functions of the procedure text and its transitive
+    /// callees, so a memoizing service (see `sil-engine`) can supply them
+    /// from a content-addressed cache instead of paying
+    /// [`compute_summaries`] again.
+    pub fn with_summaries(
+        program: &'a Program,
+        types: &'a ProgramTypes,
+        summaries: HashMap<String, ProcSummary>,
+    ) -> Analyzer<'a> {
         Analyzer {
             program,
             types,
-            summaries: compute_summaries(program, types),
+            summaries,
             return_summaries: RefCell::new(HashMap::new()),
             exit_structures: RefCell::new(HashMap::new()),
             call_sites: RefCell::new(Vec::new()),
@@ -467,9 +484,7 @@ impl<'a> Analyzer<'a> {
                 }
                 None => state.clone(),
             },
-            Stmt::Call { proc, args, .. } => {
-                self.transfer_call(state, proc, args, sig, warnings)
-            }
+            Stmt::Call { proc, args, .. } => self.transfer_call(state, proc, args, sig, warnings),
             Stmt::If {
                 then_branch,
                 else_branch,
@@ -629,8 +644,7 @@ impl<'a> Analyzer<'a> {
             .filter(|y| {
                 all_actuals.iter().any(|g| {
                     state.matrix.get(g, y).may_be_descendant()
-                        || (!is_tree
-                            && (*y == *g || state.matrix.get(g, y).may_be_same()))
+                        || (!is_tree && (*y == *g || state.matrix.get(g, y).may_be_same()))
                 })
             })
             .cloned()
@@ -690,8 +704,7 @@ impl<'a> Analyzer<'a> {
                     next.mark_attached(dst);
                 }
                 for (formal, to_ret, from_ret) in &summary.relations {
-                    let Some((_, actual)) = handle_actuals.iter().find(|(f, _)| f == formal)
-                    else {
+                    let Some((_, actual)) = handle_actuals.iter().find(|(f, _)| f == formal) else {
                         continue;
                     };
                     if !to_ret.is_empty() {
@@ -810,9 +823,11 @@ mod tests {
     fn nil_and_new_sever_relations() {
         let s = sig(&["a", "b"], &[]);
         let mut state = AbstractState::with_handles(["a", "b"]);
-        state
-            .matrix
-            .set("a", "b", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)));
+        state.matrix.set(
+            "a",
+            "b",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)),
+        );
         let after = apply(&state, "b := nil", &s);
         assert!(after.matrix.get("a", "b").is_empty());
         let after = apply(&state, "b := new()", &s);
@@ -824,9 +839,11 @@ mod tests {
     fn copy_aliases() {
         let s = sig(&["a", "b", "c"], &[]);
         let mut state = AbstractState::with_handles(["a", "b", "c"]);
-        state
-            .matrix
-            .set("a", "b", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)));
+        state.matrix.set(
+            "a",
+            "b",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)),
+        );
         let after = apply(&state, "c := b", &s);
         assert!(after.matrix.get("c", "b").must_be_same());
         assert_eq!(after.matrix.get("a", "c").to_string(), "L2");
@@ -837,9 +854,11 @@ mod tests {
         // Figure 3's loop body: l := l.left
         let s = sig(&["h", "l"], &[]);
         let mut state = AbstractState::with_handles(["h", "l"]);
-        state
-            .matrix
-            .set("h", "l", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)));
+        state.matrix.set(
+            "h",
+            "l",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)),
+        );
         let after = apply(&state, "l := l.left", &s);
         assert_eq!(after.matrix.get("h", "l").to_string(), "L2");
     }
@@ -861,9 +880,11 @@ mod tests {
         let s = sig(&["root", "r", "b", "c"], &[]);
         let mut state = AbstractState::with_handles(["root", "r", "b", "c"]);
         state.matrix.alias_handle("r", "root");
-        state
-            .matrix
-            .set("b", "c", PathSet::singleton(sil_pathmatrix::at_least(Dir::Down, 1)));
+        state.matrix.set(
+            "b",
+            "c",
+            PathSet::singleton(sil_pathmatrix::at_least(Dir::Down, 1)),
+        );
         let after = apply(&state, "root.left := b", &s);
         assert_eq!(after.matrix.get("root", "b").to_string(), "L1");
         assert_eq!(after.matrix.get("r", "b").to_string(), "L1");
@@ -874,13 +895,17 @@ mod tests {
     fn store_detects_cycle() {
         let s = sig(&["t", "d"], &[]);
         let mut state = AbstractState::with_handles(["t", "d"]);
-        state
-            .matrix
-            .set("t", "d", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)));
+        state.matrix.set(
+            "t",
+            "d",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)),
+        );
         // d is below t; t is therefore an ancestor of d: d.left := t closes a cycle.
         let (after, warnings) = apply_with_warnings(&state, "d.left := t", &s);
         assert_eq!(after.structure, StructureKind::PossiblyCyclic);
-        assert!(warnings.iter().any(|w| w.kind == StructureKind::PossiblyCyclic));
+        assert!(warnings
+            .iter()
+            .any(|w| w.kind == StructureKind::PossiblyCyclic));
         // self-loop
         let (after, _) = apply_with_warnings(&state, "t.left := t", &s);
         assert_eq!(after.structure, StructureKind::PossiblyCyclic);
@@ -894,7 +919,9 @@ mod tests {
         assert_eq!(after.structure, StructureKind::Tree);
         let (after2, warnings) = apply_with_warnings(&after, "u.right := a", &s);
         assert_eq!(after2.structure, StructureKind::PossiblyDag);
-        assert!(warnings.iter().any(|w| w.kind == StructureKind::PossiblyDag));
+        assert!(warnings
+            .iter()
+            .any(|w| w.kind == StructureKind::PossiblyDag));
     }
 
     #[test]
@@ -945,12 +972,16 @@ mod tests {
     fn kill_weakens_ancestor_paths() {
         let s = sig(&["root", "t", "x"], &[]);
         let mut state = AbstractState::with_handles(["root", "t", "x"]);
-        state
-            .matrix
-            .set("root", "t", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)));
-        state
-            .matrix
-            .set("t", "x", PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)));
+        state.matrix.set(
+            "root",
+            "t",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 1)),
+        );
+        state.matrix.set(
+            "t",
+            "x",
+            PathSet::singleton(sil_pathmatrix::exact(Dir::Left, 2)),
+        );
         state.matrix.set(
             "root",
             "x",
@@ -982,8 +1013,8 @@ mod tests {
         // After any number of iterations l is h or some node on the left spine.
         assert!(hl.may_be_same(), "{hl}");
         assert!(
-            hl.iter().any(|p| !p.is_same()
-                && p.links().iter().all(|l| l.dir == Dir::Left)),
+            hl.iter()
+                .any(|p| !p.is_same() && p.links().iter().all(|l| l.dir == Dir::Left)),
             "expected a left-spine path, got {hl}"
         );
         // l never ends up strictly above h (it may still *be* h after zero

@@ -1,0 +1,192 @@
+//! `silp` — the SIL pipeline CLI, backed by the memoizing engine.
+//!
+//! ```text
+//! silp file.sil ...                 analyze + parallelize + verify files
+//! silp --workload tree_sum          run a built-in workload
+//! silp --workload all --size 5      every workload at size 5
+//! silp --execute ...                also execute (work/span report)
+//! silp --json ...                   machine-readable JSON array output
+//! silp --emit-parallel ...          include the parallelized source
+//! silp --no-parallelize ...         analysis only
+//! silp --lfu                        use LFU instead of LRU eviction
+//! silp --stats ...                  print engine cache statistics at exit
+//! ```
+//!
+//! Exit status is non-zero when any input fails the frontend or the static
+//! verifier reports violations.
+
+use sil_engine::{Engine, EngineConfig, EvictionPolicy, ProcessOptions};
+use sil_workloads::Workload;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: silp [options] [file.sil ...]
+
+options:
+  --workload <name|all>  analyze a built-in workload (repeatable)
+  --size <n>             size parameter for workloads (default: each
+                         workload's test size)
+  --execute              execute on the interpreter, report work/span
+  --no-parallelize       stop after the analysis
+  --no-verify            skip static verification of the parallel output
+  --emit-parallel        include the parallelized source in the report
+  --json                 emit one JSON array instead of text
+  --lfu                  evict least-frequently-used cache entries
+  --stats                print engine cache statistics
+  -h, --help             this message
+";
+
+struct Cli {
+    inputs: Vec<(String, String)>, // (label, source)
+    options: ProcessOptions,
+    json: bool,
+    stats: bool,
+    eviction: EvictionPolicy,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        inputs: Vec::new(),
+        options: ProcessOptions::default(),
+        json: false,
+        stats: false,
+        eviction: EvictionPolicy::Lru,
+    };
+    let mut workloads: Vec<String> = Vec::new();
+    let mut size: Option<u32> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                workloads.push(args.get(i).ok_or("--workload needs a value")?.clone());
+            }
+            "--size" => {
+                i += 1;
+                size = Some(
+                    args.get(i)
+                        .ok_or("--size needs a value")?
+                        .parse()
+                        .map_err(|_| "--size must be an integer".to_string())?,
+                );
+            }
+            "--execute" => cli.options.execute = true,
+            "--no-parallelize" => cli.options.parallelize = false,
+            "--no-verify" => cli.options.verify = false,
+            "--emit-parallel" => cli.options.emit_parallel_source = true,
+            "--json" => cli.json = true,
+            "--lfu" => cli.eviction = EvictionPolicy::Lfu,
+            "--stats" => cli.stats = true,
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag}"));
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+
+    for name in workloads {
+        let selected: Vec<Workload> = if name == "all" {
+            Workload::ALL.to_vec()
+        } else {
+            vec![*Workload::ALL
+                .iter()
+                .find(|w| w.name() == name)
+                .ok_or_else(|| {
+                    let known: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+                    format!("unknown workload {name}; known: {}", known.join(", "))
+                })?]
+        };
+        for w in selected {
+            let n = size.unwrap_or_else(|| w.test_size());
+            cli.inputs
+                .push((format!("workload:{}@{n}", w.name()), w.source(n)));
+        }
+    }
+    for file in files {
+        let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        cli.inputs.push((file, src));
+    }
+    if cli.inputs.is_empty() {
+        return Err("no inputs: pass SIL files or --workload".to_string());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("silp: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = Engine::new(EngineConfig {
+        eviction: cli.eviction,
+        ..EngineConfig::default()
+    });
+    let sources: Vec<&str> = cli.inputs.iter().map(|(_, src)| src.as_str()).collect();
+    let results = engine.process_batch(&sources, &cli.options);
+
+    let mut failed = false;
+    let mut json_items: Vec<String> = Vec::new();
+    for ((label, _), result) in cli.inputs.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                if !report.violations.is_empty() {
+                    failed = true;
+                }
+                if cli.json {
+                    json_items.push(report.to_json());
+                } else {
+                    print!("{}", report.to_text());
+                }
+            }
+            Err(error) => {
+                failed = true;
+                if cli.json {
+                    json_items.push(format!(
+                        "{{\"name\":\"{}\",\"error\":\"{}\"}}",
+                        sil_engine::report::json_escape(label),
+                        sil_engine::report::json_escape(&error.to_string())
+                    ));
+                } else {
+                    eprintln!("{label}: {error}");
+                }
+            }
+        }
+    }
+    if cli.json {
+        println!("[{}]", json_items.join(","));
+    }
+    if cli.stats {
+        let stats = engine.stats();
+        eprintln!(
+            "engine: programs {} entries ({} hits / {} misses, {} evictions); \
+             summaries {} entries ({} hits / {} misses, {} evictions)",
+            stats.program_entries,
+            stats.programs.hits,
+            stats.programs.misses,
+            stats.programs.evictions,
+            stats.summary_entries,
+            stats.summaries.hits,
+            stats.summaries.misses,
+            stats.summaries.evictions,
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,261 @@
+//! Content-addressed, capacity-bounded memoization caches with pluggable
+//! eviction.
+//!
+//! Keys are stable 64-bit fingerprints (see `sil_lang::hash`); values are
+//! cheaply cloneable (the engine stores `Arc`s).  Two eviction policies are
+//! provided:
+//!
+//! * **LRU** — evict the entry touched longest ago.  Favors recency; the
+//!   right default for session-like traffic where a client re-submits the
+//!   programs it is actively editing.
+//! * **LFU** — evict the entry with the fewest lifetime hits (ties broken by
+//!   recency).  Favors long-term popularity; under heavily skewed request
+//!   distributions (a few hot programs dominating a long tail, as in the NDN
+//!   caching study referenced by PAPERS.md) it keeps the hot set resident
+//!   even when bursts of one-off programs sweep through.
+//!
+//! The cache is a single mutex-guarded map: lookups and insertions are
+//! O(1), eviction is an O(n) scan.  Capacities here are small (hundreds of
+//! analysis results), and the guarded section never runs an analysis — the
+//! engine computes outside the lock and only then inserts — so a finer
+//! sharded design would buy nothing measurable.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Which entry to sacrifice when the cache is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    #[default]
+    Lru,
+    /// Least frequently used (ties broken by recency).
+    Lfu,
+}
+
+/// Hit/miss/eviction counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Logical timestamp of the last hit or insertion.
+    last_used: u64,
+    /// Number of lifetime hits.
+    uses: u64,
+}
+
+#[derive(Debug)]
+struct Inner<V> {
+    entries: HashMap<u64, Entry<V>>,
+    stats: CacheStats,
+    /// Logical clock, bumped on every touch.
+    tick: u64,
+}
+
+/// A content-addressed memoization cache.
+#[derive(Debug)]
+pub struct ContentCache<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    policy: EvictionPolicy,
+}
+
+impl<V: Clone> ContentCache<V> {
+    /// A cache holding at most `capacity` entries (`capacity == 0` disables
+    /// caching entirely: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> ContentCache<V> {
+        ContentCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                stats: CacheStats::default(),
+                tick: 0,
+            }),
+            capacity,
+            policy,
+        }
+    }
+
+    /// Look up a fingerprint, recording a hit or miss.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                entry.uses += 1;
+                let value = entry.value.clone();
+                inner.stats.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a value, evicting per policy if the cache is full.  Inserting
+    /// an existing key refreshes its value without eviction.
+    pub fn insert(&self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(existing) = inner.entries.get_mut(&key) {
+            existing.value = value;
+            existing.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            let victim = match self.policy {
+                EvictionPolicy::Lru => inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k),
+                EvictionPolicy::Lfu => inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| (e.uses, e.last_used))
+                    .map(|(k, _)| *k),
+            };
+            if let Some(victim) = victim {
+                inner.entries.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+                uses: 0,
+            },
+        );
+        inner.stats.insertions += 1;
+    }
+
+    /// Current number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Drop every entry (the counters survive).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ContentCache::new(4, EvictionPolicy::Lru);
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, "one");
+        assert_eq!(cache.get(1), Some("one"));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = ContentCache::new(2, EvictionPolicy::Lru);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.get(1); // 2 is now the least recently used
+        cache.insert(3, 3);
+        assert_eq!(cache.get(2), None, "2 should have been evicted");
+        assert_eq!(cache.get(1), Some(1));
+        assert_eq!(cache.get(3), Some(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lfu_keeps_the_popular_entry() {
+        let cache = ContentCache::new(2, EvictionPolicy::Lfu);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.get(1);
+        cache.get(1);
+        cache.get(2); // 1 has 2 uses, 2 has 1 use
+        cache.insert(3, 3);
+        assert_eq!(cache.get(2), None, "least-frequently-used entry evicted");
+        assert_eq!(cache.get(1), Some(1));
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let cache = ContentCache::new(3, EvictionPolicy::Lru);
+        for key in 0..100u64 {
+            cache.insert(key, key);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 97);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ContentCache::new(0, EvictionPolicy::Lru);
+        cache.insert(1, 1);
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = ContentCache::new(2, EvictionPolicy::Lru);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.insert(1, 10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1), Some(10));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

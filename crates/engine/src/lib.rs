@@ -1,0 +1,560 @@
+//! # sil-engine
+//!
+//! A long-lived, batched, memoizing analysis/parallelization service over
+//! the Hendren & Nicolau path-matrix stack.
+//!
+//! The paper's analysis is a pure function of program text, which makes it
+//! an ideal memoization target for a service that sees the same programs
+//! over and over (editors re-checking a buffer, CI re-analyzing a corpus,
+//! a compiler farm).  The engine caches at two granularities, both keyed by
+//! stable content fingerprints of the normalized AST
+//! (`sil_lang::hash`):
+//!
+//! * **program cache** — whole [`AnalysisResult`]s keyed by the program
+//!   fingerprint: a resubmitted program costs one hash + one map lookup;
+//! * **summary cache** — per-SCC argument-mode summaries keyed by the
+//!   *cone fingerprint* (the SCC's content plus everything it transitively
+//!   calls — see [`sil_analysis::CallGraph::cone_fingerprints`]): programs
+//!   that share procedures (a workload suite over one `build` library, a
+//!   batch of variants of one program) reuse each other's summary work even
+//!   when the whole-program entry misses.
+//!
+//! Both caches are capacity-bounded with pluggable eviction
+//! ([`EvictionPolicy::Lru`] / [`EvictionPolicy::Lfu`]) and expose
+//! hit/miss/eviction counters ([`CacheStats`]).
+//!
+//! Work inside the engine is concurrent on two axes: a batch fans out
+//! across programs via rayon, and within one program the call graph is
+//! condensed into SCCs whose independent components are scheduled in
+//! parallel, level by level.
+//!
+//! ```
+//! use sil_engine::{Engine, EngineConfig};
+//! use sil_workloads::Workload;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let src = Workload::TreeSum.source(4);
+//!
+//! let cold = engine.analyze_source(&src).unwrap();
+//! let warm = engine.analyze_source(&src).unwrap();   // served from cache
+//! assert_eq!(cold.analysis.digest(), warm.analysis.digest());
+//! assert_eq!(engine.stats().programs.hits, 1);
+//! ```
+
+pub mod cache;
+pub mod report;
+
+pub use cache::{CacheStats, ContentCache, EvictionPolicy};
+pub use report::{ExecutionReport, ProcessOptions, ProgramReport};
+
+use rayon::prelude::*;
+use sil_analysis::{
+    analyze_program_with_summaries, compute_scc_summaries, AnalysisResult, CallGraph, ProcSummary,
+};
+use sil_lang::hash::program_fingerprint;
+use sil_lang::types::ProgramTypes;
+use sil_lang::{frontend, pretty_program, Program, SilError};
+use sil_parallelizer::{pack_program_with_analysis, verify_parallel_program, PackOptions};
+use sil_runtime::{Interpreter, RunConfig};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Capacity of the whole-program analysis cache.
+    pub program_cache_capacity: usize,
+    /// Capacity of the per-SCC summary cache.
+    pub summary_cache_capacity: usize,
+    /// Eviction policy shared by both caches.
+    pub eviction: EvictionPolicy,
+    /// Schedule batches and independent call-graph SCCs across rayon.
+    pub parallel: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            program_cache_capacity: 256,
+            summary_cache_capacity: 1024,
+            eviction: EvictionPolicy::Lru,
+            parallel: true,
+        }
+    }
+}
+
+/// Everything the engine derives from one program.
+#[derive(Debug)]
+pub struct AnalyzedProgram {
+    /// Content fingerprint of the normalized program (the cache key).
+    pub fingerprint: u64,
+    /// The normalized, type-checked program.
+    pub program: Program,
+    pub types: ProgramTypes,
+    /// The whole-program path-matrix analysis.
+    pub analysis: Arc<AnalysisResult>,
+}
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The source did not parse or type check.
+    Frontend(SilError),
+    /// Execution was requested and the interpreter rejected the program.
+    Runtime(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Frontend(e) => write!(f, "frontend: {e}"),
+            EngineError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SilError> for EngineError {
+    fn from(e: SilError) -> EngineError {
+        EngineError::Frontend(e)
+    }
+}
+
+/// Counter snapshot across both caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub programs: CacheStats,
+    pub summaries: CacheStats,
+    pub program_entries: usize,
+    pub summary_entries: usize,
+}
+
+/// The memoizing analysis service.  `Engine` is `Sync`: one instance serves
+/// concurrent callers, and all its methods take `&self`.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    programs: ContentCache<Arc<AnalyzedProgram>>,
+    summaries: ContentCache<Arc<HashMap<String, ProcSummary>>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            programs: ContentCache::new(config.program_cache_capacity, config.eviction),
+            summaries: ContentCache::new(config.summary_cache_capacity, config.eviction),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Parse, type check, and analyze one program, serving the analysis
+    /// from the program cache when its content fingerprint hits.
+    pub fn analyze_source(&self, src: &str) -> Result<Arc<AnalyzedProgram>, EngineError> {
+        self.analyze_source_traced(src).map(|(entry, _)| entry)
+    }
+
+    /// Like [`Engine::analyze_source`], also reporting whether the program
+    /// cache served the request.
+    pub fn analyze_source_traced(
+        &self,
+        src: &str,
+    ) -> Result<(Arc<AnalyzedProgram>, bool), EngineError> {
+        let (program, types) = frontend(src)?;
+        Ok(self.analyze_normalized(program, types))
+    }
+
+    /// Analyze an already-normalized, type-checked program.
+    pub fn analyze_normalized(
+        &self,
+        program: Program,
+        types: ProgramTypes,
+    ) -> (Arc<AnalyzedProgram>, bool) {
+        let fingerprint = program_fingerprint(&program);
+        if let Some(hit) = self.programs.get(fingerprint) {
+            return (hit, true);
+        }
+        let graph = CallGraph::of_program(&program);
+        let summaries = self.summaries_for(&program, &types, &graph);
+        let analysis = analyze_program_with_summaries(&program, &types, summaries);
+        let entry = Arc::new(AnalyzedProgram {
+            fingerprint,
+            program,
+            types,
+            analysis: Arc::new(analysis),
+        });
+        self.programs.insert(fingerprint, entry.clone());
+        (entry, false)
+    }
+
+    /// Argument-mode summaries for every procedure, reusing cached per-SCC
+    /// results and computing the misses level-by-level, independent SCCs of
+    /// one level in parallel.
+    fn summaries_for(
+        &self,
+        program: &Program,
+        types: &ProgramTypes,
+        graph: &CallGraph,
+    ) -> HashMap<String, ProcSummary> {
+        let cones = graph.cone_fingerprints(program);
+        let mut resolved: HashMap<String, ProcSummary> = HashMap::new();
+        for level in graph.scc_levels() {
+            let computed: Vec<HashMap<String, ProcSummary>> =
+                if self.config.parallel && level.len() > 1 {
+                    level
+                        .par_iter()
+                        .map(|scc| self.scc_summaries(program, types, scc, &cones, &resolved))
+                        .collect()
+                } else {
+                    level
+                        .iter()
+                        .map(|scc| self.scc_summaries(program, types, scc, &cones, &resolved))
+                        .collect()
+                };
+            for summaries in computed {
+                resolved.extend(summaries);
+            }
+        }
+        resolved
+    }
+
+    fn scc_summaries(
+        &self,
+        program: &Program,
+        types: &ProgramTypes,
+        members: &[String],
+        cones: &HashMap<String, u64>,
+        resolved: &HashMap<String, ProcSummary>,
+    ) -> HashMap<String, ProcSummary> {
+        let key = members
+            .first()
+            .and_then(|m| cones.get(m).copied())
+            .unwrap_or_default();
+        if let Some(hit) = self.summaries.get(key) {
+            return (*hit).clone();
+        }
+        let computed = compute_scc_summaries(program, types, members, resolved);
+        self.summaries.insert(key, Arc::new(computed.clone()));
+        computed
+    }
+
+    /// Analyze a batch of programs.  With [`EngineConfig::parallel`] the
+    /// batch fans out across rayon; results come back in input order.
+    pub fn analyze_batch<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+    ) -> Vec<Result<Arc<AnalyzedProgram>, EngineError>> {
+        if self.config.parallel && sources.len() > 1 {
+            sources
+                .par_iter()
+                .map(|src| self.analyze_source(src.as_ref()))
+                .collect()
+        } else {
+            sources
+                .iter()
+                .map(|src| self.analyze_source(src.as_ref()))
+                .collect()
+        }
+    }
+
+    /// Run the full pipeline over one program: analyze (cached), then per
+    /// `options` parallelize, verify, and execute, producing a report.
+    pub fn process(
+        &self,
+        src: &str,
+        options: &ProcessOptions,
+    ) -> Result<ProgramReport, EngineError> {
+        let (entry, cache_hit) = self.analyze_source_traced(src)?;
+        let analysis = &entry.analysis;
+        let structure = analysis
+            .procedure("main")
+            .map(|p| p.exit.structure.to_string())
+            .unwrap_or_else(|| "UNKNOWN".to_string());
+
+        let mut report = ProgramReport {
+            name: entry.program.name.clone(),
+            fingerprint: entry.fingerprint,
+            cache_hit,
+            structure,
+            preserves_tree: analysis.preserves_tree(),
+            warnings: analysis.warnings.iter().map(|w| w.to_string()).collect(),
+            rounds: analysis.rounds,
+            analysis_digest: analysis.digest(),
+            transforms: None,
+            violations: Vec::new(),
+            parallel_source: None,
+            sequential_execution: None,
+            parallel_execution: None,
+        };
+
+        let mut parallel_frontend: Option<(Program, ProgramTypes)> = None;
+        if options.parallelize {
+            // Reuse the (possibly cached) analysis instead of letting the
+            // packer recompute it — on a warm hit the whole parallelization
+            // step costs only the packing walk.
+            let (parallel, transform_report) = pack_program_with_analysis(
+                &entry.program,
+                &entry.types,
+                analysis,
+                &PackOptions::default(),
+            );
+            report.transforms = Some(transform_report.count());
+            let printed = pretty_program(&parallel);
+            let reparsed = frontend(&printed)?;
+            if options.verify {
+                report.violations = verify_parallel_program(&reparsed.0, &reparsed.1)
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect();
+            }
+            if options.emit_parallel_source {
+                report.parallel_source = Some(printed);
+            }
+            parallel_frontend = Some(reparsed);
+        }
+
+        if options.execute {
+            let config = RunConfig {
+                store_capacity: options.store_capacity,
+                ..RunConfig::default()
+            };
+            report.sequential_execution =
+                Some(run_program(&entry.program, &entry.types, config.clone())?);
+            if let Some((par_program, par_types)) = &parallel_frontend {
+                report.parallel_execution = Some(run_program(par_program, par_types, config)?);
+            }
+        }
+        Ok(report)
+    }
+
+    /// [`Engine::process`] over a batch, fanning out across rayon.
+    pub fn process_batch<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+        options: &ProcessOptions,
+    ) -> Vec<Result<ProgramReport, EngineError>> {
+        if self.config.parallel && sources.len() > 1 {
+            sources
+                .par_iter()
+                .map(|src| self.process(src.as_ref(), options))
+                .collect()
+        } else {
+            sources
+                .iter()
+                .map(|src| self.process(src.as_ref(), options))
+                .collect()
+        }
+    }
+
+    /// Counter snapshot across both caches.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            programs: self.programs.stats(),
+            summaries: self.summaries.stats(),
+            program_entries: self.programs.len(),
+            summary_entries: self.summaries.len(),
+        }
+    }
+
+    /// Drop all cached entries (counters survive; useful for cold-vs-warm
+    /// measurements).
+    pub fn clear_caches(&self) {
+        self.programs.clear();
+        self.summaries.clear();
+    }
+
+    /// Open a session: a lightweight client handle that tracks its own
+    /// request count and cache-hit delta on top of the shared engine.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            engine: self,
+            requests: Cell::new(0),
+            baseline: self.stats(),
+        }
+    }
+}
+
+/// Per-client view of a shared [`Engine`].
+///
+/// Sessions are cheap (two counters and a stats snapshot) and borrow the
+/// engine, so a server can hand one to every connection while all sessions
+/// share the same caches.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    requests: Cell<u64>,
+    baseline: EngineStats,
+}
+
+/// What one session observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Requests submitted through this session.
+    pub requests: u64,
+    /// Program-cache hits across the engine since the session opened.
+    pub program_hits: u64,
+    /// Program-cache misses across the engine since the session opened.
+    pub program_misses: u64,
+    /// Summary-cache hits across the engine since the session opened.
+    pub summary_hits: u64,
+}
+
+impl Session<'_> {
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    pub fn analyze(&self, src: &str) -> Result<Arc<AnalyzedProgram>, EngineError> {
+        self.requests.set(self.requests.get() + 1);
+        self.engine.analyze_source(src)
+    }
+
+    pub fn process(
+        &self,
+        src: &str,
+        options: &ProcessOptions,
+    ) -> Result<ProgramReport, EngineError> {
+        self.requests.set(self.requests.get() + 1);
+        self.engine.process(src, options)
+    }
+
+    pub fn report(&self) -> SessionReport {
+        let now = self.engine.stats();
+        SessionReport {
+            requests: self.requests.get(),
+            program_hits: now.programs.hits - self.baseline.programs.hits,
+            program_misses: now.programs.misses - self.baseline.programs.misses,
+            summary_hits: now.summaries.hits - self.baseline.summaries.hits,
+        }
+    }
+}
+
+fn run_program(
+    program: &Program,
+    types: &ProgramTypes,
+    config: RunConfig,
+) -> Result<ExecutionReport, EngineError> {
+    let mut interp = Interpreter::with_config(program, types, config);
+    let outcome = interp
+        .run()
+        .map_err(|e| EngineError::Runtime(e.to_string()))?;
+    Ok(ExecutionReport {
+        work: outcome.cost.work,
+        span: outcome.cost.span,
+        parallelism: outcome.cost.parallelism(),
+        allocated_nodes: outcome.allocated_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_analysis::analyze_program;
+    use sil_workloads::Workload;
+
+    #[test]
+    fn warm_hit_returns_the_same_arc() {
+        let engine = Engine::default();
+        let src = Workload::TreeSum.source(4);
+        let (cold, hit0) = engine.analyze_source_traced(&src).unwrap();
+        let (warm, hit1) = engine.analyze_source_traced(&src).unwrap();
+        assert!(!hit0);
+        assert!(hit1);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        let stats = engine.stats();
+        assert_eq!(stats.programs.hits, 1);
+        assert_eq!(stats.programs.misses, 1);
+        assert_eq!(stats.program_entries, 1);
+    }
+
+    #[test]
+    fn engine_matches_direct_analysis() {
+        let engine = Engine::default();
+        for workload in Workload::ALL {
+            let src = workload.source(workload.test_size());
+            let entry = engine.analyze_source(&src).unwrap();
+            let direct = {
+                let (program, types) = frontend(&src).unwrap();
+                analyze_program(&program, &types)
+            };
+            assert_eq!(
+                entry.analysis.digest(),
+                direct.digest(),
+                "{} diverges from analyze_program",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn summary_cache_is_shared_across_programs() {
+        let engine = Engine::default();
+        // Two different programs with an identical `build`+`sum` cone: the
+        // second program's summary lookups hit.
+        let a = Workload::TreeSum.source(4);
+        let b = Workload::TreeSum.source(5); // differs only in main
+        engine.analyze_source(&a).unwrap();
+        let before = engine.stats().summaries.hits;
+        engine.analyze_source(&b).unwrap();
+        let after = engine.stats().summaries.hits;
+        assert!(
+            after > before,
+            "expected shared-cone summary hits ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let engine = Engine::default();
+        let err = engine
+            .analyze_source("program broken procedure")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Frontend(_)));
+        assert!(err.to_string().contains("frontend"));
+    }
+
+    #[test]
+    fn sessions_track_their_requests() {
+        let engine = Engine::default();
+        let src = Workload::Leftmost.source(3);
+        let session = engine.session();
+        session.analyze(&src).unwrap();
+        session.analyze(&src).unwrap();
+        let report = session.report();
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.program_hits, 1);
+        assert_eq!(report.program_misses, 1);
+    }
+
+    #[test]
+    fn process_produces_a_full_report() {
+        let engine = Engine::default();
+        let src = Workload::AddAndReverse.source(4);
+        let options = ProcessOptions {
+            execute: true,
+            emit_parallel_source: true,
+            ..ProcessOptions::default()
+        };
+        let report = engine.process(&src, &options).unwrap();
+        assert_eq!(report.name, "add_and_reverse");
+        assert!(report.transforms.unwrap() >= 6, "Figure 8 parallelism");
+        assert!(report.violations.is_empty());
+        let seq = report.sequential_execution.as_ref().unwrap();
+        let par = report.parallel_execution.as_ref().unwrap();
+        assert_eq!(seq.work, par.work);
+        assert!(par.span < seq.span);
+        assert!(report.parallel_source.as_deref().unwrap().contains("||"));
+        let json = report.to_json();
+        assert!(json.contains("\"name\":\"add_and_reverse\""));
+    }
+}

@@ -1,0 +1,229 @@
+//! Request options and result reports for the engine pipeline.
+//!
+//! A [`ProgramReport`] is the JSON-serializable summary of one program's
+//! trip through parse → analyze → parallelize → verify → (optionally)
+//! execute.  JSON is rendered by hand — the environment has no serde — but
+//! the shape is stable and documented on each field.
+
+use std::fmt::Write as _;
+
+/// What the pipeline should do beyond the (always-run) analysis.
+#[derive(Debug, Clone)]
+pub struct ProcessOptions {
+    /// Run the packing parallelizer and include its transform count.
+    pub parallelize: bool,
+    /// Statically verify the parallelized output.
+    pub verify: bool,
+    /// Execute the program(s) on the deterministic interpreter and report
+    /// work/span.
+    pub execute: bool,
+    /// Include the pretty-printed parallelized source in the report.
+    pub emit_parallel_source: bool,
+    /// Node-store capacity for execution.
+    pub store_capacity: usize,
+}
+
+impl Default for ProcessOptions {
+    fn default() -> Self {
+        ProcessOptions {
+            parallelize: true,
+            verify: true,
+            execute: false,
+            emit_parallel_source: false,
+            store_capacity: 1 << 18,
+        }
+    }
+}
+
+/// Work/span accounting of one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    pub work: u64,
+    pub span: u64,
+    pub parallelism: f64,
+    pub allocated_nodes: usize,
+}
+
+/// The full pipeline result for one program.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// The program's declared name.
+    pub name: String,
+    /// Content fingerprint of the normalized AST (the cache key).
+    pub fingerprint: u64,
+    /// Whether the analysis was served from the program cache.
+    pub cache_hit: bool,
+    /// Structural classification at `main`'s exit (TREE / DAG / CYCLE).
+    pub structure: String,
+    /// No statement ever degraded the structure below TREE.
+    pub preserves_tree: bool,
+    /// Structure warnings, rendered.
+    pub warnings: Vec<String>,
+    /// Rounds the interprocedural analysis needed.
+    pub rounds: usize,
+    /// Stable digest of the full analysis result.
+    pub analysis_digest: u64,
+    /// Number of parallelizing transformations applied (when requested).
+    pub transforms: Option<usize>,
+    /// Static verifier findings on the parallelized output (when requested).
+    pub violations: Vec<String>,
+    /// The parallelized program text (only when requested).
+    pub parallel_source: Option<String>,
+    /// Sequential execution metrics (when requested).
+    pub sequential_execution: Option<ExecutionReport>,
+    /// Parallelized execution metrics (when requested and parallelized).
+    pub parallel_execution: Option<ExecutionReport>,
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let rendered: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
+impl ExecutionReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"work\":{},\"span\":{},\"parallelism\":{:.4},\"allocated_nodes\":{}}}",
+            self.work, self.span, self.parallelism, self.allocated_nodes
+        )
+    }
+}
+
+impl ProgramReport {
+    /// Render the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"fingerprint\":\"{:016x}\",\"cache_hit\":{},\
+             \"structure\":\"{}\",\"preserves_tree\":{},\"warnings\":{},\"rounds\":{},\
+             \"analysis_digest\":\"{:016x}\"",
+            json_escape(&self.name),
+            self.fingerprint,
+            self.cache_hit,
+            json_escape(&self.structure),
+            self.preserves_tree,
+            json_str_list(&self.warnings),
+            self.rounds,
+            self.analysis_digest,
+        );
+        if let Some(transforms) = self.transforms {
+            let _ = write!(out, ",\"transforms\":{transforms}");
+        }
+        let _ = write!(out, ",\"violations\":{}", json_str_list(&self.violations));
+        if let Some(src) = &self.parallel_source {
+            let _ = write!(out, ",\"parallel_source\":\"{}\"", json_escape(src));
+        }
+        if let Some(seq) = &self.sequential_execution {
+            let _ = write!(out, ",\"sequential_execution\":{}", seq.to_json());
+        }
+        if let Some(par) = &self.parallel_execution {
+            let _ = write!(out, ",\"parallel_execution\":{}", par.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render the report as a short human-readable block.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} [{}{:016x}]",
+            self.name,
+            if self.cache_hit { "cached " } else { "" },
+            self.fingerprint
+        );
+        let _ = writeln!(
+            out,
+            "  structure: {} ({} warnings), {} rounds",
+            self.structure,
+            self.warnings.len(),
+            self.rounds
+        );
+        if let Some(transforms) = self.transforms {
+            let _ = writeln!(out, "  parallelized: {transforms} transforms");
+        }
+        if !self.violations.is_empty() {
+            let _ = writeln!(out, "  VIOLATIONS: {}", self.violations.join("; "));
+        }
+        if let Some(seq) = &self.sequential_execution {
+            let _ = writeln!(
+                out,
+                "  sequential: work={} span={} parallelism={:.2}",
+                seq.work, seq.span, seq.parallelism
+            );
+        }
+        if let Some(par) = &self.parallel_execution {
+            let _ = writeln!(
+                out,
+                "  parallel:   work={} span={} parallelism={:.2}",
+                par.work, par.span, par.parallelism
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_renders_valid_enough_json() {
+        let report = ProgramReport {
+            name: "t".into(),
+            fingerprint: 0xabcd,
+            cache_hit: true,
+            structure: "TREE".into(),
+            preserves_tree: true,
+            warnings: vec!["w \"quoted\"".into()],
+            rounds: 2,
+            analysis_digest: 1,
+            transforms: Some(3),
+            violations: vec![],
+            parallel_source: None,
+            sequential_execution: Some(ExecutionReport {
+                work: 10,
+                span: 5,
+                parallelism: 2.0,
+                allocated_nodes: 7,
+            }),
+            parallel_execution: None,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hit\":true"));
+        assert!(json.contains("\"transforms\":3"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"work\":10"));
+    }
+}

@@ -28,7 +28,7 @@ pub mod report;
 pub mod split;
 pub mod verify;
 
-pub use packing::{pack_program, PackOptions};
+pub use packing::{pack_program, pack_program_with_analysis, PackOptions};
 pub use report::{TransformKind, TransformRecord, TransformReport};
 pub use split::split_program;
 pub use verify::{verify_parallel_program, ParViolation};
@@ -48,9 +48,6 @@ use sil_lang::types::ProgramTypes;
 /// assert!(parallel.procedure("add_n").unwrap().body.has_par());
 /// assert!(!report.records.is_empty());
 /// ```
-pub fn parallelize_program(
-    program: &Program,
-    types: &ProgramTypes,
-) -> (Program, TransformReport) {
+pub fn parallelize_program(program: &Program, types: &ProgramTypes) -> (Program, TransformReport) {
     pack_program(program, types, &PackOptions::default())
 }

@@ -61,7 +61,9 @@ pub fn pack_program_with_analysis(
     analysis: &AnalysisResult,
     options: &PackOptions,
 ) -> (Program, TransformReport) {
-    let mut analyzer = Analyzer::new(program, types);
+    // The analysis already computed the argument-mode summaries; reuse them
+    // so a cached AnalysisResult makes packing cost only the packing walk.
+    let mut analyzer = Analyzer::with_summaries(program, types, analysis.summaries.clone());
     analyzer.set_record_calls(false);
     let mut report = TransformReport::default();
     let mut procedures = Vec::with_capacity(program.procedures.len());
@@ -154,10 +156,7 @@ impl Packer<'_, '_> {
                 }
             }
             Stmt::Par { arms, span } => Stmt::Par {
-                arms: arms
-                    .into_iter()
-                    .map(|a| self.pack_stmt(a, state))
-                    .collect(),
+                arms: arms.into_iter().map(|a| self.pack_stmt(a, state)).collect(),
                 span,
             },
             simple => simple,
@@ -209,8 +208,7 @@ impl Packer<'_, '_> {
                 continue;
             }
 
-            let arms_full =
-                self.options.max_arms != 0 && group.len() >= self.options.max_arms;
+            let arms_full = self.options.max_arms != 0 && group.len() >= self.options.max_arms;
             let mut candidate: Vec<&Stmt> = group.iter().collect();
             candidate.push(&stmt);
             // The disjointness guarantees behind the interference analysis
@@ -298,7 +296,10 @@ mod tests {
             "{printed}"
         );
         // reverse(root) must stay sequential (root is related to both sides).
-        assert!(!printed.contains("add_n(rside, -1) || reverse(root)"), "{printed}");
+        assert!(
+            !printed.contains("add_n(rside, -1) || reverse(root)"),
+            "{printed}"
+        );
         assert!(!printed.contains("reverse(root) ||"), "{printed}");
 
         // add_n: value update and the two loads in parallel; the two

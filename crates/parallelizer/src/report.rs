@@ -84,7 +84,11 @@ impl fmt::Display for TransformReport {
         if self.records.is_empty() {
             return writeln!(f, "no parallelism detected");
         }
-        writeln!(f, "{} parallel statement(s) introduced:", self.records.len())?;
+        writeln!(
+            f,
+            "{} parallel statement(s) introduced:",
+            self.records.len()
+        )?;
         for r in &self.records {
             writeln!(f, "{r}")?;
         }

@@ -87,7 +87,8 @@ fn split_stmt(
         } => Stmt::If {
             cond,
             then_branch: Box::new(split_stmt(analyzer, *then_branch, state, sig, report)),
-            else_branch: else_branch.map(|e| Box::new(split_stmt(analyzer, *e, state, sig, report))),
+            else_branch: else_branch
+                .map(|e| Box::new(split_stmt(analyzer, *e, state, sig, report))),
             span,
         },
         Stmt::While { cond, body, span } => {
@@ -187,7 +188,7 @@ fn find_split<'a>(
         if mid >= delta && mid - delta >= 1 {
             candidates.push(mid - delta);
         }
-        if mid + delta <= n - 1 {
+        if mid + delta < n {
             candidates.push(mid + delta);
         }
     }
@@ -242,7 +243,11 @@ return (t)
         let (program, types) = frontend(src).unwrap();
         let (split, report) = split_program(&program, &types);
         let printed = pretty_program(&split);
-        assert_eq!(report.count_of(TransformKind::SequenceSplit), 1, "{printed}");
+        assert_eq!(
+            report.count_of(TransformKind::SequenceSplit),
+            1,
+            "{printed}"
+        );
         assert!(split.procedure("main").unwrap().body.has_par());
         // the two halves each touch one subtree
         let record = &report.records[0];

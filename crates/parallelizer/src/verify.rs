@@ -11,11 +11,11 @@
 //! checked with the §5.3 relative-interference method; anything else is
 //! conservatively reported as unverifiable.
 
+use sil_analysis::analyze_program;
 use sil_analysis::interference::{statements_independent, touches_node_locations};
 use sil_analysis::sequences::sequences_independent;
 use sil_analysis::state::AbstractState;
 use sil_analysis::transfer::Analyzer;
-use sil_analysis::analyze_program;
 use sil_lang::ast::*;
 use sil_lang::basic::BasicStmt;
 use sil_lang::pretty::pretty_stmt;
@@ -34,7 +34,11 @@ pub struct ParViolation {
 
 impl fmt::Display for ParViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "in `{}`: `{}` — {}", self.procedure, self.statement, self.reason)
+        write!(
+            f,
+            "in `{}`: `{}` — {}",
+            self.procedure, self.statement, self.reason
+        )
     }
 }
 
@@ -42,11 +46,13 @@ impl fmt::Display for ParViolation {
 /// means every `||` was proven interference-free.
 pub fn verify_parallel_program(program: &Program, types: &ProgramTypes) -> Vec<ParViolation> {
     let analysis = analyze_program(program, types);
-    let mut analyzer = Analyzer::new(program, types);
+    let mut analyzer = Analyzer::with_summaries(program, types, analysis.summaries.clone());
     analyzer.set_record_calls(false);
     let mut violations = Vec::new();
     for proc in &program.procedures {
-        let Some(sig) = types.proc(&proc.name) else { continue };
+        let Some(sig) = types.proc(&proc.name) else {
+            continue;
+        };
         let entry = analysis
             .procedure(&proc.name)
             .map(|a| a.entry.clone())
@@ -117,9 +123,9 @@ fn check_par(
     // that touch node locations under a possible DAG / cycle cannot be
     // verified.
     if !state.structure.is_tree()
-        && arms
-            .iter()
-            .any(|a| touches_node_locations(a, sig) || a.has_par() || matches!(a, Stmt::Block { .. }))
+        && arms.iter().any(|a| {
+            touches_node_locations(a, sig) || a.has_par() || matches!(a, Stmt::Block { .. })
+        })
     {
         violations.push(ParViolation {
             procedure: sig.name.clone(),
@@ -149,7 +155,8 @@ fn check_par(
     }
 
     // Case 2: arms are sequences of basic statements — §5.3.
-    let as_sequences: Option<Vec<Vec<Stmt>>> = arms.iter().map(arm_as_basic_sequence(sig)).collect();
+    let as_sequences: Option<Vec<Vec<Stmt>>> =
+        arms.iter().map(arm_as_basic_sequence(sig)).collect();
     if let Some(seqs) = as_sequences {
         for i in 0..seqs.len() {
             for j in (i + 1)..seqs.len() {

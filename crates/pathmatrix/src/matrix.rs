@@ -181,8 +181,16 @@ impl PathMatrix {
                 self.set(&other, dst, to_src);
             }
         }
-        self.set(dst, src, PathSet::singleton(Path::same(Certainty::Definite)));
-        self.set(src, dst, PathSet::singleton(Path::same(Certainty::Definite)));
+        self.set(
+            dst,
+            src,
+            PathSet::singleton(Path::same(Certainty::Definite)),
+        );
+        self.set(
+            src,
+            dst,
+            PathSet::singleton(Path::same(Certainty::Definite)),
+        );
     }
 
     /// Whether `a` and `b` are *unrelated*: no path in either direction and

@@ -70,7 +70,10 @@ impl Path {
     /// Build a path from a sequence of links, normalizing adjacent links of
     /// the same direction and widening over-long paths.
     pub fn from_links(links: Vec<Link>, certainty: Certainty) -> Path {
-        assert!(!links.is_empty(), "link paths must be non-empty; use Path::same");
+        assert!(
+            !links.is_empty(),
+            "link paths must be non-empty; use Path::same"
+        );
         let mut normalized: Vec<Link> = Vec::with_capacity(links.len());
         for link in links {
             match normalized.last_mut() {
@@ -205,8 +208,11 @@ impl Path {
                     // any pair disagrees on direction badly.  Element-wise
                     // generalization is always an upper bound because each
                     // segment's concretizations are covered.
-                    let links: Vec<Link> =
-                        a.iter().zip(b.iter()).map(|(x, y)| x.generalize(y)).collect();
+                    let links: Vec<Link> = a
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| x.generalize(y))
+                        .collect();
                     return Some(Path::from_links(links, certainty));
                 }
                 let sa = Self::summarize_links(a);

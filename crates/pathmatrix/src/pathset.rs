@@ -132,10 +132,7 @@ impl PathSet {
         for (mine, theirs) in [(self, other), (other, self)] {
             for p in &mine.paths {
                 let certainty = if p.is_definite()
-                    && theirs
-                        .paths
-                        .iter()
-                        .any(|q| q.is_definite() && p.covers(q))
+                    && theirs.paths.iter().any(|q| q.is_definite() && p.covers(q))
                 {
                     Certainty::Definite
                 } else {

@@ -42,10 +42,7 @@ impl fmt::Display for RuntimeError {
                 name,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "`{name}` expects {expected} argument(s), got {actual}"
-            ),
+            } => write!(f, "`{name}` expects {expected} argument(s), got {actual}"),
             RuntimeError::UninitializedVariable { name } => {
                 write!(f, "variable `{name}` used before it was assigned")
             }

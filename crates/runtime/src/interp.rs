@@ -272,9 +272,11 @@ impl<'a> Interpreter<'a> {
             }
             LValue::Field(path, field) => {
                 let id = self.eval_path_to_node(path, frame, log)?;
-                let child = value.as_handle().ok_or_else(|| RuntimeError::TypeMismatch {
-                    context: format!("{path}.{field} := <int>"),
-                })?;
+                let child = value
+                    .as_handle()
+                    .ok_or_else(|| RuntimeError::TypeMismatch {
+                        context: format!("{path}.{field} := <int>"),
+                    })?;
                 self.log_access(log, Access::write(Target::NodeField(id, *field)));
                 self.store.set_child(id, *field, child);
             }
@@ -350,9 +352,11 @@ impl<'a> Interpreter<'a> {
             }
         }
         let result = match (&proc.return_type, &proc.return_var) {
-            (Some(_), Some(var)) => Some(frame.get(var).ok_or_else(|| {
-                RuntimeError::UninitializedVariable { name: var.clone() }
-            })?),
+            (Some(_), Some(var)) => Some(
+                frame
+                    .get(var)
+                    .ok_or_else(|| RuntimeError::UninitializedVariable { name: var.clone() })?,
+            ),
             _ => None,
         };
         Ok((result, cost))
@@ -393,9 +397,11 @@ impl<'a> Interpreter<'a> {
                 let v = self.eval_expr(inner, frame, log)?;
                 match op {
                     UnOp::Neg => Ok(Value::Int(-self.expect_int(&v, "unary -")?)),
-                    UnOp::Not => Ok(Value::Int(
-                        if self.expect_int(&v, "not")? == 0 { 1 } else { 0 },
-                    )),
+                    UnOp::Not => Ok(Value::Int(if self.expect_int(&v, "not")? == 0 {
+                        1
+                    } else {
+                        0
+                    })),
                 }
             }
             Expr::Binary(op, lhs, rhs) => {
@@ -475,11 +481,12 @@ impl<'a> Interpreter<'a> {
         log: &mut Option<AccessLog>,
     ) -> Result<Value, RuntimeError> {
         self.log_access(log, Access::read(Target::Var(path.base.clone())));
-        let mut current = frame
-            .get(&path.base)
-            .ok_or_else(|| RuntimeError::UninitializedVariable {
-                name: path.base.clone(),
-            })?;
+        let mut current =
+            frame
+                .get(&path.base)
+                .ok_or_else(|| RuntimeError::UninitializedVariable {
+                    name: path.base.clone(),
+                })?;
         for field in &path.fields {
             let id = current
                 .as_handle()
@@ -865,7 +872,11 @@ end
         assert!(
             outcome.races.is_empty(),
             "Figure 8 must be race free: {:?}",
-            outcome.races.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+            outcome
+                .races
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -112,7 +112,10 @@ impl BinOp {
     /// Whether the operator compares its operands (and therefore accepts two
     /// handles, as in `h <> nil`).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -500,7 +503,10 @@ mod tests {
     fn procedure_queries() {
         let p = Procedure {
             name: "add_n".into(),
-            params: vec![Decl::new("h", TypeName::Handle), Decl::new("n", TypeName::Int)],
+            params: vec![
+                Decl::new("h", TypeName::Handle),
+                Decl::new("n", TypeName::Int),
+            ],
             locals: vec![Decl::new("l", TypeName::Handle)],
             body: Stmt::block(vec![]),
             return_type: None,

@@ -64,7 +64,11 @@ impl<'a> BasicStmt<'a> {
         }
     }
 
-    fn classify_assign(lhs: &'a LValue, rhs: &'a Rhs, sig: &ProcSignature) -> Option<BasicStmt<'a>> {
+    fn classify_assign(
+        lhs: &'a LValue,
+        rhs: &'a Rhs,
+        sig: &ProcSignature,
+    ) -> Option<BasicStmt<'a>> {
         match lhs {
             LValue::Var(dst) => {
                 let dst_ty = sig.var_type(dst)?;
@@ -73,10 +77,9 @@ impl<'a> BasicStmt<'a> {
                     Rhs::Call(func, args) => Some(BasicStmt::FuncAssign { dst, func, args }),
                     Rhs::Expr(Expr::Nil) => Some(BasicStmt::AssignNil { dst }),
                     Rhs::Expr(expr) if dst_ty == Type::Handle => match expr {
-                        Expr::Path(p) if p.is_var() => Some(BasicStmt::AssignCopy {
-                            dst,
-                            src: &p.base,
-                        }),
+                        Expr::Path(p) if p.is_var() => {
+                            Some(BasicStmt::AssignCopy { dst, src: &p.base })
+                        }
                         Expr::Path(p) if p.fields.len() == 1 => Some(BasicStmt::AssignLoad {
                             dst,
                             src: &p.base,
@@ -85,10 +88,9 @@ impl<'a> BasicStmt<'a> {
                         _ => None,
                     },
                     Rhs::Expr(expr) => match expr {
-                        Expr::Value(p) if p.is_var() => Some(BasicStmt::ValueLoad {
-                            dst,
-                            src: &p.base,
-                        }),
+                        Expr::Value(p) if p.is_var() => {
+                            Some(BasicStmt::ValueLoad { dst, src: &p.base })
+                        }
                         _ => Some(BasicStmt::ScalarAssign { dst, value: expr }),
                     },
                 }
@@ -174,7 +176,10 @@ mod tests {
     #[test]
     fn classifies_all_paper_forms() {
         assert_eq!(classify_src("a := nil"), BasicStmt::AssignNil { dst: "a" });
-        assert_eq!(classify_src("a := new()"), BasicStmt::AssignNew { dst: "a" });
+        assert_eq!(
+            classify_src("a := new()"),
+            BasicStmt::AssignNew { dst: "a" }
+        );
         assert_eq!(
             classify_src("a := b"),
             BasicStmt::AssignCopy { dst: "a", src: "b" }

@@ -348,6 +348,9 @@ mod tests {
             stmt::load("r", "h", Field::Right),
         ]);
         assert!(s.has_par());
-        assert_eq!(crate::pretty::pretty_stmt(&s), "l := h.left || r := h.right");
+        assert_eq!(
+            crate::pretty::pretty_stmt(&s),
+            "l := h.left || r := h.right"
+        );
     }
 }

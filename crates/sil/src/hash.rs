@@ -1,0 +1,164 @@
+//! Stable, content-addressed fingerprints of SIL ASTs.
+//!
+//! The engine memoizes per-procedure summaries and whole-program analysis
+//! results, keyed by the *content* of the (normalized) AST.  The key must be
+//! stable across processes and runs — `std::collections::hash_map`'s
+//! randomized hasher cannot be used — so this module provides a plain
+//! FNV-1a 64-bit hasher and fingerprints computed over the canonical form of
+//! the AST.
+//!
+//! The canonical form is the pretty-printed rendering of [`crate::pretty`]:
+//! the workspace already relies on pretty-printing being a total, faithful
+//! rendering (the parallelizer's output is pretty-printed and re-parsed by
+//! the verification tests), so two ASTs render identically iff they are the
+//! same program modulo spans — exactly the equivalence a content-addressed
+//! cache wants.  Spans, comments and incidental whitespace of the original
+//! source never reach the fingerprint.
+
+use crate::ast::{Procedure, Program};
+use crate::pretty::{pretty_procedure, pretty_program};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// An incremental FNV-1a hasher with length-prefixed field framing, so that
+/// `("ab", "c")` and `("a", "bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_u64(bytes.len() as u64);
+        for b in bytes {
+            self.state ^= u64::from(*b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    pub fn write_u64(&mut self, value: u64) -> &mut Self {
+        for b in value.to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn write_usize(&mut self, value: usize) -> &mut Self {
+        self.write_u64(value as u64)
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The stable fingerprint of one procedure: a pure function of its
+/// pretty-printed (canonical) form.
+pub fn procedure_fingerprint(proc: &Procedure) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_str("sil-procedure-v1");
+    hasher.write_str(&pretty_procedure(proc));
+    hasher.finish()
+}
+
+/// The stable fingerprint of a whole program, covering its name and every
+/// procedure in declaration order.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_str("sil-program-v1");
+    hasher.write_str(&pretty_program(program));
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    const SRC: &str = r#"
+program t
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := a.left;
+  x := 3
+end
+"#;
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let p1 = parse_program(SRC).unwrap();
+        let p2 = parse_program(SRC).unwrap();
+        assert_eq!(program_fingerprint(&p1), program_fingerprint(&p2));
+        assert_eq!(
+            procedure_fingerprint(&p1.procedures[0]),
+            procedure_fingerprint(&p2.procedures[0])
+        );
+    }
+
+    #[test]
+    fn fingerprints_ignore_incidental_whitespace() {
+        let reformatted = SRC.replace("  a, b: handle", "  a,    b: handle");
+        let p1 = parse_program(SRC).unwrap();
+        let p2 = parse_program(&reformatted).unwrap();
+        assert_eq!(program_fingerprint(&p1), program_fingerprint(&p2));
+    }
+
+    #[test]
+    fn content_changes_change_the_fingerprint() {
+        let changed = SRC.replace("x := 3", "x := 4");
+        let p1 = parse_program(SRC).unwrap();
+        let p2 = parse_program(&changed).unwrap();
+        assert_ne!(program_fingerprint(&p1), program_fingerprint(&p2));
+        assert_ne!(
+            procedure_fingerprint(&p1.procedures[0]),
+            procedure_fingerprint(&p2.procedures[0])
+        );
+    }
+
+    #[test]
+    fn framing_distinguishes_field_boundaries() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -71,19 +71,17 @@ impl<'a> Lexer<'a> {
                         ));
                     }
                 }
-                b'<' => {
-                    match self.peek(1) {
-                        Some(b'>') => {
-                            self.push(TokenKind::Ne, start, start + 2);
-                            self.pos += 2;
-                        }
-                        Some(b'=') => {
-                            self.push(TokenKind::Le, start, start + 2);
-                            self.pos += 2;
-                        }
-                        _ => self.single(TokenKind::Lt, start),
+                b'<' => match self.peek(1) {
+                    Some(b'>') => {
+                        self.push(TokenKind::Ne, start, start + 2);
+                        self.pos += 2;
                     }
-                }
+                    Some(b'=') => {
+                        self.push(TokenKind::Le, start, start + 2);
+                        self.pos += 2;
+                    }
+                    _ => self.single(TokenKind::Lt, start),
+                },
                 b'>' => {
                     if self.peek(1) == Some(b'=') {
                         self.push(TokenKind::Ge, start, start + 2);
@@ -112,7 +110,8 @@ impl<'a> Lexer<'a> {
             }
         }
         let end = self.bytes.len() as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::new(end, end)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::new(end, end)));
         Ok(self.tokens)
     }
 
@@ -181,11 +180,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

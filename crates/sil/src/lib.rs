@@ -25,7 +25,9 @@
 //! * [`pretty`] — a pretty printer for both sequential and parallel programs,
 //! * [`builder`] — a programmatic AST construction API used by the workload
 //!   generators,
-//! * [`visit`] — generic AST visitors.
+//! * [`visit`] — generic AST visitors,
+//! * [`hash`] — stable content-addressed fingerprints of programs and
+//!   procedures, used by the analysis engine's memoization caches.
 //!
 //! ## Quick example
 //!
@@ -50,6 +52,7 @@ pub mod ast;
 pub mod basic;
 pub mod builder;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod live;
 pub mod normalize;
@@ -67,6 +70,7 @@ pub use ast::{
 };
 pub use basic::BasicStmt;
 pub use error::{Diagnostic, SilError};
+pub use hash::{procedure_fingerprint, program_fingerprint, StableHasher};
 pub use normalize::normalize_program;
 pub use parser::{parse_expr, parse_program, parse_stmt};
 pub use pretty::{pretty_program, pretty_stmt};

@@ -132,11 +132,7 @@ pub fn live_points(stmts: &[Stmt], live_at_exit: &BTreeSet<Ident>) -> Vec<BTreeS
 
 /// Restrict a set of names to the handle variables of `sig`.
 pub fn handles_only(names: &BTreeSet<Ident>, sig: &crate::types::ProcSignature) -> BTreeSet<Ident> {
-    names
-        .iter()
-        .filter(|n| sig.is_handle(n))
-        .cloned()
-        .collect()
+    names.iter().filter(|n| sig.is_handle(n)).cloned().collect()
 }
 
 #[cfg(test)]
@@ -150,14 +146,23 @@ mod tests {
 
     #[test]
     fn direct_uses_of_assignments() {
-        assert_eq!(direct_uses(&parse_stmt("a := b.left").unwrap()), set(&["b"]));
-        assert_eq!(direct_uses(&parse_stmt("a.left := b").unwrap()), set(&["a", "b"]));
+        assert_eq!(
+            direct_uses(&parse_stmt("a := b.left").unwrap()),
+            set(&["b"])
+        );
+        assert_eq!(
+            direct_uses(&parse_stmt("a.left := b").unwrap()),
+            set(&["a", "b"])
+        );
         assert_eq!(
             direct_uses(&parse_stmt("h.value := h.value + n").unwrap()),
             set(&["h", "n"])
         );
         assert_eq!(direct_uses(&parse_stmt("a := new()").unwrap()), set(&[]));
-        assert_eq!(direct_uses(&parse_stmt("f(a, x + y)").unwrap()), set(&["a", "x", "y"]));
+        assert_eq!(
+            direct_uses(&parse_stmt("f(a, x + y)").unwrap()),
+            set(&["a", "x", "y"])
+        );
     }
 
     #[test]
@@ -229,7 +234,9 @@ mod tests {
     #[test]
     fn live_points_per_statement() {
         let s = parse_stmt("begin a := h; b := a.left; c := a.right end").unwrap();
-        let Stmt::Block { stmts, .. } = &s else { unreachable!() };
+        let Stmt::Block { stmts, .. } = &s else {
+            unreachable!()
+        };
         let pts = live_points(stmts, &set(&["b", "c"]));
         assert_eq!(pts.len(), 4);
         assert_eq!(pts[0], set(&["h"]));

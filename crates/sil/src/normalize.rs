@@ -33,11 +33,7 @@ use crate::span::Span;
 pub fn normalize_program(program: &Program) -> Program {
     Program {
         name: program.name.clone(),
-        procedures: program
-            .procedures
-            .iter()
-            .map(normalize_procedure)
-            .collect(),
+        procedures: program.procedures.iter().map(normalize_procedure).collect(),
         span: program.span,
     }
 }
@@ -449,7 +445,10 @@ mod tests {
         let proc = Procedure {
             name: "main".into(),
             params: vec![],
-            locals: vec![Decl::new("a", TypeName::Handle), Decl::new("x", TypeName::Int)],
+            locals: vec![
+                Decl::new("a", TypeName::Handle),
+                Decl::new("x", TypeName::Int),
+            ],
             body: stmt,
             return_type: None,
             return_var: None,
@@ -474,7 +473,10 @@ mod tests {
         let proc = Procedure {
             name: "main".into(),
             params: vec![],
-            locals: vec![Decl::new("a", TypeName::Handle), Decl::new("b", TypeName::Handle)],
+            locals: vec![
+                Decl::new("a", TypeName::Handle),
+                Decl::new("b", TypeName::Handle),
+            ],
             body: stmt,
             return_type: None,
             return_var: None,

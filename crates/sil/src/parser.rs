@@ -109,7 +109,11 @@ impl Parser {
             Ok(())
         } else {
             Err(SilError::parse(
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }

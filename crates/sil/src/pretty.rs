@@ -118,10 +118,7 @@ fn render_stmt_at(stmt: &Stmt, level: usize, _top: bool) -> String {
             s
         }
         Stmt::Par { arms, .. } => {
-            let rendered: Vec<String> = arms
-                .iter()
-                .map(|a| render_stmt_at(a, 0, false))
-                .collect();
+            let rendered: Vec<String> = arms.iter().map(|a| render_stmt_at(a, 0, false)).collect();
             format!("{pad}{}", rendered.join(" || "))
         }
     }
@@ -252,7 +249,10 @@ end
 "#;
         let prog = parse_program(src).unwrap();
         let printed = pretty_program(&prog);
-        assert!(printed.contains("a, b: handle; n: int; c: handle"), "{printed}");
+        assert!(
+            printed.contains("a, b: handle; n: int; c: handle"),
+            "{printed}"
+        );
     }
 
     #[test]

@@ -166,7 +166,10 @@ impl<'a> Checker<'a> {
             let ty = Type::of(decl.ty);
             if vars.insert(decl.name.clone(), ty).is_some() {
                 self.error(
-                    format!("duplicate declaration of `{}` in `{}`", decl.name, proc.name),
+                    format!(
+                        "duplicate declaration of `{}` in `{}`",
+                        decl.name, proc.name
+                    ),
                     decl.span,
                 );
             }
@@ -289,7 +292,10 @@ impl<'a> Checker<'a> {
         sig: &ProcSignature,
     ) -> Option<Type> {
         let Some(callee) = self.types.procs.get(name).cloned() else {
-            self.error(format!("call to undefined procedure or function `{name}`"), span);
+            self.error(
+                format!("call to undefined procedure or function `{name}`"),
+                span,
+            );
             return None;
         };
         if expects_value.is_some() && callee.return_type.is_none() {
@@ -346,7 +352,10 @@ impl<'a> Checker<'a> {
     fn expect_type(&mut self, expr: &Expr, expected: Type, span: Span, sig: &ProcSignature) {
         if let Some(actual) = self.type_of_expr(expr, span, sig) {
             if actual != expected {
-                self.error(format!("expected {expected} expression, found {actual}"), span);
+                self.error(
+                    format!("expected {expected} expression, found {actual}"),
+                    span,
+                );
             }
         }
     }
@@ -378,7 +387,10 @@ impl<'a> Checker<'a> {
                 match op {
                     UnOp::Neg => {
                         if inner_ty != Type::Int {
-                            self.error(format!("unary `-` requires an int, found {inner_ty}"), span);
+                            self.error(
+                                format!("unary `-` requires an int, found {inner_ty}"),
+                                span,
+                            );
                         }
                         Some(Type::Int)
                     }
@@ -521,8 +533,7 @@ mod tests {
 
     #[test]
     fn rejects_nil_compared_to_int() {
-        let err =
-            check_err("program p procedure main() x: int begin if x = nil then x := 1 end");
+        let err = check_err("program p procedure main() x: int begin if x = nil then x := 1 end");
         assert!(err.contains("cannot compare int with handle"), "{err}");
     }
 
@@ -586,9 +597,8 @@ mod tests {
 
     #[test]
     fn value_field_is_int() {
-        let err = check_err(
-            "program p procedure main() a, b: handle begin a := new(); b := a.value end",
-        );
+        let err =
+            check_err("program p procedure main() a, b: handle begin a := new(); b := a.value end");
         assert!(err.contains("cannot assign int value to handle"), "{err}");
     }
 }

@@ -186,8 +186,10 @@ mod tests {
 
     #[test]
     fn collect_simple_stmts_in_order() {
-        let s = parse_stmt("begin a := nil; if a <> nil then b := a; while a <> nil do a := a.left end")
-            .unwrap();
+        let s = parse_stmt(
+            "begin a := nil; if a <> nil then b := a; while a <> nil do a := a.left end",
+        )
+        .unwrap();
         let simple = collect_simple_stmts(&s);
         assert_eq!(simple.len(), 3);
         assert!(matches!(simple[0], Stmt::Assign { .. }));
@@ -197,7 +199,10 @@ mod tests {
     fn collect_variables_dedups() {
         let s = parse_stmt("begin a := b; b := a; x := a.value end").unwrap();
         let vars = collect_variables(&s);
-        assert_eq!(vars, vec!["a".to_string(), "b".to_string(), "x".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["a".to_string(), "b".to_string(), "x".to_string()]
+        );
     }
 
     #[test]

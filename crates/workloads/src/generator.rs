@@ -59,8 +59,9 @@ impl ProgramGenerator {
 
     /// Generate a program with a single straight-line `main`.
     pub fn generate(&mut self) -> Program {
-        let handle_names: Vec<String> =
-            (0..self.config.handle_vars).map(Self::handle_name).collect();
+        let handle_names: Vec<String> = (0..self.config.handle_vars)
+            .map(Self::handle_name)
+            .collect();
         let int_names: Vec<String> = (0..self.config.int_vars).map(Self::int_name).collect();
 
         let mut builder = ProcBuilder::procedure("main");
@@ -108,7 +109,7 @@ impl ProgramGenerator {
         &mut self,
         handles: &[String],
         ints: &[String],
-        non_nil: &mut Vec<bool>,
+        non_nil: &mut [bool],
     ) -> sil_lang::ast::Stmt {
         let choice = self.rng.gen_range(0..100);
         let field = if self.rng.gen_bool(0.5) {

@@ -63,8 +63,7 @@ impl Tree {
 
     /// Number of nodes.
     pub fn size(&self) -> usize {
-        1 + self.left.as_deref().map_or(0, Tree::size)
-            + self.right.as_deref().map_or(0, Tree::size)
+        1 + self.left.as_deref().map_or(0, Tree::size) + self.right.as_deref().map_or(0, Tree::size)
     }
 
     /// In-order values.
@@ -194,7 +193,7 @@ pub fn treeadd_par(tree: &mut Option<Box<Tree>>) -> i64 {
 pub fn bisort_seq(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
     let Some(t) = tree else { return spare };
     if t.left.is_none() {
-        if (t.value > spare) != !ascending {
+        if (t.value > spare) == ascending {
             let v = t.value;
             t.value = spare;
             return v;
@@ -212,7 +211,7 @@ pub fn bisort_seq(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> 
 pub fn bisort_par(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> i64 {
     let Some(t) = tree else { return spare };
     if t.left.is_none() {
-        if (t.value > spare) != !ascending {
+        if (t.value > spare) == ascending {
             let v = t.value;
             t.value = spare;
             return v;
@@ -231,7 +230,7 @@ pub fn bisort_par(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) -> 
 
 fn bimerge_seq(t: &mut Tree, spare: i64, ascending: bool) -> i64 {
     let mut spare = spare;
-    let right_exchange = (t.value > spare) != !ascending;
+    let right_exchange = (t.value > spare) == ascending;
     if right_exchange {
         std::mem::swap(&mut t.value, &mut spare);
     }
@@ -252,7 +251,7 @@ fn bimerge_opt_seq(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) ->
 
 fn bimerge_par(t: &mut Tree, spare: i64, ascending: bool) -> i64 {
     let mut spare = spare;
-    let right_exchange = (t.value > spare) != !ascending;
+    let right_exchange = (t.value > spare) == ascending;
     if right_exchange {
         std::mem::swap(&mut t.value, &mut spare);
     }
@@ -282,7 +281,7 @@ fn bimerge_opt_par(tree: &mut Option<Box<Tree>>, spare: i64, ascending: bool) ->
 fn spine_walk(t: &mut Tree, right_exchange: bool, ascending: bool) {
     let (mut pl, mut pr) = (t.left.as_deref_mut(), t.right.as_deref_mut());
     while let (Some(l), Some(r)) = (pl, pr) {
-        let element_exchange = (l.value > r.value) != !ascending;
+        let element_exchange = (l.value > r.value) == ascending;
         if right_exchange {
             if element_exchange {
                 std::mem::swap(&mut l.value, &mut r.value);
@@ -303,6 +302,63 @@ fn spine_walk(t: &mut Tree, right_exchange: bool, ascending: bool) {
             pr = r.left.as_deref_mut();
         }
     }
+}
+
+/// A singly linked list cell, mirroring the SIL encoding of lists: the
+/// `.left` field is the `next` pointer, `.right` stays nil.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListNode {
+    pub value: i64,
+    pub next: Option<Box<ListNode>>,
+}
+
+/// A list of `n` cells with values n..1 from the head, exactly like the SIL
+/// `build_list` function.
+pub fn build_list(n: u32) -> Option<Box<ListNode>> {
+    if n == 0 {
+        return None;
+    }
+    Some(Box::new(ListNode {
+        value: n as i64,
+        next: build_list(n - 1),
+    }))
+}
+
+/// Sum a list, sequentially (a pointer chase — the paper's point about list
+/// structures is that traversal order, not fork/join parallelism, is what
+/// the path matrices certify here).
+pub fn list_sum_seq(list: &Option<Box<ListNode>>) -> i64 {
+    let mut total = 0;
+    let mut cursor = list;
+    while let Some(node) = cursor {
+        total += node.value;
+        cursor = &node.next;
+    }
+    total
+}
+
+/// Reverse a list in place with the three-pointer loop the SIL
+/// `list_reverse` workload uses.
+pub fn list_reverse_seq(list: Option<Box<ListNode>>) -> Option<Box<ListNode>> {
+    let mut prev: Option<Box<ListNode>> = None;
+    let mut cur = list;
+    while let Some(mut node) = cur {
+        cur = node.next.take();
+        node.next = prev;
+        prev = Some(node);
+    }
+    prev
+}
+
+/// The values of a list, head first.
+pub fn list_values(list: &Option<Box<ListNode>>) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut cursor = list;
+    while let Some(node) = cursor {
+        out.push(node.value);
+        cursor = &node.next;
+    }
+    out
 }
 
 /// Collect the sorted sequence produced by bisort: the in-order traversal of
@@ -381,6 +437,24 @@ mod tests {
         let sb = bisort_par(&mut b, 99_991, true);
         assert_eq!(sa, sb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn list_sum_matches_closed_form() {
+        let list = build_list(100);
+        assert_eq!(list_sum_seq(&list), 100 * 101 / 2);
+        assert_eq!(list_sum_seq(&None), 0);
+    }
+
+    #[test]
+    fn list_reverse_reverses() {
+        let list = build_list(10);
+        assert_eq!(list_values(&list), (1..=10).rev().collect::<Vec<i64>>());
+        let reversed = list_reverse_seq(list);
+        assert_eq!(list_values(&reversed), (1..=10).collect::<Vec<i64>>());
+        // reversal preserves the sum
+        assert_eq!(list_sum_seq(&reversed), 55);
+        assert_eq!(list_reverse_seq(None), None);
     }
 
     #[test]

@@ -25,11 +25,16 @@ pub enum Workload {
     /// Adaptive bitonic sort over a perfect tree (the [BN86] reference of
     /// the paper's conclusions).
     Bisort,
+    /// Sum a linked list (recursive traversal over a left-spine list — the
+    /// paper's list structures, section 2).
+    ListSum,
+    /// Reverse a linked list in place with the classic three-pointer loop.
+    ListReverse,
 }
 
 impl Workload {
     /// All workloads, in a stable order.
-    pub const ALL: [Workload; 8] = [
+    pub const ALL: [Workload; 10] = [
         Workload::AddAndReverse,
         Workload::Leftmost,
         Workload::TreeSum,
@@ -38,6 +43,8 @@ impl Workload {
         Workload::TreeAdd,
         Workload::BstInsert,
         Workload::Bisort,
+        Workload::ListSum,
+        Workload::ListReverse,
     ];
 
     /// A short stable name (used in benchmark ids and reports).
@@ -51,6 +58,8 @@ impl Workload {
             Workload::TreeAdd => "treeadd",
             Workload::BstInsert => "bst_insert",
             Workload::Bisort => "bisort",
+            Workload::ListSum => "list_sum",
+            Workload::ListReverse => "list_reverse",
         }
     }
 
@@ -66,6 +75,8 @@ impl Workload {
             Workload::TreeAdd => treeadd(size),
             Workload::BstInsert => bst_insert(size),
             Workload::Bisort => bisort(size),
+            Workload::ListSum => list_sum(size),
+            Workload::ListReverse => list_reverse(size),
         }
     }
 
@@ -73,6 +84,7 @@ impl Workload {
     pub fn test_size(&self) -> u32 {
         match self {
             Workload::BstInsert => 64,
+            Workload::ListSum | Workload::ListReverse => 24,
             _ => 6,
         }
     }
@@ -552,6 +564,95 @@ return (res)
     )
 }
 
+/// The shared `build_list` function: a singly linked list of `n` cells
+/// chained through `.left` (the `.right` field stays nil), values n..1 from
+/// the head — SIL's encoding of the paper's list structures.
+fn build_list_function() -> &'static str {
+    r#"
+function build_list(n: int) handle
+  t, rest: handle; m: int
+begin
+  t := nil;
+  if n > 0 then
+  begin
+    t := new();
+    t.value := n;
+    m := n - 1;
+    rest := build_list(m);
+    t.left := rest
+  end
+end
+return (t)
+"#
+}
+
+/// Recursive sum over a linked list.  The path matrices here are list
+/// matrices: every relation is a pure `L^i` / `L+` path.
+pub fn list_sum(len: u32) -> String {
+    format!(
+        r#"
+program list_sum
+
+procedure main()
+  head: handle; n, total: int
+begin
+  n := {len};
+  head := build_list(n);
+  total := lsum(head)
+end
+
+function lsum(h: handle) int
+  rest: handle; s, a: int
+begin
+  s := 0;
+  if h <> nil then
+  begin
+    rest := h.left;
+    a := lsum(rest);
+    s := h.value + a
+  end
+end
+return (s)
+{build_list}
+"#,
+        len = len,
+        build_list = build_list_function()
+    )
+}
+
+/// In-place linked-list reversal with the classic three-pointer loop: the
+/// `cur.left := prev` store repeatedly redirects a list cell, exercising the
+/// structural-update transfer functions on list-shaped matrices.
+pub fn list_reverse(len: u32) -> String {
+    format!(
+        r#"
+program list_reverse
+
+procedure main()
+  head, prev, cur, next: handle; n, check: int
+begin
+  n := {len};
+  head := build_list(n);
+  prev := nil;
+  cur := head;
+  while cur <> nil do
+  begin
+    next := cur.left;
+    cur.left := prev;
+    prev := cur;
+    cur := next
+  end;
+  head := prev;
+  if head <> nil then
+    check := head.value
+end
+{build_list}
+"#,
+        len = len,
+        build_list = build_list_function()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +704,21 @@ mod tests {
         assert!(small.contains("d := 2"));
         assert!(large.contains("d := 12"));
         assert_ne!(small, large);
+    }
+
+    #[test]
+    fn list_workloads_use_the_left_spine() {
+        let (program, _) = frontend(&list_sum(8)).unwrap();
+        assert!(program.procedure("build_list").unwrap().is_function());
+        assert!(program.procedure("lsum").unwrap().is_function());
+        let printed = sil_lang::pretty::pretty_program(&program);
+        assert!(printed.contains(".left"), "lists chain through .left");
+        assert!(!printed.contains(".right"), "list cells never use .right");
+
+        let (reverse, _) = frontend(&list_reverse(8)).unwrap();
+        let main = sil_lang::pretty::pretty_procedure(reverse.procedure("main").unwrap());
+        assert!(main.contains("while cur <> nil do"));
+        assert!(main.contains("cur.left := prev"));
     }
 
     #[test]

@@ -21,11 +21,28 @@ fn main() {
 
     println!("== Figure 7: path matrices ==\n");
     println!("pA (main, before add_n(lside, 1)):");
-    println!("{}", main_proc.state_before_call("add_n", 0).unwrap().matrix.render());
+    println!(
+        "{}",
+        main_proc
+            .state_before_call("add_n", 0)
+            .unwrap()
+            .matrix
+            .render()
+    );
     println!("pB (add_n, before the recursive calls):");
-    println!("{}", add_n.state_before_call("add_n", 0).unwrap().matrix.render());
+    println!(
+        "{}",
+        add_n.state_before_call("add_n", 0).unwrap().matrix.render()
+    );
     println!("pC (reverse, before the recursive calls):");
-    println!("{}", reverse.state_before_call("reverse", 0).unwrap().matrix.render());
+    println!(
+        "{}",
+        reverse
+            .state_before_call("reverse", 0)
+            .unwrap()
+            .matrix
+            .render()
+    );
 
     println!(
         "lside/rside unrelated at A: {}",

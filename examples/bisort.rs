@@ -29,10 +29,7 @@ fn main() {
     let summaries = &analysis.summaries;
     for name in ["bisort", "bimerge"] {
         let summary = &summaries[name];
-        println!(
-            "  {name}: argument modes = {:?}",
-            summary.handle_args
-        );
+        println!("  {name}: argument modes = {:?}", summary.handle_args);
     }
 
     // ----- parallelization ---------------------------------------------------
@@ -75,7 +72,10 @@ fn main() {
     let spare = native::bisort_seq(&mut t_seq, i64::MAX, true);
     let seq_time = start.elapsed();
     let sorted = native::bisort_sequence(&t_seq, spare);
-    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "native sort is correct");
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "native sort is correct"
+    );
 
     let mut t_par = native::Tree::perfect_keyed(native_depth, 1);
     let start = Instant::now();

@@ -55,7 +55,10 @@ fn check(label: &str, source: &str) {
     // Static check: every parallel statement against the path-matrix
     // interference analysis.
     let violations = verify_parallel_program(&program, &types);
-    println!("[{label}] static verification: {} violation(s)", violations.len());
+    println!(
+        "[{label}] static verification: {} violation(s)",
+        violations.len()
+    );
     for v in &violations {
         println!("    {v}");
     }
@@ -67,7 +70,10 @@ fn check(label: &str, source: &str) {
     };
     let mut interp = Interpreter::with_config(&program, &types, config);
     let outcome = interp.run().expect("program runs");
-    println!("[{label}] dynamic race detector: {} race(s)", outcome.races.len());
+    println!(
+        "[{label}] dynamic race detector: {} race(s)",
+        outcome.races.len()
+    );
     for race in outcome.races.iter().take(5) {
         println!("    {race}");
     }
@@ -76,7 +82,10 @@ fn check(label: &str, source: &str) {
 
 fn main() {
     // The correctly parallelized program of Figure 8 passes both checks.
-    check("figure-8", sil_parallel::lang::testsrc::ADD_AND_REVERSE_PARALLEL);
+    check(
+        "figure-8",
+        sil_parallel::lang::testsrc::ADD_AND_REVERSE_PARALLEL,
+    );
 
     // The buggy program is caught by the static verifier, and the dynamic
     // detector confirms the race is real.

@@ -53,7 +53,11 @@ return (t)
 
     // 1. Front end: parse, normalize to basic handle statements, type check.
     let (program, types) = frontend(source).expect("the program is valid SIL");
-    println!("parsed `{}` with {} procedures\n", program.name, program.procedures.len());
+    println!(
+        "parsed `{}` with {} procedures\n",
+        program.name,
+        program.procedures.len()
+    );
 
     // 2. Path-matrix interference analysis (the paper's Section 4).
     let analysis = analyze_program(&program, &types);

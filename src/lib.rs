@@ -12,6 +12,7 @@
 //! | [`parallelizer`] | `sil-parallelizer` | statement/call packing, sequence splitting, parallel-program verification (§5) |
 //! | [`runtime`] | `sil-runtime` | interpreter, rayon-backed parallel executor, work/span cost model, race detector |
 //! | [`workloads`] | `sil-workloads` | benchmark SIL programs, random program generator, native Rust reference kernels |
+//! | [`engine`] | `sil-engine` | batched, memoizing analysis service: content-addressed program/summary caches (LRU/LFU), SCC-parallel scheduling, the `silp` CLI |
 //!
 //! ## The 30-second tour
 //!
@@ -44,6 +45,7 @@
 //! ```
 
 pub use sil_analysis as analysis;
+pub use sil_engine as engine;
 pub use sil_lang as lang;
 pub use sil_parallelizer as parallelizer;
 pub use sil_pathmatrix as pathmatrix;
@@ -53,6 +55,7 @@ pub use sil_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sil_analysis::{analyze_program, AbstractState, AnalysisResult, StructureKind};
+    pub use sil_engine::{Engine, EngineConfig, EvictionPolicy, ProcessOptions};
     pub use sil_lang::{frontend, parse_program, pretty_program, Program};
     pub use sil_parallelizer::{parallelize_program, verify_parallel_program, TransformReport};
     pub use sil_pathmatrix::{PathMatrix, PathSet};
@@ -72,5 +75,15 @@ mod tests {
         assert!(analysis.preserves_tree());
         let (parallel, _) = parallelize_program(&program, &types);
         assert!(parallel.procedure("sum").is_some());
+    }
+
+    #[test]
+    fn engine_is_reachable_through_the_facade() {
+        let engine = Engine::new(EngineConfig::default());
+        let src = Workload::TreeSum.source(3);
+        let first = engine.analyze_source(&src).unwrap();
+        let second = engine.analyze_source(&src).unwrap();
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(engine.stats().programs.hits, 1);
     }
 }

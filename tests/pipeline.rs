@@ -79,7 +79,11 @@ fn every_workload_survives_the_full_pipeline() {
             par_out.races.is_empty(),
             "{}: analysis-approved parallel program raced: {:?}",
             workload.name(),
-            par_out.races.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+            par_out
+                .races
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
         );
         assert_eq!(
             seq_out.allocated_nodes,
@@ -190,6 +194,39 @@ fn sil_tree_sum_agrees_with_native_sum() {
         .expect("total is an int");
     let native_total = native::sum_seq(&native::Tree::perfect(depth));
     assert_eq!(total, native_total);
+}
+
+#[test]
+fn sil_list_sum_agrees_with_native_list_sum() {
+    let len = 24u32;
+    let src = Workload::ListSum.source(len);
+    let (program, types) = frontend(&src).unwrap();
+    let mut interp = Interpreter::new(&program, &types);
+    let outcome = interp.run().unwrap();
+    let total = outcome
+        .main_frame
+        .get("total")
+        .and_then(|v| v.as_int())
+        .expect("total is an int");
+    assert_eq!(total, native::list_sum_seq(&native::build_list(len)));
+}
+
+#[test]
+fn sil_list_reverse_agrees_with_native_reversal() {
+    let len = 24u32;
+    let src = Workload::ListReverse.source(len);
+    let (program, types) = frontend(&src).unwrap();
+    let mut interp = Interpreter::new(&program, &types);
+    let outcome = interp.run().unwrap();
+    // After reversal the head is the old tail, whose value is 1.
+    let check = outcome
+        .main_frame
+        .get("check")
+        .and_then(|v| v.as_int())
+        .expect("check is an int");
+    let native_reversed = native::list_reverse_seq(native::build_list(len));
+    assert_eq!(Some(check), native_reversed.as_ref().map(|n| n.value));
+    assert_eq!(check, 1);
 }
 
 #[test]

@@ -7,46 +7,74 @@
 //!   checks, (b) passes the static verifier, (c) executes to exactly the
 //!   same heap as the sequential original, and (d) never races according to
 //!   the dynamic detector.
+//!
+//! The environment has no proptest, so the properties are driven by an
+//! explicit deterministic sampler: every case is reproducible from the case
+//! index printed in the failure message.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sil_parallel::pathmatrix::{Certainty, Dir, Link, Path, PathMatrix, PathSet};
 use sil_parallel::prelude::*;
 use sil_parallel::workloads::{GeneratorConfig, ProgramGenerator};
 
 // ---------------------------------------------------------------------------
-// strategies
+// samplers
 // ---------------------------------------------------------------------------
 
-fn dir_strategy() -> impl Strategy<Value = Dir> {
-    prop_oneof![Just(Dir::Left), Just(Dir::Right), Just(Dir::Down)]
+fn sample_dir(rng: &mut StdRng) -> Dir {
+    match rng.gen_range(0..3) {
+        0 => Dir::Left,
+        1 => Dir::Right,
+        _ => Dir::Down,
+    }
 }
 
-fn link_strategy() -> impl Strategy<Value = Link> {
-    (dir_strategy(), 1u32..4, any::<bool>()).prop_map(|(dir, n, exact)| {
-        if exact {
-            Link::exact(dir, n)
-        } else {
-            Link::at_least(dir, n)
-        }
-    })
+fn sample_link(rng: &mut StdRng) -> Link {
+    let dir = sample_dir(rng);
+    let n = rng.gen_range(1u32..4);
+    if rng.gen_bool(0.5) {
+        Link::exact(dir, n)
+    } else {
+        Link::at_least(dir, n)
+    }
 }
 
-fn path_strategy() -> impl Strategy<Value = Path> {
-    let certainty = prop_oneof![Just(Certainty::Definite), Just(Certainty::Possible)];
-    prop_oneof![
-        certainty.clone().prop_map(Path::same),
-        (proptest::collection::vec(link_strategy(), 1..4), certainty)
-            .prop_map(|(links, c)| Path::from_links(links, c)),
-    ]
+fn sample_certainty(rng: &mut StdRng) -> Certainty {
+    if rng.gen_bool(0.5) {
+        Certainty::Definite
+    } else {
+        Certainty::Possible
+    }
 }
 
-fn pathset_strategy() -> impl Strategy<Value = PathSet> {
-    proptest::collection::vec(path_strategy(), 0..4).prop_map(PathSet::from_paths)
+fn sample_path(rng: &mut StdRng) -> Path {
+    let certainty = sample_certainty(rng);
+    if rng.gen_bool(0.3) {
+        Path::same(certainty)
+    } else {
+        let len = rng.gen_range(1usize..4);
+        Path::from_links((0..len).map(|_| sample_link(rng)).collect(), certainty)
+    }
+}
+
+fn sample_pathset(rng: &mut StdRng) -> PathSet {
+    let len = rng.gen_range(0usize..4);
+    PathSet::from_paths((0..len).map(|_| sample_path(rng)).collect::<Vec<_>>())
 }
 
 /// A concrete path: a sequence of concrete edge directions.
-fn concrete_path_strategy() -> impl Strategy<Value = Vec<Dir>> {
-    proptest::collection::vec(prop_oneof![Just(Dir::Left), Just(Dir::Right)], 1..6)
+fn sample_concrete(rng: &mut StdRng) -> Vec<Dir> {
+    let len = rng.gen_range(1usize..6);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Dir::Left
+            } else {
+                Dir::Right
+            }
+        })
+        .collect()
 }
 
 fn concrete_to_path(dirs: &[Dir]) -> Path {
@@ -56,123 +84,154 @@ fn concrete_to_path(dirs: &[Dir]) -> Path {
     )
 }
 
+/// Run `cases` deterministic samples of `property`, labelling failures with
+/// the case index (re-runnable: the sampler is seeded with that index).
+fn for_cases(cases: u64, mut property: impl FnMut(&mut StdRng)) {
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + case);
+        property(&mut rng);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // path-domain laws
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// `generalize` is an upper bound of both inputs.
-    #[test]
-    fn generalize_is_an_upper_bound(a in path_strategy(), b in path_strategy()) {
+/// `generalize` is an upper bound of both inputs.
+#[test]
+fn generalize_is_an_upper_bound() {
+    for_cases(256, |rng| {
+        let a = sample_path(rng);
+        let b = sample_path(rng);
         if let Some(g) = a.generalize(&b) {
-            prop_assert!(g.covers(&a), "{g} should cover {a}");
-            prop_assert!(g.covers(&b), "{g} should cover {b}");
+            assert!(g.covers(&a), "{g} should cover {a}");
+            assert!(g.covers(&b), "{g} should cover {b}");
         }
-    }
+    });
+}
 
-    /// Coverage is reflexive and transitive on randomly generated paths.
-    #[test]
-    fn coverage_is_reflexive_and_transitive(
-        a in path_strategy(),
-        b in path_strategy(),
-        c in path_strategy()
-    ) {
-        prop_assert!(a.covers(&a));
+/// Coverage is reflexive and transitive on randomly generated paths.
+#[test]
+fn coverage_is_reflexive_and_transitive() {
+    for_cases(256, |rng| {
+        let a = sample_path(rng);
+        let b = sample_path(rng);
+        let c = sample_path(rng);
+        assert!(a.covers(&a));
         if a.covers(&b) && b.covers(&c) {
-            prop_assert!(a.covers(&c), "{a} covers {b} covers {c}");
+            assert!(a.covers(&c), "{a} covers {b} covers {c}");
         }
-    }
+    });
+}
 
-    /// Concatenation length arithmetic: min lengths add, and definiteness is
-    /// the conjunction.
-    #[test]
-    fn concat_adds_min_lengths(a in path_strategy(), b in path_strategy()) {
+/// Concatenation length arithmetic: min lengths add, and definiteness is
+/// the conjunction.
+#[test]
+fn concat_adds_min_lengths() {
+    for_cases(256, |rng| {
+        let a = sample_path(rng);
+        let b = sample_path(rng);
         let c = a.concat(&b);
-        prop_assert_eq!(c.min_len(), a.min_len() + b.min_len());
-        prop_assert_eq!(c.is_definite(), a.is_definite() && b.is_definite());
-    }
+        assert_eq!(c.min_len(), a.min_len() + b.min_len());
+        assert_eq!(c.is_definite(), a.is_definite() && b.is_definite());
+    });
+}
 
-    /// Stripping the first edge of an abstraction covers the concrete suffix
-    /// whenever the abstraction covered the concrete path (the soundness
-    /// argument behind the `a := b.f` transfer function).
-    #[test]
-    fn strip_first_is_sound(abs in path_strategy(), conc in concrete_path_strategy()) {
+/// Stripping the first edge of an abstraction covers the concrete suffix
+/// whenever the abstraction covered the concrete path (the soundness
+/// argument behind the `a := b.f` transfer function).
+#[test]
+fn strip_first_is_sound() {
+    for_cases(256, |rng| {
+        let abs = sample_path(rng);
+        let conc = sample_concrete(rng);
         let conc_path = concrete_to_path(&conc);
         if abs.covers(&conc_path) {
             let first = conc[0];
             let suffix = &conc[1..];
             let stripped = abs.strip_first(first);
             if suffix.is_empty() {
-                prop_assert!(
+                assert!(
                     stripped.iter().any(|p| p.is_same()),
                     "{abs} minus {first:?} must allow S"
                 );
             } else {
                 let suffix_path = concrete_to_path(suffix);
-                prop_assert!(
+                assert!(
                     stripped.iter().any(|p| p.covers(&suffix_path)),
                     "{abs} minus {first:?} must cover {suffix_path}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Path sets stay within their cardinality bound and never lose coverage
-    /// of inserted paths.
-    #[test]
-    fn pathset_insert_preserves_coverage(paths in proptest::collection::vec(path_strategy(), 1..12)) {
+/// Path sets stay within their cardinality bound and never lose coverage
+/// of inserted paths.
+#[test]
+fn pathset_insert_preserves_coverage() {
+    for_cases(256, |rng| {
+        let len = rng.gen_range(1usize..12);
+        let paths: Vec<Path> = (0..len).map(|_| sample_path(rng)).collect();
         let set = PathSet::from_paths(paths.clone());
-        prop_assert!(set.len() <= 4, "bounded at MAX_PATHS");
+        assert!(set.len() <= 4, "bounded at MAX_PATHS");
         for p in &paths {
-            prop_assert!(
-                set.iter().any(|q| q.covers(p) || (q.is_same() && p.is_same())),
+            assert!(
+                set.iter()
+                    .any(|q| q.covers(p) || (q.is_same() && p.is_same())),
                 "{set} lost {p}"
             );
         }
-    }
+    });
+}
 
-    /// The control-flow join of path sets is an upper bound of both sides in
-    /// either argument order (the widening applied when an entry grows past
-    /// its cardinality bound is order-sensitive, so syntactic equality of
-    /// `a ⊔ b` and `b ⊔ a` is *not* required — only soundness), and joining
-    /// a set with itself changes nothing.
-    #[test]
-    fn pathset_join_laws(a in pathset_strategy(), b in pathset_strategy()) {
+/// The control-flow join of path sets is an upper bound of both sides in
+/// either argument order (the widening applied when an entry grows past
+/// its cardinality bound is order-sensitive, so syntactic equality of
+/// `a ⊔ b` and `b ⊔ a` is *not* required — only soundness), and joining
+/// a set with itself changes nothing.
+#[test]
+fn pathset_join_laws() {
+    for_cases(256, |rng| {
+        let a = sample_pathset(rng);
+        let b = sample_pathset(rng);
         let ab = a.join(&b);
         let ba = b.join(&a);
         for (join, label) in [(&ab, "a⊔b"), (&ba, "b⊔a")] {
-            prop_assert!(join.covers(&a), "{label} = {join} should cover {a}");
-            prop_assert!(join.covers(&b), "{label} = {join} should cover {b}");
+            assert!(join.covers(&a), "{label} = {join} should cover {a}");
+            assert!(join.covers(&b), "{label} = {join} should cover {b}");
         }
-        prop_assert_eq!(a.join(&a), a);
-    }
+        assert_eq!(a.join(&a), a);
+    });
+}
 
-    /// Matrix joins are commutative and idempotent.
-    #[test]
-    fn matrix_join_laws(
-        entries in proptest::collection::vec(
-            ((0usize..4, 0usize..4), pathset_strategy()),
-            0..8
-        ),
-        entries2 in proptest::collection::vec(
-            ((0usize..4, 0usize..4), pathset_strategy()),
-            0..8
-        )
-    ) {
-        let names = ["a", "b", "c", "d"];
-        let build = |entries: &[((usize, usize), PathSet)]| {
-            let mut m = PathMatrix::with_handles(names);
-            for ((i, j), set) in entries {
-                if i != j {
-                    m.set(names[*i], names[*j], set.clone());
-                }
+/// Matrix joins are upper bounds entry-wise and idempotent.
+#[test]
+fn matrix_join_laws() {
+    let names = ["a", "b", "c", "d"];
+    let sample_entries = |rng: &mut StdRng| -> Vec<((usize, usize), PathSet)> {
+        let len = rng.gen_range(0usize..8);
+        (0..len)
+            .map(|_| {
+                (
+                    (rng.gen_range(0usize..4), rng.gen_range(0usize..4)),
+                    sample_pathset(rng),
+                )
+            })
+            .collect()
+    };
+    let build = |entries: &[((usize, usize), PathSet)]| {
+        let mut m = PathMatrix::with_handles(names);
+        for ((i, j), set) in entries {
+            if i != j {
+                m.set(names[*i], names[*j], set.clone());
             }
-            m
-        };
-        let m1 = build(&entries);
-        let m2 = build(&entries2);
+        }
+        m
+    };
+    for_cases(256, |rng| {
+        let m1 = build(&sample_entries(rng));
+        let m2 = build(&sample_entries(rng));
         // The join is an upper bound entry-wise (in both argument orders) and
         // idempotent.  As for path sets, syntactic commutativity is not
         // guaranteed once the per-entry widening kicks in.
@@ -183,12 +242,12 @@ proptest! {
                         continue;
                     }
                     let entry = joined.get(a, b);
-                    prop_assert!(
+                    assert!(
                         entry.covers(&m1.get(a, b)),
                         "join entry {entry} does not cover {}",
                         m1.get(a, b)
                     );
-                    prop_assert!(
+                    assert!(
                         entry.covers(&m2.get(a, b)),
                         "join entry {entry} does not cover {}",
                         m2.get(a, b)
@@ -196,21 +255,20 @@ proptest! {
                 }
             }
         }
-        prop_assert!(m1.join(&m1).same_relations(&m1));
-    }
+        assert!(m1.join(&m1).same_relations(&m1));
+    });
 }
 
 // ---------------------------------------------------------------------------
 // whole-pipeline soundness on generated programs
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For arbitrary generated programs, packing is semantics- and
-    /// race-preserving.
-    #[test]
-    fn parallelization_of_generated_programs_is_sound(seed in any::<u64>()) {
+/// For arbitrary generated programs, packing is semantics- and
+/// race-preserving.
+#[test]
+fn parallelization_of_generated_programs_is_sound() {
+    for_cases(24, |rng| {
+        let seed = rng.gen_range(0u64..u64::MAX);
         let mut generator = ProgramGenerator::new(GeneratorConfig {
             statements: 40,
             handle_vars: 6,
@@ -225,34 +283,38 @@ proptest! {
         let printed = pretty_program(&parallel);
         let (par_program, par_types) = frontend(&printed).expect("packed output reparses");
         let violations = verify_parallel_program(&par_program, &par_types);
-        prop_assert!(
+        assert!(
             violations.is_empty(),
             "seed {seed}: verifier rejected packer output: {:?}",
             violations.iter().map(|v| v.to_string()).collect::<Vec<_>>()
         );
 
         // Execute both versions; the parallel one with race detection.
-        let config = RunConfig { store_capacity: 1 << 12, ..RunConfig::default() };
+        let config = RunConfig {
+            store_capacity: 1 << 12,
+            ..RunConfig::default()
+        };
         let mut seq_interp = Interpreter::with_config(&program, &types, config.clone());
         let seq = seq_interp.run().expect("sequential run");
-        let race_config = RunConfig { detect_races: true, ..config };
+        let race_config = RunConfig {
+            detect_races: true,
+            ..config
+        };
         let mut par_interp = Interpreter::with_config(&par_program, &par_types, race_config);
         let par = par_interp.run().expect("parallel run");
 
-        prop_assert!(par.races.is_empty(), "seed {seed}: races {:?}", par.races);
-        prop_assert_eq!(seq.cost.work, par.cost.work);
-        prop_assert!(par.cost.span <= seq.cost.span);
-        prop_assert_eq!(seq.allocated_nodes, par.allocated_nodes);
+        assert!(par.races.is_empty(), "seed {seed}: races {:?}", par.races);
+        assert_eq!(seq.cost.work, par.cost.work);
+        assert!(par.cost.span <= seq.cost.span);
+        assert_eq!(seq.allocated_nodes, par.allocated_nodes);
 
         // The final values of every variable of main agree.
         for (name, value) in seq.main_frame.iter() {
             let par_value = par.main_frame.get(name);
-            prop_assert_eq!(
+            assert_eq!(
                 Some(*value),
                 par_value,
-                "seed {}: variable {} differs",
-                seed,
-                name
+                "seed {seed}: variable {name} differs"
             );
         }
 
@@ -260,14 +322,18 @@ proptest! {
         for (name, _) in seq.main_frame.iter() {
             let a = seq_interp.snapshot_of(&seq, name);
             let b = par_interp.snapshot_of(&par, name);
-            prop_assert_eq!(a, b, "seed {}: heap reachable from {} differs", seed, name);
+            assert_eq!(a, b, "seed {seed}: heap reachable from {name} differs");
         }
-    }
+    });
+}
 
-    /// The analysis never crashes and always converges on generated
-    /// programs, whatever structure they build.
-    #[test]
-    fn analysis_always_converges(seed in any::<u64>(), statements in 10usize..80) {
+/// The analysis never crashes and always converges on generated
+/// programs, whatever structure they build.
+#[test]
+fn analysis_always_converges() {
+    for_cases(24, |rng| {
+        let seed = rng.gen_range(0u64..u64::MAX);
+        let statements = rng.gen_range(10usize..80);
         let mut generator = ProgramGenerator::new(GeneratorConfig {
             statements,
             handle_vars: 5,
@@ -277,7 +343,7 @@ proptest! {
         let program = sil_parallel::lang::normalize_program(&generator.generate());
         let types = sil_parallel::lang::check_program(&program).unwrap();
         let analysis = analyze_program(&program, &types);
-        prop_assert!(analysis.rounds <= 16);
-        prop_assert!(analysis.procedure("main").is_some());
-    }
+        assert!(analysis.rounds <= 16);
+        assert!(analysis.procedure("main").is_some());
+    });
 }
