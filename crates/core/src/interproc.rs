@@ -9,13 +9,17 @@
 //! symbolic handles into `f**`.  The whole program is re-analyzed until all
 //! contexts (and function-return summaries) stabilize.
 
-use crate::state::{AbstractState, StructureWarning};
-use crate::summary::{ProcSummary, ReturnSummary};
+use crate::callgraph::CallGraph;
+use crate::state::{AbstractState, StructureKind, StructureWarning};
+use crate::summary::{compute_summaries, ProcSummary, ReturnSummary};
 use crate::transfer::{Analyzer, CallSite};
+use rayon::prelude::*;
 use sil_lang::ast::*;
+use sil_lang::hash::StableHasher;
 use sil_lang::pretty::pretty_stmt;
 use sil_lang::types::{ProcSignature, ProgramTypes, Type};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum number of whole-program rounds before declaring convergence
 /// failure (the widened path domain converges in a handful of rounds).
@@ -380,9 +384,96 @@ fn return_summary_from_exit(
     })
 }
 
+/// One memoized body walk: the output of analyzing one procedure body under
+/// one exact set of inputs, addressed by a stable key over those inputs
+/// (own cone fingerprint, entry state, and the direct callees' function
+/// return summaries and exit structures).
+///
+/// Replaying a record is observationally identical to re-walking the body:
+/// the walk is a deterministic pure function of exactly the keyed inputs.
+/// This is what makes incremental re-analysis *exact* — the incremental
+/// driver runs the same fixpoint and serves unchanged walks from records, so
+/// its result digests equal a from-scratch analysis by construction.
+#[derive(Debug)]
+pub struct WalkRecord {
+    /// The memoization key (see `walk_key`).
+    pub key: u64,
+    /// Cone fingerprint of the procedure when the walk was recorded; groups
+    /// records for the engine's cone-keyed procedure cache.
+    pub cone: u64,
+    /// The walked procedure.
+    pub procedure: String,
+    points: Vec<ProgramPoint>,
+    exit: AbstractState,
+    warnings: Vec<StructureWarning>,
+    call_sites: Vec<CallSite>,
+}
+
+/// Every body walk recorded during one analysis run — the seed for
+/// incrementally re-analyzing an edited variant of the program.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisSnapshot {
+    walks: HashMap<u64, Arc<WalkRecord>>,
+}
+
+impl AnalysisSnapshot {
+    pub fn new() -> AnalysisSnapshot {
+        AnalysisSnapshot::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.walks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.walks.is_empty()
+    }
+
+    /// Add a record (last insertion wins on key collision).
+    pub fn insert(&mut self, record: Arc<WalkRecord>) {
+        self.walks.insert(record.key, record);
+    }
+
+    pub fn get(&self, key: u64) -> Option<&Arc<WalkRecord>> {
+        self.walks.get(&key)
+    }
+
+    /// Iterate over all records (no particular order).
+    pub fn records(&self) -> impl Iterator<Item = &Arc<WalkRecord>> {
+        self.walks.values()
+    }
+}
+
+/// Reuse counters of one (incremental) analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Body walks actually performed (fixpoint work paid).
+    pub walks_performed: usize,
+    /// Body walks replayed from snapshot records.
+    pub walks_reused: usize,
+    /// Procedures whose cone fingerprint had retained state available
+    /// (filled in by the engine, which owns the cone-keyed cache).
+    pub procedures_reused: usize,
+    /// Procedures analyzed with no retained state (edited, or in the
+    /// dependent cone of an edit, or simply never seen before).
+    pub procedures_stale: usize,
+}
+
+/// Knobs of the full-control analysis entry point.
+#[derive(Debug, Default)]
+pub struct AnalyzeOptions<'s> {
+    /// Schedule independent same-level call-graph SCCs across rayon within
+    /// each fixpoint round.
+    pub parallel: bool,
+    /// Record every body walk and return an [`AnalysisSnapshot`].
+    pub record: bool,
+    /// Replay body walks whose keys match records of this snapshot.
+    pub reuse: Option<&'s AnalysisSnapshot>,
+}
+
 /// Analyze a whole (normalized, type-checked) program.
 pub fn analyze_program(program: &Program, types: &ProgramTypes) -> AnalysisResult {
-    run_analysis(Analyzer::new(program, types), program, types)
+    analyze_program_with_summaries(program, types, compute_summaries(program, types))
 }
 
 /// Analyze a program with precomputed argument-mode summaries.
@@ -397,97 +488,340 @@ pub fn analyze_program_with_summaries(
     types: &ProgramTypes,
     summaries: HashMap<String, ProcSummary>,
 ) -> AnalysisResult {
-    run_analysis(
-        Analyzer::with_summaries(program, types, summaries),
-        program,
-        types,
-    )
+    let options = AnalyzeOptions {
+        parallel: true,
+        ..AnalyzeOptions::default()
+    };
+    analyze_program_with_options(program, types, summaries, &options).0
 }
 
-fn run_analysis(analyzer: Analyzer<'_>, program: &Program, types: &ProgramTypes) -> AnalysisResult {
+/// Analyze a program and record every body walk, so a later edited variant
+/// can be analyzed incrementally against the returned snapshot.
+pub fn analyze_program_recording(
+    program: &Program,
+    types: &ProgramTypes,
+    summaries: HashMap<String, ProcSummary>,
+) -> (AnalysisResult, AnalysisSnapshot, IncrementalStats) {
+    let options = AnalyzeOptions {
+        parallel: true,
+        record: true,
+        reuse: None,
+    };
+    let (result, snapshot, stats) =
+        analyze_program_with_options(program, types, summaries, &options);
+    (result, snapshot.expect("recording was requested"), stats)
+}
+
+/// Incrementally analyze a program against the walk records of a previous
+/// run (of this program, an earlier version of it, or any program sharing
+/// procedures with it).
+///
+/// The interprocedural fixpoint is re-run in full, but every body walk whose
+/// exact inputs match a retained record is served from the record instead of
+/// being recomputed — so only the *stale cone* of an edit (the procedures
+/// whose own text, entry context, or callee summaries actually changed) pays
+/// for re-analysis, and the result is bit-identical (`AnalysisResult::digest`)
+/// to a from-scratch [`analyze_program`].
+///
+/// `summaries` must be the cone-pure argument-mode summaries of `program`
+/// (what [`compute_summaries`] returns, possibly served from a cache).
+pub fn analyze_program_incremental(
+    program: &Program,
+    types: &ProgramTypes,
+    summaries: HashMap<String, ProcSummary>,
+    snapshot: &AnalysisSnapshot,
+) -> (AnalysisResult, AnalysisSnapshot, IncrementalStats) {
+    let options = AnalyzeOptions {
+        parallel: true,
+        record: true,
+        reuse: Some(snapshot),
+    };
+    let (result, recorded, stats) =
+        analyze_program_with_options(program, types, summaries, &options);
+    (result, recorded.expect("recording was requested"), stats)
+}
+
+/// The memoization key of one body walk: a stable hash over everything the
+/// walk reads — the procedure's cone fingerprint (own canonical text plus
+/// every transitive callee's, which also pins the argument-mode summaries
+/// the walk consults), the entry state, and the current function-return
+/// summary and exit structure of every direct callee.
+fn walk_key(
+    cone: u64,
+    name: &str,
+    entry: &AbstractState,
+    callees: &[&str],
+    return_summaries: &HashMap<String, ReturnSummary>,
+    exit_structures: &HashMap<String, StructureKind>,
+) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write_str("sil-walk-v1");
+    hasher.write_u64(cone);
+    hasher.write_str(name);
+    hash_state(&mut hasher, entry);
+    for callee in callees {
+        hasher.write_str(callee);
+        match return_summaries.get(*callee) {
+            Some(summary) => {
+                hasher.write_u64(1);
+                hasher.write_u64(summary.digest());
+            }
+            None => {
+                hasher.write_u64(0);
+            }
+        }
+        match exit_structures.get(*callee) {
+            Some(kind) => {
+                hasher.write_u64(1);
+                hasher.write_str(&kind.to_string());
+            }
+            None => {
+                hasher.write_u64(0);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+/// The result of one scheduled body walk (fresh or replayed).
+struct WalkOutcome {
+    name: String,
+    entry: AbstractState,
+    record: Arc<WalkRecord>,
+    reused: bool,
+}
+
+/// Walk every contexted member of one call-graph SCC under the round's
+/// current tables.  Runs on a rayon thread when the level has several
+/// independent SCCs; all inputs are read-only, all effects are returned.
+#[allow(clippy::too_many_arguments)]
+fn walk_scc(
+    program: &Program,
+    types: &ProgramTypes,
+    graph: &CallGraph,
+    cones: &HashMap<String, u64>,
+    members: &[String],
+    contexts: &HashMap<String, AbstractState>,
+    summaries: &HashMap<String, ProcSummary>,
+    return_summaries: &HashMap<String, ReturnSummary>,
+    exit_structures: &HashMap<String, StructureKind>,
+    reuse: Option<&AnalysisSnapshot>,
+) -> Vec<WalkOutcome> {
+    let mut outcomes = Vec::new();
+    // One analyzer per component walk, seeded with the round's view of the
+    // dynamic tables; built lazily so fully-replayed components never pay
+    // for the table clones.  A walk only ever consults the entries of the
+    // component's members and their direct callees, so only that slice of
+    // each table is cloned into the task's analyzer.
+    let mut relevant: std::collections::BTreeSet<&str> =
+        members.iter().map(|m| m.as_str()).collect();
+    for member in members {
+        relevant.extend(graph.callees_of(member));
+    }
+    fn table_slice<V: Clone>(
+        table: &HashMap<String, V>,
+        relevant: &std::collections::BTreeSet<&str>,
+    ) -> HashMap<String, V> {
+        table
+            .iter()
+            .filter(|(name, _)| relevant.contains(name.as_str()))
+            .map(|(name, value)| (name.clone(), value.clone()))
+            .collect()
+    }
+    let mut analyzer: Option<Analyzer<'_>> = None;
+    for name in members {
+        let Some(proc) = program.procedure(name) else {
+            continue;
+        };
+        let Some(sig) = types.proc(name) else {
+            continue;
+        };
+        let Some(entry) = contexts.get(name).cloned() else {
+            continue;
+        };
+        let cone = cones.get(name).copied().unwrap_or_default();
+        let mut callees = graph.callees_of(name);
+        callees.sort_unstable();
+        let key = walk_key(
+            cone,
+            name,
+            &entry,
+            &callees,
+            return_summaries,
+            exit_structures,
+        );
+        if let Some(hit) = reuse.and_then(|s| s.get(key)) {
+            outcomes.push(WalkOutcome {
+                name: name.clone(),
+                entry,
+                record: hit.clone(),
+                reused: true,
+            });
+            continue;
+        }
+        let analyzer = analyzer.get_or_insert_with(|| {
+            Analyzer::with_tables(
+                program,
+                types,
+                table_slice(summaries, &relevant),
+                table_slice(return_summaries, &relevant),
+                table_slice(exit_structures, &relevant),
+            )
+        });
+        let mut warnings = Vec::new();
+        let mut points = Vec::new();
+        let mut counter = 0usize;
+        let exit = record_points(
+            analyzer,
+            &entry,
+            &proc.body,
+            sig,
+            &mut counter,
+            &mut points,
+            &mut warnings,
+        );
+        let call_sites = analyzer.take_call_sites();
+        outcomes.push(WalkOutcome {
+            name: name.clone(),
+            entry,
+            record: Arc::new(WalkRecord {
+                key,
+                cone,
+                procedure: name.clone(),
+                points,
+                exit,
+                warnings,
+                call_sites,
+            }),
+            reused: false,
+        });
+    }
+    outcomes
+}
+
+/// The interprocedural driver.
+///
+/// Rounds iterate the call-graph levels *callers-first* (entry contexts flow
+/// down the call graph, so one round pushes a context change all the way to
+/// the leaves); within one level every SCC is independent and is walked on
+/// its own rayon task when `options.parallel` is set.  All effects (context
+/// contributions, return summaries, exit structures) are merged sequentially
+/// in schedule order, so the result is deterministic whatever thread
+/// interleaving produced the walks.
+pub fn analyze_program_with_options(
+    program: &Program,
+    types: &ProgramTypes,
+    summaries: HashMap<String, ProcSummary>,
+    options: &AnalyzeOptions<'_>,
+) -> (AnalysisResult, Option<AnalysisSnapshot>, IncrementalStats) {
+    let graph = CallGraph::of_program(program);
+    let cones = graph.cone_fingerprints(program);
+    let levels = graph.scc_levels();
+
     let mut contexts: HashMap<String, AbstractState> = HashMap::new();
     if let Some(main_sig) = types.proc("main") {
         contexts.insert("main".to_string(), default_entry(main_sig));
     }
     let mut procedures: HashMap<String, ProcedureAnalysis> = HashMap::new();
     let mut return_summaries: HashMap<String, ReturnSummary> = HashMap::new();
+    let mut exit_structures: HashMap<String, StructureKind> = HashMap::new();
+    let mut recorded = options.record.then(AnalysisSnapshot::new);
+    let mut stats = IncrementalStats::default();
     let mut rounds = 0;
 
     for round in 0..MAX_ROUNDS {
         rounds = round + 1;
         let mut changed = false;
-        for proc in &program.procedures {
-            let Some(sig) = types.proc(&proc.name) else {
+        for level in levels.iter().rev() {
+            let active: Vec<&Vec<String>> = level
+                .iter()
+                .filter(|scc| scc.iter().any(|m| contexts.contains_key(m)))
+                .collect();
+            if active.is_empty() {
                 continue;
+            }
+            let walk = |scc: &&Vec<String>| {
+                walk_scc(
+                    program,
+                    types,
+                    &graph,
+                    &cones,
+                    scc,
+                    &contexts,
+                    &summaries,
+                    &return_summaries,
+                    &exit_structures,
+                    options.reuse,
+                )
             };
-            let Some(entry) = contexts.get(&proc.name).cloned() else {
-                continue;
+            let outcomes: Vec<Vec<WalkOutcome>> = if options.parallel && active.len() > 1 {
+                active.par_iter().map(walk).collect()
+            } else {
+                active.iter().map(walk).collect()
             };
-            let mut warnings = Vec::new();
-            let mut points = Vec::new();
-            let mut counter = 0usize;
-            let exit = record_points(
-                &analyzer,
-                &entry,
-                &proc.body,
-                sig,
-                &mut counter,
-                &mut points,
-                &mut warnings,
-            );
 
-            // Propagate call-site contributions into callee contexts.
-            for site in analyzer.take_call_sites() {
-                let contribution = context_contribution(&site, types);
-                let updated = match contexts.get(&site.callee) {
-                    Some(existing) => existing.join(&contribution),
-                    None => contribution,
-                };
-                let is_new = !contexts.contains_key(&site.callee);
-                if is_new || !contexts[&site.callee].same_as(&updated) {
-                    contexts.insert(site.callee.clone(), updated);
-                    changed = true;
-                }
-            }
-
-            // Function-return summaries feed the next round.
-            if let Some(summary) = return_summary_from_exit(proc, sig, &exit) {
-                let is_change = return_summaries.get(&proc.name) != Some(&summary);
-                if is_change {
-                    return_summaries.insert(proc.name.clone(), summary.clone());
-                    analyzer.set_return_summary(&proc.name, summary);
-                    changed = true;
-                }
-            }
-
-            // The structural classification at exit feeds the caller-side
-            // call transfer in the next round.
-            let prev_exit_kind = analyzer.exit_structures.borrow().get(&proc.name).copied();
-            if prev_exit_kind != Some(exit.structure) {
-                analyzer.set_exit_structure(&proc.name, exit.structure);
-                changed = true;
-            }
-
-            procedures.insert(
-                proc.name.clone(),
-                ProcedureAnalysis {
-                    name: proc.name.clone(),
+            for outcome in outcomes.into_iter().flatten() {
+                let WalkOutcome {
+                    name,
                     entry,
-                    points,
-                    exit,
-                    warnings,
-                },
-            );
+                    record,
+                    reused,
+                } = outcome;
+                if reused {
+                    stats.walks_reused += 1;
+                } else {
+                    stats.walks_performed += 1;
+                }
+
+                // Propagate call-site contributions into callee contexts.
+                for site in &record.call_sites {
+                    let contribution = context_contribution(site, types);
+                    let updated = match contexts.get(&site.callee) {
+                        Some(existing) => existing.join(&contribution),
+                        None => contribution,
+                    };
+                    let is_new = !contexts.contains_key(&site.callee);
+                    if is_new || !contexts[&site.callee].same_as(&updated) {
+                        contexts.insert(site.callee.clone(), updated);
+                        changed = true;
+                    }
+                }
+
+                let proc = program.procedure(&name).expect("walked procedures exist");
+                let sig = types.proc(&name).expect("walked procedures are typed");
+
+                // Function-return summaries feed the next round.
+                if let Some(summary) = return_summary_from_exit(proc, sig, &record.exit) {
+                    if return_summaries.get(&name) != Some(&summary) {
+                        return_summaries.insert(name.clone(), summary);
+                        changed = true;
+                    }
+                }
+
+                // The structural classification at exit feeds the caller-side
+                // call transfer in the next round.
+                if exit_structures.get(&name) != Some(&record.exit.structure) {
+                    exit_structures.insert(name.clone(), record.exit.structure);
+                    changed = true;
+                }
+
+                procedures.insert(
+                    name.clone(),
+                    ProcedureAnalysis {
+                        name: name.clone(),
+                        entry,
+                        points: record.points.clone(),
+                        exit: record.exit.clone(),
+                        warnings: record.warnings.clone(),
+                    },
+                );
+                if let Some(snapshot) = recorded.as_mut() {
+                    snapshot.insert(record);
+                }
+            }
         }
         if !changed {
             break;
-        }
-        // Refresh entries for the next round from the (possibly grown)
-        // contexts.
-        for proc in &program.procedures {
-            if let (Some(_sig), Some(_)) = (types.proc(&proc.name), contexts.get(&proc.name)) {
-                // nothing extra: contexts map is already up to date
-            }
         }
     }
 
@@ -503,13 +837,17 @@ fn run_analysis(analyzer: Analyzer<'_>, program: &Program, types: &ProgramTypes)
         (a.procedure.clone(), a.statement.clone()).cmp(&(b.procedure.clone(), b.statement.clone()))
     });
 
-    AnalysisResult {
-        procedures,
-        summaries: analyzer.summaries.clone(),
-        return_summaries,
-        warnings,
-        rounds,
-    }
+    (
+        AnalysisResult {
+            procedures,
+            summaries,
+            return_summaries,
+            warnings,
+            rounds,
+        },
+        recorded,
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -689,6 +1027,93 @@ end
         let (result, _, _) = analyze(src);
         assert!(result.procedure("never").is_none());
         assert!(result.preserves_tree(), "dead code raises no warnings");
+    }
+
+    #[test]
+    fn recording_then_replaying_is_exact() {
+        let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+        let summaries = compute_summaries(&program, &types);
+        let (full, snapshot, stats) =
+            analyze_program_recording(&program, &types, summaries.clone());
+        assert!(stats.walks_performed > 0);
+        assert_eq!(stats.walks_reused, 0);
+        assert!(!snapshot.is_empty());
+
+        // Re-analyzing the identical program replays every walk.
+        let (replayed, _, replay_stats) =
+            analyze_program_incremental(&program, &types, summaries, &snapshot);
+        assert_eq!(full.digest(), replayed.digest());
+        assert_eq!(replay_stats.walks_performed, 0);
+        assert_eq!(replay_stats.walks_reused, stats.walks_performed);
+    }
+
+    #[test]
+    fn incremental_edit_matches_scratch_and_reuses_clean_walks() {
+        let base_src = sil_lang::testsrc::ADD_AND_REVERSE;
+        let (base, base_types) = frontend(base_src).unwrap();
+        let base_summaries = compute_summaries(&base, &base_types);
+        let (_, snapshot, full_stats) =
+            analyze_program_recording(&base, &base_types, base_summaries);
+
+        // A scalar edit confined to main: every other procedure's cone,
+        // entry context and callee tables are unchanged.
+        let edited_src = base_src.replace("i := 4", "i := 5");
+        assert_ne!(edited_src, base_src);
+        let (edited, types) = frontend(&edited_src).unwrap();
+        let summaries = compute_summaries(&edited, &types);
+        let (incremental, _, stats) =
+            analyze_program_incremental(&edited, &types, summaries, &snapshot);
+
+        let scratch = analyze_program(&edited, &types);
+        assert_eq!(incremental.digest(), scratch.digest());
+        assert!(
+            stats.walks_reused > 0,
+            "clean procedures must replay: {stats:?}"
+        );
+        assert!(
+            stats.walks_performed < full_stats.walks_performed,
+            "only the stale cone may be re-walked: {stats:?} vs {full_stats:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_semantic_edit_still_matches_scratch() {
+        let base_src = sil_lang::testsrc::ADD_AND_REVERSE;
+        let (base, base_types) = frontend(base_src).unwrap();
+        let summaries = compute_summaries(&base, &base_types);
+        let (_, snapshot, _) = analyze_program_recording(&base, &base_types, summaries);
+
+        // A structural edit inside `reverse`: its cone and every cone above
+        // it go stale; digests must still match a from-scratch run.
+        let edited_src = base_src.replace("h.left := r", "h.left := nil");
+        assert_ne!(edited_src, base_src);
+        let (edited, types) = frontend(&edited_src).unwrap();
+        let edited_summaries = compute_summaries(&edited, &types);
+        let (incremental, _, _) =
+            analyze_program_incremental(&edited, &types, edited_summaries, &snapshot);
+        assert_eq!(
+            incremental.digest(),
+            analyze_program(&edited, &types).digest()
+        );
+    }
+
+    #[test]
+    fn sequential_and_parallel_fixpoints_agree() {
+        for parallel in [false, true] {
+            let (program, types) = frontend(sil_lang::testsrc::ADD_AND_REVERSE).unwrap();
+            let summaries = compute_summaries(&program, &types);
+            let options = AnalyzeOptions {
+                parallel,
+                ..AnalyzeOptions::default()
+            };
+            let (result, _, _) =
+                analyze_program_with_options(&program, &types, summaries, &options);
+            assert_eq!(
+                result.digest(),
+                analyze_program(&program, &types).digest(),
+                "parallel={parallel}"
+            );
+        }
     }
 
     #[test]

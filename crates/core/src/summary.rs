@@ -54,6 +54,23 @@ pub struct ReturnSummary {
     pub relations: Vec<(String, PathSet, PathSet)>,
 }
 
+impl ReturnSummary {
+    /// A stable content digest, used as part of the interprocedural driver's
+    /// walk-memoization keys (two summaries digest equal iff they render
+    /// equal).
+    pub fn digest(&self) -> u64 {
+        let mut hasher = sil_lang::hash::StableHasher::new();
+        hasher.write_str("sil-return-summary-v1");
+        hasher.write_u64(self.fresh as u64);
+        for (formal, to_ret, from_ret) in &self.relations {
+            hasher.write_str(formal);
+            hasher.write_str(&to_ret.to_string());
+            hasher.write_str(&from_ret.to_string());
+        }
+        hasher.finish()
+    }
+}
+
 /// The summary of one procedure or function.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcSummary {

@@ -424,12 +424,29 @@ impl<'a> Analyzer<'a> {
         types: &'a ProgramTypes,
         summaries: HashMap<String, ProcSummary>,
     ) -> Analyzer<'a> {
+        Analyzer::with_tables(program, types, summaries, HashMap::new(), HashMap::new())
+    }
+
+    /// Build an analyzer with every dynamic table pre-seeded.
+    ///
+    /// The interprocedural driver walks independent call-graph components on
+    /// separate threads; each task gets its own analyzer seeded with the
+    /// round's current view of the function-return summaries and exit
+    /// structures (the analyzer itself holds them in thread-local
+    /// [`RefCell`]s).
+    pub fn with_tables(
+        program: &'a Program,
+        types: &'a ProgramTypes,
+        summaries: HashMap<String, ProcSummary>,
+        return_summaries: HashMap<String, ReturnSummary>,
+        exit_structures: HashMap<String, StructureKind>,
+    ) -> Analyzer<'a> {
         Analyzer {
             program,
             types,
             summaries,
-            return_summaries: RefCell::new(HashMap::new()),
-            exit_structures: RefCell::new(HashMap::new()),
+            return_summaries: RefCell::new(return_summaries),
+            exit_structures: RefCell::new(exit_structures),
             call_sites: RefCell::new(Vec::new()),
             record_calls: true,
         }

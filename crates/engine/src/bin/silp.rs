@@ -30,6 +30,10 @@ options:
   --no-parallelize       stop after the analysis
   --no-verify            skip static verification of the parallel output
   --emit-parallel        include the parallelized source in the report
+  --incremental          process inputs sequentially in the given order and
+                         re-analyze edited variants incrementally: procedures
+                         whose call-graph cone is unchanged reuse retained
+                         walks, and the report carries stale/reused counts
   --json                 emit one JSON array instead of text
   --lfu                  evict least-frequently-used cache entries
   --stats                print engine cache statistics
@@ -41,6 +45,7 @@ struct Cli {
     options: ProcessOptions,
     json: bool,
     stats: bool,
+    incremental: bool,
     eviction: EvictionPolicy,
 }
 
@@ -50,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         options: ProcessOptions::default(),
         json: false,
         stats: false,
+        incremental: false,
         eviction: EvictionPolicy::Lru,
     };
     let mut workloads: Vec<String> = Vec::new();
@@ -76,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-parallelize" => cli.options.parallelize = false,
             "--no-verify" => cli.options.verify = false,
             "--emit-parallel" => cli.options.emit_parallel_source = true,
+            "--incremental" => cli.incremental = true,
             "--json" => cli.json = true,
             "--lfu" => cli.eviction = EvictionPolicy::Lfu,
             "--stats" => cli.stats = true,
@@ -133,10 +140,21 @@ fn main() -> ExitCode {
 
     let engine = Engine::new(EngineConfig {
         eviction: cli.eviction,
+        incremental: cli.incremental,
         ..EngineConfig::default()
     });
     let sources: Vec<&str> = cli.inputs.iter().map(|(_, src)| src.as_str()).collect();
-    let results = engine.process_batch(&sources, &cli.options);
+    // Incremental mode processes the inputs in their given order on one
+    // thread: an input is an edit of an earlier one, and must find the
+    // earlier cones already retained.
+    let results = if cli.incremental {
+        sources
+            .iter()
+            .map(|src| engine.process(src, &cli.options))
+            .collect()
+    } else {
+        engine.process_batch(&sources, &cli.options)
+    };
 
     let mut failed = false;
     let mut json_items: Vec<String> = Vec::new();

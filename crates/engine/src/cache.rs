@@ -20,8 +20,9 @@
 //! engine computes outside the lock and only then inserts — so a finer
 //! sharded design would buy nothing measurable.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use sil_analysis::WalkRecord;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// Which entry to sacrifice when the cache is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -114,6 +115,14 @@ impl<V: Clone> ContentCache<V> {
         }
     }
 
+    /// Look up a fingerprint without recording a hit or miss and without
+    /// touching recency/frequency — for internal merge reads that must not
+    /// skew the reuse accounting.
+    pub fn peek(&self, key: u64) -> Option<V> {
+        let inner = self.inner.lock().unwrap();
+        inner.entries.get(&key).map(|e| e.value.clone())
+    }
+
     /// Insert a value, evicting per policy if the cache is full.  Inserting
     /// an existing key refreshes its value without eviction.
     pub fn insert(&self, key: u64, value: V) {
@@ -186,9 +195,98 @@ impl<V: Clone> ContentCache<V> {
     }
 }
 
+/// How many walk records one cone may retain.  A record exists per (round ×
+/// distinct entry context) of a procedure, so a handful of edits produce a
+/// handful of records; the cap only guards against a pathological client
+/// cycling a cone through endlessly distinct contexts.
+const RECORDS_PER_CONE: usize = 64;
+
+/// Retained interprocedural body walks, keyed by *cone fingerprint* (see
+/// [`sil_analysis::CallGraph::cone_fingerprints`]).
+///
+/// When an edited variant of a cached program arrives, every procedure whose
+/// cone fingerprint is unchanged finds its retained [`WalkRecord`]s here;
+/// [`sil_analysis::analyze_program_incremental`] replays them and only the
+/// stale cone of the edit pays for re-analysis.  A `get` hit/miss is the
+/// engine's per-procedure "reused"/"stale" classification, so the underlying
+/// cache stats double as incremental-reuse counters.
+#[derive(Debug)]
+pub struct ProcedureCache {
+    inner: ContentCache<Arc<Vec<Arc<WalkRecord>>>>,
+    /// Serializes the read-merge-write cycle of [`ProcedureCache::insert_merged`]:
+    /// concurrent batch analyses sharing a cone must not drop each other's
+    /// freshly recorded walks.
+    merge_lock: Mutex<()>,
+}
+
+impl ProcedureCache {
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> ProcedureCache {
+        ProcedureCache {
+            inner: ContentCache::new(capacity, policy),
+            merge_lock: Mutex::new(()),
+        }
+    }
+
+    /// The retained walks of one cone, recording a hit or miss.
+    pub fn get(&self, cone: u64) -> Option<Arc<Vec<Arc<WalkRecord>>>> {
+        self.inner.get(cone)
+    }
+
+    /// Merge freshly recorded walks into a cone's entry: fresh records win,
+    /// surviving older records (other entry contexts of the same cone) ride
+    /// along up to [`RECORDS_PER_CONE`].
+    pub fn insert_merged(&self, cone: u64, fresh: Vec<Arc<WalkRecord>>) {
+        let _guard = self.merge_lock.lock().unwrap();
+        let mut merged = fresh;
+        let mut seen: HashSet<u64> = merged.iter().map(|r| r.key).collect();
+        if let Some(existing) = self.inner.peek(cone) {
+            for record in existing.iter() {
+                if merged.len() >= RECORDS_PER_CONE {
+                    break;
+                }
+                if seen.insert(record.key) {
+                    merged.push(record.clone());
+                }
+            }
+        }
+        merged.truncate(RECORDS_PER_CONE);
+        self.inner.insert(cone, Arc::new(merged));
+    }
+
+    /// Number of resident cones.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_does_not_touch_stats_or_recency() {
+        let cache = ContentCache::new(2, EvictionPolicy::Lru);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        assert_eq!(cache.peek(1), Some(1));
+        assert_eq!(cache.stats().hits, 0);
+        // peek(1) must not have refreshed 1: it is still the LRU victim.
+        cache.insert(3, 3);
+        assert_eq!(cache.peek(1), None, "1 was evicted despite the peek");
+        assert_eq!(cache.peek(2), Some(2));
+    }
 
     #[test]
     fn hit_miss_accounting() {
@@ -246,6 +344,38 @@ mod tests {
         cache.insert(1, 1);
         assert_eq!(cache.get(1), None);
         assert_eq!(cache.len(), 0);
+    }
+
+    /// The ROADMAP eviction-policy experiment, in miniature: under a
+    /// Zipf-skewed request stream (a few hot programs, a long tail) a small
+    /// LFU cache keeps the hot set resident and beats LRU, which lets tail
+    /// bursts sweep hot entries out.
+    #[test]
+    fn lfu_beats_lru_under_zipf_skew() {
+        use rand::distributions::{Distribution, Zipf};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let simulate = |policy: EvictionPolicy| {
+            let cache = ContentCache::new(16, policy);
+            let zipf = Zipf::new(256, 1.2).unwrap();
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..20_000 {
+                let key = zipf.sample(&mut rng);
+                if cache.get(key).is_none() {
+                    cache.insert(key, key);
+                }
+            }
+            cache.stats().hit_rate()
+        };
+
+        let lru = simulate(EvictionPolicy::Lru);
+        let lfu = simulate(EvictionPolicy::Lfu);
+        assert!(
+            lfu > lru,
+            "LFU must win under skew: lfu={lfu:.3} lru={lru:.3}"
+        );
+        assert!(lfu > 0.5, "the hot set must mostly hit: {lfu:.3}");
     }
 
     #[test]

@@ -44,12 +44,13 @@
 pub mod cache;
 pub mod report;
 
-pub use cache::{CacheStats, ContentCache, EvictionPolicy};
-pub use report::{ExecutionReport, ProcessOptions, ProgramReport};
+pub use cache::{CacheStats, ContentCache, EvictionPolicy, ProcedureCache};
+pub use report::{ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport};
 
 use rayon::prelude::*;
 use sil_analysis::{
-    analyze_program_with_summaries, compute_scc_summaries, AnalysisResult, CallGraph, ProcSummary,
+    analyze_program_with_options, compute_scc_summaries, AnalysisResult, AnalysisSnapshot,
+    AnalyzeOptions, CallGraph, IncrementalStats, ProcSummary, WalkRecord,
 };
 use sil_lang::hash::program_fingerprint;
 use sil_lang::types::ProgramTypes;
@@ -67,10 +68,19 @@ pub struct EngineConfig {
     pub program_cache_capacity: usize,
     /// Capacity of the per-SCC summary cache.
     pub summary_cache_capacity: usize,
-    /// Eviction policy shared by both caches.
+    /// Capacity (in cones) of the per-procedure walk cache that backs
+    /// incremental re-analysis.
+    pub procedure_cache_capacity: usize,
+    /// Eviction policy shared by all caches.
     pub eviction: EvictionPolicy,
     /// Schedule batches and independent call-graph SCCs across rayon.
     pub parallel: bool,
+    /// Record body walks and re-analyze edited programs incrementally: on a
+    /// program-cache miss, every procedure whose cone fingerprint matches a
+    /// retained one replays its recorded walks, and only the stale cone of
+    /// the edit is re-walked.  The result is bit-identical to a full
+    /// analysis (same digests); this only trades memory for time.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -78,8 +88,10 @@ impl Default for EngineConfig {
         EngineConfig {
             program_cache_capacity: 256,
             summary_cache_capacity: 1024,
+            procedure_cache_capacity: 512,
             eviction: EvictionPolicy::Lru,
             parallel: true,
+            incremental: true,
         }
     }
 }
@@ -94,6 +106,10 @@ pub struct AnalyzedProgram {
     pub types: ProgramTypes,
     /// The whole-program path-matrix analysis.
     pub analysis: Arc<AnalysisResult>,
+    /// Incremental-reuse counters of the analysis that produced this entry
+    /// (`None` when the engine runs with `incremental: false`, or when the
+    /// entry was served from the program cache).
+    pub incremental: Option<IncrementalStats>,
 }
 
 /// Why a request failed.
@@ -122,13 +138,18 @@ impl From<SilError> for EngineError {
     }
 }
 
-/// Counter snapshot across both caches.
+/// Counter snapshot across the engine's caches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     pub programs: CacheStats,
     pub summaries: CacheStats,
+    /// Per-cone walk cache: a hit means a procedure's retained walks were
+    /// available for incremental replay ("reused"), a miss means its cone
+    /// was stale.
+    pub walks: CacheStats,
     pub program_entries: usize,
     pub summary_entries: usize,
+    pub walk_entries: usize,
 }
 
 /// The memoizing analysis service.  `Engine` is `Sync`: one instance serves
@@ -138,6 +159,7 @@ pub struct Engine {
     config: EngineConfig,
     programs: ContentCache<Arc<AnalyzedProgram>>,
     summaries: ContentCache<Arc<HashMap<String, ProcSummary>>>,
+    walks: ProcedureCache,
 }
 
 impl Default for Engine {
@@ -151,6 +173,7 @@ impl Engine {
         Engine {
             programs: ContentCache::new(config.program_cache_capacity, config.eviction),
             summaries: ContentCache::new(config.summary_cache_capacity, config.eviction),
+            walks: ProcedureCache::new(config.procedure_cache_capacity, config.eviction),
             config,
         }
     }
@@ -176,6 +199,11 @@ impl Engine {
     }
 
     /// Analyze an already-normalized, type-checked program.
+    ///
+    /// On a program-cache miss the analysis is (with
+    /// [`EngineConfig::incremental`]) seeded from the walk records of every
+    /// cone this program shares with previously analyzed ones, so an edited
+    /// variant of a cached program only re-analyzes the edit's stale cone.
     pub fn analyze_normalized(
         &self,
         program: Program,
@@ -187,12 +215,68 @@ impl Engine {
         }
         let graph = CallGraph::of_program(&program);
         let summaries = self.summaries_for(&program, &types, &graph);
-        let analysis = analyze_program_with_summaries(&program, &types, summaries);
+
+        let (analysis, incremental) = if self.config.incremental {
+            let cones = graph.cone_fingerprints(&program);
+            let mut distinct: Vec<u64> = cones.values().copied().collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let mut reuse = AnalysisSnapshot::new();
+            let mut retained: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            for &cone in &distinct {
+                if let Some(records) = self.walks.get(cone) {
+                    retained.insert(cone);
+                    for record in records.iter() {
+                        reuse.insert(record.clone());
+                    }
+                }
+            }
+            let options = AnalyzeOptions {
+                parallel: self.config.parallel,
+                record: true,
+                reuse: Some(&reuse),
+            };
+            let (analysis, snapshot, mut stats) =
+                analyze_program_with_options(&program, &types, summaries, &options);
+            for (name, cone) in &cones {
+                // Only classify procedures the fixpoint actually walked:
+                // dead code (unreachable from `main`) never records walks,
+                // so its cone would otherwise count as "stale" forever.
+                if analysis.procedure(name).is_none() {
+                    continue;
+                }
+                if retained.contains(cone) {
+                    stats.procedures_reused += 1;
+                } else {
+                    stats.procedures_stale += 1;
+                }
+            }
+            // Persist this run's walks for the next edit, grouped by cone.
+            let snapshot = snapshot.expect("recording was requested");
+            let mut by_cone: HashMap<u64, Vec<Arc<WalkRecord>>> = HashMap::new();
+            for record in snapshot.records() {
+                by_cone.entry(record.cone).or_default().push(record.clone());
+            }
+            for (cone, records) in by_cone {
+                self.walks.insert_merged(cone, records);
+            }
+            (analysis, Some(stats))
+        } else {
+            let options = AnalyzeOptions {
+                parallel: self.config.parallel,
+                ..AnalyzeOptions::default()
+            };
+            let (analysis, _, _) =
+                analyze_program_with_options(&program, &types, summaries, &options);
+            (analysis, None)
+        };
+
         let entry = Arc::new(AnalyzedProgram {
             fingerprint,
             program,
             types,
             analysis: Arc::new(analysis),
+            incremental,
         });
         self.programs.insert(fingerprint, entry.clone());
         (entry, false)
@@ -291,6 +375,12 @@ impl Engine {
             warnings: analysis.warnings.iter().map(|w| w.to_string()).collect(),
             rounds: analysis.rounds,
             analysis_digest: analysis.digest(),
+            incremental: entry.incremental.map(|s| IncrementalReport {
+                procedures_reused: s.procedures_reused,
+                procedures_stale: s.procedures_stale,
+                walks_performed: s.walks_performed,
+                walks_reused: s.walks_reused,
+            }),
             transforms: None,
             violations: Vec::new(),
             parallel_source: None,
@@ -357,13 +447,15 @@ impl Engine {
         }
     }
 
-    /// Counter snapshot across both caches.
+    /// Counter snapshot across the engine's caches.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             programs: self.programs.stats(),
             summaries: self.summaries.stats(),
+            walks: self.walks.stats(),
             program_entries: self.programs.len(),
             summary_entries: self.summaries.len(),
+            walk_entries: self.walks.len(),
         }
     }
 
@@ -372,6 +464,14 @@ impl Engine {
     pub fn clear_caches(&self) {
         self.programs.clear();
         self.summaries.clear();
+        self.walks.clear();
+    }
+
+    /// Drop only the whole-program cache, keeping the summary and walk
+    /// caches warm — the warm-incremental side of cold-vs-incremental
+    /// measurements re-analyzes a program with full cone reuse.
+    pub fn clear_program_cache(&self) {
+        self.programs.clear();
     }
 
     /// Open a session: a lightweight client handle that tracks its own

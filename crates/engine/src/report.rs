@@ -44,6 +44,31 @@ pub struct ExecutionReport {
     pub allocated_nodes: usize,
 }
 
+/// What incremental re-analysis reused for one program (present when the
+/// engine runs in incremental mode and the program missed the whole-program
+/// cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalReport {
+    /// Procedures whose cone fingerprint had retained walks available.
+    pub procedures_reused: usize,
+    /// Procedures analyzed with no retained state (the stale cone).
+    pub procedures_stale: usize,
+    /// Fixpoint body walks actually performed.
+    pub walks_performed: usize,
+    /// Fixpoint body walks replayed from retained records.
+    pub walks_reused: usize,
+}
+
+impl IncrementalReport {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"procedures_reused\":{},\"procedures_stale\":{},\
+             \"walks_performed\":{},\"walks_reused\":{}}}",
+            self.procedures_reused, self.procedures_stale, self.walks_performed, self.walks_reused
+        )
+    }
+}
+
 /// The full pipeline result for one program.
 #[derive(Debug, Clone)]
 pub struct ProgramReport {
@@ -63,6 +88,9 @@ pub struct ProgramReport {
     pub rounds: usize,
     /// Stable digest of the full analysis result.
     pub analysis_digest: u64,
+    /// Incremental-reuse counters (engine in incremental mode, program
+    /// cache missed).
+    pub incremental: Option<IncrementalReport>,
     /// Number of parallelizing transformations applied (when requested).
     pub transforms: Option<usize>,
     /// Static verifier findings on the parallelized output (when requested).
@@ -129,6 +157,9 @@ impl ProgramReport {
             self.rounds,
             self.analysis_digest,
         );
+        if let Some(incremental) = self.incremental {
+            let _ = write!(out, ",\"incremental\":{}", incremental.to_json());
+        }
         if let Some(transforms) = self.transforms {
             let _ = write!(out, ",\"transforms\":{transforms}");
         }
@@ -163,6 +194,13 @@ impl ProgramReport {
             self.warnings.len(),
             self.rounds
         );
+        if let Some(inc) = self.incremental {
+            let _ = writeln!(
+                out,
+                "  incremental: {} procedures reused / {} stale, {} walks replayed / {} performed",
+                inc.procedures_reused, inc.procedures_stale, inc.walks_reused, inc.walks_performed
+            );
+        }
         if let Some(transforms) = self.transforms {
             let _ = writeln!(out, "  parallelized: {transforms} transforms");
         }
@@ -208,6 +246,12 @@ mod tests {
             warnings: vec!["w \"quoted\"".into()],
             rounds: 2,
             analysis_digest: 1,
+            incremental: Some(IncrementalReport {
+                procedures_reused: 3,
+                procedures_stale: 1,
+                walks_performed: 2,
+                walks_reused: 6,
+            }),
             transforms: Some(3),
             violations: vec![],
             parallel_source: None,
@@ -222,6 +266,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"cache_hit\":true"));
+        assert!(json.contains("\"incremental\":{\"procedures_reused\":3"));
+        assert!(json.contains("\"walks_reused\":6"));
         assert!(json.contains("\"transforms\":3"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"work\":10"));

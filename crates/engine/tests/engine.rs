@@ -91,6 +91,7 @@ fn eviction_stats_behave_at_small_capacities() {
             summary_cache_capacity: 4,
             eviction: policy,
             parallel: false,
+            ..EngineConfig::default()
         });
         let sources = generated_sources(8);
         for src in &sources {
@@ -136,6 +137,7 @@ fn lfu_protects_the_hot_program_lru_does_not() {
             summary_cache_capacity: 64,
             eviction: policy,
             parallel: false,
+            ..EngineConfig::default()
         });
         engine.analyze_source(&hot).unwrap();
         for cold in &colds {

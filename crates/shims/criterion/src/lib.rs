@@ -9,9 +9,18 @@
 //! sequential vs. parallel) these benches exist to demonstrate.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Smoke mode (`CRITERION_SMOKE=1`): every benchmark runs exactly one timed
+/// iteration, whatever the configured sample size — CI uses it to prove the
+/// bench code builds and runs without paying for measurements.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var("CRITERION_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
 
 /// The benchmark driver.
 #[derive(Debug, Clone)]
@@ -161,6 +170,11 @@ impl Bencher {
 }
 
 fn run_one(id: &str, sample_size: usize, measurement_time: Duration, f: impl FnOnce(&mut Bencher)) {
+    let (sample_size, measurement_time) = if smoke_mode() {
+        (1, Duration::from_millis(1))
+    } else {
+        (sample_size, measurement_time)
+    };
     let mut bencher = Bencher {
         sample_size,
         measurement_time,

@@ -67,6 +67,74 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+pub mod distributions {
+    //! The distribution surface of `rand_distr` this workspace uses: the
+    //! [`Distribution`] trait and a [`Zipf`] law for skewed request
+    //! generators (cache eviction-policy experiments model a few hot
+    //! programs dominating a long tail, per the NDN caching-policy study in
+    //! PAPERS.md).
+
+    use super::Rng;
+
+    /// Types that produce values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// A Zipf distribution over ranks `1..=n`: `P(k) ∝ 1 / k^s`.
+    ///
+    /// Sampling inverts the precomputed CDF with a binary search —
+    /// `O(log n)` per draw, exact for any exponent `s ≥ 0` (`s = 0` is the
+    /// uniform distribution, larger `s` concentrates the mass on the lowest
+    /// ranks).
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A Zipf law over `1..=n` with exponent `s`.  `n` must be nonzero
+        /// and `s` finite and nonnegative.
+        pub fn new(n: u64, s: f64) -> Result<Zipf, &'static str> {
+            if n == 0 {
+                return Err("Zipf requires at least one rank");
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err("Zipf exponent must be finite and >= 0");
+            }
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut total = 0.0f64;
+            for k in 1..=n {
+                total += (k as f64).powf(-s);
+                cdf.push(total);
+            }
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Ok(Zipf { cdf })
+        }
+
+        /// Number of ranks.
+        pub fn len(&self) -> usize {
+            self.cdf.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.cdf.is_empty()
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        /// Draw a rank in `1..=n` (rank 1 is the most probable).
+        fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            // 53 random bits → uniform in [0, 1)
+            let unit = (rng.gen_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let idx = self.cdf.partition_point(|&c| c < unit);
+            (idx.min(self.cdf.len() - 1) + 1) as u64
+        }
+    }
+}
+
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
@@ -124,6 +192,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((1_800..3_200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&rank));
+            counts[(rank - 1) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 beats rank 10: {counts:?}");
+        assert!(counts[9] > counts[99], "rank 10 beats rank 100");
+        // Rank 1 carries ~21% of the mass at s=1.1, n=100.
+        assert!((8_000..16_000).contains(&counts[0]), "got {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(10, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for c in counts {
+            assert!((1_500..2_500).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_validates() {
+        use super::distributions::{Distribution, Zipf};
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(4, -1.0).is_err());
+        assert!(Zipf::new(4, f64::NAN).is_err());
+        let zipf = Zipf::new(64, 1.3).unwrap();
+        assert_eq!(zipf.len(), 64);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
     }
 
     #[test]
