@@ -9,12 +9,16 @@
 //! * batch throughput over the whole workload suite, sequential engine vs.
 //!   rayon-parallel engine,
 //! * the ROADMAP eviction-policy experiment: LRU-vs-LFU hit-rate table
-//!   under Zipf-skewed request streams at several skews and capacities.
+//!   under Zipf-skewed request streams at several skews and capacities,
+//! * the sharded-routing experiment behind `sild`: aggregate hit rate of a
+//!   fingerprint-routed `ShardedService` vs a single engine of the same
+//!   total capacity, over Zipf-skewed streams of real programs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::distributions::{Distribution, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sil_engine::service::{Request, Service, ShardedService};
 use sil_engine::{ContentCache, Engine, EngineConfig, EvictionPolicy};
 use sil_workloads::programs::Workload;
 use std::hint::black_box;
@@ -174,6 +178,75 @@ fn eviction_policy_hit_rates(c: &mut Criterion) {
     group.finish();
 }
 
+/// 64 distinct real programs (every workload at several sizes), ranked so
+/// Zipf rank 1 is the hottest.
+fn program_corpus() -> Vec<String> {
+    let mut corpus = Vec::new();
+    for size in 3..=9u32 {
+        for workload in Workload::ALL {
+            corpus.push(workload.source(size));
+            if corpus.len() == 64 {
+                return corpus;
+            }
+        }
+    }
+    corpus
+}
+
+/// Drive one Zipf-skewed stream of `Analyze` requests through a sharded
+/// service whose shards split a fixed total program-cache capacity;
+/// returns the aggregate program-cache hit rate.
+fn simulate_sharded(shards: usize, total_capacity: usize, skew: f64, requests: usize) -> f64 {
+    let corpus = program_corpus();
+    let config = EngineConfig::default()
+        .with_program_cache_capacity((total_capacity / shards).max(1))
+        .with_incremental(false);
+    let service = ShardedService::new(shards, config);
+    let zipf = Zipf::new(corpus.len() as u64, skew).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..requests {
+        let rank = zipf.sample(&mut rng) as usize - 1;
+        black_box(service.call(Request::analyze(corpus[rank].clone())));
+    }
+    let stats = service.shard_stats();
+    let hits: u64 = stats.iter().map(|s| s.programs.hits).sum();
+    let misses: u64 = stats.iter().map(|s| s.programs.misses).sum();
+    hits as f64 / (hits + misses) as f64
+}
+
+/// The sharded-routing experiment behind `sild`: with fingerprint routing,
+/// splitting one engine's cache capacity across N shards should keep the
+/// aggregate hit rate roughly flat (each program's entries concentrate on
+/// its home shard) — the table quantifies shard-count vs hit-rate under
+/// Zipf-skewed request streams of *real programs*, feeding the ROADMAP's
+/// eviction auto-tuning item.
+fn sharded_vs_single_hit_rates(c: &mut Criterion) {
+    let requests = if std::env::var_os("CRITERION_SMOKE").is_some() {
+        60
+    } else {
+        240
+    };
+    println!(
+        "sharded routing hit rates ({requests} Zipf requests over 64 real programs, \
+         total program-cache capacity 16):"
+    );
+    println!("{:>6} {:>7} {:>8}", "skew", "shards", "hit rate");
+    for &skew in &[0.9, 1.2] {
+        for &shards in &[1usize, 2, 4, 8] {
+            let rate = simulate_sharded(shards, 16, skew, requests);
+            println!("{skew:>6.1} {shards:>7} {:>7.1}%", rate * 100.0);
+        }
+    }
+
+    let mut group = c.benchmark_group("engine_sharded_zipf");
+    for shards in [1usize, 4] {
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| black_box(simulate_sharded(shards, 16, 1.2, requests / 4)))
+        });
+    }
+    group.finish();
+}
+
 fn batch_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_batch_all_workloads");
     let sources: Vec<String> = Workload::ALL
@@ -203,6 +276,7 @@ criterion_group! {
     incremental_edit,
     summary_reuse_across_variants,
     batch_throughput,
-    eviction_policy_hit_rates
+    eviction_policy_hit_rates,
+    sharded_vs_single_hit_rates
 }
 criterion_main!(engine_cache);

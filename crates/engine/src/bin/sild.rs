@@ -1,0 +1,136 @@
+//! `sild` — the SIL analysis daemon.
+//!
+//! Hosts a [`ShardedService`]: N memoizing engines behind one socket, with
+//! requests routed to shards by stable program fingerprint so a given
+//! program always hits the same shard's caches.  Clients (`silp --connect`,
+//! or anything that can write a line of JSON) speak the newline-delimited
+//! protocol of `sil_engine::service::proto`; one thread serves each
+//! connection.
+//!
+//! ```text
+//! sild --listen unix:/tmp/sild.sock               4 shards on a unix socket
+//! sild --listen tcp:127.0.0.1:7777 --shards 8     8 shards on TCP
+//! silp --connect unix:/tmp/sild.sock --workload all
+//! ```
+//!
+//! The daemon runs until it receives a `shutdown` request (`silp
+//! --shutdown` or a raw `{"protocol_version":1,"type":"shutdown"}` line).
+
+use sil_engine::cli::unknown_flag_error;
+use sil_engine::service::{Addr, Server, ShardedService};
+use sil_engine::{EngineConfig, EvictionPolicy};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: sild --listen <addr> [options]
+
+options:
+  --listen <addr>   address to serve: unix:<path> or tcp:<host:port>
+                    (tcp:host:0 picks a free port and prints it)
+  --shards <n>      number of engine shards (default: 4); requests are
+                    routed by program fingerprint, shard = fingerprint % n
+  --lfu             evict least-frequently-used cache entries
+  --no-incremental  disable incremental re-analysis inside the shards
+  --no-parallel     analyze sequentially inside each shard
+  --quiet           no startup/shutdown log lines on stderr
+  -h, --help        this message
+";
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--listen",
+    "--shards",
+    "--lfu",
+    "--no-incremental",
+    "--no-parallel",
+    "--quiet",
+    "--help",
+];
+
+struct Cli {
+    listen: Addr,
+    shards: usize,
+    config: EngineConfig,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut listen: Option<Addr> = None;
+    let mut shards = 4usize;
+    let mut config = EngineConfig::default();
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--listen needs an address")?;
+                listen = Some(Addr::parse(raw)?);
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "--shards must be an integer".to_string())?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--lfu" => config = config.with_eviction(EvictionPolicy::Lfu),
+            "--no-incremental" => config = config.with_incremental(false),
+            "--no-parallel" => config = config.with_parallel(false),
+            "--quiet" => quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            flag => return Err(unknown_flag_error(flag, KNOWN_FLAGS)),
+        }
+        i += 1;
+    }
+    let listen = listen.ok_or("--listen is required")?;
+    Ok(Cli {
+        listen,
+        shards,
+        config,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("sild: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let service = Arc::new(ShardedService::new(cli.shards, cli.config));
+    let server = match Server::bind(&cli.listen, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sild: cannot listen on {}: {e}", cli.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !cli.quiet {
+        eprintln!(
+            "sild: listening on {} with {} shard{}",
+            server.addr(),
+            cli.shards,
+            if cli.shards == 1 { "" } else { "s" }
+        );
+    }
+    server.run();
+    if !cli.quiet {
+        eprintln!("sild: shut down");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,4 +1,4 @@
-//! `silp` — the SIL pipeline CLI, backed by the memoizing engine.
+//! `silp` — the SIL pipeline CLI, a thin client of the [`Service`] trait.
 //!
 //! ```text
 //! silp file.sil ...                 analyze + parallelize + verify files
@@ -9,13 +9,22 @@
 //! silp --emit-parallel ...          include the parallelized source
 //! silp --no-parallelize ...         analysis only
 //! silp --lfu                        use LFU instead of LRU eviction
-//! silp --stats ...                  print engine cache statistics at exit
+//! silp --stats ...                  print service cache statistics at exit
+//! silp --connect unix:/tmp/s.sock   send requests to a running sild daemon
+//! silp --connect ... --shutdown     ask the daemon to exit
 //! ```
 //!
-//! Exit status is non-zero when any input fails the frontend or the static
-//! verifier reports violations.
+//! The same typed requests flow through the same rendering code whether the
+//! service is in-process (`--in-process`, the default) or a `sild` daemon
+//! (`--connect`), so for a given input set the two modes print identical
+//! bytes — the only observable difference is whose caches get warm.
+//!
+//! Exit status is non-zero when any input fails the frontend, the static
+//! verifier reports violations, or the transport drops.
 
-use sil_engine::{Engine, EngineConfig, EvictionPolicy, ProcessOptions};
+use sil_engine::cli::unknown_flag_error;
+use sil_engine::service::{Json, LocalService, RemoteService, Request, Response, Service};
+use sil_engine::{EngineConfig, EvictionPolicy, ProcessOptions, ProgramReport, ServiceError};
 use sil_workloads::Workload;
 use std::process::ExitCode;
 
@@ -36,9 +45,31 @@ options:
                          walks, and the report carries stale/reused counts
   --json                 emit one JSON array instead of text
   --lfu                  evict least-frequently-used cache entries
-  --stats                print engine cache statistics
+                         (in-process engine only)
+  --stats                print service cache statistics
+  --in-process           serve requests from an in-process engine (default)
+  --connect <addr>       send requests to a sild daemon at unix:<path> or
+                         tcp:<host:port> instead
+  --shutdown             with --connect: ask the daemon to exit
   -h, --help             this message
 ";
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--workload",
+    "--size",
+    "--execute",
+    "--no-parallelize",
+    "--no-verify",
+    "--emit-parallel",
+    "--incremental",
+    "--json",
+    "--lfu",
+    "--stats",
+    "--in-process",
+    "--connect",
+    "--shutdown",
+    "--help",
+];
 
 struct Cli {
     inputs: Vec<(String, String)>, // (label, source)
@@ -47,6 +78,8 @@ struct Cli {
     stats: bool,
     incremental: bool,
     eviction: EvictionPolicy,
+    connect: Option<String>,
+    shutdown: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -57,6 +90,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         stats: false,
         incremental: false,
         eviction: EvictionPolicy::Lru,
+        connect: None,
+        shutdown: false,
     };
     let mut workloads: Vec<String> = Vec::new();
     let mut size: Option<u32> = None;
@@ -86,13 +121,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--lfu" => cli.eviction = EvictionPolicy::Lfu,
             "--stats" => cli.stats = true,
+            "--in-process" => cli.connect = None,
+            "--connect" => {
+                i += 1;
+                cli.connect = Some(args.get(i).ok_or("--connect needs an address")?.clone());
+            }
+            "--shutdown" => cli.shutdown = true,
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with('-') => {
-                return Err(format!("unknown option {flag}"));
+                return Err(unknown_flag_error(flag, KNOWN_FLAGS));
             }
             file => files.push(file.to_string()),
         }
         i += 1;
+    }
+
+    if cli.shutdown && cli.connect.is_none() {
+        return Err("--shutdown only makes sense with --connect".to_string());
     }
 
     for name in workloads {
@@ -117,10 +162,31 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
         cli.inputs.push((file, src));
     }
-    if cli.inputs.is_empty() {
+    if cli.inputs.is_empty() && !cli.shutdown {
         return Err("no inputs: pass SIL files or --workload".to_string());
     }
     Ok(cli)
+}
+
+/// Build the service the requests go to: a daemon connection or an
+/// in-process engine.
+fn open_service(cli: &Cli) -> Result<Box<dyn Service>, String> {
+    match &cli.connect {
+        Some(addr) => {
+            let remote =
+                RemoteService::connect(addr).map_err(|e| format!("cannot reach daemon: {e}"))?;
+            remote
+                .handshake()
+                .map_err(|e| format!("handshake with {addr} failed: {e}"))?;
+            Ok(Box::new(remote))
+        }
+        None => {
+            let config = EngineConfig::default()
+                .with_eviction(cli.eviction)
+                .with_incremental(cli.incremental);
+            Ok(Box::new(LocalService::new(config)))
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -138,29 +204,73 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = Engine::new(EngineConfig {
-        eviction: cli.eviction,
-        incremental: cli.incremental,
-        ..EngineConfig::default()
-    });
-    let sources: Vec<&str> = cli.inputs.iter().map(|(_, src)| src.as_str()).collect();
-    // Incremental mode processes the inputs in their given order on one
-    // thread: an input is an edit of an earlier one, and must find the
-    // earlier cones already retained.
-    let results = if cli.incremental {
+    let service = match open_service(&cli) {
+        Ok(service) => service,
+        Err(message) => {
+            eprintln!("silp: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.shutdown {
+        return match service.call(Request::shutdown()) {
+            Response::ShuttingDown { .. } => {
+                eprintln!("silp: daemon is shutting down");
+                ExitCode::SUCCESS
+            }
+            Response::Error { error, .. } => {
+                eprintln!("silp: shutdown failed: {error}");
+                ExitCode::FAILURE
+            }
+            other => {
+                eprintln!("silp: unexpected shutdown response: {}", other.encode());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cli.incremental && cli.connect.is_some() {
+        eprintln!(
+            "silp: note: over --connect, incremental reuse depends on the daemon's shard \
+             layout — an edit routes by its own fingerprint and may land on a shard that \
+             never saw the base program's cones (run sild with --shards 1 for guaranteed \
+             reuse)"
+        );
+    }
+
+    let sources: Vec<String> = cli.inputs.iter().map(|(_, src)| src.clone()).collect();
+    // Incremental mode processes the inputs in their given order, one
+    // request at a time: an input is an edit of an earlier one, and must
+    // find the earlier cones already retained.  Everything else travels as
+    // one batch request.
+    let results: Vec<Result<ProgramReport, ServiceError>> = if cli.incremental {
         sources
             .iter()
-            .map(|src| engine.process(src, &cli.options))
+            .map(|src| service.process_source(src, &cli.options))
             .collect()
     } else {
-        engine.process_batch(&sources, &cli.options)
+        match service.process_sources(sources, &cli.options) {
+            Ok(items) => items,
+            Err(error) => {
+                eprintln!("silp: batch failed: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
     };
 
     let mut failed = false;
     let mut json_items: Vec<String> = Vec::new();
     for ((label, _), result) in cli.inputs.iter().zip(results) {
         match result {
-            Ok(report) => {
+            Ok(mut report) => {
+                // Incremental-reuse counters depend on which service
+                // handled the request and how warm it was; only surface
+                // them when the run explicitly asked for incremental
+                // processing, so in-process and daemon output stay
+                // comparable byte for byte.
+                if !cli.incremental {
+                    report.incremental = None;
+                }
                 if !report.violations.is_empty() {
                     failed = true;
                 }
@@ -173,11 +283,13 @@ fn main() -> ExitCode {
             Err(error) => {
                 failed = true;
                 if cli.json {
-                    json_items.push(format!(
-                        "{{\"name\":\"{}\",\"error\":\"{}\"}}",
-                        sil_engine::report::json_escape(label),
-                        sil_engine::report::json_escape(&error.to_string())
-                    ));
+                    json_items.push(
+                        Json::obj(vec![
+                            ("name", Json::Str(label.clone())),
+                            ("error", Json::Str(error.to_string())),
+                        ])
+                        .encode(),
+                    );
                 } else {
                     eprintln!("{label}: {error}");
                 }
@@ -188,19 +300,25 @@ fn main() -> ExitCode {
         println!("[{}]", json_items.join(","));
     }
     if cli.stats {
-        let stats = engine.stats();
-        eprintln!(
-            "engine: programs {} entries ({} hits / {} misses, {} evictions); \
-             summaries {} entries ({} hits / {} misses, {} evictions)",
-            stats.program_entries,
-            stats.programs.hits,
-            stats.programs.misses,
-            stats.programs.evictions,
-            stats.summary_entries,
-            stats.summaries.hits,
-            stats.summaries.misses,
-            stats.summaries.evictions,
-        );
+        match service.service_stats() {
+            Ok((shards, total)) => {
+                eprintln!(
+                    "service: {} shard{}; programs {} entries ({} hits / {} misses, {} evictions); \
+                     summaries {} entries ({} hits / {} misses, {} evictions)",
+                    shards.len(),
+                    if shards.len() == 1 { "" } else { "s" },
+                    total.program_entries,
+                    total.programs.hits,
+                    total.programs.misses,
+                    total.programs.evictions,
+                    total.summary_entries,
+                    total.summaries.hits,
+                    total.summaries.misses,
+                    total.summaries.evictions,
+                );
+            }
+            Err(error) => eprintln!("silp: stats failed: {error}"),
+        }
     }
     if failed {
         ExitCode::FAILURE

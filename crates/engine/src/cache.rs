@@ -44,6 +44,14 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Field-wise accumulate (aggregating the same cache across shards).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+
     /// Fraction of lookups served from the cache (0 when never queried).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

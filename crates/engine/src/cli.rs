@@ -1,0 +1,67 @@
+//! Small helpers shared by the `silp` and `sild` command lines.
+//!
+//! Both binaries reject unknown flags with a non-zero exit; when a typo is
+//! close to a real flag, the error carries a "did you mean" hint.
+
+/// Levenshtein edit distance (insert/delete/substitute, all cost 1).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = previous[j] + usize::from(ca != cb);
+            current[j + 1] = substitute
+                .min(previous[j + 1] + 1) // delete
+                .min(current[j] + 1); // insert
+        }
+        std::mem::swap(&mut previous, &mut current);
+    }
+    previous[b.len()]
+}
+
+/// The known flag closest to `unknown`, if it is close enough to be a
+/// plausible typo (edit distance ≤ 3 and under half the flag's length).
+pub fn suggest_flag<'a>(unknown: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|flag| (edit_distance(unknown, flag), *flag))
+        .min()
+        .filter(|(distance, flag)| *distance <= 3 && *distance * 2 <= flag.len())
+        .map(|(_, flag)| flag)
+}
+
+/// The standard unknown-flag error message, with the hint when one exists.
+pub fn unknown_flag_error(unknown: &str, known: &[&str]) -> String {
+    match suggest_flag(unknown, known) {
+        Some(hint) => format!("unknown option {unknown} (did you mean {hint}?)"),
+        None => format!("unknown option {unknown}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("--exeucte", "--execute"), 2);
+    }
+
+    #[test]
+    fn close_typos_get_a_hint() {
+        let known = ["--execute", "--json", "--workload", "--connect"];
+        assert_eq!(suggest_flag("--exeucte", &known), Some("--execute"));
+        assert_eq!(suggest_flag("--jsno", &known), Some("--json"));
+        assert_eq!(suggest_flag("--conect", &known), Some("--connect"));
+        assert_eq!(suggest_flag("--frobnicate", &known), None);
+        assert!(unknown_flag_error("--jsno", &known).contains("did you mean --json?"));
+        assert!(!unknown_flag_error("--zzzzzzz", &known).contains("did you mean"));
+    }
+}

@@ -42,10 +42,16 @@
 //! ```
 
 pub mod cache;
+pub mod cli;
 pub mod report;
+pub mod service;
 
 pub use cache::{CacheStats, ContentCache, EvictionPolicy, ProcedureCache};
 pub use report::{ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport};
+pub use service::{
+    Addr, LocalService, RemoteService, Request, Response, Server, ServerHandle, Service,
+    ServiceError, ShardedService, PROTOCOL_VERSION,
+};
 
 use rayon::prelude::*;
 use sil_analysis::{
@@ -93,6 +99,41 @@ impl Default for EngineConfig {
             parallel: true,
             incremental: true,
         }
+    }
+}
+
+/// Builder-style setters: `EngineConfig::default().with_eviction(Lfu)
+/// .with_incremental(false)` reads better at construction sites than
+/// struct-update syntax and keeps working if fields grow defaults.
+impl EngineConfig {
+    pub fn with_program_cache_capacity(mut self, capacity: usize) -> Self {
+        self.program_cache_capacity = capacity;
+        self
+    }
+
+    pub fn with_summary_cache_capacity(mut self, capacity: usize) -> Self {
+        self.summary_cache_capacity = capacity;
+        self
+    }
+
+    pub fn with_procedure_cache_capacity(mut self, capacity: usize) -> Self {
+        self.procedure_cache_capacity = capacity;
+        self
+    }
+
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
     }
 }
 
@@ -152,6 +193,19 @@ pub struct EngineStats {
     pub walk_entries: usize,
 }
 
+impl EngineStats {
+    /// Field-wise accumulate (aggregating shards of a
+    /// [`service::ShardedService`]).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.programs.absorb(&other.programs);
+        self.summaries.absorb(&other.summaries);
+        self.walks.absorb(&other.walks);
+        self.program_entries += other.program_entries;
+        self.summary_entries += other.summary_entries;
+        self.walk_entries += other.walk_entries;
+    }
+}
+
 /// The memoizing analysis service.  `Engine` is `Sync`: one instance serves
 /// concurrent callers, and all its methods take `&self`.
 #[derive(Debug)]
@@ -184,6 +238,11 @@ impl Engine {
 
     /// Parse, type check, and analyze one program, serving the analysis
     /// from the program cache when its content fingerprint hits.
+    ///
+    /// Compatibility wrapper: the service-facing entry point is the
+    /// unified [`Engine::serve`]`(Request) -> Response` path (this method
+    /// is its `Request::Analyze` arm with the in-process extras — the
+    /// `Arc`'d program — that do not travel over a wire).
     pub fn analyze_source(&self, src: &str) -> Result<Arc<AnalyzedProgram>, EngineError> {
         self.analyze_source_traced(src).map(|(entry, _)| entry)
     }
@@ -354,6 +413,9 @@ impl Engine {
 
     /// Run the full pipeline over one program: analyze (cached), then per
     /// `options` parallelize, verify, and execute, producing a report.
+    ///
+    /// Compatibility wrapper: equivalent to [`Engine::serve`] with
+    /// [`Request::Process`], unwrapped to a Rust `Result`.
     pub fn process(
         &self,
         src: &str,

@@ -2,13 +2,18 @@
 //!
 //! A [`ProgramReport`] is the JSON-serializable summary of one program's
 //! trip through parse → analyze → parallelize → verify → (optionally)
-//! execute.  JSON is rendered by hand — the environment has no serde — but
-//! the shape is stable and documented on each field.
+//! execute.  Reports encode to JSON through the service layer's value
+//! module ([`crate::service::json`]) and — unlike the write-only renderer
+//! this file used to hold — decode back: `from_json_value(to_json_value(r))
+//! == r` exactly, which is what lets a `sild` daemon ship reports to a
+//! remote `silp` that then renders byte-identical output to an in-process
+//! run.
 
+use crate::service::json::{escape, hex64, parse_hex64, Json};
 use std::fmt::Write as _;
 
 /// What the pipeline should do beyond the (always-run) analysis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessOptions {
     /// Run the packing parallelizer and include its transform count.
     pub parallelize: bool,
@@ -35,6 +40,38 @@ impl Default for ProcessOptions {
     }
 }
 
+impl ProcessOptions {
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("parallelize", Json::Bool(self.parallelize)),
+            ("verify", Json::Bool(self.verify)),
+            ("execute", Json::Bool(self.execute)),
+            (
+                "emit_parallel_source",
+                Json::Bool(self.emit_parallel_source),
+            ),
+            ("store_capacity", Json::Int(self.store_capacity as i64)),
+        ])
+    }
+
+    pub fn from_json_value(value: &Json) -> Result<ProcessOptions, String> {
+        let flag = |key: &str| -> Result<bool, String> {
+            field(value, key)?
+                .as_bool()
+                .ok_or_else(|| format!("\"{key}\" must be a bool"))
+        };
+        Ok(ProcessOptions {
+            parallelize: flag("parallelize")?,
+            verify: flag("verify")?,
+            execute: flag("execute")?,
+            emit_parallel_source: flag("emit_parallel_source")?,
+            store_capacity: field(value, "store_capacity")?
+                .as_u64()
+                .ok_or("\"store_capacity\" must be a count")? as usize,
+        })
+    }
+}
+
 /// Work/span accounting of one execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
@@ -42,6 +79,34 @@ pub struct ExecutionReport {
     pub span: u64,
     pub parallelism: f64,
     pub allocated_nodes: usize,
+}
+
+impl ExecutionReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("work", Json::Int(self.work as i64)),
+            ("span", Json::Int(self.span as i64)),
+            ("parallelism", Json::Float(self.parallelism)),
+            ("allocated_nodes", Json::Int(self.allocated_nodes as i64)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<ExecutionReport, String> {
+        Ok(ExecutionReport {
+            work: field(value, "work")?
+                .as_u64()
+                .ok_or("work must be a count")?,
+            span: field(value, "span")?
+                .as_u64()
+                .ok_or("span must be a count")?,
+            parallelism: field(value, "parallelism")?
+                .as_f64()
+                .ok_or("parallelism must be a number")?,
+            allocated_nodes: field(value, "allocated_nodes")?
+                .as_u64()
+                .ok_or("allocated_nodes must be a count")? as usize,
+        })
+    }
 }
 
 /// What incremental re-analysis reused for one program (present when the
@@ -60,17 +125,36 @@ pub struct IncrementalReport {
 }
 
 impl IncrementalReport {
-    fn to_json(self) -> String {
-        format!(
-            "{{\"procedures_reused\":{},\"procedures_stale\":{},\
-             \"walks_performed\":{},\"walks_reused\":{}}}",
-            self.procedures_reused, self.procedures_stale, self.walks_performed, self.walks_reused
-        )
+    fn to_json_value(self) -> Json {
+        Json::obj(vec![
+            (
+                "procedures_reused",
+                Json::Int(self.procedures_reused as i64),
+            ),
+            ("procedures_stale", Json::Int(self.procedures_stale as i64)),
+            ("walks_performed", Json::Int(self.walks_performed as i64)),
+            ("walks_reused", Json::Int(self.walks_reused as i64)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<IncrementalReport, String> {
+        let count = |key: &str| -> Result<usize, String> {
+            field(value, key)?
+                .as_u64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("\"{key}\" must be a count"))
+        };
+        Ok(IncrementalReport {
+            procedures_reused: count("procedures_reused")?,
+            procedures_stale: count("procedures_stale")?,
+            walks_performed: count("walks_performed")?,
+            walks_reused: count("walks_reused")?,
+        })
     }
 }
 
 /// The full pipeline result for one program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramReport {
     /// The program's declared name.
     pub name: String,
@@ -104,77 +188,131 @@ pub struct ProgramReport {
 }
 
 /// Escape a string for embedding in a JSON string literal.
+///
+/// Thin wrapper kept for compatibility; new code should build
+/// [`Json`] values instead of splicing strings.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    escape(s)
 }
 
-fn json_str_list(items: &[String]) -> String {
-    let rendered: Vec<String> = items
+pub(crate) fn field<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+    value.get(key).ok_or_else(|| format!("missing \"{key}\""))
+}
+
+pub(crate) fn string_list(value: &Json) -> Result<Vec<String>, String> {
+    value
+        .as_arr()
+        .ok_or("expected an array of strings")?
         .iter()
-        .map(|s| format!("\"{}\"", json_escape(s)))
-        .collect();
-    format!("[{}]", rendered.join(","))
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "expected a string".to_string())
+        })
+        .collect()
 }
 
-impl ExecutionReport {
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"work\":{},\"span\":{},\"parallelism\":{:.4},\"allocated_nodes\":{}}}",
-            self.work, self.span, self.parallelism, self.allocated_nodes
-        )
-    }
+fn string_list_json(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
 }
 
 impl ProgramReport {
-    /// Render the report as a single JSON object.
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"fingerprint\":\"{:016x}\",\"cache_hit\":{},\
-             \"structure\":\"{}\",\"preserves_tree\":{},\"warnings\":{},\"rounds\":{},\
-             \"analysis_digest\":\"{:016x}\"",
-            json_escape(&self.name),
-            self.fingerprint,
-            self.cache_hit,
-            json_escape(&self.structure),
-            self.preserves_tree,
-            json_str_list(&self.warnings),
-            self.rounds,
-            self.analysis_digest,
-        );
+    /// The report as a JSON value.  Optional fields are omitted (not
+    /// `null`) when absent, and the member order is stable.
+    pub fn to_json_value(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("fingerprint", hex64(self.fingerprint)),
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("structure", Json::Str(self.structure.clone())),
+            ("preserves_tree", Json::Bool(self.preserves_tree)),
+            ("warnings", string_list_json(&self.warnings)),
+            ("rounds", Json::Int(self.rounds as i64)),
+            ("analysis_digest", hex64(self.analysis_digest)),
+        ];
         if let Some(incremental) = self.incremental {
-            let _ = write!(out, ",\"incremental\":{}", incremental.to_json());
+            fields.push(("incremental", incremental.to_json_value()));
         }
         if let Some(transforms) = self.transforms {
-            let _ = write!(out, ",\"transforms\":{transforms}");
+            fields.push(("transforms", Json::Int(transforms as i64)));
         }
-        let _ = write!(out, ",\"violations\":{}", json_str_list(&self.violations));
+        fields.push(("violations", string_list_json(&self.violations)));
         if let Some(src) = &self.parallel_source {
-            let _ = write!(out, ",\"parallel_source\":\"{}\"", json_escape(src));
+            fields.push(("parallel_source", Json::Str(src.clone())));
         }
         if let Some(seq) = &self.sequential_execution {
-            let _ = write!(out, ",\"sequential_execution\":{}", seq.to_json());
+            fields.push(("sequential_execution", seq.to_json_value()));
         }
         if let Some(par) = &self.parallel_execution {
-            let _ = write!(out, ",\"parallel_execution\":{}", par.to_json());
+            fields.push(("parallel_execution", par.to_json_value()));
         }
-        out.push('}');
-        out
+        Json::obj(fields)
+    }
+
+    /// Decode a report encoded by [`ProgramReport::to_json_value`].
+    pub fn from_json_value(value: &Json) -> Result<ProgramReport, String> {
+        Ok(ProgramReport {
+            name: field(value, "name")?
+                .as_str()
+                .ok_or("name must be a string")?
+                .to_string(),
+            fingerprint: parse_hex64(field(value, "fingerprint")?)?,
+            cache_hit: field(value, "cache_hit")?
+                .as_bool()
+                .ok_or("cache_hit must be a bool")?,
+            structure: field(value, "structure")?
+                .as_str()
+                .ok_or("structure must be a string")?
+                .to_string(),
+            preserves_tree: field(value, "preserves_tree")?
+                .as_bool()
+                .ok_or("preserves_tree must be a bool")?,
+            warnings: string_list(field(value, "warnings")?)?,
+            rounds: field(value, "rounds")?
+                .as_u64()
+                .ok_or("rounds must be a count")? as usize,
+            analysis_digest: parse_hex64(field(value, "analysis_digest")?)?,
+            incremental: value
+                .get("incremental")
+                .map(IncrementalReport::from_json_value)
+                .transpose()?,
+            transforms: value
+                .get("transforms")
+                .map(|t| {
+                    t.as_u64()
+                        .map(|v| v as usize)
+                        .ok_or("transforms must be a count")
+                })
+                .transpose()?,
+            violations: string_list(field(value, "violations")?)?,
+            parallel_source: value
+                .get("parallel_source")
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or("parallel_source must be a string")
+                })
+                .transpose()?,
+            sequential_execution: value
+                .get("sequential_execution")
+                .map(ExecutionReport::from_json_value)
+                .transpose()?,
+            parallel_execution: value
+                .get("parallel_execution")
+                .map(ExecutionReport::from_json_value)
+                .transpose()?,
+        })
+    }
+
+    /// Render the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().encode()
+    }
+
+    /// Parse a report rendered by [`ProgramReport::to_json`].
+    pub fn from_json(src: &str) -> Result<ProgramReport, String> {
+        let value = Json::parse(src).map_err(|e| e.to_string())?;
+        ProgramReport::from_json_value(&value)
     }
 
     /// Render the report as a short human-readable block.
@@ -229,15 +367,8 @@ impl ProgramReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_escaping_covers_controls_and_quotes() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
-    }
-
-    #[test]
-    fn report_renders_valid_enough_json() {
-        let report = ProgramReport {
+    fn sample_report() -> ProgramReport {
+        ProgramReport {
             name: "t".into(),
             fingerprint: 0xabcd,
             cache_hit: true,
@@ -262,14 +393,72 @@ mod tests {
                 allocated_nodes: 7,
             }),
             parallel_execution: None,
-        };
-        let json = report.to_json();
+        }
+    }
+
+    #[test]
+    fn json_escaping_covers_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_renders_the_stable_shape() {
+        let json = sample_report().to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"t\""));
+        assert!(json.contains("\"fingerprint\":\"000000000000abcd\""));
         assert!(json.contains("\"cache_hit\":true"));
         assert!(json.contains("\"incremental\":{\"procedures_reused\":3"));
         assert!(json.contains("\"walks_reused\":6"));
         assert!(json.contains("\"transforms\":3"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"work\":10"));
+        assert!(json.contains("\"parallelism\":2.0"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back = ProgramReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json, "encode ∘ parse ∘ encode is identity");
+    }
+
+    #[test]
+    fn absent_optional_fields_stay_absent() {
+        let report = ProgramReport {
+            incremental: None,
+            transforms: None,
+            sequential_execution: None,
+            ..sample_report()
+        };
+        let json = report.to_json();
+        assert!(!json.contains("incremental"));
+        assert!(!json.contains("transforms"));
+        assert!(!json.contains("null"));
+        let back = ProgramReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn process_options_round_trip() {
+        let options = ProcessOptions {
+            parallelize: false,
+            verify: true,
+            execute: true,
+            emit_parallel_source: true,
+            store_capacity: 123,
+        };
+        let back = ProcessOptions::from_json_value(&options.to_json_value()).unwrap();
+        assert_eq!(back, options);
+    }
+
+    #[test]
+    fn decoding_rejects_missing_fields() {
+        let err = ProgramReport::from_json("{\"name\":\"x\"}").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        assert!(ProgramReport::from_json("not json").is_err());
     }
 }

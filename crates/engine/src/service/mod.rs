@@ -1,0 +1,502 @@
+//! The transport-agnostic service layer.
+//!
+//! Everything the engine can do is expressible as one typed
+//! [`Request`] → [`Response`] exchange (see [`proto`]); the [`Service`]
+//! trait abstracts *where* that exchange happens:
+//!
+//! * [`LocalService`] — in process, wrapping an [`Engine`];
+//! * [`ShardedService`] — in process, routing across N engines by stable
+//!   program fingerprint so a given program always hits the same shard's
+//!   caches (the `sild` daemon hosts one of these);
+//! * [`remote::RemoteService`] — over a Unix or TCP socket speaking
+//!   newline-delimited JSON to a `sild` daemon.
+//!
+//! `silp` is written against `dyn Service`, which is what makes
+//! `--in-process` and `--connect` byte-identical: the same requests flow
+//! through the same rendering code, only the transport differs.
+
+pub mod json;
+pub mod proto;
+pub mod remote;
+pub mod server;
+
+pub use json::{Json, JsonError};
+pub use proto::{AnalyzeSummary, ErrorKind, Request, Response, ServiceError, PROTOCOL_VERSION};
+pub use remote::RemoteService;
+pub use server::{Server, ServerHandle};
+
+use crate::report::{ProcessOptions, ProgramReport};
+use crate::{AnalyzedProgram, Engine, EngineConfig, EngineStats};
+use sil_lang::{frontend, program_fingerprint};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Anything that answers protocol requests.
+///
+/// `call` is the entire API; the provided methods are typed conveniences
+/// that unwrap the expected response variant.
+pub trait Service {
+    fn call(&self, request: Request) -> Response;
+
+    /// [`Request::Process`] one source, expecting a report.
+    fn process_source(
+        &self,
+        source: &str,
+        options: &ProcessOptions,
+    ) -> Result<ProgramReport, ServiceError> {
+        match self.call(Request::process(source, options.clone())) {
+            Response::Report { report, .. } => Ok(report),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("report", &other)),
+        }
+    }
+
+    /// [`Request::Batch`] many sources, expecting per-input results in
+    /// input order.
+    fn process_sources(
+        &self,
+        sources: Vec<String>,
+        options: &ProcessOptions,
+    ) -> Result<Vec<Result<ProgramReport, ServiceError>>, ServiceError> {
+        match self.call(Request::batch(sources, options.clone())) {
+            Response::Batch { items, .. } => Ok(items),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("batch", &other)),
+        }
+    }
+
+    /// [`Request::Stats`], expecting per-shard counters plus the aggregate.
+    fn service_stats(&self) -> Result<(Vec<EngineStats>, EngineStats), ServiceError> {
+        match self.call(Request::stats()) {
+            Response::Stats { shards, total, .. } => Ok((shards, total)),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServiceError {
+    ServiceError::malformed(format!(
+        "expected a {wanted} response, got {:?}",
+        got.to_json_value().get("type")
+    ))
+}
+
+/// The stable routing key for one source text: the content fingerprint of
+/// its normalized program.  Sources that fail the frontend hash their raw
+/// bytes instead (FNV-1a) — still deterministic, so the same broken input
+/// always reaches the same shard and its error is reproducible.
+pub fn route_fingerprint(source: &str) -> u64 {
+    match frontend(source) {
+        Ok((program, _)) => program_fingerprint(&program),
+        Err(_) => {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in source.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash
+        }
+    }
+}
+
+impl Engine {
+    /// The unified entry point every other entry point now routes through:
+    /// answer one protocol request in process.
+    ///
+    /// The named methods ([`Engine::analyze_source`], [`Engine::process`],
+    /// [`Engine::process_batch`], …) remain as thin typed wrappers for
+    /// callers that want Rust results instead of protocol values.
+    pub fn serve(&self, request: Request) -> Response {
+        if request.version() != PROTOCOL_VERSION {
+            return Response::error(ServiceError::version_mismatch(request.version()));
+        }
+        match request {
+            Request::Analyze { source, .. } => match self.analyze_source_traced(&source) {
+                Ok((entry, cache_hit)) => Response::analyzed(summarize(&entry, cache_hit)),
+                Err(e) => Response::error((&e).into()),
+            },
+            Request::Process {
+                source, options, ..
+            } => match self.process(&source, &options) {
+                Ok(report) => Response::report(report),
+                Err(e) => Response::error((&e).into()),
+            },
+            Request::Batch {
+                sources, options, ..
+            } => Response::batch(
+                self.process_batch(&sources, &options)
+                    .into_iter()
+                    .map(|r| r.map_err(|e| (&e).into()))
+                    .collect(),
+            ),
+            Request::Stats { .. } => Response::stats(vec![self.stats()]),
+            Request::ClearCaches { .. } => {
+                self.clear_caches();
+                Response::cleared()
+            }
+            // In process there is nothing to shut down; the daemon's server
+            // loop intercepts this variant before it reaches an engine.
+            Request::Shutdown { .. } => Response::shutting_down(),
+        }
+    }
+}
+
+fn summarize(entry: &AnalyzedProgram, cache_hit: bool) -> AnalyzeSummary {
+    AnalyzeSummary {
+        fingerprint: entry.fingerprint,
+        cache_hit,
+        structure: entry
+            .analysis
+            .procedure("main")
+            .map(|p| p.exit.structure.to_string())
+            .unwrap_or_else(|| "UNKNOWN".to_string()),
+        preserves_tree: entry.analysis.preserves_tree(),
+        warnings: entry
+            .analysis
+            .warnings
+            .iter()
+            .map(|w| w.to_string())
+            .collect(),
+        rounds: entry.analysis.rounds,
+        analysis_digest: entry.analysis.digest(),
+    }
+}
+
+impl Service for Engine {
+    fn call(&self, request: Request) -> Response {
+        self.serve(request)
+    }
+}
+
+/// The in-process [`Service`]: one engine, zero transport.
+#[derive(Debug, Default)]
+pub struct LocalService {
+    engine: Arc<Engine>,
+}
+
+impl LocalService {
+    pub fn new(config: EngineConfig) -> LocalService {
+        LocalService {
+            engine: Arc::new(Engine::new(config)),
+        }
+    }
+
+    /// Share an existing engine (its caches stay visible to other holders).
+    pub fn over(engine: Arc<Engine>) -> LocalService {
+        LocalService { engine }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl Service for LocalService {
+    fn call(&self, request: Request) -> Response {
+        self.engine.serve(request)
+    }
+}
+
+/// N engines behind one [`Service`], with requests routed by stable program
+/// fingerprint: `shard = fingerprint % N`.
+///
+/// The routing rule is the whole point — a given program *always* lands on
+/// the same shard, so its whole-program, summary, and walk cache entries
+/// accumulate in exactly one place instead of being diluted across every
+/// engine (the NDN caching literature calls this cache partitioning; it is
+/// what makes per-shard hit rates add up instead of cancel out).  Batches
+/// are split by the same rule and the sub-batches run on one thread per
+/// shard.
+#[derive(Debug)]
+pub struct ShardedService {
+    shards: Vec<Arc<Engine>>,
+}
+
+impl ShardedService {
+    /// `shard_count` engines, each built from the same config
+    /// (`shard_count` is clamped to at least 1).
+    pub fn new(shard_count: usize, config: EngineConfig) -> ShardedService {
+        let shards = (0..shard_count.max(1))
+            .map(|_| Arc::new(Engine::new(config.clone())))
+            .collect();
+        ShardedService { shards }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a fingerprint routes to.
+    pub fn shard_for(&self, fingerprint: u64) -> usize {
+        (fingerprint % self.shards.len() as u64) as usize
+    }
+
+    /// Which shard a source text routes to.
+    pub fn shard_for_source(&self, source: &str) -> usize {
+        self.shard_for(route_fingerprint(source))
+    }
+
+    /// The engine behind one shard (tests and benches peek at per-shard
+    /// caches through this).
+    pub fn shard(&self, index: usize) -> &Engine {
+        &self.shards[index]
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(|engine| engine.stats()).collect()
+    }
+
+    fn batch(&self, sources: Vec<String>, options: &ProcessOptions) -> Response {
+        if self.shards.len() == 1 {
+            return self.shards[0].serve(Request::batch(sources, options.clone()));
+        }
+        // Partition by routing rule, keeping each source's original index
+        // so the merged results come back in input order.
+        let mut partitions: Vec<Vec<(usize, String)>> = vec![Vec::new(); self.shards.len()];
+        for (index, source) in sources.into_iter().enumerate() {
+            let shard = self.shard_for_source(&source);
+            partitions[shard].push((index, source));
+        }
+        let mut merged: Vec<Option<Result<ProgramReport, ServiceError>>> = Vec::new();
+        merged.resize_with(partitions.iter().map(Vec::len).sum(), || None);
+        std::thread::scope(|scope| {
+            let mut pending = Vec::new();
+            for (shard, partition) in self.shards.iter().zip(&partitions) {
+                if partition.is_empty() {
+                    continue;
+                }
+                pending.push(scope.spawn(move || {
+                    let sub: Vec<&str> = partition.iter().map(|(_, s)| s.as_str()).collect();
+                    shard
+                        .process_batch(&sub, options)
+                        .into_iter()
+                        .zip(partition.iter().map(|(index, _)| *index))
+                        .map(|(result, index)| (index, result.map_err(|e| (&e).into())))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in pending {
+                for (index, result) in handle.join().expect("shard batch thread panicked") {
+                    merged[index] = Some(result);
+                }
+            }
+        });
+        Response::batch(
+            merged
+                .into_iter()
+                .map(|slot| slot.expect("index gap"))
+                .collect(),
+        )
+    }
+}
+
+impl Service for ShardedService {
+    fn call(&self, request: Request) -> Response {
+        if request.version() != PROTOCOL_VERSION {
+            return Response::error(ServiceError::version_mismatch(request.version()));
+        }
+        match request {
+            Request::Analyze { ref source, .. } | Request::Process { ref source, .. } => {
+                // With one shard there is nothing to route; skip the
+                // routing parse entirely.  With several, routing costs one
+                // extra frontend pass per request (the shard's engine
+                // re-parses) — small next to an analysis, and a warm hit
+                // still skips the analysis itself.
+                let shard = if self.shards.len() == 1 {
+                    0
+                } else {
+                    self.shard_for_source(source)
+                };
+                self.shards[shard].serve(request)
+            }
+            Request::Batch {
+                sources, options, ..
+            } => self.batch(sources, &options),
+            Request::Stats { .. } => Response::stats(self.shard_stats()),
+            Request::ClearCaches { .. } => {
+                for shard in &self.shards {
+                    shard.clear_caches();
+                }
+                Response::cleared()
+            }
+            Request::Shutdown { .. } => Response::shutting_down(),
+        }
+    }
+}
+
+/// A listening or dialing address: `unix:<path>` or `tcp:<host:port>`.
+/// Bare strings are accepted too — anything containing `/` is a Unix
+/// socket path, anything else is a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Addr {
+    pub fn parse(text: &str) -> Result<Addr, String> {
+        if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".to_string());
+            }
+            return Ok(Addr::Unix(PathBuf::from(path)));
+        }
+        if let Some(hostport) = text.strip_prefix("tcp:") {
+            if !hostport.contains(':') {
+                return Err(format!("tcp address {hostport:?} needs host:port"));
+            }
+            return Ok(Addr::Tcp(hostport.to_string()));
+        }
+        if text.is_empty() {
+            return Err("empty address".to_string());
+        }
+        if text.contains('/') {
+            Ok(Addr::Unix(PathBuf::from(text)))
+        } else if text.contains(':') {
+            Ok(Addr::Tcp(text.to_string()))
+        } else {
+            Err(format!(
+                "cannot tell what {text:?} is: use unix:<path> or tcp:<host:port>"
+            ))
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(path) => write!(f, "unix:{}", path.display()),
+            Addr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sil_workloads::Workload;
+
+    #[test]
+    fn local_service_answers_like_the_engine() {
+        let service = LocalService::new(EngineConfig::default());
+        let src = Workload::TreeSum.source(4);
+        let report = service
+            .process_source(&src, &ProcessOptions::default())
+            .unwrap();
+        let direct = service
+            .engine()
+            .process(&src, &ProcessOptions::default())
+            .unwrap();
+        assert_eq!(report.analysis_digest, direct.analysis_digest);
+        assert_eq!(report.fingerprint, direct.fingerprint);
+    }
+
+    #[test]
+    fn engine_serve_rejects_foreign_versions() {
+        let engine = Engine::default();
+        match engine.serve(Request::stats().with_version(2)) {
+            Response::Error { error, version } => {
+                assert_eq!(error.kind, ErrorKind::Protocol);
+                assert_eq!(version, PROTOCOL_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_format_insensitive() {
+        let src = Workload::TreeSum.source(4);
+        let reformatted = format!("\n\n{}", src.replace("  ", "    "));
+        assert_eq!(
+            route_fingerprint(&src),
+            route_fingerprint(&reformatted),
+            "routing keys off the normalized program, not the text"
+        );
+        let broken = "program nope {";
+        assert_eq!(route_fingerprint(broken), route_fingerprint(broken));
+    }
+
+    #[test]
+    fn sharded_routing_pins_a_program_to_one_shard() {
+        let service = ShardedService::new(4, EngineConfig::default());
+        let src = Workload::AddAndReverse.source(4);
+        let home = service.shard_for_source(&src);
+        for _ in 0..3 {
+            match service.call(Request::process(&src, ProcessOptions::default())) {
+                Response::Report { .. } => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = service.shard_stats();
+        for (index, shard) in stats.iter().enumerate() {
+            let touched = shard.programs.hits + shard.programs.misses;
+            if index == home {
+                assert_eq!(touched, 3, "home shard serves every repeat");
+                assert_eq!(shard.programs.hits, 2, "repeats hit the warm cache");
+            } else {
+                assert_eq!(touched, 0, "shard {index} must stay cold");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_keeps_input_order_and_matches_single_engine() {
+        let sources: Vec<String> = Workload::ALL
+            .iter()
+            .map(|w| w.source(w.test_size()))
+            .collect();
+        let sharded = ShardedService::new(3, EngineConfig::default());
+        let single = LocalService::new(EngineConfig::default());
+        let from_shards = sharded
+            .process_sources(sources.clone(), &ProcessOptions::default())
+            .unwrap();
+        let from_single = single
+            .process_sources(sources, &ProcessOptions::default())
+            .unwrap();
+        assert_eq!(from_shards.len(), from_single.len());
+        for (a, b) in from_shards.iter().zip(&from_single) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.name, b.name, "order must match");
+            assert_eq!(a.analysis_digest, b.analysis_digest);
+        }
+    }
+
+    #[test]
+    fn sharded_clear_caches_reaches_every_shard() {
+        let service = ShardedService::new(2, EngineConfig::default());
+        for workload in [Workload::TreeSum, Workload::ListSum, Workload::Bisort] {
+            let src = workload.source(3);
+            service.call(Request::analyze(src));
+        }
+        assert!(service.shard_stats().iter().any(|s| s.program_entries > 0));
+        assert_eq!(service.call(Request::clear_caches()), Response::cleared());
+        assert!(service.shard_stats().iter().all(|s| s.program_entries == 0));
+    }
+
+    #[test]
+    fn addr_parsing_covers_both_transports() {
+        assert_eq!(
+            Addr::parse("unix:/tmp/sild.sock").unwrap(),
+            Addr::Unix(PathBuf::from("/tmp/sild.sock"))
+        );
+        assert_eq!(
+            Addr::parse("/tmp/sild.sock").unwrap(),
+            Addr::Unix(PathBuf::from("/tmp/sild.sock"))
+        );
+        assert_eq!(
+            Addr::parse("tcp:127.0.0.1:7777").unwrap(),
+            Addr::Tcp("127.0.0.1:7777".into())
+        );
+        assert_eq!(
+            Addr::parse("localhost:7777").unwrap(),
+            Addr::Tcp("localhost:7777".into())
+        );
+        assert!(Addr::parse("").is_err());
+        assert!(Addr::parse("unix:").is_err());
+        assert!(Addr::parse("tcp:missingport").is_err());
+        assert!(Addr::parse("sild").is_err());
+        assert_eq!(Addr::parse("unix:/a/b").unwrap().to_string(), "unix:/a/b");
+    }
+}

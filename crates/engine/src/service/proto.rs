@@ -1,0 +1,839 @@
+//! The versioned, transport-agnostic wire protocol: typed [`Request`] and
+//! [`Response`] values with exact JSON codecs.
+//!
+//! Every message is one JSON object carrying a `protocol_version` and a
+//! `type` discriminator; on the wire (see [`super::remote`] and
+//! [`super::server`]) messages are newline-delimited.  The codecs are total
+//! inverses: `decode(encode(m)) == m` for every message, which is what lets
+//! a remote client reconstruct a [`ProgramReport`] bit-for-bit and render
+//! output byte-identical to an in-process run.
+//!
+//! Version negotiation is deliberately simple: a server answers a request
+//! whose `protocol_version` it does not speak with
+//! [`ErrorKind::Protocol`], and every response carries the server's own
+//! version, so a client learns the supported version from any error.
+
+use super::json::{hex64, parse_hex64, Json};
+use crate::report::{field, string_list, ProcessOptions, ProgramReport};
+use crate::{CacheStats, EngineError, EngineStats};
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A request to the analysis service.  Every variant carries the
+/// `protocol_version` the client speaks; the [`Request::analyze`]-style
+/// constructors fill in [`PROTOCOL_VERSION`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse, type check, and analyze one program (no parallelization or
+    /// execution).
+    Analyze { version: u32, source: String },
+    /// Run the full pipeline over one program per the options.
+    Process {
+        version: u32,
+        source: String,
+        options: ProcessOptions,
+    },
+    /// [`Request::Process`] over many programs; results keep input order.
+    Batch {
+        version: u32,
+        sources: Vec<String>,
+        options: ProcessOptions,
+    },
+    /// Cache counters, per shard and aggregated.
+    Stats { version: u32 },
+    /// Drop every cached entry on every shard.
+    ClearCaches { version: u32 },
+    /// Ask a daemon to exit after responding.
+    Shutdown { version: u32 },
+}
+
+impl Request {
+    pub fn analyze(source: impl Into<String>) -> Request {
+        Request::Analyze {
+            version: PROTOCOL_VERSION,
+            source: source.into(),
+        }
+    }
+
+    pub fn process(source: impl Into<String>, options: ProcessOptions) -> Request {
+        Request::Process {
+            version: PROTOCOL_VERSION,
+            source: source.into(),
+            options,
+        }
+    }
+
+    pub fn batch(sources: Vec<String>, options: ProcessOptions) -> Request {
+        Request::Batch {
+            version: PROTOCOL_VERSION,
+            sources,
+            options,
+        }
+    }
+
+    pub fn stats() -> Request {
+        Request::Stats {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn clear_caches() -> Request {
+        Request::ClearCaches {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn shutdown() -> Request {
+        Request::Shutdown {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    /// The protocol version the request claims to speak.
+    pub fn version(&self) -> u32 {
+        match self {
+            Request::Analyze { version, .. }
+            | Request::Process { version, .. }
+            | Request::Batch { version, .. }
+            | Request::Stats { version }
+            | Request::ClearCaches { version }
+            | Request::Shutdown { version } => *version,
+        }
+    }
+
+    /// The same request claiming a different protocol version (negotiation
+    /// tests).
+    pub fn with_version(mut self, v: u32) -> Request {
+        match &mut self {
+            Request::Analyze { version, .. }
+            | Request::Process { version, .. }
+            | Request::Batch { version, .. }
+            | Request::Stats { version }
+            | Request::ClearCaches { version }
+            | Request::Shutdown { version } => *version = v,
+        }
+        self
+    }
+
+    pub fn to_json_value(&self) -> Json {
+        let (kind, mut fields): (&str, Vec<(&str, Json)>) = match self {
+            Request::Analyze { source, .. } => {
+                ("analyze", vec![("source", Json::Str(source.clone()))])
+            }
+            Request::Process {
+                source, options, ..
+            } => (
+                "process",
+                vec![
+                    ("source", Json::Str(source.clone())),
+                    ("options", options.to_json_value()),
+                ],
+            ),
+            Request::Batch {
+                sources, options, ..
+            } => (
+                "batch",
+                vec![
+                    (
+                        "sources",
+                        Json::Arr(sources.iter().map(|s| Json::Str(s.clone())).collect()),
+                    ),
+                    ("options", options.to_json_value()),
+                ],
+            ),
+            Request::Stats { .. } => ("stats", vec![]),
+            Request::ClearCaches { .. } => ("clear_caches", vec![]),
+            Request::Shutdown { .. } => ("shutdown", vec![]),
+        };
+        let mut all = vec![
+            ("protocol_version", Json::Int(self.version() as i64)),
+            ("type", Json::Str(kind.to_string())),
+        ];
+        all.append(&mut fields);
+        Json::obj(all)
+    }
+
+    /// One-line wire encoding (contains no raw newlines: the JSON encoder
+    /// escapes every control character).
+    pub fn encode(&self) -> String {
+        self.to_json_value().encode()
+    }
+
+    pub fn from_json_value(value: &Json) -> Result<Request, ServiceError> {
+        let version = field_version(value)?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::malformed("request is missing \"type\""))?;
+        let source = |value: &Json| -> Result<String, ServiceError> {
+            Ok(value
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServiceError::malformed("request is missing \"source\""))?
+                .to_string())
+        };
+        let options = |value: &Json| -> Result<ProcessOptions, ServiceError> {
+            let raw = value
+                .get("options")
+                .ok_or_else(|| ServiceError::malformed("request is missing \"options\""))?;
+            ProcessOptions::from_json_value(raw).map_err(ServiceError::malformed)
+        };
+        match kind {
+            "analyze" => Ok(Request::Analyze {
+                version,
+                source: source(value)?,
+            }),
+            "process" => Ok(Request::Process {
+                version,
+                source: source(value)?,
+                options: options(value)?,
+            }),
+            "batch" => {
+                let sources = value
+                    .get("sources")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServiceError::malformed("request is missing \"sources\""))?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ServiceError::malformed("non-string batch source"))
+                    })
+                    .collect::<Result<Vec<String>, ServiceError>>()?;
+                Ok(Request::Batch {
+                    version,
+                    sources,
+                    options: options(value)?,
+                })
+            }
+            "stats" => Ok(Request::Stats { version }),
+            "clear_caches" => Ok(Request::ClearCaches { version }),
+            "shutdown" => Ok(Request::Shutdown { version }),
+            other => Err(ServiceError::malformed(format!(
+                "unknown request type {other:?}"
+            ))),
+        }
+    }
+
+    pub fn decode(line: &str) -> Result<Request, ServiceError> {
+        let value = Json::parse(line)
+            .map_err(|e| ServiceError::malformed(format!("unparseable request: {e}")))?;
+        Request::from_json_value(&value)
+    }
+}
+
+/// What the analysis-only [`Request::Analyze`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeSummary {
+    /// Content fingerprint of the normalized program (the cache key).
+    pub fingerprint: u64,
+    /// Whether the program cache served the request.
+    pub cache_hit: bool,
+    /// Structural classification at `main`'s exit.
+    pub structure: String,
+    pub preserves_tree: bool,
+    /// Structure warnings, rendered.
+    pub warnings: Vec<String>,
+    /// Rounds the interprocedural analysis needed.
+    pub rounds: usize,
+    /// Stable digest of the full analysis result.
+    pub analysis_digest: u64,
+}
+
+impl AnalyzeSummary {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("fingerprint", hex64(self.fingerprint)),
+            ("cache_hit", Json::Bool(self.cache_hit)),
+            ("structure", Json::Str(self.structure.clone())),
+            ("preserves_tree", Json::Bool(self.preserves_tree)),
+            (
+                "warnings",
+                Json::Arr(self.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+            ),
+            ("rounds", Json::Int(self.rounds as i64)),
+            ("analysis_digest", hex64(self.analysis_digest)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<AnalyzeSummary, String> {
+        Ok(AnalyzeSummary {
+            fingerprint: parse_hex64(field(value, "fingerprint")?)?,
+            cache_hit: field(value, "cache_hit")?
+                .as_bool()
+                .ok_or("cache_hit must be a bool")?,
+            structure: field(value, "structure")?
+                .as_str()
+                .ok_or("structure must be a string")?
+                .to_string(),
+            preserves_tree: field(value, "preserves_tree")?
+                .as_bool()
+                .ok_or("preserves_tree must be a bool")?,
+            warnings: string_list(field(value, "warnings")?)?,
+            rounds: field(value, "rounds")?
+                .as_u64()
+                .ok_or("rounds must be a count")? as usize,
+            analysis_digest: parse_hex64(field(value, "analysis_digest")?)?,
+        })
+    }
+}
+
+/// A response from the analysis service.  Every variant carries the
+/// responder's protocol version — on a version mismatch the client reads
+/// the supported version out of the [`Response::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Analyze`].
+    Analyzed {
+        version: u32,
+        summary: AnalyzeSummary,
+    },
+    /// Answer to [`Request::Process`].
+    Report { version: u32, report: ProgramReport },
+    /// Answer to [`Request::Batch`]: per-input report or error, in input
+    /// order.
+    Batch {
+        version: u32,
+        items: Vec<Result<ProgramReport, ServiceError>>,
+    },
+    /// Answer to [`Request::Stats`]: one entry per engine shard plus the
+    /// field-wise aggregate (a single-engine service reports one shard).
+    Stats {
+        version: u32,
+        shards: Vec<EngineStats>,
+        total: EngineStats,
+    },
+    /// Answer to [`Request::ClearCaches`].
+    Cleared { version: u32 },
+    /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
+    ShuttingDown { version: u32 },
+    /// The request failed as a whole.
+    Error { version: u32, error: ServiceError },
+}
+
+impl Response {
+    pub fn analyzed(summary: AnalyzeSummary) -> Response {
+        Response::Analyzed {
+            version: PROTOCOL_VERSION,
+            summary,
+        }
+    }
+
+    pub fn report(report: ProgramReport) -> Response {
+        Response::Report {
+            version: PROTOCOL_VERSION,
+            report,
+        }
+    }
+
+    pub fn batch(items: Vec<Result<ProgramReport, ServiceError>>) -> Response {
+        Response::Batch {
+            version: PROTOCOL_VERSION,
+            items,
+        }
+    }
+
+    pub fn stats(shards: Vec<EngineStats>) -> Response {
+        let mut total = EngineStats::default();
+        for shard in &shards {
+            total.absorb(shard);
+        }
+        Response::Stats {
+            version: PROTOCOL_VERSION,
+            shards,
+            total,
+        }
+    }
+
+    pub fn cleared() -> Response {
+        Response::Cleared {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn shutting_down() -> Response {
+        Response::ShuttingDown {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn error(error: ServiceError) -> Response {
+        Response::Error {
+            version: PROTOCOL_VERSION,
+            error,
+        }
+    }
+
+    /// The protocol version of whoever produced this response.
+    pub fn version(&self) -> u32 {
+        match self {
+            Response::Analyzed { version, .. }
+            | Response::Report { version, .. }
+            | Response::Batch { version, .. }
+            | Response::Stats { version, .. }
+            | Response::Cleared { version }
+            | Response::ShuttingDown { version }
+            | Response::Error { version, .. } => *version,
+        }
+    }
+
+    pub fn to_json_value(&self) -> Json {
+        let (kind, mut fields): (&str, Vec<(&str, Json)>) = match self {
+            Response::Analyzed { summary, .. } => {
+                ("analyzed", vec![("summary", summary.to_json_value())])
+            }
+            Response::Report { report, .. } => ("report", vec![("report", report.to_json_value())]),
+            Response::Batch { items, .. } => (
+                "batch",
+                vec![(
+                    "items",
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|item| match item {
+                                Ok(report) => Json::obj(vec![("report", report.to_json_value())]),
+                                Err(error) => Json::obj(vec![("error", error.to_json_value())]),
+                            })
+                            .collect(),
+                    ),
+                )],
+            ),
+            Response::Stats { shards, total, .. } => (
+                "stats",
+                vec![
+                    (
+                        "shards",
+                        Json::Arr(shards.iter().map(engine_stats_to_json).collect()),
+                    ),
+                    ("total", engine_stats_to_json(total)),
+                ],
+            ),
+            Response::Cleared { .. } => ("cleared", vec![]),
+            Response::ShuttingDown { .. } => ("shutting_down", vec![]),
+            Response::Error { error, .. } => ("error", vec![("error", error.to_json_value())]),
+        };
+        let mut all = vec![
+            ("protocol_version", Json::Int(self.version() as i64)),
+            ("type", Json::Str(kind.to_string())),
+        ];
+        all.append(&mut fields);
+        Json::obj(all)
+    }
+
+    /// One-line wire encoding.
+    pub fn encode(&self) -> String {
+        self.to_json_value().encode()
+    }
+
+    pub fn from_json_value(value: &Json) -> Result<Response, ServiceError> {
+        let version = field_version(value)?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::malformed("response is missing \"type\""))?;
+        match kind {
+            "analyzed" => {
+                let raw = value
+                    .get("summary")
+                    .ok_or_else(|| ServiceError::malformed("missing \"summary\""))?;
+                Ok(Response::Analyzed {
+                    version,
+                    summary: AnalyzeSummary::from_json_value(raw)
+                        .map_err(ServiceError::malformed)?,
+                })
+            }
+            "report" => {
+                let raw = value
+                    .get("report")
+                    .ok_or_else(|| ServiceError::malformed("missing \"report\""))?;
+                Ok(Response::Report {
+                    version,
+                    report: ProgramReport::from_json_value(raw).map_err(ServiceError::malformed)?,
+                })
+            }
+            "batch" => {
+                let raw = value
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServiceError::malformed("missing \"items\""))?;
+                let items = raw
+                    .iter()
+                    .map(|item| {
+                        if let Some(report) = item.get("report") {
+                            ProgramReport::from_json_value(report)
+                                .map(Ok)
+                                .map_err(ServiceError::malformed)
+                        } else if let Some(error) = item.get("error") {
+                            ServiceError::from_json_value(error).map(Err)
+                        } else {
+                            Err(ServiceError::malformed(
+                                "batch item carries neither \"report\" nor \"error\"",
+                            ))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, ServiceError>>()?;
+                Ok(Response::Batch { version, items })
+            }
+            "stats" => {
+                let shards = value
+                    .get("shards")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServiceError::malformed("missing \"shards\""))?
+                    .iter()
+                    .map(|s| engine_stats_from_json(s).map_err(ServiceError::malformed))
+                    .collect::<Result<Vec<_>, ServiceError>>()?;
+                let total = value
+                    .get("total")
+                    .ok_or_else(|| ServiceError::malformed("missing \"total\""))
+                    .and_then(|t| engine_stats_from_json(t).map_err(ServiceError::malformed))?;
+                Ok(Response::Stats {
+                    version,
+                    shards,
+                    total,
+                })
+            }
+            "cleared" => Ok(Response::Cleared { version }),
+            "shutting_down" => Ok(Response::ShuttingDown { version }),
+            "error" => {
+                let raw = value
+                    .get("error")
+                    .ok_or_else(|| ServiceError::malformed("missing \"error\""))?;
+                Ok(Response::Error {
+                    version,
+                    error: ServiceError::from_json_value(raw)?,
+                })
+            }
+            other => Err(ServiceError::malformed(format!(
+                "unknown response type {other:?}"
+            ))),
+        }
+    }
+
+    pub fn decode(line: &str) -> Result<Response, ServiceError> {
+        let value = Json::parse(line)
+            .map_err(|e| ServiceError::malformed(format!("unparseable response: {e}")))?;
+        Response::from_json_value(&value)
+    }
+}
+
+/// What went wrong, coarsely classified for the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The source did not parse or type check.
+    Frontend,
+    /// Execution was requested and the interpreter rejected the program.
+    Runtime,
+    /// The request spoke an unsupported protocol version.
+    Protocol,
+    /// The transport failed (connect, read, or write).
+    Transport,
+    /// The message was not a well-formed protocol message.
+    Malformed,
+}
+
+impl ErrorKind {
+    fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::Frontend => "frontend",
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Transport => "transport",
+            ErrorKind::Malformed => "malformed",
+        }
+    }
+
+    fn from_wire_name(name: &str) -> Option<ErrorKind> {
+        Some(match name {
+            "frontend" => ErrorKind::Frontend,
+            "runtime" => ErrorKind::Runtime,
+            "protocol" => ErrorKind::Protocol,
+            "transport" => ErrorKind::Transport,
+            "malformed" => ErrorKind::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+/// A service-level failure that travels over the wire.
+///
+/// Renders exactly like [`EngineError`] for the frontend/runtime kinds
+/// (`frontend: …` / `runtime: …`), so a remote client's error output is
+/// byte-identical to an in-process run's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl ServiceError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    pub fn malformed(message: impl Into<String>) -> ServiceError {
+        ServiceError::new(ErrorKind::Malformed, message)
+    }
+
+    pub fn transport(message: impl Into<String>) -> ServiceError {
+        ServiceError::new(ErrorKind::Transport, message)
+    }
+
+    /// The error a service answers when a request speaks a version it does
+    /// not support.
+    pub fn version_mismatch(got: u32) -> ServiceError {
+        ServiceError::new(
+            ErrorKind::Protocol,
+            format!(
+                "protocol version {got} is not supported; this service speaks {PROTOCOL_VERSION}"
+            ),
+        )
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.wire_name().to_string())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<ServiceError, ServiceError> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(ErrorKind::from_wire_name)
+            .ok_or_else(|| ServiceError::malformed("error is missing a known \"kind\""))?;
+        let message = value
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServiceError::malformed("error is missing \"message\""))?
+            .to_string();
+        Ok(ServiceError { kind, message })
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.wire_name(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<&EngineError> for ServiceError {
+    fn from(e: &EngineError) -> ServiceError {
+        match e {
+            EngineError::Frontend(e) => ServiceError::new(ErrorKind::Frontend, e.to_string()),
+            EngineError::Runtime(e) => ServiceError::new(ErrorKind::Runtime, e.clone()),
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> ServiceError {
+        ServiceError::from(&e)
+    }
+}
+
+fn field_version(value: &Json) -> Result<u32, ServiceError> {
+    value
+        .get("protocol_version")
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| ServiceError::malformed("message is missing \"protocol_version\""))
+}
+
+fn cache_stats_to_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Int(stats.hits as i64)),
+        ("misses", Json::Int(stats.misses as i64)),
+        ("insertions", Json::Int(stats.insertions as i64)),
+        ("evictions", Json::Int(stats.evictions as i64)),
+    ])
+}
+
+fn cache_stats_from_json(value: &Json) -> Result<CacheStats, String> {
+    let count = |key: &str| -> Result<u64, String> {
+        field(value, key)?
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    Ok(CacheStats {
+        hits: count("hits")?,
+        misses: count("misses")?,
+        insertions: count("insertions")?,
+        evictions: count("evictions")?,
+    })
+}
+
+fn engine_stats_to_json(stats: &EngineStats) -> Json {
+    Json::obj(vec![
+        ("programs", cache_stats_to_json(&stats.programs)),
+        ("summaries", cache_stats_to_json(&stats.summaries)),
+        ("walks", cache_stats_to_json(&stats.walks)),
+        ("program_entries", Json::Int(stats.program_entries as i64)),
+        ("summary_entries", Json::Int(stats.summary_entries as i64)),
+        ("walk_entries", Json::Int(stats.walk_entries as i64)),
+    ])
+}
+
+fn engine_stats_from_json(value: &Json) -> Result<EngineStats, String> {
+    let count = |key: &str| -> Result<usize, String> {
+        field(value, key)?
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    Ok(EngineStats {
+        programs: cache_stats_from_json(field(value, "programs")?)?,
+        summaries: cache_stats_from_json(field(value, "summaries")?)?,
+        walks: cache_stats_from_json(field(value, "walks")?)?,
+        program_entries: count("program_entries")?,
+        summary_entries: count("summary_entries")?,
+        walk_entries: count("walk_entries")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let line = request.encode();
+        assert!(!line.contains('\n'), "wire lines must be newline-free");
+        let back = Request::decode(&line).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(back.encode(), line);
+    }
+
+    fn round_trip_response(response: Response) {
+        let line = response.encode();
+        assert!(!line.contains('\n'));
+        let back = Response::decode(&line).unwrap();
+        assert_eq!(back, response);
+        assert_eq!(back.encode(), line);
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        round_trip_request(Request::analyze("program p\nmain() {}\n"));
+        round_trip_request(Request::process(
+            "src with \"quotes\" and \u{1}",
+            ProcessOptions {
+                execute: true,
+                store_capacity: 77,
+                ..ProcessOptions::default()
+            },
+        ));
+        round_trip_request(Request::batch(
+            vec!["a".into(), "b\nb".into()],
+            ProcessOptions::default(),
+        ));
+        round_trip_request(Request::stats());
+        round_trip_request(Request::clear_caches());
+        round_trip_request(Request::shutdown());
+    }
+
+    #[test]
+    fn every_simple_response_variant_round_trips() {
+        round_trip_response(Response::analyzed(AnalyzeSummary {
+            fingerprint: 0xfeed,
+            cache_hit: true,
+            structure: "TREE".into(),
+            preserves_tree: true,
+            warnings: vec!["w\n1".into()],
+            rounds: 3,
+            analysis_digest: 0xbeef,
+        }));
+        round_trip_response(Response::stats(vec![
+            EngineStats::default(),
+            EngineStats {
+                program_entries: 4,
+                ..EngineStats::default()
+            },
+        ]));
+        round_trip_response(Response::cleared());
+        round_trip_response(Response::shutting_down());
+        round_trip_response(Response::error(ServiceError::version_mismatch(99)));
+        round_trip_response(Response::batch(vec![Err(ServiceError::new(
+            ErrorKind::Frontend,
+            "parse error at line 1",
+        ))]));
+    }
+
+    #[test]
+    fn stats_total_aggregates_shards() {
+        let a = EngineStats {
+            programs: CacheStats {
+                hits: 2,
+                misses: 1,
+                insertions: 1,
+                evictions: 0,
+            },
+            program_entries: 1,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            programs: CacheStats {
+                hits: 3,
+                misses: 4,
+                insertions: 4,
+                evictions: 2,
+            },
+            program_entries: 2,
+            ..EngineStats::default()
+        };
+        match Response::stats(vec![a, b]) {
+            Response::Stats { total, shards, .. } => {
+                assert_eq!(shards.len(), 2);
+                assert_eq!(total.programs.hits, 5);
+                assert_eq!(total.programs.misses, 5);
+                assert_eq!(total.program_entries, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_travels_and_can_be_overridden() {
+        let request = Request::stats().with_version(99);
+        assert_eq!(request.version(), 99);
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded.version(), 99);
+        assert_eq!(Response::cleared().version(), PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn mismatch_error_names_the_supported_version() {
+        let error = ServiceError::version_mismatch(7);
+        assert_eq!(error.kind, ErrorKind::Protocol);
+        assert!(error.message.contains("version 7"));
+        assert!(error.message.contains(&PROTOCOL_VERSION.to_string()));
+    }
+
+    #[test]
+    fn service_error_renders_like_engine_error() {
+        let engine_err = EngineError::Runtime("store exhausted".into());
+        let service_err = ServiceError::from(&engine_err);
+        assert_eq!(service_err.to_string(), engine_err.to_string());
+    }
+
+    #[test]
+    fn malformed_wire_data_is_rejected_not_panicked() {
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"protocol_version":1}"#,
+            r#"{"protocol_version":1,"type":"warp"}"#,
+            r#"{"type":"stats"}"#,
+            r#"{"protocol_version":1,"type":"process","source":"x"}"#,
+        ] {
+            let err = Request::decode(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{line:?}");
+        }
+    }
+}

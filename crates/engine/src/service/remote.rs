@@ -1,0 +1,171 @@
+//! The client side of the wire: a [`Service`] that speaks
+//! newline-delimited JSON to a `sild` daemon over a Unix or TCP socket.
+//!
+//! One message per line, one response per request, strictly in order — the
+//! simplest framing that is still trivially debuggable with `nc`/`socat`.
+//! The JSON encoder escapes every control character, so an encoded message
+//! can never contain a raw newline and the framing is unambiguous.
+
+use super::proto::{Request, Response, ServiceError, PROTOCOL_VERSION};
+use super::{Addr, Service};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+
+/// Either stream type behind one `Read`/`Write` face.
+#[derive(Debug)]
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn connect(addr: &Addr) -> io::Result<Conn> {
+        match addr {
+            Addr::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Addr::Tcp(hostport) => {
+                let stream = TcpStream::connect(hostport.as_str())?;
+                // Each request is one small line; batching for throughput
+                // happens at the protocol level (Request::Batch), so favor
+                // latency.
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+struct Pipe {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+/// A [`Service`] backed by one connection to a remote daemon.
+///
+/// The connection is serialized behind a mutex (the protocol is strict
+/// request/response); open one `RemoteService` per concurrent client
+/// instead of sharing one across threads that should proceed in parallel.
+pub struct RemoteService {
+    addr: Addr,
+    pipe: Mutex<Pipe>,
+}
+
+impl RemoteService {
+    /// Dial `addr` (`unix:<path>`, `tcp:<host:port>`, or the bare forms —
+    /// see [`Addr::parse`]).
+    pub fn connect(addr: &str) -> Result<RemoteService, ServiceError> {
+        let addr = Addr::parse(addr).map_err(ServiceError::transport)?;
+        RemoteService::dial(&addr)
+    }
+
+    pub fn dial(addr: &Addr) -> Result<RemoteService, ServiceError> {
+        let writer = Conn::connect(addr)
+            .map_err(|e| ServiceError::transport(format!("cannot connect to {addr}: {e}")))?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| ServiceError::transport(format!("cannot clone stream: {e}")))?;
+        Ok(RemoteService {
+            addr: addr.clone(),
+            pipe: Mutex::new(Pipe {
+                reader: BufReader::new(reader),
+                writer,
+            }),
+        })
+    }
+
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Verify the daemon speaks our protocol version with a
+    /// [`Request::Stats`] ping; on mismatch the returned error names both
+    /// versions.
+    pub fn handshake(&self) -> Result<(), ServiceError> {
+        match self.call(Request::stats()) {
+            Response::Stats { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+            Response::Error { error, .. } => Err(error),
+            other => Err(ServiceError::new(
+                super::ErrorKind::Protocol,
+                format!(
+                    "daemon speaks protocol version {}, this client speaks {PROTOCOL_VERSION}",
+                    other.version()
+                ),
+            )),
+        }
+    }
+
+    fn exchange(&self, line: &str) -> Result<String, ServiceError> {
+        let mut pipe = self.pipe.lock().unwrap();
+        pipe.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| pipe.writer.write_all(b"\n"))
+            .and_then(|_| pipe.writer.flush())
+            .map_err(|e| ServiceError::transport(format!("write to {}: {e}", self.addr)))?;
+        let mut reply = String::new();
+        let n = pipe
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| ServiceError::transport(format!("read from {}: {e}", self.addr)))?;
+        if n == 0 {
+            return Err(ServiceError::transport(format!(
+                "{} closed the connection",
+                self.addr
+            )));
+        }
+        Ok(reply)
+    }
+}
+
+impl Service for RemoteService {
+    fn call(&self, request: Request) -> Response {
+        let line = request.encode();
+        match self.exchange(&line) {
+            Ok(reply) => match Response::decode(reply.trim_end_matches(['\r', '\n'])) {
+                Ok(response) => response,
+                Err(error) => Response::error(error),
+            },
+            Err(error) => Response::error(error),
+        }
+    }
+}
+
+impl std::fmt::Debug for RemoteService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteService")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,206 @@
+//! The daemon side of the wire: accept connections, answer one
+//! newline-delimited protocol message per line, one thread per client.
+//!
+//! The `sild` binary is a thin shell around [`Server`]; tests spawn the
+//! same server in-process on a temp socket, so the daemon path is exercised
+//! by `cargo test` without managing child processes.
+//!
+//! Shutdown is cooperative: a [`Request::Shutdown`] (or
+//! [`ServerHandle::shutdown`]) sets a flag and wakes the accept loop with a
+//! throwaway connection; the loop re-checks the flag per accepted
+//! connection and exits.  A shutdown request speaking the wrong protocol
+//! version is answered with the version error and does *not* stop the
+//! daemon.
+
+use super::proto::{Request, Response, ServiceError, PROTOCOL_VERSION};
+use super::{Addr, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// A bound, not-yet-running protocol server.
+pub struct Server {
+    listener: Listener,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+}
+
+impl Server {
+    /// Bind `addr` and wrap `service`.  A stale Unix socket file at the
+    /// path is removed first (the daemon owns its socket path); for
+    /// `tcp:host:0` the resolved port is visible via [`Server::addr`].
+    pub fn bind(addr: &Addr, service: Arc<dyn Service + Send + Sync>) -> std::io::Result<Server> {
+        let (listener, resolved) = match addr {
+            Addr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                (Listener::Unix(listener, path.clone()), addr.clone())
+            }
+            Addr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport.as_str())?;
+                let resolved = Addr::Tcp(listener.local_addr()?.to_string());
+                (Listener::Tcp(listener), resolved)
+            }
+        };
+        Ok(Server {
+            listener,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            addr: resolved,
+        })
+    }
+
+    /// The bound address, with `tcp:…:0` resolved to the real port.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Accept and serve connections until shut down.  Blocks; use
+    /// [`Server::spawn`] to run on a background thread.
+    pub fn run(self) {
+        let Server {
+            listener,
+            service,
+            shutdown,
+            addr,
+        } = self;
+        loop {
+            let stream = match &listener {
+                Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Transient accept failures (e.g. fd exhaustion under
+                // load) must not spin a core; back off briefly.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            };
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || serve_connection(stream, service, shutdown, addr));
+        }
+        if let Listener::Unix(_, path) = listener {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Run on a background thread, returning a handle that can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr.clone();
+        let shutdown = self.shutdown.clone();
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        }
+    }
+}
+
+/// Control handle for a spawned [`Server`].
+pub struct ServerHandle {
+    addr: Addr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// Stop the accept loop and wait for it to exit.  Connections already
+    /// being served finish their current line on their own threads.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake(&self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Unblock an accept loop that is waiting in `accept()` by dialing it once.
+fn wake(addr: &Addr) {
+    match addr {
+        Addr::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+        Addr::Tcp(hostport) => {
+            let _ = TcpStream::connect(hostport.as_str());
+        }
+    }
+}
+
+fn serve_connection(
+    stream: Stream,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+) {
+    let (reader, mut writer): (Box<dyn std::io::Read>, Box<dyn Write>) = match stream {
+        Stream::Unix(s) => match s.try_clone() {
+            Ok(clone) => (Box::new(clone), Box::new(s)),
+            Err(_) => return,
+        },
+        Stream::Tcp(s) => match s.try_clone() {
+            Ok(clone) => (Box::new(clone), Box::new(s)),
+            Err(_) => return,
+        },
+    };
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match Request::decode(trimmed) {
+            Err(error) => Response::error(error),
+            Ok(request) if request.version() != PROTOCOL_VERSION => {
+                Response::error(ServiceError::version_mismatch(request.version()))
+            }
+            Ok(Request::Shutdown { .. }) => {
+                // Acknowledge, then stop the daemon: flag + self-dial wakes
+                // the accept loop.
+                let _ = write_response(&mut writer, &Response::shutting_down());
+                shutdown.store(true, Ordering::SeqCst);
+                wake(&addr);
+                return;
+            }
+            Ok(request) => service.call(request),
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut dyn Write, response: &Response) -> std::io::Result<()> {
+    let mut line = response.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}

@@ -1,0 +1,211 @@
+//! CLI-level tests: the `silp` and `sild` binaries themselves, including
+//! the strict flag parser and the daemon/client round trip that must be
+//! byte-identical to in-process output.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn silp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_silp"))
+}
+
+fn sild() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sild"))
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_a_hint() {
+    let output = silp()
+        .args(["--jsno", "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "unknown flags must fail");
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("unknown option --jsno"), "{stderr}");
+    assert!(stderr.contains("did you mean --json?"), "{stderr}");
+
+    let output = silp()
+        .args(["--exeucte", "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(stderr_of(&output).contains("did you mean --execute?"));
+}
+
+#[test]
+fn hopeless_flags_get_no_hint_but_still_fail() {
+    let output = silp().args(["--frobnicate-the-widgets"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("unknown option --frobnicate-the-widgets"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+}
+
+#[test]
+fn sild_rejects_unknown_flags_with_a_hint() {
+    let output = sild()
+        .args(["--listne", "unix:/tmp/x.sock"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("unknown option --listne"), "{stderr}");
+    assert!(stderr.contains("did you mean --listen?"), "{stderr}");
+}
+
+#[test]
+fn shutdown_without_connect_is_an_error() {
+    let output = silp().args(["--shutdown"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(stderr_of(&output).contains("--shutdown only makes sense with --connect"));
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    sock: PathBuf,
+}
+
+impl Daemon {
+    /// Launch `sild` on a fresh temp unix socket and wait until it accepts.
+    fn launch(name: &str, shards: &str) -> Daemon {
+        let sock =
+            std::env::temp_dir().join(format!("sild-cli-{}-{name}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let addr = format!("unix:{}", sock.display());
+        let child = sild()
+            .args(["--listen", &addr, "--shards", shards, "--quiet"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !sock.exists() {
+            assert!(Instant::now() < deadline, "sild never bound {addr}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, addr, sock }
+    }
+
+    fn stop(mut self) {
+        let output = silp()
+            .args(["--connect", &self.addr, "--shutdown"])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{}", stderr_of(&output));
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "sild must exit cleanly");
+        let _ = std::fs::remove_file(&self.sock);
+    }
+}
+
+/// The acceptance criterion: `silp --connect` against a running `sild`
+/// produces byte-identical JSON (and text) to `silp --in-process` for
+/// every built-in workload.
+#[test]
+fn connect_output_is_byte_identical_to_in_process() {
+    // One fresh (cold) daemon per output mode: in-process runs are always
+    // cold, so the comparison needs an equally cold daemon.
+    for (name, extra) in [("diff-json", &["--json"][..]), ("diff-text", &[])] {
+        let daemon = Daemon::launch(name, "4");
+        let mut remote_args = vec!["--connect", daemon.addr.as_str(), "--workload", "all"];
+        remote_args.extend_from_slice(extra);
+        let mut local_args = vec!["--in-process", "--workload", "all"];
+        local_args.extend_from_slice(extra);
+
+        let remote = silp().args(&remote_args).output().unwrap();
+        let local = silp().args(&local_args).output().unwrap();
+        assert!(remote.status.success(), "{}", stderr_of(&remote));
+        assert!(local.status.success(), "{}", stderr_of(&local));
+        assert!(!remote.stdout.is_empty());
+        assert_eq!(
+            remote.stdout, local.stdout,
+            "daemon and in-process output must be byte-identical ({extra:?})"
+        );
+        daemon.stop();
+    }
+}
+
+/// A second client run against the same warm daemon is served from its
+/// caches: the reports flip to `cache_hit:true` and the stats line shows
+/// the hits.
+#[test]
+fn warm_daemon_serves_cache_hits_to_a_second_run() {
+    let daemon = Daemon::launch("warm", "2");
+    let args = [
+        "--connect",
+        daemon.addr.as_str(),
+        "--workload",
+        "all",
+        "--json",
+        "--stats",
+    ];
+
+    let cold = silp().args(args).output().unwrap();
+    assert!(cold.status.success(), "{}", stderr_of(&cold));
+    assert!(String::from_utf8_lossy(&cold.stdout).contains("\"cache_hit\":false"));
+
+    let warm = silp().args(args).output().unwrap();
+    assert!(warm.status.success());
+    let stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        !stdout.contains("\"cache_hit\":false"),
+        "all inputs must hit"
+    );
+    assert!(stdout.contains("\"cache_hit\":true"));
+    let stderr = stderr_of(&warm);
+    assert!(stderr.contains("2 shards"), "{stderr}");
+
+    daemon.stop();
+}
+
+#[test]
+fn connect_to_nothing_fails_cleanly() {
+    let output = silp()
+        .args([
+            "--connect",
+            "unix:/tmp/definitely-not-a-sild.sock",
+            "--workload",
+            "tree_sum",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("cannot reach daemon"),
+        "{}",
+        stderr_of(&output)
+    );
+}
+
+/// Frontend errors travel the wire and render exactly like in-process
+/// errors (same stderr line, same JSON error object, same exit status).
+#[test]
+fn remote_errors_render_like_local_errors() {
+    let daemon = Daemon::launch("errors", "2");
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("silp-bad-{}.sil", std::process::id()));
+    std::fs::write(&bad, "program broken (").unwrap();
+    let bad_path = bad.to_str().unwrap();
+
+    let remote = silp()
+        .args(["--connect", &daemon.addr, "--json", bad_path])
+        .output()
+        .unwrap();
+    let local = silp().args(["--json", bad_path]).output().unwrap();
+    assert!(!remote.status.success());
+    assert!(!local.status.success());
+    assert_eq!(remote.stdout, local.stdout, "error JSON must match");
+    assert!(String::from_utf8_lossy(&remote.stdout).contains("\"error\":\"frontend:"));
+
+    let _ = std::fs::remove_file(&bad);
+    daemon.stop();
+}

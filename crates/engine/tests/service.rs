@@ -1,0 +1,440 @@
+//! Integration tests of the service layer: wire round-trips over generated
+//! reports, and a real `sild`-style daemon on a temp socket driven by
+//! concurrent clients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sil_engine::service::{
+    ErrorKind, LocalService, RemoteService, Request, Response, Server, Service, ShardedService,
+    PROTOCOL_VERSION,
+};
+use sil_engine::{
+    Addr, Engine, EngineConfig, ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport,
+};
+use sil_workloads::Workload;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Round-trip property tests over generated reports
+// ---------------------------------------------------------------------------
+
+/// A string that stresses the encoder: control characters (the full
+/// U+0000–U+001F range), quotes, backslashes, and multi-byte scalars.
+fn nasty_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..16);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..8) {
+            0 => char::from_u32(rng.gen_range(0u32..0x20)).unwrap(),
+            1 => '"',
+            2 => '\\',
+            3 => '/',
+            4 => 'é',
+            5 => '\u{2028}',
+            6 => '😀',
+            _ => char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap(),
+        })
+        .collect()
+}
+
+fn generated_execution(rng: &mut StdRng) -> ExecutionReport {
+    let work = rng.gen_range(1u64..1_000_000);
+    let span = rng.gen_range(1u64..work + 1);
+    ExecutionReport {
+        work,
+        span,
+        parallelism: work as f64 / span as f64,
+        allocated_nodes: rng.gen_range(0usize..10_000),
+    }
+}
+
+fn generated_report(rng: &mut StdRng) -> ProgramReport {
+    ProgramReport {
+        name: nasty_string(rng),
+        fingerprint: rng.gen_u64(),
+        cache_hit: rng.gen_bool(0.5),
+        structure: ["TREE", "DAG", "CYCLE", "UNKNOWN"][rng.gen_range(0usize..4)].to_string(),
+        preserves_tree: rng.gen_bool(0.5),
+        warnings: (0..rng.gen_range(0usize..4))
+            .map(|_| nasty_string(rng))
+            .collect(),
+        rounds: rng.gen_range(0usize..50),
+        analysis_digest: rng.gen_u64(),
+        incremental: rng.gen_bool(0.5).then(|| IncrementalReport {
+            procedures_reused: rng.gen_range(0usize..100),
+            procedures_stale: rng.gen_range(0usize..100),
+            walks_performed: rng.gen_range(0usize..1000),
+            walks_reused: rng.gen_range(0usize..1000),
+        }),
+        transforms: rng.gen_bool(0.5).then(|| rng.gen_range(0usize..40)),
+        violations: (0..rng.gen_range(0usize..3))
+            .map(|_| nasty_string(rng))
+            .collect(),
+        parallel_source: rng.gen_bool(0.3).then(|| nasty_string(rng)),
+        sequential_execution: rng.gen_bool(0.5).then(|| generated_execution(rng)),
+        parallel_execution: rng.gen_bool(0.5).then(|| generated_execution(rng)),
+    }
+}
+
+/// encode → parse → encode is the identity on 300 generated reports, and
+/// the parsed value equals the original field for field.
+#[test]
+fn generated_reports_round_trip_exactly() {
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = generated_report(&mut rng);
+        let json = report.to_json();
+        assert!(
+            !json.bytes().any(|b| b < 0x20),
+            "seed {seed}: control byte leaked into the encoding: {json:?}"
+        );
+        let decoded =
+            ProgramReport::from_json(&json).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{json}"));
+        assert_eq!(decoded, report, "seed {seed}");
+        assert_eq!(decoded.to_json(), json, "seed {seed}: re-encode diverged");
+    }
+}
+
+/// The same property through the full wire envelope: a `Response::Report`
+/// line decodes back to an identical response, and re-encodes identically.
+#[test]
+fn generated_reports_round_trip_through_the_wire_envelope() {
+    for seed in 300..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let response = Response::report(generated_report(&mut rng));
+        let line = response.encode();
+        assert!(!line.contains('\n'), "seed {seed}: framing would break");
+        let decoded = Response::decode(&line).unwrap();
+        assert_eq!(decoded, response, "seed {seed}");
+        assert_eq!(decoded.encode(), line, "seed {seed}");
+    }
+}
+
+/// Real reports (every workload, execution on) round-trip too — not just
+/// synthetic ones.
+#[test]
+fn workload_reports_round_trip_exactly() {
+    let engine = Engine::default();
+    let options = ProcessOptions {
+        execute: true,
+        emit_parallel_source: true,
+        ..ProcessOptions::default()
+    };
+    for workload in Workload::ALL {
+        let src = workload.source(workload.test_size());
+        let report = engine.process(&src, &options).unwrap();
+        let json = report.to_json();
+        let decoded = ProgramReport::from_json(&json).unwrap();
+        assert_eq!(decoded, report, "{}", workload.name());
+        assert_eq!(decoded.to_json(), json, "{}", workload.name());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon tests: a real server on a temp socket
+// ---------------------------------------------------------------------------
+
+fn temp_socket(name: &str) -> Addr {
+    let path = std::env::temp_dir().join(format!("sild-test-{}-{name}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Addr::Unix(path)
+}
+
+fn spawn_daemon(name: &str, shards: usize) -> (Arc<ShardedService>, sil_engine::ServerHandle) {
+    let service = Arc::new(ShardedService::new(shards, EngineConfig::default()));
+    let server = Server::bind(&temp_socket(name), service.clone()).unwrap();
+    (service, server.spawn())
+}
+
+/// Three concurrent clients drive cold and warm cycles over every
+/// workload; every report matches the in-process oracle digest, warm
+/// requests are served as program-cache hits, and routing keeps each
+/// program's cache traffic on exactly one shard.
+#[test]
+fn concurrent_clients_get_oracle_results_and_shards_stay_disjoint() {
+    let shard_count = 3;
+    let (service, handle) = spawn_daemon("concurrent", shard_count);
+    let addr = handle.addr().to_string();
+
+    // In-process oracle: digest per workload from a fresh engine.
+    let oracle = LocalService::new(EngineConfig::default());
+    let sources: Vec<String> = Workload::ALL
+        .iter()
+        .map(|w| w.source(w.test_size()))
+        .collect();
+    let expected: Vec<ProgramReport> = sources
+        .iter()
+        .map(|src| {
+            oracle
+                .process_source(src, &ProcessOptions::default())
+                .unwrap()
+        })
+        .collect();
+
+    let rounds = 2; // first round cold, second warm
+    std::thread::scope(|scope| {
+        for client in 0..3 {
+            let addr = &addr;
+            let sources = &sources;
+            let expected = &expected;
+            scope.spawn(move || {
+                let remote = RemoteService::connect(addr).unwrap();
+                remote.handshake().unwrap();
+                for round in 0..rounds {
+                    for (src, want) in sources.iter().zip(expected) {
+                        let got = remote
+                            .process_source(src, &ProcessOptions::default())
+                            .unwrap();
+                        assert_eq!(
+                            got.analysis_digest, want.analysis_digest,
+                            "client {client} round {round}: daemon diverged from in-process"
+                        );
+                        assert_eq!(got.fingerprint, want.fingerprint);
+                        assert_eq!(got.name, want.name);
+                        assert_eq!(got.transforms, want.transforms);
+                    }
+                }
+            });
+        }
+    });
+
+    // Warm behavior: repeats hit the one shard that owns each program.
+    // Concurrent cold clients may race a program's very first analysis
+    // (each of the 3 clients can miss it once before the first insert
+    // lands), so misses are bounded per client, not globally unique —
+    // but every request after the cold window must be a hit.
+    let clients = 3u64;
+    let client_requests = clients * rounds * sources.len() as u64;
+    let stats = service.shard_stats();
+    let hits: u64 = stats.iter().map(|s| s.programs.hits).sum();
+    let misses: u64 = stats.iter().map(|s| s.programs.misses).sum();
+    assert_eq!(hits + misses, client_requests);
+    assert!(
+        (sources.len() as u64..=clients * sources.len() as u64).contains(&misses),
+        "misses confined to the cold window: {misses}"
+    );
+    assert!(hits >= client_requests - clients * sources.len() as u64);
+
+    // Per-shard confinement: shard i holds exactly the programs homed to
+    // it and a foreign shard never sees a byte of their traffic — if
+    // routing were not sticky, repeats would scatter and cold-miss on
+    // other shards.
+    let mut homed = vec![0usize; shard_count];
+    for src in &sources {
+        homed[service.shard_for_source(src)] += 1;
+    }
+    for (index, shard) in stats.iter().enumerate() {
+        assert_eq!(
+            shard.program_entries, homed[index],
+            "shard {index} must cache exactly its homed programs"
+        );
+        let touched = shard.programs.hits + shard.programs.misses;
+        if homed[index] == 0 {
+            assert_eq!(touched, 0, "shard {index} must stay untouched");
+        } else {
+            assert_eq!(
+                touched,
+                clients * rounds * homed[index] as u64,
+                "shard {index} serves all traffic for its homed programs"
+            );
+        }
+    }
+    let resident: usize = stats.iter().map(|s| s.program_entries).sum();
+    assert_eq!(resident, sources.len(), "each program cached exactly once");
+
+    handle.shutdown();
+}
+
+/// The warm daemon serves a repeated request with a program-cache hit that
+/// is visible in the `Stats` response (the acceptance criterion).
+#[test]
+fn warm_daemon_hit_is_visible_in_stats_response() {
+    let (_service, handle) = spawn_daemon("warmstats", 2);
+    let remote = RemoteService::connect(&handle.addr().to_string()).unwrap();
+    let src = Workload::AddAndReverse.source(4);
+
+    let cold = remote
+        .process_source(&src, &ProcessOptions::default())
+        .unwrap();
+    assert!(!cold.cache_hit);
+    let warm = remote
+        .process_source(&src, &ProcessOptions::default())
+        .unwrap();
+    assert!(warm.cache_hit, "repeat must be served from the cache");
+    assert_eq!(warm.analysis_digest, cold.analysis_digest);
+
+    let (shards, total) = remote.service_stats().unwrap();
+    assert_eq!(shards.len(), 2);
+    assert_eq!(total.programs.hits, 1, "the warm hit shows in Stats");
+    assert_eq!(total.programs.misses, 1);
+    let hot_shards = shards.iter().filter(|s| s.programs.hits > 0).count();
+    assert_eq!(hot_shards, 1, "the hit happened on the program's one shard");
+
+    handle.shutdown();
+}
+
+/// Version negotiation: a request speaking an unsupported version gets a
+/// protocol error naming the supported version, and the daemon keeps
+/// serving current-version requests on the same connection.
+#[test]
+fn protocol_version_mismatch_negotiation() {
+    let (_service, handle) = spawn_daemon("version", 1);
+    let remote = RemoteService::connect(&handle.addr().to_string()).unwrap();
+
+    match remote.call(Request::stats().with_version(99)) {
+        Response::Error { error, version } => {
+            assert_eq!(error.kind, ErrorKind::Protocol);
+            assert_eq!(version, PROTOCOL_VERSION, "the error names what we speak");
+            assert!(error.message.contains("99"), "{}", error.message);
+            assert!(
+                error.message.contains(&PROTOCOL_VERSION.to_string()),
+                "{}",
+                error.message
+            );
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+
+    // A wrong-version shutdown must NOT stop the daemon…
+    match remote.call(Request::shutdown().with_version(0)) {
+        Response::Error { error, .. } => assert_eq!(error.kind, ErrorKind::Protocol),
+        other => panic!("{other:?}"),
+    }
+    // …and the connection still serves the supported version.
+    assert!(remote.handshake().is_ok());
+    let (_, total) = remote.service_stats().unwrap();
+    assert_eq!(total.programs.misses, 0);
+
+    handle.shutdown();
+}
+
+/// Malformed lines get a malformed-error response without poisoning the
+/// connection.
+#[test]
+fn malformed_lines_are_answered_not_fatal() {
+    use std::io::{BufRead, BufReader, Write};
+    let (_service, handle) = spawn_daemon("malformed", 1);
+    let Addr::Unix(path) = handle.addr().clone() else {
+        panic!("expected a unix socket");
+    };
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match Response::decode(line.trim()).unwrap() {
+        Response::Error { error, .. } => assert_eq!(error.kind, ErrorKind::Malformed),
+        other => panic!("{other:?}"),
+    }
+
+    // The same connection still answers a well-formed request.
+    stream
+        .write_all((Request::stats().encode() + "\n").as_bytes())
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::decode(line.trim()).unwrap(),
+        Response::Stats { .. }
+    ));
+
+    handle.shutdown();
+}
+
+/// A client-sent shutdown request stops the accept loop and removes the
+/// socket file.
+#[test]
+fn client_shutdown_request_stops_the_daemon() {
+    let (_service, handle) = spawn_daemon("shutdown", 2);
+    let addr = handle.addr().clone();
+    let remote = RemoteService::connect(&addr.to_string()).unwrap();
+    match remote.call(Request::shutdown()) {
+        Response::ShuttingDown { version } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("{other:?}"),
+    }
+    // The accept loop exits on its own (join would hang otherwise)…
+    let thread = std::thread::spawn(move || handle.shutdown());
+    thread.join().unwrap();
+    // …and the socket file is gone.
+    let Addr::Unix(path) = addr else {
+        unreachable!()
+    };
+    assert!(!path.exists(), "socket file must be cleaned up");
+}
+
+/// The TCP transport serves the same protocol (port 0 → kernel-assigned).
+#[test]
+fn tcp_transport_works_end_to_end() {
+    let service = Arc::new(ShardedService::new(2, EngineConfig::default()));
+    let server = Server::bind(&Addr::Tcp("127.0.0.1:0".into()), service).unwrap();
+    let handle = server.spawn();
+    let remote = RemoteService::connect(&handle.addr().to_string()).unwrap();
+    remote.handshake().unwrap();
+
+    let src = Workload::ListSum.source(4);
+    let report = remote
+        .process_source(&src, &ProcessOptions::default())
+        .unwrap();
+    let oracle = Engine::default()
+        .process(&src, &ProcessOptions::default())
+        .unwrap();
+    assert_eq!(report.analysis_digest, oracle.analysis_digest);
+
+    handle.shutdown();
+}
+
+/// A batch request through the daemon matches per-source requests and
+/// keeps input order, including error slots for broken sources.
+#[test]
+fn daemon_batches_keep_order_and_carry_per_item_errors() {
+    let (_service, handle) = spawn_daemon("batch", 3);
+    let remote = RemoteService::connect(&handle.addr().to_string()).unwrap();
+
+    let mut sources: Vec<String> = Workload::ALL
+        .iter()
+        .take(4)
+        .map(|w| w.source(w.test_size()))
+        .collect();
+    sources.insert(2, "program broken(".to_string());
+
+    let items = remote
+        .process_sources(sources.clone(), &ProcessOptions::default())
+        .unwrap();
+    assert_eq!(items.len(), sources.len());
+    for (index, (src, item)) in sources.iter().zip(&items).enumerate() {
+        if index == 2 {
+            let error = item.as_ref().unwrap_err();
+            assert_eq!(error.kind, ErrorKind::Frontend, "{error}");
+        } else {
+            let report = item.as_ref().unwrap();
+            let oracle = Engine::default()
+                .process(src, &ProcessOptions::default())
+                .unwrap();
+            assert_eq!(
+                report.analysis_digest, oracle.analysis_digest,
+                "slot {index}"
+            );
+        }
+    }
+
+    handle.shutdown();
+}
+
+/// `ClearCaches` over the wire empties every shard.
+#[test]
+fn clear_caches_over_the_wire() {
+    let (service, handle) = spawn_daemon("clear", 2);
+    let remote = RemoteService::connect(&handle.addr().to_string()).unwrap();
+    for workload in [Workload::TreeSum, Workload::Bisort, Workload::ListReverse] {
+        remote
+            .process_source(&workload.source(3), &ProcessOptions::default())
+            .unwrap();
+    }
+    assert!(service.shard_stats().iter().any(|s| s.program_entries > 0));
+    assert!(matches!(
+        remote.call(Request::clear_caches()),
+        Response::Cleared { .. }
+    ));
+    assert!(service.shard_stats().iter().all(|s| s.program_entries == 0));
+    handle.shutdown();
+}

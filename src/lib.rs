@@ -12,7 +12,7 @@
 //! | [`parallelizer`] | `sil-parallelizer` | statement/call packing, sequence splitting, parallel-program verification (§5) |
 //! | [`runtime`] | `sil-runtime` | interpreter, rayon-backed parallel executor, work/span cost model, race detector |
 //! | [`workloads`] | `sil-workloads` | benchmark SIL programs, random program generator, native Rust reference kernels |
-//! | [`engine`] | `sil-engine` | batched, memoizing analysis service: content-addressed program/summary caches (LRU/LFU), SCC-parallel scheduling, the `silp` CLI |
+//! | [`engine`] | `sil-engine` | batched, memoizing analysis service: content-addressed program/summary caches (LRU/LFU), SCC-parallel scheduling, the typed Request/Response service protocol with the `sild` daemon (fingerprint-sharded engines over Unix/TCP sockets), and the `silp` CLI |
 //!
 //! ## The 30-second tour
 //!
@@ -55,7 +55,10 @@ pub use sil_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sil_analysis::{analyze_program, AbstractState, AnalysisResult, StructureKind};
-    pub use sil_engine::{Engine, EngineConfig, EvictionPolicy, ProcessOptions};
+    pub use sil_engine::{
+        Engine, EngineConfig, EvictionPolicy, LocalService, ProcessOptions, RemoteService, Request,
+        Response, Service, ShardedService,
+    };
     pub use sil_lang::{frontend, parse_program, pretty_program, Program};
     pub use sil_parallelizer::{parallelize_program, verify_parallel_program, TransformReport};
     pub use sil_pathmatrix::{PathMatrix, PathSet};
@@ -85,5 +88,18 @@ mod tests {
         let second = engine.analyze_source(&src).unwrap();
         assert_eq!(first.fingerprint, second.fingerprint);
         assert_eq!(engine.stats().programs.hits, 1);
+    }
+
+    #[test]
+    fn service_protocol_is_reachable_through_the_facade() {
+        let service = ShardedService::new(2, EngineConfig::default());
+        let src = Workload::TreeSum.source(3);
+        match service.call(Request::analyze(src)) {
+            Response::Analyzed { summary, .. } => {
+                assert!(summary.preserves_tree);
+                assert!(!summary.cache_hit);
+            }
+            other => panic!("expected an analyzed response, got {other:?}"),
+        }
     }
 }
