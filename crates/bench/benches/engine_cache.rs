@@ -1,4 +1,4 @@
-//! Experiment E5: the engine's content-addressed caches.
+//! Experiment E5: the engine's content-addressed summary store.
 //!
 //! * cold vs. warm whole-program analysis of an unchanged workload (the
 //!   warm path is a fingerprint plus a map lookup — the acceptance target
@@ -8,18 +8,20 @@
 //! * summary-cache reuse across program variants sharing a call-graph cone,
 //! * batch throughput over the whole workload suite, sequential engine vs.
 //!   rayon-parallel engine,
-//! * the ROADMAP eviction-policy experiment: LRU-vs-LFU hit-rate table
-//!   under Zipf-skewed request streams at several skews and capacities,
-//! * the sharded-routing experiment behind `sild`: aggregate hit rate of a
-//!   fingerprint-routed `ShardedService` vs a single engine of the same
-//!   total capacity, over Zipf-skewed streams of real programs.
+//! * the ROADMAP eviction-policy experiment: LRU vs LFU vs Adaptive
+//!   hit-rate table under Zipf-skewed request streams at several skews and
+//!   capacities (Adaptive must track the winner without being told),
+//! * the shared-vs-private-store experiment behind `sild`: aggregate hit
+//!   rate of a `ShardedService` whose shards share one store vs. the same
+//!   shard count over private per-shard stores, at fixed *total* capacity,
+//!   over Zipf-skewed streams of real programs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::distributions::{Distribution, Zipf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sil_engine::service::{Request, Service, ShardedService};
-use sil_engine::{ContentCache, Engine, EngineConfig, EvictionPolicy};
+use sil_engine::service::{route_fingerprint, Request, Service, ShardedService};
+use sil_engine::{Engine, EngineConfig, EvictionPolicy, NamespaceCache};
 use sil_workloads::programs::Workload;
 use std::hint::black_box;
 
@@ -106,9 +108,9 @@ fn incremental_edit(c: &mut Criterion) {
     warm_engine.analyze_source(&base).unwrap(); // retain the base cones
     group.bench_function("warm_incremental", |b| {
         b.iter(|| {
-            // Only the whole-program cache is dropped: the edited program
-            // must miss it and take the incremental path against the
-            // retained summary and walk caches.
+            // Only the whole-program namespace is dropped: the edited
+            // program must miss it and take the incremental path against
+            // the retained summary and walk namespaces.
             warm_engine.clear_program_cache();
             black_box(warm_engine.analyze_source(&edited).unwrap())
         })
@@ -133,9 +135,10 @@ fn incremental_edit(c: &mut Criterion) {
     }
 }
 
-/// One Zipf-skewed request sweep through a bounded cache; returns hit rate.
+/// One Zipf-skewed request sweep through a bounded single-stripe namespace
+/// cache; returns hit rate.
 fn simulate_policy(policy: EvictionPolicy, capacity: usize, skew: f64) -> f64 {
-    let cache = ContentCache::new(capacity, policy);
+    let cache: NamespaceCache<u64> = NamespaceCache::with_stripes(capacity, policy, 1);
     let zipf = Zipf::new(256, skew).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
     for _ in 0..20_000 {
@@ -144,33 +147,40 @@ fn simulate_policy(policy: EvictionPolicy, capacity: usize, skew: f64) -> f64 {
             cache.insert(key, key);
         }
     }
-    cache.stats().hit_rate()
+    cache.totals().hit_rate()
 }
 
-/// The eviction-policy experiment: print the LRU-vs-LFU hit-rate table over
-/// several skews and capacities, then time one representative sweep per
-/// policy.
+/// The eviction-policy experiment: print the LRU / LFU / Adaptive hit-rate
+/// table over several skews and capacities, then time one representative
+/// sweep per policy.  Adaptive starts as LRU and must *learn* its way to
+/// the winning column from its own ghost-hit counters.
 fn eviction_policy_hit_rates(c: &mut Criterion) {
     println!("eviction-policy hit rates (20000 Zipf requests over 256 keys):");
     println!(
-        "{:>6} {:>9} {:>8} {:>8}  winner",
-        "skew", "capacity", "LRU", "LFU"
+        "{:>6} {:>9} {:>8} {:>8} {:>9}  winner",
+        "skew", "capacity", "LRU", "LFU", "Adaptive"
     );
     for &skew in &[0.6, 0.9, 1.2] {
         for &capacity in &[8usize, 32, 64] {
             let lru = simulate_policy(EvictionPolicy::Lru, capacity, skew);
             let lfu = simulate_policy(EvictionPolicy::Lfu, capacity, skew);
+            let adaptive = simulate_policy(EvictionPolicy::Adaptive, capacity, skew);
             println!(
-                "{skew:>6.1} {capacity:>9} {:>7.1}% {:>7.1}%  {}",
+                "{skew:>6.1} {capacity:>9} {:>7.1}% {:>7.1}% {:>8.1}%  {}",
                 lru * 100.0,
                 lfu * 100.0,
+                adaptive * 100.0,
                 if lfu > lru { "LFU" } else { "LRU" }
             );
         }
     }
 
     let mut group = c.benchmark_group("engine_eviction_policy");
-    for policy in [EvictionPolicy::Lru, EvictionPolicy::Lfu] {
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::Adaptive,
+    ] {
         group.bench_function(format!("{policy:?}_sweep"), |b| {
             b.iter(|| black_box(simulate_policy(policy, 32, 1.2)))
         });
@@ -193,19 +203,27 @@ fn program_corpus() -> Vec<String> {
     corpus
 }
 
+/// Zipf stream config shared by both store layouts, so the comparison is
+/// apples to apples: same corpus, same seed, same fixed *total* capacity.
+fn zipf_ranks(corpus_len: usize, skew: f64, requests: usize) -> Vec<usize> {
+    let zipf = Zipf::new(corpus_len as u64, skew).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..requests)
+        .map(|_| zipf.sample(&mut rng) as usize - 1)
+        .collect()
+}
+
 /// Drive one Zipf-skewed stream of `Analyze` requests through a sharded
-/// service whose shards split a fixed total program-cache capacity;
-/// returns the aggregate program-cache hit rate.
-fn simulate_sharded(shards: usize, total_capacity: usize, skew: f64, requests: usize) -> f64 {
+/// service whose shards all share **one** store of `total_capacity`;
+/// returns the aggregate program hit rate across the shard views.
+fn simulate_shared(shards: usize, total_capacity: usize, skew: f64, requests: usize) -> f64 {
     let corpus = program_corpus();
     let config = EngineConfig::default()
-        .with_program_cache_capacity((total_capacity / shards).max(1))
+        .with_program_cache_capacity(total_capacity)
+        .with_eviction(EvictionPolicy::Lru)
         .with_incremental(false);
     let service = ShardedService::new(shards, config);
-    let zipf = Zipf::new(corpus.len() as u64, skew).unwrap();
-    let mut rng = StdRng::seed_from_u64(7);
-    for _ in 0..requests {
-        let rank = zipf.sample(&mut rng) as usize - 1;
+    for rank in zipf_ranks(corpus.len(), skew, requests) {
         black_box(service.call(Request::analyze(corpus[rank].clone())));
     }
     let stats = service.shard_stats();
@@ -214,34 +232,75 @@ fn simulate_sharded(shards: usize, total_capacity: usize, skew: f64, requests: u
     hits as f64 / (hits + misses) as f64
 }
 
-/// The sharded-routing experiment behind `sild`: with fingerprint routing,
-/// splitting one engine's cache capacity across N shards should keep the
-/// aggregate hit rate roughly flat (each program's entries concentrate on
-/// its home shard) — the table quantifies shard-count vs hit-rate under
-/// Zipf-skewed request streams of *real programs*, feeding the ROADMAP's
-/// eviction auto-tuning item.
-fn sharded_vs_single_hit_rates(c: &mut Criterion) {
+/// The pre-store layout: the same shard count over *private* per-engine
+/// stores that split the same total capacity, requests routed by the same
+/// fingerprint rule.
+fn simulate_private(shards: usize, total_capacity: usize, skew: f64, requests: usize) -> f64 {
+    let corpus = program_corpus();
+    let config = EngineConfig::default()
+        .with_program_cache_capacity((total_capacity / shards).max(1))
+        .with_eviction(EvictionPolicy::Lru)
+        .with_incremental(false);
+    let engines: Vec<Engine> = (0..shards).map(|_| Engine::new(config.clone())).collect();
+    let routes: Vec<usize> = corpus
+        .iter()
+        .map(|src| (route_fingerprint(src) % shards as u64) as usize)
+        .collect();
+    for rank in zipf_ranks(corpus.len(), skew, requests) {
+        black_box(engines[routes[rank]].analyze_source(&corpus[rank]).unwrap());
+    }
+    let mut hits = 0;
+    let mut misses = 0;
+    for engine in &engines {
+        let stats = engine.stats();
+        hits += stats.programs.hits;
+        misses += stats.programs.misses;
+    }
+    hits as f64 / (hits + misses) as f64
+}
+
+/// The shared-store experiment behind `sild`: at fixed total capacity,
+/// shards over one shared store keep the single-engine hit rate at any
+/// shard count (shared content is stored once), while private per-shard
+/// stores fragment the capacity.  The table quantifies both layouts under
+/// Zipf-skewed request streams of *real programs*; the 1-shard private row
+/// doubles as the single-engine baseline.
+fn shared_vs_private_hit_rates(c: &mut Criterion) {
     let requests = if std::env::var_os("CRITERION_SMOKE").is_some() {
         60
     } else {
         240
     };
     println!(
-        "sharded routing hit rates ({requests} Zipf requests over 64 real programs, \
-         total program-cache capacity 16):"
+        "shared-vs-private store hit rates ({requests} Zipf requests over 64 real \
+         programs, total program capacity 16):"
     );
-    println!("{:>6} {:>7} {:>8}", "skew", "shards", "hit rate");
+    println!(
+        "{:>6} {:>7} {:>9} {:>9}",
+        "skew", "shards", "private", "shared"
+    );
     for &skew in &[0.9, 1.2] {
+        let baseline = simulate_private(1, 16, skew, requests);
         for &shards in &[1usize, 2, 4, 8] {
-            let rate = simulate_sharded(shards, 16, skew, requests);
-            println!("{skew:>6.1} {shards:>7} {:>7.1}%", rate * 100.0);
+            let private = simulate_private(shards, 16, skew, requests);
+            let shared = simulate_shared(shards, 16, skew, requests);
+            println!(
+                "{skew:>6.1} {shards:>7} {:>8.1}% {:>8.1}%{}",
+                private * 100.0,
+                shared * 100.0,
+                if shared + 1e-9 >= baseline {
+                    ""
+                } else {
+                    "  << below single-engine baseline!"
+                }
+            );
         }
     }
 
-    let mut group = c.benchmark_group("engine_sharded_zipf");
+    let mut group = c.benchmark_group("engine_shared_store_zipf");
     for shards in [1usize, 4] {
-        group.bench_function(format!("shards_{shards}"), |b| {
-            b.iter(|| black_box(simulate_sharded(shards, 16, 1.2, requests / 4)))
+        group.bench_function(format!("shared_{shards}"), |b| {
+            b.iter(|| black_box(simulate_shared(shards, 16, 1.2, requests / 4)))
         });
     }
     group.finish();
@@ -277,6 +336,6 @@ criterion_group! {
     summary_reuse_across_variants,
     batch_throughput,
     eviction_policy_hit_rates,
-    sharded_vs_single_hit_rates
+    shared_vs_private_hit_rates
 }
 criterion_main!(engine_cache);

@@ -1,8 +1,10 @@
 //! `sild` — the SIL analysis daemon.
 //!
-//! Hosts a [`ShardedService`]: N memoizing engines behind one socket, with
-//! requests routed to shards by stable program fingerprint so a given
-//! program always hits the same shard's caches.  Clients (`silp --connect`,
+//! Hosts a [`ShardedService`]: N memoizing engines behind one socket, all
+//! views over **one shared, lock-striped summary store**, with requests
+//! routed to shards by stable program fingerprint.  Routing concentrates
+//! each program's traffic on one shard; the shared store lets a cone
+//! analyzed on one shard warm-hit every other.  Clients (`silp --connect`,
 //! or anything that can write a line of JSON) speak the newline-delimited
 //! protocol of `sil_engine::service::proto`; one thread serves each
 //! connection.
@@ -14,7 +16,7 @@
 //! ```
 //!
 //! The daemon runs until it receives a `shutdown` request (`silp
-//! --shutdown` or a raw `{"protocol_version":1,"type":"shutdown"}` line).
+//! --shutdown` or a raw `{"protocol_version":2,"type":"shutdown"}` line).
 
 use sil_engine::cli::unknown_flag_error;
 use sil_engine::service::{Addr, Server, ShardedService};
@@ -31,6 +33,10 @@ options:
   --shards <n>      number of engine shards (default: 4); requests are
                     routed by program fingerprint, shard = fingerprint % n
   --lfu             evict least-frequently-used cache entries
+                    (default: adaptive, which switches LRU/LFU from the
+                    store's own live counters)
+  --lru             evict least-recently-used cache entries
+  --stripes <n>     lock stripes per store namespace (default: 8)
   --no-incremental  disable incremental re-analysis inside the shards
   --no-parallel     analyze sequentially inside each shard
   --quiet           no startup/shutdown log lines on stderr
@@ -41,6 +47,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--listen",
     "--shards",
     "--lfu",
+    "--lru",
+    "--stripes",
     "--no-incremental",
     "--no-parallel",
     "--quiet",
@@ -80,6 +88,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--lfu" => config = config.with_eviction(EvictionPolicy::Lfu),
+            "--lru" => config = config.with_eviction(EvictionPolicy::Lru),
+            "--stripes" => {
+                i += 1;
+                let stripes: usize = args
+                    .get(i)
+                    .ok_or("--stripes needs a value")?
+                    .parse()
+                    .map_err(|_| "--stripes must be an integer".to_string())?;
+                if stripes == 0 {
+                    return Err("--stripes must be at least 1".to_string());
+                }
+                config = config.with_store_stripes(stripes);
+            }
             "--no-incremental" => config = config.with_incremental(false),
             "--no-parallel" => config = config.with_parallel(false),
             "--quiet" => quiet = true,

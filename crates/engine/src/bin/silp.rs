@@ -8,8 +8,9 @@
 //! silp --json ...                   machine-readable JSON array output
 //! silp --emit-parallel ...          include the parallelized source
 //! silp --no-parallelize ...         analysis only
-//! silp --lfu                        use LFU instead of LRU eviction
-//! silp --stats ...                  print service cache statistics at exit
+//! silp --lfu / --lru                pin the eviction policy (default: adaptive)
+//! silp --stats ...                  print per-namespace/per-shard cache
+//!                                   statistics at exit
 //! silp --connect unix:/tmp/s.sock   send requests to a running sild daemon
 //! silp --connect ... --shutdown     ask the daemon to exit
 //! ```
@@ -24,8 +25,12 @@
 
 use sil_engine::cli::unknown_flag_error;
 use sil_engine::service::{Json, LocalService, RemoteService, Request, Response, Service};
-use sil_engine::{EngineConfig, EvictionPolicy, ProcessOptions, ProgramReport, ServiceError};
+use sil_engine::{
+    EngineConfig, EngineStats, EvictionPolicy, Namespace, ProcessOptions, ProgramReport,
+    ServiceError, StoreStats,
+};
 use sil_workloads::Workload;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -45,8 +50,13 @@ options:
                          walks, and the report carries stale/reused counts
   --json                 emit one JSON array instead of text
   --lfu                  evict least-frequently-used cache entries
-                         (in-process engine only)
-  --stats                print service cache statistics
+                         (in-process engine only; default: adaptive)
+  --lru                  evict least-recently-used cache entries
+                         (in-process engine only; default: adaptive)
+  --stats                print service cache statistics: per-namespace and
+                         per-shard hit rates, eviction counts, and the
+                         adaptive policy's current choice (a text table on
+                         stderr; one stats JSON line with --json)
   --in-process           serve requests from an in-process engine (default)
   --connect <addr>       send requests to a sild daemon at unix:<path> or
                          tcp:<host:port> instead
@@ -64,6 +74,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--incremental",
     "--json",
     "--lfu",
+    "--lru",
     "--stats",
     "--in-process",
     "--connect",
@@ -89,7 +100,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         stats: false,
         incremental: false,
-        eviction: EvictionPolicy::Lru,
+        eviction: EvictionPolicy::default(),
         connect: None,
         shutdown: false,
     };
@@ -120,6 +131,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--incremental" => cli.incremental = true,
             "--json" => cli.json = true,
             "--lfu" => cli.eviction = EvictionPolicy::Lfu,
+            "--lru" => cli.eviction = EvictionPolicy::Lru,
             "--stats" => cli.stats = true,
             "--in-process" => cli.connect = None,
             "--connect" => {
@@ -187,6 +199,68 @@ fn open_service(cli: &Cli) -> Result<Box<dyn Service>, String> {
             Ok(Box::new(LocalService::new(config)))
         }
     }
+}
+
+fn percent(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "    -".to_string()
+    } else {
+        format!("{:>4.1}%", hits as f64 / total as f64 * 100.0)
+    }
+}
+
+/// The `--stats` text table: the shared store's per-namespace counters
+/// (with each adaptive policy's current choice) and every shard's view
+/// hit rates.
+fn render_stats(shards: &[EngineStats], store: &StoreStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "service: {} shard{} over one shared store",
+        shards.len(),
+        if shards.len() == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>11} {:>9} {:>7} {:>7} {:>6}  policy",
+        "namespace", "entries/cap", "hit rate", "hits", "misses", "evict"
+    );
+    for namespace in Namespace::ALL {
+        let ns = store.namespace(namespace);
+        let policy = match ns.policy {
+            EvictionPolicy::Adaptive => format!("adaptive({})", ns.current.name()),
+            fixed => fixed.name().to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>11} {:>9} {:>7} {:>7} {:>6}  {policy}",
+            namespace.name(),
+            format!("{}/{}", ns.entries, ns.capacity),
+            percent(ns.totals.hits, ns.totals.misses),
+            ns.totals.hits,
+            ns.totals.misses,
+            ns.totals.evictions,
+        );
+    }
+    let _ = writeln!(out, "  shard views (hit rate per namespace):");
+    for (index, shard) in shards.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:<10} programs {} ({}/{})  summaries {} ({}/{})  walks {} ({}/{})",
+            format!("shard {index}"),
+            percent(shard.programs.hits, shard.programs.misses),
+            shard.programs.hits,
+            shard.programs.hits + shard.programs.misses,
+            percent(shard.summaries.hits, shard.summaries.misses),
+            shard.summaries.hits,
+            shard.summaries.hits + shard.summaries.misses,
+            percent(shard.walks.hits, shard.walks.misses),
+            shard.walks.hits,
+            shard.walks.hits + shard.walks.misses,
+        );
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -300,24 +374,19 @@ fn main() -> ExitCode {
         println!("[{}]", json_items.join(","));
     }
     if cli.stats {
-        match service.service_stats() {
-            Ok((shards, total)) => {
-                eprintln!(
-                    "service: {} shard{}; programs {} entries ({} hits / {} misses, {} evictions); \
-                     summaries {} entries ({} hits / {} misses, {} evictions)",
-                    shards.len(),
-                    if shards.len() == 1 { "" } else { "s" },
-                    total.program_entries,
-                    total.programs.hits,
-                    total.programs.misses,
-                    total.programs.evictions,
-                    total.summary_entries,
-                    total.summaries.hits,
-                    total.summaries.misses,
-                    total.summaries.evictions,
-                );
+        if cli.json {
+            // The raw wire form of the Stats response: shard views, their
+            // aggregate, and the store's per-namespace counters.
+            match service.call(Request::stats()) {
+                stats @ Response::Stats { .. } => eprintln!("{}", stats.encode()),
+                Response::Error { error, .. } => eprintln!("silp: stats failed: {error}"),
+                other => eprintln!("silp: unexpected stats response: {}", other.encode()),
             }
-            Err(error) => eprintln!("silp: stats failed: {error}"),
+        } else {
+            match service.service_stats() {
+                Ok((shards, _total, store)) => eprint!("{}", render_stats(&shards, &store)),
+                Err(error) => eprintln!("silp: stats failed: {error}"),
+            }
         }
     }
     if failed {

@@ -6,22 +6,30 @@
 //! The paper's analysis is a pure function of program text, which makes it
 //! an ideal memoization target for a service that sees the same programs
 //! over and over (editors re-checking a buffer, CI re-analyzing a corpus,
-//! a compiler farm).  The engine caches at two granularities, both keyed by
-//! stable content fingerprints of the normalized AST
-//! (`sil_lang::hash`):
+//! a compiler farm).  All memoized state lives in one content-addressed
+//! [`SummaryStore`] with three typed namespaces, each keyed by stable
+//! fingerprints of the normalized AST (`sil_lang::hash`):
 //!
-//! * **program cache** — whole [`AnalysisResult`]s keyed by the program
-//!   fingerprint: a resubmitted program costs one hash + one map lookup;
-//! * **summary cache** — per-SCC argument-mode summaries keyed by the
-//!   *cone fingerprint* (the SCC's content plus everything it transitively
-//!   calls — see [`sil_analysis::CallGraph::cone_fingerprints`]): programs
-//!   that share procedures (a workload suite over one `build` library, a
-//!   batch of variants of one program) reuse each other's summary work even
-//!   when the whole-program entry misses.
+//! * **program namespace** — whole [`AnalysisResult`]s keyed by the
+//!   program fingerprint: a resubmitted program costs one hash + one map
+//!   lookup;
+//! * **scc-summary namespace** — per-SCC argument-mode summaries keyed by
+//!   the *cone fingerprint* (the SCC's content plus everything it
+//!   transitively calls — see
+//!   [`sil_analysis::CallGraph::cone_fingerprints`]): programs that share
+//!   procedures reuse each other's summary work even when the
+//!   whole-program entry misses;
+//! * **walk-record namespace** — the interprocedural fixpoint's recorded
+//!   body walks, keyed by cone fingerprint, which make re-analysis of
+//!   edited programs incremental.
 //!
-//! Both caches are capacity-bounded with pluggable eviction
-//! ([`EvictionPolicy::Lru`] / [`EvictionPolicy::Lfu`]) and expose
-//! hit/miss/eviction counters ([`CacheStats`]).
+//! An [`Engine`] is a *view* over an `Arc<SummaryStore>`: several engines
+//! (the shards of a [`service::ShardedService`], for instance) can share
+//! one store, so a cone analyzed through any of them is a warm hit for all
+//! of them.  Each namespace is lock-striped, capacity-bounded, and evicts
+//! per a pluggable [`EvictionPolicy`] — including the default
+//! [`EvictionPolicy::Adaptive`], which switches LRU↔LFU from its own live
+//! [`CacheStats`] counters.
 //!
 //! Work inside the engine is concurrent on two axes: a batch fans out
 //! across programs via rayon, and within one program the call graph is
@@ -36,21 +44,25 @@
 //! let src = Workload::TreeSum.source(4);
 //!
 //! let cold = engine.analyze_source(&src).unwrap();
-//! let warm = engine.analyze_source(&src).unwrap();   // served from cache
+//! let warm = engine.analyze_source(&src).unwrap();   // served from the store
 //! assert_eq!(cold.analysis.digest(), warm.analysis.digest());
 //! assert_eq!(engine.stats().programs.hits, 1);
+//! assert_eq!(engine.store_stats().programs.entries, 1);
 //! ```
 
-pub mod cache;
 pub mod cli;
 pub mod report;
 pub mod service;
+pub mod store;
 
-pub use cache::{CacheStats, ContentCache, EvictionPolicy, ProcedureCache};
 pub use report::{ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport};
 pub use service::{
     Addr, LocalService, RemoteService, Request, Response, Server, ServerHandle, Service,
     ServiceError, ShardedService, PROTOCOL_VERSION,
+};
+pub use store::{
+    CacheStats, EvictionPolicy, Namespace, NamespaceCache, NamespaceStats, PolicyChoice,
+    StoreConfig, StoreStats, SummaryStore,
 };
 
 use rayon::prelude::*;
@@ -65,20 +77,27 @@ use sil_parallelizer::{pack_program_with_analysis, verify_parallel_program, Pack
 use sil_runtime::{Interpreter, RunConfig};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Engine construction parameters.
+/// Engine construction parameters.  The cache-shaped fields describe the
+/// [`SummaryStore`] an [`Engine::new`] builds for itself; an engine
+/// attached to an existing store via [`Engine::with_store`] inherits that
+/// store's shape instead.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Capacity of the whole-program analysis cache.
+    /// Capacity of the whole-program namespace.
     pub program_cache_capacity: usize,
-    /// Capacity of the per-SCC summary cache.
+    /// Capacity of the per-SCC summary namespace.
     pub summary_cache_capacity: usize,
-    /// Capacity (in cones) of the per-procedure walk cache that backs
+    /// Capacity (in cones) of the walk-record namespace that backs
     /// incremental re-analysis.
     pub procedure_cache_capacity: usize,
-    /// Eviction policy shared by all caches.
+    /// Eviction policy shared by all namespaces (default:
+    /// [`EvictionPolicy::Adaptive`]).
     pub eviction: EvictionPolicy,
+    /// Lock stripes per store namespace.
+    pub store_stripes: usize,
     /// Schedule batches and independent call-graph SCCs across rayon.
     pub parallel: bool,
     /// Record body walks and re-analyze edited programs incrementally: on a
@@ -95,7 +114,8 @@ impl Default for EngineConfig {
             program_cache_capacity: 256,
             summary_cache_capacity: 1024,
             procedure_cache_capacity: 512,
-            eviction: EvictionPolicy::Lru,
+            eviction: EvictionPolicy::default(),
+            store_stripes: store::DEFAULT_STRIPES,
             parallel: true,
             incremental: true,
         }
@@ -126,6 +146,11 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_store_stripes(mut self, stripes: usize) -> Self {
+        self.store_stripes = stripes;
+        self
+    }
+
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
@@ -134,6 +159,19 @@ impl EngineConfig {
     pub fn with_incremental(mut self, incremental: bool) -> Self {
         self.incremental = incremental;
         self
+    }
+
+    /// The shape of the [`SummaryStore`] this config describes.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            program_capacity: self.program_cache_capacity,
+            summary_capacity: self.summary_cache_capacity,
+            walk_capacity: self.procedure_cache_capacity,
+            program_policy: self.eviction,
+            summary_policy: self.eviction,
+            walk_policy: self.eviction,
+            stripes: self.store_stripes,
+        }
     }
 }
 
@@ -179,18 +217,23 @@ impl From<SilError> for EngineError {
     }
 }
 
-/// Counter snapshot across the engine's caches.
+/// One engine's *view counters* over the shared store: the lookups this
+/// engine made, per namespace.  The store's own [`StoreStats`] are the
+/// authoritative cache counters (including evictions and residency); the
+/// per-engine view is what makes shard-level accounting meaningful when
+/// several engines share one store — and it is how a cross-shard warm hit
+/// shows up: shard B's view records a hit on an entry only shard A ever
+/// inserted.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
+    /// Whole-program lookups through this engine.
     pub programs: CacheStats,
+    /// Per-SCC summary lookups through this engine.
     pub summaries: CacheStats,
-    /// Per-cone walk cache: a hit means a procedure's retained walks were
-    /// available for incremental replay ("reused"), a miss means its cone
-    /// was stale.
+    /// Walk-record (cone) lookups through this engine: a hit means a
+    /// procedure's retained walks were available for incremental replay
+    /// ("reused"), a miss means its cone was stale.
     pub walks: CacheStats,
-    pub program_entries: usize,
-    pub summary_entries: usize,
-    pub walk_entries: usize,
 }
 
 impl EngineStats {
@@ -200,20 +243,67 @@ impl EngineStats {
         self.programs.absorb(&other.programs);
         self.summaries.absorb(&other.summaries);
         self.walks.absorb(&other.walks);
-        self.program_entries += other.program_entries;
-        self.summary_entries += other.summary_entries;
-        self.walk_entries += other.walk_entries;
     }
 }
 
+/// Atomic hit/miss/insertion counters of one namespace view.  Evictions
+/// are a store-side phenomenon (a view cannot know which engine's insert
+/// displaced an entry), so the snapshot always reports 0 evictions.
+#[derive(Debug, Default)]
+struct ViewCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl ViewCounters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreView {
+    programs: ViewCounters,
+    summaries: ViewCounters,
+    walks: ViewCounters,
+}
+
+/// How many walk records one cone may retain.  A record exists per (round ×
+/// distinct entry context) of a procedure, so a handful of edits produce a
+/// handful of records; the cap only guards against a pathological client
+/// cycling a cone through endlessly distinct contexts.
+const RECORDS_PER_CONE: usize = 64;
+
 /// The memoizing analysis service.  `Engine` is `Sync`: one instance serves
 /// concurrent callers, and all its methods take `&self`.
+///
+/// An engine is a view over an [`Arc<SummaryStore>`]: [`Engine::new`]
+/// builds a private store from its config, [`Engine::with_store`] attaches
+/// to a shared one (the [`service::ShardedService`] constructor does this
+/// for every shard, which is what makes summaries cross shard boundaries).
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    programs: ContentCache<Arc<AnalyzedProgram>>,
-    summaries: ContentCache<Arc<HashMap<String, ProcSummary>>>,
-    walks: ProcedureCache,
+    store: Arc<SummaryStore>,
+    view: StoreView,
 }
 
 impl Default for Engine {
@@ -223,12 +313,20 @@ impl Default for Engine {
 }
 
 impl Engine {
+    /// An engine over its own private store, shaped by `config`.
     pub fn new(config: EngineConfig) -> Engine {
+        let store = SummaryStore::shared(config.store_config());
+        Engine::with_store(config, store)
+    }
+
+    /// An engine over an existing (typically shared) store.  The config's
+    /// cache-shaped fields are ignored — the store was already built —
+    /// only `parallel` and `incremental` govern this view.
+    pub fn with_store(config: EngineConfig, store: Arc<SummaryStore>) -> Engine {
         Engine {
-            programs: ContentCache::new(config.program_cache_capacity, config.eviction),
-            summaries: ContentCache::new(config.summary_cache_capacity, config.eviction),
-            walks: ProcedureCache::new(config.procedure_cache_capacity, config.eviction),
             config,
+            store,
+            view: StoreView::default(),
         }
     }
 
@@ -236,8 +334,13 @@ impl Engine {
         &self.config
     }
 
+    /// The store this engine is a view over.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
+    }
+
     /// Parse, type check, and analyze one program, serving the analysis
-    /// from the program cache when its content fingerprint hits.
+    /// from the program namespace when its content fingerprint hits.
     ///
     /// Compatibility wrapper: the service-facing entry point is the
     /// unified [`Engine::serve`]`(Request) -> Response` path (this method
@@ -248,7 +351,7 @@ impl Engine {
     }
 
     /// Like [`Engine::analyze_source`], also reporting whether the program
-    /// cache served the request.
+    /// namespace served the request.
     pub fn analyze_source_traced(
         &self,
         src: &str,
@@ -261,17 +364,21 @@ impl Engine {
     ///
     /// On a program-cache miss the analysis is (with
     /// [`EngineConfig::incremental`]) seeded from the walk records of every
-    /// cone this program shares with previously analyzed ones, so an edited
-    /// variant of a cached program only re-analyzes the edit's stale cone.
+    /// cone this program shares with previously analyzed ones — whether
+    /// those were produced through this engine or any other view of the
+    /// same store — so an edited variant of a cached program only
+    /// re-analyzes the edit's stale cone.
     pub fn analyze_normalized(
         &self,
         program: Program,
         types: ProgramTypes,
     ) -> (Arc<AnalyzedProgram>, bool) {
         let fingerprint = program_fingerprint(&program);
-        if let Some(hit) = self.programs.get(fingerprint) {
+        if let Some(hit) = self.store.programs().get(fingerprint) {
+            self.view.programs.hit();
             return (hit, true);
         }
+        self.view.programs.miss();
         let graph = CallGraph::of_program(&program);
         let summaries = self.summaries_for(&program, &types, &graph);
 
@@ -283,11 +390,15 @@ impl Engine {
             let mut reuse = AnalysisSnapshot::new();
             let mut retained: std::collections::HashSet<u64> = std::collections::HashSet::new();
             for &cone in &distinct {
-                if let Some(records) = self.walks.get(cone) {
-                    retained.insert(cone);
-                    for record in records.iter() {
-                        reuse.insert(record.clone());
+                match self.store.walks().get(cone) {
+                    Some(records) => {
+                        self.view.walks.hit();
+                        retained.insert(cone);
+                        for record in records.iter() {
+                            reuse.insert(record.clone());
+                        }
                     }
+                    None => self.view.walks.miss(),
                 }
             }
             let options = AnalyzeOptions {
@@ -316,8 +427,29 @@ impl Engine {
             for record in snapshot.records() {
                 by_cone.entry(record.cone).or_default().push(record.clone());
             }
-            for (cone, records) in by_cone {
-                self.walks.insert_merged(cone, records);
+            for (cone, fresh) in by_cone {
+                self.view.walks.insertion();
+                // Merge under the stripe lock: fresh records win, surviving
+                // older records (other entry contexts of the same cone) ride
+                // along up to the per-cone cap.  Concurrent analyses sharing
+                // a cone cannot drop each other's freshly recorded walks.
+                self.store.walks().merge(cone, |existing| {
+                    let mut merged = fresh;
+                    let mut seen: std::collections::HashSet<u64> =
+                        merged.iter().map(|r| r.key).collect();
+                    if let Some(existing) = existing {
+                        for record in existing.iter() {
+                            if merged.len() >= RECORDS_PER_CONE {
+                                break;
+                            }
+                            if seen.insert(record.key) {
+                                merged.push(record.clone());
+                            }
+                        }
+                    }
+                    merged.truncate(RECORDS_PER_CONE);
+                    Arc::new(merged)
+                });
             }
             (analysis, Some(stats))
         } else {
@@ -337,7 +469,8 @@ impl Engine {
             analysis: Arc::new(analysis),
             incremental,
         });
-        self.programs.insert(fingerprint, entry.clone());
+        self.view.programs.insertion();
+        self.store.programs().insert(fingerprint, entry.clone());
         (entry, false)
     }
 
@@ -384,11 +517,16 @@ impl Engine {
             .first()
             .and_then(|m| cones.get(m).copied())
             .unwrap_or_default();
-        if let Some(hit) = self.summaries.get(key) {
+        if let Some(hit) = self.store.summaries().get(key) {
+            self.view.summaries.hit();
             return (*hit).clone();
         }
+        self.view.summaries.miss();
         let computed = compute_scc_summaries(program, types, members, resolved);
-        self.summaries.insert(key, Arc::new(computed.clone()));
+        self.view.summaries.insertion();
+        self.store
+            .summaries()
+            .insert(key, Arc::new(computed.clone()));
         computed
     }
 
@@ -509,31 +647,34 @@ impl Engine {
         }
     }
 
-    /// Counter snapshot across the engine's caches.
+    /// This engine's view counters (lookups made through *this* engine).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            programs: self.programs.stats(),
-            summaries: self.summaries.stats(),
-            walks: self.walks.stats(),
-            program_entries: self.programs.len(),
-            summary_entries: self.summaries.len(),
-            walk_entries: self.walks.len(),
+            programs: self.view.programs.snapshot(),
+            summaries: self.view.summaries.snapshot(),
+            walks: self.view.walks.snapshot(),
         }
     }
 
-    /// Drop all cached entries (counters survive; useful for cold-vs-warm
-    /// measurements).
-    pub fn clear_caches(&self) {
-        self.programs.clear();
-        self.summaries.clear();
-        self.walks.clear();
+    /// The shared store's authoritative counters: per-namespace and
+    /// per-stripe hits/misses/evictions, residency, and the live state of
+    /// each namespace's eviction policy.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
-    /// Drop only the whole-program cache, keeping the summary and walk
-    /// caches warm — the warm-incremental side of cold-vs-incremental
+    /// Drop all cached entries from the store (counters survive; useful
+    /// for cold-vs-warm measurements).  Affects every engine sharing the
+    /// store.
+    pub fn clear_caches(&self) {
+        self.store.clear();
+    }
+
+    /// Drop only the whole-program namespace, keeping the summary and walk
+    /// namespaces warm — the warm-incremental side of cold-vs-incremental
     /// measurements re-analyzes a program with full cone reuse.
     pub fn clear_program_cache(&self) {
-        self.programs.clear();
+        self.store.programs().clear();
     }
 
     /// Open a session: a lightweight client handle that tracks its own
@@ -636,7 +777,7 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.programs.hits, 1);
         assert_eq!(stats.programs.misses, 1);
-        assert_eq!(stats.program_entries, 1);
+        assert_eq!(engine.store_stats().programs.entries, 1);
     }
 
     #[test]
@@ -673,6 +814,30 @@ mod tests {
             after > before,
             "expected shared-cone summary hits ({before} -> {after})"
         );
+    }
+
+    #[test]
+    fn two_engines_over_one_store_share_their_summaries() {
+        let store = SummaryStore::shared(EngineConfig::default().store_config());
+        let a = Engine::with_store(EngineConfig::default(), store.clone());
+        let b = Engine::with_store(EngineConfig::default(), store);
+
+        let src = Workload::TreeSum.source(4);
+        a.analyze_source(&src).unwrap();
+        // The *same program* through the other view is a whole-program hit
+        // even though engine `b` never analyzed anything.
+        let (_, hit) = b.analyze_source_traced(&src).unwrap();
+        assert!(hit, "engine b must warm-hit engine a's store entry");
+        assert_eq!(b.stats().programs.hits, 1);
+        assert_eq!(b.stats().programs.misses, 0);
+        assert_eq!(a.stats().programs.hits, 0, "a's view saw none of b's hits");
+
+        // A *variant* through the other view reuses summaries and walks.
+        let variant = Workload::TreeSum.source(5);
+        let (_, variant_hit) = b.analyze_source_traced(&variant).unwrap();
+        assert!(!variant_hit);
+        assert!(b.stats().summaries.hits > 0, "cross-engine summary reuse");
+        assert!(b.stats().walks.hits > 0, "cross-engine walk reuse");
     }
 
     #[test]

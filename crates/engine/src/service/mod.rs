@@ -6,8 +6,10 @@
 //!
 //! * [`LocalService`] — in process, wrapping an [`Engine`];
 //! * [`ShardedService`] — in process, routing across N engines by stable
-//!   program fingerprint so a given program always hits the same shard's
-//!   caches (the `sild` daemon hosts one of these);
+//!   program fingerprint; the engines are views over **one shared
+//!   [`SummaryStore`]**, so a given program's traffic concentrates on one
+//!   shard while its cached summaries are visible to every shard (the
+//!   `sild` daemon hosts one of these);
 //! * [`remote::RemoteService`] — over a Unix or TCP socket speaking
 //!   newline-delimited JSON to a `sild` daemon.
 //!
@@ -26,6 +28,7 @@ pub use remote::RemoteService;
 pub use server::{Server, ServerHandle};
 
 use crate::report::{ProcessOptions, ProgramReport};
+use crate::store::{StoreStats, SummaryStore};
 use crate::{AnalyzedProgram, Engine, EngineConfig, EngineStats};
 use sil_lang::{frontend, program_fingerprint};
 use std::path::PathBuf;
@@ -65,10 +68,16 @@ pub trait Service {
         }
     }
 
-    /// [`Request::Stats`], expecting per-shard counters plus the aggregate.
-    fn service_stats(&self) -> Result<(Vec<EngineStats>, EngineStats), ServiceError> {
+    /// [`Request::Stats`], expecting per-shard view counters, their
+    /// aggregate, and the shared store's own per-namespace counters.
+    fn service_stats(&self) -> Result<(Vec<EngineStats>, EngineStats, StoreStats), ServiceError> {
         match self.call(Request::stats()) {
-            Response::Stats { shards, total, .. } => Ok((shards, total)),
+            Response::Stats {
+                shards,
+                total,
+                store,
+                ..
+            } => Ok((shards, total, store)),
             Response::Error { error, .. } => Err(error),
             other => Err(unexpected("stats", &other)),
         }
@@ -130,7 +139,7 @@ impl Engine {
                     .map(|r| r.map_err(|e| (&e).into()))
                     .collect(),
             ),
-            Request::Stats { .. } => Response::stats(vec![self.stats()]),
+            Request::Stats { .. } => Response::stats(vec![self.stats()], self.store_stats()),
             Request::ClearCaches { .. } => {
                 self.clear_caches();
                 Response::cleared()
@@ -198,29 +207,48 @@ impl Service for LocalService {
     }
 }
 
-/// N engines behind one [`Service`], with requests routed by stable program
-/// fingerprint: `shard = fingerprint % N`.
+/// N engines over **one shared [`SummaryStore`]** behind one [`Service`],
+/// with requests routed by stable program fingerprint:
+/// `shard = fingerprint % N`.
 ///
-/// The routing rule is the whole point — a given program *always* lands on
-/// the same shard, so its whole-program, summary, and walk cache entries
-/// accumulate in exactly one place instead of being diluted across every
-/// engine (the NDN caching literature calls this cache partitioning; it is
-/// what makes per-shard hit rates add up instead of cancel out).  Batches
-/// are split by the same rule and the sub-batches run on one thread per
-/// shard.
+/// The routing rule concentrates each program's *traffic* on one engine
+/// (so per-shard view counters are meaningful and batches parallelize one
+/// thread per shard), while the shared store makes every shard's cache
+/// *contents* visible to all the others: a cone analyzed on shard A is a
+/// warm summary/walk hit for a different program homed to shard B.  The
+/// store is internally lock-striped, so the shards do not serialize on a
+/// global lock (the NDN caching literature frames this as cache placement:
+/// one shared tier at full capacity beats private partitions of the same
+/// total capacity, because shared content is stored once).
 #[derive(Debug)]
 pub struct ShardedService {
+    store: Arc<SummaryStore>,
     shards: Vec<Arc<Engine>>,
 }
 
 impl ShardedService {
-    /// `shard_count` engines, each built from the same config
+    /// `shard_count` engine views over one store built from `config`
     /// (`shard_count` is clamped to at least 1).
     pub fn new(shard_count: usize, config: EngineConfig) -> ShardedService {
+        let store = SummaryStore::shared(config.store_config());
+        ShardedService::over(shard_count, config, store)
+    }
+
+    /// `shard_count` engine views over an existing store.
+    pub fn over(
+        shard_count: usize,
+        config: EngineConfig,
+        store: Arc<SummaryStore>,
+    ) -> ShardedService {
         let shards = (0..shard_count.max(1))
-            .map(|_| Arc::new(Engine::new(config.clone())))
+            .map(|_| Arc::new(Engine::with_store(config.clone(), store.clone())))
             .collect();
-        ShardedService { shards }
+        ShardedService { store, shards }
+    }
+
+    /// The store every shard shares.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
     }
 
     pub fn shard_count(&self) -> usize {
@@ -314,11 +342,10 @@ impl Service for ShardedService {
             Request::Batch {
                 sources, options, ..
             } => self.batch(sources, &options),
-            Request::Stats { .. } => Response::stats(self.shard_stats()),
+            Request::Stats { .. } => Response::stats(self.shard_stats(), self.store.stats()),
+            // One clear empties the store every shard shares.
             Request::ClearCaches { .. } => {
-                for shard in &self.shards {
-                    shard.clear_caches();
-                }
+                self.store.clear();
                 Response::cleared()
             }
             Request::Shutdown { .. } => Response::shutting_down(),
@@ -396,7 +423,7 @@ mod tests {
     #[test]
     fn engine_serve_rejects_foreign_versions() {
         let engine = Engine::default();
-        match engine.serve(Request::stats().with_version(2)) {
+        match engine.serve(Request::stats().with_version(1)) {
             Response::Error { error, version } => {
                 assert_eq!(error.kind, ErrorKind::Protocol);
                 assert_eq!(version, PROTOCOL_VERSION);
@@ -464,15 +491,18 @@ mod tests {
     }
 
     #[test]
-    fn sharded_clear_caches_reaches_every_shard() {
+    fn sharded_clear_caches_empties_the_shared_store() {
         let service = ShardedService::new(2, EngineConfig::default());
         for workload in [Workload::TreeSum, Workload::ListSum, Workload::Bisort] {
             let src = workload.source(3);
             service.call(Request::analyze(src));
         }
-        assert!(service.shard_stats().iter().any(|s| s.program_entries > 0));
+        assert_eq!(service.store().stats().programs.entries, 3);
         assert_eq!(service.call(Request::clear_caches()), Response::cleared());
-        assert!(service.shard_stats().iter().all(|s| s.program_entries == 0));
+        let stats = service.store().stats();
+        assert_eq!(stats.programs.entries, 0);
+        assert_eq!(stats.summaries.entries, 0);
+        assert_eq!(stats.walks.entries, 0);
     }
 
     #[test]

@@ -15,10 +15,18 @@
 
 use super::json::{hex64, parse_hex64, Json};
 use crate::report::{field, string_list, ProcessOptions, ProgramReport};
+use crate::store::{EvictionPolicy, NamespaceStats, PolicyChoice, StoreStats};
 use crate::{CacheStats, EngineError, EngineStats};
 
 /// The one protocol version this build speaks.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: the `stats` response restructured — per-shard entries became pure
+/// view counters (the `*_entries` fields moved out) and a required
+/// `store` member carries the shared store's per-namespace/per-stripe
+/// counters and live policy state.  A v1 peer cannot parse a v2 stats
+/// response (and vice versa), so the version negotiation must reject the
+/// skew rather than fail with a misleading `malformed` error.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A request to the analysis service.  Every variant carries the
 /// `protocol_version` the client speaks; the [`Request::analyze`]-style
@@ -297,12 +305,15 @@ pub enum Response {
         version: u32,
         items: Vec<Result<ProgramReport, ServiceError>>,
     },
-    /// Answer to [`Request::Stats`]: one entry per engine shard plus the
-    /// field-wise aggregate (a single-engine service reports one shard).
+    /// Answer to [`Request::Stats`]: one per-shard view-counter entry per
+    /// engine shard, their field-wise aggregate (a single-engine service
+    /// reports one shard), and the shared store's own per-namespace and
+    /// per-stripe counters.
     Stats {
         version: u32,
         shards: Vec<EngineStats>,
         total: EngineStats,
+        store: StoreStats,
     },
     /// Answer to [`Request::ClearCaches`].
     Cleared { version: u32 },
@@ -334,7 +345,7 @@ impl Response {
         }
     }
 
-    pub fn stats(shards: Vec<EngineStats>) -> Response {
+    pub fn stats(shards: Vec<EngineStats>, store: StoreStats) -> Response {
         let mut total = EngineStats::default();
         for shard in &shards {
             total.absorb(shard);
@@ -343,6 +354,7 @@ impl Response {
             version: PROTOCOL_VERSION,
             shards,
             total,
+            store,
         }
     }
 
@@ -399,7 +411,12 @@ impl Response {
                     ),
                 )],
             ),
-            Response::Stats { shards, total, .. } => (
+            Response::Stats {
+                shards,
+                total,
+                store,
+                ..
+            } => (
                 "stats",
                 vec![
                     (
@@ -407,6 +424,7 @@ impl Response {
                         Json::Arr(shards.iter().map(engine_stats_to_json).collect()),
                     ),
                     ("total", engine_stats_to_json(total)),
+                    ("store", store_stats_to_json(store)),
                 ],
             ),
             Response::Cleared { .. } => ("cleared", vec![]),
@@ -487,10 +505,15 @@ impl Response {
                     .get("total")
                     .ok_or_else(|| ServiceError::malformed("missing \"total\""))
                     .and_then(|t| engine_stats_from_json(t).map_err(ServiceError::malformed))?;
+                let store = value
+                    .get("store")
+                    .ok_or_else(|| ServiceError::malformed("missing \"store\""))
+                    .and_then(|s| store_stats_from_json(s).map_err(ServiceError::malformed))?;
                 Ok(Response::Stats {
                     version,
                     shards,
                     total,
+                    store,
                 })
             }
             "cleared" => Ok(Response::Cleared { version }),
@@ -646,7 +669,8 @@ fn field_version(value: &Json) -> Result<u32, ServiceError> {
         .ok_or_else(|| ServiceError::malformed("message is missing \"protocol_version\""))
 }
 
-fn cache_stats_to_json(stats: &CacheStats) -> Json {
+/// Encode a [`CacheStats`] (one cache, stripe, or view) for the wire.
+pub fn cache_stats_to_json(stats: &CacheStats) -> Json {
     Json::obj(vec![
         ("hits", Json::Int(stats.hits as i64)),
         ("misses", Json::Int(stats.misses as i64)),
@@ -669,37 +693,128 @@ fn cache_stats_from_json(value: &Json) -> Result<CacheStats, String> {
     })
 }
 
-fn engine_stats_to_json(stats: &EngineStats) -> Json {
+/// Encode one engine's per-namespace view counters for the wire.
+pub fn engine_stats_to_json(stats: &EngineStats) -> Json {
     Json::obj(vec![
         ("programs", cache_stats_to_json(&stats.programs)),
         ("summaries", cache_stats_to_json(&stats.summaries)),
         ("walks", cache_stats_to_json(&stats.walks)),
-        ("program_entries", Json::Int(stats.program_entries as i64)),
-        ("summary_entries", Json::Int(stats.summary_entries as i64)),
-        ("walk_entries", Json::Int(stats.walk_entries as i64)),
     ])
 }
 
-fn engine_stats_from_json(value: &Json) -> Result<EngineStats, String> {
-    let count = |key: &str| -> Result<usize, String> {
-        field(value, key)?
-            .as_u64()
-            .map(|v| v as usize)
-            .ok_or_else(|| format!("\"{key}\" must be a count"))
-    };
+/// Inverse of [`engine_stats_to_json`].
+pub fn engine_stats_from_json(value: &Json) -> Result<EngineStats, String> {
     Ok(EngineStats {
         programs: cache_stats_from_json(field(value, "programs")?)?,
         summaries: cache_stats_from_json(field(value, "summaries")?)?,
         walks: cache_stats_from_json(field(value, "walks")?)?,
-        program_entries: count("program_entries")?,
-        summary_entries: count("summary_entries")?,
-        walk_entries: count("walk_entries")?,
+    })
+}
+
+/// Encode one store namespace's counters and live policy state.
+pub fn namespace_stats_to_json(stats: &NamespaceStats) -> Json {
+    Json::obj(vec![
+        ("totals", cache_stats_to_json(&stats.totals)),
+        ("entries", Json::Int(stats.entries as i64)),
+        ("capacity", Json::Int(stats.capacity as i64)),
+        ("policy", Json::Str(stats.policy.name().to_string())),
+        ("current", Json::Str(stats.current.name().to_string())),
+        ("switches", Json::Int(stats.switches as i64)),
+        ("ghost_hits", Json::Int(stats.ghost_hits as i64)),
+        (
+            "stripes",
+            Json::Arr(stats.stripes.iter().map(cache_stats_to_json).collect()),
+        ),
+    ])
+}
+
+/// Inverse of [`namespace_stats_to_json`].
+pub fn namespace_stats_from_json(value: &Json) -> Result<NamespaceStats, String> {
+    let count = |key: &str| -> Result<u64, String> {
+        field(value, key)?
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    Ok(NamespaceStats {
+        totals: cache_stats_from_json(field(value, "totals")?)?,
+        entries: count("entries")? as usize,
+        capacity: count("capacity")? as usize,
+        policy: field(value, "policy")?
+            .as_str()
+            .and_then(EvictionPolicy::from_name)
+            .ok_or("\"policy\" must name an eviction policy")?,
+        current: field(value, "current")?
+            .as_str()
+            .and_then(PolicyChoice::from_name)
+            .ok_or("\"current\" must be \"lru\" or \"lfu\"")?,
+        switches: count("switches")?,
+        ghost_hits: count("ghost_hits")?,
+        stripes: field(value, "stripes")?
+            .as_arr()
+            .ok_or("\"stripes\" must be an array")?
+            .iter()
+            .map(cache_stats_from_json)
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+/// Encode the whole store snapshot (all three namespaces) for the wire.
+pub fn store_stats_to_json(stats: &StoreStats) -> Json {
+    Json::obj(vec![
+        ("programs", namespace_stats_to_json(&stats.programs)),
+        ("summaries", namespace_stats_to_json(&stats.summaries)),
+        ("walks", namespace_stats_to_json(&stats.walks)),
+    ])
+}
+
+/// Inverse of [`store_stats_to_json`].
+pub fn store_stats_from_json(value: &Json) -> Result<StoreStats, String> {
+    Ok(StoreStats {
+        programs: namespace_stats_from_json(field(value, "programs")?)?,
+        summaries: namespace_stats_from_json(field(value, "summaries")?)?,
+        walks: namespace_stats_from_json(field(value, "walks")?)?,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_store_stats() -> StoreStats {
+        let namespace = |entries: usize, capacity: usize| NamespaceStats {
+            totals: CacheStats {
+                hits: 7,
+                misses: 3,
+                insertions: 3,
+                evictions: 1,
+            },
+            entries,
+            capacity,
+            policy: EvictionPolicy::Adaptive,
+            current: PolicyChoice::Lfu,
+            switches: 1,
+            ghost_hits: 9,
+            stripes: vec![
+                CacheStats {
+                    hits: 7,
+                    misses: 1,
+                    insertions: 1,
+                    evictions: 1,
+                },
+                CacheStats {
+                    hits: 0,
+                    misses: 2,
+                    insertions: 2,
+                    evictions: 0,
+                },
+            ],
+        };
+        StoreStats {
+            programs: namespace(2, 256),
+            summaries: namespace(5, 1024),
+            walks: namespace(3, 512),
+        }
+    }
 
     fn round_trip_request(request: Request) {
         let line = request.encode();
@@ -748,13 +863,21 @@ mod tests {
             rounds: 3,
             analysis_digest: 0xbeef,
         }));
-        round_trip_response(Response::stats(vec![
-            EngineStats::default(),
-            EngineStats {
-                program_entries: 4,
-                ..EngineStats::default()
-            },
-        ]));
+        round_trip_response(Response::stats(
+            vec![
+                EngineStats::default(),
+                EngineStats {
+                    programs: CacheStats {
+                        hits: 4,
+                        misses: 2,
+                        insertions: 2,
+                        evictions: 0,
+                    },
+                    ..EngineStats::default()
+                },
+            ],
+            sample_store_stats(),
+        ));
         round_trip_response(Response::cleared());
         round_trip_response(Response::shutting_down());
         round_trip_response(Response::error(ServiceError::version_mismatch(99)));
@@ -765,7 +888,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_total_aggregates_shards() {
+    fn stats_total_aggregates_shard_views() {
         let a = EngineStats {
             programs: CacheStats {
                 hits: 2,
@@ -773,7 +896,6 @@ mod tests {
                 insertions: 1,
                 evictions: 0,
             },
-            program_entries: 1,
             ..EngineStats::default()
         };
         let b = EngineStats {
@@ -781,17 +903,22 @@ mod tests {
                 hits: 3,
                 misses: 4,
                 insertions: 4,
-                evictions: 2,
+                evictions: 0,
             },
-            program_entries: 2,
             ..EngineStats::default()
         };
-        match Response::stats(vec![a, b]) {
-            Response::Stats { total, shards, .. } => {
+        match Response::stats(vec![a, b], sample_store_stats()) {
+            Response::Stats {
+                total,
+                shards,
+                store,
+                ..
+            } => {
                 assert_eq!(shards.len(), 2);
                 assert_eq!(total.programs.hits, 5);
                 assert_eq!(total.programs.misses, 5);
-                assert_eq!(total.program_entries, 3);
+                assert_eq!(store.programs.entries, 2);
+                assert_eq!(store.walks.capacity, 512);
             }
             other => panic!("{other:?}"),
         }

@@ -1,0 +1,270 @@
+//! The unified, content-addressed **summary store** — the one cache layer
+//! behind every engine.
+//!
+//! Hendren & Nicolau's interprocedural path-matrix analysis is dominated
+//! by re-deriving per-procedure/SCC summaries, which is exactly what this
+//! store memoizes.  It replaces the engine's former trio of private caches
+//! (a whole-program `ContentCache`, an SCC-summary `ContentCache`, and a
+//! cone-keyed `ProcedureCache`) with one coherent abstraction:
+//!
+//! * **content-addressed** — every key is a stable 64-bit fingerprint of
+//!   normalized program content (`sil_lang::hash`), so identical content
+//!   hits regardless of which client, connection, or shard produced it;
+//! * **typed namespaces** — [`Namespace::Program`] (whole
+//!   `AnalysisResult`s), [`Namespace::SccSummary`] (per-SCC argument-mode
+//!   summaries keyed by cone fingerprint), and [`Namespace::WalkRecord`]
+//!   (retained interprocedural body walks keyed by cone fingerprint, the
+//!   raw material of incremental re-analysis) each get their own capacity,
+//!   eviction policy, and counters;
+//! * **internally sharded** — each namespace is lock-striped
+//!   ([`NamespaceCache`]), so the store scales across however many engines
+//!   share it without a global lock;
+//! * **stats-driven adaptive eviction** — besides fixed LRU/LFU, the
+//!   [`EvictionPolicy::Adaptive`] policy watches its own live
+//!   [`CacheStats`]-derived regret counters and switches LRU↔LFU to match
+//!   the observed traffic (see [`policy`]).
+//!
+//! Engines are *views* over an `Arc<SummaryStore>`: they read and write
+//! the shared namespaces and keep only their own per-view hit/miss
+//! counters.  A `ShardedService` hands every shard the same store, which
+//! is what makes a cone analyzed on shard A a warm hit on shard B.
+
+pub mod namespace;
+pub mod policy;
+
+pub use namespace::{NamespaceCache, NamespaceStats, DEFAULT_STRIPES};
+pub use policy::{
+    AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice, ADAPT_SWITCH_THRESHOLD,
+    ADAPT_WINDOW,
+};
+
+use crate::AnalyzedProgram;
+use sil_analysis::{ProcSummary, WalkRecord};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The typed namespaces of the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Namespace {
+    /// Whole-program analysis results, keyed by program fingerprint.
+    Program,
+    /// Per-SCC argument-mode summaries, keyed by cone fingerprint.
+    SccSummary,
+    /// Retained interprocedural body walks, keyed by cone fingerprint.
+    WalkRecord,
+}
+
+impl Namespace {
+    /// Every namespace, in reporting order.
+    pub const ALL: [Namespace; 3] = [
+        Namespace::Program,
+        Namespace::SccSummary,
+        Namespace::WalkRecord,
+    ];
+
+    /// Stable lowercase name (wire format and CLI tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Namespace::Program => "programs",
+            Namespace::SccSummary => "summaries",
+            Namespace::WalkRecord => "walks",
+        }
+    }
+}
+
+/// Store construction parameters: per-namespace capacity and eviction
+/// policy, plus the lock-stripe count shared by all namespaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Capacity of the whole-program namespace.
+    pub program_capacity: usize,
+    /// Capacity of the per-SCC summary namespace.
+    pub summary_capacity: usize,
+    /// Capacity (in cones) of the walk-record namespace.
+    pub walk_capacity: usize,
+    /// Eviction policy of the whole-program namespace.
+    pub program_policy: EvictionPolicy,
+    /// Eviction policy of the per-SCC summary namespace.
+    pub summary_policy: EvictionPolicy,
+    /// Eviction policy of the walk-record namespace.
+    pub walk_policy: EvictionPolicy,
+    /// Lock stripes per namespace (clamped to each namespace's capacity).
+    pub stripes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            program_capacity: 256,
+            summary_capacity: 1024,
+            walk_capacity: 512,
+            program_policy: EvictionPolicy::default(),
+            summary_policy: EvictionPolicy::default(),
+            walk_policy: EvictionPolicy::default(),
+            stripes: DEFAULT_STRIPES,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// One policy for every namespace.
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.program_policy = policy;
+        self.summary_policy = policy;
+        self.walk_policy = policy;
+        self
+    }
+
+    /// Override the lock-stripe count.
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes;
+        self
+    }
+}
+
+/// Counter snapshot of the whole store: one [`NamespaceStats`] per typed
+/// namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// The whole-program namespace.
+    pub programs: NamespaceStats,
+    /// The per-SCC summary namespace.
+    pub summaries: NamespaceStats,
+    /// The walk-record namespace.
+    pub walks: NamespaceStats,
+}
+
+impl StoreStats {
+    /// The snapshot of one namespace, by tag.
+    pub fn namespace(&self, namespace: Namespace) -> &NamespaceStats {
+        match namespace {
+            Namespace::Program => &self.programs,
+            Namespace::SccSummary => &self.summaries,
+            Namespace::WalkRecord => &self.walks,
+        }
+    }
+}
+
+/// Retained per-SCC argument-mode summaries (the value type of
+/// [`Namespace::SccSummary`]).
+pub type SummaryTable = Arc<HashMap<String, ProcSummary>>;
+
+/// Retained body walks of one cone (the value type of
+/// [`Namespace::WalkRecord`]).
+pub type WalkSet = Arc<Vec<Arc<WalkRecord>>>;
+
+/// The unified content-addressed store.  One instance is shared (via
+/// `Arc`) by every engine that should see the same summaries — all the
+/// shards of a `ShardedService`, every `Session`, every connection of a
+/// `sild` daemon.
+#[derive(Debug)]
+pub struct SummaryStore {
+    config: StoreConfig,
+    programs: NamespaceCache<Arc<AnalyzedProgram>>,
+    summaries: NamespaceCache<SummaryTable>,
+    walks: NamespaceCache<WalkSet>,
+}
+
+impl Default for SummaryStore {
+    fn default() -> Self {
+        SummaryStore::new(StoreConfig::default())
+    }
+}
+
+impl SummaryStore {
+    /// A store with the given per-namespace capacities and policies.
+    pub fn new(config: StoreConfig) -> SummaryStore {
+        SummaryStore {
+            programs: NamespaceCache::with_stripes(
+                config.program_capacity,
+                config.program_policy,
+                config.stripes,
+            ),
+            summaries: NamespaceCache::with_stripes(
+                config.summary_capacity,
+                config.summary_policy,
+                config.stripes,
+            ),
+            walks: NamespaceCache::with_stripes(
+                config.walk_capacity,
+                config.walk_policy,
+                config.stripes,
+            ),
+            config,
+        }
+    }
+
+    /// A store behind an `Arc`, ready to hand to engines.
+    pub fn shared(config: StoreConfig) -> Arc<SummaryStore> {
+        Arc::new(SummaryStore::new(config))
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The whole-program namespace.
+    pub fn programs(&self) -> &NamespaceCache<Arc<AnalyzedProgram>> {
+        &self.programs
+    }
+
+    /// The per-SCC summary namespace.
+    pub fn summaries(&self) -> &NamespaceCache<SummaryTable> {
+        &self.summaries
+    }
+
+    /// The walk-record namespace.
+    pub fn walks(&self) -> &NamespaceCache<WalkSet> {
+        &self.walks
+    }
+
+    /// Counter snapshot across all namespaces (aggregate + per stripe).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            programs: self.programs.stats(),
+            summaries: self.summaries.stats(),
+            walks: self.walks.stats(),
+        }
+    }
+
+    /// Drop every entry in every namespace (the counters survive).
+    pub fn clear(&self) {
+        self.programs.clear();
+        self.summaries.clear();
+        self.walks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_independent() {
+        let store = SummaryStore::new(StoreConfig {
+            program_capacity: 2,
+            summary_capacity: 4,
+            walk_capacity: 3,
+            ..StoreConfig::default()
+        });
+        store.summaries().insert(1, Arc::new(HashMap::new()));
+        store.walks().insert(1, Arc::new(Vec::new()));
+        assert_eq!(store.programs().len(), 0);
+        assert_eq!(store.summaries().len(), 1);
+        assert_eq!(store.walks().len(), 1);
+        assert_eq!(store.stats().summaries.entries, 1);
+        assert_eq!(store.stats().namespace(Namespace::WalkRecord).entries, 1);
+        assert_eq!(store.stats().programs.capacity, 2);
+
+        store.clear();
+        assert!(store.summaries().is_empty());
+        assert!(store.walks().is_empty());
+    }
+
+    #[test]
+    fn namespace_names_are_stable() {
+        let names: Vec<&str> = Namespace::ALL.iter().map(|n| n.name()).collect();
+        assert_eq!(names, ["programs", "summaries", "walks"]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Eviction policies and cache counters.
+//!
+//! Three policies are provided:
+//!
+//! * **LRU** — evict the entry touched longest ago.  Favors recency; the
+//!   right choice for session-like traffic where a client re-submits the
+//!   programs it is actively editing.
+//! * **LFU** — evict the entry with the fewest lifetime hits (ties broken
+//!   by recency).  Favors long-term popularity; under heavily skewed
+//!   request distributions (a few hot programs dominating a long tail, as
+//!   in the NDN caching study referenced by PAPERS.md) it keeps the hot
+//!   set resident even when bursts of one-off programs sweep through.
+//! * **Adaptive** — start as LRU and *switch* between LRU and LFU from the
+//!   store's own live counters.  The ICN cache-policy literature shows the
+//!   best fixed policy depends on the traffic (skew, burstiness), which a
+//!   server cannot know up front; the adaptive controller measures the
+//!   current choice's regret directly instead of guessing.
+//!
+//! The adaptive mechanism is a per-namespace hill climb over ghost hits:
+//! whenever the two base policies would have evicted *different* victims,
+//! the key actually evicted is remembered in a small per-stripe ghost list.
+//! A later miss on a ghost key means the current policy threw away an
+//! entry the other policy would have kept — one unit of regret.  Every
+//! [`ADAPT_WINDOW`] lookups the controller compares the window's regret
+//! against [`ADAPT_SWITCH_THRESHOLD`] and flips the live choice when the
+//! current policy is measurably wasting its capacity.  Ghost entries are
+//! tagged with the switch epoch so regret accumulated under a previous
+//! regime cannot immediately flip the choice back.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Which entry to sacrifice when a cache is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties broken by recency).
+    Lfu,
+    /// Start as LRU, then switch LRU↔LFU whenever the live ghost-hit
+    /// counters show the current choice evicting entries the other policy
+    /// would have kept.
+    #[default]
+    Adaptive,
+}
+
+impl EvictionPolicy {
+    /// Stable lowercase name (wire format and CLI tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Inverse of [`EvictionPolicy::name`].
+    pub fn from_name(name: &str) -> Option<EvictionPolicy> {
+        Some(match name {
+            "lru" => EvictionPolicy::Lru,
+            "lfu" => EvictionPolicy::Lfu,
+            "adaptive" => EvictionPolicy::Adaptive,
+            _ => return None,
+        })
+    }
+}
+
+/// A concrete victim-selection rule — what [`EvictionPolicy::Adaptive`]
+/// resolves to at any instant (the fixed policies resolve to themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyChoice {
+    /// Evicting by recency.
+    Lru,
+    /// Evicting by frequency.
+    Lfu,
+}
+
+impl PolicyChoice {
+    /// Stable lowercase name (wire format and CLI tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyChoice::Lru => "lru",
+            PolicyChoice::Lfu => "lfu",
+        }
+    }
+
+    /// Inverse of [`PolicyChoice::name`].
+    pub fn from_name(name: &str) -> Option<PolicyChoice> {
+        Some(match name {
+            "lru" => PolicyChoice::Lru,
+            "lfu" => PolicyChoice::Lfu,
+            _ => return None,
+        })
+    }
+}
+
+/// Hit/miss/eviction counters of one cache (or one stripe of one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// New entries admitted (re-inserting a resident key does not count).
+    pub insertions: u64,
+    /// Entries sacrificed to the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Field-wise accumulate (aggregating stripes, namespaces, or shards).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Lookups per adaptation window: the controller re-evaluates its choice
+/// every this-many lookups of the namespace it governs.
+pub const ADAPT_WINDOW: u64 = 256;
+
+/// Ghost hits within one window that flip the live choice.  8 regrets in
+/// 256 lookups means ≥3% of all traffic is re-requesting entries the
+/// current policy just threw away while the other would have kept them.
+pub const ADAPT_SWITCH_THRESHOLD: u64 = 8;
+
+/// The live LRU↔LFU switch of one [`EvictionPolicy::Adaptive`] namespace.
+///
+/// All fields are atomics: lookups from every stripe feed one controller
+/// without taking any lock beyond the stripe's own.
+#[derive(Debug, Default)]
+pub struct AdaptiveController {
+    /// Current choice: `false` = LRU (the starting point), `true` = LFU.
+    lfu: AtomicBool,
+    /// Lookups since the last window evaluation.
+    window_lookups: AtomicU64,
+    /// Ghost hits since the last window evaluation.
+    window_ghost_hits: AtomicU64,
+    /// Lifetime LRU↔LFU switches (doubles as the ghost epoch).
+    switches: AtomicU64,
+    /// Lifetime ghost hits (regret observed, whether or not it switched).
+    ghost_hits: AtomicU64,
+}
+
+impl AdaptiveController {
+    /// The rule currently used to pick victims.
+    pub fn choice(&self) -> PolicyChoice {
+        if self.lfu.load(Ordering::Relaxed) {
+            PolicyChoice::Lfu
+        } else {
+            PolicyChoice::Lru
+        }
+    }
+
+    /// How many times the controller has flipped its choice.
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime ghost hits (misses on keys the current policy evicted
+    /// against the other policy's judgement).
+    pub fn ghost_hits(&self) -> u64 {
+        self.ghost_hits.load(Ordering::Relaxed)
+    }
+
+    /// The epoch new ghost entries belong to; regret only counts while the
+    /// regime that caused it is still in charge.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// A miss landed on a remembered ghost of the current epoch.
+    pub(crate) fn note_ghost_hit(&self) {
+        self.window_ghost_hits.fetch_add(1, Ordering::Relaxed);
+        self.ghost_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump the lookup clock; at every window boundary, evaluate the
+    /// accumulated regret and switch the choice if it crossed the
+    /// threshold.  Exactly one caller wins the boundary compare-exchange,
+    /// so concurrent lookups evaluate each window once.
+    pub(crate) fn on_lookup(&self) {
+        let n = self.window_lookups.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= ADAPT_WINDOW
+            && self
+                .window_lookups
+                .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            let regret = self.window_ghost_hits.swap(0, Ordering::Relaxed);
+            if regret >= ADAPT_SWITCH_THRESHOLD {
+                self.lfu.fetch_xor(true, Ordering::Relaxed);
+                self.switches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for policy in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::Adaptive,
+        ] {
+            assert_eq!(EvictionPolicy::from_name(policy.name()), Some(policy));
+        }
+        for choice in [PolicyChoice::Lru, PolicyChoice::Lfu] {
+            assert_eq!(PolicyChoice::from_name(choice.name()), Some(choice));
+        }
+        assert_eq!(EvictionPolicy::from_name("mru"), None);
+        assert_eq!(PolicyChoice::from_name("adaptive"), None);
+    }
+
+    #[test]
+    fn hit_rate_handles_the_empty_cache() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let stats = CacheStats {
+            hits: 1,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_switches_on_sustained_regret_only() {
+        let controller = AdaptiveController::default();
+        assert_eq!(controller.choice(), PolicyChoice::Lru);
+
+        // Regret below the threshold: a full window passes, no switch.
+        for _ in 0..ADAPT_SWITCH_THRESHOLD - 1 {
+            controller.note_ghost_hit();
+        }
+        for _ in 0..ADAPT_WINDOW {
+            controller.on_lookup();
+        }
+        assert_eq!(controller.choice(), PolicyChoice::Lru);
+        assert_eq!(controller.switches(), 0);
+
+        // Regret at the threshold: the next window flips the choice.
+        for _ in 0..ADAPT_SWITCH_THRESHOLD {
+            controller.note_ghost_hit();
+        }
+        for _ in 0..ADAPT_WINDOW {
+            controller.on_lookup();
+        }
+        assert_eq!(controller.choice(), PolicyChoice::Lfu);
+        assert_eq!(controller.switches(), 1);
+        assert_eq!(controller.ghost_hits(), 2 * ADAPT_SWITCH_THRESHOLD - 1);
+    }
+}

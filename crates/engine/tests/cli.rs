@@ -161,9 +161,45 @@ fn warm_daemon_serves_cache_hits_to_a_second_run() {
         "all inputs must hit"
     );
     assert!(stdout.contains("\"cache_hit\":true"));
+    // Under --json the stats land on stderr as one wire-format JSON line:
+    // two shard views plus the shared store's namespaces with their live
+    // policy state.
     let stderr = stderr_of(&warm);
-    assert!(stderr.contains("2 shards"), "{stderr}");
+    assert!(stderr.contains("\"type\":\"stats\""), "{stderr}");
+    assert!(stderr.contains("\"store\":{"), "{stderr}");
+    assert!(stderr.contains("\"policy\":\"adaptive\""), "{stderr}");
+    assert!(stderr.contains("\"current\":\""), "{stderr}");
 
+    daemon.stop();
+}
+
+/// The text form of `--stats`: a per-namespace table (entries, hit rates,
+/// evictions, live policy) plus one view line per shard.
+#[test]
+fn stats_table_renders_namespaces_and_shards() {
+    let daemon = Daemon::launch("stats-table", "2");
+    let output = silp()
+        .args([
+            "--connect",
+            daemon.addr.as_str(),
+            "--workload",
+            "all",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains("2 shards over one shared store"),
+        "{stderr}"
+    );
+    for namespace in ["programs", "summaries", "walks"] {
+        assert!(stderr.contains(namespace), "{stderr}");
+    }
+    assert!(stderr.contains("adaptive(lru)"), "{stderr}");
+    assert!(stderr.contains("shard 0"), "{stderr}");
+    assert!(stderr.contains("shard 1"), "{stderr}");
     daemon.stop();
 }
 

@@ -86,38 +86,45 @@ fn batch_results_come_back_in_input_order() {
 #[test]
 fn eviction_stats_behave_at_small_capacities() {
     for policy in [EvictionPolicy::Lru, EvictionPolicy::Lfu] {
+        // One lock stripe: globally ordered eviction, so the counts below
+        // are exact rather than per-stripe-distribution-dependent.
         let engine = Engine::new(EngineConfig {
             program_cache_capacity: 2,
             summary_cache_capacity: 4,
             eviction: policy,
             parallel: false,
+            store_stripes: 1,
             ..EngineConfig::default()
         });
         let sources = generated_sources(8);
         for src in &sources {
             engine.analyze_source(src).unwrap();
         }
-        let stats = engine.stats();
-        assert_eq!(stats.program_entries, 2, "{policy:?}: capacity bound");
-        assert_eq!(stats.programs.insertions, 8, "{policy:?}");
+        let store = engine.store_stats();
+        assert_eq!(store.programs.entries, 2, "{policy:?}: capacity bound");
+        assert_eq!(store.programs.totals.insertions, 8, "{policy:?}");
         assert_eq!(
-            stats.programs.evictions, 6,
+            store.programs.totals.evictions, 6,
             "{policy:?}: 8 inserted into 2 slots"
         );
         assert_eq!(
-            stats.programs.misses, 8,
+            engine.stats().programs.misses,
+            8,
             "{policy:?}: all distinct programs miss"
         );
         assert!(
-            stats.summary_entries <= 4,
+            store.summaries.entries <= 4,
             "{policy:?}: summary capacity bound"
         );
 
         // Re-analyzing an evicted program misses and re-inserts.
         engine.analyze_source(&sources[0]).unwrap();
-        let after = engine.stats();
-        assert_eq!(after.programs.misses, 9, "{policy:?}");
-        assert_eq!(after.programs.evictions, 7, "{policy:?}");
+        assert_eq!(engine.stats().programs.misses, 9, "{policy:?}");
+        assert_eq!(
+            engine.store_stats().programs.totals.evictions,
+            7,
+            "{policy:?}"
+        );
     }
 }
 
@@ -137,6 +144,7 @@ fn lfu_protects_the_hot_program_lru_does_not() {
             summary_cache_capacity: 64,
             eviction: policy,
             parallel: false,
+            store_stripes: 1,
             ..EngineConfig::default()
         });
         engine.analyze_source(&hot).unwrap();

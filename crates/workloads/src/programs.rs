@@ -22,7 +22,7 @@ pub enum Workload {
     TreeAdd,
     /// Build a binary search tree by repeated insertion, then sum it.
     BstInsert,
-    /// Adaptive bitonic sort over a perfect tree (the [BN86] reference of
+    /// Adaptive bitonic sort over a perfect tree (the \[BN86\] reference of
     /// the paper's conclusions).
     Bisort,
     /// Sum a linked list (recursive traversal over a left-spine list — the
@@ -428,7 +428,7 @@ return (s)
     )
 }
 
-/// The adaptive bitonic sort of Bilardi & Nicolau [BN86], in the Olden
+/// The adaptive bitonic sort of Bilardi & Nicolau \[BN86\], in the Olden
 /// `bisort` formulation: a perfect binary tree holds the keys, `bisort`
 /// recursively sorts the two subtrees in opposite directions and `bimerge`
 /// merges the resulting bitonic sequence, swapping subtrees and values as it

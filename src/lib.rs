@@ -12,7 +12,7 @@
 //! | [`parallelizer`] | `sil-parallelizer` | statement/call packing, sequence splitting, parallel-program verification (§5) |
 //! | [`runtime`] | `sil-runtime` | interpreter, rayon-backed parallel executor, work/span cost model, race detector |
 //! | [`workloads`] | `sil-workloads` | benchmark SIL programs, random program generator, native Rust reference kernels |
-//! | [`engine`] | `sil-engine` | batched, memoizing analysis service: content-addressed program/summary caches (LRU/LFU), SCC-parallel scheduling, the typed Request/Response service protocol with the `sild` daemon (fingerprint-sharded engines over Unix/TCP sockets), and the `silp` CLI |
+//! | [`engine`] | `sil-engine` | batched, memoizing analysis service: a unified content-addressed `SummaryStore` (typed program/summary/walk namespaces, lock-striped, LRU/LFU/adaptive eviction) shared across engine views, SCC-parallel scheduling, the typed Request/Response service protocol with the `sild` daemon (fingerprint-sharded engines over one shared store, Unix/TCP sockets), and the `silp` CLI |
 //!
 //! ## The 30-second tour
 //!
@@ -57,7 +57,7 @@ pub mod prelude {
     pub use sil_analysis::{analyze_program, AbstractState, AnalysisResult, StructureKind};
     pub use sil_engine::{
         Engine, EngineConfig, EvictionPolicy, LocalService, ProcessOptions, RemoteService, Request,
-        Response, Service, ShardedService,
+        Response, Service, ShardedService, SummaryStore,
     };
     pub use sil_lang::{frontend, parse_program, pretty_program, Program};
     pub use sil_parallelizer::{parallelize_program, verify_parallel_program, TransformReport};
@@ -88,6 +88,18 @@ mod tests {
         let second = engine.analyze_source(&src).unwrap();
         assert_eq!(first.fingerprint, second.fingerprint);
         assert_eq!(engine.stats().programs.hits, 1);
+    }
+
+    #[test]
+    fn shared_store_is_reachable_through_the_facade() {
+        let store = SummaryStore::shared(EngineConfig::default().store_config());
+        let a = Engine::with_store(EngineConfig::default(), store.clone());
+        let b = Engine::with_store(EngineConfig::default(), store);
+        let src = Workload::TreeSum.source(3);
+        a.analyze_source(&src).unwrap();
+        b.analyze_source(&src).unwrap();
+        assert_eq!(b.stats().programs.hits, 1, "b warm-hits a's store entry");
+        assert_eq!(b.store_stats().programs.entries, 1);
     }
 
     #[test]
