@@ -27,7 +27,7 @@ use sil_engine::cli::unknown_flag_error;
 use sil_engine::service::{Json, LocalService, RemoteService, Request, Response, Service};
 use sil_engine::{
     EngineConfig, EngineStats, EvictionPolicy, Namespace, ProcessOptions, ProgramReport,
-    ServiceError, StoreStats,
+    ServerStats, ServiceError, StoreStats,
 };
 use sil_workloads::Workload;
 use std::fmt::Write as _;
@@ -60,6 +60,9 @@ options:
   --in-process           serve requests from an in-process engine (default)
   --connect <addr>       send requests to a sild daemon at unix:<path> or
                          tcp:<host:port> instead
+  --timeout <ms>         with --connect: fail fast if the daemon does not
+                         accept or answer within this many milliseconds
+                         (default: wait forever)
   --shutdown             with --connect: ask the daemon to exit
   -h, --help             this message
 ";
@@ -78,6 +81,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--stats",
     "--in-process",
     "--connect",
+    "--timeout",
     "--shutdown",
     "--help",
 ];
@@ -90,6 +94,7 @@ struct Cli {
     incremental: bool,
     eviction: EvictionPolicy,
     connect: Option<String>,
+    timeout: Option<std::time::Duration>,
     shutdown: bool,
 }
 
@@ -102,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         incremental: false,
         eviction: EvictionPolicy::default(),
         connect: None,
+        timeout: None,
         shutdown: false,
     };
     let mut workloads: Vec<String> = Vec::new();
@@ -138,6 +144,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 i += 1;
                 cli.connect = Some(args.get(i).ok_or("--connect needs an address")?.clone());
             }
+            "--timeout" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--timeout needs a value in milliseconds")?
+                    .parse()
+                    .map_err(|_| "--timeout must be an integer (milliseconds)".to_string())?;
+                if ms == 0 {
+                    return Err("--timeout must be at least 1 millisecond".to_string());
+                }
+                cli.timeout = Some(std::time::Duration::from_millis(ms));
+            }
             "--shutdown" => cli.shutdown = true,
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with('-') => {
@@ -150,6 +168,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
     if cli.shutdown && cli.connect.is_none() {
         return Err("--shutdown only makes sense with --connect".to_string());
+    }
+    if cli.timeout.is_some() && cli.connect.is_none() {
+        return Err("--timeout only makes sense with --connect".to_string());
     }
 
     for name in workloads {
@@ -185,8 +206,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 fn open_service(cli: &Cli) -> Result<Box<dyn Service>, String> {
     match &cli.connect {
         Some(addr) => {
-            let remote =
-                RemoteService::connect(addr).map_err(|e| format!("cannot reach daemon: {e}"))?;
+            let remote = RemoteService::connect_with_timeout(addr, cli.timeout)
+                .map_err(|e| format!("cannot reach daemon: {e}"))?;
             remote
                 .handshake()
                 .map_err(|e| format!("handshake with {addr} failed: {e}"))?;
@@ -210,10 +231,15 @@ fn percent(hits: u64, misses: u64) -> String {
     }
 }
 
-/// The `--stats` text table: the shared store's per-namespace counters
-/// (with each adaptive policy's current choice) and every shard's view
+/// The `--stats` text table: the serving daemon's connection counters
+/// (when a daemon answered), the shared store's per-namespace counters
+/// (with each adaptive policy's current choice), and every shard's view
 /// hit rates.
-fn render_stats(shards: &[EngineStats], store: &StoreStats) -> String {
+fn render_stats(
+    shards: &[EngineStats],
+    store: &StoreStats,
+    server: Option<&ServerStats>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -221,6 +247,17 @@ fn render_stats(shards: &[EngineStats], store: &StoreStats) -> String {
         shards.len(),
         if shards.len() == 1 { "" } else { "s" },
     );
+    if let Some(server) = server {
+        let _ = writeln!(
+            out,
+            "  server: {} — {} connection{} accepted, {} active, up {}s",
+            server.kind,
+            server.accepted,
+            if server.accepted == 1 { "" } else { "s" },
+            server.active,
+            server.uptime_ticks,
+        );
+    }
     let _ = writeln!(
         out,
         "  {:<10} {:>11} {:>9} {:>7} {:>7} {:>6}  policy",
@@ -384,7 +421,9 @@ fn main() -> ExitCode {
             }
         } else {
             match service.service_stats() {
-                Ok((shards, _total, store)) => eprint!("{}", render_stats(&shards, &store)),
+                Ok((shards, _total, store, server)) => {
+                    eprint!("{}", render_stats(&shards, &store, server.as_ref()))
+                }
                 Err(error) => eprintln!("silp: stats failed: {error}"),
             }
         }

@@ -57,12 +57,12 @@ pub mod store;
 
 pub use report::{ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport};
 pub use service::{
-    Addr, LocalService, RemoteService, Request, Response, Server, ServerHandle, Service,
-    ServiceError, ShardedService, PROTOCOL_VERSION,
+    Addr, LocalService, RemoteService, Request, Response, Server, ServerHandle, ServerStats,
+    Service, ServiceError, ShardedService, PROTOCOL_VERSION,
 };
 pub use store::{
-    CacheStats, EvictionPolicy, Namespace, NamespaceCache, NamespaceStats, PolicyChoice,
-    StoreConfig, StoreStats, SummaryStore,
+    AdaptConfig, CacheStats, EvictionPolicy, Namespace, NamespaceCache, NamespaceStats,
+    PolicyChoice, StoreConfig, StoreStats, SummaryStore,
 };
 
 use rayon::prelude::*;
@@ -96,6 +96,10 @@ pub struct EngineConfig {
     /// Eviction policy shared by all namespaces (default:
     /// [`EvictionPolicy::Adaptive`]).
     pub eviction: EvictionPolicy,
+    /// Adaptation window/threshold shared by all namespaces (a
+    /// [`StoreConfig`] built directly can still shape each namespace
+    /// independently).
+    pub adapt: AdaptConfig,
     /// Lock stripes per store namespace.
     pub store_stripes: usize,
     /// Schedule batches and independent call-graph SCCs across rayon.
@@ -115,6 +119,7 @@ impl Default for EngineConfig {
             summary_cache_capacity: 1024,
             procedure_cache_capacity: 512,
             eviction: EvictionPolicy::default(),
+            adapt: AdaptConfig::default(),
             store_stripes: store::DEFAULT_STRIPES,
             parallel: true,
             incremental: true,
@@ -146,6 +151,16 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_adapt_window(mut self, window: u64) -> Self {
+        self.adapt.window = window;
+        self
+    }
+
+    pub fn with_adapt_threshold(mut self, threshold: u64) -> Self {
+        self.adapt.threshold = threshold;
+        self
+    }
+
     pub fn with_store_stripes(mut self, stripes: usize) -> Self {
         self.store_stripes = stripes;
         self
@@ -170,6 +185,9 @@ impl EngineConfig {
             program_policy: self.eviction,
             summary_policy: self.eviction,
             walk_policy: self.eviction,
+            program_adapt: self.adapt,
+            summary_adapt: self.adapt,
+            walk_adapt: self.adapt,
             stripes: self.store_stripes,
         }
     }

@@ -1,0 +1,436 @@
+//! The event-driven serving strategy: one silio/epoll event loop
+//! multiplexing every connection, plus a small worker pool executing
+//! requests against the shared service.
+//!
+//! ```text
+//!                    ┌────────────── readiness ──────────────┐
+//!   clients ──────▶  │  event loop (1 thread)                │
+//!     accept/read    │   · accepts, frames lines (LineConn)  │
+//!                    │   · per-connection FIFO job queue     │
+//!                    │   · flushes responses, backpressure   │
+//!                    └───────▲──────────────────┬────────────┘
+//!                    eventfd │ wakeup           │ jobs (condvar)
+//!                    ┌───────┴──────────────────▼────────────┐
+//!                    │  workers (N threads)                  │
+//!                    │   · decode → version → Service::call  │
+//!                    │   · push completion, wake the loop    │
+//!                    └───────────────────────────────────────┘
+//! ```
+//!
+//! Invariants the loop maintains:
+//!
+//! * **Protocol order** — at most one request per connection is in flight
+//!   at a time; further complete lines wait in that connection's own queue,
+//!   so responses always return in request order even though many
+//!   connections execute concurrently on the pool.
+//! * **Backpressure both ways** — a connection whose pending-line queue is
+//!   full loses readable interest until the queue drains; a connection
+//!   whose peer reads slowly keeps writable interest and bounded buffers,
+//!   and blocks nothing else.
+//! * **Cooperative shutdown** — a well-versioned shutdown request (or the
+//!   external handle) flips the shared flag; the loop stops accepting,
+//!   finishes in-flight work, flushes every queued response (bounded by a
+//!   drain deadline), joins the pool, and exits so the socket file can be
+//!   removed.
+//!
+//! Faulty clients cannot wedge the loop: malformed lines are answered like
+//! any request, oversized newline-free floods and mid-request disconnects
+//! tear down only their own connection.
+
+use super::server::{handle_line, LineOutcome, Listener, ServerCounters};
+use super::{Addr, Service};
+use silio::{Events, Interest, LineConn, Poll, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+/// Connection ids start above the fixed tokens.
+const FIRST_CONNECTION: usize = 2;
+
+/// How long the loop parks per poll; also the cadence at which it notices
+/// an externally flipped shutdown flag if no traffic wakes it first.
+const POLL_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Read-side backpressure: a connection may queue at most this many
+/// complete-but-unserved lines before the loop stops reading from it.
+const MAX_PENDING_LINES: usize = 128;
+
+/// How long a shutting-down loop keeps flushing queued responses before
+/// closing connections that will not drain.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// One request line waiting for a worker.
+struct Job {
+    connection: usize,
+    line: String,
+}
+
+/// One finished request on its way back to the loop.
+struct Completion {
+    connection: usize,
+    line: String,
+    shutdown: bool,
+}
+
+/// The loop ↔ pool exchange: jobs flow down via a condvar queue,
+/// completions flow back via a vector plus an eventfd wakeup.
+struct Exchange {
+    jobs: Mutex<JobQueue>,
+    ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+struct JobQueue {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Exchange {
+    fn submit(&self, job: Job) {
+        self.jobs.lock().unwrap().queue.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.jobs.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Worker side: block for the next job; `None` means exit.
+    fn next_job(&self) -> Option<Job> {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = jobs.queue.pop_front() {
+                return Some(job);
+            }
+            if jobs.closed {
+                return None;
+            }
+            jobs = self.ready.wait(jobs).unwrap();
+        }
+    }
+
+    fn complete(&self, completion: Completion) {
+        self.completions.lock().unwrap().push(completion);
+        // A dead loop cannot be woken; the worker is exiting anyway.
+        let _ = self.waker.wake();
+    }
+
+    fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().unwrap())
+    }
+}
+
+/// Per-connection state owned by the event loop.
+struct Connection {
+    conn: LineConn,
+    /// Complete lines waiting their turn (FIFO per connection).
+    pending: VecDeque<String>,
+    /// Whether a worker currently holds this connection's line.
+    inflight: bool,
+    /// The peer closed its write side; serve what is queued, then close.
+    eof: bool,
+    /// The interest currently registered with the poll.
+    interest: Interest,
+}
+
+impl Connection {
+    /// The interest this connection's state wants right now.
+    fn desired_interest(&self) -> Interest {
+        let mut interest = Interest::NONE;
+        if !self.eof && self.pending.len() < MAX_PENDING_LINES {
+            interest = interest.with(Interest::READABLE);
+        }
+        if self.conn.wants_write() {
+            interest = interest.with(Interest::WRITABLE);
+        }
+        interest
+    }
+
+    /// Nothing left to read, serve, or flush: safe to close.
+    fn finished(&self) -> bool {
+        self.eof && !self.inflight && self.pending.is_empty() && !self.conn.wants_write()
+    }
+}
+
+fn pool_size(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// Serve the bound listener with the event loop until shut down.
+pub(crate) fn serve(
+    listener: Listener,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+    options: super::server::ServerOptions,
+    counters: Arc<ServerCounters>,
+) {
+    let listener = match listener {
+        Listener::Unix(listener, _) => silio::Listener::from_unix(listener),
+        Listener::Tcp(listener) => silio::Listener::from_tcp(listener),
+    };
+    let setup = listener.and_then(|listener| {
+        let poll = Poll::new()?;
+        let exchange = Arc::new(Exchange {
+            jobs: Mutex::new(JobQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        });
+        poll.register(&listener, LISTENER, Interest::READABLE)?;
+        poll.register(&exchange.waker, WAKER, Interest::READABLE)?;
+        Ok((listener, poll, exchange))
+    });
+    let (listener, poll, exchange) = match setup {
+        Ok(ready) => ready,
+        Err(e) => {
+            // Readiness plumbing itself failed (fd exhaustion); nothing to
+            // serve with.  The daemon exits rather than busy-looping.
+            eprintln!("sild: async server setup failed on {addr}: {e}");
+            return;
+        }
+    };
+
+    // The worker pool: each thread runs requests to completion and wakes
+    // the loop through the shared eventfd.
+    let workers: Vec<_> = (0..pool_size(options.workers))
+        .map(|_| {
+            let exchange = exchange.clone();
+            let service = service.clone();
+            let counters = counters.clone();
+            std::thread::spawn(move || {
+                while let Some(job) = exchange.next_job() {
+                    let (response, stop) = match handle_line(service.as_ref(), &counters, &job.line)
+                    {
+                        LineOutcome::Respond(response) => (response, false),
+                        LineOutcome::ShutdownAfter(response) => (response, true),
+                    };
+                    exchange.complete(Completion {
+                        connection: job.connection,
+                        line: response.encode(),
+                        shutdown: stop,
+                    });
+                }
+            })
+        })
+        .collect();
+
+    run_loop(&listener, &poll, &exchange, &shutdown, &counters);
+
+    exchange.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn run_loop(
+    listener: &silio::Listener,
+    poll: &Poll,
+    exchange: &Exchange,
+    shutdown: &AtomicBool,
+    counters: &ServerCounters,
+) {
+    let mut events = Events::with_capacity(1024);
+    let mut connections: HashMap<usize, Connection> = HashMap::new();
+    let mut next_id = FIRST_CONNECTION;
+    let mut inflight_total = 0usize;
+    // Set once shutdown begins: accepting stops, queued work drains until
+    // everything flushed or the deadline passes.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+            let _ = poll.deregister(listener);
+        }
+
+        if let Some(deadline) = drain_deadline {
+            let idle = inflight_total == 0 && connections.values().all(|c| !c.conn.wants_write());
+            if idle || Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        if poll.poll(&mut events, Some(POLL_TIMEOUT)).is_err() {
+            // Only unrecoverable selector failures reach here (EINTR is
+            // retried inside); treat as shutdown.
+            break;
+        }
+
+        let mut touched: Vec<usize> = Vec::new();
+        for event in events.iter() {
+            match event.token() {
+                LISTENER => {
+                    if drain_deadline.is_some() {
+                        continue;
+                    }
+                    loop {
+                        let stream = match listener.accept() {
+                            Ok(Some(stream)) => stream,
+                            Ok(None) => break, // backlog drained
+                            Err(_) => {
+                                // Transient accept failures (e.g. fd
+                                // exhaustion under load) leave the backlog
+                                // readable, so the level-triggered poll
+                                // would re-fire instantly; back off briefly
+                                // rather than spin a core (mirrors the
+                                // threaded server).
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                break;
+                            }
+                        };
+                        let id = next_id;
+                        next_id += 1;
+                        let connection = Connection {
+                            conn: LineConn::new(stream),
+                            pending: VecDeque::new(),
+                            inflight: false,
+                            eof: false,
+                            interest: Interest::READABLE,
+                        };
+                        if poll
+                            .register(connection.conn.stream(), Token(id), Interest::READABLE)
+                            .is_ok()
+                        {
+                            counters.connection_opened();
+                            connections.insert(id, connection);
+                        }
+                    }
+                }
+                WAKER => {
+                    let _ = exchange.waker.drain();
+                }
+                Token(id) => {
+                    let Some(connection) = connections.get_mut(&id) else {
+                        continue;
+                    };
+                    let mut failed = false;
+                    if event.is_writable() {
+                        failed |= connection.conn.write_ready().is_err();
+                    }
+                    if event.is_readable() && !failed {
+                        match connection.conn.read_ready() {
+                            Ok(drained) => {
+                                connection.eof |= drained.eof;
+                                for line in drained.lines {
+                                    if !line.trim().is_empty() {
+                                        connection.pending.push_back(line);
+                                    }
+                                }
+                            }
+                            Err(_) => failed = true,
+                        }
+                    }
+                    if failed || (event.is_error_or_hangup() && connection.finished()) {
+                        // A failed connection dies with its queue; a
+                        // cleanly finished one just closes.
+                        close_connection(poll, counters, &mut connections, id, &mut inflight_total);
+                        continue;
+                    }
+                    touched.push(id);
+                }
+            }
+        }
+
+        // Completions: deliver responses, then promote each connection's
+        // next pending line to the pool (per-connection FIFO).
+        for completion in exchange.take_completions() {
+            if completion.shutdown {
+                // Honored even if the requester vanished before reading
+                // the acknowledgement.
+                shutdown.store(true, Ordering::SeqCst);
+            }
+            let Some(connection) = connections.get_mut(&completion.connection) else {
+                // The client vanished mid-request: its close already
+                // settled the inflight count; drop the response.
+                continue;
+            };
+            connection.inflight = false;
+            inflight_total = inflight_total.saturating_sub(1);
+            if connection.conn.enqueue_line(&completion.line).is_err() {
+                close_connection(
+                    poll,
+                    counters,
+                    &mut connections,
+                    completion.connection,
+                    &mut inflight_total,
+                );
+                continue;
+            }
+            touched.push(completion.connection);
+        }
+
+        // Submit work and settle interests for every connection touched
+        // this round.
+        for id in touched {
+            let Some(connection) = connections.get_mut(&id) else {
+                continue;
+            };
+            if !connection.inflight && drain_deadline.is_none() {
+                if let Some(line) = connection.pending.pop_front() {
+                    connection.inflight = true;
+                    inflight_total += 1;
+                    exchange.submit(Job {
+                        connection: id,
+                        line,
+                    });
+                }
+            }
+            if connection.finished() {
+                close_connection(poll, counters, &mut connections, id, &mut inflight_total);
+                continue;
+            }
+            let desired = connection.desired_interest();
+            if desired != connection.interest {
+                if poll
+                    .reregister(connection.conn.stream(), Token(id), desired)
+                    .is_err()
+                {
+                    close_connection(poll, counters, &mut connections, id, &mut inflight_total);
+                    continue;
+                }
+                if let Some(connection) = connections.get_mut(&id) {
+                    connection.interest = desired;
+                }
+            }
+        }
+    }
+
+    for (_, connection) in connections.drain() {
+        let _ = poll.deregister(connection.conn.stream());
+        counters.connection_closed();
+    }
+}
+
+fn close_connection(
+    poll: &Poll,
+    counters: &ServerCounters,
+    connections: &mut HashMap<usize, Connection>,
+    id: usize,
+    inflight_total: &mut usize,
+) {
+    if let Some(connection) = connections.remove(&id) {
+        if connection.inflight {
+            // Its worker will still complete; the completion finds no
+            // connection and is dropped, but the global count must not
+            // leak or drain-on-shutdown would stall.
+            *inflight_total = inflight_total.saturating_sub(1);
+        }
+        let _ = poll.deregister(connection.conn.stream());
+        counters.connection_closed();
+    }
+}

@@ -22,10 +22,16 @@ pub mod proto;
 pub mod remote;
 pub mod server;
 
+#[cfg(target_os = "linux")]
+mod aserver;
+mod threaded;
+
 pub use json::{Json, JsonError};
-pub use proto::{AnalyzeSummary, ErrorKind, Request, Response, ServiceError, PROTOCOL_VERSION};
+pub use proto::{
+    AnalyzeSummary, ErrorKind, Request, Response, ServerStats, ServiceError, PROTOCOL_VERSION,
+};
 pub use remote::RemoteService;
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, ServerKind, ServerOptions};
 
 use crate::report::{ProcessOptions, ProgramReport};
 use crate::store::{StoreStats, SummaryStore};
@@ -69,15 +75,28 @@ pub trait Service {
     }
 
     /// [`Request::Stats`], expecting per-shard view counters, their
-    /// aggregate, and the shared store's own per-namespace counters.
-    fn service_stats(&self) -> Result<(Vec<EngineStats>, EngineStats, StoreStats), ServiceError> {
+    /// aggregate, the shared store's own per-namespace counters, and —
+    /// when the service is a daemon — the server's connection counters.
+    #[allow(clippy::type_complexity)]
+    fn service_stats(
+        &self,
+    ) -> Result<
+        (
+            Vec<EngineStats>,
+            EngineStats,
+            StoreStats,
+            Option<ServerStats>,
+        ),
+        ServiceError,
+    > {
         match self.call(Request::stats()) {
             Response::Stats {
                 shards,
                 total,
                 store,
+                server,
                 ..
-            } => Ok((shards, total, store)),
+            } => Ok((shards, total, store, server)),
             Response::Error { error, .. } => Err(error),
             other => Err(unexpected("stats", &other)),
         }

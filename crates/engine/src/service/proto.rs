@@ -26,6 +26,12 @@ use crate::{CacheStats, EngineError, EngineStats};
 /// counters and live policy state.  A v1 peer cannot parse a v2 stats
 /// response (and vice versa), so the version negotiation must reject the
 /// skew rather than fail with a misleading `malformed` error.
+///
+/// Still v2: the `stats` response later gained an *optional* `server`
+/// member ([`ServerStats`] — connection counts and uptime, attached only
+/// when a daemon answers).  Optional additions are compatible in both
+/// directions (an older peer ignores the key, a newer peer tolerates its
+/// absence), so they do not bump the version.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A request to the analysis service.  Every variant carries the
@@ -287,6 +293,50 @@ impl AnalyzeSummary {
     }
 }
 
+/// Daemon-side counters attached to a [`Response::Stats`] by the serving
+/// `sild` process (absent when the service answers in process — there is
+/// no server to count connections then).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Which server is answering: `"threaded"` (one thread per
+    /// connection) or `"async"` (the silio event loop).
+    pub kind: String,
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Whole seconds since the server started serving.
+    pub uptime_ticks: u64,
+}
+
+impl ServerStats {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.clone())),
+            ("accepted", Json::Int(self.accepted as i64)),
+            ("active", Json::Int(self.active as i64)),
+            ("uptime_ticks", Json::Int(self.uptime_ticks as i64)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<ServerStats, String> {
+        let count = |key: &str| -> Result<u64, String> {
+            field(value, key)?
+                .as_u64()
+                .ok_or_else(|| format!("\"{key}\" must be a count"))
+        };
+        Ok(ServerStats {
+            kind: field(value, "kind")?
+                .as_str()
+                .ok_or("\"kind\" must be a string")?
+                .to_string(),
+            accepted: count("accepted")?,
+            active: count("active")?,
+            uptime_ticks: count("uptime_ticks")?,
+        })
+    }
+}
+
 /// A response from the analysis service.  Every variant carries the
 /// responder's protocol version — on a version mismatch the client reads
 /// the supported version out of the [`Response::Error`].
@@ -307,13 +357,15 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`]: one per-shard view-counter entry per
     /// engine shard, their field-wise aggregate (a single-engine service
-    /// reports one shard), and the shared store's own per-namespace and
-    /// per-stripe counters.
+    /// reports one shard), the shared store's own per-namespace and
+    /// per-stripe counters, and — when a daemon answers — the server's
+    /// connection counters.
     Stats {
         version: u32,
         shards: Vec<EngineStats>,
         total: EngineStats,
         store: StoreStats,
+        server: Option<ServerStats>,
     },
     /// Answer to [`Request::ClearCaches`].
     Cleared { version: u32 },
@@ -355,7 +407,18 @@ impl Response {
             shards,
             total,
             store,
+            server: None,
         }
+    }
+
+    /// Attach daemon-side server counters to a [`Response::Stats`] (the
+    /// serving `sild` process does this on the way out; other responses
+    /// pass through unchanged).
+    pub fn with_server_stats(mut self, stats: ServerStats) -> Response {
+        if let Response::Stats { server, .. } = &mut self {
+            *server = Some(stats);
+        }
+        self
     }
 
     pub fn cleared() -> Response {
@@ -415,18 +478,22 @@ impl Response {
                 shards,
                 total,
                 store,
+                server,
                 ..
-            } => (
-                "stats",
-                vec![
+            } => {
+                let mut fields = vec![
                     (
                         "shards",
                         Json::Arr(shards.iter().map(engine_stats_to_json).collect()),
                     ),
                     ("total", engine_stats_to_json(total)),
                     ("store", store_stats_to_json(store)),
-                ],
-            ),
+                ];
+                if let Some(server) = server {
+                    fields.push(("server", server.to_json_value()));
+                }
+                ("stats", fields)
+            }
             Response::Cleared { .. } => ("cleared", vec![]),
             Response::ShuttingDown { .. } => ("shutting_down", vec![]),
             Response::Error { error, .. } => ("error", vec![("error", error.to_json_value())]),
@@ -509,11 +576,16 @@ impl Response {
                     .get("store")
                     .ok_or_else(|| ServiceError::malformed("missing \"store\""))
                     .and_then(|s| store_stats_from_json(s).map_err(ServiceError::malformed))?;
+                let server = value
+                    .get("server")
+                    .map(|s| ServerStats::from_json_value(s).map_err(ServiceError::malformed))
+                    .transpose()?;
                 Ok(Response::Stats {
                     version,
                     shards,
                     total,
                     store,
+                    server,
                 })
             }
             "cleared" => Ok(Response::Cleared { version }),
@@ -878,6 +950,24 @@ mod tests {
             ],
             sample_store_stats(),
         ));
+        // The server-decorated form round-trips too, and the undecorated
+        // form stays bitwise free of the optional key.
+        round_trip_response(
+            Response::stats(vec![EngineStats::default()], sample_store_stats()).with_server_stats(
+                ServerStats {
+                    kind: "async".into(),
+                    accepted: 41,
+                    active: 3,
+                    uptime_ticks: 17,
+                },
+            ),
+        );
+        assert!(
+            !Response::stats(vec![], sample_store_stats())
+                .encode()
+                .contains("\"server\""),
+            "no daemon, no server member"
+        );
         round_trip_response(Response::cleared());
         round_trip_response(Response::shutting_down());
         round_trip_response(Response::error(ServiceError::version_mismatch(99)));
@@ -912,6 +1002,7 @@ mod tests {
                 total,
                 shards,
                 store,
+                server,
                 ..
             } => {
                 assert_eq!(shards.len(), 2);
@@ -919,9 +1010,45 @@ mod tests {
                 assert_eq!(total.programs.misses, 5);
                 assert_eq!(store.programs.entries, 2);
                 assert_eq!(store.walks.capacity, 512);
+                assert_eq!(server, None, "in-process stats carry no server");
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// Compatibility both ways across the optional `server` member: a
+    /// stats line missing it decodes to `None`, and a stats line carrying
+    /// unknown extra keys (a future peer) still decodes.
+    #[test]
+    fn optional_server_member_is_compatible_in_both_directions() {
+        let bare = Response::stats(vec![EngineStats::default()], sample_store_stats());
+        let decoded = Response::decode(&bare.encode()).unwrap();
+        match &decoded {
+            Response::Stats { server, .. } => assert_eq!(*server, None),
+            other => panic!("{other:?}"),
+        }
+
+        let decorated = bare
+            .clone()
+            .with_server_stats(ServerStats {
+                kind: "threaded".into(),
+                accepted: 7,
+                active: 1,
+                uptime_ticks: 0,
+            })
+            .encode();
+        match Response::decode(&decorated).unwrap() {
+            Response::Stats { server, .. } => {
+                let server = server.expect("decorated form carries the server");
+                assert_eq!(server.kind, "threaded");
+                assert_eq!(server.accepted, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // A malformed server member is a decode error, not a silent None.
+        let broken = decorated.replace("\"accepted\":7", "\"accepted\":\"x\"");
+        assert!(Response::decode(&broken).is_err());
     }
 
     #[test]

@@ -9,9 +9,10 @@
 use super::proto::{Request, Response, ServiceError, PROTOCOL_VERSION};
 use super::{Addr, Service};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Either stream type behind one `Read`/`Write` face.
 #[derive(Debug)]
@@ -21,18 +22,60 @@ enum Conn {
 }
 
 impl Conn {
-    fn connect(addr: &Addr) -> io::Result<Conn> {
-        match addr {
-            Addr::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+    fn connect(addr: &Addr, timeout: Option<Duration>) -> io::Result<Conn> {
+        let conn = match addr {
+            Addr::Unix(path) => {
+                // Unix connects resolve locally (a full backlog fails with
+                // an error rather than hanging), so the timeout guards the
+                // exchanges, not the dial.
+                Conn::Unix(UnixStream::connect(path)?)
+            }
             Addr::Tcp(hostport) => {
-                let stream = TcpStream::connect(hostport.as_str())?;
+                let stream = match timeout {
+                    None => TcpStream::connect(hostport.as_str())?,
+                    Some(limit) => {
+                        // connect_timeout needs resolved addresses; try
+                        // each with the full budget and keep the last
+                        // failure for the error message.
+                        let mut addrs = hostport.as_str().to_socket_addrs()?;
+                        let mut last = None;
+                        let stream = loop {
+                            let Some(candidate) = addrs.next() else {
+                                return Err(last.unwrap_or_else(|| {
+                                    io::Error::new(
+                                        io::ErrorKind::InvalidInput,
+                                        format!("{hostport} resolved to no addresses"),
+                                    )
+                                }));
+                            };
+                            match TcpStream::connect_timeout(&candidate, limit) {
+                                Ok(stream) => break stream,
+                                Err(e) => last = Some(e),
+                            }
+                        };
+                        stream
+                    }
+                };
                 // Each request is one small line; batching for throughput
                 // happens at the protocol level (Request::Batch), so favor
                 // latency.
                 stream.set_nodelay(true)?;
-                Ok(Conn::Tcp(stream))
+                Conn::Tcp(stream)
+            }
+        };
+        // A hung daemon (accepted but never answers) fails the read
+        // instead of blocking the client forever.
+        match &conn {
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+            }
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
             }
         }
+        Ok(conn)
     }
 
     fn try_clone(&self) -> io::Result<Conn> {
@@ -71,6 +114,13 @@ impl Write for Conn {
 struct Pipe {
     reader: BufReader<Conn>,
     writer: Conn,
+    /// Set after any transport failure.  The protocol has no correlation
+    /// ids, so once a write/read fails (a timeout especially — the late
+    /// response may still arrive, or a partial line may sit in the
+    /// reader), request/response pairing on this connection can no longer
+    /// be trusted; every later exchange fails fast instead of silently
+    /// returning the previous request's answer.
+    broken: bool,
 }
 
 /// A [`Service`] backed by one connection to a remote daemon.
@@ -80,28 +130,50 @@ struct Pipe {
 /// instead of sharing one across threads that should proceed in parallel.
 pub struct RemoteService {
     addr: Addr,
+    timeout: Option<Duration>,
     pipe: Mutex<Pipe>,
 }
 
 impl RemoteService {
     /// Dial `addr` (`unix:<path>`, `tcp:<host:port>`, or the bare forms —
-    /// see [`Addr::parse`]).
+    /// see [`Addr::parse`]), waiting indefinitely for the daemon.
     pub fn connect(addr: &str) -> Result<RemoteService, ServiceError> {
+        RemoteService::connect_with_timeout(addr, None)
+    }
+
+    /// [`RemoteService::connect`] with an optional per-operation timeout:
+    /// the TCP dial, every request write, and every response read each
+    /// fail with a transport error naming the timeout instead of blocking
+    /// forever on a hung daemon.
+    pub fn connect_with_timeout(
+        addr: &str,
+        timeout: Option<Duration>,
+    ) -> Result<RemoteService, ServiceError> {
         let addr = Addr::parse(addr).map_err(ServiceError::transport)?;
-        RemoteService::dial(&addr)
+        RemoteService::dial_with_timeout(&addr, timeout)
     }
 
     pub fn dial(addr: &Addr) -> Result<RemoteService, ServiceError> {
-        let writer = Conn::connect(addr)
+        RemoteService::dial_with_timeout(addr, None)
+    }
+
+    /// [`RemoteService::dial`] with an optional per-operation timeout.
+    pub fn dial_with_timeout(
+        addr: &Addr,
+        timeout: Option<Duration>,
+    ) -> Result<RemoteService, ServiceError> {
+        let writer = Conn::connect(addr, timeout)
             .map_err(|e| ServiceError::transport(format!("cannot connect to {addr}: {e}")))?;
         let reader = writer
             .try_clone()
             .map_err(|e| ServiceError::transport(format!("cannot clone stream: {e}")))?;
         Ok(RemoteService {
             addr: addr.clone(),
+            timeout,
             pipe: Mutex::new(Pipe {
                 reader: BufReader::new(reader),
                 writer,
+                broken: false,
             }),
         })
     }
@@ -127,19 +199,52 @@ impl RemoteService {
         }
     }
 
+    /// Describe an I/O failure, naming the configured timeout when the
+    /// failure is the timeout firing (socket timeouts surface as
+    /// `TimedOut` on TCP and `WouldBlock` on Unix sockets).
+    fn transport_error(&self, direction: &str, error: &io::Error) -> ServiceError {
+        if matches!(
+            error.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ) {
+            if let Some(timeout) = self.timeout {
+                return ServiceError::transport(format!(
+                    "{direction} {}: timed out after {}ms",
+                    self.addr,
+                    timeout.as_millis()
+                ));
+            }
+        }
+        ServiceError::transport(format!("{direction} {}: {error}", self.addr))
+    }
+
     fn exchange(&self, line: &str) -> Result<String, ServiceError> {
         let mut pipe = self.pipe.lock().unwrap();
-        pipe.writer
+        if pipe.broken {
+            return Err(ServiceError::transport(format!(
+                "connection to {} is broken after a previous transport failure; reconnect",
+                self.addr
+            )));
+        }
+        if let Err(e) = pipe
+            .writer
             .write_all(line.as_bytes())
             .and_then(|_| pipe.writer.write_all(b"\n"))
             .and_then(|_| pipe.writer.flush())
-            .map_err(|e| ServiceError::transport(format!("write to {}: {e}", self.addr)))?;
+        {
+            pipe.broken = true;
+            return Err(self.transport_error("write to", &e));
+        }
         let mut reply = String::new();
-        let n = pipe
-            .reader
-            .read_line(&mut reply)
-            .map_err(|e| ServiceError::transport(format!("read from {}: {e}", self.addr)))?;
+        let n = match pipe.reader.read_line(&mut reply) {
+            Ok(n) => n,
+            Err(e) => {
+                pipe.broken = true;
+                return Err(self.transport_error("read from", &e));
+            }
+        };
         if n == 0 {
+            pipe.broken = true;
             return Err(ServiceError::transport(format!(
                 "{} closed the connection",
                 self.addr

@@ -1,35 +1,123 @@
-//! The daemon side of the wire: accept connections, answer one
-//! newline-delimited protocol message per line, one thread per client.
+//! The daemon side of the wire: bind a socket, accept connections, answer
+//! one newline-delimited protocol message per line.
+//!
+//! Two serving strategies sit behind the one `serve_listener` entry
+//! point, selected by [`ServerOptions::kind`]:
+//!
+//! * [`ServerKind::Threaded`] (`threaded.rs`) — one blocking thread
+//!   per connection.  Simple, portable, and the default; its cost is one
+//!   stack per client, idle or not.
+//! * [`ServerKind::Async`] (`aserver.rs`, Linux only) — a single
+//!   silio/epoll event loop multiplexing every connection, with a small
+//!   worker pool executing requests and completing responses through an
+//!   eventfd wakeup.  Thousands of mostly-idle clients cost file
+//!   descriptors, not stacks.  On non-Linux builds the selection falls
+//!   back to the threaded server (silio reports `SUPPORTED = false`).
+//!
+//! Both strategies answer byte-identical responses — they share the
+//! request codec, the per-line dispatch (`handle_line`) and the response
+//! writer — so `silp --connect` output cannot depend on which one serves.
 //!
 //! The `sild` binary is a thin shell around [`Server`]; tests spawn the
-//! same server in-process on a temp socket, so the daemon path is exercised
-//! by `cargo test` without managing child processes.
+//! same server in-process on a temp socket, so both daemon paths are
+//! exercised by `cargo test` without managing child processes.
 //!
 //! Shutdown is cooperative: a [`Request::Shutdown`] (or
-//! [`ServerHandle::shutdown`]) sets a flag and wakes the accept loop with a
-//! throwaway connection; the loop re-checks the flag per accepted
-//! connection and exits.  A shutdown request speaking the wrong protocol
-//! version is answered with the version error and does *not* stop the
-//! daemon.
+//! [`ServerHandle::shutdown`]) sets a flag and wakes the accept/event
+//! loop; the loop answers in-flight work, cleans up its socket file, and
+//! exits.  A shutdown request speaking the wrong protocol version is
+//! answered with the version error and does *not* stop the daemon.
 
-use super::proto::{Request, Response, ServiceError, PROTOCOL_VERSION};
-use super::{Addr, Service};
-use std::io::{BufRead, BufReader, Write};
+#[cfg(target_os = "linux")]
+use super::aserver;
+use super::proto::{Request, Response, ServerStats, ServiceError, PROTOCOL_VERSION};
+use super::{threaded, Addr, Service};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-enum Listener {
-    Unix(UnixListener, PathBuf),
-    Tcp(TcpListener),
+/// Which serving strategy a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerKind {
+    /// One blocking thread per connection (portable default).
+    #[default]
+    Threaded,
+    /// One silio/epoll event loop plus a worker pool (Linux; falls back to
+    /// [`ServerKind::Threaded`] elsewhere).
+    Async,
 }
 
-enum Stream {
-    Unix(UnixStream),
-    Tcp(TcpStream),
+impl ServerKind {
+    /// Stable lowercase name (wire format and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Threaded => "threaded",
+            ServerKind::Async => "async",
+        }
+    }
+}
+
+/// Construction knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// Serving strategy (default: threaded).
+    pub kind: ServerKind,
+    /// Worker threads of the async event loop's pool; `0` sizes it from
+    /// the machine's parallelism.  Ignored by the threaded server.
+    pub workers: usize,
+}
+
+/// Live daemon-side counters, shared between the serving loop (which
+/// updates them) and the per-line dispatch (which snapshots them into
+/// `Stats` responses).
+#[derive(Debug)]
+pub(crate) struct ServerCounters {
+    kind: ServerKind,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    started: Instant,
+}
+
+impl ServerCounters {
+    fn new(kind: ServerKind) -> ServerCounters {
+        ServerCounters {
+            kind,
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one accepted connection (now active).
+    pub(crate) fn connection_opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one connection closing.
+    pub(crate) fn connection_closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The wire-facing snapshot attached to `Stats` responses.
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            kind: self.kind.name().to_string(),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            uptime_ticks: self.started.elapsed().as_secs(),
+        }
+    }
+}
+
+pub(crate) enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
 }
 
 /// A bound, not-yet-running protocol server.
@@ -38,13 +126,28 @@ pub struct Server {
     service: Arc<dyn Service + Send + Sync>,
     shutdown: Arc<AtomicBool>,
     addr: Addr,
+    options: ServerOptions,
+    counters: Arc<ServerCounters>,
 }
 
 impl Server {
-    /// Bind `addr` and wrap `service`.  A stale Unix socket file at the
-    /// path is removed first (the daemon owns its socket path); for
-    /// `tcp:host:0` the resolved port is visible via [`Server::addr`].
+    /// Bind `addr` and wrap `service` with the default (threaded) serving
+    /// strategy.  A stale Unix socket file at the path is removed first
+    /// (the daemon owns its socket path); for `tcp:host:0` the resolved
+    /// port is visible via [`Server::addr`].
     pub fn bind(addr: &Addr, service: Arc<dyn Service + Send + Sync>) -> std::io::Result<Server> {
+        Server::bind_with(addr, service, ServerOptions::default())
+    }
+
+    /// [`Server::bind`] with an explicit serving strategy.  Asking for
+    /// [`ServerKind::Async`] on a platform without silio support silently
+    /// resolves to the threaded strategy; [`Server::kind`] reports what
+    /// was actually selected.
+    pub fn bind_with(
+        addr: &Addr,
+        service: Arc<dyn Service + Send + Sync>,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         let (listener, resolved) = match addr {
             Addr::Unix(path) => {
                 let _ = std::fs::remove_file(path);
@@ -57,17 +160,33 @@ impl Server {
                 (Listener::Tcp(listener), resolved)
             }
         };
+        let options = ServerOptions {
+            kind: if options.kind == ServerKind::Async && !silio::SUPPORTED {
+                ServerKind::Threaded
+            } else {
+                options.kind
+            },
+            ..options
+        };
         Ok(Server {
             listener,
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
             addr: resolved,
+            counters: Arc::new(ServerCounters::new(options.kind)),
+            options,
         })
     }
 
     /// The bound address, with `tcp:…:0` resolved to the real port.
     pub fn addr(&self) -> &Addr {
         &self.addr
+    }
+
+    /// The serving strategy actually selected (async may have fallen back
+    /// to threaded on platforms without silio support).
+    pub fn kind(&self) -> ServerKind {
+        self.options.kind
     }
 
     /// Accept and serve connections until shut down.  Blocks; use
@@ -78,29 +197,10 @@ impl Server {
             service,
             shutdown,
             addr,
+            options,
+            counters,
         } = self;
-        loop {
-            let stream = match &listener {
-                Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
-                Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
-            };
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                // Transient accept failures (e.g. fd exhaustion under
-                // load) must not spin a core; back off briefly.
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                continue;
-            };
-            let service = service.clone();
-            let shutdown = shutdown.clone();
-            let addr = addr.clone();
-            std::thread::spawn(move || serve_connection(stream, service, shutdown, addr));
-        }
-        if let Listener::Unix(_, path) = listener {
-            let _ = std::fs::remove_file(path);
-        }
+        serve_listener(listener, service, shutdown, addr, options, counters);
     }
 
     /// Run on a background thread, returning a handle that can stop it.
@@ -116,6 +216,34 @@ impl Server {
     }
 }
 
+/// The one entry point both serving strategies sit behind: drive the bound
+/// listener until shutdown, then clean up the socket file.
+pub(crate) fn serve_listener(
+    listener: Listener,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+    options: ServerOptions,
+    counters: Arc<ServerCounters>,
+) {
+    let socket_path = match &listener {
+        Listener::Unix(_, path) => Some(path.clone()),
+        Listener::Tcp(_) => None,
+    };
+    match options.kind {
+        ServerKind::Threaded => threaded::serve(listener, service, shutdown, addr, counters),
+        #[cfg(target_os = "linux")]
+        ServerKind::Async => aserver::serve(listener, service, shutdown, addr, options, counters),
+        // Unreachable in practice: bind_with resolves Async to Threaded
+        // when silio is unsupported.
+        #[cfg(not(target_os = "linux"))]
+        ServerKind::Async => threaded::serve(listener, service, shutdown, addr, counters),
+    }
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// Control handle for a spawned [`Server`].
 pub struct ServerHandle {
     addr: Addr,
@@ -128,8 +256,10 @@ impl ServerHandle {
         &self.addr
     }
 
-    /// Stop the accept loop and wait for it to exit.  Connections already
-    /// being served finish their current line on their own threads.
+    /// Stop the serving loop and wait for it to exit.  Threaded
+    /// connections already being served finish their current line on
+    /// their own threads; the async loop flushes pending responses on its
+    /// way out.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
         wake(&self.addr);
@@ -137,8 +267,9 @@ impl ServerHandle {
     }
 }
 
-/// Unblock an accept loop that is waiting in `accept()` by dialing it once.
-fn wake(addr: &Addr) {
+/// Unblock a loop that is waiting in `accept()`/`poll()` by dialing it
+/// once.
+pub(crate) fn wake(addr: &Addr) {
     match addr {
         Addr::Unix(path) => {
             let _ = UnixStream::connect(path);
@@ -149,56 +280,48 @@ fn wake(addr: &Addr) {
     }
 }
 
-fn serve_connection(
-    stream: Stream,
-    service: Arc<dyn Service + Send + Sync>,
-    shutdown: Arc<AtomicBool>,
-    addr: Addr,
-) {
-    let (reader, mut writer): (Box<dyn std::io::Read>, Box<dyn Write>) = match stream {
-        Stream::Unix(s) => match s.try_clone() {
-            Ok(clone) => (Box::new(clone), Box::new(s)),
-            Err(_) => return,
-        },
-        Stream::Tcp(s) => match s.try_clone() {
-            Ok(clone) => (Box::new(clone), Box::new(s)),
-            Err(_) => return,
-        },
-    };
-    let mut reader = BufReader::new(reader);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let response = match Request::decode(trimmed) {
-            Err(error) => Response::error(error),
-            Ok(request) if request.version() != PROTOCOL_VERSION => {
-                Response::error(ServiceError::version_mismatch(request.version()))
-            }
-            Ok(Request::Shutdown { .. }) => {
-                // Acknowledge, then stop the daemon: flag + self-dial wakes
-                // the accept loop.
-                let _ = write_response(&mut writer, &Response::shutting_down());
-                shutdown.store(true, Ordering::SeqCst);
-                wake(&addr);
-                return;
-            }
-            Ok(request) => service.call(request),
-        };
-        if write_response(&mut writer, &response).is_err() {
-            return;
-        }
-    }
+/// What the per-line dispatch decided.
+pub(crate) enum LineOutcome {
+    /// Send this response and keep serving the connection.
+    Respond(Response),
+    /// Send this response, then stop the whole daemon (a well-versioned
+    /// [`Request::Shutdown`] arrived).
+    ShutdownAfter(Response),
 }
 
-fn write_response(writer: &mut dyn Write, response: &Response) -> std::io::Result<()> {
+/// The per-line protocol dispatch both serving strategies share: decode,
+/// negotiate the version, intercept shutdown, execute against the service,
+/// and decorate `Stats` responses with the daemon's own counters.  Keeping
+/// this in one place is what makes the two servers byte-identical.
+pub(crate) fn handle_line(
+    service: &(dyn Service + Send + Sync),
+    counters: &ServerCounters,
+    line: &str,
+) -> LineOutcome {
+    let response = match Request::decode(line) {
+        Err(error) => Response::error(error),
+        Ok(request) if request.version() != PROTOCOL_VERSION => {
+            Response::error(ServiceError::version_mismatch(request.version()))
+        }
+        Ok(Request::Shutdown { .. }) => {
+            return LineOutcome::ShutdownAfter(Response::shutting_down());
+        }
+        Ok(request) => {
+            let mut response = service.call(request);
+            // Snapshot the counters only when a Stats response will carry
+            // them — not on the Analyze/Process hot path.
+            if let Response::Stats { server, .. } = &mut response {
+                *server = Some(counters.snapshot());
+            }
+            response
+        }
+    };
+    LineOutcome::Respond(response)
+}
+
+/// Encode and write one response line (the threaded server's writer; the
+/// async server queues through its connection state machine instead).
+pub(crate) fn write_response(writer: &mut dyn Write, response: &Response) -> std::io::Result<()> {
     let mut line = response.encode();
     line.push('\n');
     writer.write_all(line.as_bytes())?;

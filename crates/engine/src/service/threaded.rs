@@ -1,0 +1,101 @@
+//! The thread-per-connection serving strategy: a blocking accept loop that
+//! hands each connection its own thread reading lines with a `BufReader`.
+//!
+//! This is the portable default behind `serve_listener`.
+//! Its simplicity is the point — no readiness machinery, no shared queues
+//! — and its cost is one stack per connected client, which is exactly the
+//! scaling wall the async strategy (`aserver.rs`) exists to remove.
+
+use super::server::{handle_line, wake, write_response, LineOutcome, Listener, ServerCounters};
+use super::{Addr, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// Accept connections until shut down, one serving thread each.
+pub(crate) fn serve(
+    listener: Listener,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+    counters: Arc<ServerCounters>,
+) {
+    loop {
+        let stream = match &listener {
+            Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Transient accept failures (e.g. fd exhaustion under load)
+            // must not spin a core; back off briefly.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        };
+        counters.connection_opened();
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        let addr = addr.clone();
+        let counters = counters.clone();
+        std::thread::spawn(move || {
+            serve_connection(stream, service, shutdown, addr, &counters);
+            counters.connection_closed();
+        });
+    }
+}
+
+fn serve_connection(
+    stream: Stream,
+    service: Arc<dyn Service + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    addr: Addr,
+    counters: &ServerCounters,
+) {
+    let (reader, mut writer): (Box<dyn std::io::Read>, Box<dyn Write>) = match stream {
+        Stream::Unix(s) => match s.try_clone() {
+            Ok(clone) => (Box::new(clone), Box::new(s)),
+            Err(_) => return,
+        },
+        Stream::Tcp(s) => match s.try_clone() {
+            Ok(clone) => (Box::new(clone), Box::new(s)),
+            Err(_) => return,
+        },
+    };
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match handle_line(service.as_ref(), counters, trimmed) {
+            LineOutcome::Respond(response) => {
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            LineOutcome::ShutdownAfter(response) => {
+                // Acknowledge, then stop the daemon: flag + self-dial
+                // wakes the accept loop.
+                let _ = write_response(&mut writer, &response);
+                shutdown.store(true, Ordering::SeqCst);
+                wake(&addr);
+                return;
+            }
+        }
+    }
+}

@@ -34,8 +34,8 @@ pub mod policy;
 
 pub use namespace::{NamespaceCache, NamespaceStats, DEFAULT_STRIPES};
 pub use policy::{
-    AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice, ADAPT_SWITCH_THRESHOLD,
-    ADAPT_WINDOW,
+    AdaptConfig, AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice,
+    ADAPT_SWITCH_THRESHOLD, ADAPT_WINDOW,
 };
 
 use crate::AnalyzedProgram;
@@ -88,6 +88,12 @@ pub struct StoreConfig {
     pub summary_policy: EvictionPolicy,
     /// Eviction policy of the walk-record namespace.
     pub walk_policy: EvictionPolicy,
+    /// Adaptation window/threshold of the whole-program namespace.
+    pub program_adapt: AdaptConfig,
+    /// Adaptation window/threshold of the per-SCC summary namespace.
+    pub summary_adapt: AdaptConfig,
+    /// Adaptation window/threshold of the walk-record namespace.
+    pub walk_adapt: AdaptConfig,
     /// Lock stripes per namespace (clamped to each namespace's capacity).
     pub stripes: usize,
 }
@@ -101,6 +107,9 @@ impl Default for StoreConfig {
             program_policy: EvictionPolicy::default(),
             summary_policy: EvictionPolicy::default(),
             walk_policy: EvictionPolicy::default(),
+            program_adapt: AdaptConfig::default(),
+            summary_adapt: AdaptConfig::default(),
+            walk_adapt: AdaptConfig::default(),
             stripes: DEFAULT_STRIPES,
         }
     }
@@ -112,6 +121,14 @@ impl StoreConfig {
         self.program_policy = policy;
         self.summary_policy = policy;
         self.walk_policy = policy;
+        self
+    }
+
+    /// One adaptation window/threshold for every namespace.
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.program_adapt = adapt;
+        self.summary_adapt = adapt;
+        self.walk_adapt = adapt;
         self
     }
 
@@ -175,20 +192,23 @@ impl SummaryStore {
     /// A store with the given per-namespace capacities and policies.
     pub fn new(config: StoreConfig) -> SummaryStore {
         SummaryStore {
-            programs: NamespaceCache::with_stripes(
+            programs: NamespaceCache::with_config(
                 config.program_capacity,
                 config.program_policy,
                 config.stripes,
+                config.program_adapt,
             ),
-            summaries: NamespaceCache::with_stripes(
+            summaries: NamespaceCache::with_config(
                 config.summary_capacity,
                 config.summary_policy,
                 config.stripes,
+                config.summary_adapt,
             ),
-            walks: NamespaceCache::with_stripes(
+            walks: NamespaceCache::with_config(
                 config.walk_capacity,
                 config.walk_policy,
                 config.stripes,
+                config.walk_adapt,
             ),
             config,
         }
@@ -260,6 +280,25 @@ mod tests {
         store.clear();
         assert!(store.summaries().is_empty());
         assert!(store.walks().is_empty());
+    }
+
+    #[test]
+    fn per_namespace_adapt_config_reaches_each_namespace() {
+        let tuned = AdaptConfig {
+            window: 32,
+            threshold: 2,
+        };
+        let store = SummaryStore::new(StoreConfig {
+            program_adapt: tuned,
+            ..StoreConfig::default()
+        });
+        assert_eq!(store.programs().adapt_config(), tuned);
+        assert_eq!(store.summaries().adapt_config(), AdaptConfig::default());
+        assert_eq!(store.walks().adapt_config(), AdaptConfig::default());
+
+        let all = SummaryStore::new(StoreConfig::default().with_adapt(tuned));
+        assert_eq!(all.summaries().adapt_config(), tuned);
+        assert_eq!(all.walks().adapt_config(), tuned);
     }
 
     #[test]

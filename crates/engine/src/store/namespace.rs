@@ -13,7 +13,7 @@
 //! and the guarded sections never run an analysis — engines compute outside
 //! the lock and only then insert.
 
-use super::policy::{AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice};
+use super::policy::{AdaptConfig, AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 
@@ -117,14 +117,28 @@ impl<V: Clone> NamespaceCache<V> {
         NamespaceCache::with_stripes(capacity, policy, DEFAULT_STRIPES)
     }
 
-    /// A cache with an explicit stripe count (clamped to `1..=capacity` so
-    /// every stripe owns at least one slot).  Stripe count 1 reproduces a
-    /// single globally ordered LRU/LFU exactly — tests and policy
-    /// simulations that reason about precise victim order use it.
+    /// A cache with an explicit stripe count and the default adaptation
+    /// window/threshold.
     pub fn with_stripes(
         capacity: usize,
         policy: EvictionPolicy,
         stripes: usize,
+    ) -> NamespaceCache<V> {
+        NamespaceCache::with_config(capacity, policy, stripes, AdaptConfig::default())
+    }
+
+    /// The fully explicit constructor: stripe count (clamped to
+    /// `1..=capacity` so every stripe owns at least one slot) and the
+    /// adaptive controller's window/threshold.  Stripe count 1 reproduces a
+    /// single globally ordered LRU/LFU exactly — tests and policy
+    /// simulations that reason about precise victim order use it.  The
+    /// adapt config only matters under [`EvictionPolicy::Adaptive`]; the
+    /// fixed policies never consult their controller.
+    pub fn with_config(
+        capacity: usize,
+        policy: EvictionPolicy,
+        stripes: usize,
+        adapt: AdaptConfig,
     ) -> NamespaceCache<V> {
         let stripe_count = stripes.clamp(1, capacity.max(1));
         let base = capacity / stripe_count;
@@ -145,7 +159,7 @@ impl<V: Clone> NamespaceCache<V> {
             stripes,
             capacity,
             policy,
-            adaptive: AdaptiveController::default(),
+            adaptive: AdaptiveController::new(adapt),
         }
     }
 
@@ -317,6 +331,12 @@ impl<V: Clone> NamespaceCache<V> {
     /// The configured eviction policy.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// The adaptive controller's window/threshold (meaningful under
+    /// [`EvictionPolicy::Adaptive`]; inert otherwise).
+    pub fn adapt_config(&self) -> AdaptConfig {
+        self.adaptive.config()
     }
 
     /// The victim-selection rule currently in force.
@@ -610,6 +630,57 @@ mod tests {
         assert!(
             cache.stats().ghost_hits > 0,
             "the stream must actually exercise ghost hits"
+        );
+    }
+
+    /// A tight window/threshold adapts within a stream far too short for
+    /// the defaults: a 90-lookup hot-key-plus-sweep pattern makes a
+    /// (window 16, threshold 1) cache observe regret and switch (it flips
+    /// to LFU once sweeps evict the hot key, and may legitimately flip
+    /// back once LFU's frozen hot set starts hurting the newer phases),
+    /// while the default (window 256) cache never even reaches a window
+    /// boundary.
+    #[test]
+    fn tight_adapt_config_flips_on_a_short_stream() {
+        let tight: NamespaceCache<u64> = NamespaceCache::with_config(
+            4,
+            EvictionPolicy::Adaptive,
+            1,
+            AdaptConfig {
+                window: 16,
+                threshold: 1,
+            },
+        );
+        assert_eq!(tight.adapt_config().window, 16);
+        let default: NamespaceCache<u64> = cache(4, EvictionPolicy::Adaptive);
+        for cache in [&tight, &default] {
+            for phase in 0..6u64 {
+                let hot = 1_000_000 + phase;
+                for _ in 0..8 {
+                    if cache.get(hot).is_none() {
+                        cache.insert(hot, hot);
+                    }
+                }
+                for sweep in 0..6u64 {
+                    let key = phase * 10 + sweep;
+                    if cache.get(key).is_none() {
+                        cache.insert(key, key);
+                    }
+                }
+                cache.get(hot);
+            }
+        }
+        let tight_stats = tight.stats();
+        assert!(
+            tight_stats.switches >= 1,
+            "a 16-lookup window must adapt within 90 lookups: {tight_stats:?}"
+        );
+        assert!(tight_stats.ghost_hits >= 1);
+        let default_stats = default.stats();
+        assert_eq!(
+            (default_stats.current, default_stats.switches),
+            (PolicyChoice::Lru, 0),
+            "90 lookups never reach a 256-lookup window boundary"
         );
     }
 

@@ -126,21 +126,49 @@ impl CacheStats {
     }
 }
 
-/// Lookups per adaptation window: the controller re-evaluates its choice
-/// every this-many lookups of the namespace it governs.
+/// Default lookups per adaptation window: the controller re-evaluates its
+/// choice every this-many lookups of the namespace it governs.
 pub const ADAPT_WINDOW: u64 = 256;
 
-/// Ghost hits within one window that flip the live choice.  8 regrets in
-/// 256 lookups means ≥3% of all traffic is re-requesting entries the
-/// current policy just threw away while the other would have kept them.
+/// Default ghost hits within one window that flip the live choice.  8
+/// regrets in 256 lookups means ≥3% of all traffic is re-requesting entries
+/// the current policy just threw away while the other would have kept them.
 pub const ADAPT_SWITCH_THRESHOLD: u64 = 8;
+
+/// Tuning knobs of one adaptive controller, configurable per namespace
+/// (`sild --adapt-window`/`--adapt-threshold` sets them daemon-wide; a
+/// [`crate::store::StoreConfig`] can shape each namespace independently).
+///
+/// A smaller window reacts faster to traffic shifts but makes each
+/// decision on less evidence; a smaller threshold switches on fainter
+/// regret.  The defaults ([`ADAPT_WINDOW`], [`ADAPT_SWITCH_THRESHOLD`])
+/// are the constants the policy shipped with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptConfig {
+    /// Lookups per adaptation window (clamped to at least 1).
+    pub window: u64,
+    /// Ghost hits within one window that flip the live choice (clamped to
+    /// at least 1).
+    pub threshold: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            window: ADAPT_WINDOW,
+            threshold: ADAPT_SWITCH_THRESHOLD,
+        }
+    }
+}
 
 /// The live LRU↔LFU switch of one [`EvictionPolicy::Adaptive`] namespace.
 ///
-/// All fields are atomics: lookups from every stripe feed one controller
-/// without taking any lock beyond the stripe's own.
-#[derive(Debug, Default)]
+/// All counter fields are atomics: lookups from every stripe feed one
+/// controller without taking any lock beyond the stripe's own.
+#[derive(Debug)]
 pub struct AdaptiveController {
+    /// The window/threshold this controller evaluates against.
+    config: AdaptConfig,
     /// Current choice: `false` = LRU (the starting point), `true` = LFU.
     lfu: AtomicBool,
     /// Lookups since the last window evaluation.
@@ -153,7 +181,33 @@ pub struct AdaptiveController {
     ghost_hits: AtomicU64,
 }
 
+impl Default for AdaptiveController {
+    fn default() -> Self {
+        AdaptiveController::new(AdaptConfig::default())
+    }
+}
+
 impl AdaptiveController {
+    /// A controller starting as LRU, evaluating per `config` (window and
+    /// threshold are clamped to at least 1).
+    pub fn new(config: AdaptConfig) -> AdaptiveController {
+        AdaptiveController {
+            config: AdaptConfig {
+                window: config.window.max(1),
+                threshold: config.threshold.max(1),
+            },
+            lfu: AtomicBool::new(false),
+            window_lookups: AtomicU64::new(0),
+            window_ghost_hits: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            ghost_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The window/threshold in force.
+    pub fn config(&self) -> AdaptConfig {
+        self.config
+    }
     /// The rule currently used to pick victims.
     pub fn choice(&self) -> PolicyChoice {
         if self.lfu.load(Ordering::Relaxed) {
@@ -192,14 +246,14 @@ impl AdaptiveController {
     /// so concurrent lookups evaluate each window once.
     pub(crate) fn on_lookup(&self) {
         let n = self.window_lookups.fetch_add(1, Ordering::Relaxed) + 1;
-        if n >= ADAPT_WINDOW
+        if n >= self.config.window
             && self
                 .window_lookups
                 .compare_exchange(n, 0, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
         {
             let regret = self.window_ghost_hits.swap(0, Ordering::Relaxed);
-            if regret >= ADAPT_SWITCH_THRESHOLD {
+            if regret >= self.config.threshold {
                 self.lfu.fetch_xor(true, Ordering::Relaxed);
                 self.switches.fetch_add(1, Ordering::Relaxed);
             }
@@ -263,5 +317,52 @@ mod tests {
         assert_eq!(controller.choice(), PolicyChoice::Lfu);
         assert_eq!(controller.switches(), 1);
         assert_eq!(controller.ghost_hits(), 2 * ADAPT_SWITCH_THRESHOLD - 1);
+    }
+
+    /// A custom window/threshold governs exactly when the controller
+    /// re-evaluates and how much regret it takes to flip.
+    #[test]
+    fn controller_honors_a_custom_window_and_threshold() {
+        let quick = AdaptiveController::new(AdaptConfig {
+            window: 16,
+            threshold: 2,
+        });
+        quick.note_ghost_hit();
+        quick.note_ghost_hit();
+        for _ in 0..16 {
+            quick.on_lookup();
+        }
+        assert_eq!(
+            quick.choice(),
+            PolicyChoice::Lfu,
+            "2 regrets in a 16-lookup window must flip a threshold-2 controller"
+        );
+
+        // The same regret under the default (window 256, threshold 8) does
+        // not flip — neither within 16 lookups (no boundary yet) nor at the
+        // real window boundary (below threshold).
+        let default = AdaptiveController::default();
+        assert_eq!(default.config().window, ADAPT_WINDOW);
+        assert_eq!(default.config().threshold, ADAPT_SWITCH_THRESHOLD);
+        default.note_ghost_hit();
+        default.note_ghost_hit();
+        for _ in 0..ADAPT_WINDOW {
+            default.on_lookup();
+        }
+        assert_eq!(default.choice(), PolicyChoice::Lru);
+    }
+
+    #[test]
+    fn degenerate_config_values_are_clamped() {
+        let controller = AdaptiveController::new(AdaptConfig {
+            window: 0,
+            threshold: 0,
+        });
+        assert_eq!(controller.config().window, 1);
+        assert_eq!(controller.config().threshold, 1);
+        // One regret, one lookup: the tightest possible controller flips.
+        controller.note_ghost_hit();
+        controller.on_lookup();
+        assert_eq!(controller.choice(), PolicyChoice::Lfu);
     }
 }

@@ -77,12 +77,18 @@ struct Daemon {
 impl Daemon {
     /// Launch `sild` on a fresh temp unix socket and wait until it accepts.
     fn launch(name: &str, shards: &str) -> Daemon {
+        Daemon::launch_with(name, shards, &[])
+    }
+
+    /// [`Daemon::launch`] with extra `sild` flags (e.g. `--async`).
+    fn launch_with(name: &str, shards: &str, extra: &[&str]) -> Daemon {
         let sock =
             std::env::temp_dir().join(format!("sild-cli-{}-{name}.sock", std::process::id()));
         let _ = std::fs::remove_file(&sock);
         let addr = format!("unix:{}", sock.display());
         let child = sild()
             .args(["--listen", &addr, "--shards", shards, "--quiet"])
+            .args(extra)
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .spawn()
@@ -200,7 +206,144 @@ fn stats_table_renders_namespaces_and_shards() {
     assert!(stderr.contains("adaptive(lru)"), "{stderr}");
     assert!(stderr.contains("shard 0"), "{stderr}");
     assert!(stderr.contains("shard 1"), "{stderr}");
+    // The daemon's own counters render above the namespace table.
+    assert!(stderr.contains("server: threaded"), "{stderr}");
+    assert!(stderr.contains("accepted"), "{stderr}");
     daemon.stop();
+}
+
+/// The event-driven daemon (`sild --async`) is protocol-invariant: its
+/// `silp --connect` output is byte-identical to `--in-process` (and thus
+/// to the threaded daemon, which passes the same comparison above), and
+/// its `--stats` line names the async server.
+#[test]
+fn async_daemon_output_is_byte_identical_to_in_process() {
+    for (name, extra) in [("adiff-json", &["--json"][..]), ("adiff-text", &[])] {
+        let daemon = Daemon::launch_with(name, "4", &["--async"]);
+        let mut remote_args = vec!["--connect", daemon.addr.as_str(), "--workload", "all"];
+        remote_args.extend_from_slice(extra);
+        let mut local_args = vec!["--in-process", "--workload", "all"];
+        local_args.extend_from_slice(extra);
+
+        let remote = silp().args(&remote_args).output().unwrap();
+        let local = silp().args(&local_args).output().unwrap();
+        assert!(remote.status.success(), "{}", stderr_of(&remote));
+        assert!(local.status.success(), "{}", stderr_of(&local));
+        assert!(!remote.stdout.is_empty());
+        assert_eq!(
+            remote.stdout, local.stdout,
+            "async daemon and in-process output must be byte-identical ({extra:?})"
+        );
+        daemon.stop();
+    }
+
+    if cfg!(target_os = "linux") {
+        let daemon = Daemon::launch_with("astats", "2", &["--async"]);
+        let output = silp()
+            .args([
+                "--connect",
+                daemon.addr.as_str(),
+                "--workload",
+                "tree_sum",
+                "--stats",
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success(), "{}", stderr_of(&output));
+        assert!(
+            stderr_of(&output).contains("server: async"),
+            "{}",
+            stderr_of(&output)
+        );
+        daemon.stop();
+    }
+}
+
+/// `sild --adapt-window/--adapt-threshold` are accepted and validated.
+#[test]
+fn sild_adapt_flags_parse_and_validate() {
+    let daemon = Daemon::launch_with(
+        "adapt",
+        "2",
+        &["--adapt-window", "64", "--adapt-threshold", "4"],
+    );
+    let output = silp()
+        .args(["--connect", &daemon.addr, "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    daemon.stop();
+
+    for bad in [
+        &["--adapt-window", "0"][..],
+        &["--adapt-threshold", "0"],
+        &["--adapt-window", "many"],
+        &["--workers", "0"],
+    ] {
+        let output = sild()
+            .args(["--listen", "unix:/tmp/never-bound.sock"])
+            .args(bad)
+            .output()
+            .unwrap();
+        assert!(!output.status.success(), "{bad:?} must be rejected");
+        assert!(
+            stderr_of(&output).contains("must be"),
+            "{bad:?}: {}",
+            stderr_of(&output)
+        );
+    }
+}
+
+/// `silp --timeout` is validated: it needs `--connect`, a sane value, and
+/// it travels to the transport (a dead address still fails cleanly).
+#[test]
+fn silp_timeout_flag_is_validated() {
+    let output = silp()
+        .args(["--timeout", "100", "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("--timeout only makes sense with --connect"),
+        "{}",
+        stderr_of(&output)
+    );
+
+    let output = silp()
+        .args([
+            "--connect",
+            "unix:/tmp/definitely-not-a-sild.sock",
+            "--timeout",
+            "0",
+            "--workload",
+            "tree_sum",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("--timeout must be at least 1"),
+        "{}",
+        stderr_of(&output)
+    );
+
+    let output = silp()
+        .args([
+            "--connect",
+            "unix:/tmp/definitely-not-a-sild.sock",
+            "--timeout",
+            "100",
+            "--workload",
+            "tree_sum",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        stderr_of(&output).contains("cannot reach daemon"),
+        "{}",
+        stderr_of(&output)
+    );
 }
 
 #[test]

@@ -263,7 +263,7 @@ fn warm_daemon_hit_is_visible_in_stats_response() {
     assert!(warm.cache_hit, "repeat must be served from the cache");
     assert_eq!(warm.analysis_digest, cold.analysis_digest);
 
-    let (shards, total, store) = remote.service_stats().unwrap();
+    let (shards, total, store, server) = remote.service_stats().unwrap();
     assert_eq!(shards.len(), 2);
     assert_eq!(total.programs.hits, 1, "the warm hit shows in Stats");
     assert_eq!(total.programs.misses, 1);
@@ -274,6 +274,11 @@ fn warm_daemon_hit_is_visible_in_stats_response() {
     assert_eq!(store.programs.entries, 1);
     assert_eq!(store.programs.totals.hits, 1);
     assert!(store.programs.capacity > 0);
+    // The daemon decorates Stats with its own connection counters.
+    let server = server.expect("a daemon must attach server stats");
+    assert_eq!(server.kind, "threaded");
+    assert_eq!(server.accepted, 1);
+    assert_eq!(server.active, 1);
 
     handle.shutdown();
 }
@@ -307,7 +312,7 @@ fn protocol_version_mismatch_negotiation() {
     }
     // …and the connection still serves the supported version.
     assert!(remote.handshake().is_ok());
-    let (_, total, _) = remote.service_stats().unwrap();
+    let (_, total, _, _) = remote.service_stats().unwrap();
     assert_eq!(total.programs.misses, 0);
 
     handle.shutdown();
@@ -424,6 +429,107 @@ fn daemon_batches_keep_order_and_carry_per_item_errors() {
     }
 
     handle.shutdown();
+}
+
+/// A daemon that accepts but never answers must not hang a client that
+/// asked for a timeout: the read fails fast with a transport error naming
+/// the timeout, while an untimed control connection would block forever.
+#[test]
+fn remote_timeout_fails_fast_against_a_mute_daemon() {
+    use std::time::{Duration, Instant};
+
+    // A "daemon" that accepts connections and then ignores them.
+    let Addr::Unix(path) = temp_socket("mute") else {
+        unreachable!()
+    };
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let mute = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream); // keep the connection open, never respond
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(2));
+    });
+
+    let remote = RemoteService::connect_with_timeout(
+        &format!("unix:{}", path.display()),
+        Some(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let error = remote
+        .process_source("program p main() {}", &ProcessOptions::default())
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(error.kind, ErrorKind::Transport, "{error}");
+    assert!(
+        error.message.contains("timed out after 100ms"),
+        "{}",
+        error.message
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "must fail fast, took {elapsed:?}"
+    );
+
+    // The connection is poisoned after the timeout: a late response could
+    // otherwise be mistaken for the next request's answer, so further
+    // exchanges fail fast instead.
+    let error = remote
+        .process_source("program p main() {}", &ProcessOptions::default())
+        .unwrap_err();
+    assert_eq!(error.kind, ErrorKind::Transport);
+    assert!(
+        error
+            .message
+            .contains("broken after a previous transport failure"),
+        "{}",
+        error.message
+    );
+
+    // Unblock the mute daemon's accept loop and clean up.
+    let _ = std::os::unix::net::UnixStream::connect(&path);
+    mute.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The timeout guards TCP exchanges too: a TCP daemon that accepts and
+/// then goes mute fails the client's read within the budget.
+#[test]
+fn remote_tcp_timeout_fails_fast() {
+    use std::time::{Duration, Instant};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mute = std::thread::spawn(move || {
+        let held: Vec<_> = listener.incoming().take(1).collect();
+        std::thread::sleep(Duration::from_millis(500));
+        drop(held);
+    });
+
+    let remote = RemoteService::connect_with_timeout(
+        &format!("tcp:{addr}"),
+        Some(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let started = Instant::now();
+    let error = remote
+        .process_source("program p main() {}", &ProcessOptions::default())
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(error.kind, ErrorKind::Transport, "{error}");
+    assert!(
+        error.message.contains("timed out after 100ms"),
+        "{}",
+        error.message
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "must fail fast, took {elapsed:?}"
+    );
+    mute.join().unwrap();
 }
 
 /// `ClearCaches` over the wire empties every shard.

@@ -1,0 +1,61 @@
+//! # silio
+//!
+//! A self-contained readiness-based I/O subsystem in the mio style:
+//! [`Poll`]/[`Token`]/[`Interest`]/[`Events`] over raw Linux epoll,
+//! [`Waker`] over eventfd for cross-thread completion wakeups,
+//! nonblocking [`Listener`]/[`Stream`] wrappers for Unix and TCP sockets,
+//! and a line-framed connection state machine ([`LineConn`]) with buffered
+//! reads and write backpressure.
+//!
+//! The crate exists so an event-driven server can multiplex thousands of
+//! mostly-idle connections onto a handful of threads: one thread parks in
+//! [`Poll::poll`], workers park on a queue, and nobody owns a stack per
+//! connection.  The build environment has no crate registry, so the epoll
+//! and eventfd bindings are declared directly (`extern "C"` against the C
+//! library) rather than through `libc`/`mio` — the same offline strategy
+//! as `crates/shims/`.
+//!
+//! Everything readiness-specific is Linux-only; [`SUPPORTED`] is the
+//! compile-time capability flag callers gate on (the `sild` daemon falls
+//! back to its thread-per-connection server elsewhere).
+//!
+//! ```no_run
+//! use silio::{Events, Interest, Listener, Poll, Token};
+//! use std::os::unix::net::UnixListener;
+//!
+//! let listener = Listener::from_unix(UnixListener::bind("/tmp/demo.sock")?)?;
+//! let poll = Poll::new()?;
+//! poll.register(&listener, Token(0), Interest::READABLE)?;
+//! let mut events = Events::with_capacity(64);
+//! poll.poll(&mut events, None)?;
+//! for event in events.iter() {
+//!     assert_eq!(event.token(), Token(0)); // a connection is waiting
+//! }
+//! # std::io::Result::Ok(())
+//! ```
+
+/// Whether this build carries the readiness subsystem (epoll and eventfd
+/// are Linux kernel APIs; on other targets the crate is an empty shell and
+/// servers should use a threaded fallback).
+pub const SUPPORTED: bool = cfg!(target_os = "linux");
+
+#[cfg(target_os = "linux")]
+mod sys;
+
+#[cfg(target_os = "linux")]
+mod conn;
+#[cfg(target_os = "linux")]
+mod net;
+#[cfg(target_os = "linux")]
+mod poll;
+#[cfg(target_os = "linux")]
+mod waker;
+
+#[cfg(target_os = "linux")]
+pub use conn::{Drained, LineConn, MAX_LINE_BYTES, READ_BUDGET};
+#[cfg(target_os = "linux")]
+pub use net::{Listener, Stream};
+#[cfg(target_os = "linux")]
+pub use poll::{Event, Events, Interest, Poll, Token};
+#[cfg(target_os = "linux")]
+pub use waker::Waker;

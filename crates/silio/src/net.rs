@@ -1,0 +1,177 @@
+//! Nonblocking socket wrappers: one [`Listener`] and one [`Stream`] type
+//! over both Unix-domain and TCP sockets, so the event loop above them is
+//! transport-agnostic.
+//!
+//! The wrappers own already-bound std sockets (binding policy — paths,
+//! ports, stale-socket cleanup — stays with the caller) and flip them to
+//! nonblocking on construction: `accept`, `read`, and `write` all return
+//! `Ok(None)` / `WouldBlock` instead of parking the thread, which is what
+//! lets a single [`crate::Poll`] loop multiplex thousands of them.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// A nonblocking accept source: a bound Unix or TCP listener.
+#[derive(Debug)]
+pub enum Listener {
+    /// A bound Unix-domain listener.
+    Unix(UnixListener),
+    /// A bound TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Wrap a bound Unix listener, flipping it to nonblocking.
+    pub fn from_unix(listener: UnixListener) -> io::Result<Listener> {
+        listener.set_nonblocking(true)?;
+        Ok(Listener::Unix(listener))
+    }
+
+    /// Wrap a bound TCP listener, flipping it to nonblocking.
+    pub fn from_tcp(listener: TcpListener) -> io::Result<Listener> {
+        listener.set_nonblocking(true)?;
+        Ok(Listener::Tcp(listener))
+    }
+
+    /// Accept one pending connection as a nonblocking [`Stream`], or
+    /// `Ok(None)` when the backlog is empty.  Callers drain the backlog by
+    /// looping until `None` — with level-triggered polling a non-empty
+    /// backlog re-fires, so a missed loop iteration only costs one poll.
+    pub fn accept(&self) -> io::Result<Option<Stream>> {
+        let accepted = match self {
+            Listener::Unix(listener) => listener.accept().map(|(s, _)| Stream::unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => Ok(Some(stream?)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(listener) => listener.as_raw_fd(),
+            Listener::Tcp(listener) => listener.as_raw_fd(),
+        }
+    }
+}
+
+/// A nonblocking byte stream: one accepted (or dialed) connection.
+#[derive(Debug)]
+pub enum Stream {
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn unix(stream: UnixStream) -> io::Result<Stream> {
+        stream.set_nonblocking(true)?;
+        Ok(Stream::Unix(stream))
+    }
+
+    fn tcp(stream: TcpStream) -> io::Result<Stream> {
+        stream.set_nonblocking(true)?;
+        // One response is one small line; favor latency over batching.
+        stream.set_nodelay(true)?;
+        Ok(Stream::Tcp(stream))
+    }
+
+    /// Wrap an existing Unix stream (tests dial with std and hand the
+    /// server half over), flipping it to nonblocking.
+    pub fn from_unix(stream: UnixStream) -> io::Result<Stream> {
+        Stream::unix(stream)
+    }
+
+    /// Wrap an existing TCP stream, flipping it to nonblocking and
+    /// disabling Nagle.
+    pub fn from_tcp(stream: TcpStream) -> io::Result<Stream> {
+        Stream::tcp(stream)
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream as StdTcpStream;
+
+    #[test]
+    fn unix_accept_is_nonblocking() {
+        let dir = std::env::temp_dir().join(format!("silio-net-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        let listener = Listener::from_unix(UnixListener::bind(&dir).unwrap()).unwrap();
+        assert!(listener.accept().unwrap().is_none(), "empty backlog");
+        let _client = UnixStream::connect(&dir).unwrap();
+        // The backlog entry may take a beat to appear; poll briefly.
+        let mut accepted = None;
+        for _ in 0..100 {
+            accepted = listener.accept().unwrap();
+            if accepted.is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(accepted.is_some(), "the pending connection is accepted");
+        assert!(listener.accept().unwrap().is_none(), "backlog drained");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn tcp_reads_would_block_instead_of_parking() {
+        let listener = Listener::from_tcp(TcpListener::bind("127.0.0.1:0").unwrap()).unwrap();
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().unwrap(),
+            _ => unreachable!(),
+        };
+        let _client = StdTcpStream::connect(addr).unwrap();
+        let mut server = loop {
+            if let Some(stream) = listener.accept().unwrap() {
+                break stream;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        let mut buf = [0u8; 16];
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

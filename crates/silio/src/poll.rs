@@ -1,0 +1,285 @@
+//! The readiness selector: [`Poll`] wraps one epoll instance and reports
+//! which registered descriptors are ready via [`Events`], in the mio
+//! style — register a source with a [`Token`] and an [`Interest`], then
+//! `poll` to learn which tokens fired.
+//!
+//! Registrations are level-triggered: a readable source keeps firing until
+//! its buffered bytes are consumed, so a server that under-reads one round
+//! is re-told on the next — no edge-triggered starvation modes to reason
+//! about.
+
+use crate::sys;
+use std::ffi::c_int;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Caller-chosen identifier carried by a registration and returned with
+/// every readiness event for it.  Servers typically use a connection id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness directions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable readiness (includes peer hangup, so a closed connection
+    /// wakes its reader).
+    pub const READABLE: Interest = Interest(0b01);
+    /// Writable readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+    /// No direction: only errors and hangups are reported (epoll always
+    /// delivers those).
+    pub const NONE: Interest = Interest(0);
+
+    /// This interest combined with another.
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readable readiness?
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Does this interest include writable readiness?
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = 0;
+        if self.is_readable() {
+            mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness report: which token fired and in which directions.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    mask: u32,
+}
+
+impl Event {
+    /// The token the ready source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The source has bytes to read (or a pending accept, or a peer
+    /// hangup — reading returns 0 to distinguish).
+    pub fn is_readable(&self) -> bool {
+        self.mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// The source can accept more written bytes.
+    pub fn is_writable(&self) -> bool {
+        self.mask & sys::EPOLLOUT != 0
+    }
+
+    /// The source failed or the peer closed it; the registration should be
+    /// torn down.
+    pub fn is_error_or_hangup(&self) -> bool {
+        self.mask & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// Reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    raw: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events reported by the last poll, in kernel order.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| {
+            // Copy the (possibly packed) fields by value; references into
+            // a packed struct would be unsound.
+            let events = raw.events;
+            let data = raw.data;
+            Event {
+                token: Token(data as usize),
+                mask: events,
+            }
+        })
+    }
+
+    /// How many events the last poll reported.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last poll reported none.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A readiness selector over registered descriptors — one epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: c_int,
+}
+
+impl Poll {
+    /// A fresh selector with no registrations.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    fn control(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            op,
+            fd,
+            Some(sys::EpollEvent {
+                events: interest.epoll_mask(),
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    /// Start watching `source` for `interest`, tagging its events with
+    /// `token`.  The caller keeps ownership of the descriptor and must
+    /// [`Poll::deregister`] it (or close it) when done.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.control(sys::EPOLL_CTL_ADD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Replace an existing registration's token and interest.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.control(sys::EPOLL_CTL_MOD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Stop watching `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one registered source is ready (or `timeout`
+    /// elapses — `None` waits indefinitely), filling `events`.  Returns the
+    /// number of events reported; 0 means the timeout fired.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: c_int = match timeout {
+            // Round sub-millisecond timeouts up so `Some(tiny)` cannot
+            // degenerate into a busy spin at 0ms.
+            Some(t) => t.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            None => -1,
+        };
+        events.len = sys::epoll_wait_events(self.epfd, &mut events.raw, timeout_ms)?;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn interest_composition() {
+        let both = Interest::READABLE.with(Interest::WRITABLE);
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::NONE.is_readable() && !Interest::NONE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn poll_reports_readability_level_triggered() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.register(&b, Token(7), Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing to read yet: the timeout fires.
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+
+        a.write_all(b"hello").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let fired: Vec<Event> = events.iter().collect();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].token(), Token(7));
+        assert!(fired[0].is_readable());
+
+        // Level-triggered: unread bytes keep firing.
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+
+        poll.deregister(&b).unwrap();
+        let n = poll
+            .poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered sources stay silent");
+    }
+
+    #[test]
+    fn hangup_is_reported_to_the_reader() {
+        let poll = Poll::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.register(&b, Token(1), Interest::READABLE).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("hangup must wake the poll");
+        assert!(event.is_error_or_hangup());
+        assert!(event.is_readable(), "hangup reads as EOF-readable");
+    }
+
+    #[test]
+    fn writability_fires_for_a_fresh_socket() {
+        let poll = Poll::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poll.register(&b, Token(3), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(3) && e.is_writable()));
+    }
+}

@@ -1,0 +1,143 @@
+//! Raw `extern "C"` bindings to the handful of Linux syscalls the crate
+//! needs: `epoll_create1`/`epoll_ctl`/`epoll_wait` for readiness polling,
+//! `eventfd` for cross-thread wakeups, and `read`/`write`/`close` on the
+//! eventfd itself.
+//!
+//! The build environment has no crate registry, so there is no `libc` to
+//! lean on — these declarations link directly against the C library,
+//! mirroring how `crates/shims/` replaces rayon and rand.  Everything here
+//! is `pub(crate)`: the rest of the crate wraps each call in a safe API
+//! that owns its file descriptors and converts failures to [`io::Error`].
+
+use std::ffi::{c_int, c_void};
+use std::io;
+
+pub(crate) const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+pub(crate) const EFD_NONBLOCK: c_int = 0o4000;
+pub(crate) const EFD_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness record, exactly as the kernel fills it in.  On x86-64 the
+/// kernel ABI packs this struct to 4-byte alignment (a 12-byte layout); on
+/// other architectures it uses natural alignment.  Field reads below copy
+/// by value, never by reference, so the packing is safe to consume.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub(crate) events: u32,
+    pub(crate) data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(result: c_int) -> io::Result<c_int> {
+    if result < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// A new epoll instance (close-on-exec), as an owned raw descriptor.
+pub(crate) fn epoll_create() -> io::Result<c_int> {
+    // SAFETY: no pointers cross the boundary; the flag is a valid constant.
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Add, modify, or remove `fd`'s registration on `epfd`.  `event` may be
+/// `None` only for `EPOLL_CTL_DEL` (the kernel ignores it there).
+pub(crate) fn epoll_control(
+    epfd: c_int,
+    op: c_int,
+    fd: c_int,
+    event: Option<EpollEvent>,
+) -> io::Result<()> {
+    let mut event = event;
+    let ptr = event
+        .as_mut()
+        .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+    // SAFETY: `ptr` is null only for DEL, where the kernel does not read
+    // it; otherwise it points at a live, properly laid out EpollEvent.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, ptr) })?;
+    Ok(())
+}
+
+/// Wait for readiness on `epfd`, filling `events` and returning how many
+/// records the kernel wrote.  `timeout_ms < 0` blocks indefinitely.
+/// Interrupted waits (`EINTR`) are retried.
+pub(crate) fn epoll_wait_events(
+    epfd: c_int,
+    events: &mut [EpollEvent],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    loop {
+        // SAFETY: the pointer and length describe the caller's live slice;
+        // the kernel writes at most `len` records into it.
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        match cvt(n) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A new nonblocking, close-on-exec eventfd.
+pub(crate) fn eventfd_create() -> io::Result<c_int> {
+    // SAFETY: no pointers cross the boundary; the flags are valid.
+    cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })
+}
+
+/// Add 1 to an eventfd's counter (the wakeup signal).
+pub(crate) fn eventfd_write(fd: c_int) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: the buffer is 8 live bytes, exactly what eventfd expects.
+    let n = unsafe { write(fd, (&one as *const u64).cast::<c_void>(), 8) };
+    if n == 8 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Drain an eventfd's counter to zero.  Returns `Ok(true)` if a wakeup was
+/// pending, `Ok(false)` if the counter was already zero.
+pub(crate) fn eventfd_drain(fd: c_int) -> io::Result<bool> {
+    let mut value: u64 = 0;
+    // SAFETY: the buffer is 8 live bytes, exactly what eventfd expects.
+    let n = unsafe { read(fd, (&mut value as *mut u64).cast::<c_void>(), 8) };
+    if n == 8 {
+        return Ok(true);
+    }
+    let error = io::Error::last_os_error();
+    if error.kind() == io::ErrorKind::WouldBlock {
+        Ok(false)
+    } else {
+        Err(error)
+    }
+}
+
+/// Close a raw descriptor, ignoring failure (only used from `Drop`).
+pub(crate) fn close_fd(fd: c_int) {
+    // SAFETY: callers only pass descriptors they own exactly once.
+    let _ = unsafe { close(fd) };
+}

@@ -1,0 +1,115 @@
+//! Cross-thread wakeups for an event loop parked in [`crate::Poll::poll`]:
+//! a [`Waker`] wraps one nonblocking eventfd.  Worker threads call
+//! [`Waker::wake`] when they finish a job; the event loop registers the
+//! waker like any other readable source and calls [`Waker::drain`] when its
+//! token fires.
+//!
+//! eventfd is a counter, not a pipe: any number of `wake` calls before the
+//! next poll coalesce into one readiness event and one `drain`, so a burst
+//! of completions costs the loop a single wakeup.
+
+use crate::sys;
+use std::ffi::c_int;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// A cross-thread wakeup handle for a [`crate::Poll`] loop.
+///
+/// `wake` is safe to call from any thread at any time, including after the
+/// event loop has stopped polling — the counter just accumulates.
+#[derive(Debug)]
+pub struct Waker {
+    fd: c_int,
+}
+
+impl Waker {
+    /// A fresh waker with nothing pending.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::eventfd_create()?,
+        })
+    }
+
+    /// Signal the poller: its next (or current) poll sees this waker's
+    /// token as readable.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_write(self.fd)
+    }
+
+    /// Consume all pending wakeups.  Returns whether any were pending.
+    /// Must be called when the waker's token fires, or (being
+    /// level-triggered) it fires again immediately.
+    pub fn drain(&self) -> io::Result<bool> {
+        sys::eventfd_drain(self.fd)
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.fd);
+    }
+}
+
+// SAFETY: the waker is a plain file descriptor; eventfd reads and writes
+// are atomic syscalls, so sharing across threads needs no further locking.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Events, Interest, Poll, Token};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_is_seen_by_the_poller_and_coalesces() {
+        let poll = Poll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poll.register(&waker, Token(9), Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(4);
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0,
+            "no wake yet"
+        );
+
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(9)));
+        assert!(waker.drain().unwrap(), "three wakes drain as one");
+        assert!(!waker.drain().unwrap(), "counter is now zero");
+        assert_eq!(
+            poll.poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap(),
+            0,
+            "drained waker goes quiet"
+        );
+    }
+
+    #[test]
+    fn wake_crosses_threads() {
+        let poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new().unwrap());
+        poll.register(&*waker, Token(2), Interest::READABLE)
+            .unwrap();
+        let remote = waker.clone();
+        let thread = std::thread::spawn(move || remote.wake().unwrap());
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == Token(2)));
+        thread.join().unwrap();
+    }
+}
