@@ -1,0 +1,463 @@
+//! `silbench` — an open-loop load generator for the `sild` daemon.
+//!
+//! The criterion bench (`benches/engine_service.rs`) is closed-loop: each
+//! client waits for its response before sending again, so a saturated
+//! server throttles its own offered load and queueing collapse is
+//! invisible.  `silbench` decouples arrivals from completions: every
+//! connection sends requests on a Poisson schedule (exponential gaps)
+//! regardless of what has come back, which is how latency actually behaves
+//! when demand exceeds capacity.
+//!
+//! ```text
+//! silbench                 full sweep, writes BENCH_engine_service.json
+//! silbench --smoke         short sweep (CI): ~2s per daemon
+//! silbench --out <path>    write the JSON artifact elsewhere
+//! ```
+//!
+//! Per (server kind × offered load) point: N connections each run one
+//! writer thread (Poisson arrivals, Zipf-ranked program selection over the
+//! 64-program corpus) and one reader thread (pairs responses FIFO — the
+//! protocol answers in order per connection — and records client-observed
+//! latency into a silobs histogram).  The artifact carries throughput vs
+//! offered load and p50/p90/p99/p999 per point, machine-readable via the
+//! engine's own JSON module; the binary re-parses what it wrote and fails
+//! if the quantiles are missing or zero, so a green run certifies the
+//! artifact.
+//!
+//! The corpus is primed before measuring (warm-cache regime: the server,
+//! not the analysis, is under test), matching the closed-loop bench.
+
+use rand::distributions::{Distribution, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sil_engine::service::{
+    Json, RemoteService, Request, Response, Server, ServerKind, ServerOptions, Service,
+    ShardedService,
+};
+use sil_engine::{Addr, EngineConfig};
+use sil_workloads::programs::Workload;
+use silobs::{Histogram, HistogramSummary};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: silbench [--smoke] [--out <path>]
+
+Open-loop offered-load sweep against both sild serving strategies
+(threaded and async), emitting a machine-readable artifact with
+throughput-vs-load and latency quantiles per point.
+
+options:
+  --smoke       short sweep for CI (~2s of measurement per daemon)
+  --out <path>  artifact path (default: BENCH_engine_service.json)
+  -h, --help    this message
+";
+
+/// One sweep configuration: the offered loads (requests/sec across all
+/// connections), how long each point runs, and the connection fan-out.
+struct Sweep {
+    connections: usize,
+    point_duration: Duration,
+    offered_loads: Vec<f64>,
+}
+
+impl Sweep {
+    fn full() -> Sweep {
+        Sweep {
+            connections: 32,
+            point_duration: Duration::from_secs(5),
+            offered_loads: vec![500.0, 2000.0, 8000.0],
+        }
+    }
+
+    fn smoke() -> Sweep {
+        Sweep {
+            connections: 4,
+            point_duration: Duration::from_secs(1),
+            offered_loads: vec![200.0, 800.0],
+        }
+    }
+}
+
+/// 64 distinct real programs (every workload at several sizes), ranked so
+/// Zipf rank 1 is the hottest — the same corpus as the closed-loop bench.
+fn program_corpus() -> Vec<String> {
+    let mut corpus = Vec::new();
+    for size in 3..=9u32 {
+        for workload in Workload::ALL {
+            corpus.push(workload.source(size));
+            if corpus.len() == 64 {
+                return corpus;
+            }
+        }
+    }
+    corpus
+}
+
+fn temp_socket(name: &str) -> Addr {
+    let path = std::env::temp_dir().join(format!("silbench-{}-{name}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Addr::Unix(path)
+}
+
+/// An exponential inter-arrival gap with the given mean, in seconds (the
+/// Poisson process driving each connection's writer).
+fn exp_gap(rng: &mut StdRng, mean_secs: f64) -> f64 {
+    // 53 uniform bits offset off zero so ln() stays finite.
+    let uniform = ((rng.gen_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    -uniform.ln() * mean_secs
+}
+
+/// What one (kind × offered load) point measured.
+struct Point {
+    offered_rps: f64,
+    sent: u64,
+    completed: u64,
+    wall_secs: f64,
+    latency_us: HistogramSummary,
+}
+
+impl Point {
+    fn achieved_rps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.completed as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drive one offered-load point against a running daemon: `connections`
+/// writer/reader thread pairs over their own sockets, Poisson arrivals,
+/// Zipf program selection, latencies into one shared histogram.
+fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps: f64) -> Point {
+    let hist = Histogram::new();
+    let per_conn_mean_gap = sweep.connections as f64 / offered_rps;
+    let started = Instant::now();
+    let deadline = started + sweep.point_duration;
+
+    let (sent, completed) = std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        let mut readers = Vec::new();
+        for conn in 0..sweep.connections {
+            let stream = UnixStream::connect(socket).expect("silbench: connect failed");
+            let reader_stream = stream.try_clone().expect("silbench: clone failed");
+            let (tx, rx) = mpsc::channel::<u64>();
+            let lines = lines.clone();
+            let hist = &hist;
+
+            writers.push(scope.spawn(move || {
+                let mut stream = stream;
+                // Seed off the load level and connection so every run of
+                // the same sweep offers the same arrival process.
+                let seed = 1989 ^ ((offered_rps as u64) << 8) ^ conn as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let zipf = Zipf::new(lines.len() as u64, 1.2).unwrap();
+                let mut offset = 0.0f64;
+                let mut sent = 0u64;
+                loop {
+                    offset += exp_gap(&mut rng, per_conn_mean_gap);
+                    let target = started + Duration::from_secs_f64(offset);
+                    if target > deadline {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if target > now {
+                        std::thread::sleep(target - now);
+                    }
+                    let rank = zipf.sample(&mut rng) as usize - 1;
+                    // Timestamp the arrival before writing: if the send
+                    // blocks on backpressure, that wait is part of the
+                    // latency an open-loop client experiences.
+                    if tx.send(silobs::ticks()).is_err() {
+                        break;
+                    }
+                    if stream.write_all(lines[rank].as_bytes()).is_err() {
+                        break;
+                    }
+                    sent += 1;
+                }
+                sent
+            }));
+
+            readers.push(scope.spawn(move || {
+                let mut reader = BufReader::new(reader_stream);
+                let mut line = String::new();
+                let mut completed = 0u64;
+                // Responses come back in send order on each connection, so
+                // pairing is FIFO against the writer's timestamps.
+                while let Ok(sent_at) = rx.recv() {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    assert!(
+                        !line.contains("\"type\":\"error\""),
+                        "silbench: daemon answered an error: {line}"
+                    );
+                    hist.record(silobs::ticks().saturating_sub(sent_at));
+                    completed += 1;
+                }
+                completed
+            }));
+        }
+        let sent: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        let completed: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        (sent, completed)
+    });
+
+    Point {
+        offered_rps,
+        sent,
+        completed,
+        wall_secs: started.elapsed().as_secs_f64(),
+        latency_us: HistogramSummary::of(&hist.snapshot()),
+    }
+}
+
+/// Run the whole sweep against one serving strategy: fresh daemon, primed
+/// corpus, ascending offered loads over the same warm caches.
+fn run_server(kind: ServerKind, sweep: &Sweep, corpus: &[String]) -> (String, Vec<Point>) {
+    let service = Arc::new(ShardedService::new(4, EngineConfig::default()));
+    let server = Server::bind_with(
+        &temp_socket(kind.name()),
+        service,
+        ServerOptions { kind, workers: 0 },
+    )
+    .expect("silbench: bind failed");
+    // On platforms without silio support the async request falls back to
+    // threaded; the artifact records what actually served.
+    let actual = server.kind().name().to_string();
+    let handle = server.spawn();
+    let socket = match handle.addr() {
+        Addr::Unix(path) => path.clone(),
+        Addr::Tcp(_) => unreachable!("silbench binds unix sockets"),
+    };
+
+    let primer = RemoteService::connect(&handle.addr().to_string()).unwrap();
+    for src in corpus {
+        match primer.call(Request::analyze(src.clone())) {
+            Response::Analyzed { .. } => {}
+            other => panic!("silbench: prime failed: {other:?}"),
+        }
+    }
+    drop(primer);
+
+    // Requests are pre-encoded once; the writer hot loop does no JSON work.
+    let lines: Arc<Vec<String>> = Arc::new(
+        corpus
+            .iter()
+            .map(|src| {
+                let mut line = Request::analyze(src.clone()).encode();
+                line.push('\n');
+                line
+            })
+            .collect(),
+    );
+
+    let points: Vec<Point> = sweep
+        .offered_loads
+        .iter()
+        .map(|&offered| run_point(&socket, &lines, sweep, offered))
+        .collect();
+    handle.shutdown();
+    (actual, points)
+}
+
+fn summary_json(summary: &HistogramSummary) -> Json {
+    Json::obj(vec![
+        ("count", Json::Int(summary.count as i64)),
+        ("min", Json::Int(summary.min as i64)),
+        ("max", Json::Int(summary.max as i64)),
+        ("mean", Json::Float(summary.mean())),
+        ("p50", Json::Int(summary.p50 as i64)),
+        ("p90", Json::Int(summary.p90 as i64)),
+        ("p99", Json::Int(summary.p99 as i64)),
+        ("p999", Json::Int(summary.p999 as i64)),
+    ])
+}
+
+fn artifact_json(sweep: &Sweep, corpus_len: usize, servers: &[(String, Vec<Point>)]) -> Json {
+    Json::obj(vec![
+        ("bench", Json::Str("engine_service".to_string())),
+        ("mode", Json::Str("open-loop".to_string())),
+        ("connections", Json::Int(sweep.connections as i64)),
+        (
+            "point_duration_secs",
+            Json::Float(sweep.point_duration.as_secs_f64()),
+        ),
+        ("corpus", Json::Int(corpus_len as i64)),
+        ("zipf_s", Json::Float(1.2)),
+        (
+            "servers",
+            Json::Arr(
+                servers
+                    .iter()
+                    .map(|(kind, points)| {
+                        Json::obj(vec![
+                            ("kind", Json::Str(kind.clone())),
+                            (
+                                "points",
+                                Json::Arr(
+                                    points
+                                        .iter()
+                                        .map(|p| {
+                                            Json::obj(vec![
+                                                ("offered_rps", Json::Float(p.offered_rps)),
+                                                ("achieved_rps", Json::Float(p.achieved_rps())),
+                                                ("sent", Json::Int(p.sent as i64)),
+                                                ("completed", Json::Int(p.completed as i64)),
+                                                ("wall_secs", Json::Float(p.wall_secs)),
+                                                ("latency_us", summary_json(&p.latency_us)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn field<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+    value
+        .as_obj()
+        .ok_or_else(|| format!("expected an object around {key:?}"))?
+        .iter()
+        .find(|(name, _)| name == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing {key:?}"))
+}
+
+/// Re-parse the artifact with the engine's own JSON module and check the
+/// quantiles are present and nonzero — the property CI asserts.
+fn validate_artifact(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read artifact: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("artifact does not parse: {e}"))?;
+    let servers = field(&json, "servers")?
+        .as_arr()
+        .ok_or("\"servers\" must be an array")?;
+    if servers.is_empty() {
+        return Err("no servers measured".to_string());
+    }
+    for server in servers {
+        let kind = field(server, "kind")?
+            .as_str()
+            .ok_or("\"kind\" must be a string")?
+            .to_string();
+        let points = field(server, "points")?
+            .as_arr()
+            .ok_or("\"points\" must be an array")?;
+        if points.is_empty() {
+            return Err(format!("{kind}: no load points"));
+        }
+        for point in points {
+            let latency = field(point, "latency_us")?;
+            for quantile in ["p50", "p99", "p999"] {
+                let value = field(latency, quantile)?
+                    .as_u64()
+                    .ok_or_else(|| format!("{kind}: {quantile} must be a count"))?;
+                if value == 0 {
+                    return Err(format!("{kind}: {quantile} is zero"));
+                }
+            }
+            let completed = field(point, "completed")?
+                .as_u64()
+                .ok_or("\"completed\" must be a count")?;
+            if completed == 0 {
+                return Err(format!("{kind}: a load point completed nothing"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_engine_service.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = PathBuf::from(path),
+                    None => {
+                        eprintln!("silbench: --out needs a path\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("silbench: unknown option {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let sweep = if smoke { Sweep::smoke() } else { Sweep::full() };
+    let corpus = program_corpus();
+    println!(
+        "silbench: open-loop sweep — {} connections, {:?} per point, loads {:?} req/s, \
+         {}-program Zipf corpus",
+        sweep.connections,
+        sweep.point_duration,
+        sweep.offered_loads,
+        corpus.len(),
+    );
+
+    let mut servers = Vec::new();
+    for kind in [ServerKind::Threaded, ServerKind::Async] {
+        let (actual, points) = run_server(kind, &sweep, &corpus);
+        println!("server: {actual}");
+        println!(
+            "  {:>12} {:>12} {:>8} {:>10} {:>9} {:>9} {:>9}",
+            "offered r/s", "achieved r/s", "sent", "p50 µs", "p90 µs", "p99 µs", "p999 µs"
+        );
+        for p in &points {
+            println!(
+                "  {:>12.0} {:>12.0} {:>8} {:>10} {:>9} {:>9} {:>9}",
+                p.offered_rps,
+                p.achieved_rps(),
+                p.sent,
+                p.latency_us.p50,
+                p.latency_us.p90,
+                p.latency_us.p99,
+                p.latency_us.p999,
+            );
+        }
+        servers.push((actual, points));
+    }
+
+    let artifact = artifact_json(&sweep, corpus.len(), &servers);
+    if let Err(e) = std::fs::write(&out, artifact.encode() + "\n") {
+        eprintln!("silbench: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    match validate_artifact(&out) {
+        Ok(()) => {
+            println!("silbench: wrote {} (validated)", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("silbench: artifact validation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

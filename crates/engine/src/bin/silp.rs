@@ -11,6 +11,9 @@
 //! silp --lfu / --lru                pin the eviction policy (default: adaptive)
 //! silp --stats ...                  print per-namespace/per-shard cache
 //!                                   statistics at exit
+//! silp --metrics ...                print the service's metrics registry
+//!                                   (counters, gauges, latency quantiles)
+//! silp --trace-dump ...             dump retained trace spans as ndjson
 //! silp --connect unix:/tmp/s.sock   send requests to a running sild daemon
 //! silp --connect ... --shutdown     ask the daemon to exit
 //! ```
@@ -24,12 +27,15 @@
 //! verifier reports violations, or the transport drops.
 
 use sil_engine::cli::unknown_flag_error;
-use sil_engine::service::{Json, LocalService, RemoteService, Request, Response, Service};
+use sil_engine::service::{
+    Json, LocalService, RemoteService, Request, Response, Service, TraceSpan,
+};
 use sil_engine::{
     EngineConfig, EngineStats, EvictionPolicy, Namespace, ProcessOptions, ProgramReport,
     ServerStats, ServiceError, StoreStats,
 };
 use sil_workloads::Workload;
+use silobs::MetricsSnapshot;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -57,6 +63,14 @@ options:
                          per-shard hit rates, eviction counts, and the
                          adaptive policy's current choice (a text table on
                          stderr; one stats JSON line with --json)
+  --metrics              print the service's metrics registry — counters,
+                         gauges, and latency-histogram quantiles across the
+                         engine/store/server namespaces (a text table on
+                         stderr; one metrics JSON line with --json); works
+                         with no inputs, e.g. to inspect a live daemon
+  --trace-dump           dump the service's retained trace spans as ndjson
+                         on stdout (one span object per line); works with
+                         no inputs
   --in-process           serve requests from an in-process engine (default)
   --connect <addr>       send requests to a sild daemon at unix:<path> or
                          tcp:<host:port> instead
@@ -79,6 +93,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--lfu",
     "--lru",
     "--stats",
+    "--metrics",
+    "--trace-dump",
     "--in-process",
     "--connect",
     "--timeout",
@@ -91,6 +107,8 @@ struct Cli {
     options: ProcessOptions,
     json: bool,
     stats: bool,
+    metrics: bool,
+    trace_dump: bool,
     incremental: bool,
     eviction: EvictionPolicy,
     connect: Option<String>,
@@ -104,6 +122,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         options: ProcessOptions::default(),
         json: false,
         stats: false,
+        metrics: false,
+        trace_dump: false,
         incremental: false,
         eviction: EvictionPolicy::default(),
         connect: None,
@@ -139,6 +159,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--lfu" => cli.eviction = EvictionPolicy::Lfu,
             "--lru" => cli.eviction = EvictionPolicy::Lru,
             "--stats" => cli.stats = true,
+            "--metrics" => cli.metrics = true,
+            "--trace-dump" => cli.trace_dump = true,
             "--in-process" => cli.connect = None,
             "--connect" => {
                 i += 1;
@@ -195,7 +217,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
         cli.inputs.push((file, src));
     }
-    if cli.inputs.is_empty() && !cli.shutdown {
+    // Pure observability runs (inspect a live daemon's counters or spans)
+    // need no inputs, just like --shutdown.
+    if cli.inputs.is_empty() && !cli.shutdown && !cli.metrics && !cli.trace_dump {
         return Err("no inputs: pass SIL files or --workload".to_string());
     }
     Ok(cli)
@@ -223,12 +247,16 @@ fn open_service(cli: &Cli) -> Result<Box<dyn Service>, String> {
 }
 
 fn percent(hits: u64, misses: u64) -> String {
+    // Zero lookups are a 0.0% hit rate, not a placeholder: every row
+    // renders the same 5-character numeric column, so table consumers
+    // never special-case cold namespaces.
     let total = hits + misses;
-    if total == 0 {
-        "    -".to_string()
+    let rate = if total == 0 {
+        0.0
     } else {
-        format!("{:>4.1}%", hits as f64 / total as f64 * 100.0)
-    }
+        hits as f64 / total as f64 * 100.0
+    };
+    format!("{rate:>4.1}%")
 }
 
 /// The `--stats` text table: the serving daemon's connection counters
@@ -300,6 +328,41 @@ fn render_stats(
     out
 }
 
+/// The `--metrics` text table: every counter and gauge in the service's
+/// registry (engine, store, and — through a daemon — server namespaces),
+/// then one quantile row per latency histogram.
+fn render_metrics(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "metrics: {} counters, {} gauges, {} histograms",
+        metrics.counters.len(),
+        metrics.gauges.len(),
+        metrics.histograms.len(),
+    );
+    for (name, value) in &metrics.counters {
+        let _ = writeln!(out, "  {name:<34} {value:>12}");
+    }
+    for (name, value) in &metrics.gauges {
+        let _ = writeln!(out, "  {name:<34} {value:>12}");
+    }
+    if !metrics.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "histogram (µs)", "count", "p50", "p90", "p99", "p999", "max"
+        );
+        for (name, h) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
+            );
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -354,7 +417,11 @@ fn main() -> ExitCode {
     // request at a time: an input is an edit of an earlier one, and must
     // find the earlier cones already retained.  Everything else travels as
     // one batch request.
-    let results: Vec<Result<ProgramReport, ServiceError>> = if cli.incremental {
+    let results: Vec<Result<ProgramReport, ServiceError>> = if cli.inputs.is_empty() {
+        // A pure observability run (--metrics/--trace-dump, no inputs)
+        // sends no analysis traffic at all.
+        Vec::new()
+    } else if cli.incremental {
         sources
             .iter()
             .map(|src| service.process_source(src, &cli.options))
@@ -425,6 +492,32 @@ fn main() -> ExitCode {
                     eprint!("{}", render_stats(&shards, &store, server.as_ref()))
                 }
                 Err(error) => eprintln!("silp: stats failed: {error}"),
+            }
+        }
+    }
+    if cli.metrics {
+        if cli.json {
+            // The raw wire form of the Metrics response: the registry with
+            // histogram quantile summaries, `server.*` spliced in by a
+            // daemon.
+            match service.call(Request::metrics()) {
+                metrics @ Response::Metrics { .. } => eprintln!("{}", metrics.encode()),
+                Response::Error { error, .. } => eprintln!("silp: metrics failed: {error}"),
+                other => eprintln!("silp: unexpected metrics response: {}", other.encode()),
+            }
+        } else {
+            match service.service_metrics() {
+                Ok(metrics) => eprint!("{}", render_metrics(&metrics)),
+                Err(error) => eprintln!("silp: metrics failed: {error}"),
+            }
+        }
+    }
+    if cli.trace_dump {
+        match service.service_trace() {
+            Ok(spans) => print!("{}", TraceSpan::to_ndjson(&spans)),
+            Err(error) => {
+                eprintln!("silp: trace dump failed: {error}");
+                failed = true;
             }
         }
     }

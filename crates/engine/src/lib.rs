@@ -75,9 +75,9 @@ use sil_lang::types::ProgramTypes;
 use sil_lang::{frontend, pretty_program, Program, SilError};
 use sil_parallelizer::{pack_program_with_analysis, verify_parallel_program, PackOptions};
 use sil_runtime::{Interpreter, RunConfig};
+use silobs::{Counter, RawMetrics, Registry, ShardedHistogram, Tracer};
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Engine construction parameters.  The cache-shaped fields describe the
@@ -264,44 +264,93 @@ impl EngineStats {
     }
 }
 
-/// Atomic hit/miss/insertion counters of one namespace view.  Evictions
-/// are a store-side phenomenon (a view cannot know which engine's insert
+/// Hit/miss/insertion counters of one namespace view, registered on the
+/// engine's observability [`Registry`] (so `engine.<ns>.hits` etc. appear
+/// in `Metrics` responses) — the [`EngineStats`] snapshot is a
+/// byte-compatible *view* over the same atomics.  Evictions are a
+/// store-side phenomenon (a view cannot know which engine's insert
 /// displaced an entry), so the snapshot always reports 0 evictions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ViewCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
 }
 
 impl ViewCounters {
+    fn register(registry: &Registry, namespace: &str) -> ViewCounters {
+        ViewCounters {
+            hits: registry.counter(&format!("engine.{namespace}.hits")),
+            misses: registry.counter(&format!("engine.{namespace}.misses")),
+            insertions: registry.counter(&format!("engine.{namespace}.insertions")),
+        }
+    }
+
     fn hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.incr();
     }
 
     fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
     }
 
     fn insertion(&self) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.incr();
     }
 
     fn snapshot(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            insertions: self.insertions.get(),
             evictions: 0,
         }
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StoreView {
     programs: ViewCounters,
     summaries: ViewCounters,
     walks: ViewCounters,
+}
+
+impl StoreView {
+    fn register(registry: &Registry) -> StoreView {
+        StoreView {
+            programs: ViewCounters::register(registry, "programs"),
+            summaries: ViewCounters::register(registry, "summaries"),
+            walks: ViewCounters::register(registry, "walks"),
+        }
+    }
+}
+
+/// Fold a [`StoreStats`] snapshot into `raw` as `store.*` counters and
+/// gauges, making the store's authoritative numbers (including evictions
+/// and ghost hits, which no engine view can see) part of one `Metrics`
+/// response.  Callers sharing a store across shards must fold it exactly
+/// once.
+pub fn export_store_metrics(stats: &StoreStats, raw: &mut RawMetrics) {
+    for (name, namespace) in [
+        ("programs", &stats.programs),
+        ("summaries", &stats.summaries),
+        ("walks", &stats.walks),
+    ] {
+        raw.push_counter(&format!("store.{name}.hits"), namespace.totals.hits);
+        raw.push_counter(&format!("store.{name}.misses"), namespace.totals.misses);
+        raw.push_counter(
+            &format!("store.{name}.insertions"),
+            namespace.totals.insertions,
+        );
+        raw.push_counter(
+            &format!("store.{name}.evictions"),
+            namespace.totals.evictions,
+        );
+        raw.push_counter(&format!("store.{name}.ghost_hits"), namespace.ghost_hits);
+        raw.push_counter(&format!("store.{name}.policy_switches"), namespace.switches);
+        raw.push_gauge(&format!("store.{name}.entries"), namespace.entries as i64);
+        raw.push_gauge(&format!("store.{name}.capacity"), namespace.capacity as i64);
+    }
 }
 
 /// How many walk records one cone may retain.  A record exists per (round ×
@@ -322,6 +371,12 @@ pub struct Engine {
     config: EngineConfig,
     store: Arc<SummaryStore>,
     view: StoreView,
+    registry: Registry,
+    tracer: Arc<Tracer>,
+    fixpoint_us: Arc<ShardedHistogram>,
+    summaries_us: Arc<ShardedHistogram>,
+    walks_performed: Counter,
+    walks_reused: Counter,
 }
 
 impl Default for Engine {
@@ -341,11 +396,40 @@ impl Engine {
     /// cache-shaped fields are ignored — the store was already built —
     /// only `parallel` and `incremental` govern this view.
     pub fn with_store(config: EngineConfig, store: Arc<SummaryStore>) -> Engine {
+        let registry = Registry::new();
         Engine {
+            view: StoreView::register(&registry),
+            fixpoint_us: registry.histogram("engine.fixpoint_us"),
+            summaries_us: registry.histogram("engine.summaries_us"),
+            walks_performed: registry.counter("engine.walks.performed"),
+            walks_reused: registry.counter("engine.walks.reused"),
+            tracer: Arc::new(Tracer::default()),
             config,
             store,
-            view: StoreView::default(),
+            registry,
         }
+    }
+
+    /// Share a span ring with other engines (the sharded service hands
+    /// every shard the same tracer, so one `TraceDump` sees the whole
+    /// request's spans regardless of which shard executed it).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Engine {
+        self.tracer = tracer;
+        self
+    }
+
+    /// This engine's span ring.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// This engine's observability registry, in mergeable raw form
+    /// (`engine.*` lookup counters and timing histograms).  The shared
+    /// store's `store.*` entries are folded in separately via
+    /// [`export_store_metrics`] — exactly once per store, however many
+    /// engines share it.
+    pub fn metrics_raw(&self) -> RawMetrics {
+        self.registry.collect()
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -374,7 +458,11 @@ impl Engine {
         &self,
         src: &str,
     ) -> Result<(Arc<AnalyzedProgram>, bool), EngineError> {
-        let (program, types) = frontend(src)?;
+        let parsed = {
+            let _span = self.tracer.start("parse");
+            frontend(src)
+        };
+        let (program, types) = parsed?;
         Ok(self.analyze_normalized(program, types))
     }
 
@@ -392,7 +480,11 @@ impl Engine {
         types: ProgramTypes,
     ) -> (Arc<AnalyzedProgram>, bool) {
         let fingerprint = program_fingerprint(&program);
-        if let Some(hit) = self.store.programs().get(fingerprint) {
+        let looked_up = {
+            let _span = self.tracer.start("store-lookup");
+            self.store.programs().get(fingerprint)
+        };
+        if let Some(hit) = looked_up {
             self.view.programs.hit();
             return (hit, true);
         }
@@ -424,8 +516,15 @@ impl Engine {
                 record: true,
                 reuse: Some(&reuse),
             };
-            let (analysis, snapshot, mut stats) =
-                analyze_program_with_options(&program, &types, summaries, &options);
+            let fixpoint_start = silobs::ticks();
+            let (analysis, snapshot, mut stats) = {
+                let _span = self.tracer.start("fixpoint");
+                analyze_program_with_options(&program, &types, summaries, &options)
+            };
+            self.fixpoint_us
+                .record(silobs::ticks().saturating_sub(fixpoint_start));
+            self.walks_performed.add(stats.walks_performed as u64);
+            self.walks_reused.add(stats.walks_reused as u64);
             for (name, cone) in &cones {
                 // Only classify procedures the fixpoint actually walked:
                 // dead code (unreachable from `main`) never records walks,
@@ -475,8 +574,14 @@ impl Engine {
                 parallel: self.config.parallel,
                 ..AnalyzeOptions::default()
             };
-            let (analysis, _, _) =
-                analyze_program_with_options(&program, &types, summaries, &options);
+            let fixpoint_start = silobs::ticks();
+            let (analysis, _, stats) = {
+                let _span = self.tracer.start("fixpoint");
+                analyze_program_with_options(&program, &types, summaries, &options)
+            };
+            self.fixpoint_us
+                .record(silobs::ticks().saturating_sub(fixpoint_start));
+            self.walks_performed.add(stats.walks_performed as u64);
             (analysis, None)
         };
 
@@ -496,6 +601,19 @@ impl Engine {
     /// results and computing the misses level-by-level, independent SCCs of
     /// one level in parallel.
     fn summaries_for(
+        &self,
+        program: &Program,
+        types: &ProgramTypes,
+        graph: &CallGraph,
+    ) -> HashMap<String, ProcSummary> {
+        let start = silobs::ticks();
+        let resolved = self.summaries_for_inner(program, types, graph);
+        self.summaries_us
+            .record(silobs::ticks().saturating_sub(start));
+        resolved
+    }
+
+    fn summaries_for_inner(
         &self,
         program: &Program,
         types: &ProgramTypes,

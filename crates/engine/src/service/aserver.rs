@@ -40,6 +40,7 @@
 use super::server::{handle_line, LineOutcome, Listener, ServerCounters};
 use super::{Addr, Service};
 use silio::{Events, Interest, LineConn, Poll, Token, Waker};
+use silobs::Gauge;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -62,10 +63,19 @@ const MAX_PENDING_LINES: usize = 128;
 /// closing connections that will not drain.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 
+/// One complete line parked in a connection's FIFO: the request id minted
+/// when the loop framed it, and the tick it arrived (so the worker can
+/// attribute the queueing delay as a `queue-wait` span).
+struct PendingLine {
+    id: u64,
+    arrival_us: u64,
+    line: String,
+}
+
 /// One request line waiting for a worker.
 struct Job {
     connection: usize,
-    line: String,
+    pending: PendingLine,
 }
 
 /// One finished request on its way back to the loop.
@@ -82,6 +92,9 @@ struct Exchange {
     ready: Condvar,
     completions: Mutex<Vec<Completion>>,
     waker: Waker,
+    /// Mirrors `jobs.queue.len()` for the metrics registry
+    /// (`server.queue_depth`): how many ready jobs await a free worker.
+    queue_depth: Gauge,
 }
 
 struct JobQueue {
@@ -92,6 +105,7 @@ struct JobQueue {
 impl Exchange {
     fn submit(&self, job: Job) {
         self.jobs.lock().unwrap().queue.push_back(job);
+        self.queue_depth.add(1);
         self.ready.notify_one();
     }
 
@@ -105,6 +119,7 @@ impl Exchange {
         let mut jobs = self.jobs.lock().unwrap();
         loop {
             if let Some(job) = jobs.queue.pop_front() {
+                self.queue_depth.sub(1);
                 return Some(job);
             }
             if jobs.closed {
@@ -129,7 +144,7 @@ impl Exchange {
 struct Connection {
     conn: LineConn,
     /// Complete lines waiting their turn (FIFO per connection).
-    pending: VecDeque<String>,
+    pending: VecDeque<PendingLine>,
     /// Whether a worker currently holds this connection's line.
     inflight: bool,
     /// The peer closed its write side; serve what is queued, then close.
@@ -190,6 +205,7 @@ pub(crate) fn serve(
             ready: Condvar::new(),
             completions: Mutex::new(Vec::new()),
             waker: Waker::new()?,
+            queue_depth: counters.queue_depth(),
         });
         poll.register(&listener, LISTENER, Interest::READABLE)?;
         poll.register(&exchange.waker, WAKER, Interest::READABLE)?;
@@ -214,14 +230,24 @@ pub(crate) fn serve(
             let counters = counters.clone();
             std::thread::spawn(move || {
                 while let Some(job) = exchange.next_job() {
-                    let (response, stop) = match handle_line(service.as_ref(), &counters, &job.line)
-                    {
-                        LineOutcome::Respond(response) => (response, false),
-                        LineOutcome::ShutdownAfter(response) => (response, true),
+                    let PendingLine {
+                        id,
+                        arrival_us,
+                        line,
+                    } = job.pending;
+                    // The interval between framing and pickup is the
+                    // request's queueing delay — the signal an autoscaler
+                    // watches (alongside the queue-depth gauge).
+                    counters
+                        .tracer()
+                        .record(id, "queue-wait", arrival_us, silobs::ticks());
+                    let (line, stop) = match handle_line(service.as_ref(), &counters, id, &line) {
+                        LineOutcome::Respond(line) => (line, false),
+                        LineOutcome::ShutdownAfter(line) => (line, true),
                     };
                     exchange.complete(Completion {
                         connection: job.connection,
-                        line: response.encode(),
+                        line,
                         shutdown: stop,
                     });
                 }
@@ -328,7 +354,15 @@ fn run_loop(
                                 connection.eof |= drained.eof;
                                 for line in drained.lines {
                                     if !line.trim().is_empty() {
-                                        connection.pending.push_back(line);
+                                        // Mint the request id and stamp the
+                                        // arrival at framing time, so
+                                        // queue-wait covers the full park.
+                                        connection.pending.push_back(PendingLine {
+                                            id: counters.tracer().mint(),
+                                            arrival_us: silobs::ticks(),
+                                            line,
+                                        });
+                                        counters.pending_lines().add(1);
                                     }
                                 }
                             }
@@ -381,12 +415,13 @@ fn run_loop(
                 continue;
             };
             if !connection.inflight && drain_deadline.is_none() {
-                if let Some(line) = connection.pending.pop_front() {
+                if let Some(pending) = connection.pending.pop_front() {
+                    counters.pending_lines().sub(1);
                     connection.inflight = true;
                     inflight_total += 1;
                     exchange.submit(Job {
                         connection: id,
-                        line,
+                        pending,
                     });
                 }
             }
@@ -411,6 +446,9 @@ fn run_loop(
     }
 
     for (_, connection) in connections.drain() {
+        counters
+            .pending_lines()
+            .sub(connection.pending.len() as i64);
         let _ = poll.deregister(connection.conn.stream());
         counters.connection_closed();
     }
@@ -430,6 +468,11 @@ fn close_connection(
             // leak or drain-on-shutdown would stall.
             *inflight_total = inflight_total.saturating_sub(1);
         }
+        // A dying connection's unserved lines leave the pending gauge with
+        // it, or the level would drift upward over daemon lifetime.
+        counters
+            .pending_lines()
+            .sub(connection.pending.len() as i64);
         let _ = poll.deregister(connection.conn.stream());
         counters.connection_closed();
     }

@@ -28,15 +28,17 @@ mod threaded;
 
 pub use json::{Json, JsonError};
 pub use proto::{
-    AnalyzeSummary, ErrorKind, Request, Response, ServerStats, ServiceError, PROTOCOL_VERSION,
+    AnalyzeSummary, ErrorKind, Request, Response, ServerStats, ServiceError, TraceSpan,
+    PROTOCOL_VERSION,
 };
 pub use remote::RemoteService;
 pub use server::{Server, ServerHandle, ServerKind, ServerOptions};
 
 use crate::report::{ProcessOptions, ProgramReport};
 use crate::store::{StoreStats, SummaryStore};
-use crate::{AnalyzedProgram, Engine, EngineConfig, EngineStats};
+use crate::{export_store_metrics, AnalyzedProgram, Engine, EngineConfig, EngineStats};
 use sil_lang::{frontend, program_fingerprint};
+use silobs::{MetricsSnapshot, Tracer};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -101,6 +103,25 @@ pub trait Service {
             other => Err(unexpected("stats", &other)),
         }
     }
+
+    /// [`Request::Metrics`], expecting the service's observability
+    /// registry (plus the daemon's own `server.*` entries when remote).
+    fn service_metrics(&self) -> Result<MetricsSnapshot, ServiceError> {
+        match self.call(Request::metrics()) {
+            Response::Metrics { metrics, .. } => Ok(metrics),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// [`Request::TraceDump`], expecting the retained spans oldest-first.
+    fn service_trace(&self) -> Result<Vec<TraceSpan>, ServiceError> {
+        match self.call(Request::trace_dump()) {
+            Response::Trace { spans, .. } => Ok(spans),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("trace", &other)),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ServiceError {
@@ -139,6 +160,16 @@ impl Engine {
         if request.version() != PROTOCOL_VERSION {
             return Response::error(ServiceError::version_mismatch(request.version()));
         }
+        // Spans recorded below need a request id to attribute to.  Under a
+        // daemon the server minted one when it framed the line; in-process
+        // callers get one minted here, so traces look the same either way.
+        match silobs::current_request() {
+            Some(_) => self.dispatch(request),
+            None => silobs::with_request(self.tracer().mint(), || self.dispatch(request)),
+        }
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Analyze { source, .. } => match self.analyze_source_traced(&source) {
                 Ok((entry, cache_hit)) => Response::analyzed(summarize(&entry, cache_hit)),
@@ -159,6 +190,18 @@ impl Engine {
                     .collect(),
             ),
             Request::Stats { .. } => Response::stats(vec![self.stats()], self.store_stats()),
+            Request::Metrics { .. } => {
+                let mut raw = self.metrics_raw();
+                export_store_metrics(&self.store_stats(), &mut raw);
+                Response::metrics(raw.summarize())
+            }
+            Request::TraceDump { .. } => Response::trace(
+                self.tracer()
+                    .snapshot()
+                    .iter()
+                    .map(TraceSpan::from)
+                    .collect(),
+            ),
             Request::ClearCaches { .. } => {
                 self.clear_caches();
                 Response::cleared()
@@ -243,6 +286,9 @@ impl Service for LocalService {
 pub struct ShardedService {
     store: Arc<SummaryStore>,
     shards: Vec<Arc<Engine>>,
+    /// One tracer shared by every shard, so a dump interleaves spans from
+    /// all of them in one tick-ordered stream.
+    tracer: Arc<Tracer>,
 }
 
 impl ShardedService {
@@ -259,10 +305,24 @@ impl ShardedService {
         config: EngineConfig,
         store: Arc<SummaryStore>,
     ) -> ShardedService {
+        let tracer = Arc::new(Tracer::default());
         let shards = (0..shard_count.max(1))
-            .map(|_| Arc::new(Engine::with_store(config.clone(), store.clone())))
+            .map(|_| {
+                Arc::new(
+                    Engine::with_store(config.clone(), store.clone()).with_tracer(tracer.clone()),
+                )
+            })
             .collect();
-        ShardedService { store, shards }
+        ShardedService {
+            store,
+            shards,
+            tracer,
+        }
+    }
+
+    /// The tracer every shard records into.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The store every shard shares.
@@ -302,9 +362,12 @@ impl ShardedService {
         // Partition by routing rule, keeping each source's original index
         // so the merged results come back in input order.
         let mut partitions: Vec<Vec<(usize, String)>> = vec![Vec::new(); self.shards.len()];
-        for (index, source) in sources.into_iter().enumerate() {
-            let shard = self.shard_for_source(&source);
-            partitions[shard].push((index, source));
+        {
+            let _span = self.tracer.start("shard-dispatch");
+            for (index, source) in sources.into_iter().enumerate() {
+                let shard = self.shard_for_source(&source);
+                partitions[shard].push((index, source));
+            }
         }
         let mut merged: Vec<Option<Result<ProgramReport, ServiceError>>> = Vec::new();
         merged.resize_with(partitions.iter().map(Vec::len).sum(), || None);
@@ -344,6 +407,15 @@ impl Service for ShardedService {
         if request.version() != PROTOCOL_VERSION {
             return Response::error(ServiceError::version_mismatch(request.version()));
         }
+        match silobs::current_request() {
+            Some(_) => self.dispatch(request),
+            None => silobs::with_request(self.tracer.mint(), || self.dispatch(request)),
+        }
+    }
+}
+
+impl ShardedService {
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Analyze { ref source, .. } | Request::Process { ref source, .. } => {
                 // With one shard there is nothing to route; skip the
@@ -354,6 +426,7 @@ impl Service for ShardedService {
                 let shard = if self.shards.len() == 1 {
                     0
                 } else {
+                    let _span = self.tracer.start("shard-dispatch");
                     self.shard_for_source(source)
                 };
                 self.shards[shard].serve(request)
@@ -362,6 +435,20 @@ impl Service for ShardedService {
                 sources, options, ..
             } => self.batch(sources, &options),
             Request::Stats { .. } => Response::stats(self.shard_stats(), self.store.stats()),
+            // Shard registries merge at the raw (full-bucket) level, so the
+            // combined histograms are exact; the shared store's counters
+            // fold in exactly once, not once per shard.
+            Request::Metrics { .. } => {
+                let mut raw = silobs::RawMetrics::new();
+                for shard in &self.shards {
+                    raw.absorb(&shard.metrics_raw());
+                }
+                export_store_metrics(&self.store.stats(), &mut raw);
+                Response::metrics(raw.summarize())
+            }
+            Request::TraceDump { .. } => {
+                Response::trace(self.tracer.snapshot().iter().map(TraceSpan::from).collect())
+            }
             // One clear empties the store every shard shares.
             Request::ClearCaches { .. } => {
                 self.store.clear();

@@ -17,6 +17,7 @@ use super::json::{hex64, parse_hex64, Json};
 use crate::report::{field, string_list, ProcessOptions, ProgramReport};
 use crate::store::{EvictionPolicy, NamespaceStats, PolicyChoice, StoreStats};
 use crate::{CacheStats, EngineError, EngineStats};
+use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
 
 /// The one protocol version this build speaks.
 ///
@@ -32,6 +33,12 @@ use crate::{CacheStats, EngineError, EngineStats};
 /// when a daemon answers).  Optional additions are compatible in both
 /// directions (an older peer ignores the key, a newer peer tolerates its
 /// absence), so they do not bump the version.
+///
+/// Still v2 again: the additive `metrics` and `trace_dump` request kinds
+/// (answered with `metrics`/`trace` responses).  New *kinds* are optional
+/// both ways by construction — a client that never sends them never sees
+/// them, and a server that does not know them answers `malformed` like any
+/// unknown type — so observability rides along without a version bump.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A request to the analysis service.  Every variant carries the
@@ -56,6 +63,12 @@ pub enum Request {
     },
     /// Cache counters, per shard and aggregated.
     Stats { version: u32 },
+    /// The observability registry: counters, gauges, and latency-histogram
+    /// summaries from every layer (additive, still v2).
+    Metrics { version: u32 },
+    /// The retained trace spans from the service's ring buffer (additive,
+    /// still v2).
+    TraceDump { version: u32 },
     /// Drop every cached entry on every shard.
     ClearCaches { version: u32 },
     /// Ask a daemon to exit after responding.
@@ -92,6 +105,18 @@ impl Request {
         }
     }
 
+    pub fn metrics() -> Request {
+        Request::Metrics {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn trace_dump() -> Request {
+        Request::TraceDump {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
     pub fn clear_caches() -> Request {
         Request::ClearCaches {
             version: PROTOCOL_VERSION,
@@ -111,6 +136,8 @@ impl Request {
             | Request::Process { version, .. }
             | Request::Batch { version, .. }
             | Request::Stats { version }
+            | Request::Metrics { version }
+            | Request::TraceDump { version }
             | Request::ClearCaches { version }
             | Request::Shutdown { version } => *version,
         }
@@ -124,6 +151,8 @@ impl Request {
             | Request::Process { version, .. }
             | Request::Batch { version, .. }
             | Request::Stats { version }
+            | Request::Metrics { version }
+            | Request::TraceDump { version }
             | Request::ClearCaches { version }
             | Request::Shutdown { version } => *version = v,
         }
@@ -157,6 +186,8 @@ impl Request {
                 ],
             ),
             Request::Stats { .. } => ("stats", vec![]),
+            Request::Metrics { .. } => ("metrics", vec![]),
+            Request::TraceDump { .. } => ("trace_dump", vec![]),
             Request::ClearCaches { .. } => ("clear_caches", vec![]),
             Request::Shutdown { .. } => ("shutdown", vec![]),
         };
@@ -222,6 +253,8 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats { version }),
+            "metrics" => Ok(Request::Metrics { version }),
+            "trace_dump" => Ok(Request::TraceDump { version }),
             "clear_caches" => Ok(Request::ClearCaches { version }),
             "shutdown" => Ok(Request::Shutdown { version }),
             other => Err(ServiceError::malformed(format!(
@@ -337,6 +370,172 @@ impl ServerStats {
     }
 }
 
+/// One trace span on the wire: a named interval attributed to a request
+/// id, timestamped in process ticks (microseconds — see `silobs::ticks`).
+/// The in-memory `silobs::SpanRecord` keeps a `&'static str` name; the
+/// wire form owns its string so a remote client can decode spans whose
+/// names it has never seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    pub request: u64,
+    pub span: String,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl TraceSpan {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Render spans as ndjson (one object per line, byte-identical to
+    /// `silobs::Tracer::to_ndjson` for the same spans).
+    pub fn to_ndjson(spans: &[TraceSpan]) -> String {
+        let mut out = String::new();
+        for span in spans {
+            out.push_str(&span.to_json_value().encode());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("request", Json::Int(self.request as i64)),
+            ("span", Json::Str(self.span.clone())),
+            ("start_us", Json::Int(self.start_us as i64)),
+            ("end_us", Json::Int(self.end_us as i64)),
+            ("duration_us", Json::Int(self.duration_us() as i64)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<TraceSpan, String> {
+        let count = |key: &str| -> Result<u64, String> {
+            field(value, key)?
+                .as_u64()
+                .ok_or_else(|| format!("\"{key}\" must be a count"))
+        };
+        Ok(TraceSpan {
+            request: count("request")?,
+            span: field(value, "span")?
+                .as_str()
+                .ok_or("\"span\" must be a string")?
+                .to_string(),
+            start_us: count("start_us")?,
+            end_us: count("end_us")?,
+        })
+    }
+}
+
+impl From<&SpanRecord> for TraceSpan {
+    fn from(record: &SpanRecord) -> TraceSpan {
+        TraceSpan {
+            request: record.request,
+            span: record.name.to_string(),
+            start_us: record.start_us,
+            end_us: record.end_us,
+        }
+    }
+}
+
+/// Encode a [`MetricsSnapshot`] for the wire: three name→value maps, with
+/// histograms as quantile-summary objects.
+pub fn metrics_snapshot_to_json(snapshot: &MetricsSnapshot) -> Json {
+    let counters = Json::Obj(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Int(*value as i64)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Int(*value)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snapshot
+            .histograms
+            .iter()
+            .map(|(name, summary)| {
+                (
+                    name.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Int(summary.count as i64)),
+                        ("sum", Json::Int(summary.sum as i64)),
+                        ("min", Json::Int(summary.min as i64)),
+                        ("max", Json::Int(summary.max as i64)),
+                        ("p50", Json::Int(summary.p50 as i64)),
+                        ("p90", Json::Int(summary.p90 as i64)),
+                        ("p99", Json::Int(summary.p99 as i64)),
+                        ("p999", Json::Int(summary.p999 as i64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// Inverse of [`metrics_snapshot_to_json`].
+pub fn metrics_snapshot_from_json(value: &Json) -> Result<MetricsSnapshot, String> {
+    let map = |key: &str| -> Result<&[(String, Json)], String> {
+        field(value, key)?
+            .as_obj()
+            .ok_or_else(|| format!("\"{key}\" must be an object"))
+    };
+    let counters = map("counters")?
+        .iter()
+        .map(|(name, raw)| {
+            raw.as_u64()
+                .map(|v| (name.clone(), v))
+                .ok_or_else(|| format!("counter {name:?} must be a count"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let gauges = map("gauges")?
+        .iter()
+        .map(|(name, raw)| {
+            raw.as_i64()
+                .map(|v| (name.clone(), v))
+                .ok_or_else(|| format!("gauge {name:?} must be an integer"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let histograms = map("histograms")?
+        .iter()
+        .map(|(name, raw)| {
+            let count = |key: &str| -> Result<u64, String> {
+                field(raw, key)?
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram {name:?} field \"{key}\" must be a count"))
+            };
+            Ok((
+                name.clone(),
+                HistogramSummary {
+                    count: count("count")?,
+                    sum: count("sum")?,
+                    min: count("min")?,
+                    max: count("max")?,
+                    p50: count("p50")?,
+                    p90: count("p90")?,
+                    p99: count("p99")?,
+                    p999: count("p999")?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 /// A response from the analysis service.  Every variant carries the
 /// responder's protocol version — on a version mismatch the client reads
 /// the supported version out of the [`Response::Error`].
@@ -367,6 +566,17 @@ pub enum Response {
         store: StoreStats,
         server: Option<ServerStats>,
     },
+    /// Answer to [`Request::Metrics`]: the observability registry of the
+    /// answering service — engine/store instruments, plus the server
+    /// layer's own (`server.*`) when a daemon answers.
+    Metrics {
+        version: u32,
+        metrics: MetricsSnapshot,
+    },
+    /// Answer to [`Request::TraceDump`]: the retained trace spans, oldest
+    /// first, merged with the server layer's own spans when a daemon
+    /// answers.
+    Trace { version: u32, spans: Vec<TraceSpan> },
     /// Answer to [`Request::ClearCaches`].
     Cleared { version: u32 },
     /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
@@ -421,6 +631,41 @@ impl Response {
         self
     }
 
+    pub fn metrics(metrics: MetricsSnapshot) -> Response {
+        Response::Metrics {
+            version: PROTOCOL_VERSION,
+            metrics,
+        }
+    }
+
+    pub fn trace(spans: Vec<TraceSpan>) -> Response {
+        Response::Trace {
+            version: PROTOCOL_VERSION,
+            spans,
+        }
+    }
+
+    /// Splice the daemon's own `server.*` metrics into a
+    /// [`Response::Metrics`] on its way out (other responses pass through
+    /// unchanged) — the server-side sibling of [`Response::with_server_stats`].
+    pub fn with_server_metrics(mut self, server: MetricsSnapshot) -> Response {
+        if let Response::Metrics { metrics, .. } = &mut self {
+            metrics.extend_disjoint(server);
+        }
+        self
+    }
+
+    /// Merge the daemon's own spans into a [`Response::Trace`] on its way
+    /// out, keeping the combined dump ordered by start tick (other
+    /// responses pass through unchanged).
+    pub fn with_server_spans(mut self, server: Vec<TraceSpan>) -> Response {
+        if let Response::Trace { spans, .. } = &mut self {
+            spans.extend(server);
+            spans.sort_by_key(|span| (span.start_us, span.request));
+        }
+        self
+    }
+
     pub fn cleared() -> Response {
         Response::Cleared {
             version: PROTOCOL_VERSION,
@@ -447,6 +692,8 @@ impl Response {
             | Response::Report { version, .. }
             | Response::Batch { version, .. }
             | Response::Stats { version, .. }
+            | Response::Metrics { version, .. }
+            | Response::Trace { version, .. }
             | Response::Cleared { version }
             | Response::ShuttingDown { version }
             | Response::Error { version, .. } => *version,
@@ -494,6 +741,17 @@ impl Response {
                 }
                 ("stats", fields)
             }
+            Response::Metrics { metrics, .. } => (
+                "metrics",
+                vec![("metrics", metrics_snapshot_to_json(metrics))],
+            ),
+            Response::Trace { spans, .. } => (
+                "trace",
+                vec![(
+                    "spans",
+                    Json::Arr(spans.iter().map(TraceSpan::to_json_value).collect()),
+                )],
+            ),
             Response::Cleared { .. } => ("cleared", vec![]),
             Response::ShuttingDown { .. } => ("shutting_down", vec![]),
             Response::Error { error, .. } => ("error", vec![("error", error.to_json_value())]),
@@ -587,6 +845,25 @@ impl Response {
                     store,
                     server,
                 })
+            }
+            "metrics" => {
+                let raw = value
+                    .get("metrics")
+                    .ok_or_else(|| ServiceError::malformed("missing \"metrics\""))?;
+                Ok(Response::Metrics {
+                    version,
+                    metrics: metrics_snapshot_from_json(raw).map_err(ServiceError::malformed)?,
+                })
+            }
+            "trace" => {
+                let spans = value
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServiceError::malformed("missing \"spans\""))?
+                    .iter()
+                    .map(|s| TraceSpan::from_json_value(s).map_err(ServiceError::malformed))
+                    .collect::<Result<Vec<_>, ServiceError>>()?;
+                Ok(Response::Trace { version, spans })
             }
             "cleared" => Ok(Response::Cleared { version }),
             "shutting_down" => Ok(Response::ShuttingDown { version }),
@@ -920,8 +1197,127 @@ mod tests {
             ProcessOptions::default(),
         ));
         round_trip_request(Request::stats());
+        round_trip_request(Request::metrics());
+        round_trip_request(Request::trace_dump());
         round_trip_request(Request::clear_caches());
         round_trip_request(Request::shutdown());
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("engine.programs.hits".to_string(), 12),
+                ("engine.programs.misses".to_string(), 3),
+            ],
+            gauges: vec![("server.queue_depth".to_string(), -1)],
+            histograms: vec![(
+                "server.serve_us".to_string(),
+                HistogramSummary {
+                    count: 100,
+                    sum: 54_321,
+                    min: 80,
+                    max: 9_001,
+                    p50: 420,
+                    p90: 1_500,
+                    p99: 7_777,
+                    p999: 9_001,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn metrics_and_trace_responses_round_trip() {
+        round_trip_response(Response::metrics(sample_metrics()));
+        round_trip_response(Response::metrics(MetricsSnapshot::default()));
+        round_trip_response(Response::trace(vec![
+            TraceSpan {
+                request: 1,
+                span: "parse".into(),
+                start_us: 10,
+                end_us: 25,
+            },
+            TraceSpan {
+                request: 1,
+                span: "fixpoint".into(),
+                start_us: 26,
+                end_us: 900,
+            },
+        ]));
+        round_trip_response(Response::trace(Vec::new()));
+    }
+
+    #[test]
+    fn server_metrics_decoration_splices_disjoint_namespaces() {
+        let server = MetricsSnapshot {
+            counters: vec![("server.accepted".to_string(), 4)],
+            gauges: vec![("server.active".to_string(), 2)],
+            histograms: Vec::new(),
+        };
+        match Response::metrics(sample_metrics()).with_server_metrics(server) {
+            Response::Metrics { metrics, .. } => {
+                assert_eq!(metrics.counter("engine.programs.hits"), Some(12));
+                assert_eq!(metrics.counter("server.accepted"), Some(4));
+                assert_eq!(metrics.gauge("server.active"), Some(2));
+                let names: Vec<&str> = metrics.counters.iter().map(|(n, _)| n.as_str()).collect();
+                let mut sorted = names.clone();
+                sorted.sort();
+                assert_eq!(names, sorted, "decorated counters stay sorted");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Decoration leaves non-metrics responses untouched.
+        assert_eq!(
+            Response::cleared().with_server_metrics(MetricsSnapshot::default()),
+            Response::cleared()
+        );
+    }
+
+    #[test]
+    fn server_span_decoration_merges_in_tick_order() {
+        let engine_spans = vec![TraceSpan {
+            request: 2,
+            span: "fixpoint".into(),
+            start_us: 50,
+            end_us: 90,
+        }];
+        let server_spans = vec![
+            TraceSpan {
+                request: 2,
+                span: "parse".into(),
+                start_us: 40,
+                end_us: 45,
+            },
+            TraceSpan {
+                request: 2,
+                span: "encode".into(),
+                start_us: 95,
+                end_us: 99,
+            },
+        ];
+        match Response::trace(engine_spans).with_server_spans(server_spans) {
+            Response::Trace { spans, .. } => {
+                let names: Vec<&str> = spans.iter().map(|s| s.span.as_str()).collect();
+                assert_eq!(names, vec!["parse", "fixpoint", "encode"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_ndjson_matches_the_tracer_renderer() {
+        let record = SpanRecord {
+            request: 3,
+            name: "queue-wait",
+            start_us: 7,
+            end_us: 19,
+        };
+        let wire = TraceSpan::from(&record);
+        assert_eq!(
+            TraceSpan::to_ndjson(std::slice::from_ref(&wire)),
+            silobs::Tracer::to_ndjson(&[record]),
+            "wire renderer and in-process renderer must agree byte-for-byte"
+        );
     }
 
     #[test]

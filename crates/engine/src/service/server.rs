@@ -30,13 +30,14 @@
 
 #[cfg(target_os = "linux")]
 use super::aserver;
-use super::proto::{Request, Response, ServerStats, ServiceError, PROTOCOL_VERSION};
+use super::proto::{Request, Response, ServerStats, ServiceError, TraceSpan, PROTOCOL_VERSION};
 use super::{threaded, Addr, Service};
+use silobs::{Counter, Gauge, MetricsSnapshot, Registry, ShardedHistogram, Tracer};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -72,46 +73,100 @@ pub struct ServerOptions {
     pub workers: usize,
 }
 
-/// Live daemon-side counters, shared between the serving loop (which
-/// updates them) and the per-line dispatch (which snapshots them into
-/// `Stats` responses).
+/// Live daemon-side instrumentation, shared between the serving loop
+/// (which updates it) and the per-line dispatch (which snapshots it into
+/// `Stats`/`Metrics` responses).
+///
+/// The counters live on a [`Registry`] under the `server.*` namespace, so
+/// a `Metrics` response can splice them next to the engine's `engine.*` /
+/// `store.*` entries; the legacy [`ServerStats`] wire shape is a view over
+/// the same atomics, byte-identical to what it reported before.
 #[derive(Debug)]
 pub(crate) struct ServerCounters {
     kind: ServerKind,
-    accepted: AtomicU64,
-    active: AtomicU64,
+    registry: Registry,
+    accepted: Counter,
+    active: Gauge,
+    requests: Counter,
+    serve_us: Arc<ShardedHistogram>,
+    queue_depth: Gauge,
+    pending_lines: Gauge,
+    tracer: Arc<Tracer>,
     started: Instant,
 }
 
 impl ServerCounters {
     fn new(kind: ServerKind) -> ServerCounters {
+        ServerCounters::with_started(kind, Instant::now())
+    }
+
+    /// [`ServerCounters::new`] with an explicit start instant (tests back-
+    /// date it to pin the uptime the snapshot must report).
+    fn with_started(kind: ServerKind, started: Instant) -> ServerCounters {
+        let registry = Registry::new();
         ServerCounters {
             kind,
-            accepted: AtomicU64::new(0),
-            active: AtomicU64::new(0),
-            started: Instant::now(),
+            accepted: registry.counter("server.accepted"),
+            active: registry.gauge("server.active"),
+            requests: registry.counter("server.requests"),
+            serve_us: registry.histogram("server.serve_us"),
+            queue_depth: registry.gauge("server.queue_depth"),
+            pending_lines: registry.gauge("server.pending_lines"),
+            tracer: Arc::new(Tracer::default()),
+            registry,
+            started,
         }
     }
 
     /// Record one accepted connection (now active).
     pub(crate) fn connection_opened(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-        self.active.fetch_add(1, Ordering::Relaxed);
+        self.accepted.incr();
+        self.active.add(1);
     }
 
     /// Record one connection closing.
     pub(crate) fn connection_closed(&self) {
-        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.active.sub(1);
     }
 
-    /// The wire-facing snapshot attached to `Stats` responses.
-    pub(crate) fn snapshot(&self) -> ServerStats {
+    /// The tracer request ids are minted from and server-side spans are
+    /// recorded into.
+    pub(crate) fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Depth of the async server's ready-job queue (stays 0 under the
+    /// threaded server, which has no queue).
+    pub(crate) fn queue_depth(&self) -> Gauge {
+        self.queue_depth.clone()
+    }
+
+    /// Lines read off sockets but not yet dispatched, across connections.
+    pub(crate) fn pending_lines(&self) -> Gauge {
+        self.pending_lines.clone()
+    }
+
+    /// Whole seconds since the server started serving.
+    fn uptime_ticks(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The wire-facing snapshot attached to `Stats` responses, reporting
+    /// the uptime the caller sampled (see [`handle_line`]: sampling it in
+    /// one place is what keeps the two serving strategies byte-identical).
+    fn snapshot_at(&self, uptime_ticks: u64) -> ServerStats {
         ServerStats {
             kind: self.kind.name().to_string(),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            uptime_ticks: self.started.elapsed().as_secs(),
+            accepted: self.accepted.get(),
+            active: self.active.get().max(0) as u64,
+            uptime_ticks,
         }
+    }
+
+    /// The `server.*` metrics namespace, as spliced into `Metrics`
+    /// responses.
+    fn metrics(&self) -> MetricsSnapshot {
+        self.registry.collect().summarize()
     }
 }
 
@@ -280,50 +335,158 @@ pub(crate) fn wake(addr: &Addr) {
     }
 }
 
-/// What the per-line dispatch decided.
+/// What the per-line dispatch decided.  The response is already encoded —
+/// `handle_line` times the encode under its span, so both serving
+/// strategies ship the bytes it produced.
 pub(crate) enum LineOutcome {
-    /// Send this response and keep serving the connection.
-    Respond(Response),
-    /// Send this response, then stop the whole daemon (a well-versioned
-    /// [`Request::Shutdown`] arrived).
-    ShutdownAfter(Response),
+    /// Send this response line and keep serving the connection.
+    Respond(String),
+    /// Send this response line, then stop the whole daemon (a
+    /// well-versioned [`Request::Shutdown`] arrived).
+    ShutdownAfter(String),
 }
 
 /// The per-line protocol dispatch both serving strategies share: decode,
 /// negotiate the version, intercept shutdown, execute against the service,
-/// and decorate `Stats` responses with the daemon's own counters.  Keeping
-/// this in one place is what makes the two servers byte-identical.
+/// and decorate `Stats`/`Metrics`/`Trace` responses with the daemon's own
+/// counters, `server.*` metrics, and spans.  Keeping this in one place is
+/// what makes the two servers byte-identical.
+///
+/// `id` is the request id the serving strategy minted when it framed the
+/// line (from [`ServerCounters::tracer`]); every span recorded while the
+/// request executes — here and down in the engine — attributes to it.
 pub(crate) fn handle_line(
     service: &(dyn Service + Send + Sync),
     counters: &ServerCounters,
+    id: u64,
     line: &str,
 ) -> LineOutcome {
-    let response = match Request::decode(line) {
-        Err(error) => Response::error(error),
-        Ok(request) if request.version() != PROTOCOL_VERSION => {
-            Response::error(ServiceError::version_mismatch(request.version()))
-        }
-        Ok(Request::Shutdown { .. }) => {
-            return LineOutcome::ShutdownAfter(Response::shutting_down());
-        }
-        Ok(request) => {
-            let mut response = service.call(request);
-            // Snapshot the counters only when a Stats response will carry
-            // them — not on the Analyze/Process hot path.
-            if let Response::Stats { server, .. } = &mut response {
-                *server = Some(counters.snapshot());
+    // Sample the uptime exactly once, before any work: the threaded and
+    // async strategies used to sample it at different points in the line's
+    // lifetime, so a slow request could round to a different whole second
+    // depending on which server answered it.
+    let uptime_ticks = counters.uptime_ticks();
+    counters.requests.incr();
+    silobs::with_request(id, || {
+        let decoded = {
+            let _span = counters.tracer.start("parse");
+            Request::decode(line)
+        };
+        let (response, shutdown) = match decoded {
+            Err(error) => (Response::error(error), false),
+            Ok(request) if request.version() != PROTOCOL_VERSION => (
+                Response::error(ServiceError::version_mismatch(request.version())),
+                false,
+            ),
+            Ok(Request::Shutdown { .. }) => (Response::shutting_down(), true),
+            Ok(request) => {
+                let start = silobs::ticks();
+                let mut response = service.call(request);
+                counters
+                    .serve_us
+                    .record(silobs::ticks().saturating_sub(start));
+                // Decorate only the response kinds that carry daemon-side
+                // state — never the Analyze/Process hot path.
+                if let Response::Stats { server, .. } = &mut response {
+                    *server = Some(counters.snapshot_at(uptime_ticks));
+                }
+                let response = match response {
+                    Response::Metrics { .. } => response.with_server_metrics(counters.metrics()),
+                    Response::Trace { .. } => response.with_server_spans(
+                        counters
+                            .tracer
+                            .snapshot()
+                            .iter()
+                            .map(TraceSpan::from)
+                            .collect(),
+                    ),
+                    other => other,
+                };
+                (response, false)
             }
-            response
+        };
+        let encoded = {
+            let _span = counters.tracer.start("encode");
+            response.encode()
+        };
+        if shutdown {
+            LineOutcome::ShutdownAfter(encoded)
+        } else {
+            LineOutcome::Respond(encoded)
         }
-    };
-    LineOutcome::Respond(response)
+    })
 }
 
-/// Encode and write one response line (the threaded server's writer; the
-/// async server queues through its connection state machine instead).
-pub(crate) fn write_response(writer: &mut dyn Write, response: &Response) -> std::io::Result<()> {
-    let mut line = response.encode();
-    line.push('\n');
+/// Write one already-encoded response line (the threaded server's writer;
+/// the async server queues through its connection state machine instead).
+pub(crate) fn write_response(writer: &mut dyn Write, line: &str) -> std::io::Result<()> {
     writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
     writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::LocalService;
+    use crate::EngineConfig;
+    use std::time::Duration;
+
+    /// A service that takes over a second to answer, exposing where the
+    /// uptime sample happens relative to the call.
+    struct Slow(LocalService);
+
+    impl Service for Slow {
+        fn call(&self, request: Request) -> Response {
+            std::thread::sleep(Duration::from_millis(1200));
+            self.0.call(request)
+        }
+    }
+
+    /// Regression: uptime must be sampled once, at line entry.  With the
+    /// server 10s old and a service that takes 1.2s, sampling after the
+    /// call (as the serving strategies once did, each at its own point)
+    /// would report 11.
+    #[test]
+    fn uptime_is_sampled_before_the_service_runs() {
+        let started = Instant::now()
+            .checked_sub(Duration::from_secs(10))
+            .expect("clock predates process start");
+        let counters = ServerCounters::with_started(ServerKind::Threaded, started);
+        let service = Slow(LocalService::new(EngineConfig::default()));
+        let id = counters.tracer().mint();
+        let line = match handle_line(&service, &counters, id, &Request::stats().encode()) {
+            LineOutcome::Respond(line) => line,
+            LineOutcome::ShutdownAfter(_) => panic!("stats must not shut the daemon down"),
+        };
+        match Response::decode(&line).expect("stats response decodes") {
+            Response::Stats { server, .. } => {
+                let server = server.expect("daemon path attaches server stats");
+                assert_eq!(
+                    server.uptime_ticks, 10,
+                    "sampled at entry, not after the call"
+                );
+                assert_eq!(server.kind, "threaded");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_line_attributes_spans_to_the_minted_id() {
+        let counters = ServerCounters::new(ServerKind::Threaded);
+        let service = LocalService::new(EngineConfig::default());
+        let id = counters.tracer().mint();
+        match handle_line(&service, &counters, id, &Request::clear_caches().encode()) {
+            LineOutcome::Respond(_) => {}
+            LineOutcome::ShutdownAfter(_) => panic!("clear_caches must keep serving"),
+        }
+        let spans = counters.tracer().snapshot();
+        let names: Vec<&str> = spans
+            .iter()
+            .filter(|span| span.request == id)
+            .map(|span| span.name)
+            .collect();
+        assert_eq!(names, vec!["parse", "encode"]);
+    }
 }

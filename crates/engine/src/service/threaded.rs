@@ -82,7 +82,10 @@ fn serve_connection(
         if trimmed.is_empty() {
             continue;
         }
-        match handle_line(service.as_ref(), counters, trimmed) {
+        // The request id is minted the moment the line is framed, so its
+        // spans cover everything that happens to it from here on.
+        let id = counters.tracer().mint();
+        match handle_line(service.as_ref(), counters, id, trimmed) {
             LineOutcome::Respond(response) => {
                 if write_response(&mut writer, &response).is_err() {
                     return;

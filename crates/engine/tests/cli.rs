@@ -388,3 +388,128 @@ fn remote_errors_render_like_local_errors() {
     let _ = std::fs::remove_file(&bad);
     daemon.stop();
 }
+
+/// A namespace nobody has looked up yet renders a real `0.0%` hit rate,
+/// not the old `-` placeholder (a single non-incremental run never
+/// consults the walks cache, so its row is guaranteed cold).
+#[test]
+fn cold_namespaces_report_a_zero_hit_rate() {
+    let output = silp()
+        .args(["--workload", "tree_sum", "--stats"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    let walks_row = stderr
+        .lines()
+        .find(|line| line.trim_start().starts_with("walks"))
+        .unwrap_or_else(|| panic!("no walks namespace row in:\n{stderr}"));
+    assert!(walks_row.contains("0.0%"), "{walks_row}");
+    assert!(
+        !stderr.contains("    -"),
+        "placeholder hit rates must be gone:\n{stderr}"
+    );
+}
+
+/// The deterministic rows of a `--metrics` table (engine/store counters
+/// and gauges) survive the wire round-trip byte-identically: the same
+/// workload against a daemon renders the same lines as in process, and the
+/// daemon additionally splices in its own `server.*` namespace.
+#[test]
+fn metrics_round_trip_matches_in_process() {
+    let daemon = Daemon::launch("metrics", "1");
+    let remote = silp()
+        .args([
+            "--connect",
+            daemon.addr.as_str(),
+            "--workload",
+            "tree_sum",
+            "--metrics",
+        ])
+        .output()
+        .unwrap();
+    // sild shards run incremental engines by default; mirror that in
+    // process so the walk-cache counters are comparable.
+    let local = silp()
+        .args([
+            "--in-process",
+            "--incremental",
+            "--workload",
+            "tree_sum",
+            "--metrics",
+        ])
+        .output()
+        .unwrap();
+    assert!(remote.status.success(), "{}", stderr_of(&remote));
+    assert!(local.status.success(), "{}", stderr_of(&local));
+
+    // Timing histograms are nondeterministic; every counter and gauge row
+    // in the engine/store namespaces is not, and must cross the wire
+    // byte-for-byte.
+    let deterministic = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|line| {
+                let name = line.trim_start();
+                (name.starts_with("engine.") || name.starts_with("store.")) && !name.contains("_us")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    let remote_rows = deterministic(&stderr_of(&remote));
+    let local_rows = deterministic(&stderr_of(&local));
+    assert!(!remote_rows.is_empty());
+    assert_eq!(remote_rows, local_rows, "wire round-trip must be lossless");
+
+    // Only the daemon has a server layer to report.
+    let remote_err = stderr_of(&remote);
+    assert!(remote_err.contains("server.accepted"), "{remote_err}");
+    assert!(remote_err.contains("server.serve_us"), "{remote_err}");
+    assert!(remote_err.contains("server.queue_depth"), "{remote_err}");
+    assert!(!stderr_of(&local).contains("server."));
+
+    // --json emits the raw wire form of the same response.
+    let json = silp()
+        .args(["--connect", daemon.addr.as_str(), "--metrics", "--json"])
+        .output()
+        .unwrap();
+    assert!(json.status.success(), "{}", stderr_of(&json));
+    let line = stderr_of(&json);
+    assert!(line.contains("\"type\":\"metrics\""), "{line}");
+    assert!(line.contains("\"server.accepted\""), "{line}");
+    daemon.stop();
+}
+
+/// `--trace-dump` prints the daemon's retained spans as ndjson: the
+/// server's own parse/encode spans interleaved with the engine's, all
+/// attributed to minted request ids.
+#[test]
+fn trace_dump_emits_ndjson_spans() {
+    let daemon = Daemon::launch("trace", "2");
+    let warmup = silp()
+        .args(["--connect", daemon.addr.as_str(), "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(warmup.status.success(), "{}", stderr_of(&warmup));
+
+    let output = silp()
+        .args(["--connect", daemon.addr.as_str(), "--trace-dump"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(!stdout.is_empty(), "a served request must leave spans");
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with("{\"request\":") && line.contains("\"duration_us\":"),
+            "not an ndjson span: {line}"
+        );
+    }
+    for span in [
+        "\"span\":\"parse\"",
+        "\"span\":\"fixpoint\"",
+        "\"span\":\"encode\"",
+    ] {
+        assert!(stdout.contains(span), "missing {span} in:\n{stdout}");
+    }
+    daemon.stop();
+}

@@ -550,3 +550,41 @@ fn clear_caches_over_the_wire() {
     assert_eq!(service.store().stats().programs.entries, 0);
     handle.shutdown();
 }
+
+/// Routing to a shard — single requests and batch partitioning alike —
+/// shows up as `shard-dispatch` spans in the trace dump, attributed to
+/// the requests that were routed.
+#[test]
+fn shard_routing_is_traced() {
+    let service = ShardedService::new(2, EngineConfig::default());
+    match service.call(Request::analyze(Workload::TreeSum.source(3))) {
+        Response::Analyzed { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    let sources = vec![Workload::Bisort.source(3), Workload::ListSum.source(3)];
+    match service.call(Request::batch(sources, ProcessOptions::default())) {
+        Response::Batch { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    let spans = service.service_trace().unwrap();
+    let dispatches: Vec<_> = spans
+        .iter()
+        .filter(|s| s.span == "shard-dispatch")
+        .collect();
+    assert_eq!(dispatches.len(), 2, "one per routed request: {spans:?}");
+    assert!(
+        dispatches.iter().all(|s| s.request != 0),
+        "spans must carry the minted request id: {dispatches:?}"
+    );
+    // A single shard routes trivially and records no dispatch span.
+    let single = ShardedService::new(1, EngineConfig::default());
+    match single.call(Request::analyze(Workload::TreeSum.source(3))) {
+        Response::Analyzed { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(single
+        .service_trace()
+        .unwrap()
+        .iter()
+        .all(|s| s.span != "shard-dispatch"));
+}

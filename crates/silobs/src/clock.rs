@@ -1,0 +1,36 @@
+//! The process tick clock: a monotonic microsecond counter shared by every
+//! tracer and histogram in the process.
+//!
+//! Spans recorded by independent [`crate::Tracer`]s (the server's, each
+//! engine shard's) must be comparable on one timeline; anchoring them all
+//! to the first call's `Instant` gives that without threading a clock
+//! handle through every layer.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the first call to `ticks()` in this process.
+///
+/// The first call returns 0 and pins the epoch; all later calls measure
+/// from it.  Monotonic, never wraps in practice (2^64 µs ≈ 585k years).
+pub fn ticks() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ticks;
+
+    #[test]
+    fn ticks_are_monotonic() {
+        let a = ticks();
+        let b = ticks();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let c = ticks();
+        assert!(a <= b && b <= c);
+        assert!(c >= a + 1_000, "2ms sleep advances at least 1000 ticks");
+    }
+}

@@ -1,0 +1,34 @@
+//! Dependency-free observability for the SIL analysis service.
+//!
+//! Three pieces, all safe to call from hot paths:
+//!
+//! - **Metrics** ([`Registry`], [`Counter`], [`Gauge`],
+//!   [`ShardedHistogram`]): named atomic instruments.  Histograms are
+//!   log-bucketed (HDR-style: power-of-two major buckets subdivided into
+//!   [`hist::SUB_BUCKETS`] linear sub-buckets) so any `u64` value is
+//!   recorded lock-free with bounded relative error, and per-thread shards
+//!   merge into one distribution for quantile extraction
+//!   (p50/p90/p99/p999).
+//! - **Tracing** ([`Tracer`], [`SpanRecord`]): per-request ids minted at
+//!   accept, span records captured into a bounded ring buffer with
+//!   tick-based timestamps (microseconds since process start, see
+//!   [`ticks`]), dumpable as ndjson.  The current request id propagates
+//!   through a thread-local ([`with_request`] / [`current_request`]) so
+//!   layers that never see the wire can still stamp their spans.
+//! - **Snapshots** ([`RawMetrics`], [`MetricsSnapshot`]): a registry
+//!   collects into raw (mergeable) form; summarizing produces the compact
+//!   name→value / name→quantile shape that crosses the wire.
+//!
+//! The crate deliberately has no dependencies — it is linked into every
+//! layer from the fixpoint engine to the event loop, and must never drag
+//! I/O or allocation policy into either.
+
+mod clock;
+pub mod hist;
+mod metrics;
+mod trace;
+
+pub use clock::ticks;
+pub use hist::{Histogram, HistogramSnapshot, ShardedHistogram};
+pub use metrics::{Counter, Gauge, HistogramSummary, MetricsSnapshot, RawMetrics, Registry};
+pub use trace::{current_request, with_request, SpanRecord, Tracer};

@@ -1,0 +1,224 @@
+//! Lightweight structured tracing: per-request span records in a bounded
+//! ring buffer.
+//!
+//! A request id is minted once where the request enters the process (the
+//! server's line framing, or the engine itself for in-process use) and
+//! propagated through a thread-local ([`with_request`]) — both serving
+//! strategies dispatch to the engine synchronously on the handling
+//! thread, so the thread-local is exactly as wide as the request.  Layers
+//! record named spans against [`current_request`]; the ring keeps the most
+//! recent spans and drops the oldest, so tracing is always on and never
+//! grows without bound.
+
+use crate::clock::ticks;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed span: a named interval attributed to a request.
+/// Timestamps are process ticks (microseconds, see [`crate::ticks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request this span belongs to; 0 means "no request context".
+    pub request: u64,
+    /// Static span name (`parse`, `fixpoint`, `queue-wait`, ...).
+    pub name: &'static str,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl SpanRecord {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+thread_local! {
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Run `f` with `id` as the current request id on this thread, restoring
+/// the previous id (supporting nesting) on exit.
+pub fn with_request<R>(id: u64, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT_REQUEST.with(|current| current.replace(id));
+    let result = f();
+    CURRENT_REQUEST.with(|current| current.set(previous));
+    result
+}
+
+/// The request id set by the innermost [`with_request`] on this thread.
+pub fn current_request() -> Option<u64> {
+    let id = CURRENT_REQUEST.with(Cell::get);
+    if id == 0 {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// A bounded ring of [`SpanRecord`]s plus the request-id mint.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    next_id: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(4096)
+    }
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` (at least 1) recent spans.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mint a fresh request id (1, 2, 3, ... — never 0).
+    pub fn mint(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a completed span, evicting the oldest record when full.
+    pub fn record(&self, request: u64, name: &'static str, start_us: u64, end_us: u64) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(SpanRecord {
+            request,
+            name,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// Start a span attributed to [`current_request`] (or request 0);
+    /// it records itself when the returned guard drops.
+    pub fn start(&self, name: &'static str) -> SpanTimer<'_> {
+        SpanTimer {
+            tracer: self,
+            name,
+            request: current_request().unwrap_or(0),
+            start_us: ticks(),
+        }
+    }
+
+    /// The retained spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Render spans as ndjson, one object per line (trailing newline
+    /// included when nonempty).  Span names are static identifiers, so no
+    /// JSON escaping is required.
+    pub fn to_ndjson(spans: &[SpanRecord]) -> String {
+        let mut out = String::new();
+        for span in spans {
+            out.push_str(&format!(
+                "{{\"request\":{},\"span\":\"{}\",\"start_us\":{},\"end_us\":{},\"duration_us\":{}}}\n",
+                span.request,
+                span.name,
+                span.start_us,
+                span.end_us,
+                span.duration_us()
+            ));
+        }
+        out
+    }
+}
+
+/// Drop guard returned by [`Tracer::start`]; records the span on drop.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    request: u64,
+    start_us: u64,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.tracer
+            .record(self.request, self.name, self.start_us, ticks());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_never_returns_zero_and_increments() {
+        let tracer = Tracer::new(8);
+        assert_eq!(tracer.mint(), 1);
+        assert_eq!(tracer.mint(), 2);
+        assert_eq!(tracer.mint(), 3);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let tracer = Tracer::new(3);
+        for i in 0..5u64 {
+            tracer.record(i, "parse", i * 10, i * 10 + 1);
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans.iter().map(|s| s.request).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn request_context_nests_and_restores() {
+        assert_eq!(current_request(), None);
+        let inner = with_request(7, || {
+            let outer = current_request();
+            let nested = with_request(9, current_request);
+            (outer, nested, current_request())
+        });
+        assert_eq!(inner, (Some(7), Some(9), Some(7)));
+        assert_eq!(current_request(), None);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_with_context() {
+        let tracer = Tracer::new(8);
+        with_request(42, || {
+            let _span = tracer.start("fixpoint");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].request, 42);
+        assert_eq!(spans[0].name, "fixpoint");
+        assert!(spans[0].end_us >= spans[0].start_us);
+    }
+
+    #[test]
+    fn ndjson_is_one_object_per_line() {
+        let tracer = Tracer::new(8);
+        tracer.record(1, "parse", 10, 25);
+        tracer.record(1, "fixpoint", 26, 100);
+        let dump = Tracer::to_ndjson(&tracer.snapshot());
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"request\":1,\"span\":\"parse\",\"start_us\":10,\"end_us\":25,\"duration_us\":15}"
+        );
+        assert!(lines[1].contains("\"span\":\"fixpoint\""));
+    }
+}

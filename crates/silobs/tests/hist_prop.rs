@@ -1,0 +1,145 @@
+//! Property tests for the log-bucketed histogram (ISSUE 6 satellite):
+//! merged per-thread shards must report the same quantiles as a
+//! single-threaded oracle over 10k deterministic samples, and bucket
+//! boundaries must be monotone with bounded relative error (≤2× per log
+//! bucket; the sub-bucketed layout is far tighter).
+
+use rand::distributions::{Distribution, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silobs::hist::{bucket_bounds, bucket_index, BUCKET_COUNT, SUB_BUCKETS};
+use silobs::{Histogram, ShardedHistogram};
+use std::sync::Arc;
+
+const SAMPLES: usize = 10_000;
+const QUANTILES: [f64; 6] = [0.10, 0.50, 0.90, 0.99, 0.999, 1.0];
+
+/// 10k deterministic samples spanning several orders of magnitude: a mix
+/// of uniform draws over exponentially sized ranges plus a Zipf-ranked
+/// component, echoing the latency shapes the service records.
+fn deterministic_samples(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(1000, 1.2).unwrap();
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let value = match i % 4 {
+            0 => rng.gen_range(0u64..100),
+            1 => rng.gen_range(100u64..10_000),
+            2 => rng.gen_range(10_000u64..10_000_000),
+            _ => zipf.sample(&mut rng) * 1_000,
+        };
+        samples.push(value);
+    }
+    samples
+}
+
+/// The exact quantile of a sorted sample set: the `ceil(q·n)`-th smallest.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn merged_shards_match_single_threaded_oracle() {
+    for seed in [7u64, 42, 1989] {
+        let samples = deterministic_samples(seed);
+
+        // Single-threaded recording into one histogram.
+        let single = Histogram::new();
+        for &v in &samples {
+            single.record(v);
+        }
+
+        // The same samples striped over 8 threads into per-thread shards.
+        let sharded = Arc::new(ShardedHistogram::new(8));
+        let chunk = samples.len() / 8;
+        std::thread::scope(|scope| {
+            for part in samples.chunks(chunk) {
+                let sharded = sharded.clone();
+                scope.spawn(move || {
+                    for &v in part {
+                        sharded.record(v);
+                    }
+                });
+            }
+        });
+
+        // Merging shards is exact: the combined snapshot is identical to
+        // the single-threaded one, so every quantile agrees bit-for-bit.
+        let merged = sharded.snapshot();
+        let reference = single.snapshot();
+        assert_eq!(merged, reference, "seed {seed}: shard merge must be exact");
+        for q in QUANTILES {
+            assert_eq!(
+                merged.quantile(q),
+                reference.quantile(q),
+                "seed {seed} q={q}"
+            );
+        }
+
+        // And the histogram readback tracks the exact oracle within one
+        // sub-bucket of relative error.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let tolerance = 1.0 / SUB_BUCKETS as f64;
+        for q in QUANTILES {
+            let truth = oracle_quantile(&sorted, q);
+            let got = merged.quantile(q);
+            if truth < SUB_BUCKETS as u64 {
+                assert_eq!(got, truth, "seed {seed} q={q}: exact region");
+            } else {
+                let err = got.abs_diff(truth) as f64 / truth as f64;
+                assert!(
+                    err <= tolerance,
+                    "seed {seed} q={q}: histogram {got} vs oracle {truth} (err {err:.4})"
+                );
+            }
+        }
+        assert_eq!(merged.min(), sorted[0]);
+        assert_eq!(merged.max(), *sorted.last().unwrap());
+        assert_eq!(merged.count(), SAMPLES as u64);
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_monotone_with_bounded_relative_error() {
+    let mut previous_high = None;
+    for index in 0..BUCKET_COUNT {
+        let (low, high) = bucket_bounds(index);
+        assert!(low <= high, "bucket {index} inverted");
+        if let Some(prev) = previous_high {
+            assert_eq!(low, prev + 1, "bucket {index} not contiguous");
+            assert!(low > prev, "bucket {index} not monotone");
+        } else {
+            assert_eq!(low, 0);
+        }
+        // Relative width: a value reported from this bucket is off by at
+        // most (high - low) / low < 2× — the issue's bound; the layout
+        // actually guarantees ≤ 1/SUB_BUCKETS.
+        if low > 0 {
+            let rel = (high - low) as f64 / low as f64;
+            assert!(rel < 2.0, "bucket {index} wider than 2× ({rel:.3})");
+            if low >= SUB_BUCKETS as u64 {
+                assert!(
+                    rel <= 1.0 / SUB_BUCKETS as f64,
+                    "bucket {index} wider than one sub-bucket ({rel:.4})"
+                );
+            }
+        }
+        if index + 1 == BUCKET_COUNT {
+            assert_eq!(high, u64::MAX, "last bucket must reach u64::MAX");
+        }
+        previous_high = Some(high);
+    }
+}
+
+#[test]
+fn every_sample_is_covered_by_its_bucket() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..SAMPLES {
+        let v = rng.gen_u64();
+        let (low, high) = bucket_bounds(bucket_index(v));
+        assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
+    }
+}
