@@ -24,6 +24,11 @@
 //! if the quantiles are missing or zero, so a green run certifies the
 //! artifact.
 //!
+//! Each point also measures *schedule slip* — how late every request left
+//! relative to its Poisson-scheduled arrival.  Validation fails when the
+//! p99 slip exceeds one mean inter-arrival gap: past that point the
+//! writers are effectively closed-loop and the offered load is a fiction.
+//!
 //! The corpus is primed before measuring (warm-cache regime: the server,
 //! not the analysis, is under test), matching the closed-loop bench.
 
@@ -120,6 +125,14 @@ struct Point {
     completed: u64,
     wall_secs: f64,
     latency_us: HistogramSummary,
+    /// Per-request schedule slip: how late each write left relative to
+    /// its Poisson-scheduled arrival time.  When slip approaches the mean
+    /// inter-arrival gap the writers have silently degraded to
+    /// closed-loop and "achieved" throughput stops meaning offered load.
+    slip_us: HistogramSummary,
+    /// One mean inter-arrival gap per connection, in µs — the budget the
+    /// slip is judged against.
+    mean_gap_us: f64,
 }
 
 impl Point {
@@ -137,6 +150,7 @@ impl Point {
 /// Zipf program selection, latencies into one shared histogram.
 fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps: f64) -> Point {
     let hist = Histogram::new();
+    let slip_hist = Histogram::new();
     let per_conn_mean_gap = sweep.connections as f64 / offered_rps;
     let started = Instant::now();
     let deadline = started + sweep.point_duration;
@@ -150,6 +164,7 @@ fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps
             let (tx, rx) = mpsc::channel::<u64>();
             let lines = lines.clone();
             let hist = &hist;
+            let slip_hist = &slip_hist;
 
             writers.push(scope.spawn(move || {
                 let mut stream = stream;
@@ -180,6 +195,12 @@ fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps
                     if stream.write_all(lines[rank].as_bytes()).is_err() {
                         break;
                     }
+                    // Schedule slip: how far behind its Poisson arrival
+                    // this request actually left the socket.  A writer
+                    // that keeps falling behind is closed-loop in
+                    // disguise, and the artifact validation rejects it.
+                    let slip = Instant::now().saturating_duration_since(target);
+                    slip_hist.record(slip.as_micros() as u64);
                     sent += 1;
                 }
                 sent
@@ -218,6 +239,8 @@ fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps
         completed,
         wall_secs: started.elapsed().as_secs_f64(),
         latency_us: HistogramSummary::of(&hist.snapshot()),
+        slip_us: HistogramSummary::of(&slip_hist.snapshot()),
+        mean_gap_us: per_conn_mean_gap * 1e6,
     }
 }
 
@@ -315,6 +338,8 @@ fn artifact_json(sweep: &Sweep, corpus_len: usize, servers: &[(String, Vec<Point
                                                 ("completed", Json::Int(p.completed as i64)),
                                                 ("wall_secs", Json::Float(p.wall_secs)),
                                                 ("latency_us", summary_json(&p.latency_us)),
+                                                ("slip_us", summary_json(&p.slip_us)),
+                                                ("mean_gap_us", Json::Float(p.mean_gap_us)),
                                             ])
                                         })
                                         .collect(),
@@ -376,6 +401,24 @@ fn validate_artifact(path: &Path) -> Result<(), String> {
             if completed == 0 {
                 return Err(format!("{kind}: a load point completed nothing"));
             }
+            // Open-loop integrity: if the p99 schedule slip exceeds one
+            // mean inter-arrival gap, the writers were sending late more
+            // often than on time — the run was closed-loop in practice
+            // and its latency numbers do not mean what the artifact says.
+            let slip_p99 = field(field(point, "slip_us")?, "p99")?
+                .as_u64()
+                .ok_or_else(|| format!("{kind}: slip p99 must be a count"))?;
+            let mean_gap_us = match field(point, "mean_gap_us")? {
+                Json::Float(gap) => *gap,
+                Json::Int(gap) => *gap as f64,
+                _ => return Err(format!("{kind}: mean_gap_us must be a number")),
+            };
+            if slip_p99 as f64 > mean_gap_us {
+                return Err(format!(
+                    "{kind}: schedule slip p99 ({slip_p99} µs) exceeds the mean \
+                     inter-arrival gap ({mean_gap_us:.0} µs) — the sweep was not open-loop"
+                ));
+            }
         }
     }
     Ok(())
@@ -427,12 +470,20 @@ fn main() -> ExitCode {
         let (actual, points) = run_server(kind, &sweep, &corpus);
         println!("server: {actual}");
         println!(
-            "  {:>12} {:>12} {:>8} {:>10} {:>9} {:>9} {:>9}",
-            "offered r/s", "achieved r/s", "sent", "p50 µs", "p90 µs", "p99 µs", "p999 µs"
+            "  {:>12} {:>12} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12} {:>12}",
+            "offered r/s",
+            "achieved r/s",
+            "sent",
+            "p50 µs",
+            "p90 µs",
+            "p99 µs",
+            "p999 µs",
+            "slip p99 µs",
+            "slip max µs"
         );
         for p in &points {
             println!(
-                "  {:>12.0} {:>12.0} {:>8} {:>10} {:>9} {:>9} {:>9}",
+                "  {:>12.0} {:>12.0} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12} {:>12}",
                 p.offered_rps,
                 p.achieved_rps(),
                 p.sent,
@@ -440,6 +491,8 @@ fn main() -> ExitCode {
                 p.latency_us.p90,
                 p.latency_us.p99,
                 p.latency_us.p999,
+                p.slip_us.p99,
+                p.slip_us.max,
             );
         }
         servers.push((actual, points));

@@ -104,6 +104,28 @@ pub struct AnalysisResult {
 }
 
 impl AnalysisResult {
+    /// Reassemble a result from its parts — the inverse of taking one
+    /// apart field by field.  Every field of every part is public, so a
+    /// serialized result (the engine's durable store tier writes one per
+    /// analyzed program) can be reconstructed exactly: a rebuilt result
+    /// [`AnalysisResult::digest`]s identically to the original as long as
+    /// the parts round-tripped faithfully.
+    pub fn from_parts(
+        procedures: HashMap<String, ProcedureAnalysis>,
+        summaries: HashMap<String, ProcSummary>,
+        return_summaries: HashMap<String, ReturnSummary>,
+        warnings: Vec<StructureWarning>,
+        rounds: usize,
+    ) -> AnalysisResult {
+        AnalysisResult {
+            procedures,
+            summaries,
+            return_summaries,
+            warnings,
+            rounds,
+        }
+    }
+
     /// The per-procedure results.
     pub fn procedure(&self, name: &str) -> Option<&ProcedureAnalysis> {
         self.procedures.get(name)

@@ -26,7 +26,7 @@
 
 use sil_engine::cli::unknown_flag_error;
 use sil_engine::service::{Addr, Server, ServerKind, ServerOptions, ShardedService};
-use sil_engine::{EngineConfig, EvictionPolicy};
+use sil_engine::{DurableConfig, EngineConfig, EvictionPolicy};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -52,6 +52,13 @@ options:
   --adapt-threshold <n>  ghost hits within one window that switch the
                          adaptive policy (default: 8)
   --stripes <n>       lock stripes per store namespace (default: 8)
+  --data-dir <path>   persist the summary store in append-only segment
+                      files under <path>; a restarted daemon recovers the
+                      intact prefix of every segment and serves warm
+                      (visible as store.disk.* in `silp --metrics`)
+  --fsync             sync every flush batch to stable storage (with
+                      --data-dir; slower, survives power loss)
+  --no-durable        ignore --data-dir and run memory-only
   --no-incremental    disable incremental re-analysis inside the shards
   --no-parallel       analyze sequentially inside each shard
   --quiet             no startup/shutdown log lines on stderr
@@ -68,6 +75,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--adapt-window",
     "--adapt-threshold",
     "--stripes",
+    "--data-dir",
+    "--fsync",
+    "--no-durable",
     "--no-incremental",
     "--no-parallel",
     "--quiet",
@@ -102,6 +112,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut config = EngineConfig::default();
     let mut server = ServerOptions::default();
     let mut quiet = false;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = false;
+    let mut no_durable = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -125,6 +138,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             flag @ "--stripes" => {
                 config = config.with_store_stripes(positive_count(args, &mut i, flag)? as usize);
             }
+            "--data-dir" => {
+                i += 1;
+                data_dir = Some(args.get(i).ok_or("--data-dir needs a path")?.clone());
+            }
+            "--fsync" => fsync = true,
+            "--no-durable" => no_durable = true,
             "--no-incremental" => config = config.with_incremental(false),
             "--no-parallel" => config = config.with_parallel(false),
             "--quiet" => quiet = true,
@@ -134,6 +153,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         i += 1;
     }
     let listen = listen.ok_or("--listen is required")?;
+    if fsync && data_dir.is_none() {
+        return Err("--fsync needs --data-dir".to_string());
+    }
+    if let Some(dir) = data_dir {
+        if !no_durable {
+            config = config.with_durable(Some(DurableConfig::at(dir).with_fsync(fsync)));
+        }
+    }
     Ok(Cli {
         listen,
         shards,

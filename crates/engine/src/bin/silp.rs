@@ -308,6 +308,20 @@ fn render_stats(
             ns.totals.evictions,
         );
     }
+    if let Some(disk) = &store.disk {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>11} {:>9} {:>7} {:>7} {:>6}  durable ({} seg, {} B live)",
+            "disk",
+            format!("{}/-", disk.entries),
+            percent(disk.hits, disk.misses),
+            disk.hits,
+            disk.misses,
+            disk.evictions,
+            disk.segments,
+            disk.live_bytes,
+        );
+    }
     let _ = writeln!(out, "  shard views (hit rate per namespace):");
     for (index, shard) in shards.iter().enumerate() {
         let _ = writeln!(

@@ -61,8 +61,8 @@ pub use service::{
     Service, ServiceError, ShardedService, PROTOCOL_VERSION,
 };
 pub use store::{
-    AdaptConfig, CacheStats, EvictionPolicy, Namespace, NamespaceCache, NamespaceStats,
-    PolicyChoice, StoreConfig, StoreStats, SummaryStore,
+    AdaptConfig, CacheStats, DiskStats, DurableConfig, DurableTier, EvictionPolicy, Namespace,
+    NamespaceCache, NamespaceStats, PolicyChoice, StoreConfig, StoreStats, SummaryStore,
 };
 
 use rayon::prelude::*;
@@ -110,6 +110,8 @@ pub struct EngineConfig {
     /// the edit is re-walked.  The result is bit-identical to a full
     /// analysis (same digests); this only trades memory for time.
     pub incremental: bool,
+    /// Durable disk tier under the in-memory store (`None` = memory-only).
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +125,7 @@ impl Default for EngineConfig {
             store_stripes: store::DEFAULT_STRIPES,
             parallel: true,
             incremental: true,
+            durable: None,
         }
     }
 }
@@ -176,6 +179,17 @@ impl EngineConfig {
         self
     }
 
+    /// Put a durable disk tier under the store (or remove it with `None`).
+    pub fn with_durable(mut self, durable: Option<DurableConfig>) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Shorthand: a durable tier with default sizing rooted at `data_dir`.
+    pub fn with_data_dir(self, data_dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_durable(Some(DurableConfig::at(data_dir)))
+    }
+
     /// The shape of the [`SummaryStore`] this config describes.
     pub fn store_config(&self) -> StoreConfig {
         StoreConfig {
@@ -189,6 +203,7 @@ impl EngineConfig {
             summary_adapt: self.adapt,
             walk_adapt: self.adapt,
             stripes: self.store_stripes,
+            durable: self.durable.clone(),
         }
     }
 }
@@ -351,6 +366,20 @@ pub fn export_store_metrics(stats: &StoreStats, raw: &mut RawMetrics) {
         raw.push_gauge(&format!("store.{name}.entries"), namespace.entries as i64);
         raw.push_gauge(&format!("store.{name}.capacity"), namespace.capacity as i64);
     }
+    if let Some(disk) = &stats.disk {
+        raw.push_counter("store.disk.hits", disk.hits);
+        raw.push_counter("store.disk.misses", disk.misses);
+        raw.push_counter("store.disk.read_bytes", disk.read_bytes);
+        raw.push_counter("store.disk.written_bytes", disk.written_bytes);
+        raw.push_counter("store.disk.flushes", disk.flushes);
+        raw.push_counter("store.disk.compactions", disk.compactions);
+        raw.push_counter("store.disk.evictions", disk.evictions);
+        raw.push_counter("store.disk.recovered_entries", disk.recovered_entries);
+        raw.push_counter("store.disk.dropped_bytes", disk.dropped_bytes);
+        raw.push_gauge("store.disk.entries", disk.entries as i64);
+        raw.push_gauge("store.disk.live_bytes", disk.live_bytes as i64);
+        raw.push_gauge("store.disk.segments", disk.segments as i64);
+    }
 }
 
 /// How many walk records one cone may retain.  A record exists per (round ×
@@ -397,13 +426,19 @@ impl Engine {
     /// only `parallel` and `incremental` govern this view.
     pub fn with_store(config: EngineConfig, store: Arc<SummaryStore>) -> Engine {
         let registry = Registry::new();
+        // Adopt the store's durable-tier tracer when there is one, so the
+        // flusher's `disk-*` spans surface in this engine's trace dumps.
+        let tracer = store
+            .durable()
+            .map(|tier| tier.tracer().clone())
+            .unwrap_or_else(|| Arc::new(Tracer::default()));
         Engine {
             view: StoreView::register(&registry),
             fixpoint_us: registry.histogram("engine.fixpoint_us"),
             summaries_us: registry.histogram("engine.summaries_us"),
             walks_performed: registry.counter("engine.walks.performed"),
             walks_reused: registry.counter("engine.walks.reused"),
-            tracer: Arc::new(Tracer::default()),
+            tracer,
             config,
             store,
             registry,
@@ -482,7 +517,7 @@ impl Engine {
         let fingerprint = program_fingerprint(&program);
         let looked_up = {
             let _span = self.tracer.start("store-lookup");
-            self.store.programs().get(fingerprint)
+            self.store.lookup_program(fingerprint)
         };
         if let Some(hit) = looked_up {
             self.view.programs.hit();
@@ -593,7 +628,7 @@ impl Engine {
             incremental,
         });
         self.view.programs.insertion();
-        self.store.programs().insert(fingerprint, entry.clone());
+        self.store.store_program(fingerprint, entry.clone());
         (entry, false)
     }
 
@@ -653,16 +688,14 @@ impl Engine {
             .first()
             .and_then(|m| cones.get(m).copied())
             .unwrap_or_default();
-        if let Some(hit) = self.store.summaries().get(key) {
+        if let Some(hit) = self.store.lookup_summaries(key) {
             self.view.summaries.hit();
             return (*hit).clone();
         }
         self.view.summaries.miss();
         let computed = compute_scc_summaries(program, types, members, resolved);
         self.view.summaries.insertion();
-        self.store
-            .summaries()
-            .insert(key, Arc::new(computed.clone()));
+        self.store.store_summaries(key, Arc::new(computed.clone()));
         computed
     }
 

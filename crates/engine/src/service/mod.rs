@@ -98,7 +98,7 @@ pub trait Service {
                 store,
                 server,
                 ..
-            } => Ok((shards, total, store, server)),
+            } => Ok((shards, total, *store, server)),
             Response::Error { error, .. } => Err(error),
             other => Err(unexpected("stats", &other)),
         }
@@ -305,7 +305,13 @@ impl ShardedService {
         config: EngineConfig,
         store: Arc<SummaryStore>,
     ) -> ShardedService {
-        let tracer = Arc::new(Tracer::default());
+        // One span ring for every shard; a durable store contributes its
+        // own tracer so `disk-recovery`/`disk-flush` spans are visible in
+        // the same `TraceDump` as the request spans.
+        let tracer = store
+            .durable()
+            .map(|tier| tier.tracer().clone())
+            .unwrap_or_else(|| Arc::new(Tracer::default()));
         let shards = (0..shard_count.max(1))
             .map(|_| {
                 Arc::new(

@@ -15,7 +15,7 @@
 
 use super::json::{hex64, parse_hex64, Json};
 use crate::report::{field, string_list, ProcessOptions, ProgramReport};
-use crate::store::{EvictionPolicy, NamespaceStats, PolicyChoice, StoreStats};
+use crate::store::{DiskStats, EvictionPolicy, NamespaceStats, PolicyChoice, StoreStats};
 use crate::{CacheStats, EngineError, EngineStats};
 use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
 
@@ -563,7 +563,7 @@ pub enum Response {
         version: u32,
         shards: Vec<EngineStats>,
         total: EngineStats,
-        store: StoreStats,
+        store: Box<StoreStats>,
         server: Option<ServerStats>,
     },
     /// Answer to [`Request::Metrics`]: the observability registry of the
@@ -616,7 +616,7 @@ impl Response {
             version: PROTOCOL_VERSION,
             shards,
             total,
-            store,
+            store: Box::new(store),
             server: None,
         }
     }
@@ -842,7 +842,7 @@ impl Response {
                     version,
                     shards,
                     total,
-                    store,
+                    store: Box::new(store),
                     server,
                 })
             }
@@ -1107,21 +1107,73 @@ pub fn namespace_stats_from_json(value: &Json) -> Result<NamespaceStats, String>
     })
 }
 
-/// Encode the whole store snapshot (all three namespaces) for the wire.
-pub fn store_stats_to_json(stats: &StoreStats) -> Json {
+/// Encode the durable disk tier's counters.
+pub fn disk_stats_to_json(stats: &DiskStats) -> Json {
     Json::obj(vec![
-        ("programs", namespace_stats_to_json(&stats.programs)),
-        ("summaries", namespace_stats_to_json(&stats.summaries)),
-        ("walks", namespace_stats_to_json(&stats.walks)),
+        ("hits", Json::Int(stats.hits as i64)),
+        ("misses", Json::Int(stats.misses as i64)),
+        ("read_bytes", Json::Int(stats.read_bytes as i64)),
+        ("written_bytes", Json::Int(stats.written_bytes as i64)),
+        ("entries", Json::Int(stats.entries as i64)),
+        ("live_bytes", Json::Int(stats.live_bytes as i64)),
+        ("segments", Json::Int(stats.segments as i64)),
+        ("flushes", Json::Int(stats.flushes as i64)),
+        ("compactions", Json::Int(stats.compactions as i64)),
+        ("evictions", Json::Int(stats.evictions as i64)),
+        (
+            "recovered_entries",
+            Json::Int(stats.recovered_entries as i64),
+        ),
+        ("dropped_bytes", Json::Int(stats.dropped_bytes as i64)),
     ])
 }
 
-/// Inverse of [`store_stats_to_json`].
+/// Inverse of [`disk_stats_to_json`].
+pub fn disk_stats_from_json(value: &Json) -> Result<DiskStats, String> {
+    let count = |key: &str| -> Result<u64, String> {
+        field(value, key)?
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    Ok(DiskStats {
+        hits: count("hits")?,
+        misses: count("misses")?,
+        read_bytes: count("read_bytes")?,
+        written_bytes: count("written_bytes")?,
+        entries: count("entries")?,
+        live_bytes: count("live_bytes")?,
+        segments: count("segments")?,
+        flushes: count("flushes")?,
+        compactions: count("compactions")?,
+        evictions: count("evictions")?,
+        recovered_entries: count("recovered_entries")?,
+        dropped_bytes: count("dropped_bytes")?,
+    })
+}
+
+/// Encode the whole store snapshot (all three namespaces, plus the disk
+/// tier when one is configured — the member is simply absent otherwise,
+/// which protocol-version-2 decoders ignore, keeping the change additive).
+pub fn store_stats_to_json(stats: &StoreStats) -> Json {
+    let mut members = vec![
+        ("programs", namespace_stats_to_json(&stats.programs)),
+        ("summaries", namespace_stats_to_json(&stats.summaries)),
+        ("walks", namespace_stats_to_json(&stats.walks)),
+    ];
+    if let Some(disk) = &stats.disk {
+        members.push(("disk", disk_stats_to_json(disk)));
+    }
+    Json::obj(members)
+}
+
+/// Inverse of [`store_stats_to_json`] (a missing `"disk"` member decodes
+/// as a memory-only store).
 pub fn store_stats_from_json(value: &Json) -> Result<StoreStats, String> {
     Ok(StoreStats {
         programs: namespace_stats_from_json(field(value, "programs")?)?,
         summaries: namespace_stats_from_json(field(value, "summaries")?)?,
         walks: namespace_stats_from_json(field(value, "walks")?)?,
+        disk: value.get("disk").map(disk_stats_from_json).transpose()?,
     })
 }
 
@@ -1162,6 +1214,20 @@ mod tests {
             programs: namespace(2, 256),
             summaries: namespace(5, 1024),
             walks: namespace(3, 512),
+            disk: Some(DiskStats {
+                hits: 4,
+                misses: 2,
+                read_bytes: 4096,
+                written_bytes: 8192,
+                entries: 6,
+                live_bytes: 8000,
+                segments: 2,
+                flushes: 3,
+                compactions: 1,
+                evictions: 1,
+                recovered_entries: 5,
+                dropped_bytes: 17,
+            }),
         }
     }
 

@@ -1,0 +1,1202 @@
+//! The durable disk tier under the in-memory
+//! [`SummaryStore`](crate::store::SummaryStore): a content-addressed,
+//! log-structured cache that survives daemon restarts.
+//!
+//! Summaries are immutable values keyed by stable content fingerprints,
+//! which makes the disk tier an append-only log with none of the usual
+//! update-in-place hazards:
+//!
+//! * **Write-behind** — the analysis hot path enqueues the value (an
+//!   `Arc`, no copy) on an unbounded channel and returns; one background
+//!   flusher thread encodes it with the workspace's own JSON codec and
+//!   appends it to the active [`segment`] file.  With
+//!   [`DurableConfig::fsync`] the flusher syncs after every batch; either
+//!   way the hot path never blocks on the disk.
+//! * **Crash-safe recovery** — opening the tier scans every segment and
+//!   trusts only the intact prefix (length + checksum verified per
+//!   entry); a torn final write or a corrupt entry truncates the segment
+//!   there.  Recovery is observable: a `disk-recovery` span plus
+//!   [`DiskStats::recovered_entries`] / [`DiskStats::dropped_bytes`].
+//! * **Compaction & admission** — rewriting a key appends a fresh entry
+//!   and dead-letters the old one; when sealed segments are mostly dead
+//!   the flusher folds their live entries forward and deletes them.  When
+//!   the tier outgrows [`DurableConfig::byte_budget`], the coldest
+//!   entries are evicted first — ranked LRU or LFU according to what the
+//!   in-memory namespace's *adaptive* policy currently believes about the
+//!   traffic (its ghost/regret counters drive the choice), so the disk
+//!   tier inherits the same admission judgement (cf. the NDN caching
+//!   literature: disk is one more cache tier, not an archive).
+//!
+//! The decoded values round-trip exactly: a program served from disk
+//! reports the same `analysis_digest` the original analysis did (the
+//! codec stores the digest and refuses to serve an entry that fails to
+//! reproduce it).
+
+use super::segment::{self, EntryRef, SegmentWriter};
+use super::{PolicyChoice, SummaryTable};
+use crate::service::json::{self, Json};
+use crate::AnalyzedProgram;
+use sil_analysis::{
+    AbstractState, AnalysisResult, ArgMode, ProcSummary, ProcedureAnalysis, ProgramPoint,
+    ReturnSummary, StructureKind, StructureWarning,
+};
+use sil_lang::hash::program_fingerprint;
+use sil_lang::{frontend, pretty_program};
+use sil_pathmatrix::path::PathKind;
+use sil_pathmatrix::{Certainty, Dir, Link, Path as RelPath, PathMatrix, PathSet};
+use silobs::Tracer;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::File;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Namespace tag of whole-program entries.
+pub const NS_PROGRAM: u8 = 0;
+/// Namespace tag of per-SCC summary-table entries.
+pub const NS_SUMMARY: u8 = 1;
+
+/// How the durable tier is shaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Directory holding the segment files (created if missing).
+    pub data_dir: PathBuf,
+    /// Sync every flush batch to stable storage (safer, slower); without
+    /// it a power loss can cost the most recent writes — never integrity.
+    pub fsync: bool,
+    /// Rotate the active segment once it grows past this many bytes.
+    pub segment_bytes: u64,
+    /// Evict coldest entries once live bytes exceed this (0 = unbounded).
+    pub byte_budget: u64,
+}
+
+impl DurableConfig {
+    /// A tier rooted at `data_dir` with default sizing (4 MiB segments,
+    /// 512 MiB budget, no fsync).
+    pub fn at(data_dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            data_dir: data_dir.into(),
+            fsync: false,
+            segment_bytes: 4 << 20,
+            byte_budget: 512 << 20,
+        }
+    }
+
+    pub fn with_fsync(mut self, fsync: bool) -> DurableConfig {
+        self.fsync = fsync;
+        self
+    }
+
+    pub fn with_segment_bytes(mut self, segment_bytes: u64) -> DurableConfig {
+        self.segment_bytes = segment_bytes.max(1);
+        self
+    }
+
+    pub fn with_byte_budget(mut self, byte_budget: u64) -> DurableConfig {
+        self.byte_budget = byte_budget;
+        self
+    }
+}
+
+/// Counter snapshot of the disk tier (all monotonic except the gauges
+/// `entries`/`live_bytes`/`segments`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that missed the disk tier too.
+    pub misses: u64,
+    /// Body bytes read back on hits.
+    pub read_bytes: u64,
+    /// Entry bytes appended (headers included).
+    pub written_bytes: u64,
+    /// Live (indexed) entries right now.
+    pub entries: u64,
+    /// Bytes those live entries occupy on disk.
+    pub live_bytes: u64,
+    /// Segment files on disk right now.
+    pub segments: u64,
+    /// Flush batches the background thread completed.
+    pub flushes: u64,
+    /// Compaction passes that rewrote sealed segments.
+    pub compactions: u64,
+    /// Entries dropped by the byte-budget admission policy.
+    pub evictions: u64,
+    /// Intact entries loaded by recovery scans.
+    pub recovered_entries: u64,
+    /// Torn/corrupt bytes recovery truncated away.
+    pub dropped_bytes: u64,
+}
+
+/// One write-behind job for the flusher thread.  Values travel as `Arc`s;
+/// encoding happens off the hot path, on the flusher.
+enum Job {
+    Program(u64, Arc<AnalyzedProgram>, u64),
+    Summaries(u64, SummaryTable, u64),
+    /// Ack once every job enqueued before this one is on disk.
+    Barrier(mpsc::SyncSender<()>),
+}
+
+#[derive(Debug)]
+struct SegmentMeta {
+    path: PathBuf,
+    len: u64,
+    live_bytes: u64,
+    live_entries: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    segment: u64,
+    entry: EntryRef,
+    /// Logical access clock at last touch (the LRU rank).
+    stamp: u64,
+    /// Touches since the entry landed (the LFU rank).
+    uses: u64,
+}
+
+#[derive(Debug, Default)]
+struct TierState {
+    segments: BTreeMap<u64, SegmentMeta>,
+    active: u64,
+    writer: Option<SegmentWriter>,
+    index: HashMap<(u8, u64), Slot>,
+    clock: u64,
+}
+
+#[derive(Debug, Default)]
+struct DiskCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    read_bytes: AtomicU64,
+    written_bytes: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    evictions: AtomicU64,
+    recovered_entries: AtomicU64,
+    dropped_bytes: AtomicU64,
+}
+
+struct TierShared {
+    config: DurableConfig,
+    state: Mutex<TierState>,
+    counters: DiskCounters,
+    /// Bumped by [`DurableTier::clear`]; jobs enqueued under an older
+    /// generation are discarded instead of resurrecting cleared entries.
+    generation: AtomicU64,
+    /// The in-memory namespaces' current adaptive verdict (LRU vs LFU),
+    /// refreshed on every store write; ranks byte-budget eviction.
+    hints: [AtomicU8; 2],
+    tracer: Arc<Tracer>,
+}
+
+/// The durable tier: an on-disk index over append-only segments, plus the
+/// background flusher that feeds it.
+pub struct DurableTier {
+    shared: Arc<TierShared>,
+    sender: Option<mpsc::Sender<Job>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DurableTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableTier")
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableTier {
+    /// Open (or create) the tier at its data directory, recovering every
+    /// segment's intact prefix, then start the write-behind flusher.
+    pub fn open(config: DurableConfig) -> io::Result<DurableTier> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let tracer = Arc::new(Tracer::default());
+        let shared = Arc::new(TierShared {
+            config,
+            state: Mutex::new(TierState::default()),
+            counters: DiskCounters::default(),
+            generation: AtomicU64::new(0),
+            hints: [AtomicU8::new(0), AtomicU8::new(0)],
+            tracer,
+        });
+        {
+            let _span = shared.tracer.start("disk-recovery");
+            shared.recover()?;
+        }
+        let (sender, receiver) = mpsc::channel();
+        let flusher_shared = shared.clone();
+        let flusher = std::thread::Builder::new()
+            .name("sil-durable-flush".to_string())
+            .spawn(move || flusher_loop(&flusher_shared, &receiver))
+            .expect("spawning the durable flusher thread");
+        Ok(DurableTier {
+            shared,
+            sender: Some(sender),
+            flusher: Some(flusher),
+        })
+    }
+
+    /// The span ring recovery/flush/compaction record into.  The service
+    /// layer adopts this as its shared tracer so `disk-*` spans show up in
+    /// `TraceDump` responses next to `parse`/`fixpoint`.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.shared.tracer
+    }
+
+    /// Where the segments live.
+    pub fn data_dir(&self) -> &std::path::Path {
+        &self.shared.config.data_dir
+    }
+
+    /// Read one entry's body back, touching its recency/frequency rank.
+    pub fn get(&self, namespace: u8, key: u64) -> Option<Vec<u8>> {
+        let mut state = self.shared.state.lock().unwrap();
+        let Some(slot) = state.index.get_mut(&(namespace, key)).copied() else {
+            self.shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        state.clock += 1;
+        let clock = state.clock;
+        if let Some(live) = state.index.get_mut(&(namespace, key)) {
+            live.stamp = clock;
+            live.uses += 1;
+        }
+        let body = state
+            .segments
+            .get(&slot.segment)
+            .and_then(|meta| File::open(&meta.path).ok())
+            .and_then(|mut file| segment::read_body(&mut file, &slot.entry).ok().flatten());
+        match body {
+            Some(body) => {
+                self.shared.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .counters
+                    .read_bytes
+                    .fetch_add(body.len() as u64, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                // The bytes no longer verify (rot, external truncation):
+                // forget the entry rather than serving garbage.
+                state.drop_slot(namespace, key);
+                self.shared.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Enqueue a whole-program entry for write-behind persistence.
+    pub fn put_program(&self, key: u64, entry: Arc<AnalyzedProgram>) {
+        self.send(Job::Program(
+            key,
+            entry,
+            self.shared.generation.load(Ordering::SeqCst),
+        ));
+    }
+
+    /// Enqueue a per-SCC summary table for write-behind persistence.
+    pub fn put_summaries(&self, key: u64, table: SummaryTable) {
+        self.send(Job::Summaries(
+            key,
+            table,
+            self.shared.generation.load(Ordering::SeqCst),
+        ));
+    }
+
+    /// Refresh the eviction-rank hint for one namespace from the
+    /// in-memory cache's live policy choice.
+    pub fn note_policy(&self, namespace: u8, choice: PolicyChoice) {
+        let rank = match choice {
+            PolicyChoice::Lru => 0,
+            PolicyChoice::Lfu => 1,
+        };
+        if let Some(hint) = self.shared.hints.get(namespace as usize) {
+            hint.store(rank, Ordering::Relaxed);
+        }
+    }
+
+    /// Block until every job enqueued before this call is on disk (and
+    /// synced, under [`DurableConfig::fsync`]).
+    pub fn flush(&self) {
+        let (ack, done) = mpsc::sync_channel(1);
+        self.send(Job::Barrier(ack));
+        let _ = done.recv();
+    }
+
+    /// Truncate the tier: every segment file is deleted and the index is
+    /// emptied; queued stale writes are discarded.  Counters survive.
+    pub fn clear(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        state.writer = None;
+        for meta in state.segments.values() {
+            let _ = std::fs::remove_file(&meta.path);
+        }
+        state.segments.clear();
+        state.index.clear();
+        state.active += 1;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DiskStats {
+        let state = self.shared.state.lock().unwrap();
+        let counters = &self.shared.counters;
+        DiskStats {
+            hits: counters.hits.load(Ordering::Relaxed),
+            misses: counters.misses.load(Ordering::Relaxed),
+            read_bytes: counters.read_bytes.load(Ordering::Relaxed),
+            written_bytes: counters.written_bytes.load(Ordering::Relaxed),
+            entries: state.index.len() as u64,
+            live_bytes: state.segments.values().map(|m| m.live_bytes).sum(),
+            segments: state.segments.len() as u64,
+            flushes: counters.flushes.load(Ordering::Relaxed),
+            compactions: counters.compactions.load(Ordering::Relaxed),
+            evictions: counters.evictions.load(Ordering::Relaxed),
+            recovered_entries: counters.recovered_entries.load(Ordering::Relaxed),
+            dropped_bytes: counters.dropped_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn send(&self, job: Job) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(job);
+        }
+    }
+}
+
+impl Drop for DurableTier {
+    /// Closing the channel lets the flusher drain everything still queued
+    /// and exit; joining it makes drop a graceful flush.
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(flusher) = self.flusher.take() {
+            let _ = flusher.join();
+        }
+    }
+}
+
+fn segment_path(dir: &std::path::Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.sil"))
+}
+
+fn segment_id(path: &std::path::Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("seg-")?
+        .strip_suffix(".sil")?
+        .parse()
+        .ok()
+}
+
+impl TierState {
+    fn drop_slot(&mut self, namespace: u8, key: u64) {
+        if let Some(slot) = self.index.remove(&(namespace, key)) {
+            if let Some(meta) = self.segments.get_mut(&slot.segment) {
+                meta.live_bytes = meta.live_bytes.saturating_sub(slot.entry.stored_bytes());
+                meta.live_entries = meta.live_entries.saturating_sub(1);
+            }
+        }
+    }
+
+    fn index_entry(&mut self, segment: u64, entry: EntryRef) {
+        self.drop_slot(entry.namespace, entry.key);
+        self.clock += 1;
+        let stamp = self.clock;
+        self.index.insert(
+            (entry.namespace, entry.key),
+            Slot {
+                segment,
+                entry,
+                stamp,
+                uses: 1,
+            },
+        );
+        if let Some(meta) = self.segments.get_mut(&segment) {
+            meta.live_bytes += entry.stored_bytes();
+            meta.live_entries += 1;
+        }
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.segments.values().map(|m| m.live_bytes).sum()
+    }
+}
+
+impl TierShared {
+    /// Scan every segment in id order (later segments win duplicate
+    /// keys), truncating each to its intact prefix.
+    fn recover(&self) -> io::Result<()> {
+        let mut ids: Vec<u64> = std::fs::read_dir(&self.config.data_dir)?
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| segment_id(&entry.path()))
+            .collect();
+        ids.sort_unstable();
+        let mut state = self.state.lock().unwrap();
+        for &id in &ids {
+            let path = segment_path(&self.config.data_dir, id);
+            let report = match segment::scan(&path) {
+                Ok(report) => report,
+                Err(_) => continue, // unreadable file: leave it alone
+            };
+            self.counters
+                .recovered_entries
+                .fetch_add(report.entries.len() as u64, Ordering::Relaxed);
+            self.counters
+                .dropped_bytes
+                .fetch_add(report.dropped_bytes, Ordering::Relaxed);
+            state.segments.insert(
+                id,
+                SegmentMeta {
+                    path: path.clone(),
+                    len: report.valid_len.max(segment::MAGIC.len() as u64),
+                    live_bytes: 0,
+                    live_entries: 0,
+                },
+            );
+            for entry in report.entries {
+                state.index_entry(id, entry);
+            }
+            if report.dropped {
+                // Physically cut the untrusted tail so later appends (and
+                // later recoveries) see an intact file.
+                drop(SegmentWriter::recover(&path, report.valid_len)?);
+            }
+        }
+        state.active = ids.last().copied().unwrap_or(0).max(1);
+        let active_path = segment_path(&self.config.data_dir, state.active);
+        if let Some(meta) = state.segments.get(&state.active) {
+            state.writer = Some(SegmentWriter::recover(&active_path, meta.len)?);
+        }
+        Ok(())
+    }
+}
+
+/// The flusher thread: drain jobs in batches, append, rotate, optionally
+/// fsync, then evict/compact in the background.
+fn flusher_loop(shared: &Arc<TierShared>, receiver: &mpsc::Receiver<Job>) {
+    while let Ok(first) = receiver.recv() {
+        let mut batch = vec![first];
+        while batch.len() < 256 {
+            match receiver.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let mut barriers = Vec::new();
+        {
+            let _span = shared.tracer.start("disk-flush");
+            for job in batch {
+                match job {
+                    Job::Program(key, entry, generation) => {
+                        let body = codec::encode_program(&entry);
+                        append(shared, NS_PROGRAM, key, &body, generation);
+                    }
+                    Job::Summaries(key, table, generation) => {
+                        let body = codec::encode_summaries(&table);
+                        append(shared, NS_SUMMARY, key, &body, generation);
+                    }
+                    Job::Barrier(ack) => barriers.push(ack),
+                }
+            }
+            if shared.config.fsync {
+                let state = shared.state.lock().unwrap();
+                if let Some(writer) = &state.writer {
+                    let _ = writer.sync();
+                }
+            }
+        }
+        shared.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        maintain(shared);
+        for ack in barriers {
+            let _ = ack.send(());
+        }
+    }
+}
+
+/// Append one encoded entry to the active segment, rotating when full.
+fn append(shared: &Arc<TierShared>, namespace: u8, key: u64, body: &[u8], generation: u64) {
+    let mut state = shared.state.lock().unwrap();
+    append_locked(shared, &mut state, namespace, key, body, generation);
+}
+
+/// Background maintenance after a flush batch: byte-budget eviction
+/// ranked by the adaptive policy's current verdict, then compaction of
+/// mostly-dead sealed segments.
+fn maintain(shared: &Arc<TierShared>) {
+    let mut state = shared.state.lock().unwrap();
+
+    // Eviction: shed the coldest entries until live bytes fit the budget.
+    let budget = shared.config.byte_budget;
+    if budget > 0 && state.live_bytes() > budget {
+        let mut ranked: Vec<((u8, u64), u64, u64)> = state
+            .index
+            .iter()
+            .map(|(&(ns, key), slot)| {
+                let lfu = shared
+                    .hints
+                    .get(ns as usize)
+                    .map(|h| h.load(Ordering::Relaxed) == 1)
+                    .unwrap_or(false);
+                // Smaller rank = colder = evicted first.  LRU ranks by
+                // last touch, LFU by touch count (clock breaks ties).
+                let rank = if lfu { slot.uses } else { slot.stamp };
+                ((ns, key), rank, slot.stamp)
+            })
+            .collect();
+        ranked.sort_by_key(|&(_, rank, stamp)| (rank, stamp));
+        for ((ns, key), _, _) in ranked {
+            if state.live_bytes() <= budget {
+                break;
+            }
+            state.drop_slot(ns, key);
+            shared.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // Compaction: fold sealed segments' live entries into the active
+    // segment once more than half their bytes are dead weight.
+    let sealed: Vec<u64> = state
+        .segments
+        .keys()
+        .copied()
+        .filter(|&id| id != state.active)
+        .collect();
+    let magic = segment::MAGIC.len() as u64;
+    let sealed_total: u64 = sealed
+        .iter()
+        .filter_map(|id| state.segments.get(id))
+        .map(|m| m.len.saturating_sub(magic))
+        .sum();
+    let sealed_live: u64 = sealed
+        .iter()
+        .filter_map(|id| state.segments.get(id))
+        .map(|m| m.live_bytes)
+        .sum();
+    if sealed_total == 0 || sealed_live * 2 > sealed_total {
+        return;
+    }
+    let _span = shared.tracer.start("disk-compact");
+    for id in sealed {
+        let Some(meta) = state.segments.get(&id) else {
+            continue;
+        };
+        let path = meta.path.clone();
+        // Copy the segment's live entries forward into the active writer.
+        let moved: Vec<((u8, u64), EntryRef)> = state
+            .index
+            .iter()
+            .filter(|(_, slot)| slot.segment == id)
+            .map(|(&key, slot)| (key, slot.entry))
+            .collect();
+        let mut source = match File::open(&path) {
+            Ok(file) => file,
+            Err(_) => continue,
+        };
+        let mut copied = true;
+        for ((ns, key), entry) in moved {
+            let Ok(Some(body)) = segment::read_body(&mut source, &entry) else {
+                // Unreadable live entry: forget it rather than block
+                // compaction forever.
+                state.drop_slot(ns, key);
+                continue;
+            };
+            let generation = shared.generation.load(Ordering::SeqCst);
+            // Re-append through the normal path (handles rotation).
+            append_locked(shared, &mut state, ns, key, &body, generation);
+            if !state.index.contains_key(&(ns, key)) {
+                copied = false;
+            }
+        }
+        if copied {
+            state.segments.remove(&id);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    shared.counters.compactions.fetch_add(1, Ordering::Relaxed);
+}
+
+/// [`append`] for callers already holding the state lock.
+fn append_locked(
+    shared: &Arc<TierShared>,
+    state: &mut TierState,
+    namespace: u8,
+    key: u64,
+    body: &[u8],
+    generation: u64,
+) {
+    if generation != shared.generation.load(Ordering::SeqCst) {
+        return;
+    }
+    if state.writer.is_none() {
+        let id = state.active;
+        let path = segment_path(&shared.config.data_dir, id);
+        match SegmentWriter::create(&path) {
+            Ok(writer) => {
+                state.segments.insert(
+                    id,
+                    SegmentMeta {
+                        path,
+                        len: writer.len(),
+                        live_bytes: 0,
+                        live_entries: 0,
+                    },
+                );
+                state.writer = Some(writer);
+            }
+            Err(e) => {
+                eprintln!("sil durable store: cannot create segment: {e}");
+                return;
+            }
+        }
+    }
+    let active = state.active;
+    let writer = state.writer.as_mut().unwrap();
+    match writer.append(namespace, key, body) {
+        Ok(entry) => {
+            let len = writer.len();
+            shared
+                .counters
+                .written_bytes
+                .fetch_add(entry.stored_bytes(), Ordering::Relaxed);
+            if let Some(meta) = state.segments.get_mut(&active) {
+                meta.len = len;
+            }
+            state.index_entry(active, entry);
+            if len >= shared.config.segment_bytes {
+                state.writer = None;
+                state.active += 1;
+            }
+        }
+        Err(e) => eprintln!("sil durable store: append failed: {e}"),
+    }
+}
+
+/// The on-disk value codec: the workspace's own JSON module, no new
+/// dependencies.  Programs store their pretty-printed source (the
+/// frontend round-trips it) plus the full [`AnalysisResult`]; decoding
+/// verifies both the content fingerprint and the analysis digest, so a
+/// disk hit is byte-identical to recomputing or it is a miss.
+pub(crate) mod codec {
+    use super::*;
+
+    fn jfield<'a>(value: &'a Json, key: &str) -> Result<&'a Json, String> {
+        value.get(key).ok_or_else(|| format!("missing {key:?}"))
+    }
+
+    fn jstr(value: &Json, key: &str) -> Result<String, String> {
+        Ok(jfield(value, key)?
+            .as_str()
+            .ok_or_else(|| format!("{key:?} must be a string"))?
+            .to_string())
+    }
+
+    fn jarr<'a>(value: &'a Json, key: &str) -> Result<&'a [Json], String> {
+        jfield(value, key)?
+            .as_arr()
+            .ok_or_else(|| format!("{key:?} must be an array"))
+    }
+
+    fn mode_to_json(mode: ArgMode) -> Json {
+        Json::Str(
+            match mode {
+                ArgMode::ReadOnly => "readonly",
+                ArgMode::ValueUpdate => "value_update",
+                ArgMode::StructUpdate => "struct_update",
+            }
+            .to_string(),
+        )
+    }
+
+    fn mode_from_json(value: &Json) -> Result<ArgMode, String> {
+        match value.as_str() {
+            Some("readonly") => Ok(ArgMode::ReadOnly),
+            Some("value_update") => Ok(ArgMode::ValueUpdate),
+            Some("struct_update") => Ok(ArgMode::StructUpdate),
+            other => Err(format!("unknown arg mode {other:?}")),
+        }
+    }
+
+    fn structure_to_json(kind: StructureKind) -> Json {
+        Json::Str(kind.to_string())
+    }
+
+    fn structure_from_json(value: &Json) -> Result<StructureKind, String> {
+        match value.as_str() {
+            Some("TREE") => Ok(StructureKind::Tree),
+            Some("DAG?") => Ok(StructureKind::PossiblyDag),
+            Some("CYCLE?") => Ok(StructureKind::PossiblyCyclic),
+            other => Err(format!("unknown structure kind {other:?}")),
+        }
+    }
+
+    /// A path is `[definite, links]`: `links` is `null` for `S`ame, else
+    /// `[[dir_letter, min, exact], ...]`.
+    fn path_to_json(path: &RelPath) -> Json {
+        let links = match &path.kind {
+            PathKind::Same => Json::Null,
+            PathKind::Links(links) => Json::Arr(
+                links
+                    .iter()
+                    .map(|link| {
+                        Json::Arr(vec![
+                            Json::Str(link.dir.letter().to_string()),
+                            Json::Int(link.min as i64),
+                            Json::Bool(link.exact),
+                        ])
+                    })
+                    .collect(),
+            ),
+        };
+        Json::Arr(vec![
+            Json::Bool(path.certainty == Certainty::Definite),
+            links,
+        ])
+    }
+
+    fn path_from_json(value: &Json) -> Result<RelPath, String> {
+        let parts = value.as_arr().ok_or("path must be an array")?;
+        let [definite, links] = parts else {
+            return Err("path must be [definite, links]".to_string());
+        };
+        let certainty = if definite.as_bool().ok_or("path[0] must be a bool")? {
+            Certainty::Definite
+        } else {
+            Certainty::Possible
+        };
+        let kind = match links {
+            Json::Null => PathKind::Same,
+            Json::Arr(links) => PathKind::Links(
+                links
+                    .iter()
+                    .map(link_from_json)
+                    .collect::<Result<Vec<Link>, String>>()?,
+            ),
+            _ => return Err("path[1] must be null or an array".to_string()),
+        };
+        Ok(RelPath { kind, certainty })
+    }
+
+    fn link_from_json(value: &Json) -> Result<Link, String> {
+        let parts = value.as_arr().ok_or("link must be an array")?;
+        let [dir, min, exact] = parts else {
+            return Err("link must be [dir, min, exact]".to_string());
+        };
+        let dir = match dir.as_str() {
+            Some("L") => Dir::Left,
+            Some("R") => Dir::Right,
+            Some("D") => Dir::Down,
+            other => return Err(format!("unknown link direction {other:?}")),
+        };
+        let min = min
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .filter(|&n| n >= 1)
+            .ok_or("link min must be a positive count")?;
+        let exact = exact.as_bool().ok_or("link exact must be a bool")?;
+        Ok(Link { dir, min, exact })
+    }
+
+    fn pathset_to_json(set: &PathSet) -> Json {
+        Json::Arr(set.paths().iter().map(path_to_json).collect())
+    }
+
+    fn pathset_from_json(value: &Json) -> Result<PathSet, String> {
+        Ok(PathSet::from_paths(
+            value
+                .as_arr()
+                .ok_or("path set must be an array")?
+                .iter()
+                .map(path_from_json)
+                .collect::<Result<Vec<RelPath>, String>>()?,
+        ))
+    }
+
+    fn names_to_json<'a>(names: impl IntoIterator<Item = &'a String>) -> Json {
+        Json::Arr(
+            names
+                .into_iter()
+                .map(|name| Json::Str(name.clone()))
+                .collect(),
+        )
+    }
+
+    fn names_from_json(value: &Json, key: &str) -> Result<Vec<String>, String> {
+        jarr(value, key)?
+            .iter()
+            .map(|name| {
+                name.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{key:?} must hold strings"))
+            })
+            .collect()
+    }
+
+    /// Handles are stored *in matrix insertion order* — `render()` (and
+    /// through it the analysis digest) depends on that order.
+    fn state_to_json(state: &AbstractState) -> Json {
+        let mut entries: Vec<(&str, &str, &PathSet)> = state.matrix.related_pairs().collect();
+        entries.sort_by_key(|&(a, b, _)| (a, b));
+        Json::obj(vec![
+            ("structure", structure_to_json(state.structure)),
+            ("handles", names_to_json(state.matrix.handles())),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .into_iter()
+                        .map(|(a, b, set)| {
+                            Json::Arr(vec![
+                                Json::Str(a.to_string()),
+                                Json::Str(b.to_string()),
+                                pathset_to_json(set),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("attached", names_to_json(&state.attached)),
+            ("shared", names_to_json(&state.shared)),
+        ])
+    }
+
+    fn state_from_json(value: &Json) -> Result<AbstractState, String> {
+        let mut matrix = PathMatrix::with_handles(names_from_json(value, "handles")?);
+        for entry in jarr(value, "entries")? {
+            let parts = entry.as_arr().ok_or("matrix entry must be an array")?;
+            let [a, b, set] = parts else {
+                return Err("matrix entry must be [a, b, paths]".to_string());
+            };
+            let a = a.as_str().ok_or("entry handle must be a string")?;
+            let b = b.as_str().ok_or("entry handle must be a string")?;
+            matrix.set(a, b, pathset_from_json(set)?);
+        }
+        Ok(AbstractState {
+            matrix,
+            structure: structure_from_json(jfield(value, "structure")?)?,
+            attached: BTreeSet::from_iter(names_from_json(value, "attached")?),
+            shared: BTreeSet::from_iter(names_from_json(value, "shared")?),
+        })
+    }
+
+    fn warning_to_json(warning: &StructureWarning) -> Json {
+        Json::obj(vec![
+            ("procedure", Json::Str(warning.procedure.clone())),
+            ("statement", Json::Str(warning.statement.clone())),
+            ("kind", structure_to_json(warning.kind)),
+            ("message", Json::Str(warning.message.clone())),
+        ])
+    }
+
+    fn warning_from_json(value: &Json) -> Result<StructureWarning, String> {
+        Ok(StructureWarning {
+            procedure: jstr(value, "procedure")?,
+            statement: jstr(value, "statement")?,
+            kind: structure_from_json(jfield(value, "kind")?)?,
+            message: jstr(value, "message")?,
+        })
+    }
+
+    fn procedure_to_json(proc: &ProcedureAnalysis) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(proc.name.clone())),
+            ("entry", state_to_json(&proc.entry)),
+            ("exit", state_to_json(&proc.exit)),
+            (
+                "points",
+                Json::Arr(
+                    proc.points
+                        .iter()
+                        .map(|point| {
+                            Json::obj(vec![
+                                ("label", Json::Str(point.label.clone())),
+                                ("statement", Json::Str(point.statement.clone())),
+                                (
+                                    "callee",
+                                    point
+                                        .callee
+                                        .as_ref()
+                                        .map(|c| Json::Str(c.clone()))
+                                        .unwrap_or(Json::Null),
+                                ),
+                                ("state", state_to_json(&point.state)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "warnings",
+                Json::Arr(proc.warnings.iter().map(warning_to_json).collect()),
+            ),
+        ])
+    }
+
+    fn procedure_from_json(value: &Json) -> Result<ProcedureAnalysis, String> {
+        Ok(ProcedureAnalysis {
+            name: jstr(value, "name")?,
+            entry: state_from_json(jfield(value, "entry")?)?,
+            exit: state_from_json(jfield(value, "exit")?)?,
+            points: jarr(value, "points")?
+                .iter()
+                .map(|point| {
+                    Ok(ProgramPoint {
+                        label: jstr(point, "label")?,
+                        statement: jstr(point, "statement")?,
+                        callee: match jfield(point, "callee")? {
+                            Json::Null => None,
+                            other => Some(
+                                other
+                                    .as_str()
+                                    .ok_or("callee must be a string or null")?
+                                    .to_string(),
+                            ),
+                        },
+                        state: state_from_json(jfield(point, "state")?)?,
+                    })
+                })
+                .collect::<Result<Vec<ProgramPoint>, String>>()?,
+            warnings: jarr(value, "warnings")?
+                .iter()
+                .map(warning_from_json)
+                .collect::<Result<Vec<StructureWarning>, String>>()?,
+        })
+    }
+
+    fn proc_summary_to_json(summary: &ProcSummary) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(summary.name.clone())),
+            (
+                "handle_args",
+                Json::Arr(
+                    summary
+                        .handle_args
+                        .iter()
+                        .map(|(formal, &mode)| {
+                            Json::Arr(vec![Json::Str(formal.clone()), mode_to_json(mode)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "arg_modes",
+                Json::Arr(
+                    summary
+                        .arg_modes
+                        .iter()
+                        .map(|mode| mode.map(mode_to_json).unwrap_or(Json::Null))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn proc_summary_from_json(value: &Json) -> Result<ProcSummary, String> {
+        Ok(ProcSummary {
+            name: jstr(value, "name")?,
+            handle_args: jarr(value, "handle_args")?
+                .iter()
+                .map(|pair| {
+                    let parts = pair.as_arr().ok_or("handle arg must be an array")?;
+                    let [formal, mode] = parts else {
+                        return Err("handle arg must be [formal, mode]".to_string());
+                    };
+                    Ok((
+                        formal
+                            .as_str()
+                            .ok_or("formal must be a string")?
+                            .to_string(),
+                        mode_from_json(mode)?,
+                    ))
+                })
+                .collect::<Result<BTreeMap<String, ArgMode>, String>>()?,
+            arg_modes: jarr(value, "arg_modes")?
+                .iter()
+                .map(|mode| match mode {
+                    Json::Null => Ok(None),
+                    other => mode_from_json(other).map(Some),
+                })
+                .collect::<Result<Vec<Option<ArgMode>>, String>>()?,
+        })
+    }
+
+    fn return_summary_to_json(summary: &ReturnSummary) -> Json {
+        Json::obj(vec![
+            ("fresh", Json::Bool(summary.fresh)),
+            (
+                "relations",
+                Json::Arr(
+                    summary
+                        .relations
+                        .iter()
+                        .map(|(formal, to_ret, from_ret)| {
+                            Json::Arr(vec![
+                                Json::Str(formal.clone()),
+                                pathset_to_json(to_ret),
+                                pathset_to_json(from_ret),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn return_summary_from_json(value: &Json) -> Result<ReturnSummary, String> {
+        Ok(ReturnSummary {
+            fresh: jfield(value, "fresh")?
+                .as_bool()
+                .ok_or("\"fresh\" must be a bool")?,
+            relations: jarr(value, "relations")?
+                .iter()
+                .map(|relation| {
+                    let parts = relation.as_arr().ok_or("relation must be an array")?;
+                    let [formal, to_ret, from_ret] = parts else {
+                        return Err("relation must be [formal, to, from]".to_string());
+                    };
+                    Ok((
+                        formal
+                            .as_str()
+                            .ok_or("formal must be a string")?
+                            .to_string(),
+                        pathset_from_json(to_ret)?,
+                        pathset_from_json(from_ret)?,
+                    ))
+                })
+                .collect::<Result<Vec<(String, PathSet, PathSet)>, String>>()?,
+        })
+    }
+
+    /// Keyed-map helper: `[[key, value], ...]` with the keys sorted, so
+    /// the encoding is deterministic whatever map produced it.
+    fn keyed_to_json<V>(map: &HashMap<String, V>, encode: impl Fn(&V) -> Json) -> Json {
+        let mut keys: Vec<&String> = map.keys().collect();
+        keys.sort();
+        Json::Arr(
+            keys.into_iter()
+                .map(|key| Json::Arr(vec![Json::Str(key.clone()), encode(&map[key])]))
+                .collect(),
+        )
+    }
+
+    fn keyed_from_json<V>(
+        value: &Json,
+        key: &str,
+        decode: impl Fn(&Json) -> Result<V, String>,
+    ) -> Result<HashMap<String, V>, String> {
+        jarr(value, key)?
+            .iter()
+            .map(|pair| {
+                let parts = pair.as_arr().ok_or("keyed entry must be an array")?;
+                let [name, body] = parts else {
+                    return Err("keyed entry must be [key, value]".to_string());
+                };
+                Ok((
+                    name.as_str().ok_or("key must be a string")?.to_string(),
+                    decode(body)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Encode one analyzed program for the program namespace.
+    pub(crate) fn encode_program(entry: &AnalyzedProgram) -> Vec<u8> {
+        let analysis = &entry.analysis;
+        let mut procedures: HashMap<String, &ProcedureAnalysis> = HashMap::new();
+        for proc in analysis.procedures() {
+            procedures.insert(proc.name.clone(), proc);
+        }
+        Json::obj(vec![
+            ("v", Json::Int(1)),
+            ("fingerprint", json::hex64(entry.fingerprint)),
+            ("digest", json::hex64(analysis.digest())),
+            ("source", Json::Str(pretty_program(&entry.program))),
+            ("rounds", Json::Int(analysis.rounds as i64)),
+            (
+                "procedures",
+                keyed_to_json(&procedures, |proc| procedure_to_json(proc)),
+            ),
+            (
+                "summaries",
+                keyed_to_json(&analysis.summaries, proc_summary_to_json),
+            ),
+            (
+                "return_summaries",
+                keyed_to_json(&analysis.return_summaries, return_summary_to_json),
+            ),
+            (
+                "warnings",
+                Json::Arr(analysis.warnings.iter().map(warning_to_json).collect()),
+            ),
+        ])
+        .encode()
+        .into_bytes()
+    }
+
+    /// Decode a program entry, refusing anything whose source fingerprint
+    /// or analysis digest fails to reproduce `key`'s original.
+    pub(crate) fn decode_program(body: &[u8], key: u64) -> Option<Arc<AnalyzedProgram>> {
+        decode_program_checked(body, key).ok().map(Arc::new)
+    }
+
+    fn decode_program_checked(body: &[u8], key: u64) -> Result<AnalyzedProgram, String> {
+        let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+        let value = Json::parse(text).map_err(|e| e.to_string())?;
+        if jfield(&value, "v")?.as_u64() != Some(1) {
+            return Err("unknown program entry version".to_string());
+        }
+        if json::parse_hex64(jfield(&value, "fingerprint")?)? != key {
+            return Err("entry fingerprint does not match its key".to_string());
+        }
+        let digest = json::parse_hex64(jfield(&value, "digest")?)?;
+        let source = jstr(&value, "source")?;
+        let (program, types) = frontend(&source).map_err(|e| e.to_string())?;
+        if program_fingerprint(&program) != key {
+            return Err("stored source re-parses to a different program".to_string());
+        }
+        let analysis = AnalysisResult::from_parts(
+            keyed_from_json(&value, "procedures", procedure_from_json)?,
+            keyed_from_json(&value, "summaries", proc_summary_from_json)?,
+            keyed_from_json(&value, "return_summaries", return_summary_from_json)?,
+            jarr(&value, "warnings")?
+                .iter()
+                .map(warning_from_json)
+                .collect::<Result<Vec<StructureWarning>, String>>()?,
+            jfield(&value, "rounds")?
+                .as_u64()
+                .ok_or("\"rounds\" must be a count")? as usize,
+        );
+        if analysis.digest() != digest {
+            return Err("decoded analysis does not reproduce its digest".to_string());
+        }
+        Ok(AnalyzedProgram {
+            fingerprint: key,
+            program,
+            types,
+            analysis: Arc::new(analysis),
+            incremental: None,
+        })
+    }
+
+    /// Encode one per-SCC summary table for the summary namespace.
+    pub(crate) fn encode_summaries(table: &SummaryTable) -> Vec<u8> {
+        Json::obj(vec![
+            ("v", Json::Int(1)),
+            ("summaries", keyed_to_json(table, proc_summary_to_json)),
+        ])
+        .encode()
+        .into_bytes()
+    }
+
+    /// Decode a summary-table entry.
+    pub(crate) fn decode_summaries(body: &[u8]) -> Option<SummaryTable> {
+        let text = std::str::from_utf8(body).ok()?;
+        let value = Json::parse(text).ok()?;
+        if value.get("v")?.as_u64() != Some(1) {
+            return None;
+        }
+        keyed_from_json(&value, "summaries", proc_summary_from_json)
+            .ok()
+            .map(Arc::new)
+    }
+}

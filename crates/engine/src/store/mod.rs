@@ -29,9 +29,12 @@
 //! counters.  A `ShardedService` hands every shard the same store, which
 //! is what makes a cone analyzed on shard A a warm hit on shard B.
 
+pub mod durable;
 pub mod namespace;
 pub mod policy;
+pub mod segment;
 
+pub use durable::{DiskStats, DurableConfig, DurableTier, NS_PROGRAM, NS_SUMMARY};
 pub use namespace::{NamespaceCache, NamespaceStats, DEFAULT_STRIPES};
 pub use policy::{
     AdaptConfig, AdaptiveController, CacheStats, EvictionPolicy, PolicyChoice,
@@ -96,6 +99,9 @@ pub struct StoreConfig {
     pub walk_adapt: AdaptConfig,
     /// Lock stripes per namespace (clamped to each namespace's capacity).
     pub stripes: usize,
+    /// Durable disk tier under the in-memory namespaces (`None` =
+    /// memory-only, the historical behavior).
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for StoreConfig {
@@ -111,6 +117,7 @@ impl Default for StoreConfig {
             summary_adapt: AdaptConfig::default(),
             walk_adapt: AdaptConfig::default(),
             stripes: DEFAULT_STRIPES,
+            durable: None,
         }
     }
 }
@@ -137,6 +144,12 @@ impl StoreConfig {
         self.stripes = stripes;
         self
     }
+
+    /// Put a durable disk tier under the in-memory namespaces.
+    pub fn with_durable(mut self, durable: Option<DurableConfig>) -> Self {
+        self.durable = durable;
+        self
+    }
 }
 
 /// Counter snapshot of the whole store: one [`NamespaceStats`] per typed
@@ -149,6 +162,8 @@ pub struct StoreStats {
     pub summaries: NamespaceStats,
     /// The walk-record namespace.
     pub walks: NamespaceStats,
+    /// The durable disk tier, when one is configured.
+    pub disk: Option<DiskStats>,
 }
 
 impl StoreStats {
@@ -180,6 +195,9 @@ pub struct SummaryStore {
     programs: NamespaceCache<Arc<AnalyzedProgram>>,
     summaries: NamespaceCache<SummaryTable>,
     walks: NamespaceCache<WalkSet>,
+    /// The disk tier under `programs`/`summaries` (walk records are
+    /// cheap-to-rebuild replay tapes and stay memory-only).
+    durable: Option<DurableTier>,
 }
 
 impl Default for SummaryStore {
@@ -190,8 +208,18 @@ impl Default for SummaryStore {
 
 impl SummaryStore {
     /// A store with the given per-namespace capacities and policies.
+    ///
+    /// Construction stays infallible: when the configured durable tier
+    /// cannot be opened (unwritable directory, I/O error) the store logs
+    /// it and runs memory-only rather than refusing to start.
     pub fn new(config: StoreConfig) -> SummaryStore {
+        let durable = config.durable.clone().and_then(|durable| {
+            DurableTier::open(durable)
+                .map_err(|e| eprintln!("sil durable store: disabled ({e})"))
+                .ok()
+        });
         SummaryStore {
+            durable,
             programs: NamespaceCache::with_config(
                 config.program_capacity,
                 config.program_policy,
@@ -239,20 +267,82 @@ impl SummaryStore {
         &self.walks
     }
 
+    /// The durable disk tier, when one is configured and healthy.
+    pub fn durable(&self) -> Option<&DurableTier> {
+        self.durable.as_ref()
+    }
+
+    /// Tiered whole-program lookup: the in-memory namespace first, then
+    /// the disk tier (decoding, verifying, and promoting on a disk hit).
+    pub fn lookup_program(&self, fingerprint: u64) -> Option<Arc<AnalyzedProgram>> {
+        if let Some(entry) = self.programs.get(fingerprint) {
+            return Some(entry);
+        }
+        let tier = self.durable.as_ref()?;
+        let body = tier.get(NS_PROGRAM, fingerprint)?;
+        let entry = durable::codec::decode_program(&body, fingerprint)?;
+        self.programs.insert(fingerprint, entry.clone());
+        Some(entry)
+    }
+
+    /// Store a whole-program entry in both tiers (the disk write is
+    /// enqueued behind the hot path).
+    pub fn store_program(&self, fingerprint: u64, entry: Arc<AnalyzedProgram>) {
+        self.programs.insert(fingerprint, entry.clone());
+        if let Some(tier) = &self.durable {
+            tier.note_policy(NS_PROGRAM, self.programs.current_choice());
+            tier.put_program(fingerprint, entry);
+        }
+    }
+
+    /// Tiered per-SCC summary lookup, promoting disk hits.
+    pub fn lookup_summaries(&self, cone: u64) -> Option<SummaryTable> {
+        if let Some(table) = self.summaries.get(cone) {
+            return Some(table);
+        }
+        let tier = self.durable.as_ref()?;
+        let body = tier.get(NS_SUMMARY, cone)?;
+        let table = durable::codec::decode_summaries(&body)?;
+        self.summaries.insert(cone, table.clone());
+        Some(table)
+    }
+
+    /// Store a per-SCC summary table in both tiers.
+    pub fn store_summaries(&self, cone: u64, table: SummaryTable) {
+        self.summaries.insert(cone, table.clone());
+        if let Some(tier) = &self.durable {
+            tier.note_policy(NS_SUMMARY, self.summaries.current_choice());
+            tier.put_summaries(cone, table);
+        }
+    }
+
+    /// Block until every enqueued disk write is on disk.  A no-op for
+    /// memory-only stores.
+    pub fn flush(&self) {
+        if let Some(tier) = &self.durable {
+            tier.flush();
+        }
+    }
+
     /// Counter snapshot across all namespaces (aggregate + per stripe).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             programs: self.programs.stats(),
             summaries: self.summaries.stats(),
             walks: self.walks.stats(),
+            disk: self.durable.as_ref().map(|tier| tier.stats()),
         }
     }
 
-    /// Drop every entry in every namespace (the counters survive).
+    /// Drop every entry in every namespace — and truncate the disk tier,
+    /// so `ClearCaches` really does forget (the counters survive).
     pub fn clear(&self) {
         self.programs.clear();
         self.summaries.clear();
         self.walks.clear();
+        if let Some(tier) = &self.durable {
+            tier.clear();
+        }
     }
 }
 

@@ -1,0 +1,300 @@
+//! Crash-safety and restart-warm tests of the durable store tier.
+//!
+//! The property the tier sells: whatever a crash leaves behind on disk,
+//! recovery loads every intact prefix entry, never panics, reports what
+//! it dropped — and a restarted daemon serves previously analyzed
+//! programs from disk with digests byte-identical to a fresh analysis.
+
+use sil_analysis::{ArgMode, ProcSummary};
+use sil_engine::store::segment::{self, SegmentWriter};
+use sil_engine::{DurableConfig, Engine, EngineConfig, SummaryStore};
+use sil_workloads::generator::{GeneratorConfig, ProgramGenerator};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sil-durable-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn generated_sources(count: u64) -> Vec<String> {
+    (0..count)
+        .map(|seed| {
+            let mut generator = ProgramGenerator::new(GeneratorConfig {
+                statements: 30,
+                handle_vars: 5,
+                int_vars: 3,
+                seed,
+            });
+            sil_lang::pretty_program(&generator.generate())
+        })
+        .collect()
+}
+
+fn sample_table() -> Arc<HashMap<String, ProcSummary>> {
+    let mut table = HashMap::new();
+    table.insert(
+        "main".to_string(),
+        ProcSummary {
+            name: "main".to_string(),
+            handle_args: BTreeMap::from([
+                ("t".to_string(), ArgMode::StructUpdate),
+                ("u".to_string(), ArgMode::ReadOnly),
+            ]),
+            arg_modes: vec![Some(ArgMode::StructUpdate), None, Some(ArgMode::ReadOnly)],
+        },
+    );
+    Arc::new(table)
+}
+
+fn durable_store(dir: &std::path::Path) -> SummaryStore {
+    SummaryStore::new(sil_engine::StoreConfig::default().with_durable(Some(DurableConfig::at(dir))))
+}
+
+/// The headline property: a second engine over the same data directory
+/// (a "restarted daemon") serves previously analyzed programs as cache
+/// hits with byte-identical digests, visibly from the disk tier.
+#[test]
+fn restart_warm_engine_serves_from_disk_with_identical_digests() {
+    let dir = temp_dir("restart");
+    let sources = generated_sources(4);
+    let config = EngineConfig::default().with_durable(Some(DurableConfig::at(&dir)));
+
+    let digests: Vec<u64> = {
+        let engine = Engine::new(config.clone());
+        let digests = sources
+            .iter()
+            .map(|src| {
+                let (entry, hit) = engine.analyze_source_traced(src).unwrap();
+                assert!(!hit, "cold analysis must miss");
+                entry.analysis.digest()
+            })
+            .collect();
+        engine.store().flush();
+        digests
+    };
+
+    let engine = Engine::new(config);
+    for (src, &expected) in sources.iter().zip(&digests) {
+        let (entry, hit) = engine.analyze_source_traced(src).unwrap();
+        assert!(hit, "restarted engine must serve the program warm");
+        assert_eq!(
+            entry.analysis.digest(),
+            expected,
+            "disk-served analysis must be byte-identical to the original"
+        );
+    }
+    let disk = engine.store().stats().disk.expect("disk tier configured");
+    assert_eq!(disk.hits, sources.len() as u64);
+    // Recovery loads the program entries *and* the per-SCC summary
+    // tables the first engine persisted alongside them.
+    assert!(disk.recovered_entries >= sources.len() as u64);
+    assert_eq!(disk.dropped_bytes, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash mid-append leaves a torn final entry; recovery keeps every
+/// entry before it and reports the dropped bytes.
+#[test]
+fn torn_final_entry_is_dropped_and_the_prefix_survives() {
+    let dir = temp_dir("torn");
+    {
+        let store = durable_store(&dir);
+        for key in 1..=5u64 {
+            store.store_summaries(key, sample_table());
+        }
+        store.flush();
+    }
+    // Simulate the crash: half an entry header at the end of the segment.
+    let segment = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|ext| ext == "sil"))
+        .expect("a segment file");
+    let mut bytes = std::fs::read(&segment).unwrap();
+    bytes.extend_from_slice(&[0x40, 0x00, 0x00]);
+    std::fs::write(&segment, &bytes).unwrap();
+
+    let store = durable_store(&dir);
+    let disk = store.stats().disk.unwrap();
+    assert_eq!(disk.recovered_entries, 5);
+    assert_eq!(disk.dropped_bytes, 3);
+    for key in 1..=5u64 {
+        let table = store
+            .lookup_summaries(key)
+            .expect("intact prefix entry must be served");
+        assert_eq!(*table, *sample_table());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Truncate a segment at every byte boundary: recovery must never panic
+/// and must load exactly the entries that fit entirely in the prefix.
+#[test]
+fn truncation_at_every_byte_boundary_recovers_the_intact_prefix() {
+    let dir = temp_dir("truncate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("seg-000001.sil");
+    let mut writer = SegmentWriter::create(&path).unwrap();
+    let originals = [
+        writer.append(0, 11, b"first body").unwrap(),
+        writer.append(1, 22, b"").unwrap(),
+        writer.append(0, 33, b"third, a little longer").unwrap(),
+    ];
+    drop(writer);
+    let full = std::fs::read(&path).unwrap();
+
+    let cut = dir.join("cut.sil");
+    for len in 0..=full.len() {
+        std::fs::write(&cut, &full[..len]).unwrap();
+        let report = segment::scan(&cut).unwrap();
+        let expected: Vec<_> = originals
+            .iter()
+            .copied()
+            .filter(|e| e.offset + e.stored_bytes() <= len as u64)
+            .collect();
+        assert_eq!(report.entries, expected, "truncated to {len} bytes");
+        assert_eq!(report.dropped, report.dropped_bytes > 0);
+        if len >= segment::MAGIC.len() {
+            assert_eq!(
+                report.dropped_bytes as usize,
+                len - report.valid_len as usize
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flip one bit in every byte of a segment: recovery must never panic,
+/// must keep every entry before the corrupted one, and must drop the
+/// corrupted entry and everything after it.
+#[test]
+fn single_bit_corruption_never_panics_and_keeps_the_prefix() {
+    let dir = temp_dir("bitflip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("seg-000001.sil");
+    let mut writer = SegmentWriter::create(&path).unwrap();
+    let originals = [
+        writer.append(0, 101, b"alpha").unwrap(),
+        writer.append(1, 102, b"beta beta").unwrap(),
+        writer.append(0, 103, b"gamma gamma gamma").unwrap(),
+    ];
+    drop(writer);
+    let full = std::fs::read(&path).unwrap();
+
+    let flipped = dir.join("flipped.sil");
+    for byte in 0..full.len() {
+        let mut bytes = full.clone();
+        bytes[byte] ^= 1 << (byte % 8);
+        std::fs::write(&flipped, &bytes).unwrap();
+        let report = segment::scan(&flipped).unwrap();
+        if byte < segment::MAGIC.len() {
+            assert!(report.entries.is_empty(), "flip in magic at byte {byte}");
+            assert_eq!(report.valid_len, 0);
+            continue;
+        }
+        // The entry whose stored bytes contain the flipped byte is the
+        // first casualty; everything before it must survive verbatim.
+        let casualty = originals
+            .iter()
+            .position(|e| (e.offset..e.offset + e.stored_bytes()).contains(&(byte as u64)))
+            .expect("every non-magic byte belongs to an entry");
+        assert_eq!(report.entries, originals[..casualty], "flip at byte {byte}");
+        assert!(report.dropped, "flip at byte {byte} must report a drop");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `clear()` truncates the disk tier too, and discards writes that were
+/// still queued when the clear happened — a cleared store stays cleared.
+#[test]
+fn clear_truncates_disk_and_discards_stale_queued_writes() {
+    let dir = temp_dir("clear");
+    let store = durable_store(&dir);
+    store.store_summaries(7, sample_table());
+    store.flush();
+    assert!(store.lookup_summaries(7).is_some());
+
+    // Enqueue a write, then clear before it can be flushed: the write
+    // must not resurrect after the clear.
+    store.store_summaries(8, sample_table());
+    store.clear();
+    store.flush();
+
+    let disk = store.stats().disk.unwrap();
+    assert_eq!(disk.entries, 0);
+    assert_eq!(disk.live_bytes, 0);
+    assert!(store.lookup_summaries(7).is_none());
+    assert!(store.lookup_summaries(8).is_none());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rewriting the same keys over and over leaves sealed segments full of
+/// dead entries; compaction folds the live ones forward and deletes the
+/// dead files, keeping disk usage proportional to live data.
+#[test]
+fn compaction_reclaims_mostly_dead_segments() {
+    let dir = temp_dir("compact");
+    let store = SummaryStore::new(
+        sil_engine::StoreConfig::default()
+            .with_durable(Some(DurableConfig::at(&dir).with_segment_bytes(512))),
+    );
+    for _ in 0..60 {
+        store.store_summaries(1, sample_table());
+        store.store_summaries(2, sample_table());
+        store.flush();
+    }
+    let disk = store.stats().disk.unwrap();
+    assert!(disk.compactions > 0, "rewrites must trigger compaction");
+    assert_eq!(disk.entries, 2);
+    assert!(
+        disk.segments <= 3,
+        "dead segments must be deleted (still {} on disk)",
+        disk.segments
+    );
+    assert!(store.lookup_summaries(1).is_some());
+    assert!(store.lookup_summaries(2).is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The byte budget sheds the coldest entries instead of growing forever.
+#[test]
+fn byte_budget_evicts_cold_entries() {
+    let dir = temp_dir("budget");
+    let store = SummaryStore::new(
+        sil_engine::StoreConfig::default()
+            .with_durable(Some(DurableConfig::at(&dir).with_byte_budget(1024))),
+    );
+    for key in 1..=64u64 {
+        store.store_summaries(key, sample_table());
+    }
+    store.flush();
+    let disk = store.stats().disk.unwrap();
+    assert!(disk.evictions > 0, "the budget must shed entries");
+    assert!(disk.live_bytes <= 1024);
+    assert!(disk.entries < 64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store whose data directory cannot be created degrades to
+/// memory-only instead of failing construction.
+#[test]
+fn unopenable_data_dir_degrades_to_memory_only() {
+    let file =
+        std::env::temp_dir().join(format!("sil-durable-test-{}-not-a-dir", std::process::id()));
+    std::fs::write(&file, b"occupied").unwrap();
+    let store = durable_store(&file.join("sub"));
+    assert!(store.stats().disk.is_none());
+    store.store_summaries(1, sample_table());
+    assert!(store.lookup_summaries(1).is_some());
+    let _ = std::fs::remove_file(&file);
+}

@@ -352,6 +352,55 @@ fn malformed_lines_are_answered_not_fatal() {
     handle.shutdown();
 }
 
+/// Regression test for the parser nesting-depth cap: a hostile line of
+/// thousands of `[` characters used to overflow the recursive-descent
+/// parser's stack and kill the daemon.  It must now come back as an
+/// ordinary malformed-error response, and the connection must survive.
+#[test]
+fn hostile_deep_nesting_is_a_parse_error_not_a_crash() {
+    use std::io::{BufRead, BufReader, Write};
+    let (_service, handle) = spawn_daemon("deep-nesting", 1);
+    let Addr::Unix(path) = handle.addr().clone() else {
+        panic!("expected a unix socket");
+    };
+    let mut stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Well past the ~128 depth cap, far short of what blows the stack.
+    let mut hostile = "[".repeat(4096);
+    hostile.push('\n');
+    stream.write_all(hostile.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match Response::decode(line.trim()).unwrap() {
+        Response::Error { error, .. } => assert_eq!(error.kind, ErrorKind::Malformed),
+        other => panic!("{other:?}"),
+    }
+
+    // Mixed nesting is capped too, and the connection still works after.
+    let mut mixed = "[{\"a\":".repeat(2048);
+    mixed.push('\n');
+    stream.write_all(mixed.as_bytes()).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::decode(line.trim()).unwrap(),
+        Response::Error { .. }
+    ));
+
+    stream
+        .write_all((Request::stats().encode() + "\n").as_bytes())
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::decode(line.trim()).unwrap(),
+        Response::Stats { .. }
+    ));
+
+    handle.shutdown();
+}
+
 /// A client-sent shutdown request stops the accept loop and removes the
 /// socket file.
 #[test]

@@ -143,3 +143,50 @@ fn every_sample_is_covered_by_its_bucket() {
         assert!(low <= v && v <= high, "{v} outside [{low}, {high}]");
     }
 }
+
+/// Regression test (ISSUE 7 satellite): quantiles come from log-bucket
+/// midpoints, so before the observed-min/max clamp a single-value
+/// histogram could report a `p50` *above the only value ever recorded*,
+/// and `p999` could exceed the largest.  Every quantile must now land
+/// inside the observed `[min, max]`.
+#[test]
+fn single_value_histogram_reports_that_value_at_every_quantile() {
+    // Values chosen to sit away from bucket boundaries, where the
+    // midpoint overshoot used to show.
+    for value in [1u64, 99, 1_000_003, 123_456_789_123] {
+        let hist = Histogram::new();
+        hist.record(value);
+        let snap = hist.snapshot();
+        for q in QUANTILES {
+            assert_eq!(
+                snap.quantile(q),
+                value,
+                "single-value histogram must report {value} at q={q}"
+            );
+        }
+    }
+}
+
+/// Property form of the clamp: across seeds, no quantile of a recorded
+/// distribution may exceed the observed maximum or undercut the minimum.
+#[test]
+fn quantiles_never_leave_the_observed_range() {
+    for seed in [3u64, 17, 2026] {
+        let samples = deterministic_samples(seed);
+        let hist = Histogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        for q in QUANTILES {
+            let got = snap.quantile(q);
+            assert!(
+                (min..=max).contains(&got),
+                "seed {seed} q={q}: {got} outside observed [{min}, {max}]"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), max, "seed {seed}: p100 is the max");
+    }
+}
