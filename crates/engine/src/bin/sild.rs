@@ -26,9 +26,10 @@
 
 use sil_engine::cli::unknown_flag_error;
 use sil_engine::service::{Addr, Server, ServerKind, ServerOptions, ShardedService};
-use sil_engine::{DurableConfig, EngineConfig, EvictionPolicy};
+use sil_engine::{DurableConfig, EngineConfig, EvictionPolicy, PeerConfig, PeerRing};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: sild --listen <addr> [options]
@@ -58,7 +59,16 @@ options:
                       (visible as store.disk.* in `silp --metrics`)
   --fsync             sync every flush batch to stable storage (with
                       --data-dir; slower, survives power loss)
-  --no-durable        ignore --data-dir and run memory-only
+  --no-durable        run memory-only (contradicts --data-dir: passing both
+                      is an error, not a silent override)
+  --peer <addr>       a peer daemon (unix:<path> or tcp:<host:port>) to
+                      gossip digest inventories with and fetch cache misses
+                      from before recomputing; repeatable
+  --gossip-interval <ms>  how often to exchange inventories with peers
+                      (default: 2000; needs --peer)
+  --no-peer-serve     refuse to answer peer_inventory/peer_fetch requests
+                      (incompatible with --peer: a daemon that fetches from
+                      the cluster must serve it back)
   --no-incremental    disable incremental re-analysis inside the shards
   --no-parallel       analyze sequentially inside each shard
   --quiet             no startup/shutdown log lines on stderr
@@ -78,6 +88,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--data-dir",
     "--fsync",
     "--no-durable",
+    "--peer",
+    "--gossip-interval",
+    "--no-peer-serve",
     "--no-incremental",
     "--no-parallel",
     "--quiet",
@@ -90,6 +103,9 @@ struct Cli {
     config: EngineConfig,
     server: ServerOptions,
     quiet: bool,
+    peers: Vec<Addr>,
+    gossip_interval: Option<u64>,
+    no_peer_serve: bool,
 }
 
 /// Parse the next argument as `flag`'s value: a strictly positive integer.
@@ -115,6 +131,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut data_dir: Option<String> = None;
     let mut fsync = false;
     let mut no_durable = false;
+    let mut peers: Vec<Addr> = Vec::new();
+    let mut gossip_interval: Option<u64> = None;
+    let mut no_peer_serve = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -144,6 +163,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--fsync" => fsync = true,
             "--no-durable" => no_durable = true,
+            "--peer" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--peer needs an address")?;
+                peers.push(Addr::parse(raw)?);
+            }
+            flag @ "--gossip-interval" => {
+                gossip_interval = Some(positive_count(args, &mut i, flag)?);
+            }
+            "--no-peer-serve" => no_peer_serve = true,
             "--no-incremental" => config = config.with_incremental(false),
             "--no-parallel" => config = config.with_parallel(false),
             "--quiet" => quiet = true,
@@ -156,10 +184,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if fsync && data_dir.is_none() {
         return Err("--fsync needs --data-dir".to_string());
     }
+    // Contradictory flags are errors, not silent overrides: a daemon asked
+    // to persist *and* to run memory-only is a misconfiguration someone
+    // should hear about before it loses their warm cache.
+    if no_durable && data_dir.is_some() {
+        return Err("--data-dir and --no-durable contradict each other: \
+             drop one (remove --no-durable to persist, or --data-dir to run memory-only)"
+            .to_string());
+    }
+    if no_peer_serve && !peers.is_empty() {
+        return Err(
+            "--peer and --no-peer-serve contradict each other: a daemon that \
+             fetches from the cluster must answer the cluster's fetches too"
+                .to_string(),
+        );
+    }
+    if gossip_interval.is_some() && peers.is_empty() {
+        return Err("--gossip-interval needs at least one --peer".to_string());
+    }
     if let Some(dir) = data_dir {
-        if !no_durable {
-            config = config.with_durable(Some(DurableConfig::at(dir).with_fsync(fsync)));
-        }
+        config = config.with_durable(Some(DurableConfig::at(dir).with_fsync(fsync)));
     }
     Ok(Cli {
         listen,
@@ -167,6 +211,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         server,
         quiet,
+        peers,
+        gossip_interval,
+        no_peer_serve,
     })
 }
 
@@ -185,7 +232,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let service = Arc::new(ShardedService::new(cli.shards, cli.config));
+    let service =
+        Arc::new(ShardedService::new(cli.shards, cli.config).with_peer_serve(!cli.no_peer_serve));
+    let ring = if cli.peers.is_empty() {
+        None
+    } else {
+        let mut peer_config = PeerConfig::new(cli.peers.clone());
+        if let Some(ms) = cli.gossip_interval {
+            peer_config = peer_config.with_gossip_interval(Duration::from_millis(ms));
+        }
+        let ring = PeerRing::spawn(peer_config, service.tracer().clone());
+        service.store().attach_peers(ring.clone());
+        Some(ring)
+    };
     let server = match Server::bind_with(&cli.listen, service, cli.server) {
         Ok(server) => server,
         Err(e) => {
@@ -198,14 +257,21 @@ fn main() -> ExitCode {
             eprintln!("sild: --async is not supported on this platform; serving threaded");
         }
         eprintln!(
-            "sild: listening on {} with {} shard{} ({} server)",
+            "sild: listening on {} with {} shard{} ({} server){}",
             server.addr(),
             cli.shards,
             if cli.shards == 1 { "" } else { "s" },
             server.kind().name(),
+            match cli.peers.len() {
+                0 => String::new(),
+                n => format!(", peered with {n} daemon{}", if n == 1 { "" } else { "s" }),
+            },
         );
     }
     server.run();
+    if let Some(ring) = ring {
+        ring.shutdown();
+    }
     if !cli.quiet {
         eprintln!("sild: shut down");
     }

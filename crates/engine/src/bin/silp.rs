@@ -322,6 +322,25 @@ fn render_stats(
             disk.live_bytes,
         );
     }
+    if let Some(peer) = &store.peer {
+        // entries/cap shows the advertised remote keys (no local bound);
+        // the evict column carries breaker trips, the nearest analogue of
+        // "entries this tier gave up on".
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>11} {:>9} {:>7} {:>7} {:>6}  peering ({} peer{}, {} quarantined, {} served)",
+            "peer",
+            format!("{}/-", peer.known_keys),
+            percent(peer.hits, peer.misses),
+            peer.hits,
+            peer.misses,
+            peer.quarantines,
+            peer.peers,
+            if peer.peers == 1 { "" } else { "s" },
+            peer.quarantined,
+            peer.serves,
+        );
+    }
     let _ = writeln!(out, "  shard views (hit rate per namespace):");
     for (index, shard) in shards.iter().enumerate() {
         let _ = writeln!(
@@ -354,10 +373,23 @@ fn render_metrics(metrics: &MetricsSnapshot) -> String {
         metrics.gauges.len(),
         metrics.histograms.len(),
     );
-    for (name, value) in &metrics.counters {
-        let _ = writeln!(out, "  {name:<34} {value:>12}");
-    }
-    for (name, value) in &metrics.gauges {
+    // One globally name-sorted listing of counters and gauges (not "all
+    // counters, then all gauges" in whatever order the service spliced
+    // them): a daemon and an in-process run then render byte-identical
+    // tables for identical registries, and diffs between runs line up.
+    let mut scalars: Vec<(&str, String)> = metrics
+        .counters
+        .iter()
+        .map(|(name, value)| (name.as_str(), value.to_string()))
+        .chain(
+            metrics
+                .gauges
+                .iter()
+                .map(|(name, value)| (name.as_str(), value.to_string())),
+        )
+        .collect();
+    scalars.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (name, value) in scalars {
         let _ = writeln!(out, "  {name:<34} {value:>12}");
     }
     if !metrics.histograms.is_empty() {
@@ -366,7 +398,9 @@ fn render_metrics(metrics: &MetricsSnapshot) -> String {
             "  {:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
             "histogram (µs)", "count", "p50", "p90", "p99", "p999", "max"
         );
-        for (name, h) in &metrics.histograms {
+        let mut histograms: Vec<_> = metrics.histograms.iter().collect();
+        histograms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in histograms {
             let _ = writeln!(
                 out,
                 "  {:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",

@@ -51,10 +51,12 @@
 //! ```
 
 pub mod cli;
+pub mod peer;
 pub mod report;
 pub mod service;
 pub mod store;
 
+pub use peer::{PeerConfig, PeerRing, PeerStats};
 pub use report::{ExecutionReport, IncrementalReport, ProcessOptions, ProgramReport};
 pub use service::{
     Addr, LocalService, RemoteService, Request, Response, Server, ServerHandle, ServerStats,
@@ -379,6 +381,18 @@ pub fn export_store_metrics(stats: &StoreStats, raw: &mut RawMetrics) {
         raw.push_gauge("store.disk.entries", disk.entries as i64);
         raw.push_gauge("store.disk.live_bytes", disk.live_bytes as i64);
         raw.push_gauge("store.disk.segments", disk.segments as i64);
+    }
+    if let Some(peer) = &stats.peer {
+        raw.push_counter("store.peer.hits", peer.hits);
+        raw.push_counter("store.peer.misses", peer.misses);
+        raw.push_counter("store.peer.gossip_rounds", peer.gossip_rounds);
+        raw.push_counter("store.peer.quarantines", peer.quarantines);
+        raw.push_counter("store.peer.bytes_in", peer.bytes_in);
+        raw.push_counter("store.peer.bytes_out", peer.bytes_out);
+        raw.push_counter("store.peer.serves", peer.serves);
+        raw.push_gauge("store.peer.peers", peer.peers as i64);
+        raw.push_gauge("store.peer.quarantined", peer.quarantined as i64);
+        raw.push_gauge("store.peer.known_keys", peer.known_keys as i64);
     }
 }
 

@@ -1,0 +1,245 @@
+//! The peer fetch path: single-flight, deadline-bounded, breaker-guarded
+//! retrieval of one cache entry from the ring.
+//!
+//! The store calls [`PeerRing::fetch_program`]/[`PeerRing::fetch_summaries`]
+//! after both local tiers miss.  Candidate peers are ordered by gossip
+//! knowledge — peers advertising the key first, every other live peer as
+//! fallback — and each is asked over a connection whose connect, read, and
+//! write timeouts are all the configured fetch deadline, so a hung peer
+//! costs one bounded wait, never a stall.  A returned body is decoded and
+//! verified with the durable tier's own codec before it counts as a hit;
+//! a body that fails verification is discarded and the next peer is tried.
+//!
+//! Single-flight: concurrent misses on one `(namespace, key)` elect a
+//! leader; followers block on the leader's `Flight` slot and share its
+//! verified result, so a thundering herd on one hot cone issues exactly
+//! one network fetch.
+
+use super::{Peer, PeerRing};
+use crate::service::proto::{ErrorKind, PeerNamespace, Request, Response};
+use crate::service::{RemoteService, Service};
+use crate::store::durable::codec;
+use crate::store::SummaryTable;
+use crate::AnalyzedProgram;
+use std::collections::hash_map::Entry;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A verified entry fetched from a peer.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    Program(Arc<AnalyzedProgram>),
+    Summaries(SummaryTable),
+}
+
+/// The single-flight rendezvous for one in-progress fetch: the leader
+/// publishes its result (hit or miss) and every follower clones it.
+#[derive(Debug, Default)]
+pub(crate) struct Flight {
+    slot: Mutex<Option<Option<Payload>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Option<Payload> {
+        let mut slot = self.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.ready.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+
+    fn publish(&self, result: Option<Payload>) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// What one request/response exchange with a peer amounted to.
+pub(crate) enum Exchange {
+    /// A well-formed reply from a live, peering-capable daemon.
+    Reply(Box<Response>),
+    /// Transport failure (or active quarantine); the breaker was updated.
+    Failed,
+    /// The daemon is alive but answered the peering kind with an error:
+    /// it predates the extension or serves with `--no-peer-serve`.  Not a
+    /// breaker event — the daemon is healthy, just not a cache peer.
+    Unsupported,
+}
+
+/// One exchange with `peer`, reusing its cached connection when possible.
+/// The connection is taken out of the peer's lock for the duration of the
+/// network call, so stats snapshots never block behind a slow peer.
+pub(crate) fn exchange(ring: &PeerRing, peer: &Peer, request: Request) -> Exchange {
+    let conn = {
+        let mut inner = peer.inner.lock().unwrap();
+        if inner.in_quarantine(Instant::now()) {
+            return Exchange::Failed;
+        }
+        match inner.conn.take() {
+            Some(conn) => conn,
+            None => {
+                drop(inner);
+                match RemoteService::dial_with_timeout(&peer.addr, Some(ring.config.fetch_timeout))
+                {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        note_failure(ring, peer);
+                        return Exchange::Failed;
+                    }
+                }
+            }
+        }
+    };
+    match conn.call(request) {
+        Response::Error { error, .. } if error.kind == ErrorKind::Transport => {
+            // The pipe poisons itself after any transport fault; drop it
+            // so the next attempt re-dials.
+            note_failure(ring, peer);
+            Exchange::Failed
+        }
+        Response::Error { .. } => {
+            // The daemon answered — it is alive — but rejected the peer
+            // kind (`malformed` on old builds, `--no-peer-serve` refusals,
+            // version skew).  Flag it and stop advertising its keys.
+            let mut inner = peer.inner.lock().unwrap();
+            inner.unsupported = true;
+            inner.failures = 0;
+            inner.quarantined_until = None;
+            inner.programs.clear();
+            inner.summaries.clear();
+            inner.conn = Some(conn);
+            Exchange::Unsupported
+        }
+        response => {
+            ring.counters
+                .bytes_in
+                .fetch_add(response.encode().len() as u64, Ordering::Relaxed);
+            let mut inner = peer.inner.lock().unwrap();
+            inner.conn = Some(conn);
+            inner.failures = 0;
+            inner.quarantined_until = None;
+            inner.unsupported = false;
+            Exchange::Reply(Box::new(response))
+        }
+    }
+}
+
+/// Book one transport failure against `peer`: drop its connection, bump
+/// the consecutive-failure count, and trip the breaker at the threshold
+/// (also re-arming it when a post-quarantine probe fails).
+pub(crate) fn note_failure(ring: &PeerRing, peer: &Peer) {
+    let mut inner = peer.inner.lock().unwrap();
+    inner.conn = None;
+    inner.failures = inner.failures.saturating_add(1);
+    let now = Instant::now();
+    if inner.failures >= ring.config.failure_threshold && !inner.in_quarantine(now) {
+        inner.quarantined_until = Some(now + ring.config.quarantine);
+        inner.generation = 0;
+        inner.programs.clear();
+        inner.summaries.clear();
+        ring.counters.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl PeerRing {
+    /// Fetch and verify one whole-program entry from the ring.
+    pub fn fetch_program(&self, key: u64) -> Option<Arc<AnalyzedProgram>> {
+        match self.fetch(PeerNamespace::Programs, key)? {
+            Payload::Program(entry) => Some(entry),
+            Payload::Summaries(_) => None,
+        }
+    }
+
+    /// Fetch and verify one per-SCC summary table from the ring.
+    pub fn fetch_summaries(&self, key: u64) -> Option<SummaryTable> {
+        match self.fetch(PeerNamespace::Summaries, key)? {
+            Payload::Summaries(table) => Some(table),
+            Payload::Program(_) => None,
+        }
+    }
+
+    fn fetch(&self, namespace: PeerNamespace, key: u64) -> Option<Payload> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.entry((namespace, key)) {
+                Entry::Occupied(entry) => (entry.get().clone(), false),
+                Entry::Vacant(entry) => {
+                    let flight = Arc::new(Flight::default());
+                    entry.insert(flight.clone());
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            return flight.wait();
+        }
+        let result = {
+            let _span = self.tracer.start("peer-fetch");
+            let start = silobs::ticks();
+            let result = self.fetch_from_peers(namespace, key);
+            self.fetch_us.record(silobs::ticks().saturating_sub(start));
+            result
+        };
+        match &result {
+            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        flight.publish(result.clone());
+        self.flights.lock().unwrap().remove(&(namespace, key));
+        result
+    }
+
+    fn fetch_from_peers(&self, namespace: PeerNamespace, key: u64) -> Option<Payload> {
+        let now = Instant::now();
+        // Gossip-informed candidate order: advertisers of the key first,
+        // then every other live peer (gossip lags reality by up to one
+        // interval, so "not advertised" is a hint, not a verdict).
+        let mut advertisers = Vec::new();
+        let mut fallback = Vec::new();
+        for (index, peer) in self.peers.iter().enumerate() {
+            let inner = peer.inner.lock().unwrap();
+            if inner.unsupported || inner.in_quarantine(now) {
+                continue;
+            }
+            if inner.advertises(namespace, key) {
+                advertisers.push(index);
+            } else {
+                fallback.push(index);
+            }
+        }
+        advertisers.extend(fallback);
+        for index in advertisers {
+            let peer = &self.peers[index];
+            let reply = match exchange(self, peer, Request::peer_fetch(namespace, key)) {
+                Exchange::Reply(reply) => reply,
+                Exchange::Failed | Exchange::Unsupported => continue,
+            };
+            if let Response::PeerEntry {
+                body: Some(body), ..
+            } = *reply
+            {
+                let bytes = body.encode().into_bytes();
+                let payload = match namespace {
+                    PeerNamespace::Programs => {
+                        codec::decode_program(&bytes, key).map(Payload::Program)
+                    }
+                    PeerNamespace::Summaries => {
+                        codec::decode_summaries(&bytes).map(Payload::Summaries)
+                    }
+                };
+                // A body that fails fingerprint/digest verification is
+                // dropped on the floor; some other peer may hold a good
+                // copy.
+                if let Some(payload) = payload {
+                    return Some(payload);
+                }
+            }
+        }
+        None
+    }
+}

@@ -28,8 +28,8 @@ mod threaded;
 
 pub use json::{Json, JsonError};
 pub use proto::{
-    AnalyzeSummary, ErrorKind, Request, Response, ServerStats, ServiceError, TraceSpan,
-    PROTOCOL_VERSION,
+    AnalyzeSummary, ErrorKind, PeerNamespace, Request, Response, ServerStats, ServiceError,
+    TraceSpan, PROTOCOL_VERSION,
 };
 pub use remote::RemoteService;
 pub use server::{Server, ServerHandle, ServerKind, ServerOptions};
@@ -131,6 +131,18 @@ fn unexpected(wanted: &str, got: &Response) -> ServiceError {
     ))
 }
 
+/// Answer one peer fetch from `store`'s own tiers (memory, then disk) as
+/// the codec document the fetcher will re-verify.  Never recomputes and
+/// never consults the store's *own* peer ring — a peer-originated request
+/// stops here, so fetch chains cannot loop through the cluster.
+fn peer_entry_body(store: &SummaryStore, namespace: PeerNamespace, key: u64) -> Option<Json> {
+    let body = match namespace {
+        PeerNamespace::Programs => store.peer_program_body(key),
+        PeerNamespace::Summaries => store.peer_summary_body(key),
+    }?;
+    Json::parse(std::str::from_utf8(&body).ok()?).ok()
+}
+
 /// The stable routing key for one source text: the content fingerprint of
 /// its normalized program.  Sources that fail the frontend hash their raw
 /// bytes instead (FNV-1a) — still deterministic, so the same broken input
@@ -193,6 +205,9 @@ impl Engine {
             Request::Metrics { .. } => {
                 let mut raw = self.metrics_raw();
                 export_store_metrics(&self.store_stats(), &mut raw);
+                if let Some(ring) = self.store().peers() {
+                    raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
+                }
                 Response::metrics(raw.summarize())
             }
             Request::TraceDump { .. } => Response::trace(
@@ -206,6 +221,15 @@ impl Engine {
                 self.clear_caches();
                 Response::cleared()
             }
+            Request::PeerInventory { .. } => {
+                let (generation, programs, summaries) = self.store().peer_inventory();
+                Response::peer_inventory(generation, programs, summaries)
+            }
+            Request::PeerFetch { namespace, key, .. } => Response::peer_entry(
+                namespace,
+                key,
+                peer_entry_body(self.store(), namespace, key),
+            ),
             // In process there is nothing to shut down; the daemon's server
             // loop intercepts this variant before it reaches an engine.
             Request::Shutdown { .. } => Response::shutting_down(),
@@ -289,6 +313,10 @@ pub struct ShardedService {
     /// One tracer shared by every shard, so a dump interleaves spans from
     /// all of them in one tick-ordered stream.
     tracer: Arc<Tracer>,
+    /// Answer `peer_inventory`/`peer_fetch` requests (`sild
+    /// --no-peer-serve` turns this off; the refusal is indistinguishable
+    /// from a pre-peering daemon, by design).
+    peer_serve: bool,
 }
 
 impl ShardedService {
@@ -323,7 +351,14 @@ impl ShardedService {
             store,
             shards,
             tracer,
+            peer_serve: true,
         }
+    }
+
+    /// Enable or disable answering peer inventory/fetch requests.
+    pub fn with_peer_serve(mut self, peer_serve: bool) -> ShardedService {
+        self.peer_serve = peer_serve;
+        self
     }
 
     /// The tracer every shard records into.
@@ -450,6 +485,9 @@ impl ShardedService {
                     raw.absorb(&shard.metrics_raw());
                 }
                 export_store_metrics(&self.store.stats(), &mut raw);
+                if let Some(ring) = self.store.peers() {
+                    raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
+                }
                 Response::metrics(raw.summarize())
             }
             Request::TraceDump { .. } => {
@@ -459,6 +497,25 @@ impl ShardedService {
             Request::ClearCaches { .. } => {
                 self.store.clear();
                 Response::cleared()
+            }
+            // Peer requests answer from the shared store directly — no
+            // shard routing, no recomputation, and no consulting *this*
+            // daemon's ring, so a fetch from a peer can never fan back out
+            // into the cluster.
+            Request::PeerInventory { .. } if !self.peer_serve => {
+                Response::error(ServiceError::malformed("peer serving is disabled"))
+            }
+            Request::PeerFetch { .. } if !self.peer_serve => {
+                Response::error(ServiceError::malformed("peer serving is disabled"))
+            }
+            Request::PeerInventory { .. } => {
+                let _span = self.tracer.start("peer-serve");
+                let (generation, programs, summaries) = self.store.peer_inventory();
+                Response::peer_inventory(generation, programs, summaries)
+            }
+            Request::PeerFetch { namespace, key, .. } => {
+                let _span = self.tracer.start("peer-serve");
+                Response::peer_entry(namespace, key, peer_entry_body(&self.store, namespace, key))
             }
             Request::Shutdown { .. } => Response::shutting_down(),
         }

@@ -15,7 +15,9 @@
 
 use super::json::{hex64, parse_hex64, Json};
 use crate::report::{field, string_list, ProcessOptions, ProgramReport};
-use crate::store::{DiskStats, EvictionPolicy, NamespaceStats, PolicyChoice, StoreStats};
+use crate::store::{
+    DiskStats, EvictionPolicy, NamespaceStats, PeerStats, PolicyChoice, StoreStats,
+};
 use crate::{CacheStats, EngineError, EngineStats};
 use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
 
@@ -39,6 +41,13 @@ use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
 /// both ways by construction — a client that never sends them never sees
 /// them, and a server that does not know them answers `malformed` like any
 /// unknown type — so observability rides along without a version bump.
+///
+/// Still v2 once more: the additive `peer_inventory` and `peer_fetch`
+/// request kinds (answered with `peer_inventory`/`peer_entry` responses)
+/// that back summary-cache peering, and the *optional* `peer` member on
+/// the `stats` response.  A daemon without the feature answers the new
+/// kinds `malformed`, which a peering client treats as "feature absent"
+/// rather than a fault, so mixed-version clusters keep working.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A request to the analysis service.  Every variant carries the
@@ -73,6 +82,19 @@ pub enum Request {
     ClearCaches { version: u32 },
     /// Ask a daemon to exit after responding.
     Shutdown { version: u32 },
+    /// Ask a peering daemon for its compact digest inventory: the store
+    /// generation plus every program/summary fingerprint it holds
+    /// (additive, still v2).
+    PeerInventory { version: u32 },
+    /// Fetch one cached entry by namespace and fingerprint from a peering
+    /// daemon (additive, still v2).  A daemon answers from its own store
+    /// only — it never recomputes and never re-forwards to *its* peers, so
+    /// fetch chains cannot loop.
+    PeerFetch {
+        version: u32,
+        namespace: PeerNamespace,
+        key: u64,
+    },
 }
 
 impl Request {
@@ -129,6 +151,20 @@ impl Request {
         }
     }
 
+    pub fn peer_inventory() -> Request {
+        Request::PeerInventory {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    pub fn peer_fetch(namespace: PeerNamespace, key: u64) -> Request {
+        Request::PeerFetch {
+            version: PROTOCOL_VERSION,
+            namespace,
+            key,
+        }
+    }
+
     /// The protocol version the request claims to speak.
     pub fn version(&self) -> u32 {
         match self {
@@ -139,7 +175,9 @@ impl Request {
             | Request::Metrics { version }
             | Request::TraceDump { version }
             | Request::ClearCaches { version }
-            | Request::Shutdown { version } => *version,
+            | Request::Shutdown { version }
+            | Request::PeerInventory { version }
+            | Request::PeerFetch { version, .. } => *version,
         }
     }
 
@@ -154,7 +192,9 @@ impl Request {
             | Request::Metrics { version }
             | Request::TraceDump { version }
             | Request::ClearCaches { version }
-            | Request::Shutdown { version } => *version = v,
+            | Request::Shutdown { version }
+            | Request::PeerInventory { version }
+            | Request::PeerFetch { version, .. } => *version = v,
         }
         self
     }
@@ -190,6 +230,14 @@ impl Request {
             Request::TraceDump { .. } => ("trace_dump", vec![]),
             Request::ClearCaches { .. } => ("clear_caches", vec![]),
             Request::Shutdown { .. } => ("shutdown", vec![]),
+            Request::PeerInventory { .. } => ("peer_inventory", vec![]),
+            Request::PeerFetch { namespace, key, .. } => (
+                "peer_fetch",
+                vec![
+                    ("namespace", Json::Str(namespace.wire_name().to_string())),
+                    ("key", hex64(*key)),
+                ],
+            ),
         };
         let mut all = vec![
             ("protocol_version", Json::Int(self.version() as i64)),
@@ -257,6 +305,13 @@ impl Request {
             "trace_dump" => Ok(Request::TraceDump { version }),
             "clear_caches" => Ok(Request::ClearCaches { version }),
             "shutdown" => Ok(Request::Shutdown { version }),
+            "peer_inventory" => Ok(Request::PeerInventory { version }),
+            "peer_fetch" => Ok(Request::PeerFetch {
+                version,
+                namespace: peer_namespace(value)?,
+                key: parse_hex64(field(value, "key").map_err(ServiceError::malformed)?)
+                    .map_err(ServiceError::malformed)?,
+            }),
             other => Err(ServiceError::malformed(format!(
                 "unknown request type {other:?}"
             ))),
@@ -268,6 +323,43 @@ impl Request {
             .map_err(|e| ServiceError::malformed(format!("unparseable request: {e}")))?;
         Request::from_json_value(&value)
     }
+}
+
+/// Which store namespace a [`Request::PeerFetch`] addresses.  Only the
+/// two durable namespaces are fetchable — walk records are derived data
+/// that every daemon can rebuild from a fetched program, so shipping them
+/// would spend bytes on nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeerNamespace {
+    Programs,
+    Summaries,
+}
+
+impl PeerNamespace {
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            PeerNamespace::Programs => "programs",
+            PeerNamespace::Summaries => "summaries",
+        }
+    }
+
+    pub fn from_wire_name(name: &str) -> Option<PeerNamespace> {
+        Some(match name {
+            "programs" => PeerNamespace::Programs,
+            "summaries" => PeerNamespace::Summaries,
+            _ => return None,
+        })
+    }
+}
+
+fn peer_namespace(value: &Json) -> Result<PeerNamespace, ServiceError> {
+    value
+        .get("namespace")
+        .and_then(Json::as_str)
+        .and_then(PeerNamespace::from_wire_name)
+        .ok_or_else(|| {
+            ServiceError::malformed("\"namespace\" must be \"programs\" or \"summaries\"")
+        })
 }
 
 /// What the analysis-only [`Request::Analyze`] returns.
@@ -581,6 +673,25 @@ pub enum Response {
     Cleared { version: u32 },
     /// Answer to [`Request::Shutdown`]; the daemon exits after sending it.
     ShuttingDown { version: u32 },
+    /// Answer to [`Request::PeerInventory`]: the answering store's
+    /// generation (bumped on every cache clear, so a gossiper can discard
+    /// stale key sets wholesale) and the fingerprints it currently holds,
+    /// sorted, per fetchable namespace.
+    PeerInventory {
+        version: u32,
+        generation: u64,
+        programs: Vec<u64>,
+        summaries: Vec<u64>,
+    },
+    /// Answer to [`Request::PeerFetch`]: the entry's codec document when
+    /// the answering store holds the key (`body` is the same verifiable
+    /// JSON the durable tier persists), or `None` for a clean miss.
+    PeerEntry {
+        version: u32,
+        namespace: PeerNamespace,
+        key: u64,
+        body: Option<Json>,
+    },
     /// The request failed as a whole.
     Error { version: u32, error: ServiceError },
 }
@@ -678,6 +789,24 @@ impl Response {
         }
     }
 
+    pub fn peer_inventory(generation: u64, programs: Vec<u64>, summaries: Vec<u64>) -> Response {
+        Response::PeerInventory {
+            version: PROTOCOL_VERSION,
+            generation,
+            programs,
+            summaries,
+        }
+    }
+
+    pub fn peer_entry(namespace: PeerNamespace, key: u64, body: Option<Json>) -> Response {
+        Response::PeerEntry {
+            version: PROTOCOL_VERSION,
+            namespace,
+            key,
+            body,
+        }
+    }
+
     pub fn error(error: ServiceError) -> Response {
         Response::Error {
             version: PROTOCOL_VERSION,
@@ -696,6 +825,8 @@ impl Response {
             | Response::Trace { version, .. }
             | Response::Cleared { version }
             | Response::ShuttingDown { version }
+            | Response::PeerInventory { version, .. }
+            | Response::PeerEntry { version, .. }
             | Response::Error { version, .. } => *version,
         }
     }
@@ -754,6 +885,37 @@ impl Response {
             ),
             Response::Cleared { .. } => ("cleared", vec![]),
             Response::ShuttingDown { .. } => ("shutting_down", vec![]),
+            Response::PeerInventory {
+                generation,
+                programs,
+                summaries,
+                ..
+            } => {
+                let keys = |keys: &[u64]| Json::Arr(keys.iter().copied().map(hex64).collect());
+                (
+                    "peer_inventory",
+                    vec![
+                        ("generation", Json::Int(*generation as i64)),
+                        ("programs", keys(programs)),
+                        ("summaries", keys(summaries)),
+                    ],
+                )
+            }
+            Response::PeerEntry {
+                namespace,
+                key,
+                body,
+                ..
+            } => {
+                let mut fields = vec![
+                    ("namespace", Json::Str(namespace.wire_name().to_string())),
+                    ("key", hex64(*key)),
+                ];
+                if let Some(body) = body {
+                    fields.push(("body", body.clone()));
+                }
+                ("peer_entry", fields)
+            }
             Response::Error { error, .. } => ("error", vec![("error", error.to_json_value())]),
         };
         let mut all = vec![
@@ -867,6 +1029,33 @@ impl Response {
             }
             "cleared" => Ok(Response::Cleared { version }),
             "shutting_down" => Ok(Response::ShuttingDown { version }),
+            "peer_inventory" => {
+                let keys = |key: &str| -> Result<Vec<u64>, ServiceError> {
+                    value
+                        .get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| ServiceError::malformed(format!("missing \"{key}\"")))?
+                        .iter()
+                        .map(|raw| parse_hex64(raw).map_err(ServiceError::malformed))
+                        .collect()
+                };
+                Ok(Response::PeerInventory {
+                    version,
+                    generation: value
+                        .get("generation")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ServiceError::malformed("missing \"generation\""))?,
+                    programs: keys("programs")?,
+                    summaries: keys("summaries")?,
+                })
+            }
+            "peer_entry" => Ok(Response::PeerEntry {
+                version,
+                namespace: peer_namespace(value)?,
+                key: parse_hex64(field(value, "key").map_err(ServiceError::malformed)?)
+                    .map_err(ServiceError::malformed)?,
+                body: value.get("body").cloned(),
+            }),
             "error" => {
                 let raw = value
                     .get("error")
@@ -1151,9 +1340,48 @@ pub fn disk_stats_from_json(value: &Json) -> Result<DiskStats, String> {
     })
 }
 
+/// Encode the peering tier's counters.
+pub fn peer_stats_to_json(stats: &PeerStats) -> Json {
+    Json::obj(vec![
+        ("peers", Json::Int(stats.peers as i64)),
+        ("quarantined", Json::Int(stats.quarantined as i64)),
+        ("hits", Json::Int(stats.hits as i64)),
+        ("misses", Json::Int(stats.misses as i64)),
+        ("gossip_rounds", Json::Int(stats.gossip_rounds as i64)),
+        ("quarantines", Json::Int(stats.quarantines as i64)),
+        ("bytes_in", Json::Int(stats.bytes_in as i64)),
+        ("bytes_out", Json::Int(stats.bytes_out as i64)),
+        ("serves", Json::Int(stats.serves as i64)),
+        ("known_keys", Json::Int(stats.known_keys as i64)),
+    ])
+}
+
+/// Inverse of [`peer_stats_to_json`].
+pub fn peer_stats_from_json(value: &Json) -> Result<PeerStats, String> {
+    let count = |key: &str| -> Result<u64, String> {
+        field(value, key)?
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    Ok(PeerStats {
+        peers: count("peers")?,
+        quarantined: count("quarantined")?,
+        hits: count("hits")?,
+        misses: count("misses")?,
+        gossip_rounds: count("gossip_rounds")?,
+        quarantines: count("quarantines")?,
+        bytes_in: count("bytes_in")?,
+        bytes_out: count("bytes_out")?,
+        serves: count("serves")?,
+        known_keys: count("known_keys")?,
+    })
+}
+
 /// Encode the whole store snapshot (all three namespaces, plus the disk
-/// tier when one is configured — the member is simply absent otherwise,
-/// which protocol-version-2 decoders ignore, keeping the change additive).
+/// tier when one is configured and the peering tier when a ring is
+/// attached or this daemon has served peers — each member is simply
+/// absent otherwise, which protocol-version-2 decoders ignore, keeping
+/// the changes additive).
 pub fn store_stats_to_json(stats: &StoreStats) -> Json {
     let mut members = vec![
         ("programs", namespace_stats_to_json(&stats.programs)),
@@ -1163,17 +1391,21 @@ pub fn store_stats_to_json(stats: &StoreStats) -> Json {
     if let Some(disk) = &stats.disk {
         members.push(("disk", disk_stats_to_json(disk)));
     }
+    if let Some(peer) = &stats.peer {
+        members.push(("peer", peer_stats_to_json(peer)));
+    }
     Json::obj(members)
 }
 
 /// Inverse of [`store_stats_to_json`] (a missing `"disk"` member decodes
-/// as a memory-only store).
+/// as a memory-only store, a missing `"peer"` member as an unpeered one).
 pub fn store_stats_from_json(value: &Json) -> Result<StoreStats, String> {
     Ok(StoreStats {
         programs: namespace_stats_from_json(field(value, "programs")?)?,
         summaries: namespace_stats_from_json(field(value, "summaries")?)?,
         walks: namespace_stats_from_json(field(value, "walks")?)?,
         disk: value.get("disk").map(disk_stats_from_json).transpose()?,
+        peer: value.get("peer").map(peer_stats_from_json).transpose()?,
     })
 }
 
@@ -1228,6 +1460,18 @@ mod tests {
                 recovered_entries: 5,
                 dropped_bytes: 17,
             }),
+            peer: Some(PeerStats {
+                peers: 2,
+                quarantined: 1,
+                hits: 9,
+                misses: 4,
+                gossip_rounds: 31,
+                quarantines: 1,
+                bytes_in: 2048,
+                bytes_out: 512,
+                serves: 6,
+                known_keys: 11,
+            }),
         }
     }
 
@@ -1267,6 +1511,30 @@ mod tests {
         round_trip_request(Request::trace_dump());
         round_trip_request(Request::clear_caches());
         round_trip_request(Request::shutdown());
+        round_trip_request(Request::peer_inventory());
+        round_trip_request(Request::peer_fetch(PeerNamespace::Programs, 0xdead_beef));
+        round_trip_request(Request::peer_fetch(PeerNamespace::Summaries, u64::MAX));
+    }
+
+    #[test]
+    fn peer_responses_round_trip() {
+        round_trip_response(Response::peer_inventory(
+            3,
+            vec![1, 0xabc, u64::MAX],
+            vec![],
+        ));
+        round_trip_response(Response::peer_inventory(0, Vec::new(), Vec::new()));
+        // A hit carries the codec document verbatim; a miss omits the key
+        // entirely so old-style strict decoders never see a null.
+        let body = Json::obj(vec![("v", Json::Int(1)), ("fingerprint", hex64(0xfeed))]);
+        round_trip_response(Response::peer_entry(
+            PeerNamespace::Programs,
+            0xfeed,
+            Some(body),
+        ));
+        let miss = Response::peer_entry(PeerNamespace::Summaries, 7, None);
+        assert!(!miss.encode().contains("\"body\""));
+        round_trip_response(miss);
     }
 
     fn sample_metrics() -> MetricsSnapshot {
@@ -1511,6 +1779,33 @@ mod tests {
         // A malformed server member is a decode error, not a silent None.
         let broken = decorated.replace("\"accepted\":7", "\"accepted\":\"x\"");
         assert!(Response::decode(&broken).is_err());
+    }
+
+    /// Same compatibility story for the optional `peer` member: absent on
+    /// an unpeered store, present (and round-tripping) on a peered one.
+    #[test]
+    fn optional_peer_member_is_compatible_in_both_directions() {
+        let mut stats = sample_store_stats();
+        stats.peer = None;
+        let bare = Response::stats(vec![EngineStats::default()], stats);
+        assert!(
+            !bare.encode().contains("\"peer\""),
+            "no ring, no peer member"
+        );
+        match Response::decode(&bare.encode()).unwrap() {
+            Response::Stats { store, .. } => assert_eq!(store.peer, None),
+            other => panic!("{other:?}"),
+        }
+
+        let peered = Response::stats(vec![EngineStats::default()], sample_store_stats());
+        match Response::decode(&peered.encode()).unwrap() {
+            Response::Stats { store, .. } => {
+                let peer = store.peer.expect("peered form carries the member");
+                assert_eq!(peer.hits, 9);
+                assert_eq!(peer.known_keys, 11);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod namespace;
 pub mod policy;
 pub mod segment;
 
+pub use crate::peer::{PeerConfig, PeerRing, PeerStats};
 pub use durable::{DiskStats, DurableConfig, DurableTier, NS_PROGRAM, NS_SUMMARY};
 pub use namespace::{NamespaceCache, NamespaceStats, DEFAULT_STRIPES};
 pub use policy::{
@@ -44,7 +45,8 @@ pub use policy::{
 use crate::AnalyzedProgram;
 use sil_analysis::{ProcSummary, WalkRecord};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The typed namespaces of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,6 +166,8 @@ pub struct StoreStats {
     pub walks: NamespaceStats,
     /// The durable disk tier, when one is configured.
     pub disk: Option<DiskStats>,
+    /// The peering tier, when this store fetches from or serves peers.
+    pub peer: Option<PeerStats>,
 }
 
 impl StoreStats {
@@ -198,6 +202,17 @@ pub struct SummaryStore {
     /// The disk tier under `programs`/`summaries` (walk records are
     /// cheap-to-rebuild replay tapes and stay memory-only).
     durable: Option<DurableTier>,
+    /// The peering tier under the disk tier — attached once, after
+    /// construction, by the daemon that owns the ring (the store cannot
+    /// hold it in `StoreConfig`: rings are live objects, not parameters).
+    peer: OnceLock<Arc<PeerRing>>,
+    /// Peer inventory/fetch requests this store answered.
+    peer_serves: AtomicU64,
+    /// Entry bytes this store served to fetching peers.
+    peer_bytes_out: AtomicU64,
+    /// Monotonic inventory generation: bumped on `clear()`, so peers can
+    /// tell a truncated store's empty inventory from a stale snapshot.
+    generation: AtomicU64,
 }
 
 impl Default for SummaryStore {
@@ -220,6 +235,10 @@ impl SummaryStore {
         });
         SummaryStore {
             durable,
+            peer: OnceLock::new(),
+            peer_serves: AtomicU64::new(0),
+            peer_bytes_out: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
             programs: NamespaceCache::with_config(
                 config.program_capacity,
                 config.program_policy,
@@ -272,16 +291,88 @@ impl SummaryStore {
         self.durable.as_ref()
     }
 
+    /// Attach a peer ring as the tier under the disk tier.  At most one
+    /// ring per store; a second attach is ignored.
+    pub fn attach_peers(&self, ring: Arc<PeerRing>) {
+        let _ = self.peer.set(ring);
+    }
+
+    /// The attached peer ring, if any.
+    pub fn peers(&self) -> Option<&Arc<PeerRing>> {
+        self.peer.get()
+    }
+
+    /// The current inventory generation (bumped by [`SummaryStore::clear`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The inventory this store advertises to peers: generation plus the
+    /// sorted resident fingerprints of the two fetchable namespaces (walk
+    /// records are derived data and are never served).
+    pub fn peer_inventory(&self) -> (u64, Vec<u64>, Vec<u64>) {
+        self.peer_serves.fetch_add(1, Ordering::Relaxed);
+        (
+            self.generation(),
+            self.programs.keys(),
+            self.summaries.keys(),
+        )
+    }
+
+    /// Serve one whole-program entry to a fetching peer, as the same
+    /// verifiable codec document the durable tier persists.  Memory first
+    /// (encoding on demand), then disk; never recomputes.
+    pub fn peer_program_body(&self, fingerprint: u64) -> Option<Vec<u8>> {
+        self.peer_serves.fetch_add(1, Ordering::Relaxed);
+        let body = match self.programs.peek(fingerprint) {
+            Some(entry) => Some(durable::codec::encode_program(&entry)),
+            None => self
+                .durable
+                .as_ref()
+                .and_then(|tier| tier.get(NS_PROGRAM, fingerprint)),
+        }?;
+        self.peer_bytes_out
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
+        Some(body)
+    }
+
+    /// Serve one per-SCC summary table to a fetching peer (see
+    /// [`SummaryStore::peer_program_body`]).
+    pub fn peer_summary_body(&self, cone: u64) -> Option<Vec<u8>> {
+        self.peer_serves.fetch_add(1, Ordering::Relaxed);
+        let body = match self.summaries.peek(cone) {
+            Some(table) => Some(durable::codec::encode_summaries(&table)),
+            None => self
+                .durable
+                .as_ref()
+                .and_then(|tier| tier.get(NS_SUMMARY, cone)),
+        }?;
+        self.peer_bytes_out
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
+        Some(body)
+    }
+
     /// Tiered whole-program lookup: the in-memory namespace first, then
-    /// the disk tier (decoding, verifying, and promoting on a disk hit).
+    /// the disk tier, then a verified peer fetch — each lower tier's hit
+    /// is promoted into the tiers above it.
     pub fn lookup_program(&self, fingerprint: u64) -> Option<Arc<AnalyzedProgram>> {
         if let Some(entry) = self.programs.get(fingerprint) {
             return Some(entry);
         }
-        let tier = self.durable.as_ref()?;
-        let body = tier.get(NS_PROGRAM, fingerprint)?;
-        let entry = durable::codec::decode_program(&body, fingerprint)?;
-        self.programs.insert(fingerprint, entry.clone());
+        if let Some(tier) = &self.durable {
+            if let Some(entry) = tier
+                .get(NS_PROGRAM, fingerprint)
+                .and_then(|body| durable::codec::decode_program(&body, fingerprint))
+            {
+                self.programs.insert(fingerprint, entry.clone());
+                return Some(entry);
+            }
+        }
+        let entry = self.peer.get()?.fetch_program(fingerprint)?;
+        // `store_program` runs the verified entry through the normal
+        // admission path: the namespace's live policy choice in memory,
+        // plus an enqueued durable write when a disk tier exists.
+        self.store_program(fingerprint, entry.clone());
         Some(entry)
     }
 
@@ -295,15 +386,23 @@ impl SummaryStore {
         }
     }
 
-    /// Tiered per-SCC summary lookup, promoting disk hits.
+    /// Tiered per-SCC summary lookup: memory, then disk, then a verified
+    /// peer fetch, promoting lower-tier hits.
     pub fn lookup_summaries(&self, cone: u64) -> Option<SummaryTable> {
         if let Some(table) = self.summaries.get(cone) {
             return Some(table);
         }
-        let tier = self.durable.as_ref()?;
-        let body = tier.get(NS_SUMMARY, cone)?;
-        let table = durable::codec::decode_summaries(&body)?;
-        self.summaries.insert(cone, table.clone());
+        if let Some(tier) = &self.durable {
+            if let Some(table) = tier
+                .get(NS_SUMMARY, cone)
+                .and_then(|body| durable::codec::decode_summaries(&body))
+            {
+                self.summaries.insert(cone, table.clone());
+                return Some(table);
+            }
+        }
+        let table = self.peer.get()?.fetch_summaries(cone)?;
+        self.store_summaries(cone, table.clone());
         Some(table)
     }
 
@@ -326,16 +425,30 @@ impl SummaryStore {
 
     /// Counter snapshot across all namespaces (aggregate + per stripe).
     pub fn stats(&self) -> StoreStats {
+        let serves = self.peer_serves.load(Ordering::Relaxed);
+        let bytes_out = self.peer_bytes_out.load(Ordering::Relaxed);
         StoreStats {
             programs: self.programs.stats(),
             summaries: self.summaries.stats(),
             walks: self.walks.stats(),
             disk: self.durable.as_ref().map(|tier| tier.stats()),
+            peer: match self.peer.get() {
+                Some(ring) => Some(ring.stats(serves, bytes_out)),
+                // A serve-only daemon (no `--peer` flags of its own) has
+                // no ring but still reports what it answered to peers.
+                None if serves > 0 => Some(PeerStats {
+                    serves,
+                    bytes_out,
+                    ..PeerStats::default()
+                }),
+                None => None,
+            },
         }
     }
 
     /// Drop every entry in every namespace — and truncate the disk tier,
-    /// so `ClearCaches` really does forget (the counters survive).
+    /// so `ClearCaches` really does forget (the counters survive).  Bumps
+    /// the inventory generation so peers discard stale advertisements.
     pub fn clear(&self) {
         self.programs.clear();
         self.summaries.clear();
@@ -343,6 +456,7 @@ impl SummaryStore {
         if let Some(tier) = &self.durable {
             tier.clear();
         }
+        self.generation.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -213,6 +213,21 @@ impl<V: Clone> NamespaceCache<V> {
         stripe.entries.get(&key).map(|e| e.value.clone())
     }
 
+    /// Every resident fingerprint, sorted — the store's peer-inventory
+    /// digest.  Stripes are snapshotted one at a time, so the set is
+    /// consistent per stripe but only approximately consistent across
+    /// them; gossip tolerates that (every advertised key is re-verified
+    /// at fetch time anyway).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().unwrap();
+            keys.extend(stripe.entries.keys().copied());
+        }
+        keys.sort_unstable();
+        keys
+    }
+
     /// Insert a value, evicting per policy if the key's stripe is full.
     ///
     /// Inserting an already-present key refreshes the entry in place —

@@ -294,6 +294,36 @@ fn sild_adapt_flags_parse_and_validate() {
     }
 }
 
+/// Contradictory `sild` flag pairs are rejected with an error that names
+/// both flags, instead of one silently overriding the other.
+#[test]
+fn sild_rejects_contradictory_flag_pairs() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["--data-dir", "/tmp/sild-contradiction", "--no-durable"],
+            "--data-dir and --no-durable contradict each other",
+        ),
+        (
+            &["--peer", "unix:/tmp/peer.sock", "--no-peer-serve"],
+            "--peer and --no-peer-serve contradict each other",
+        ),
+        (
+            &["--gossip-interval", "500"],
+            "--gossip-interval needs at least one --peer",
+        ),
+    ];
+    for (bad, want) in cases {
+        let output = sild()
+            .args(["--listen", "unix:/tmp/never-bound.sock"])
+            .args(*bad)
+            .output()
+            .unwrap();
+        assert!(!output.status.success(), "{bad:?} must be rejected");
+        let stderr = stderr_of(&output);
+        assert!(stderr.contains(want), "{bad:?}: {stderr}");
+    }
+}
+
 /// `silp --timeout` is validated: it needs `--connect`, a sane value, and
 /// it travels to the transport (a dead address still fails cleanly).
 #[test]
@@ -459,6 +489,12 @@ fn metrics_round_trip_matches_in_process() {
     let local_rows = deterministic(&stderr_of(&local));
     assert!(!remote_rows.is_empty());
     assert_eq!(remote_rows, local_rows, "wire round-trip must be lossless");
+
+    // The table is rendered in sorted name order, so any filtered
+    // subsequence of it must already be sorted — byte-stable output.
+    let mut sorted_rows = remote_rows.clone();
+    sorted_rows.sort();
+    assert_eq!(remote_rows, sorted_rows, "metric rows must be name-sorted");
 
     // Only the daemon has a server layer to report.
     let remote_err = stderr_of(&remote);

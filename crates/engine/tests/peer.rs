@@ -1,0 +1,391 @@
+//! Integration tests of summary-cache peering: small clusters of daemons
+//! on temp unix sockets gossiping inventories and serving each other's
+//! cache misses — plus the failure half (breaker trips, kill -9'd peers,
+//! half-open connections, loop prevention).
+
+use sil_engine::service::{
+    route_fingerprint, ErrorKind, PeerNamespace, RemoteService, Request, Response, Server, Service,
+    ShardedService,
+};
+use sil_engine::{Addr, EngineConfig, PeerConfig, PeerRing, ServerHandle};
+use sil_workloads::Workload;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_socket(name: &str) -> Addr {
+    let path = std::env::temp_dir().join(format!("sil-peer-{}-{name}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    Addr::Unix(path)
+}
+
+/// A daemon on a temp unix socket, returning its service handle too so
+/// tests can inspect its store directly.
+fn spawn_daemon(name: &str) -> (Arc<ShardedService>, ServerHandle) {
+    let service = Arc::new(ShardedService::new(2, EngineConfig::default()));
+    let server = Server::bind(&temp_socket(name), service.clone()).unwrap();
+    (service, server.spawn())
+}
+
+/// A ring with test-friendly timings: fast fetch deadline, no background
+/// loop (tests drive gossip explicitly).
+fn test_ring(service: &ShardedService, peers: Vec<Addr>) -> Arc<PeerRing> {
+    let config = PeerConfig::new(peers)
+        .with_fetch_timeout(Duration::from_millis(500))
+        .with_failure_threshold(2)
+        .with_quarantine(Duration::from_millis(300));
+    let ring = Arc::new(PeerRing::new(config, service.tracer().clone()));
+    service.store().attach_peers(ring.clone());
+    ring
+}
+
+fn analyze(service: &ShardedService, source: &str) -> sil_engine::service::AnalyzeSummary {
+    match service.call(Request::analyze(source)) {
+        Response::Analyzed { summary, .. } => summary,
+        other => panic!("expected an analyzed response, got {other:?}"),
+    }
+}
+
+/// The tentpole acceptance path: a cold daemon peered to a warm one serves
+/// the warm daemon's programs as peer hits — byte-identical analysis
+/// digests, visible `store.peer.hits`, and zero local fixpoint work.
+#[test]
+fn cold_daemon_serves_peer_hits_without_recomputing() {
+    let (warm_service, warm_handle) = spawn_daemon("warm");
+    let sources: Vec<String> = Workload::ALL
+        .iter()
+        .take(3)
+        .map(|w| w.source(w.test_size()))
+        .collect();
+    let warm_digests: Vec<u64> = sources
+        .iter()
+        .map(|src| analyze(&warm_service, src).analysis_digest)
+        .collect();
+
+    let cold_service = ShardedService::new(2, EngineConfig::default());
+    let ring = test_ring(&cold_service, vec![warm_handle.addr().clone()]);
+    ring.gossip_once();
+    // The inventory advertises summary fingerprints alongside the 3
+    // programs, so the known-key count is a floor, not an exact figure.
+    assert!(
+        ring.stats(0, 0).known_keys >= 3,
+        "gossip learned the keys: {:?}",
+        ring.stats(0, 0)
+    );
+
+    for (src, want) in sources.iter().zip(&warm_digests) {
+        let summary = analyze(&cold_service, src);
+        assert_eq!(
+            summary.analysis_digest, *want,
+            "peer-served digest must be byte-identical"
+        );
+        assert!(summary.cache_hit, "a peer fetch serves as a cache hit");
+    }
+    let stats = cold_service.store().stats().peer.expect("peer stats");
+    assert_eq!(stats.hits, 3, "every miss was served by the peer");
+    assert_eq!(stats.misses, 0);
+    assert!(stats.bytes_in > 0);
+
+    // Zero fixpoint recomputation on the cold daemon: the analysis
+    // latency histogram never recorded a sample.
+    let metrics = cold_service.service_metrics().unwrap();
+    for (name, histogram) in &metrics.histograms {
+        if name == "engine.fixpoint_us" {
+            assert_eq!(histogram.count, 0, "cold daemon must not recompute");
+        }
+    }
+    // The warm daemon saw and counted the serves.
+    let served = warm_service.store().stats().peer.expect("serve stats");
+    assert!(served.serves >= 4, "inventory + three fetches");
+    assert!(served.bytes_out > 0);
+
+    warm_handle.shutdown();
+}
+
+/// A thundering herd on one cone issues one fetch: concurrent misses on
+/// the same key elect a single-flight leader and share its result.
+#[test]
+fn single_flight_collapses_a_thundering_herd() {
+    let (warm_service, warm_handle) = spawn_daemon("herd");
+    let src = Workload::TreeSum.source(4);
+    let want = analyze(&warm_service, &src).analysis_digest;
+    let key = route_fingerprint(&src);
+
+    let cold_service = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&cold_service, vec![warm_handle.addr().clone()]);
+    ring.gossip_once();
+
+    let threads = 8;
+    let barrier = std::sync::Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (ring, barrier) = (&ring, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let entry = ring.fetch_program(key).expect("fetch must hit");
+                assert_eq!(entry.analysis.digest(), want);
+            });
+        }
+    });
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.misses, 0);
+    assert!(
+        stats.hits < threads as u64,
+        "{} callers must share flights, saw {} fetches",
+        threads,
+        stats.hits
+    );
+
+    warm_handle.shutdown();
+}
+
+/// The failure breaker: consecutive transport failures quarantine a dead
+/// peer (fetches then skip it without waiting), and a probe after the
+/// quarantine window brings a revived peer back.
+#[test]
+fn breaker_trips_on_a_dead_peer_and_recovers() {
+    let addr = temp_socket("breaker");
+    let service = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&service, vec![addr.clone()]);
+
+    // Two gossip rounds against nothing: one failure each, tripping the
+    // threshold-2 breaker.
+    ring.gossip_once();
+    ring.gossip_once();
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.quarantined, 1, "{stats:?}");
+    assert_eq!(stats.quarantines, 1, "{stats:?}");
+    assert_eq!(stats.gossip_rounds, 2);
+
+    // A fetch during quarantine skips the peer entirely — a clean miss,
+    // effectively instant (no dial, no deadline wait).
+    let started = Instant::now();
+    assert!(ring.fetch_program(0xdead_beef).is_none());
+    assert!(started.elapsed() < Duration::from_millis(200));
+    assert_eq!(ring.stats(0, 0).misses, 1);
+
+    // Revive the peer on the same address, wait out the quarantine, and
+    // let the next gossip round double as the probe.
+    let revived = Arc::new(ShardedService::new(1, EngineConfig::default()));
+    let src = Workload::ListSum.source(4);
+    analyze(&revived, &src);
+    let handle = Server::bind(&addr, revived).unwrap().spawn();
+    std::thread::sleep(Duration::from_millis(400));
+    ring.gossip_once();
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.quarantined, 0, "the probe closed the breaker");
+    assert!(stats.known_keys > 0, "gossip resumed: {stats:?}");
+    assert!(ring.fetch_program(route_fingerprint(&src)).is_some());
+
+    handle.shutdown();
+}
+
+/// kill -9 a peer daemon mid-cluster: the survivor's fetches fail fast,
+/// the breaker quarantines the corpse, and the survivor keeps answering
+/// by recomputing.
+#[test]
+fn survivor_keeps_serving_after_a_peer_is_killed_dash_nine() {
+    let sock = std::env::temp_dir().join(format!("sil-peer-{}-kill9.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let addr = format!("unix:{}", sock.display());
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_sild"))
+        .args(["--listen", &addr, "--shards", "2", "--quiet"])
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "sild never bound {addr}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Warm the doomed daemon and fetch from it once, proving the ring is
+    // genuinely wired up before the kill.
+    let warm_src = Workload::TreeSum.source(4);
+    let remote = RemoteService::connect(&addr).unwrap();
+    let warmed = match remote.call(Request::analyze(&warm_src)) {
+        Response::Analyzed { summary, .. } => summary,
+        other => panic!("{other:?}"),
+    };
+    let survivor = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&survivor, vec![Addr::parse(&addr).unwrap()]);
+    ring.gossip_once();
+    let summary = analyze(&survivor, &warm_src);
+    assert!(summary.cache_hit, "pre-kill fetch must hit the peer");
+    assert_eq!(summary.analysis_digest, warmed.analysis_digest);
+
+    // SIGKILL — no clean shutdown, the socket file stays behind.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Gossip against the corpse books failures; the survivor still
+    // answers a brand-new program by recomputing it locally.
+    ring.gossip_once();
+    ring.gossip_once();
+    assert_eq!(ring.stats(0, 0).quarantined, 1, "corpse quarantined");
+    let fresh = Workload::Bisort.source(4);
+    let summary = analyze(&survivor, &fresh);
+    assert!(!summary.cache_hit, "no peer left: recomputed locally");
+    assert_eq!(ring.stats(0, 0).hits, 1, "only the pre-kill fetch hit");
+
+    let _ = std::fs::remove_file(&sock);
+}
+
+/// Loop prevention: a daemon answers `peer_fetch` from its own store
+/// only.  A cold daemon with a warm peer of its own must answer a miss —
+/// never forward the fetch around the ring.
+#[test]
+fn peer_fetch_is_never_reforwarded() {
+    let (warm_service, warm_handle) = spawn_daemon("noloop-warm");
+    let src = Workload::TreeSum.source(4);
+    analyze(&warm_service, &src);
+    let key = route_fingerprint(&src);
+
+    // `middle` is cold but *could* fetch the key from `warm` — a
+    // peer-originated request must not make it do so.
+    let middle = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&middle, vec![warm_handle.addr().clone()]);
+    ring.gossip_once();
+    match middle.call(Request::peer_fetch(PeerNamespace::Programs, key)) {
+        Response::PeerEntry { body, .. } => {
+            assert!(body.is_none(), "a peer fetch must not be re-forwarded");
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = ring.stats(0, 0);
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 0),
+        "the ring stayed idle: {stats:?}"
+    );
+    // An ordinary client-originated analyze on the same daemon does use
+    // the ring — the distinction is who is asking, not what is asked.
+    assert!(analyze(&middle, &src).cache_hit);
+    assert_eq!(ring.stats(0, 0).hits, 1);
+
+    warm_handle.shutdown();
+}
+
+/// `--no-peer-serve`: the daemon answers peer kinds with a malformed
+/// error, and a fetching ring marks it unsupported — alive, not
+/// quarantined, never advertising keys.
+#[test]
+fn no_peer_serve_daemon_is_flagged_unsupported_not_dead() {
+    let service = Arc::new(ShardedService::new(1, EngineConfig::default()).with_peer_serve(false));
+    let src = Workload::TreeSum.source(4);
+    analyze(&service, &src);
+    let handle = Server::bind(&temp_socket("noserve"), service.clone())
+        .unwrap()
+        .spawn();
+
+    match service.call(Request::peer_inventory()) {
+        Response::Error { error, .. } => assert_eq!(error.kind, ErrorKind::Malformed),
+        other => panic!("{other:?}"),
+    }
+
+    let fetcher = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&fetcher, vec![handle.addr().clone()]);
+    ring.gossip_once();
+    ring.gossip_once();
+    ring.gossip_once();
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.quarantined, 0, "unsupported is not a breaker event");
+    assert_eq!(stats.quarantines, 0);
+    assert_eq!(stats.known_keys, 0, "nothing advertised");
+    // Fetches skip the unsupported peer outright.
+    assert!(ring.fetch_program(route_fingerprint(&src)).is_none());
+
+    handle.shutdown();
+}
+
+/// Half-open connections (the satellite): a peer that accepts and then
+/// never replies fails the exchange within the configured deadline,
+/// naming it — at the raw `RemoteService` level and through the ring.
+#[test]
+fn half_open_peer_fails_within_the_deadline_naming_it() {
+    let Addr::Unix(path) = temp_socket("halfopen") else {
+        unreachable!()
+    };
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let mute = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream); // accept, never reply
+            if held.len() >= 3 {
+                break;
+            }
+        }
+    });
+    let addr = Addr::Unix(path.clone());
+
+    // Raw exchange: `call` returns a transport error naming the timeout
+    // instead of hanging (peer kinds behave like every other kind here).
+    let remote =
+        RemoteService::connect_with_timeout(&addr.to_string(), Some(Duration::from_millis(100)))
+            .unwrap();
+    let started = Instant::now();
+    match remote.call(Request::peer_inventory()) {
+        Response::Error { error, .. } => {
+            assert_eq!(error.kind, ErrorKind::Transport, "{error}");
+            assert!(
+                error.message.contains("timed out after 100ms"),
+                "{}",
+                error.message
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(2), "must fail fast");
+
+    // Through the ring: a fetch against the mute peer comes back a miss
+    // within the deadline (plus slack), and the breaker counted it.
+    let service = ShardedService::new(1, EngineConfig::default());
+    let config = PeerConfig::new(vec![addr])
+        .with_fetch_timeout(Duration::from_millis(100))
+        .with_failure_threshold(1);
+    let ring = Arc::new(PeerRing::new(config, service.tracer().clone()));
+    let started = Instant::now();
+    assert!(ring.fetch_program(0xfeed_f00d).is_none());
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "the deadline must bound a half-open fetch, took {:?}",
+        started.elapsed()
+    );
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.quarantined, 1, "threshold 1 trips immediately");
+
+    // Unblock the mute listener's accept loop and clean up.
+    let _ = std::os::unix::net::UnixStream::connect(&path);
+    mute.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Gossip keeps running in the background: a spawned ring learns a warm
+/// peer's inventory without anyone calling `gossip_once`, and `shutdown`
+/// stops the loop promptly.
+#[test]
+fn background_gossip_loop_learns_and_shuts_down() {
+    let (warm_service, warm_handle) = spawn_daemon("bg-gossip");
+    analyze(&warm_service, &Workload::TreeSum.source(4));
+
+    let cold = ShardedService::new(1, EngineConfig::default());
+    let config = PeerConfig::new(vec![warm_handle.addr().clone()])
+        .with_gossip_interval(Duration::from_millis(25));
+    let ring = PeerRing::spawn(config, cold.tracer().clone());
+    cold.store().attach_peers(ring.clone());
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while ring.stats(0, 0).known_keys == 0 {
+        assert!(Instant::now() < deadline, "gossip loop never learned");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    ring.shutdown();
+    let rounds = ring.stats(0, 0).gossip_rounds;
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        ring.stats(0, 0).gossip_rounds,
+        rounds,
+        "no rounds after shutdown"
+    );
+
+    warm_handle.shutdown();
+}

@@ -164,6 +164,21 @@ impl RawMetrics {
         }
     }
 
+    /// Add (or merge into) a histogram by name — for exporting latency
+    /// distributions that live outside any registry, like the store's
+    /// peer-fetch timings.
+    pub fn push_histogram(&mut self, name: &str, snapshot: &HistogramSnapshot) {
+        match self
+            .histograms
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(at) => self.histograms[at].1.merge(snapshot),
+            Err(at) => self
+                .histograms
+                .insert(at, (name.to_string(), snapshot.clone())),
+        }
+    }
+
     /// Merge another read into this one: counters and gauges sum by name,
     /// histograms merge bucket-by-bucket.  Used to combine per-shard
     /// engine registries into one service-wide view.
