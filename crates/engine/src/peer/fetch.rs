@@ -10,21 +10,32 @@
 //! verified with the durable tier's own codec before it counts as a hit;
 //! a body that fails verification is discarded and the next peer is tried.
 //!
+//! Every `peer_entry` reply also carries the serving store's generation,
+//! which is reconciled against the gossiped inventory snapshot: a
+//! mismatch means the peer cleared (or restarted) since it advertised,
+//! so its whole advertised key set is discarded rather than trusted; a
+//! matching generation with an empty body means the one key was evicted
+//! and only that advertisement is dropped.
+//!
 //! Single-flight: concurrent misses on one `(namespace, key)` elect a
 //! leader; followers block on the leader's `Flight` slot and share its
 //! verified result, so a thundering herd on one hot cone issues exactly
-//! one network fetch.
+//! one network fetch.  The leader publishes through a drop guard — if it
+//! unwinds (or is torn down) mid-fetch, the guard publishes a miss and
+//! clears the flight entry, so followers can never hang on a dead leader
+//! and the key never wedges.  Followers additionally bound their wait at
+//! the leader's worst-case deadline across all candidates.
 
 use super::{Peer, PeerRing};
 use crate::service::proto::{ErrorKind, PeerNamespace, Request, Response};
-use crate::service::{RemoteService, Service};
+use crate::service::RemoteService;
 use crate::store::durable::codec;
 use crate::store::SummaryTable;
 use crate::AnalyzedProgram;
 use std::collections::hash_map::Entry;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A verified entry fetched from a peer.
 #[derive(Debug, Clone)]
@@ -42,10 +53,26 @@ pub(crate) struct Flight {
 }
 
 impl Flight {
-    fn wait(&self) -> Option<Payload> {
+    /// Wait for the leader's result, at most `limit` — a follower whose
+    /// leader has silently died (see [`FlightGuard`]) degrades to a miss
+    /// instead of waiting forever.
+    fn wait(&self, limit: Duration) -> Option<Payload> {
+        let deadline = Instant::now().checked_add(limit);
         let mut slot = self.slot.lock().unwrap();
         while slot.is_none() {
-            slot = self.ready.wait(slot).unwrap();
+            match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _) = self.ready.wait_timeout(slot, deadline - now).unwrap();
+                    slot = guard;
+                }
+                // A limit too large to represent as an instant is
+                // effectively unbounded.
+                None => slot = self.ready.wait(slot).unwrap(),
+            }
         }
         slot.clone().unwrap()
     }
@@ -53,6 +80,42 @@ impl Flight {
     fn publish(&self, result: Option<Payload>) {
         *self.slot.lock().unwrap() = Some(result);
         self.ready.notify_all();
+    }
+}
+
+/// Completes the leader's flight exactly once, however the leader exits:
+/// [`FlightGuard::complete`] publishes the real result, and dropping an
+/// incomplete guard (the leader panicked or was otherwise torn down)
+/// publishes a miss — either way the flights-map entry is removed, so
+/// followers always wake and a later fetch of the same key starts fresh.
+struct FlightGuard<'a> {
+    ring: &'a PeerRing,
+    key: (PeerNamespace, u64),
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl FlightGuard<'_> {
+    fn complete(mut self, result: Option<Payload>) {
+        self.done = true;
+        self.finish(result);
+    }
+
+    fn finish(&self, result: Option<Payload>) {
+        self.flight.publish(result);
+        // `lock().ok()`: this also runs during unwinding, where a
+        // poisoned map must not turn a panic into an abort.
+        if let Ok(mut flights) = self.ring.flights.lock() {
+            flights.remove(&self.key);
+        }
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.finish(None);
+        }
     }
 }
 
@@ -92,7 +155,13 @@ pub(crate) fn exchange(ring: &PeerRing, peer: &Peer, request: Request) -> Exchan
             }
         }
     };
-    match conn.call(request) {
+    // `call_counted` reports the reply line's length as read off the
+    // wire, so metering costs nothing — no re-encoding of the response.
+    let (response, wire_bytes) = conn.call_counted(request);
+    ring.counters
+        .bytes_in
+        .fetch_add(wire_bytes, Ordering::Relaxed);
+    match response {
         Response::Error { error, .. } if error.kind == ErrorKind::Transport => {
             // The pipe poisons itself after any transport fault; drop it
             // so the next attempt re-dials.
@@ -113,9 +182,6 @@ pub(crate) fn exchange(ring: &PeerRing, peer: &Peer, request: Request) -> Exchan
             Exchange::Unsupported
         }
         response => {
-            ring.counters
-                .bytes_in
-                .fetch_add(response.encode().len() as u64, Ordering::Relaxed);
             let mut inner = peer.inner.lock().unwrap();
             inner.conn = Some(conn);
             inner.failures = 0;
@@ -160,6 +226,18 @@ impl PeerRing {
         }
     }
 
+    /// The longest a well-behaved leader can take: each candidate costs
+    /// at most a dial, a write, and a read, each bounded by the fetch
+    /// timeout — plus slack for scheduling.  Followers give up (and fall
+    /// through to recompute) past this point.
+    fn follower_deadline(&self) -> Duration {
+        self.config
+            .fetch_timeout
+            .saturating_mul(3)
+            .saturating_mul(self.peers.len().max(1) as u32)
+            .saturating_add(Duration::from_secs(1))
+    }
+
     fn fetch(&self, namespace: PeerNamespace, key: u64) -> Option<Payload> {
         if self.peers.is_empty() {
             return None;
@@ -176,8 +254,14 @@ impl PeerRing {
             }
         };
         if !leader {
-            return flight.wait();
+            return flight.wait(self.follower_deadline());
         }
+        let guard = FlightGuard {
+            ring: self,
+            key: (namespace, key),
+            flight,
+            done: false,
+        };
         let result = {
             let _span = self.tracer.start("peer-fetch");
             let start = silobs::ticks();
@@ -189,8 +273,7 @@ impl PeerRing {
             Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
         };
-        flight.publish(result.clone());
-        self.flights.lock().unwrap().remove(&(namespace, key));
+        guard.complete(result.clone());
         result
     }
 
@@ -207,29 +290,53 @@ impl PeerRing {
                 continue;
             }
             if inner.advertises(namespace, key) {
-                advertisers.push(index);
+                advertisers.push((index, true));
             } else {
-                fallback.push(index);
+                fallback.push((index, false));
             }
         }
         advertisers.extend(fallback);
-        for index in advertisers {
+        for (index, advertised) in advertisers {
             let peer = &self.peers[index];
             let reply = match exchange(self, peer, Request::peer_fetch(namespace, key)) {
                 Exchange::Reply(reply) => reply,
                 Exchange::Failed | Exchange::Unsupported => continue,
             };
-            if let Response::PeerEntry {
-                body: Some(body), ..
+            let Response::PeerEntry {
+                generation, body, ..
             } = *reply
+            else {
+                continue;
+            };
             {
+                let mut inner = peer.inner.lock().unwrap();
+                if inner.generation != generation {
+                    // The inventory snapshot predates a clear (or a
+                    // restart): every key it advertised belongs to a
+                    // store that no longer exists.  Forget the lot; the
+                    // next gossip round rebuilds it against the new
+                    // generation.
+                    inner.generation = generation;
+                    inner.programs.clear();
+                    inner.summaries.clear();
+                } else if advertised && body.is_none() {
+                    // Same snapshot, entry gone: evicted.  Drop just this
+                    // advertisement so candidate ordering stops
+                    // preferring the peer for a key it no longer holds.
+                    match namespace {
+                        PeerNamespace::Programs => inner.programs.remove(&key),
+                        PeerNamespace::Summaries => inner.summaries.remove(&key),
+                    };
+                }
+            }
+            if let Some(body) = body {
                 let bytes = body.encode().into_bytes();
                 let payload = match namespace {
                     PeerNamespace::Programs => {
                         codec::decode_program(&bytes, key).map(Payload::Program)
                     }
                     PeerNamespace::Summaries => {
-                        codec::decode_summaries(&bytes).map(Payload::Summaries)
+                        codec::decode_summaries(&bytes, key).map(Payload::Summaries)
                     }
                 };
                 // A body that fails fingerprint/digest verification is
@@ -241,5 +348,80 @@ impl PeerRing {
             }
         }
         None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeerConfig;
+    use silobs::Tracer;
+    use std::time::Duration;
+
+    fn empty_ring() -> PeerRing {
+        PeerRing::new(PeerConfig::new(vec![]), Arc::new(Tracer::default()))
+    }
+
+    /// A leader that dies without publishing (panic, teardown) must not
+    /// wedge the key: the guard's drop publishes a miss and clears the
+    /// flights entry, so waiting followers wake and later fetches run.
+    #[test]
+    fn dropped_leader_guard_publishes_a_miss_and_clears_the_flight() {
+        let ring = empty_ring();
+        let key = (PeerNamespace::Programs, 42);
+        let flight = Arc::new(Flight::default());
+        ring.flights.lock().unwrap().insert(key, flight.clone());
+
+        let follower = {
+            let flight = flight.clone();
+            std::thread::spawn(move || flight.wait(Duration::from_secs(30)))
+        };
+        drop(FlightGuard {
+            ring: &ring,
+            key,
+            flight,
+            done: false,
+        });
+        assert!(
+            follower.join().unwrap().is_none(),
+            "followers of a dead leader see a miss, not a hang"
+        );
+        assert!(
+            ring.flights.lock().unwrap().is_empty(),
+            "the stale flight entry is cleaned up"
+        );
+    }
+
+    /// `complete` consumes the guard; its drop must not then double-toggle
+    /// the published slot.
+    #[test]
+    fn completed_guard_keeps_its_published_result() {
+        let ring = empty_ring();
+        let key = (PeerNamespace::Summaries, 7);
+        let flight = Arc::new(Flight::default());
+        ring.flights.lock().unwrap().insert(key, flight.clone());
+        let table: SummaryTable = Arc::new(std::collections::HashMap::new());
+        FlightGuard {
+            ring: &ring,
+            key,
+            flight: flight.clone(),
+            done: false,
+        }
+        .complete(Some(Payload::Summaries(table)));
+        assert!(matches!(
+            flight.wait(Duration::from_millis(10)),
+            Some(Payload::Summaries(_))
+        ));
+        assert!(ring.flights.lock().unwrap().is_empty());
+    }
+
+    /// A follower's wait is bounded even when nothing is ever published.
+    #[test]
+    fn follower_wait_times_out_instead_of_hanging() {
+        let flight = Flight::default();
+        let started = Instant::now();
+        assert!(flight.wait(Duration::from_millis(50)).is_none());
+        assert!(started.elapsed() >= Duration::from_millis(50));
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 }

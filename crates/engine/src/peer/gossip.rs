@@ -5,9 +5,13 @@
 //! quarantine and replaces that peer's advertised key sets wholesale (the
 //! inventory is a full snapshot, not a delta — a few thousand 8-byte
 //! fingerprints per round is cheap, and full replacement means a missed
-//! round can never leave a tombstone behind).  A peer whose quarantine has
-//! expired is contacted like any other: a successful exchange closes the
-//! breaker, a failed one re-arms it.
+//! round can never leave a tombstone behind).  The snapshot is tagged
+//! with the peer store's generation; between rounds, fetch replies carry
+//! the current generation and [`super::fetch`] discards the whole
+//! snapshot on mismatch — a cleared (or restarted) store stops being
+//! preferred the moment it answers, not a gossip interval later.  A peer
+//! whose quarantine has expired is contacted like any other: a
+//! successful exchange closes the breaker, a failed one re-arms it.
 
 use super::fetch::{self, Exchange};
 use super::{Peer, PeerRing};

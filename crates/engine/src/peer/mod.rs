@@ -104,7 +104,8 @@ pub struct PeerStats {
     pub gossip_rounds: u64,
     /// Times the breaker moved a peer into quarantine.
     pub quarantines: u64,
-    /// Response payload bytes received from peers (inventories + bodies).
+    /// Reply bytes read off the wire from peers (inventories + bodies),
+    /// as counted by the transport — not a re-encoding estimate.
     pub bytes_in: u64,
     /// Entry bytes this daemon served to fetching peers.
     pub bytes_out: u64,
@@ -126,7 +127,10 @@ pub(crate) struct PeerInner {
     /// The peer answered a peer kind with `malformed`: it is alive but
     /// does not speak the peering extension.  Not a breaker event.
     pub(crate) unsupported: bool,
-    /// The store generation the advertised sets belong to.
+    /// The store generation the advertised sets belong to.  Fetch replies
+    /// carry the serving store's current generation; on mismatch the
+    /// advertised sets are discarded as a stale snapshot (see
+    /// [`fetch`]).
     pub(crate) generation: u64,
     pub(crate) programs: HashSet<u64>,
     pub(crate) summaries: HashSet<u64>,
@@ -238,7 +242,14 @@ impl PeerRing {
         }
         self.stop.wake.notify_all();
         if let Some(handle) = self.gossip_thread.lock().unwrap().take() {
-            let _ = handle.join();
+            // When the last `Arc<PeerRing>` is the gossip loop's own
+            // temporary upgrade, this Drop-driven shutdown runs *on* the
+            // gossip thread — joining its own handle would deadlock, so
+            // detach instead (the loop is already on its way out: it only
+            // reaches here by returning from `gossip_once`).
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
         }
     }
 

@@ -228,6 +228,7 @@ impl Engine {
             Request::PeerFetch { namespace, key, .. } => Response::peer_entry(
                 namespace,
                 key,
+                self.store().generation(),
                 peer_entry_body(self.store(), namespace, key),
             ),
             // In process there is nothing to shut down; the daemon's server
@@ -515,7 +516,12 @@ impl ShardedService {
             }
             Request::PeerFetch { namespace, key, .. } => {
                 let _span = self.tracer.start("peer-serve");
-                Response::peer_entry(namespace, key, peer_entry_body(&self.store, namespace, key))
+                Response::peer_entry(
+                    namespace,
+                    key,
+                    self.store.generation(),
+                    peer_entry_body(&self.store, namespace, key),
+                )
             }
             Request::Shutdown { .. } => Response::shutting_down(),
         }

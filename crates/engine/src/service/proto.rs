@@ -685,11 +685,16 @@ pub enum Response {
     },
     /// Answer to [`Request::PeerFetch`]: the entry's codec document when
     /// the answering store holds the key (`body` is the same verifiable
-    /// JSON the durable tier persists), or `None` for a clean miss.
+    /// JSON the durable tier persists), or `None` for a clean miss.  The
+    /// store generation rides along so a fetcher can tell a miss caused
+    /// by eviction (generation unchanged since the last inventory) from
+    /// one caused by a clear — in the latter case every key that store
+    /// advertised belongs to a dead snapshot.
     PeerEntry {
         version: u32,
         namespace: PeerNamespace,
         key: u64,
+        generation: u64,
         body: Option<Json>,
     },
     /// The request failed as a whole.
@@ -798,11 +803,17 @@ impl Response {
         }
     }
 
-    pub fn peer_entry(namespace: PeerNamespace, key: u64, body: Option<Json>) -> Response {
+    pub fn peer_entry(
+        namespace: PeerNamespace,
+        key: u64,
+        generation: u64,
+        body: Option<Json>,
+    ) -> Response {
         Response::PeerEntry {
             version: PROTOCOL_VERSION,
             namespace,
             key,
+            generation,
             body,
         }
     }
@@ -904,12 +915,14 @@ impl Response {
             Response::PeerEntry {
                 namespace,
                 key,
+                generation,
                 body,
                 ..
             } => {
                 let mut fields = vec![
                     ("namespace", Json::Str(namespace.wire_name().to_string())),
                     ("key", hex64(*key)),
+                    ("generation", Json::Int(*generation as i64)),
                 ];
                 if let Some(body) = body {
                     fields.push(("body", body.clone()));
@@ -1054,6 +1067,10 @@ impl Response {
                 namespace: peer_namespace(value)?,
                 key: parse_hex64(field(value, "key").map_err(ServiceError::malformed)?)
                     .map_err(ServiceError::malformed)?,
+                generation: value
+                    .get("generation")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ServiceError::malformed("missing \"generation\""))?,
                 body: value.get("body").cloned(),
             }),
             "error" => {
@@ -1530,9 +1547,10 @@ mod tests {
         round_trip_response(Response::peer_entry(
             PeerNamespace::Programs,
             0xfeed,
+            2,
             Some(body),
         ));
-        let miss = Response::peer_entry(PeerNamespace::Summaries, 7, None);
+        let miss = Response::peer_entry(PeerNamespace::Summaries, 7, 0, None);
         assert!(!miss.encode().contains("\"body\""));
         round_trip_response(miss);
     }

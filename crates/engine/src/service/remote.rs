@@ -254,16 +254,30 @@ impl RemoteService {
     }
 }
 
-impl Service for RemoteService {
-    fn call(&self, request: Request) -> Response {
+impl RemoteService {
+    /// [`Service::call`], also reporting how many bytes of response line
+    /// were read off the wire (0 when the exchange failed before a reply
+    /// arrived).  Callers that meter traffic use this instead of
+    /// re-encoding the decoded response to guess at its size.
+    pub fn call_counted(&self, request: Request) -> (Response, u64) {
         let line = request.encode();
         match self.exchange(&line) {
-            Ok(reply) => match Response::decode(reply.trim_end_matches(['\r', '\n'])) {
-                Ok(response) => response,
-                Err(error) => Response::error(error),
-            },
-            Err(error) => Response::error(error),
+            Ok(reply) => {
+                let wire_bytes = reply.len() as u64;
+                let response = match Response::decode(reply.trim_end_matches(['\r', '\n'])) {
+                    Ok(response) => response,
+                    Err(error) => Response::error(error),
+                };
+                (response, wire_bytes)
+            }
+            Err(error) => (Response::error(error), 0),
         }
+    }
+}
+
+impl Service for RemoteService {
+    fn call(&self, request: Request) -> Response {
+        self.call_counted(request).0
     }
 }
 

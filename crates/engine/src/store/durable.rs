@@ -493,7 +493,7 @@ fn flusher_loop(shared: &Arc<TierShared>, receiver: &mpsc::Receiver<Job>) {
                         append(shared, NS_PROGRAM, key, &body, generation);
                     }
                     Job::Summaries(key, table, generation) => {
-                        let body = codec::encode_summaries(&table);
+                        let body = codec::encode_summaries(&table, key);
                         append(shared, NS_SUMMARY, key, &body, generation);
                     }
                     Job::Barrier(ack) => barriers.push(ack),
@@ -1178,25 +1178,117 @@ pub(crate) mod codec {
         })
     }
 
-    /// Encode one per-SCC summary table for the summary namespace.
-    pub(crate) fn encode_summaries(table: &SummaryTable) -> Vec<u8> {
+    /// The content digest of a summary table: the checksum of its
+    /// canonical encoding (`keyed_to_json` sorts, so the bytes are
+    /// deterministic whatever map produced the table).
+    fn summaries_digest(summaries: &Json) -> u64 {
+        segment::checksum(summaries.encode().as_bytes())
+    }
+
+    /// Encode one per-SCC summary table for the summary namespace,
+    /// binding it to the cone fingerprint it was stored under and to a
+    /// digest of its own content so [`decode_summaries`] can refuse a
+    /// relabeled or tampered document.
+    pub(crate) fn encode_summaries(table: &SummaryTable, cone: u64) -> Vec<u8> {
+        let summaries = keyed_to_json(table, proc_summary_to_json);
         Json::obj(vec![
-            ("v", Json::Int(1)),
-            ("summaries", keyed_to_json(table, proc_summary_to_json)),
+            ("v", Json::Int(2)),
+            ("fingerprint", json::hex64(cone)),
+            ("digest", json::hex64(summaries_digest(&summaries))),
+            ("summaries", summaries),
         ])
         .encode()
         .into_bytes()
     }
 
-    /// Decode a summary-table entry.
-    pub(crate) fn decode_summaries(body: &[u8]) -> Option<SummaryTable> {
-        let text = std::str::from_utf8(body).ok()?;
-        let value = Json::parse(text).ok()?;
-        if value.get("v")?.as_u64() != Some(1) {
-            return None;
+    /// Decode a summary-table entry, refusing anything whose embedded
+    /// cone fingerprint is not `key` or whose content fails to reproduce
+    /// its digest — the same trust model as [`decode_program`], so a
+    /// disk-corrupt or peer-supplied document that was not encoded for
+    /// exactly this cone degrades to a miss.
+    pub(crate) fn decode_summaries(body: &[u8], key: u64) -> Option<SummaryTable> {
+        decode_summaries_checked(body, key).ok().map(Arc::new)
+    }
+
+    fn decode_summaries_checked(
+        body: &[u8],
+        key: u64,
+    ) -> Result<HashMap<String, ProcSummary>, String> {
+        let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+        let value = Json::parse(text).map_err(|e| e.to_string())?;
+        if jfield(&value, "v")?.as_u64() != Some(2) {
+            return Err("unknown summary entry version".to_string());
         }
-        keyed_from_json(&value, "summaries", proc_summary_from_json)
-            .ok()
-            .map(Arc::new)
+        if json::parse_hex64(jfield(&value, "fingerprint")?)? != key {
+            return Err("entry fingerprint does not match its key".to_string());
+        }
+        let digest = json::parse_hex64(jfield(&value, "digest")?)?;
+        let table = keyed_from_json(&value, "summaries", proc_summary_from_json)?;
+        let canonical = keyed_to_json(&table, proc_summary_to_json);
+        if summaries_digest(&canonical) != digest {
+            return Err("decoded summaries do not reproduce their digest".to_string());
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> SummaryTable {
+        let mut table = HashMap::new();
+        table.insert(
+            "main".to_string(),
+            ProcSummary {
+                name: "main".to_string(),
+                handle_args: BTreeMap::from([
+                    ("t".to_string(), ArgMode::StructUpdate),
+                    ("u".to_string(), ArgMode::ReadOnly),
+                ]),
+                arg_modes: vec![Some(ArgMode::StructUpdate), None, Some(ArgMode::ReadOnly)],
+            },
+        );
+        Arc::new(table)
+    }
+
+    #[test]
+    fn summary_entries_round_trip_under_their_own_key() {
+        let body = codec::encode_summaries(&sample_table(), 0xfeed);
+        let table = codec::decode_summaries(&body, 0xfeed).expect("round trip");
+        assert_eq!(table.len(), 1);
+        assert_eq!(table["main"].arg_modes, sample_table()["main"].arg_modes);
+    }
+
+    /// A well-formed document encoded for one cone must not be admitted
+    /// under another key — this is what stops a peer (or a mislabeled
+    /// disk entry) from answering any requested cone with a table it
+    /// happens to hold.
+    #[test]
+    fn summary_entries_are_bound_to_their_cone_fingerprint() {
+        let body = codec::encode_summaries(&sample_table(), 0xfeed);
+        assert!(codec::decode_summaries(&body, 0xbeef).is_none());
+        assert!(codec::decode_summaries(&body, 0xfeed).is_some());
+    }
+
+    /// Edited content without a recomputed digest is refused: the
+    /// canonical re-encoding of the decoded table no longer reproduces
+    /// the embedded digest.
+    #[test]
+    fn tampered_summary_content_fails_its_digest() {
+        let body = codec::encode_summaries(&sample_table(), 0xfeed);
+        let text = std::str::from_utf8(&body).unwrap();
+        let forged = text.replace("\"main\"", "\"evil\"");
+        assert_ne!(forged, text, "the tamper must have changed something");
+        assert!(codec::decode_summaries(forged.as_bytes(), 0xfeed).is_none());
+    }
+
+    #[test]
+    fn unknown_summary_entry_versions_are_refused() {
+        let body = codec::encode_summaries(&sample_table(), 1);
+        let text = std::str::from_utf8(&body)
+            .unwrap()
+            .replace("\"v\":2", "\"v\":1");
+        assert!(codec::decode_summaries(text.as_bytes(), 1).is_none());
     }
 }

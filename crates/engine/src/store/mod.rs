@@ -341,7 +341,7 @@ impl SummaryStore {
     pub fn peer_summary_body(&self, cone: u64) -> Option<Vec<u8>> {
         self.peer_serves.fetch_add(1, Ordering::Relaxed);
         let body = match self.summaries.peek(cone) {
-            Some(table) => Some(durable::codec::encode_summaries(&table)),
+            Some(table) => Some(durable::codec::encode_summaries(&table, cone)),
             None => self
                 .durable
                 .as_ref()
@@ -395,7 +395,7 @@ impl SummaryStore {
         if let Some(tier) = &self.durable {
             if let Some(table) = tier
                 .get(NS_SUMMARY, cone)
-                .and_then(|body| durable::codec::decode_summaries(&body))
+                .and_then(|body| durable::codec::decode_summaries(&body, cone))
             {
                 self.summaries.insert(cone, table.clone());
                 return Some(table);

@@ -4,8 +4,8 @@
 //! half-open connections, loop prevention).
 
 use sil_engine::service::{
-    route_fingerprint, ErrorKind, PeerNamespace, RemoteService, Request, Response, Server, Service,
-    ShardedService,
+    json, route_fingerprint, ErrorKind, Json, PeerNamespace, RemoteService, Request, Response,
+    Server, Service, ShardedService,
 };
 use sil_engine::{Addr, EngineConfig, PeerConfig, PeerRing, ServerHandle};
 use sil_workloads::Workload;
@@ -357,6 +357,102 @@ fn half_open_peer_fails_within_the_deadline_naming_it() {
     let _ = std::os::unix::net::UnixStream::connect(&path);
     mute.join().unwrap();
     let _ = std::fs::remove_file(&path);
+}
+
+/// The trust model, adversarially: a peer that answers a summary fetch
+/// with a *forged* table — well-formed JSON, but encoded for a different
+/// cone (or with a digest its content does not reproduce) — is refused.
+/// The fetch degrades to a miss; nothing is admitted to the store.
+#[test]
+fn forged_summary_bodies_from_a_lying_peer_are_refused() {
+    let Addr::Unix(path) = temp_socket("liar") else {
+        unreachable!()
+    };
+    let requested_key: u64 = 0x00c0_ffee;
+    let other_cone: u64 = 0x0bad_cafe;
+    // A minimal daemon that speaks just enough protocol to lie: every
+    // request line is answered with a peer_entry holding an empty-but-
+    // well-formed summary table that was encoded for a *different* cone.
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let liar = std::thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Write};
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut stream = stream;
+        let mut line = String::new();
+        while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+            let forged = Json::obj(vec![
+                ("v", Json::Int(2)),
+                ("fingerprint", json::hex64(other_cone)),
+                ("digest", json::hex64(0)),
+                ("summaries", Json::Arr(vec![])),
+            ]);
+            let reply =
+                Response::peer_entry(PeerNamespace::Summaries, requested_key, 0, Some(forged));
+            if stream
+                .write_all(format!("{}\n", reply.encode()).as_bytes())
+                .is_err()
+            {
+                break;
+            }
+            line.clear();
+        }
+    });
+
+    let service = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&service, vec![Addr::Unix(path.clone())]);
+    assert!(
+        ring.fetch_summaries(requested_key).is_none(),
+        "a table encoded for another cone must not be admitted"
+    );
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.hits, 0, "a refused forgery is not a hit: {stats:?}");
+    assert_eq!(stats.misses, 1);
+    assert!(stats.bytes_in > 0, "the reply line itself was metered");
+
+    // The store holds the other Arc of the ring; drop both so the cached
+    // connection closes and the liar's read loop ends.
+    drop(ring);
+    drop(service);
+    liar.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The generation counter is enforced, not just gossiped: clearing a
+/// warm peer bumps its generation, and the very next fetch reply makes
+/// the ring discard that peer's entire advertised snapshot instead of
+/// trusting keys from a store that no longer exists.
+#[test]
+fn cleared_peer_generation_discards_the_stale_advertisement_snapshot() {
+    let (warm_service, warm_handle) = spawn_daemon("genclear");
+    let src = Workload::TreeSum.source(4);
+    analyze(&warm_service, &src);
+    let key = route_fingerprint(&src);
+
+    let cold_service = ShardedService::new(1, EngineConfig::default());
+    let ring = test_ring(&cold_service, vec![warm_handle.addr().clone()]);
+    ring.gossip_once();
+    assert!(ring.stats(0, 0).known_keys > 0, "gossip learned the keys");
+
+    // Clear the warm daemon: its generation bumps and its stores empty,
+    // but the ring's advertisement snapshot still names the old keys.
+    match warm_service.call(Request::clear_caches()) {
+        Response::Cleared { .. } => {}
+        other => panic!("{other:?}"),
+    }
+
+    // The fetch misses (the entry is gone) — and the mismatched
+    // generation on the reply retires the whole stale snapshot at once,
+    // without waiting for the next gossip round.
+    assert!(ring.fetch_program(key).is_none());
+    let stats = ring.stats(0, 0);
+    assert_eq!(stats.misses, 1);
+    assert_eq!(
+        stats.known_keys, 0,
+        "a cleared store's advertisements are dead: {stats:?}"
+    );
+
+    warm_handle.shutdown();
 }
 
 /// Gossip keeps running in the background: a spawned ring learns a warm
