@@ -3,8 +3,11 @@
 //! for merging and equality testing of path matrices").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sil_analysis::{transfer_stmt, AbstractState};
+use sil_lang::{parse_stmt, ProcSignature, Type};
 use sil_pathmatrix::{at_least, exact, Certainty, Dir, Link, Path, PathMatrix, PathSet};
 use std::hint::black_box;
+use std::time::Instant;
 
 /// A fast Criterion configuration so the whole suite completes quickly while
 /// still giving stable relative numbers.
@@ -34,9 +37,29 @@ fn chain_matrix(n: usize) -> PathMatrix {
     m
 }
 
+/// An abstract state over a `chain_matrix(n)` plus the signature benchmarked
+/// statements run against, so the transfer cases exercise the real analysis
+/// entry point (kill/gen loops over every handle) rather than matrix ops in
+/// isolation.
+fn transfer_fixture(n: usize) -> (AbstractState, ProcSignature) {
+    let mut state = AbstractState::new();
+    state.matrix = chain_matrix(n);
+    let mut sig = ProcSignature {
+        name: "bench".to_string(),
+        params: Vec::new(),
+        return_type: None,
+        vars: std::collections::HashMap::new(),
+    };
+    for i in 0..n {
+        sig.vars.insert(format!("h{i}"), Type::Handle);
+    }
+    sig.vars.insert("fresh".to_string(), Type::Handle);
+    (state, sig)
+}
+
 fn matrix_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("pathmatrix_join");
-    for n in [4usize, 8, 16, 32] {
+    for n in [4usize, 16, 64] {
         let a = chain_matrix(n);
         let mut b = chain_matrix(n);
         // make the two sides differ so the join has real work to do
@@ -48,9 +71,39 @@ fn matrix_join(c: &mut Criterion) {
     group.finish();
 }
 
+fn matrix_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathmatrix_clone");
+    for n in [4usize, 16, 64] {
+        let m = chain_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(m.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn matrix_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathmatrix_transfer");
+    // `h1.left := h2` is the expensive transfer: its kill phase scans every
+    // handle that may reach the stored field and its gen phase concatenates
+    // relations across sources × targets.
+    let store = parse_stmt("h1.left := h2").expect("parses");
+    for n in [4usize, 16, 64] {
+        let (state, sig) = transfer_fixture(n);
+        let mut warnings = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                warnings.clear();
+                black_box(transfer_stmt(&state, &store, &sig, &mut warnings))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn matrix_equality(c: &mut Criterion) {
     let mut group = c.benchmark_group("pathmatrix_equality");
-    for n in [4usize, 8, 16, 32] {
+    for n in [4usize, 16, 64] {
         let a = chain_matrix(n);
         let b = chain_matrix(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
@@ -105,14 +158,87 @@ fn path_operations(c: &mut Criterion) {
     c.bench_function("pathset_join", |b| b.iter(|| black_box(set.join(&set2))));
 }
 
+/// Time `f` directly and return operations per second.  Smoke mode
+/// (`CRITERION_SMOKE=1`) runs a single iteration so CI only proves the code
+/// paths execute.
+fn measure_ops(mut f: impl FnMut()) -> f64 {
+    let smoke = std::env::var("CRITERION_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if smoke {
+        f();
+        return 0.0;
+    }
+    // Warm up, then size the batch so the timed region is ~200ms.
+    let start = Instant::now();
+    let mut warm = 0u64;
+    while start.elapsed() < std::time::Duration::from_millis(50) {
+        f();
+        warm += 1;
+    }
+    let per_op = start.elapsed().as_secs_f64() / warm as f64;
+    let iters = ((0.2 / per_op) as u64).max(1);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Print a plain ops/sec table over the join/transfer/clone/equality cases —
+/// the summary the ROADMAP before/after numbers are read from.
+fn ops_table(_c: &mut Criterion) {
+    let store = parse_stmt("h1.left := h2").expect("parses");
+    println!("\nops/sec (higher is better)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "case", "4 handles", "16 handles", "64 handles"
+    );
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("join", Vec::new()),
+        ("transfer", Vec::new()),
+        ("clone", Vec::new()),
+        ("equality", Vec::new()),
+    ];
+    for n in [4usize, 16, 64] {
+        let a = chain_matrix(n);
+        let mut b = chain_matrix(n);
+        b.set("h0", "h1", PathSet::singleton(exact(Dir::Right, 1)));
+        let (state, sig) = transfer_fixture(n);
+        let mut warnings = Vec::new();
+        rows[0].1.push(measure_ops(|| {
+            black_box(a.join(&b));
+        }));
+        rows[1].1.push(measure_ops(|| {
+            warnings.clear();
+            black_box(transfer_stmt(&state, &store, &sig, &mut warnings));
+        }));
+        rows[2].1.push(measure_ops(|| {
+            black_box(a.clone());
+        }));
+        rows[3].1.push(measure_ops(|| {
+            black_box(a.same_relations(&b));
+        }));
+    }
+    for (name, cols) in rows {
+        print!("{name:<12}");
+        for v in cols {
+            print!(" {v:>14.0}");
+        }
+        println!();
+    }
+    println!();
+}
+
 criterion_group! {
     name = pathmatrix_ops;
     config = bench_config();
     targets =
     matrix_join,
+    matrix_clone,
+    matrix_transfer,
     matrix_equality,
     matrix_alias_store,
-    path_operations
+    path_operations,
+    ops_table
 
 }
 criterion_main!(pathmatrix_ops);

@@ -89,12 +89,15 @@ impl fmt::Display for Location {
 pub fn alias_set(a: &str, kind: LocationKind, matrix: &PathMatrix) -> BTreeSet<Location> {
     let mut out = BTreeSet::new();
     out.insert(Location::new(a, kind));
-    for x in matrix.handles() {
-        if x == a {
+    let Some(sa) = sil_pathmatrix::lookup(a).filter(|&s| matrix.contains_sym(s)) else {
+        return out;
+    };
+    for &x in matrix.handles() {
+        if x == sa {
             continue;
         }
-        if matrix.get(a, x).may_be_same() || matrix.get(x, a).may_be_same() {
-            out.insert(Location::new(x.clone(), kind));
+        if matrix.get_sym(sa, x).may_be_same() || matrix.get_sym(x, sa).may_be_same() {
+            out.insert(Location::new(x.as_str(), kind));
         }
     }
     out

@@ -101,6 +101,9 @@ pub struct AnalysisResult {
     pub warnings: Vec<StructureWarning>,
     /// Number of whole-program rounds needed to stabilize.
     pub rounds: usize,
+    /// Memoized [`AnalysisResult::digest`] — the result is immutable once
+    /// assembled, and warm cache hits ask for the digest on every request.
+    digest_memo: std::sync::OnceLock<u64>,
 }
 
 impl AnalysisResult {
@@ -123,6 +126,7 @@ impl AnalysisResult {
             return_summaries,
             warnings,
             rounds,
+            digest_memo: std::sync::OnceLock::new(),
         }
     }
 
@@ -148,6 +152,10 @@ impl AnalysisResult {
     /// iteration order produced them — the engine's batch tests and its
     /// warm-cache identity checks compare results through this.
     pub fn digest(&self) -> u64 {
+        *self.digest_memo.get_or_init(|| self.compute_digest())
+    }
+
+    fn compute_digest(&self) -> u64 {
         let mut hasher = sil_lang::hash::StableHasher::new();
         hasher.write_str("sil-analysis-digest-v1");
 
@@ -242,7 +250,7 @@ fn context_contribution(site: &CallSite, types: &ProgramTypes) -> AbstractState 
     };
 
     for f in &formals {
-        ctx.matrix.add_handle(f.to_string());
+        ctx.matrix.add_handle(f);
         ctx.matrix.add_handle(immediate_symbol(f));
         ctx.matrix.add_handle(stacked_symbol(f));
         ctx.mark_attached(&immediate_symbol(f));
@@ -274,12 +282,12 @@ fn context_contribution(site: &CallSite, types: &ProgramTypes) -> AbstractState 
 
     // Relations between the formals and the rest of the caller's world fold
     // into the symbolic handles.
-    let caller_handles: Vec<String> = caller_state.matrix.handles().to_vec();
+    let caller_handles: Vec<&'static str> = caller_state.matrix.handle_names().collect();
     for fi in &formals {
         let Some(ai) = actual_of(fi) else { continue };
         let sym_now = immediate_symbol(fi);
         let sym_stack = stacked_symbol(fi);
-        for x in &caller_handles {
+        for &x in &caller_handles {
             if x == ai || site.handle_actuals.iter().any(|(_, a)| a == x) {
                 continue;
             }
@@ -396,8 +404,7 @@ fn return_summary_from_exit(
     // Fresh if unrelated to every formal and every symbolic context handle.
     let unrelated_to_symbolics = exit
         .matrix
-        .handles()
-        .iter()
+        .handle_names()
         .filter(|h| is_symbolic(h))
         .all(|h| exit.matrix.unrelated(h, retvar));
     Some(ReturnSummary {
@@ -866,6 +873,7 @@ pub fn analyze_program_with_options(
             return_summaries,
             warnings,
             rounds,
+            digest_memo: std::sync::OnceLock::new(),
         },
         recorded,
         stats,

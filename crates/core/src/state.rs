@@ -115,7 +115,7 @@ impl AbstractState {
     pub fn with_handles<I, S>(handles: I) -> AbstractState
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
         AbstractState {
             matrix: PathMatrix::with_handles(handles),

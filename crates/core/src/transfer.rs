@@ -27,7 +27,7 @@ use sil_lang::ast::*;
 use sil_lang::basic::BasicStmt;
 use sil_lang::pretty::pretty_stmt;
 use sil_lang::types::{ProcSignature, ProgramTypes, Type};
-use sil_pathmatrix::{Certainty, Dir, Link, Path, PathSet};
+use sil_pathmatrix::{intern, Certainty, Dir, Link, Path, PathSet, Symbol};
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -103,40 +103,42 @@ pub fn transfer_assign_load(
         return next;
     }
     let dir = dir_of(field);
+    let sa = intern::intern(a);
+    let sb = intern::intern(b);
     let mut next = state.clone();
-    next.matrix.add_handle(b);
-    next.matrix.clear_handle(a);
+    next.matrix.add_handle_sym(sb);
+    next.matrix.clear_handle_sym(sa);
     next.mark_detached(a);
 
-    let handles: Vec<String> = next.matrix.handles().to_vec();
+    let handles: Vec<Symbol> = next.matrix.handles().to_vec();
     let link = Link::exact(dir, 1);
 
     // b itself: a is exactly its f-child.
-    next.matrix.set(
-        b,
-        a,
+    next.matrix.set_sym(
+        sb,
+        sa,
         PathSet::singleton(Path::from_link(link, Certainty::Definite)),
     );
 
-    for x in &handles {
-        if x == a || x == b {
+    for &x in &handles {
+        if x == sa || x == sb {
             continue;
         }
         // Paths into a: anything that reaches b reaches a by one more edge.
-        let xb = state.matrix.get(x, b);
+        let xb = state.matrix.get_sym(x, sb);
         if !xb.is_empty() {
-            next.matrix.set(x, a, xb.map(|p| p.append_link(link)));
+            next.matrix.set_sym(x, sa, xb.map(|p| p.append_link(link)));
         }
         // Paths out of a: re-root b's outgoing paths at the f-child.
-        let bx = state.matrix.get(b, x);
+        let bx = state.matrix.get_sym(sb, x);
         if !bx.is_empty() {
             let mut stripped = PathSet::empty();
             for p in bx.iter() {
-                for q in p.strip_first(dir) {
+                for &q in p.strip_first(dir).as_slice() {
                     stripped.insert(q);
                 }
             }
-            next.matrix.set(a, x, stripped);
+            next.matrix.set_sym(sa, x, stripped);
         }
     }
 
@@ -161,32 +163,33 @@ pub fn transfer_store_field(
     warnings: &mut Vec<StructureWarning>,
 ) -> AbstractState {
     let dir = dir_of(field);
+    let sa = intern::intern(a);
     let mut next = state.clone();
-    next.matrix.add_handle(a);
+    next.matrix.add_handle_sym(sa);
     if let Some(b) = src {
         next.matrix.add_handle(b);
     }
-    let handles: Vec<String> = next.matrix.handles().to_vec();
+    let handles: Vec<Symbol> = next.matrix.handles().to_vec();
     let is_tree = state.structure.is_tree();
 
     // ---- kill phase: the old `a.f` edge is overwritten -------------------
     // Targets that `a` may have reached through its f edge (pre-kill).
-    let mut reached_via_f: Vec<String> = Vec::new();
+    let mut reached_via_f: Vec<Symbol> = Vec::new();
     // Handles that were definitely the direct f-child of a.
-    let mut direct_children: Vec<String> = Vec::new();
-    for y in &handles {
-        if y == a {
+    let mut direct_children: Vec<Symbol> = Vec::new();
+    for &y in &handles {
+        if y == sa {
             continue;
         }
-        let from_a = state.matrix.get(a, y);
+        let from_a = state.matrix.get_sym(sa, y);
         if from_a.iter().any(|p| p.may_start_with(dir)) {
-            reached_via_f.push(y.clone());
+            reached_via_f.push(y);
         }
         if from_a
             .iter()
             .any(|p| p.is_definite() && p.links() == [Link::exact(dir, 1)])
         {
-            direct_children.push(y.clone());
+            direct_children.push(y);
         }
         // Rewrite a's outgoing paths.
         let rewritten = PathSet::from_paths(from_a.iter().filter_map(|p| {
@@ -200,28 +203,29 @@ pub fn transfer_store_field(
             } else if p.may_start_with(dir) {
                 Some(p.weakened())
             } else {
-                Some(p.clone())
+                Some(*p)
             }
         }));
-        next.matrix.set(a, y, rewritten);
+        next.matrix.set_sym(sa, y, rewritten);
     }
     // Ancestors of a: their paths to anything a reached via f become uncertain.
-    for x in &handles {
-        if x == a || state.matrix.get(x, a).is_empty() {
+    for &x in &handles {
+        if x == sa || state.matrix.get_sym(x, sa).is_empty() {
             continue;
         }
-        for y in &reached_via_f {
+        for &y in &reached_via_f {
             if y == x {
                 continue;
             }
-            let entry = next.matrix.get(x, y);
+            let entry = next.matrix.get_sym(x, y);
             if !entry.is_empty() {
-                next.matrix.set(x, y, entry.weakened());
+                next.matrix.set_sym(x, y, entry.weakened());
             }
         }
     }
     // The node that was the direct f-child loses this parent.
-    for c in &direct_children {
+    for &c in &direct_children {
+        let c = c.as_str();
         if next.shared.contains(c) {
             next.shared.remove(c);
         } else if is_tree {
@@ -247,14 +251,15 @@ pub fn transfer_store_field(
         // The node may be named by other handles too (any handle that may be
         // the same node), so the attachment facts of those aliases count as
         // well and are updated alongside.
-        let aliases_of_b: Vec<String> = handles
+        let sbb = intern::intern(b);
+        let aliases_of_b: Vec<&'static str> = handles
             .iter()
-            .filter(|x| {
-                *x == b
-                    || state.matrix.get(x, b).may_be_same()
-                    || state.matrix.get(b, x).may_be_same()
+            .filter(|&&x| {
+                x == sbb
+                    || state.matrix.get_sym(x, sbb).may_be_same()
+                    || state.matrix.get_sym(sbb, x).may_be_same()
             })
-            .cloned()
+            .map(|x| x.as_str())
             .collect();
         if aliases_of_b.iter().any(|x| next.is_attached(x)) {
             next.shared.insert(b.to_string());
@@ -275,44 +280,40 @@ pub fn transfer_store_field(
         // New paths: every x that reaches a, composed with the new edge and
         // every path out of b.
         let link_path = Path::from_link(Link::exact(dir, 1), Certainty::Definite);
-        let mut sources: Vec<(String, PathSet)> = vec![(
-            a.to_string(),
-            PathSet::singleton(Path::same(Certainty::Definite)),
-        )];
-        for x in &handles {
-            if x == a {
+        let mut sources: Vec<(Symbol, PathSet)> =
+            vec![(sa, PathSet::singleton(Path::same(Certainty::Definite)))];
+        for &x in &handles {
+            if x == sa {
                 continue;
             }
-            let xa = state.matrix.get(x, a);
+            let xa = state.matrix.get_sym(x, sa);
             if !xa.is_empty() {
-                sources.push((x.clone(), xa));
+                sources.push((x, xa));
             }
         }
-        let mut targets: Vec<(String, PathSet)> = vec![(
-            b.to_string(),
-            PathSet::singleton(Path::same(Certainty::Definite)),
-        )];
-        for y in &handles {
-            if y == b {
+        let mut targets: Vec<(Symbol, PathSet)> =
+            vec![(sbb, PathSet::singleton(Path::same(Certainty::Definite)))];
+        for &y in &handles {
+            if y == sbb {
                 continue;
             }
-            let by = state.matrix.get(b, y);
+            let by = state.matrix.get_sym(sbb, y);
             if !by.is_empty() {
-                targets.push((y.clone(), by));
+                targets.push((y, by));
             }
         }
-        for (x, xa) in &sources {
-            for (y, by) in &targets {
+        for &(x, xa) in &sources {
+            for &(y, by) in &targets {
                 if x == y {
                     continue;
                 }
-                let mut entry = next.matrix.get(x, y);
+                let mut entry = next.matrix.get_sym(x, y);
                 for p in xa.iter() {
                     for q in by.iter() {
                         entry.insert(p.concat(&link_path).concat(q));
                     }
                 }
-                next.matrix.set(x, y, entry);
+                next.matrix.set_sym(x, y, entry);
             }
         }
     }
@@ -627,7 +628,7 @@ impl<'a> Analyzer<'a> {
                 next.shared.insert(format!("<shared via {callee}>"));
             }
         }
-        let update_actuals: Vec<&String> = handle_actuals
+        let update_actuals: Vec<Symbol> = handle_actuals
             .iter()
             .filter(|(formal, _)| {
                 summary
@@ -635,47 +636,50 @@ impl<'a> Analyzer<'a> {
                     .get(formal)
                     .is_some_and(|m| m.is_structural())
             })
-            .map(|(_, actual)| actual)
+            .map(|(_, actual)| intern::intern(actual))
             .collect();
-        let all_actuals: Vec<&String> = handle_actuals.iter().map(|(_, a)| a).collect();
+        let all_actuals: Vec<Symbol> = handle_actuals
+            .iter()
+            .map(|(_, a)| intern::intern(a))
+            .collect();
         if update_actuals.is_empty() {
             return next;
         }
-        let handles: Vec<String> = next.matrix.handles().to_vec();
+        let handles: Vec<Symbol> = next.matrix.handles().to_vec();
         let is_tree = state.structure.is_tree();
-        let can_reach_update: Vec<String> = handles
+        let can_reach_update: Vec<Symbol> = handles
             .iter()
-            .filter(|x| {
+            .filter(|&&x| {
                 update_actuals
                     .iter()
-                    .any(|u| *x == *u || !state.matrix.get(x, u).is_empty())
+                    .any(|&u| x == u || !state.matrix.get_sym(x, u).is_empty())
             })
-            .cloned()
+            .copied()
             .collect();
         // Handles naming nodes the callee can actually rearrange: nodes
         // *strictly below* some argument.  Edges on the path from the caller
         // down to an argument node belong to nodes the callee cannot reach
         // (in a TREE), so relations ending at the argument itself survive.
-        let in_call_reach: Vec<String> = handles
+        let in_call_reach: Vec<Symbol> = handles
             .iter()
-            .filter(|y| {
-                all_actuals.iter().any(|g| {
-                    state.matrix.get(g, y).may_be_descendant()
-                        || (!is_tree && (*y == *g || state.matrix.get(g, y).may_be_same()))
+            .filter(|&&y| {
+                all_actuals.iter().any(|&g| {
+                    state.matrix.get_sym(g, y).may_be_descendant()
+                        || (!is_tree && (y == g || state.matrix.get_sym(g, y).may_be_same()))
                 })
             })
-            .cloned()
+            .copied()
             .collect();
-        for x in &can_reach_update {
-            for y in &in_call_reach {
+        for &x in &can_reach_update {
+            for &y in &in_call_reach {
                 if x == y {
                     continue;
                 }
-                let old = state.matrix.get(x, y);
+                let old = state.matrix.get_sym(x, y);
                 let mut entry = PathSet::empty();
                 for p in old.iter() {
                     if p.is_same() {
-                        entry.insert(p.clone());
+                        entry.insert(*p);
                     } else {
                         entry.insert(p.weakened());
                     }
@@ -684,12 +688,12 @@ impl<'a> Analyzer<'a> {
                     Link::at_least(Dir::Down, 1),
                     Certainty::Possible,
                 ));
-                next.matrix.set(x, y, entry);
+                next.matrix.set_sym(x, y, entry);
             }
         }
         // Nodes inside the call's reach may have been re-attached.
-        for y in &in_call_reach {
-            next.mark_attached(y);
+        for &y in &in_call_reach {
+            next.mark_attached(y.as_str());
         }
         let _ = warnings;
         next
@@ -725,10 +729,10 @@ impl<'a> Analyzer<'a> {
                         continue;
                     };
                     if !to_ret.is_empty() {
-                        next.matrix.set(actual, dst, to_ret.clone());
+                        next.matrix.set(actual, dst, *to_ret);
                     }
                     if !from_ret.is_empty() {
-                        next.matrix.set(dst, actual, from_ret.clone());
+                        next.matrix.set(dst, actual, *from_ret);
                     }
                 }
             }

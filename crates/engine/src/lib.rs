@@ -396,6 +396,23 @@ pub fn export_store_metrics(stats: &StoreStats, raw: &mut RawMetrics) {
     }
 }
 
+/// Fold the process-wide path-matrix representation gauges into `raw`:
+/// `analysis.interned_symbols` (distinct handle names in the global
+/// interner) and `analysis.matrix_bytes` (high-water footprint of the
+/// largest single path matrix observed at a join).  Like
+/// [`export_store_metrics`], fold exactly once per `Metrics` response —
+/// the interner is process-global, so per-shard folding would double-count.
+pub fn export_analysis_metrics(raw: &mut RawMetrics) {
+    raw.push_gauge(
+        "analysis.interned_symbols",
+        sil_pathmatrix::symbol_count() as i64,
+    );
+    raw.push_gauge(
+        "analysis.matrix_bytes",
+        sil_pathmatrix::matrix_bytes_high_water() as i64,
+    );
+}
+
 /// How many walk records one cone may retain.  A record exists per (round ×
 /// distinct entry context) of a procedure, so a handful of edits produce a
 /// handful of records; the cap only guards against a pathological client

@@ -36,7 +36,10 @@ pub use server::{Server, ServerHandle, ServerKind, ServerOptions};
 
 use crate::report::{ProcessOptions, ProgramReport};
 use crate::store::{StoreStats, SummaryStore};
-use crate::{export_store_metrics, AnalyzedProgram, Engine, EngineConfig, EngineStats};
+use crate::{
+    export_analysis_metrics, export_store_metrics, AnalyzedProgram, Engine, EngineConfig,
+    EngineStats,
+};
 use sil_lang::{frontend, program_fingerprint};
 use silobs::{MetricsSnapshot, Tracer};
 use std::path::PathBuf;
@@ -205,6 +208,7 @@ impl Engine {
             Request::Metrics { .. } => {
                 let mut raw = self.metrics_raw();
                 export_store_metrics(&self.store_stats(), &mut raw);
+                export_analysis_metrics(&mut raw);
                 if let Some(ring) = self.store().peers() {
                     raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
                 }
@@ -486,6 +490,7 @@ impl ShardedService {
                     raw.absorb(&shard.metrics_raw());
                 }
                 export_store_metrics(&self.store.stats(), &mut raw);
+                export_analysis_metrics(&mut raw);
                 if let Some(ring) = self.store.peers() {
                     raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
                 }

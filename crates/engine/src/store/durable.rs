@@ -42,7 +42,6 @@ use sil_analysis::{
 };
 use sil_lang::hash::program_fingerprint;
 use sil_lang::{frontend, pretty_program};
-use sil_pathmatrix::path::PathKind;
 use sil_pathmatrix::{Certainty, Dir, Link, Path as RelPath, PathMatrix, PathSet};
 use silobs::Tracer;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -733,10 +732,11 @@ pub(crate) mod codec {
     /// A path is `[definite, links]`: `links` is `null` for `S`ame, else
     /// `[[dir_letter, min, exact], ...]`.
     fn path_to_json(path: &RelPath) -> Json {
-        let links = match &path.kind {
-            PathKind::Same => Json::Null,
-            PathKind::Links(links) => Json::Arr(
-                links
+        let links = if path.is_same() {
+            Json::Null
+        } else {
+            Json::Arr(
+                path.links()
                     .iter()
                     .map(|link| {
                         Json::Arr(vec![
@@ -746,7 +746,7 @@ pub(crate) mod codec {
                         ])
                     })
                     .collect(),
-            ),
+            )
         };
         Json::Arr(vec![
             Json::Bool(path.certainty == Certainty::Definite),
@@ -764,17 +764,18 @@ pub(crate) mod codec {
         } else {
             Certainty::Possible
         };
-        let kind = match links {
-            Json::Null => PathKind::Same,
-            Json::Arr(links) => PathKind::Links(
+        match links {
+            Json::Null => Ok(RelPath::same(certainty)),
+            Json::Arr(links) if !links.is_empty() => Ok(RelPath::from_links(
                 links
                     .iter()
                     .map(link_from_json)
                     .collect::<Result<Vec<Link>, String>>()?,
-            ),
-            _ => return Err("path[1] must be null or an array".to_string()),
-        };
-        Ok(RelPath { kind, certainty })
+                certainty,
+            )),
+            Json::Arr(_) => Err("path links must be non-empty".to_string()),
+            _ => Err("path[1] must be null or an array".to_string()),
+        }
     }
 
     fn link_from_json(value: &Json) -> Result<Link, String> {
@@ -812,11 +813,11 @@ pub(crate) mod codec {
         ))
     }
 
-    fn names_to_json<'a>(names: impl IntoIterator<Item = &'a String>) -> Json {
+    fn names_to_json<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Json {
         Json::Arr(
             names
                 .into_iter()
-                .map(|name| Json::Str(name.clone()))
+                .map(|name| Json::Str(name.as_ref().to_string()))
                 .collect(),
         )
     }
@@ -839,7 +840,7 @@ pub(crate) mod codec {
         entries.sort_by_key(|&(a, b, _)| (a, b));
         Json::obj(vec![
             ("structure", structure_to_json(state.structure)),
-            ("handles", names_to_json(state.matrix.handles())),
+            ("handles", names_to_json(state.matrix.handle_names())),
             (
                 "entries",
                 Json::Arr(

@@ -515,6 +515,31 @@ fn metrics_round_trip_matches_in_process() {
     daemon.stop();
 }
 
+/// `--metrics` reports the path-matrix representation gauges: the interner
+/// population and the high-water single-matrix footprint.  After analyzing
+/// any real workload both are non-trivial.
+#[test]
+fn metrics_include_analysis_representation_gauges() {
+    let output = silp()
+        .args(["--in-process", "--workload", "tree_sum", "--metrics"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    let gauge = |name: &str| -> i64 {
+        stderr
+            .lines()
+            .find(|line| line.trim_start().starts_with(name))
+            .unwrap_or_else(|| panic!("no {name} row in:\n{stderr}"))
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable {name} row in:\n{stderr}"))
+    };
+    assert!(gauge("analysis.interned_symbols") > 0, "{stderr}");
+    assert!(gauge("analysis.matrix_bytes") > 0, "{stderr}");
+}
+
 /// `--trace-dump` prints the daemon's retained spans as ndjson: the
 /// server's own parse/encode spans interleaved with the engine's, all
 /// attributed to minted request ids.

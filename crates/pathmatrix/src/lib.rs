@@ -26,19 +26,24 @@
 //!
 //! The module layout mirrors the formalism:
 //!
+//! * [`mod@intern`] — the global handle-name interner mapping names to dense
+//!   [`Symbol`] ids,
 //! * [`link`] — directions and length-abstracted links,
 //! * [`path`] — paths, certainty, concatenation, first-link stripping,
-//!   coverage (subsumption) and generalisation (widening),
-//! * [`pathset`] — canonical bounded sets of paths,
-//! * [`matrix`] — the path matrix keyed by handle names, with the
+//!   coverage (subsumption) and generalisation (widening); a path is an
+//!   inline, fixed-capacity array of links (`Copy`, no heap),
+//! * [`pathset`] — canonical bounded sets of paths, also inline and `Copy`,
+//! * [`matrix`] — the path matrix indexed by interned handles, with the
 //!   control-flow `merge`, equality for fixpoint detection, and the tabular
 //!   rendering used to reproduce the paper's figures.
 
+pub mod intern;
 pub mod link;
 pub mod matrix;
 pub mod path;
 pub mod pathset;
 
+pub use intern::{intern, lookup, matrix_bytes_high_water, symbol_count, Symbol};
 pub use link::{Dir, Link};
 pub use matrix::PathMatrix;
 pub use path::{Certainty, Path};

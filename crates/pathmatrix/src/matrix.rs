@@ -6,11 +6,20 @@
 //! analysis needs: adding/removing/renaming handles, aliasing one handle to
 //! another, the control-flow `join`, equality testing for fixpoint
 //! detection, and the tabular rendering used to reproduce Figures 2, 3 and 7.
+//!
+//! Handles are interned [`Symbol`]s and every entry is addressed by a pair of
+//! small dense indices: `handles` keeps insertion order (which the rendering,
+//! and through it the analysis digest, depends on), `pos` is a sorted
+//! symbol→index map answering `contains`/`index_of` in `O(log n)`, and
+//! `entries` is a sorted flat vector of `(row << 32 | col, PathSet)` cells.
+//! All three are flat vectors of `Copy` elements, so cloning a matrix is
+//! three memcpys and no per-entry allocation — the operation the analysis
+//! hot loop performs most.
 
+use crate::intern::{self, Symbol};
 use crate::path::Path;
 use crate::pathset::PathSet;
 use crate::Certainty;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A path matrix over a set of named handles.
@@ -19,10 +28,17 @@ use std::fmt;
 /// absent are empty: the two handles are unrelated.
 #[derive(Debug, Clone, Default)]
 pub struct PathMatrix {
-    /// Handle names in insertion order (the order used for display).
-    handles: Vec<String>,
-    /// Non-empty off-diagonal entries.
-    entries: HashMap<(String, String), PathSet>,
+    /// Handle symbols in insertion order (the order used for display).
+    handles: Vec<Symbol>,
+    /// Sorted `(symbol, index into handles)` map.
+    pos: Vec<(Symbol, u32)>,
+    /// Non-empty off-diagonal entries, sorted by `(row << 32) | col` where
+    /// row/col index into `handles`.
+    entries: Vec<(u64, PathSet)>,
+}
+
+fn key(row: u32, col: u32) -> u64 {
+    ((row as u64) << 32) | col as u64
 }
 
 impl PathMatrix {
@@ -35,179 +51,360 @@ impl PathMatrix {
     pub fn with_handles<I, S>(handles: I) -> PathMatrix
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
         let mut m = PathMatrix::new();
         for h in handles {
-            m.add_handle(h.into());
+            m.add_handle(h.as_ref());
         }
         m
     }
 
     /// The handles known to the matrix, in insertion order.
-    pub fn handles(&self) -> &[String] {
+    pub fn handles(&self) -> &[Symbol] {
         &self.handles
+    }
+
+    /// The handle names in insertion order (resolved from the interner).
+    pub fn handle_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.handles.iter().map(|s| s.as_str())
+    }
+
+    /// The index of `sym` in insertion order, if it is a handle.
+    fn index_of(&self, sym: Symbol) -> Option<u32> {
+        self.pos
+            .binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| self.pos[i].1)
+    }
+
+    /// The index of a handle by name, without growing the interner.
+    fn index_of_name(&self, name: &str) -> Option<u32> {
+        intern::lookup(name).and_then(|sym| self.index_of(sym))
     }
 
     /// Whether `name` is a handle of this matrix.
     pub fn contains(&self, name: &str) -> bool {
-        self.handles.iter().any(|h| h == name)
+        self.index_of_name(name).is_some()
+    }
+
+    /// Whether `sym` is a handle of this matrix.
+    pub fn contains_sym(&self, sym: Symbol) -> bool {
+        self.index_of(sym).is_some()
     }
 
     /// Add a handle unrelated to every existing handle.  No-op if present.
-    pub fn add_handle(&mut self, name: impl Into<String>) {
-        let name = name.into();
-        if !self.contains(&name) {
-            self.handles.push(name);
+    pub fn add_handle(&mut self, name: impl AsRef<str>) {
+        self.add_handle_sym(intern::intern(name.as_ref()));
+    }
+
+    /// [`PathMatrix::add_handle`] by symbol.
+    pub fn add_handle_sym(&mut self, sym: Symbol) {
+        if let Err(slot) = self.pos.binary_search_by_key(&sym, |&(s, _)| s) {
+            self.pos.insert(slot, (sym, self.handles.len() as u32));
+            self.handles.push(sym);
         }
+    }
+
+    /// Remap entry keys through `map` (old index → `Some(new index)` to keep,
+    /// `None` to drop).  When `map` is monotonic over the kept indices the
+    /// entries stay sorted; pass `monotonic = false` to re-sort.
+    fn remap_entries(&mut self, map: impl Fn(u32) -> Option<u32>, monotonic: bool) {
+        let mut kept = 0usize;
+        for i in 0..self.entries.len() {
+            let (k, set) = self.entries[i];
+            let (row, col) = ((k >> 32) as u32, k as u32);
+            if let (Some(r), Some(c)) = (map(row), map(col)) {
+                self.entries[kept] = (key(r, c), set);
+                kept += 1;
+            }
+        }
+        self.entries.truncate(kept);
+        if !monotonic {
+            self.entries.sort_unstable_by_key(|&(k, _)| k);
+        }
+    }
+
+    /// Rebuild `pos` from `handles` after indices shifted.
+    fn rebuild_pos(&mut self) {
+        self.pos.clear();
+        self.pos
+            .extend(self.handles.iter().enumerate().map(|(i, &s)| (s, i as u32)));
+        self.pos.sort_unstable_by_key(|&(s, _)| s);
     }
 
     /// Remove a handle and every relationship involving it.
     pub fn remove_handle(&mut self, name: &str) {
-        self.handles.retain(|h| h != name);
-        self.entries.retain(|(a, b), _| a != name && b != name);
+        let Some(idx) = self.index_of_name(name) else {
+            return;
+        };
+        self.handles.remove(idx as usize);
+        self.rebuild_pos();
+        self.remap_entries(
+            |i| match i.cmp(&idx) {
+                std::cmp::Ordering::Less => Some(i),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some(i - 1),
+            },
+            true,
+        );
     }
 
     /// Keep only the given handles (used to restrict a matrix to the live
-    /// handles at a program point).
+    /// handles at a program point).  Single pass — no quadratic rescans.
     pub fn restrict_to<'a>(&mut self, keep: impl IntoIterator<Item = &'a str>) {
-        let keep: Vec<&str> = keep.into_iter().collect();
-        let to_remove: Vec<String> = self
-            .handles
-            .iter()
-            .filter(|h| !keep.contains(&h.as_str()))
-            .cloned()
+        let mut keep_syms: Vec<Symbol> = keep
+            .into_iter()
+            .filter_map(intern::lookup)
+            .filter(|&s| self.contains_sym(s))
             .collect();
-        for h in to_remove {
-            self.remove_handle(&h);
+        keep_syms.sort_unstable();
+        // old index → new index (monotonic: surviving handles keep their
+        // relative insertion order).
+        let mut new_index: Vec<Option<u32>> = Vec::with_capacity(self.handles.len());
+        let mut next = 0u32;
+        for &sym in &self.handles {
+            if keep_syms.binary_search(&sym).is_ok() {
+                new_index.push(Some(next));
+                next += 1;
+            } else {
+                new_index.push(None);
+            }
         }
+        self.handles
+            .retain(|&s| keep_syms.binary_search(&s).is_ok());
+        self.rebuild_pos();
+        self.remap_entries(|i| new_index[i as usize], true);
     }
 
-    /// Rename a handle, preserving all its relationships.
-    pub fn rename_handle(&mut self, old: &str, new: impl Into<String>) {
-        let new = new.into();
+    /// Rename a handle, preserving all its relationships.  If the new name
+    /// already names a handle, the two handles' relations are merged.
+    pub fn rename_handle(&mut self, old: &str, new: impl AsRef<str>) {
+        let new = new.as_ref();
         if old == new {
             return;
         }
-        for h in &mut self.handles {
-            if h == old {
-                *h = new.clone();
+        let Some(old_idx) = self.index_of_name(old) else {
+            return;
+        };
+        let new_sym = intern::intern(new);
+        match self.index_of(new_sym) {
+            None => {
+                // Plain rename: same index, new symbol; entries untouched.
+                self.handles[old_idx as usize] = new_sym;
+                self.rebuild_pos();
+            }
+            Some(new_idx) => {
+                // Merge `old` into the existing `new` handle: redirect
+                // entries, union on collision, drop the old slot.
+                let mut merged: Vec<(u64, PathSet)> = Vec::with_capacity(self.entries.len());
+                for &(k, set) in &self.entries {
+                    let (mut row, mut col) = ((k >> 32) as u32, k as u32);
+                    if row == old_idx {
+                        row = new_idx;
+                    }
+                    if col == old_idx {
+                        col = new_idx;
+                    }
+                    if row == col {
+                        continue; // would-be diagonal: always `{S}` implicitly
+                    }
+                    merged.push((key(row, col), set));
+                }
+                merged.sort_unstable_by_key(|&(k, _)| k);
+                merged.dedup_by(|b, a| {
+                    if a.0 == b.0 {
+                        a.1 = a.1.union(&b.1);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                self.entries = merged;
+                self.handles.remove(old_idx as usize);
+                self.rebuild_pos();
+                self.remap_entries(
+                    |i| {
+                        if i > old_idx {
+                            Some(i - 1)
+                        } else {
+                            Some(i)
+                        }
+                    },
+                    true,
+                );
             }
         }
-        let old_entries: Vec<((String, String), PathSet)> = self
-            .entries
-            .drain()
-            .map(|((a, b), v)| {
-                let a = if a == old { new.clone() } else { a };
-                let b = if b == old { new.clone() } else { b };
-                ((a, b), v)
-            })
-            .collect();
-        for (k, v) in old_entries {
-            // If both old and new existed, merge their relations.
-            self.entries
-                .entry(k)
-                .and_modify(|existing| *existing = existing.union(&v))
-                .or_insert(v);
-        }
+    }
+
+    fn entry_at(&self, row: u32, col: u32) -> Option<&PathSet> {
+        self.entries
+            .binary_search_by_key(&key(row, col), |&(k, _)| k)
+            .ok()
+            .map(|i| &self.entries[i].1)
     }
 
     /// The relationship from `a` to `b`.  The diagonal of a known handle is
     /// `{S}`; unknown handles and absent entries are empty.
     pub fn get(&self, a: &str, b: &str) -> PathSet {
-        if a == b {
-            if self.contains(a) {
-                return PathSet::singleton(Path::same(Certainty::Definite));
-            }
-            return PathSet::empty();
+        match (self.index_of_name(a), self.index_of_name(b)) {
+            (Some(i), Some(j)) => self.get_at(i, j),
+            _ => PathSet::empty(),
         }
-        self.entries
-            .get(&(a.to_string(), b.to_string()))
-            .cloned()
-            .unwrap_or_default()
+    }
+
+    /// [`PathMatrix::get`] by symbol.
+    pub fn get_sym(&self, a: Symbol, b: Symbol) -> PathSet {
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(i), Some(j)) => self.get_at(i, j),
+            _ => PathSet::empty(),
+        }
+    }
+
+    fn get_at(&self, row: u32, col: u32) -> PathSet {
+        if row == col {
+            return PathSet::singleton(Path::same(Certainty::Definite));
+        }
+        self.entry_at(row, col).copied().unwrap_or_default()
     }
 
     /// Set the relationship from `a` to `b` (both handles are added if
     /// missing).  Setting the diagonal is ignored — it is always `{S}`.
     pub fn set(&mut self, a: &str, b: &str, set: PathSet) {
-        self.add_handle(a.to_string());
-        self.add_handle(b.to_string());
+        self.set_sym(intern::intern(a), intern::intern(b), set);
+    }
+
+    /// [`PathMatrix::set`] by symbol.
+    pub fn set_sym(&mut self, a: Symbol, b: Symbol, set: PathSet) {
+        self.add_handle_sym(a);
+        self.add_handle_sym(b);
         if a == b {
             return;
         }
-        if set.is_empty() {
-            self.entries.remove(&(a.to_string(), b.to_string()));
-        } else {
-            self.entries.insert((a.to_string(), b.to_string()), set);
+        let row = self.index_of(a).expect("just added");
+        let col = self.index_of(b).expect("just added");
+        let k = key(row, col);
+        match self.entries.binary_search_by_key(&k, |&(e, _)| e) {
+            Ok(i) => {
+                if set.is_empty() {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 = set;
+                }
+            }
+            Err(slot) => {
+                if !set.is_empty() {
+                    self.entries.insert(slot, (k, set));
+                }
+            }
         }
     }
 
     /// Add `path` to the relationship from `a` to `b`.
     pub fn add_path(&mut self, a: &str, b: &str, path: Path) {
-        let mut set = self.get(a, b);
-        if a == b {
+        let sa = intern::intern(a);
+        let sb = intern::intern(b);
+        self.add_handle_sym(sa);
+        self.add_handle_sym(sb);
+        if sa == sb {
             return;
         }
+        let mut set = self.get_sym(sa, sb);
         set.insert(path);
-        self.set(a, b, set);
+        self.set_sym(sa, sb, set);
     }
 
     /// Remove every relationship (in both directions) involving `name`, but
     /// keep the handle (its diagonal stays `{S}`).  This is the effect of
     /// `name := nil` / `name := new()` on the matrix.
     pub fn clear_handle(&mut self, name: &str) {
-        self.add_handle(name.to_string());
-        self.entries.retain(|(a, b), _| a != name && b != name);
+        self.clear_handle_sym(intern::intern(name));
+    }
+
+    /// [`PathMatrix::clear_handle`] by symbol.
+    pub fn clear_handle_sym(&mut self, sym: Symbol) {
+        self.add_handle_sym(sym);
+        let idx = self.index_of(sym).expect("just added");
+        self.entries
+            .retain(|&(k, _)| (k >> 32) as u32 != idx && k as u32 != idx);
     }
 
     /// Make `dst` an alias of `src` (the effect of `dst := src`): `dst`
     /// takes on exactly `src`'s relationships plus `S` between the two.
     pub fn alias_handle(&mut self, dst: &str, src: &str) {
+        self.alias_handle_sym(intern::intern(dst), intern::intern(src));
+    }
+
+    /// [`PathMatrix::alias_handle`] by symbol.
+    pub fn alias_handle_sym(&mut self, dst: Symbol, src: Symbol) {
         if dst == src {
             return;
         }
-        self.clear_handle(dst);
-        self.add_handle(src.to_string());
-        for other in self.handles.clone() {
-            if other == dst || other == src {
-                continue;
-            }
-            let from_src = self.get(src, &other);
-            if !from_src.is_empty() {
-                self.set(dst, &other, from_src);
-            }
-            let to_src = self.get(&other, src);
-            if !to_src.is_empty() {
-                self.set(&other, dst, to_src);
-            }
+        self.clear_handle_sym(dst);
+        self.add_handle_sym(src);
+        let dst_idx = self.index_of(dst).expect("just added");
+        let src_idx = self.index_of(src).expect("just added");
+        // Copy src's relations to dst (dst currently has none).
+        let copies: Vec<(u64, PathSet)> = self
+            .entries
+            .iter()
+            .filter_map(|&(k, set)| {
+                let (row, col) = ((k >> 32) as u32, k as u32);
+                if row == src_idx && col != dst_idx {
+                    Some((key(dst_idx, col), set))
+                } else if col == src_idx && row != dst_idx {
+                    Some((key(row, dst_idx), set))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (k, set) in copies {
+            let slot = self
+                .entries
+                .binary_search_by_key(&k, |&(e, _)| e)
+                .expect_err("dst relations were cleared");
+            self.entries.insert(slot, (k, set));
         }
-        self.set(
-            dst,
-            src,
-            PathSet::singleton(Path::same(Certainty::Definite)),
-        );
-        self.set(
-            src,
-            dst,
-            PathSet::singleton(Path::same(Certainty::Definite)),
-        );
+        let s = PathSet::singleton(Path::same(Certainty::Definite));
+        self.set_sym(dst, src, s);
+        self.set_sym(src, dst, s);
     }
 
     /// Whether `a` and `b` are *unrelated*: no path in either direction and
     /// they cannot be the same node.  Unrelated handles head disjoint
     /// subtrees in a TREE, so computations on them cannot interfere (§3.1).
     pub fn unrelated(&self, a: &str, b: &str) -> bool {
-        if a == b {
-            return false;
+        match (self.index_of_name(a), self.index_of_name(b)) {
+            (Some(i), Some(j)) => {
+                i != j && self.entry_at(i, j).is_none() && self.entry_at(j, i).is_none()
+            }
+            // Unknown handles have no relations, but a handle is never
+            // unrelated to itself.
+            _ => a != b,
         }
-        self.get(a, b).is_empty() && self.get(b, a).is_empty()
     }
 
-    /// Iterate over all non-empty off-diagonal entries.
-    pub fn related_pairs(&self) -> impl Iterator<Item = (&str, &str, &PathSet)> {
-        self.entries
-            .iter()
-            .map(|((a, b), v)| (a.as_str(), b.as_str(), v))
+    /// [`PathMatrix::unrelated`] by symbol.
+    pub fn unrelated_sym(&self, a: Symbol, b: Symbol) -> bool {
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(i), Some(j)) => {
+                i != j && self.entry_at(i, j).is_none() && self.entry_at(j, i).is_none()
+            }
+            _ => a != b,
+        }
+    }
+
+    /// Iterate over all non-empty off-diagonal entries, in row-major index
+    /// order.
+    pub fn related_pairs(&self) -> impl Iterator<Item = (&'static str, &'static str, &PathSet)> {
+        self.entries.iter().map(|(k, set)| {
+            (
+                self.handles[(k >> 32) as usize].as_str(),
+                self.handles[*k as u32 as usize].as_str(),
+                set,
+            )
+        })
     }
 
     /// Number of non-empty off-diagonal entries.
@@ -215,34 +412,88 @@ impl PathMatrix {
         self.entries.len()
     }
 
+    /// Heap footprint of this matrix in bytes (flat vector capacities).
+    pub fn heap_bytes(&self) -> usize {
+        self.handles.capacity() * std::mem::size_of::<Symbol>()
+            + self.pos.capacity() * std::mem::size_of::<(Symbol, u32)>()
+            + self.entries.capacity() * std::mem::size_of::<(u64, PathSet)>()
+    }
+
+    /// Record this matrix's footprint in the process-wide
+    /// `analysis.matrix_bytes` high-water gauge.
+    pub fn note_footprint(&self) {
+        intern::note_matrix_bytes(std::mem::size_of::<PathMatrix>() + self.heap_bytes());
+    }
+
     /// The control-flow join of two matrices (e.g. at the end of an `if`).
     /// Shapes from both sides survive; definiteness survives only when both
     /// sides guarantee a covered path.  Handles present on only one side keep
     /// their relations weakened to *possible*.
     pub fn join(&self, other: &PathMatrix) -> PathMatrix {
-        let mut result = PathMatrix::new();
-        for h in self.handles.iter().chain(other.handles.iter()) {
-            result.add_handle(h.clone());
+        let mut result = PathMatrix {
+            handles: self.handles.clone(),
+            pos: self.pos.clone(),
+            entries: Vec::with_capacity(self.entries.len() + other.entries.len()),
+        };
+        for &sym in &other.handles {
+            result.add_handle_sym(sym);
         }
-        let names = result.handles.clone();
-        for a in &names {
-            for b in &names {
-                if a == b {
-                    continue;
+        // `result` starts with self's handles in order, so self's entry keys
+        // are already result keys; other's need translation (and a sort,
+        // since the translation permutes indices).
+        let theirs: Vec<(u64, PathSet)> = {
+            let mut v: Vec<(u64, PathSet)> = other
+                .entries
+                .iter()
+                .map(|&(k, set)| {
+                    let row = other.handles[(k >> 32) as usize];
+                    let col = other.handles[k as u32 as usize];
+                    (
+                        key(
+                            result.index_of(row).expect("handle added"),
+                            result.index_of(col).expect("handle added"),
+                        ),
+                        set,
+                    )
+                })
+                .collect();
+            v.sort_unstable_by_key(|&(k, _)| k);
+            v
+        };
+        // Sorted two-pointer merge.  A pair present on both sides joins; a
+        // pair present on one side is weakened to *possible* — which is what
+        // `PathSet::join` against an empty entry yields, whether the other
+        // side lacks the entry or the handles themselves.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < theirs.len() {
+            let take_mine =
+                j >= theirs.len() || (i < self.entries.len() && self.entries[i].0 <= theirs[j].0);
+            let take_theirs =
+                i >= self.entries.len() || (j < theirs.len() && theirs[j].0 <= self.entries[i].0);
+            let joined = match (take_mine, take_theirs) {
+                (true, true) => {
+                    let e = (self.entries[i].0, self.entries[i].1.join(&theirs[j].1));
+                    i += 1;
+                    j += 1;
+                    e
                 }
-                let in_self = self.contains(a) && self.contains(b);
-                let in_other = other.contains(a) && other.contains(b);
-                let entry = match (in_self, in_other) {
-                    (true, true) => self.get(a, b).join(&other.get(a, b)),
-                    (true, false) => self.get(a, b).weakened(),
-                    (false, true) => other.get(a, b).weakened(),
-                    (false, false) => PathSet::empty(),
-                };
-                if !entry.is_empty() {
-                    result.set(a, b, entry);
+                (true, false) => {
+                    let e = (self.entries[i].0, self.entries[i].1.weakened());
+                    i += 1;
+                    e
                 }
+                (false, true) => {
+                    let e = (theirs[j].0, theirs[j].1.weakened());
+                    j += 1;
+                    e
+                }
+                (false, false) => unreachable!(),
+            };
+            if !joined.1.is_empty() {
+                result.entries.push(joined);
             }
         }
+        result.note_footprint();
         result
     }
 
@@ -250,7 +501,7 @@ impl PathMatrix {
     /// procedure-call effects).
     pub fn weakened(&self) -> PathMatrix {
         let mut result = self.clone();
-        for ((_, _), set) in result.entries.iter_mut() {
+        for (_, set) in result.entries.iter_mut() {
             *set = set.weakened();
         }
         result
@@ -259,35 +510,58 @@ impl PathMatrix {
     /// Whether two matrices describe exactly the same relations over the
     /// same handles (used as the fixpoint termination test).
     pub fn same_relations(&self, other: &PathMatrix) -> bool {
-        let mut mine: Vec<&String> = self.handles.iter().collect();
-        let mut theirs: Vec<&String> = other.handles.iter().collect();
-        mine.sort();
-        theirs.sort();
-        if mine != theirs {
+        if self.handles.len() != other.handles.len() || self.entries.len() != other.entries.len() {
             return false;
         }
-        if self.entries.len() != other.entries.len() {
-            return false;
-        }
-        self.entries
+        // `pos` is sorted by symbol, so equal handle *sets* means equal pos
+        // symbol sequences.
+        if self
+            .pos
             .iter()
-            .all(|(k, v)| other.entries.get(k) == Some(v))
+            .map(|&(s, _)| s)
+            .ne(other.pos.iter().map(|&(s, _)| s))
+        {
+            return false;
+        }
+        if self.handles == other.handles {
+            // Same insertion order: keys line up directly.
+            return self.entries == other.entries;
+        }
+        // Same handle set, different order: translate other's keys.
+        let mut theirs: Vec<(u64, PathSet)> = other
+            .entries
+            .iter()
+            .map(|&(k, set)| {
+                let row = other.handles[(k >> 32) as usize];
+                let col = other.handles[k as u32 as usize];
+                (
+                    key(
+                        self.index_of(row).expect("same handle set"),
+                        self.index_of(col).expect("same handle set"),
+                    ),
+                    set,
+                )
+            })
+            .collect();
+        theirs.sort_unstable_by_key(|&(k, _)| k);
+        self.entries == theirs
     }
 
     /// Render the matrix as the kind of table printed in the paper's figures.
     pub fn render(&self) -> String {
-        let names = &self.handles;
-        if names.is_empty() {
+        if self.handles.is_empty() {
             return String::from("(empty path matrix)\n");
         }
-        let mut cells: Vec<Vec<String>> = Vec::with_capacity(names.len() + 1);
+        let names: Vec<&str> = self.handle_names().collect();
+        let n = names.len();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n + 1);
         let mut header = vec![String::new()];
-        header.extend(names.iter().cloned());
+        header.extend(names.iter().map(|s| s.to_string()));
         cells.push(header);
-        for a in names {
-            let mut row = vec![a.clone()];
-            for b in names {
-                let entry = self.get(a, b);
+        for (i, a) in names.iter().enumerate() {
+            let mut row = vec![a.to_string()];
+            for j in 0..n {
+                let entry = self.get_at(i as u32, j as u32);
                 row.push(if entry.is_empty() {
                     String::new()
                 } else {
@@ -296,7 +570,7 @@ impl PathMatrix {
             }
             cells.push(row);
         }
-        let cols = names.len() + 1;
+        let cols = n + 1;
         let mut widths = vec![0usize; cols];
         for row in &cells {
             for (i, cell) in row.iter().enumerate() {
@@ -426,6 +700,17 @@ mod tests {
     }
 
     #[test]
+    fn rename_handle_merges_into_existing() {
+        let mut m = PathMatrix::new();
+        m.set("a", "x", PathSet::singleton(exact(Dir::Left, 1)));
+        m.set("b", "x", PathSet::singleton(exact(Dir::Right, 1)));
+        m.rename_handle("a", "b");
+        assert!(!m.contains("a"));
+        // relations of both unioned under the surviving handle
+        assert_eq!(m.get("b", "x").to_string(), "L1,R1");
+    }
+
+    #[test]
     fn remove_handle() {
         let mut m = PathMatrix::new();
         m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
@@ -442,6 +727,42 @@ mod tests {
         m.restrict_to(["a", "b"]);
         assert!(m.contains("a") && m.contains("b") && !m.contains("c"));
         assert_eq!(m.relation_count(), 1);
+    }
+
+    #[test]
+    fn restrict_to_is_linear_over_wide_matrices() {
+        // Regression for the old O(n²) restrict/contains: a wide matrix
+        // restricted to most of its handles must keep exactly the surviving
+        // relations, with insertion order preserved.
+        let n = 512usize;
+        let names: Vec<String> = (0..n).map(|i| format!("w{i}")).collect();
+        let mut m = PathMatrix::with_handles(names.iter());
+        for i in 0..n - 1 {
+            m.set(
+                &names[i],
+                &names[i + 1],
+                PathSet::singleton(exact(Dir::Left, 1)),
+            );
+        }
+        let keep: Vec<&str> = names[..n - 1].iter().map(|s| s.as_str()).collect();
+        m.restrict_to(keep.iter().copied());
+        assert_eq!(m.handles().len(), n - 1);
+        assert_eq!(m.relation_count(), n - 2);
+        let order: Vec<&str> = m.handle_names().collect();
+        assert_eq!(order, keep, "insertion order preserved");
+        assert_eq!(m.get("w0", "w1").to_string(), "L1");
+        assert!(!m.contains(&names[n - 1]));
+    }
+
+    #[test]
+    fn contains_on_wide_matrix_via_index() {
+        let n = 1024usize;
+        let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+        let m = PathMatrix::with_handles(names.iter());
+        for name in &names {
+            assert!(m.contains(name));
+        }
+        assert!(!m.contains("c-not-here"));
     }
 
     #[test]
@@ -471,6 +792,19 @@ mod tests {
         assert!(j.contains("a") && j.contains("b") && j.contains("c"));
         // b only existed on one side: relation kept but weakened
         assert!(!j.get("a", "b").has_definite());
+    }
+
+    #[test]
+    fn join_preserves_insertion_order() {
+        let mut m1 = PathMatrix::with_handles(["a", "b"]);
+        m1.set("b", "a", PathSet::singleton(exact(Dir::Left, 1)));
+        let mut m2 = PathMatrix::with_handles(["c", "a"]);
+        m2.set("c", "a", PathSet::singleton(exact(Dir::Right, 1)));
+        let j = m1.join(&m2);
+        let order: Vec<&str> = j.handle_names().collect();
+        assert_eq!(order, vec!["a", "b", "c"], "self first, then other's new");
+        assert_eq!(j.get("b", "a").to_string(), "L1?");
+        assert_eq!(j.get("c", "a").to_string(), "R1?");
     }
 
     #[test]
@@ -505,5 +839,14 @@ mod tests {
         let w = m.weakened();
         assert!(!w.get("a", "b").has_definite());
         assert!(m.get("a", "b").has_definite(), "original untouched");
+    }
+
+    #[test]
+    fn footprint_is_tracked() {
+        let mut m = PathMatrix::new();
+        m.set("a", "b", PathSet::singleton(exact(Dir::Left, 1)));
+        let _ = m.join(&m);
+        assert!(crate::intern::matrix_bytes_high_water() > 0);
+        assert!(m.heap_bytes() > 0);
     }
 }

@@ -1,8 +1,17 @@
 //! Path expressions: `S` or a non-empty sequence of links, each *definite*
 //! or *possible*.
+//!
+//! Paths are stored inline — a fixed `[Link; MAX_LINKS]` array plus a length
+//! byte — so a `Path` is `Copy`, never allocates, and clones with a memcpy.
+//! `len == 0` encodes the `S` path.  The widening bound [`MAX_LINKS`] that
+//! keeps the abstract domain finite is exactly what makes the inline array
+//! total: any normalized sequence longer than the array is summarized into a
+//! single link, as before.
 
 use crate::link::{Dir, Link};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Whether a path is guaranteed to exist or only may exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,68 +37,104 @@ impl Certainty {
     }
 }
 
-/// The shape of a path: same node, or a sequence of links.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum PathKind {
-    /// `S` — the two handles refer to the same node.
-    Same,
-    /// A non-empty, normalized (no two adjacent links share a direction)
-    /// sequence of links describing a downward path.
-    Links(Vec<Link>),
-}
-
-/// A path expression with its certainty.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Path {
-    pub kind: PathKind,
-    pub certainty: Certainty,
-}
-
 /// Paths longer than this many (normalized) links are widened to a single
 /// summary link.  Keeping the bound small guarantees a finite abstract domain
 /// and hence termination of every fixpoint computation.
 pub const MAX_LINKS: usize = 4;
 
+/// Filler for unused slots of the inline link array; never observed through
+/// the public API (only `links[..len]` is meaningful).
+const FILL_LINK: Link = Link {
+    dir: Dir::Left,
+    min: 1,
+    exact: true,
+};
+
+/// A path expression with its certainty.
+///
+/// `S` when `len == 0`, otherwise the normalized link sequence
+/// `links[..len]` (no two adjacent links share a direction).
+#[derive(Debug, Clone, Copy)]
+pub struct Path {
+    links: [Link; MAX_LINKS],
+    len: u8,
+    pub certainty: Certainty,
+}
+
 impl Path {
     /// The `S` path.
     pub fn same(certainty: Certainty) -> Path {
         Path {
-            kind: PathKind::Same,
+            links: [FILL_LINK; MAX_LINKS],
+            len: 0,
             certainty,
         }
     }
 
     /// A single-link path.
     pub fn from_link(link: Link, certainty: Certainty) -> Path {
+        let mut links = [FILL_LINK; MAX_LINKS];
+        links[0] = link;
         Path {
-            kind: PathKind::Links(vec![link]),
+            links,
+            len: 1,
             certainty,
         }
     }
 
     /// Build a path from a sequence of links, normalizing adjacent links of
-    /// the same direction and widening over-long paths.
-    pub fn from_links(links: Vec<Link>, certainty: Certainty) -> Path {
-        assert!(
-            !links.is_empty(),
-            "link paths must be non-empty; use Path::same"
-        );
-        let mut normalized: Vec<Link> = Vec::with_capacity(links.len());
+    /// the same direction and widening over-long paths to a single summary
+    /// link.  Panics on an empty sequence; use [`Path::same`] for `S`.
+    pub fn from_links(links: impl IntoIterator<Item = Link>, certainty: Certainty) -> Path {
+        let mut buf = [FILL_LINK; MAX_LINKS];
+        let mut len = 0usize;
+        let mut overflow = false;
+        // Summary accumulators over *all* links; fusing preserves the
+        // direction set, the min sum, and all-exactness, so summarizing the
+        // raw sequence equals summarizing the normalized one.
+        let mut sum_dir = Dir::Left;
+        let mut sum_min = 0u32;
+        let mut sum_exact = true;
+        let mut any = false;
         for link in links {
-            match normalized.last_mut() {
-                Some(last) => match last.fuse(&link) {
-                    Some(fused) => *last = fused,
-                    None => normalized.push(link),
-                },
-                None => normalized.push(link),
+            if any {
+                sum_dir = sum_dir.join(link.dir);
+            } else {
+                sum_dir = link.dir;
+            }
+            sum_min += link.min;
+            sum_exact &= link.exact;
+            any = true;
+            if overflow {
+                continue;
+            }
+            if len > 0 {
+                if let Some(fused) = buf[len - 1].fuse(&link) {
+                    buf[len - 1] = fused;
+                    continue;
+                }
+            }
+            if len == MAX_LINKS {
+                overflow = true;
+            } else {
+                buf[len] = link;
+                len += 1;
             }
         }
-        if normalized.len() > MAX_LINKS {
-            let summary = Self::summarize_links(&normalized);
-            return Path::from_link(summary, certainty);
+        assert!(any, "link paths must be non-empty; use Path::same");
+        if overflow {
+            return Path::from_link(
+                Link {
+                    dir: sum_dir,
+                    min: sum_min,
+                    exact: sum_exact,
+                },
+                certainty,
+            );
         }
         Path {
-            kind: PathKind::Links(normalized),
+            links: buf,
+            len: len as u8,
             certainty,
         }
     }
@@ -107,23 +152,23 @@ impl Path {
 
     /// Whether this is the `S` path.
     pub fn is_same(&self) -> bool {
-        matches!(self.kind, PathKind::Same)
+        self.len == 0
     }
 
     /// The link sequence, empty for `S`.
     pub fn links(&self) -> &[Link] {
-        match &self.kind {
-            PathKind::Same => &[],
-            PathKind::Links(links) => links,
-        }
+        &self.links[..self.len as usize]
+    }
+
+    /// Whether two paths have the same shape (`S`-ness and link sequence),
+    /// ignoring certainty.
+    pub fn same_shape(&self, other: &Path) -> bool {
+        self.links() == other.links()
     }
 
     /// A copy of this path with the given certainty.
     pub fn with_certainty(&self, certainty: Certainty) -> Path {
-        Path {
-            kind: self.kind.clone(),
-            certainty,
-        }
+        Path { certainty, ..*self }
     }
 
     /// A copy demoted to `Possible`.
@@ -151,41 +196,32 @@ impl Path {
 
     /// Append one link at the end of the path (`p · dir^1` etc.).
     pub fn append_link(&self, link: Link) -> Path {
-        match &self.kind {
-            PathKind::Same => Path {
-                kind: PathKind::Links(vec![link]),
-                certainty: self.certainty,
-            },
-            PathKind::Links(links) => {
-                let mut new_links = links.clone();
-                new_links.push(link);
-                Path::from_links(new_links, self.certainty)
-            }
-        }
+        Path::from_links(
+            self.links().iter().copied().chain(std::iter::once(link)),
+            self.certainty,
+        )
     }
 
     /// Concatenate two paths (`self · other`).  The certainty of the result
     /// is the weaker of the two.
     pub fn concat(&self, other: &Path) -> Path {
         let certainty = self.certainty.and(other.certainty);
-        match (&self.kind, &other.kind) {
-            (PathKind::Same, _) => other.with_certainty(certainty),
-            (_, PathKind::Same) => self.with_certainty(certainty),
-            (PathKind::Links(a), PathKind::Links(b)) => {
-                let mut links = a.clone();
-                links.extend(b.iter().copied());
-                Path::from_links(links, certainty)
-            }
+        if self.is_same() {
+            return other.with_certainty(certainty);
         }
+        if other.is_same() {
+            return self.with_certainty(certainty);
+        }
+        Path::from_links(self.links().iter().chain(other.links()).copied(), certainty)
     }
 
     /// Whether every concrete path described by `other` is also described by
     /// `self` (shape only; certainty is ignored).
     pub fn covers(&self, other: &Path) -> bool {
-        match (&self.kind, &other.kind) {
-            (PathKind::Same, PathKind::Same) => true,
-            (PathKind::Same, _) | (_, PathKind::Same) => false,
-            (PathKind::Links(a), PathKind::Links(b)) => covers_links(a, b),
+        match (self.is_same(), other.is_same()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            (false, false) => covers_links(self.links(), other.links()),
         }
     }
 
@@ -194,26 +230,24 @@ impl Path {
     /// for bounding path-set cardinality.
     pub fn generalize(&self, other: &Path) -> Option<Path> {
         let certainty = self.certainty.and(other.certainty);
-        match (&self.kind, &other.kind) {
-            (PathKind::Same, PathKind::Same) => Some(Path::same(certainty)),
-            (PathKind::Same, _) | (_, PathKind::Same) => None,
-            (PathKind::Links(a), PathKind::Links(b)) => {
+        match (self.is_same(), other.is_same()) {
+            (true, true) => Some(Path::same(certainty)),
+            (true, false) | (false, true) => None,
+            (false, false) => {
+                let a = self.links();
+                let b = other.links();
                 if a.len() == 1 && b.len() == 1 {
                     return Some(Path::from_link(a[0].generalize(&b[0]), certainty));
                 }
                 if a.len() == b.len() {
                     // element-wise generalization keeps more structure,
-                    // e.g. R1 D2 ⊔ R1 D5 = R1 D2+ ... only sound element-wise
-                    // when lengths may differ; fall back to the summary when
-                    // any pair disagrees on direction badly.  Element-wise
-                    // generalization is always an upper bound because each
-                    // segment's concretizations are covered.
-                    let links: Vec<Link> = a
-                        .iter()
-                        .zip(b.iter())
-                        .map(|(x, y)| x.generalize(y))
-                        .collect();
-                    return Some(Path::from_links(links, certainty));
+                    // e.g. R1 D2 ⊔ R1 D5 = R1 D2+.  It is always an upper
+                    // bound because each segment's concretizations are
+                    // covered.
+                    return Some(Path::from_links(
+                        a.iter().zip(b.iter()).map(|(x, y)| x.generalize(y)),
+                        certainty,
+                    ));
                 }
                 let sa = Self::summarize_links(a);
                 let sb = Self::summarize_links(b);
@@ -242,18 +276,20 @@ impl Path {
     /// of `b` instead: the results describe the possible relationships
     /// between `b.dir` and `x`.
     ///
-    /// Returns every surviving shape; an empty vector means `x` cannot be
-    /// reached from the child along this path.  The `S` path never survives
-    /// re-rooting (the caller handles the `x` *is* `b` case separately).
-    pub fn strip_first(&self, dir: Dir) -> Vec<Path> {
-        let links = match &self.kind {
-            PathKind::Same => return Vec::new(),
-            PathKind::Links(links) => links,
-        };
+    /// Returns every surviving shape (at most two); an empty result means `x`
+    /// cannot be reached from the child along this path.  The `S` path never
+    /// survives re-rooting (the caller handles the `x` *is* `b` case
+    /// separately).
+    pub fn strip_first(&self, dir: Dir) -> Stripped {
+        let mut out = Stripped::empty();
+        if self.is_same() {
+            return out;
+        }
+        let links = self.links();
         let first = links[0];
         let rest = &links[1..];
         let Some(stripped) = first.strip_one(dir) else {
-            return Vec::new();
+            return out;
         };
 
         // The decomposition is forced (certainty preserved) only when the
@@ -265,14 +301,12 @@ impl Path {
             Certainty::Possible
         };
 
-        let mut out = Vec::new();
-
         // Case 1: the first link is consumed entirely by the removed edge.
         if first.can_be_single_edge() {
             if rest.is_empty() {
                 out.push(Path::same(certainty));
             } else {
-                out.push(Path::from_links(rest.to_vec(), certainty));
+                out.push(Path::from_links(rest.iter().copied(), certainty));
             }
         }
 
@@ -281,14 +315,96 @@ impl Path {
             // `remaining` only applies when the link may span more than one
             // edge; `strip_one` already encodes that (exact-1 links return
             // `Some(None)` only).
-            let mut new_links = vec![remaining];
-            new_links.extend_from_slice(rest);
-            let path = Path::from_links(new_links, certainty);
-            if !out.contains(&path) {
+            let path = Path::from_links(
+                std::iter::once(remaining).chain(rest.iter().copied()),
+                certainty,
+            );
+            if !out.as_slice().contains(&path) {
                 out.push(path);
             }
         }
         out
+    }
+}
+
+/// The (at most two) results of [`Path::strip_first`], stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stripped {
+    out: [Path; 2],
+    len: u8,
+}
+
+impl Stripped {
+    fn empty() -> Stripped {
+        Stripped {
+            out: [Path::same(Certainty::Definite); 2],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, p: Path) {
+        self.out[self.len as usize] = p;
+        self.len += 1;
+    }
+
+    pub fn as_slice(&self) -> &[Path] {
+        &self.out[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Stripped {
+    type Target = [Path];
+    fn deref(&self) -> &[Path] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Stripped {
+    type Item = &'a Path;
+    type IntoIter = std::slice::Iter<'a, Path>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Equality/ordering/hashing consider only the meaningful prefix of the
+/// inline array, and order exactly as the previous `enum { Same, Links(Vec) }`
+/// representation did: `S` before link paths, link sequences
+/// lexicographically, then certainty — [`crate::PathSet`] keeps its members
+/// sorted with this order, and the rendered form (and through it the analysis
+/// digest) depends on it.
+impl PartialEq for Path {
+    fn eq(&self, other: &Self) -> bool {
+        self.links() == other.links() && self.certainty == other.certainty
+    }
+}
+
+impl Eq for Path {}
+
+impl Ord for Path {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_same(), other.is_same()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self
+                .links()
+                .cmp(other.links())
+                .then(self.certainty.cmp(&other.certainty)),
+        }
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Path {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.is_same().hash(state);
+        self.links().hash(state);
+        self.certainty.hash(state);
     }
 }
 
@@ -339,12 +455,11 @@ fn covers_links(cover: &[Link], covered: &[Link]) -> bool {
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.kind {
-            PathKind::Same => write!(f, "S")?,
-            PathKind::Links(links) => {
-                for l in links {
-                    write!(f, "{l}")?;
-                }
+        if self.is_same() {
+            write!(f, "S")?;
+        } else {
+            for l in self.links() {
+                write!(f, "{l}")?;
             }
         }
         if self.certainty == Certainty::Possible {
@@ -405,6 +520,23 @@ mod tests {
         let p = Path::from_links(links, Certainty::Definite);
         assert_eq!(p.links().len(), 1);
         assert_eq!(p.links()[0], Link::exact(Dir::Down, 6));
+    }
+
+    #[test]
+    fn ordering_matches_old_representation() {
+        // S < links; links lexicographic (shorter prefix first); then
+        // certainty Definite < Possible.
+        let mut paths = [
+            exact(Dir::Left, 1).weakened(),
+            at_least(Dir::Down, 1),
+            same().weakened(),
+            exact(Dir::Left, 1).concat(&exact(Dir::Right, 2)),
+            exact(Dir::Left, 1),
+            same(),
+        ];
+        paths.sort();
+        let rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, vec!["S", "S?", "L1", "L1?", "L1R2", "D+"]);
     }
 
     #[test]
@@ -495,7 +627,7 @@ mod tests {
         // definite).
         let r1dp = exact(Dir::Right, 1).concat(&at_least(Dir::Down, 1));
         let stripped = r1dp.strip_first(Dir::Right);
-        assert_eq!(stripped, vec![at_least(Dir::Down, 1)]);
+        assert_eq!(stripped.as_slice(), &[at_least(Dir::Down, 1)]);
 
         // Stripping the *left* edge of R1 D+ is impossible.
         assert!(r1dp.strip_first(Dir::Left).is_empty());
@@ -515,7 +647,7 @@ mod tests {
     fn strip_first_exact_longer() {
         // L^3 from the left child is definitely L^2.
         let l3 = exact(Dir::Left, 3);
-        assert_eq!(l3.strip_first(Dir::Left), vec![exact(Dir::Left, 2)]);
+        assert_eq!(l3.strip_first(Dir::Left).as_slice(), &[exact(Dir::Left, 2)]);
         // ... and empty from the right child.
         assert!(l3.strip_first(Dir::Right).is_empty());
     }
@@ -557,7 +689,7 @@ mod tests {
             for conc in &concrete {
                 // Does `abs` describe `conc`?
                 let conc_path = Path::from_links(
-                    conc.iter().map(|d| Link::exact(*d, 1)).collect(),
+                    conc.iter().map(|d| Link::exact(*d, 1)).collect::<Vec<_>>(),
                     Certainty::Definite,
                 );
                 if !abs.covers(&conc_path) {
@@ -575,7 +707,10 @@ mod tests {
                     );
                 } else {
                     let suffix_path = Path::from_links(
-                        suffix.iter().map(|d| Link::exact(*d, 1)).collect(),
+                        suffix
+                            .iter()
+                            .map(|d| Link::exact(*d, 1))
+                            .collect::<Vec<_>>(),
                         Certainty::Definite,
                     );
                     assert!(

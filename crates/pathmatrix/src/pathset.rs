@@ -7,17 +7,36 @@
 //! * if the set grows beyond [`MAX_PATHS`], link paths are pairwise
 //!   generalized until it fits — a widening that keeps the abstract domain
 //!   finite.
+//!
+//! Like [`Path`], the set is stored inline (`[Path; MAX_PATHS + 1]` plus a
+//! length byte; one spare slot holds the transient overflow while widening
+//! runs), so a `PathSet` is `Copy` and cloning a matrix entry is a memcpy.
 
 use crate::path::{Certainty, Path};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Maximum number of paths retained per matrix entry before widening.
 pub const MAX_PATHS: usize = 4;
 
+/// Inline capacity: one spare slot beyond [`MAX_PATHS`] for the push that
+/// triggers widening.
+const CAP: usize = MAX_PATHS + 1;
+
 /// A canonical set of paths describing the relationship between two handles.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Hash)]
+#[derive(Debug, Clone, Copy)]
 pub struct PathSet {
-    paths: Vec<Path>,
+    paths: [Path; CAP],
+    len: u8,
+}
+
+impl Default for PathSet {
+    fn default() -> Self {
+        PathSet {
+            paths: [Path::same(Certainty::Definite); CAP],
+            len: 0,
+        }
+    }
 }
 
 impl PathSet {
@@ -44,53 +63,57 @@ impl PathSet {
 
     /// Whether the set is empty (the handles are unrelated).
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.len == 0
     }
 
     /// Number of paths in the set.
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.len as usize
     }
 
     /// Iterate over the paths.
     pub fn iter(&self) -> impl Iterator<Item = &Path> {
-        self.paths.iter()
+        self.paths().iter()
     }
 
     /// The paths as a slice.
     pub fn paths(&self) -> &[Path] {
-        &self.paths
+        &self.paths[..self.len as usize]
+    }
+
+    fn paths_mut(&mut self) -> &mut [Path] {
+        &mut self.paths[..self.len as usize]
     }
 
     /// Whether the set contains `S` (definitely or possibly): the two
     /// handles may name the same node.
     pub fn may_be_same(&self) -> bool {
-        self.paths.iter().any(Path::is_same)
+        self.iter().any(Path::is_same)
     }
 
     /// Whether the set contains a definite `S`: the two handles certainly
     /// name the same node.
     pub fn must_be_same(&self) -> bool {
-        self.paths.iter().any(|p| p.is_same() && p.is_definite())
+        self.iter().any(|p| p.is_same() && p.is_definite())
     }
 
     /// Whether any (definite or possible) path of one or more links exists —
     /// i.e. `b` may be a proper descendant of `a`.
     pub fn may_be_descendant(&self) -> bool {
-        self.paths.iter().any(|p| !p.is_same())
+        self.iter().any(|p| !p.is_same())
     }
 
     /// Whether the relationship definitely holds via some path
     /// (some member is definite).
     pub fn has_definite(&self) -> bool {
-        self.paths.iter().any(Path::is_definite)
+        self.iter().any(Path::is_definite)
     }
 
     /// Insert a path, keeping the set canonical.
     pub fn insert(&mut self, path: Path) {
         // Exact-shape duplicate: keep the stronger certainty.
-        for existing in &mut self.paths {
-            if existing.kind == path.kind {
+        for existing in self.paths_mut() {
+            if existing.same_shape(&path) {
                 if path.is_definite() {
                     existing.certainty = Certainty::Definite;
                 }
@@ -98,24 +121,43 @@ impl PathSet {
             }
         }
         // A possible path already covered by an existing path adds nothing.
-        if !path.is_definite() && self.paths.iter().any(|p| p.covers(&path)) {
+        if !path.is_definite() && self.iter().any(|p| p.covers(&path)) {
             return;
         }
         // Drop existing possible paths that the new path covers.
-        self.paths
-            .retain(|p| p.is_definite() || !path.covers(p) || p.kind == path.kind);
-        self.paths.push(path);
-        self.paths.sort();
-        if self.paths.len() > MAX_PATHS {
+        self.retain(|p| p.is_definite() || !path.covers(p) || p.same_shape(&path));
+        self.paths[self.len as usize] = path;
+        self.len += 1;
+        self.paths_mut().sort_unstable();
+        if self.len as usize > MAX_PATHS {
             self.widen_to_fit();
         }
     }
 
+    /// In-place `Vec::retain` over the inline array.
+    fn retain(&mut self, keep: impl Fn(&Path) -> bool) {
+        let mut kept = 0usize;
+        for i in 0..self.len as usize {
+            if keep(&self.paths[i]) {
+                self.paths[kept] = self.paths[i];
+                kept += 1;
+            }
+        }
+        self.len = kept as u8;
+    }
+
+    fn remove(&mut self, idx: usize) {
+        for i in idx..self.len as usize - 1 {
+            self.paths[i] = self.paths[i + 1];
+        }
+        self.len -= 1;
+    }
+
     /// Union of two sets.
     pub fn union(&self, other: &PathSet) -> PathSet {
-        let mut result = self.clone();
-        for p in &other.paths {
-            result.insert(p.clone());
+        let mut result = *self;
+        for p in other.iter() {
+            result.insert(*p);
         }
         result
     }
@@ -126,18 +168,17 @@ impl PathSet {
     /// itself is the identity.
     pub fn join(&self, other: &PathSet) -> PathSet {
         if self == other {
-            return self.clone();
+            return *self;
         }
         let mut result = PathSet::empty();
         for (mine, theirs) in [(self, other), (other, self)] {
-            for p in &mine.paths {
-                let certainty = if p.is_definite()
-                    && theirs.paths.iter().any(|q| q.is_definite() && p.covers(q))
-                {
-                    Certainty::Definite
-                } else {
-                    Certainty::Possible
-                };
+            for p in mine.iter() {
+                let certainty =
+                    if p.is_definite() && theirs.iter().any(|q| q.is_definite() && p.covers(q)) {
+                        Certainty::Definite
+                    } else {
+                        Certainty::Possible
+                    };
                 result.insert(p.with_certainty(certainty));
             }
         }
@@ -146,25 +187,25 @@ impl PathSet {
 
     /// Demote every path to *possible*.
     pub fn weakened(&self) -> PathSet {
-        PathSet::from_paths(self.paths.iter().map(Path::weakened))
+        PathSet::from_paths(self.iter().map(Path::weakened))
     }
 
     /// Map every path through `f`, rebuilding a canonical set.
     pub fn map(&self, f: impl Fn(&Path) -> Path) -> PathSet {
-        PathSet::from_paths(self.paths.iter().map(f))
+        PathSet::from_paths(self.iter().map(f))
     }
 
     /// Keep only paths satisfying the predicate.
     pub fn filter(&self, f: impl Fn(&Path) -> bool) -> PathSet {
-        PathSet::from_paths(self.paths.iter().filter(|p| f(p)).cloned())
+        PathSet::from_paths(self.iter().filter(|p| f(p)).copied())
     }
 
     /// Concatenate every path of `self` with every path of `other`
     /// (`{p · q | p ∈ self, q ∈ other}`).
     pub fn concat(&self, other: &PathSet) -> PathSet {
         let mut result = PathSet::empty();
-        for p in &self.paths {
-            for q in &other.paths {
+        for p in self.iter() {
+            for q in other.iter() {
                 result.insert(p.concat(q));
             }
         }
@@ -174,19 +215,16 @@ impl PathSet {
     /// Whether every path of `other` is covered by some path of `self`
     /// (shape containment of the described relations).
     pub fn covers(&self, other: &PathSet) -> bool {
-        other
-            .paths
-            .iter()
-            .all(|q| self.paths.iter().any(|p| p.covers(q)))
+        other.iter().all(|q| self.iter().any(|p| p.covers(q)))
     }
 
     fn widen_to_fit(&mut self) {
-        while self.paths.len() > MAX_PATHS {
+        while self.len as usize > MAX_PATHS {
             // Generalize the two "closest" link paths (prefer pairs that
             // generalize at all; `S` cannot be merged with link paths).
             let mut best: Option<(usize, usize, Path)> = None;
-            'outer: for i in 0..self.paths.len() {
-                for j in (i + 1)..self.paths.len() {
+            'outer: for i in 0..self.len as usize {
+                for j in (i + 1)..self.len as usize {
                     if let Some(g) = self.paths[i].generalize(&self.paths[j]) {
                         best = Some((i, j, g));
                         break 'outer;
@@ -196,10 +234,10 @@ impl PathSet {
             match best {
                 Some((i, j, g)) => {
                     // Remove j first (j > i) to keep indices valid.
-                    self.paths.remove(j);
-                    self.paths.remove(i);
+                    self.remove(j);
+                    self.remove(i);
                     // Re-insert through the canonical path.
-                    let mut rebuilt = PathSet::from_paths(self.paths.drain(..));
+                    let mut rebuilt = PathSet::from_paths(self.iter().copied());
                     rebuilt.insert(g);
                     *self = rebuilt;
                 }
@@ -209,12 +247,26 @@ impl PathSet {
     }
 }
 
+impl PartialEq for PathSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.paths() == other.paths()
+    }
+}
+
+impl Eq for PathSet {}
+
+impl Hash for PathSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.paths().hash(state);
+    }
+}
+
 impl fmt::Display for PathSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.paths.is_empty() {
+        if self.is_empty() {
             return write!(f, "·");
         }
-        let rendered: Vec<String> = self.paths.iter().map(|p| p.to_string()).collect();
+        let rendered: Vec<String> = self.iter().map(|p| p.to_string()).collect();
         write!(f, "{}", rendered.join(","))
     }
 }

@@ -54,7 +54,7 @@ fn sample_path(rng: &mut StdRng) -> Path {
         Path::same(certainty)
     } else {
         let len = rng.gen_range(1usize..4);
-        Path::from_links((0..len).map(|_| sample_link(rng)).collect(), certainty)
+        Path::from_links((0..len).map(|_| sample_link(rng)), certainty)
     }
 }
 
@@ -78,10 +78,7 @@ fn sample_concrete(rng: &mut StdRng) -> Vec<Dir> {
 }
 
 fn concrete_to_path(dirs: &[Dir]) -> Path {
-    Path::from_links(
-        dirs.iter().map(|d| Link::exact(*d, 1)).collect(),
-        Certainty::Definite,
-    )
+    Path::from_links(dirs.iter().map(|d| Link::exact(*d, 1)), Certainty::Definite)
 }
 
 /// Run `cases` deterministic samples of `property`, labelling failures with
@@ -224,7 +221,7 @@ fn matrix_join_laws() {
         let mut m = PathMatrix::with_handles(names);
         for ((i, j), set) in entries {
             if i != j {
-                m.set(names[*i], names[*j], set.clone());
+                m.set(names[*i], names[*j], *set);
             }
         }
         m
