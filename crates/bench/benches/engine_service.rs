@@ -61,7 +61,11 @@ fn run_cell(kind: ServerKind, connections: usize, requests: usize) -> CellResult
     let server = Server::bind_with(
         &temp_socket(&format!("{}-{connections}", kind.name())),
         service,
-        ServerOptions { kind, workers: 0 },
+        ServerOptions {
+            kind,
+            workers: 0,
+            ..ServerOptions::default()
+        },
     )
     .unwrap();
     assert_eq!(server.kind(), kind, "bench needs the real strategy");

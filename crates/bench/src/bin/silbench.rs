@@ -133,6 +133,11 @@ struct Point {
     /// One mean inter-arrival gap per connection, in µs — the budget the
     /// slip is judged against.
     mean_gap_us: f64,
+    /// The daemon's own view of this point: the worst per-interval
+    /// `server.serve_us` p99 the flight recorder sampled while the point
+    /// ran.  Client latency minus this is time spent on the wire and in
+    /// socket queues.
+    server_p99_us: u64,
 }
 
 impl Point {
@@ -241,7 +246,35 @@ fn run_point(socket: &Path, lines: &Arc<Vec<String>>, sweep: &Sweep, offered_rps
         latency_us: HistogramSummary::of(&hist.snapshot()),
         slip_us: HistogramSummary::of(&slip_hist.snapshot()),
         mean_gap_us: per_conn_mean_gap * 1e6,
+        server_p99_us: 0,
     }
+}
+
+/// The daemon's recorder samples every [`RECORDER_INTERVAL_MS`] while a
+/// point runs; tight enough that a smoke point (1s) still spans several
+/// intervals.
+const RECORDER_INTERVAL_MS: u64 = 250;
+
+/// The worst per-interval `server.serve_us` p99 the daemon recorded since
+/// tick `since` — daemon and benchmark share a process, so recorder
+/// timestamps and `silobs::ticks()` are the same clock.
+fn server_p99_since(addr: &str, since: u64) -> u64 {
+    let conn = match RemoteService::connect(addr) {
+        Ok(conn) => conn,
+        Err(_) => return 0,
+    };
+    let samples = match conn.service_metrics_history() {
+        Ok(samples) => samples,
+        Err(_) => return 0,
+    };
+    samples
+        .iter()
+        .filter(|sample| sample.at_us >= since)
+        .filter_map(|sample| sample.metrics.histogram("server.serve_us"))
+        .filter(|serve| serve.count > 0)
+        .map(|serve| serve.p99)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Run the whole sweep against one serving strategy: fresh daemon, primed
@@ -251,7 +284,12 @@ fn run_server(kind: ServerKind, sweep: &Sweep, corpus: &[String]) -> (String, Ve
     let server = Server::bind_with(
         &temp_socket(kind.name()),
         service,
-        ServerOptions { kind, workers: 0 },
+        ServerOptions {
+            kind,
+            workers: 0,
+            recorder_interval_ms: RECORDER_INTERVAL_MS,
+            ..ServerOptions::default()
+        },
     )
     .expect("silbench: bind failed");
     // On platforms without silio support the async request falls back to
@@ -284,10 +322,19 @@ fn run_server(kind: ServerKind, sweep: &Sweep, corpus: &[String]) -> (String, Ve
             .collect(),
     );
 
+    let addr = handle.addr().to_string();
     let points: Vec<Point> = sweep
         .offered_loads
         .iter()
-        .map(|&offered| run_point(&socket, &lines, sweep, offered))
+        .map(|&offered| {
+            let since = silobs::ticks();
+            let mut point = run_point(&socket, &lines, sweep, offered);
+            // Give the recorder one more tick so the point's final
+            // interval is sampled before we read the history.
+            std::thread::sleep(Duration::from_millis(RECORDER_INTERVAL_MS * 2));
+            point.server_p99_us = server_p99_since(&addr, since);
+            point
+        })
         .collect();
     handle.shutdown();
     (actual, points)
@@ -340,6 +387,10 @@ fn artifact_json(sweep: &Sweep, corpus_len: usize, servers: &[(String, Vec<Point
                                                 ("latency_us", summary_json(&p.latency_us)),
                                                 ("slip_us", summary_json(&p.slip_us)),
                                                 ("mean_gap_us", Json::Float(p.mean_gap_us)),
+                                                (
+                                                    "server_p99_us",
+                                                    Json::Int(p.server_p99_us as i64),
+                                                ),
                                             ])
                                         })
                                         .collect(),
@@ -419,6 +470,19 @@ fn validate_artifact(path: &Path) -> Result<(), String> {
                      inter-arrival gap ({mean_gap_us:.0} µs) — the sweep was not open-loop"
                 ));
             }
+            // The daemon-side view must exist: a zero means the flight
+            // recorder never sampled a serving interval during the point,
+            // and the client/server latency split the artifact promises
+            // is fiction.
+            let server_p99 = field(point, "server_p99_us")?
+                .as_u64()
+                .ok_or_else(|| format!("{kind}: server_p99_us must be a count"))?;
+            if server_p99 == 0 {
+                return Err(format!(
+                    "{kind}: server_p99_us is zero — the daemon's flight recorder \
+                     saw no serving interval during the point"
+                ));
+            }
         }
     }
     Ok(())
@@ -470,7 +534,7 @@ fn main() -> ExitCode {
         let (actual, points) = run_server(kind, &sweep, &corpus);
         println!("server: {actual}");
         println!(
-            "  {:>12} {:>12} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12} {:>12}",
+            "  {:>12} {:>12} {:>8} {:>10} {:>9} {:>9} {:>9} {:>11} {:>12} {:>12}",
             "offered r/s",
             "achieved r/s",
             "sent",
@@ -478,12 +542,13 @@ fn main() -> ExitCode {
             "p90 µs",
             "p99 µs",
             "p999 µs",
+            "srv p99 µs",
             "slip p99 µs",
             "slip max µs"
         );
         for p in &points {
             println!(
-                "  {:>12.0} {:>12.0} {:>8} {:>10} {:>9} {:>9} {:>9} {:>12} {:>12}",
+                "  {:>12.0} {:>12.0} {:>8} {:>10} {:>9} {:>9} {:>9} {:>11} {:>12} {:>12}",
                 p.offered_rps,
                 p.achieved_rps(),
                 p.sent,
@@ -491,6 +556,7 @@ fn main() -> ExitCode {
                 p.latency_us.p90,
                 p.latency_us.p99,
                 p.latency_us.p999,
+                p.server_p99_us,
                 p.slip_us.p99,
                 p.slip_us.max,
             );

@@ -69,6 +69,15 @@ options:
   --no-peer-serve     refuse to answer peer_inventory/peer_fetch requests
                       (incompatible with --peer: a daemon that fetches from
                       the cluster must serve it back)
+  --slow-us <n>       capture the span tree of any request whose service
+                      call outlasts <n> microseconds into a dedicated slow
+                      buffer that survives trace-ring churn (visible in
+                      `silp --trace-dump`, counted as trace.slow_captures)
+  --recorder-interval <ms>  flight-recorder sampling interval (default:
+                      1000 — one metrics snapshot per second into a bounded
+                      ring served via `silp --top`)
+  --recorder-capacity <n>   samples the flight recorder retains
+                      (default: 256)
   --no-incremental    disable incremental re-analysis inside the shards
   --no-parallel       analyze sequentially inside each shard
   --quiet             no startup/shutdown log lines on stderr
@@ -91,6 +100,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--peer",
     "--gossip-interval",
     "--no-peer-serve",
+    "--slow-us",
+    "--recorder-interval",
+    "--recorder-capacity",
     "--no-incremental",
     "--no-parallel",
     "--quiet",
@@ -172,6 +184,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 gossip_interval = Some(positive_count(args, &mut i, flag)?);
             }
             "--no-peer-serve" => no_peer_serve = true,
+            flag @ "--slow-us" => server.slow_us = positive_count(args, &mut i, flag)?,
+            flag @ "--recorder-interval" => {
+                server.recorder_interval_ms = positive_count(args, &mut i, flag)?;
+            }
+            flag @ "--recorder-capacity" => {
+                server.recorder_capacity = positive_count(args, &mut i, flag)? as usize;
+            }
             "--no-incremental" => config = config.with_incremental(false),
             "--no-parallel" => config = config.with_parallel(false),
             "--quiet" => quiet = true,

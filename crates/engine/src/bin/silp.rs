@@ -71,6 +71,18 @@ options:
   --trace-dump           dump the service's retained trace spans as ndjson
                          on stdout (one span object per line); works with
                          no inputs
+  --trace <req>          render the span tree of request id <req> from the
+                         service's trace dump — indented children, per-hop
+                         durations, and the recording daemon's origin per
+                         span (spans a peer daemon served come back tagged
+                         with its address); works with no inputs
+  --top                  live console of the daemon's flight recorder:
+                         req/s, serve p99, cache hit rate, and queue depth
+                         computed as deltas between recorder samples;
+                         needs --connect (only a daemon hosts a recorder)
+  --refresh <ms>         with --top: redraw interval (default: 1000)
+  --iterations <n>       with --top: stop after <n> frames (default: run
+                         until interrupted)
   --in-process           serve requests from an in-process engine (default)
   --connect <addr>       send requests to a sild daemon at unix:<path> or
                          tcp:<host:port> instead
@@ -95,6 +107,10 @@ const KNOWN_FLAGS: &[&str] = &[
     "--stats",
     "--metrics",
     "--trace-dump",
+    "--trace",
+    "--top",
+    "--refresh",
+    "--iterations",
     "--in-process",
     "--connect",
     "--timeout",
@@ -109,6 +125,10 @@ struct Cli {
     stats: bool,
     metrics: bool,
     trace_dump: bool,
+    trace: Option<u64>,
+    top: bool,
+    refresh: std::time::Duration,
+    iterations: u64,
     incremental: bool,
     eviction: EvictionPolicy,
     connect: Option<String>,
@@ -124,6 +144,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         stats: false,
         metrics: false,
         trace_dump: false,
+        trace: None,
+        top: false,
+        refresh: std::time::Duration::from_millis(1000),
+        iterations: 0,
         incremental: false,
         eviction: EvictionPolicy::default(),
         connect: None,
@@ -161,6 +185,36 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--stats" => cli.stats = true,
             "--metrics" => cli.metrics = true,
             "--trace-dump" => cli.trace_dump = true,
+            "--trace" => {
+                i += 1;
+                cli.trace = Some(
+                    args.get(i)
+                        .ok_or("--trace needs a request id (see --trace-dump)")?
+                        .parse()
+                        .map_err(|_| "--trace must be a request id (an integer)".to_string())?,
+                );
+            }
+            "--top" => cli.top = true,
+            "--refresh" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--refresh needs a value in milliseconds")?
+                    .parse()
+                    .map_err(|_| "--refresh must be an integer (milliseconds)".to_string())?;
+                if ms == 0 {
+                    return Err("--refresh must be at least 1 millisecond".to_string());
+                }
+                cli.refresh = std::time::Duration::from_millis(ms);
+            }
+            "--iterations" => {
+                i += 1;
+                cli.iterations = args
+                    .get(i)
+                    .ok_or("--iterations needs a value")?
+                    .parse()
+                    .map_err(|_| "--iterations must be an integer".to_string())?;
+            }
             "--in-process" => cli.connect = None,
             "--connect" => {
                 i += 1;
@@ -194,6 +248,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if cli.timeout.is_some() && cli.connect.is_none() {
         return Err("--timeout only makes sense with --connect".to_string());
     }
+    if cli.top && cli.connect.is_none() {
+        return Err("--top needs --connect: only a daemon hosts a flight recorder".to_string());
+    }
 
     for name in workloads {
         let selected: Vec<Workload> = if name == "all" {
@@ -219,7 +276,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     // Pure observability runs (inspect a live daemon's counters or spans)
     // need no inputs, just like --shutdown.
-    if cli.inputs.is_empty() && !cli.shutdown && !cli.metrics && !cli.trace_dump {
+    if cli.inputs.is_empty()
+        && !cli.shutdown
+        && !cli.metrics
+        && !cli.trace_dump
+        && cli.trace.is_none()
+        && !cli.top
+    {
         return Err("no inputs: pass SIL files or --workload".to_string());
     }
     Ok(cli)
@@ -411,6 +474,192 @@ fn render_metrics(metrics: &MetricsSnapshot) -> String {
     out
 }
 
+/// The `--trace <req>` tree: every span of the trace that request belongs
+/// to (cross-daemon spans included — the daemon adopted them off peer
+/// responses), plus the request's untraced framing spans, indented by
+/// parentage with per-hop durations and origins.
+fn render_trace_tree(spans: &[TraceSpan], request: u64) -> Option<String> {
+    // The request's trace id, from any of its traced spans.  0 means the
+    // request only has flat (untraced) spans — still renderable.
+    let trace = spans
+        .iter()
+        .find(|s| s.request == request && s.trace != 0)
+        .map(|s| s.trace)
+        .unwrap_or(0);
+    let mut selected: Vec<&TraceSpan> = spans
+        .iter()
+        .filter(|s| (trace != 0 && s.trace == trace) || (s.trace == 0 && s.request == request))
+        .collect();
+    if selected.is_empty() {
+        return None;
+    }
+    selected.sort_by_key(|s| (s.start_us, s.request));
+    let ids: std::collections::HashSet<u64> = selected
+        .iter()
+        .filter(|s| s.span_id != 0)
+        .map(|s| s.span_id)
+        .collect();
+    let base = selected.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let mut out = String::new();
+    if trace != 0 {
+        let _ = writeln!(
+            out,
+            "trace {trace:x} — request {request}, {} span{}:",
+            selected.len(),
+            if selected.len() == 1 { "" } else { "s" },
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "request {request} (untraced), {} span{}:",
+            selected.len(),
+            if selected.len() == 1 { "" } else { "s" },
+        );
+    }
+    // Roots are spans whose parent is unknown here (0, or recorded on a
+    // daemon whose ring has since dropped it); children render indented
+    // under their parent, each level sorted by start tick.
+    fn render(
+        out: &mut String,
+        selected: &[&TraceSpan],
+        span: &TraceSpan,
+        base: u64,
+        depth: usize,
+    ) {
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<width$} {:>8}µs  @{:>7}µs  {}",
+            "",
+            span.span,
+            span.duration_us(),
+            span.start_us.saturating_sub(base),
+            span.origin,
+            indent = depth * 2,
+            width = 24usize.saturating_sub(depth * 2),
+        );
+        if span.span_id == 0 {
+            return;
+        }
+        for child in selected.iter().filter(|s| s.parent == span.span_id) {
+            render(out, selected, child, base, depth + 1);
+        }
+    }
+    for root in selected
+        .iter()
+        .filter(|s| s.parent == 0 || !ids.contains(&s.parent))
+    {
+        render(&mut out, &selected, root, base, 0);
+    }
+    Some(out)
+}
+
+/// One `--top` frame from the flight recorder's two newest samples:
+/// counter deltas become rates over the sampling window, the newest
+/// sample's histograms are already per-interval (the recorder diffs
+/// buckets at capture time), gauges read as-is.
+fn render_top(addr: &str, samples: &[silobs::HistorySample]) -> String {
+    let mut out = String::new();
+    let newest = &samples[samples.len() - 1];
+    let previous = &samples[samples.len() - 2];
+    let window_us = newest.at_us.saturating_sub(previous.at_us).max(1);
+    let secs = window_us as f64 / 1_000_000.0;
+    let delta = |name: &str| -> u64 {
+        newest
+            .metrics
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(previous.metrics.counter(name).unwrap_or(0))
+    };
+    let _ = writeln!(
+        out,
+        "sild top — {addr} — {} sample{}, window {:.2}s",
+        samples.len(),
+        if samples.len() == 1 { "" } else { "s" },
+        secs,
+    );
+    let _ = writeln!(
+        out,
+        "  req/s        {:>10.1}",
+        delta("server.requests") as f64 / secs,
+    );
+    match newest.metrics.histogram("server.serve_us") {
+        Some(serve) if serve.count > 0 => {
+            let _ = writeln!(
+                out,
+                "  serve p99    {:>8}µs   (p50 {}µs, max {}µs, {} served)",
+                serve.p99, serve.p50, serve.max, serve.count,
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "  serve p99            -   (idle this window)");
+        }
+    }
+    let hits = delta("store.summaries.hits");
+    let lookups = hits + delta("store.summaries.misses");
+    if lookups > 0 {
+        let _ = writeln!(
+            out,
+            "  hit rate     {:>9.1}%   (summaries {hits}/{lookups} this window)",
+            hits as f64 / lookups as f64 * 100.0,
+        );
+    } else {
+        let _ = writeln!(out, "  hit rate             -   (no lookups this window)");
+    }
+    let gauge = |name: &str| newest.metrics.gauge(name).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  queue depth  {:>10}   active conns {}   pending lines {}",
+        gauge("server.queue_depth"),
+        gauge("server.active"),
+        gauge("server.pending_lines"),
+    );
+    out
+}
+
+/// The `--top` loop: poll `metrics_history`, render a frame per refresh
+/// interval, clear the screen between frames only on a real terminal.
+fn run_top(service: &dyn Service, addr: &str, cli: &Cli) -> ExitCode {
+    use std::io::IsTerminal;
+    let clear = std::io::stdout().is_terminal();
+    let mut frames = 0u64;
+    // Two samples bound every rate; a young daemon gets a bounded grace
+    // period to record them before we call the recorder dead.
+    let mut waits = 0u32;
+    loop {
+        let samples = match service.service_metrics_history() {
+            Ok(samples) => samples,
+            Err(error) => {
+                eprintln!("silp: metrics history failed: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if samples.len() < 2 {
+            waits += 1;
+            if waits > 200 {
+                eprintln!(
+                    "silp: flight recorder produced {} sample(s); was the daemon \
+                     started with a very long --recorder-interval?",
+                    samples.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            std::thread::sleep(cli.refresh.min(std::time::Duration::from_millis(100)));
+            continue;
+        }
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(addr, &samples));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        frames += 1;
+        if cli.iterations != 0 && frames >= cli.iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(cli.refresh);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -568,6 +817,28 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+    }
+    if let Some(request) = cli.trace {
+        match service.service_trace() {
+            Ok(spans) => match render_trace_tree(&spans, request) {
+                Some(tree) => print!("{tree}"),
+                None => {
+                    eprintln!(
+                        "silp: no spans retained for request {request} \
+                         (--trace-dump lists the ids still in the ring)"
+                    );
+                    failed = true;
+                }
+            },
+            Err(error) => {
+                eprintln!("silp: trace fetch failed: {error}");
+                failed = true;
+            }
+        }
+    }
+    if cli.top && !failed {
+        let addr = cli.connect.as_deref().unwrap_or("in-process");
+        return run_top(service.as_ref(), addr, &cli);
     }
     if failed {
         ExitCode::FAILURE

@@ -690,9 +690,17 @@ impl Engine {
         for level in graph.scc_levels() {
             let computed: Vec<HashMap<String, ProcSummary>> =
                 if self.config.parallel && level.len() > 1 {
+                    // Pool workers have no thread-local trace context of
+                    // their own; forward this thread's so their spans stay
+                    // in the request's trace tree.
+                    let ctx = silobs::current_context();
                     level
                         .par_iter()
-                        .map(|scc| self.scc_summaries(program, types, scc, &cones, &resolved))
+                        .map(|scc| {
+                            silobs::with_context_opt(ctx, || {
+                                self.scc_summaries(program, types, scc, &cones, &resolved)
+                            })
+                        })
                         .collect()
                 } else {
                     level
@@ -737,9 +745,10 @@ impl Engine {
         sources: &[S],
     ) -> Vec<Result<Arc<AnalyzedProgram>, EngineError>> {
         if self.config.parallel && sources.len() > 1 {
+            let ctx = silobs::current_context();
             sources
                 .par_iter()
-                .map(|src| self.analyze_source(src.as_ref()))
+                .map(|src| silobs::with_context_opt(ctx, || self.analyze_source(src.as_ref())))
                 .collect()
         } else {
             sources
@@ -835,9 +844,10 @@ impl Engine {
         options: &ProcessOptions,
     ) -> Vec<Result<ProgramReport, EngineError>> {
         if self.config.parallel && sources.len() > 1 {
+            let ctx = silobs::current_context();
             sources
                 .par_iter()
-                .map(|src| self.process(src.as_ref(), options))
+                .map(|src| silobs::with_context_opt(ctx, || self.process(src.as_ref(), options)))
                 .collect()
         } else {
             sources

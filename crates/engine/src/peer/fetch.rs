@@ -27,7 +27,7 @@
 //! the leader's worst-case deadline across all candidates.
 
 use super::{Peer, PeerRing};
-use crate::service::proto::{ErrorKind, PeerNamespace, Request, Response};
+use crate::service::proto::{ErrorKind, PeerNamespace, Request, Response, TraceSpan};
 use crate::service::RemoteService;
 use crate::store::durable::codec;
 use crate::store::SummaryTable;
@@ -303,11 +303,23 @@ impl PeerRing {
                 Exchange::Failed | Exchange::Unsupported => continue,
             };
             let Response::PeerEntry {
-                generation, body, ..
+                generation,
+                body,
+                trace_spans,
+                ..
             } = *reply
             else {
                 continue;
             };
+            // The serving peer piggybacked its spans for this trace (the
+            // exchange forwarded our ambient context on the wire).  Adopt
+            // them into our tracer so the origin daemon's trace dump shows
+            // the whole cross-daemon tree — and so a further piggyback
+            // toward *our* caller re-ships them on multi-hop chains.
+            if !trace_spans.is_empty() {
+                self.tracer
+                    .adopt(trace_spans.iter().map(TraceSpan::to_record).collect());
+            }
             {
                 let mut inner = peer.inner.lock().unwrap();
                 if inner.generation != generation {

@@ -29,7 +29,7 @@ mod threaded;
 pub use json::{Json, JsonError};
 pub use proto::{
     AnalyzeSummary, ErrorKind, PeerNamespace, Request, Response, ServerStats, ServiceError,
-    TraceSpan, PROTOCOL_VERSION,
+    TraceHeader, TraceSpan, PROTOCOL_VERSION,
 };
 pub use remote::RemoteService;
 pub use server::{Server, ServerHandle, ServerKind, ServerOptions};
@@ -41,7 +41,7 @@ use crate::{
     EngineStats,
 };
 use sil_lang::{frontend, program_fingerprint};
-use silobs::{MetricsSnapshot, Tracer};
+use silobs::{HistorySample, MetricsSnapshot, RawMetrics, TraceContext, Tracer};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -125,6 +125,29 @@ pub trait Service {
             other => Err(unexpected("trace", &other)),
         }
     }
+
+    /// [`Request::MetricsHistory`], expecting the flight recorder's
+    /// retained samples oldest-first (only a daemon hosts a recorder).
+    fn service_metrics_history(&self) -> Result<Vec<HistorySample>, ServiceError> {
+        match self.call(Request::metrics_history()) {
+            Response::MetricsHistory { samples, .. } => Ok(samples),
+            Response::Error { error, .. } => Err(error),
+            other => Err(unexpected("metrics_history", &other)),
+        }
+    }
+
+    /// The tracer this service records spans into, when it exposes one.
+    /// The daemon uses it to name the service's origin, to collect
+    /// piggybacked span trees, and to capture slow requests.
+    fn service_tracer(&self) -> Option<Arc<Tracer>> {
+        None
+    }
+
+    /// A raw (full-bucket) read of this service's metrics registry, when
+    /// it can provide one — what the daemon's flight recorder samples.
+    fn raw_metrics(&self) -> Option<RawMetrics> {
+        None
+    }
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ServiceError {
@@ -176,11 +199,21 @@ impl Engine {
             return Response::error(ServiceError::version_mismatch(request.version()));
         }
         // Spans recorded below need a request id to attribute to.  Under a
-        // daemon the server minted one when it framed the line; in-process
-        // callers get one minted here, so traces look the same either way.
+        // daemon the server minted one (and established the trace context)
+        // when it framed the line; in-process callers get one minted here
+        // — honoring a trace header if the caller attached one — so traces
+        // look the same either way.
         match silobs::current_request() {
             Some(_) => self.dispatch(request),
-            None => silobs::with_request(self.tracer().mint(), || self.dispatch(request)),
+            None => {
+                let header = request.trace_header();
+                let ctx = TraceContext {
+                    request: self.tracer().mint(),
+                    trace: header.map_or(0, |h| h.id),
+                    parent: header.map_or(0, |h| h.parent),
+                };
+                silobs::with_context(ctx, || self.dispatch(request))
+            }
         }
     }
 
@@ -212,6 +245,7 @@ impl Engine {
                 if let Some(ring) = self.store().peers() {
                     raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
                 }
+                self.tracer().export_metrics(&mut raw);
                 Response::metrics(raw.summarize())
             }
             Request::TraceDump { .. } => Response::trace(
@@ -238,6 +272,11 @@ impl Engine {
             // In process there is nothing to shut down; the daemon's server
             // loop intercepts this variant before it reaches an engine.
             Request::Shutdown { .. } => Response::shutting_down(),
+            // Only a daemon hosts a flight recorder; the server loop
+            // intercepts this variant before it reaches an engine.
+            Request::MetricsHistory { .. } => Response::error(ServiceError::malformed(
+                "metrics_history needs a daemon's flight recorder; connect to a sild instead",
+            )),
         }
     }
 }
@@ -267,6 +306,10 @@ impl Service for Engine {
     fn call(&self, request: Request) -> Response {
         self.serve(request)
     }
+
+    fn service_tracer(&self) -> Option<Arc<Tracer>> {
+        Some(self.tracer().clone())
+    }
 }
 
 /// The in-process [`Service`]: one engine, zero transport.
@@ -295,6 +338,10 @@ impl LocalService {
 impl Service for LocalService {
     fn call(&self, request: Request) -> Response {
         self.engine.serve(request)
+    }
+
+    fn service_tracer(&self) -> Option<Arc<Tracer>> {
+        Some(self.engine.tracer().clone())
     }
 }
 
@@ -417,6 +464,10 @@ impl ShardedService {
         }
         let mut merged: Vec<Option<Result<ProgramReport, ServiceError>>> = Vec::new();
         merged.resize_with(partitions.iter().map(Vec::len).sum(), || None);
+        // Scoped worker threads have no thread-local context of their own;
+        // forward the dispatching thread's so per-shard spans stay in the
+        // request's trace tree.
+        let ctx = silobs::current_context();
         std::thread::scope(|scope| {
             let mut pending = Vec::new();
             for (shard, partition) in self.shards.iter().zip(&partitions) {
@@ -424,13 +475,15 @@ impl ShardedService {
                     continue;
                 }
                 pending.push(scope.spawn(move || {
-                    let sub: Vec<&str> = partition.iter().map(|(_, s)| s.as_str()).collect();
-                    shard
-                        .process_batch(&sub, options)
-                        .into_iter()
-                        .zip(partition.iter().map(|(index, _)| *index))
-                        .map(|(result, index)| (index, result.map_err(|e| (&e).into())))
-                        .collect::<Vec<_>>()
+                    silobs::with_context_opt(ctx, || {
+                        let sub: Vec<&str> = partition.iter().map(|(_, s)| s.as_str()).collect();
+                        shard
+                            .process_batch(&sub, options)
+                            .into_iter()
+                            .zip(partition.iter().map(|(index, _)| *index))
+                            .map(|(result, index)| (index, result.map_err(|e| (&e).into())))
+                            .collect::<Vec<_>>()
+                    })
                 }));
             }
             for handle in pending {
@@ -455,8 +508,24 @@ impl Service for ShardedService {
         }
         match silobs::current_request() {
             Some(_) => self.dispatch(request),
-            None => silobs::with_request(self.tracer.mint(), || self.dispatch(request)),
+            None => {
+                let header = request.trace_header();
+                let ctx = TraceContext {
+                    request: self.tracer.mint(),
+                    trace: header.map_or(0, |h| h.id),
+                    parent: header.map_or(0, |h| h.parent),
+                };
+                silobs::with_context(ctx, || self.dispatch(request))
+            }
         }
+    }
+
+    fn service_tracer(&self) -> Option<Arc<Tracer>> {
+        Some(self.tracer.clone())
+    }
+
+    fn raw_metrics(&self) -> Option<RawMetrics> {
+        Some(self.metrics_raw())
     }
 }
 
@@ -481,21 +550,7 @@ impl ShardedService {
                 sources, options, ..
             } => self.batch(sources, &options),
             Request::Stats { .. } => Response::stats(self.shard_stats(), self.store.stats()),
-            // Shard registries merge at the raw (full-bucket) level, so the
-            // combined histograms are exact; the shared store's counters
-            // fold in exactly once, not once per shard.
-            Request::Metrics { .. } => {
-                let mut raw = silobs::RawMetrics::new();
-                for shard in &self.shards {
-                    raw.absorb(&shard.metrics_raw());
-                }
-                export_store_metrics(&self.store.stats(), &mut raw);
-                export_analysis_metrics(&mut raw);
-                if let Some(ring) = self.store.peers() {
-                    raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
-                }
-                Response::metrics(raw.summarize())
-            }
+            Request::Metrics { .. } => Response::metrics(self.metrics_raw().summarize()),
             Request::TraceDump { .. } => {
                 Response::trace(self.tracer.snapshot().iter().map(TraceSpan::from).collect())
             }
@@ -529,7 +584,30 @@ impl ShardedService {
                 )
             }
             Request::Shutdown { .. } => Response::shutting_down(),
+            // Only a daemon hosts a flight recorder; its server loop
+            // intercepts this variant before it reaches the service.
+            Request::MetricsHistory { .. } => Response::error(ServiceError::malformed(
+                "metrics_history needs a daemon's flight recorder; connect to a sild instead",
+            )),
         }
+    }
+
+    /// The raw (full-bucket) registry read behind both the `Metrics`
+    /// response and the daemon's flight recorder.  Shard registries merge
+    /// at the raw level, so the combined histograms are exact; the shared
+    /// store's counters fold in exactly once, not once per shard.
+    pub fn metrics_raw(&self) -> silobs::RawMetrics {
+        let mut raw = silobs::RawMetrics::new();
+        for shard in &self.shards {
+            raw.absorb(&shard.metrics_raw());
+        }
+        export_store_metrics(&self.store.stats(), &mut raw);
+        export_analysis_metrics(&mut raw);
+        if let Some(ring) = self.store.peers() {
+            raw.push_histogram("store.peer.fetch_us", &ring.fetch_us());
+        }
+        self.tracer.export_metrics(&mut raw);
+        raw
     }
 }
 

@@ -19,7 +19,8 @@ use crate::store::{
     DiskStats, EvictionPolicy, NamespaceStats, PeerStats, PolicyChoice, StoreStats,
 };
 use crate::{CacheStats, EngineError, EngineStats};
-use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
+use silobs::{HistogramSummary, HistorySample, MetricsSnapshot, SpanRecord};
+use std::collections::HashSet;
 
 /// The one protocol version this build speaks.
 ///
@@ -48,7 +49,41 @@ use silobs::{HistogramSummary, MetricsSnapshot, SpanRecord};
 /// the `stats` response.  A daemon without the feature answers the new
 /// kinds `malformed`, which a peering client treats as "feature absent"
 /// rather than a fault, so mixed-version clusters keep working.
+///
+/// Still v2, observability round two: an *optional* `trace` member
+/// ([`TraceHeader`]) on the work-carrying requests (`analyze`, `process`,
+/// `batch`, `peer_fetch`) propagates a cluster-wide trace id and parent
+/// span id; the matching responses grow an *optional* `trace_spans`
+/// member piggybacking the callee's spans for that trace back to the
+/// origin daemon.  Both are absent unless the caller opted into tracing,
+/// so untraced wire bytes are unchanged.  The additive `metrics_history`
+/// request kind (answered with a `metrics_history` response) serves the
+/// flight recorder's ring of periodic samples.  Same doctrine as above:
+/// optional members and new kinds ride along without a version bump.
 pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The optional trace coordinates a traced request carries: the
+/// cluster-wide trace `id` every resulting span joins, and the caller's
+/// in-flight span `parent` (0 when the caller is the trace root) that the
+/// callee's own root span parents under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    pub id: u64,
+    pub parent: u64,
+}
+
+impl TraceHeader {
+    fn to_json_value(self) -> Json {
+        Json::obj(vec![("id", hex64(self.id)), ("parent", hex64(self.parent))])
+    }
+
+    fn from_json_value(value: &Json) -> Result<TraceHeader, String> {
+        Ok(TraceHeader {
+            id: parse_hex64(field(value, "id")?)?,
+            parent: parse_hex64(field(value, "parent")?)?,
+        })
+    }
+}
 
 /// A request to the analysis service.  Every variant carries the
 /// `protocol_version` the client speaks; the [`Request::analyze`]-style
@@ -57,18 +92,24 @@ pub const PROTOCOL_VERSION: u32 = 2;
 pub enum Request {
     /// Parse, type check, and analyze one program (no parallelization or
     /// execution).
-    Analyze { version: u32, source: String },
+    Analyze {
+        version: u32,
+        source: String,
+        trace: Option<TraceHeader>,
+    },
     /// Run the full pipeline over one program per the options.
     Process {
         version: u32,
         source: String,
         options: ProcessOptions,
+        trace: Option<TraceHeader>,
     },
     /// [`Request::Process`] over many programs; results keep input order.
     Batch {
         version: u32,
         sources: Vec<String>,
         options: ProcessOptions,
+        trace: Option<TraceHeader>,
     },
     /// Cache counters, per shard and aggregated.
     Stats { version: u32 },
@@ -94,7 +135,12 @@ pub enum Request {
         version: u32,
         namespace: PeerNamespace,
         key: u64,
+        trace: Option<TraceHeader>,
     },
+    /// The flight recorder's retained metrics samples, oldest first
+    /// (additive, still v2).  Only a daemon hosts a recorder; the
+    /// in-process service answers with an error.
+    MetricsHistory { version: u32 },
 }
 
 impl Request {
@@ -102,6 +148,7 @@ impl Request {
         Request::Analyze {
             version: PROTOCOL_VERSION,
             source: source.into(),
+            trace: None,
         }
     }
 
@@ -110,6 +157,7 @@ impl Request {
             version: PROTOCOL_VERSION,
             source: source.into(),
             options,
+            trace: None,
         }
     }
 
@@ -118,6 +166,7 @@ impl Request {
             version: PROTOCOL_VERSION,
             sources,
             options,
+            trace: None,
         }
     }
 
@@ -162,6 +211,13 @@ impl Request {
             version: PROTOCOL_VERSION,
             namespace,
             key,
+            trace: None,
+        }
+    }
+
+    pub fn metrics_history() -> Request {
+        Request::MetricsHistory {
+            version: PROTOCOL_VERSION,
         }
     }
 
@@ -177,7 +233,8 @@ impl Request {
             | Request::ClearCaches { version }
             | Request::Shutdown { version }
             | Request::PeerInventory { version }
-            | Request::PeerFetch { version, .. } => *version,
+            | Request::PeerFetch { version, .. }
+            | Request::MetricsHistory { version } => *version,
         }
     }
 
@@ -194,7 +251,33 @@ impl Request {
             | Request::ClearCaches { version }
             | Request::Shutdown { version }
             | Request::PeerInventory { version }
-            | Request::PeerFetch { version, .. } => *version = v,
+            | Request::PeerFetch { version, .. }
+            | Request::MetricsHistory { version } => *version = v,
+        }
+        self
+    }
+
+    /// The trace coordinates this request carries, if it is traced and
+    /// its kind can carry them.
+    pub fn trace_header(&self) -> Option<TraceHeader> {
+        match self {
+            Request::Analyze { trace, .. }
+            | Request::Process { trace, .. }
+            | Request::Batch { trace, .. }
+            | Request::PeerFetch { trace, .. } => *trace,
+            _ => None,
+        }
+    }
+
+    /// The same request carrying trace coordinates (a no-op on kinds that
+    /// cannot carry them — control requests are never traced).
+    pub fn with_trace(mut self, header: TraceHeader) -> Request {
+        if let Request::Analyze { trace, .. }
+        | Request::Process { trace, .. }
+        | Request::Batch { trace, .. }
+        | Request::PeerFetch { trace, .. } = &mut self
+        {
+            *trace = Some(header);
         }
         self
     }
@@ -238,12 +321,18 @@ impl Request {
                     ("key", hex64(*key)),
                 ],
             ),
+            Request::MetricsHistory { .. } => ("metrics_history", vec![]),
         };
         let mut all = vec![
             ("protocol_version", Json::Int(self.version() as i64)),
             ("type", Json::Str(kind.to_string())),
         ];
         all.append(&mut fields);
+        // The optional trace member rides last so every untraced request
+        // encodes byte-identically to its pre-tracing form.
+        if let Some(header) = self.trace_header() {
+            all.push(("trace", header.to_json_value()));
+        }
         Json::obj(all)
     }
 
@@ -272,15 +361,24 @@ impl Request {
                 .ok_or_else(|| ServiceError::malformed("request is missing \"options\""))?;
             ProcessOptions::from_json_value(raw).map_err(ServiceError::malformed)
         };
+        let trace = |value: &Json| -> Result<Option<TraceHeader>, ServiceError> {
+            value
+                .get("trace")
+                .map(TraceHeader::from_json_value)
+                .transpose()
+                .map_err(ServiceError::malformed)
+        };
         match kind {
             "analyze" => Ok(Request::Analyze {
                 version,
                 source: source(value)?,
+                trace: trace(value)?,
             }),
             "process" => Ok(Request::Process {
                 version,
                 source: source(value)?,
                 options: options(value)?,
+                trace: trace(value)?,
             }),
             "batch" => {
                 let sources = value
@@ -298,6 +396,7 @@ impl Request {
                     version,
                     sources,
                     options: options(value)?,
+                    trace: trace(value)?,
                 })
             }
             "stats" => Ok(Request::Stats { version }),
@@ -311,7 +410,9 @@ impl Request {
                 namespace: peer_namespace(value)?,
                 key: parse_hex64(field(value, "key").map_err(ServiceError::malformed)?)
                     .map_err(ServiceError::malformed)?,
+                trace: trace(value)?,
             }),
+            "metrics_history" => Ok(Request::MetricsHistory { version }),
             other => Err(ServiceError::malformed(format!(
                 "unknown request type {other:?}"
             ))),
@@ -463,16 +564,28 @@ impl ServerStats {
 }
 
 /// One trace span on the wire: a named interval attributed to a request
-/// id, timestamped in process ticks (microseconds — see `silobs::ticks`).
+/// id, timestamped in process ticks (microseconds — see `silobs::ticks`),
+/// carrying its trace-tree coordinates (`trace`/`span_id`/`parent`, all 0
+/// for untraced spans) and the address of the daemon that recorded it.
 /// The in-memory `silobs::SpanRecord` keeps a `&'static str` name; the
-/// wire form owns its string so a remote client can decode spans whose
-/// names it has never seen.
+/// wire form owns its strings so a remote client can decode spans whose
+/// names and origins it has never seen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSpan {
     pub request: u64,
     pub span: String,
     pub start_us: u64,
     pub end_us: u64,
+    /// The trace this span belongs to; 0 means untraced.
+    pub trace: u64,
+    /// This span's own id; 0 only on spans decoded from a pre-tracing
+    /// peer.
+    pub span_id: u64,
+    /// The parent span id; 0 means this span roots its trace.
+    pub parent: u64,
+    /// Listen address of the daemon that recorded the span, or
+    /// `"in-process"`.
+    pub origin: String,
 }
 
 impl TraceSpan {
@@ -480,13 +593,28 @@ impl TraceSpan {
         self.end_us.saturating_sub(self.start_us)
     }
 
-    /// Render spans as ndjson (one object per line, byte-identical to
-    /// `silobs::Tracer::to_ndjson` for the same spans).
+    /// Render spans as ndjson, one object per line, byte-identical to
+    /// `silobs::Tracer::to_ndjson` for the same spans: tree coordinates
+    /// appear (as unpadded hex) only when the span is traced, `origin`
+    /// always.
     pub fn to_ndjson(spans: &[TraceSpan]) -> String {
         let mut out = String::new();
         for span in spans {
-            out.push_str(&span.to_json_value().encode());
-            out.push('\n');
+            out.push_str(&format!(
+                "{{\"request\":{},\"span\":\"{}\",\"start_us\":{},\"end_us\":{},\"duration_us\":{}",
+                span.request,
+                span.span,
+                span.start_us,
+                span.end_us,
+                span.duration_us()
+            ));
+            if span.trace != 0 {
+                out.push_str(&format!(
+                    ",\"trace\":\"{:x}\",\"span_id\":\"{:x}\",\"parent\":\"{:x}\"",
+                    span.trace, span.span_id, span.parent
+                ));
+            }
+            out.push_str(&format!(",\"origin\":\"{}\"}}\n", span.origin));
         }
         out
     }
@@ -498,6 +626,10 @@ impl TraceSpan {
             ("start_us", Json::Int(self.start_us as i64)),
             ("end_us", Json::Int(self.end_us as i64)),
             ("duration_us", Json::Int(self.duration_us() as i64)),
+            ("trace", hex64(self.trace)),
+            ("span_id", hex64(self.span_id)),
+            ("parent", hex64(self.parent)),
+            ("origin", Json::Str(self.origin.clone())),
         ])
     }
 
@@ -507,6 +639,15 @@ impl TraceSpan {
                 .as_u64()
                 .ok_or_else(|| format!("\"{key}\" must be a count"))
         };
+        // The tree fields are optional so spans from a pre-tracing peer
+        // still decode (as untraced, locally recorded ones).
+        let id = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .map(parse_hex64)
+                .transpose()
+                .map(|v| v.unwrap_or(0))
+        };
         Ok(TraceSpan {
             request: count("request")?,
             span: field(value, "span")?
@@ -515,7 +656,32 @@ impl TraceSpan {
                 .to_string(),
             start_us: count("start_us")?,
             end_us: count("end_us")?,
+            trace: id("trace")?,
+            span_id: id("span_id")?,
+            parent: id("parent")?,
+            origin: match value.get("origin") {
+                Some(raw) => raw
+                    .as_str()
+                    .ok_or("\"origin\" must be a string")?
+                    .to_string(),
+                None => "in-process".to_string(),
+            },
         })
+    }
+
+    /// The in-memory form of a wire span, origin preserved — what a
+    /// daemon adopts into its own ring when a peer piggybacks spans back.
+    pub fn to_record(&self) -> SpanRecord {
+        SpanRecord {
+            request: self.request,
+            name: std::borrow::Cow::Owned(self.span.clone()),
+            start_us: self.start_us,
+            end_us: self.end_us,
+            trace: self.trace,
+            span_id: self.span_id,
+            parent: self.parent,
+            origin: Some(std::sync::Arc::from(self.origin.as_str())),
+        }
     }
 }
 
@@ -526,6 +692,10 @@ impl From<&SpanRecord> for TraceSpan {
             span: record.name.to_string(),
             start_us: record.start_us,
             end_us: record.end_us,
+            trace: record.trace,
+            span_id: record.span_id,
+            parent: record.parent,
+            origin: record.origin.as_deref().unwrap_or("in-process").to_string(),
         }
     }
 }
@@ -637,14 +807,25 @@ pub enum Response {
     Analyzed {
         version: u32,
         summary: AnalyzeSummary,
+        /// The answering daemon's spans for the request's trace, empty
+        /// unless the request carried a [`TraceHeader`] — the piggyback
+        /// that lets the origin daemon assemble a cross-daemon tree.
+        trace_spans: Vec<TraceSpan>,
     },
     /// Answer to [`Request::Process`].
-    Report { version: u32, report: ProgramReport },
+    Report {
+        version: u32,
+        report: ProgramReport,
+        /// See [`Response::Analyzed::trace_spans`].
+        trace_spans: Vec<TraceSpan>,
+    },
     /// Answer to [`Request::Batch`]: per-input report or error, in input
     /// order.
     Batch {
         version: u32,
         items: Vec<Result<ProgramReport, ServiceError>>,
+        /// See [`Response::Analyzed::trace_spans`].
+        trace_spans: Vec<TraceSpan>,
     },
     /// Answer to [`Request::Stats`]: one per-shard view-counter entry per
     /// engine shard, their field-wise aggregate (a single-engine service
@@ -696,6 +877,15 @@ pub enum Response {
         key: u64,
         generation: u64,
         body: Option<Json>,
+        /// See [`Response::Analyzed::trace_spans`].
+        trace_spans: Vec<TraceSpan>,
+    },
+    /// Answer to [`Request::MetricsHistory`]: the flight recorder's
+    /// retained samples, oldest first — cumulative counters and gauges,
+    /// per-interval histogram quantiles.
+    MetricsHistory {
+        version: u32,
+        samples: Vec<HistorySample>,
     },
     /// The request failed as a whole.
     Error { version: u32, error: ServiceError },
@@ -706,6 +896,7 @@ impl Response {
         Response::Analyzed {
             version: PROTOCOL_VERSION,
             summary,
+            trace_spans: Vec::new(),
         }
     }
 
@@ -713,6 +904,7 @@ impl Response {
         Response::Report {
             version: PROTOCOL_VERSION,
             report,
+            trace_spans: Vec::new(),
         }
     }
 
@@ -720,6 +912,7 @@ impl Response {
         Response::Batch {
             version: PROTOCOL_VERSION,
             items,
+            trace_spans: Vec::new(),
         }
     }
 
@@ -773,10 +966,21 @@ impl Response {
 
     /// Merge the daemon's own spans into a [`Response::Trace`] on its way
     /// out, keeping the combined dump ordered by start tick (other
-    /// responses pass through unchanged).
+    /// responses pass through unchanged).  Spans already present are
+    /// skipped by span id — a slow capture held by the server tracer may
+    /// duplicate spans still live in the service tracer's ring.
     pub fn with_server_spans(mut self, server: Vec<TraceSpan>) -> Response {
         if let Response::Trace { spans, .. } = &mut self {
-            spans.extend(server);
+            let mut seen: HashSet<u64> = spans
+                .iter()
+                .map(|span| span.span_id)
+                .filter(|id| *id != 0)
+                .collect();
+            for span in server {
+                if span.span_id == 0 || seen.insert(span.span_id) {
+                    spans.push(span);
+                }
+            }
             spans.sort_by_key(|span| (span.start_us, span.request));
         }
         self
@@ -815,7 +1019,53 @@ impl Response {
             key,
             generation,
             body,
+            trace_spans: Vec::new(),
         }
+    }
+
+    pub fn metrics_history(samples: Vec<HistorySample>) -> Response {
+        Response::MetricsHistory {
+            version: PROTOCOL_VERSION,
+            samples,
+        }
+    }
+
+    /// The piggybacked callee spans this response carries (empty on kinds
+    /// that cannot carry them).
+    pub fn trace_spans(&self) -> &[TraceSpan] {
+        match self {
+            Response::Analyzed { trace_spans, .. }
+            | Response::Report { trace_spans, .. }
+            | Response::Batch { trace_spans, .. }
+            | Response::PeerEntry { trace_spans, .. } => trace_spans,
+            _ => &[],
+        }
+    }
+
+    /// Take the piggybacked spans out for adoption into a local tracer,
+    /// leaving the response otherwise intact.
+    pub fn take_trace_spans(&mut self) -> Vec<TraceSpan> {
+        match self {
+            Response::Analyzed { trace_spans, .. }
+            | Response::Report { trace_spans, .. }
+            | Response::Batch { trace_spans, .. }
+            | Response::PeerEntry { trace_spans, .. } => std::mem::take(trace_spans),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Attach the answering daemon's spans for the request's trace (a
+    /// no-op on kinds that cannot carry them — only work-carrying
+    /// responses piggyback).
+    pub fn with_trace_spans(mut self, spans: Vec<TraceSpan>) -> Response {
+        if let Response::Analyzed { trace_spans, .. }
+        | Response::Report { trace_spans, .. }
+        | Response::Batch { trace_spans, .. }
+        | Response::PeerEntry { trace_spans, .. } = &mut self
+        {
+            *trace_spans = spans;
+        }
+        self
     }
 
     pub fn error(error: ServiceError) -> Response {
@@ -838,6 +1088,7 @@ impl Response {
             | Response::ShuttingDown { version }
             | Response::PeerInventory { version, .. }
             | Response::PeerEntry { version, .. }
+            | Response::MetricsHistory { version, .. }
             | Response::Error { version, .. } => *version,
         }
     }
@@ -929,6 +1180,23 @@ impl Response {
                 }
                 ("peer_entry", fields)
             }
+            Response::MetricsHistory { samples, .. } => (
+                "metrics_history",
+                vec![(
+                    "samples",
+                    Json::Arr(
+                        samples
+                            .iter()
+                            .map(|sample| {
+                                Json::obj(vec![
+                                    ("at_us", Json::Int(sample.at_us as i64)),
+                                    ("metrics", metrics_snapshot_to_json(&sample.metrics)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )],
+            ),
             Response::Error { error, .. } => ("error", vec![("error", error.to_json_value())]),
         };
         let mut all = vec![
@@ -936,6 +1204,16 @@ impl Response {
             ("type", Json::Str(kind.to_string())),
         ];
         all.append(&mut fields);
+        // Piggybacked spans ride last, and only when present, so every
+        // untraced response encodes byte-identically to its pre-tracing
+        // form.
+        let trace_spans = self.trace_spans();
+        if !trace_spans.is_empty() {
+            all.push((
+                "trace_spans",
+                Json::Arr(trace_spans.iter().map(TraceSpan::to_json_value).collect()),
+            ));
+        }
         Json::obj(all)
     }
 
@@ -950,6 +1228,17 @@ impl Response {
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| ServiceError::malformed("response is missing \"type\""))?;
+        let trace_spans = |value: &Json| -> Result<Vec<TraceSpan>, ServiceError> {
+            match value.get("trace_spans") {
+                None => Ok(Vec::new()),
+                Some(raw) => raw
+                    .as_arr()
+                    .ok_or_else(|| ServiceError::malformed("\"trace_spans\" must be an array"))?
+                    .iter()
+                    .map(|s| TraceSpan::from_json_value(s).map_err(ServiceError::malformed))
+                    .collect(),
+            }
+        };
         match kind {
             "analyzed" => {
                 let raw = value
@@ -959,6 +1248,7 @@ impl Response {
                     version,
                     summary: AnalyzeSummary::from_json_value(raw)
                         .map_err(ServiceError::malformed)?,
+                    trace_spans: trace_spans(value)?,
                 })
             }
             "report" => {
@@ -968,6 +1258,7 @@ impl Response {
                 Ok(Response::Report {
                     version,
                     report: ProgramReport::from_json_value(raw).map_err(ServiceError::malformed)?,
+                    trace_spans: trace_spans(value)?,
                 })
             }
             "batch" => {
@@ -991,7 +1282,11 @@ impl Response {
                         }
                     })
                     .collect::<Result<Vec<_>, ServiceError>>()?;
-                Ok(Response::Batch { version, items })
+                Ok(Response::Batch {
+                    version,
+                    items,
+                    trace_spans: trace_spans(value)?,
+                })
             }
             "stats" => {
                 let shards = value
@@ -1072,7 +1367,31 @@ impl Response {
                     .and_then(Json::as_u64)
                     .ok_or_else(|| ServiceError::malformed("missing \"generation\""))?,
                 body: value.get("body").cloned(),
+                trace_spans: trace_spans(value)?,
             }),
+            "metrics_history" => {
+                let samples = value
+                    .get("samples")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ServiceError::malformed("missing \"samples\""))?
+                    .iter()
+                    .map(|sample| {
+                        let at_us = sample
+                            .get("at_us")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| ServiceError::malformed("missing \"at_us\""))?;
+                        let raw = sample
+                            .get("metrics")
+                            .ok_or_else(|| ServiceError::malformed("missing \"metrics\""))?;
+                        Ok(HistorySample {
+                            at_us,
+                            metrics: metrics_snapshot_from_json(raw)
+                                .map_err(ServiceError::malformed)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ServiceError>>()?;
+                Ok(Response::MetricsHistory { version, samples })
+            }
             "error" => {
                 let raw = value
                     .get("error")
@@ -1531,6 +1850,28 @@ mod tests {
         round_trip_request(Request::peer_inventory());
         round_trip_request(Request::peer_fetch(PeerNamespace::Programs, 0xdead_beef));
         round_trip_request(Request::peer_fetch(PeerNamespace::Summaries, u64::MAX));
+        round_trip_request(Request::metrics_history());
+    }
+
+    #[test]
+    fn trace_header_is_optional_and_round_trips() {
+        let header = TraceHeader {
+            id: 0xabc,
+            parent: 0x17,
+        };
+        for traced in [
+            Request::analyze("program p\nmain() {}\n").with_trace(header),
+            Request::process("x", ProcessOptions::default()).with_trace(header),
+            Request::batch(vec!["a".into()], ProcessOptions::default()).with_trace(header),
+            Request::peer_fetch(PeerNamespace::Summaries, 9).with_trace(header),
+        ] {
+            assert_eq!(traced.trace_header(), Some(header));
+            round_trip_request(traced);
+        }
+        // Untraced requests stay bitwise free of the optional member, and
+        // control requests never grow one.
+        assert!(!Request::analyze("x").encode().contains("\"trace\""));
+        assert_eq!(Request::stats().with_trace(header).trace_header(), None);
     }
 
     #[test]
@@ -1578,25 +1919,96 @@ mod tests {
         }
     }
 
+    /// An untraced local span, the shape the pre-tracing protocol carried.
+    fn flat_span(request: u64, name: &str, start_us: u64, end_us: u64) -> TraceSpan {
+        TraceSpan {
+            request,
+            span: name.into(),
+            start_us,
+            end_us,
+            trace: 0,
+            span_id: 0,
+            parent: 0,
+            origin: "in-process".into(),
+        }
+    }
+
+    /// A traced span with tree coordinates and a daemon origin.
+    fn tree_span(request: u64, name: &str, trace: u64, span_id: u64, parent: u64) -> TraceSpan {
+        TraceSpan {
+            request,
+            span: name.into(),
+            start_us: span_id * 10,
+            end_us: span_id * 10 + 5,
+            trace,
+            span_id,
+            parent,
+            origin: "unix:/tmp/a.sock".into(),
+        }
+    }
+
     #[test]
     fn metrics_and_trace_responses_round_trip() {
         round_trip_response(Response::metrics(sample_metrics()));
         round_trip_response(Response::metrics(MetricsSnapshot::default()));
         round_trip_response(Response::trace(vec![
-            TraceSpan {
-                request: 1,
-                span: "parse".into(),
-                start_us: 10,
-                end_us: 25,
-            },
-            TraceSpan {
-                request: 1,
-                span: "fixpoint".into(),
-                start_us: 26,
-                end_us: 900,
-            },
+            flat_span(1, "parse", 10, 25),
+            flat_span(1, "fixpoint", 26, 900),
+            tree_span(2, "serve", 0x2a, 0x1f, 0x10),
         ]));
         round_trip_response(Response::trace(Vec::new()));
+    }
+
+    #[test]
+    fn metrics_history_round_trips() {
+        round_trip_request(Request::metrics_history());
+        round_trip_response(Response::metrics_history(vec![
+            HistorySample {
+                at_us: 1_000_000,
+                metrics: sample_metrics(),
+            },
+            HistorySample {
+                at_us: 2_000_000,
+                metrics: MetricsSnapshot::default(),
+            },
+        ]));
+        round_trip_response(Response::metrics_history(Vec::new()));
+    }
+
+    #[test]
+    fn trace_span_piggyback_rides_on_work_responses() {
+        let spans = vec![tree_span(3, "serve", 0x2a, 0x1f, 0x10)];
+        round_trip_response(
+            Response::peer_entry(PeerNamespace::Summaries, 7, 1, None)
+                .with_trace_spans(spans.clone()),
+        );
+        round_trip_response(
+            Response::batch(vec![Err(ServiceError::new(ErrorKind::Frontend, "nope"))])
+                .with_trace_spans(spans.clone()),
+        );
+        // Absent unless attached — untraced responses keep their exact
+        // pre-tracing bytes — and a no-op on kinds that cannot carry it.
+        assert!(!Response::cleared()
+            .with_trace_spans(spans.clone())
+            .encode()
+            .contains("\"trace_spans\""));
+        assert!(!Response::peer_entry(PeerNamespace::Summaries, 7, 1, None)
+            .encode()
+            .contains("\"trace_spans\""));
+        let mut carried = Response::peer_entry(PeerNamespace::Programs, 1, 1, None)
+            .with_trace_spans(spans.clone());
+        assert_eq!(carried.trace_spans(), &spans[..]);
+        assert_eq!(carried.take_trace_spans(), spans);
+        assert_eq!(carried.trace_spans(), &[] as &[TraceSpan]);
+    }
+
+    #[test]
+    fn wire_spans_adopt_back_into_records() {
+        let span = tree_span(3, "peer-serve", 0x2a, 0x1f, 0x10);
+        let record = span.to_record();
+        assert_eq!(record.origin.as_deref(), Some("unix:/tmp/a.sock"));
+        assert_eq!(record.trace, 0x2a);
+        assert_eq!(TraceSpan::from(&record), span);
     }
 
     #[test]
@@ -1627,25 +2039,10 @@ mod tests {
 
     #[test]
     fn server_span_decoration_merges_in_tick_order() {
-        let engine_spans = vec![TraceSpan {
-            request: 2,
-            span: "fixpoint".into(),
-            start_us: 50,
-            end_us: 90,
-        }];
+        let engine_spans = vec![flat_span(2, "fixpoint", 50, 90)];
         let server_spans = vec![
-            TraceSpan {
-                request: 2,
-                span: "parse".into(),
-                start_us: 40,
-                end_us: 45,
-            },
-            TraceSpan {
-                request: 2,
-                span: "encode".into(),
-                start_us: 95,
-                end_us: 99,
-            },
+            flat_span(2, "parse", 40, 45),
+            flat_span(2, "encode", 95, 99),
         ];
         match Response::trace(engine_spans).with_server_spans(server_spans) {
             Response::Trace { spans, .. } => {
@@ -1657,17 +2054,54 @@ mod tests {
     }
 
     #[test]
+    fn server_span_decoration_dedups_by_span_id() {
+        let shared = tree_span(2, "serve", 0x2a, 0x1f, 0);
+        // Span-id dedup: a slow capture on the server tracer can hold the
+        // same span the service ring still retains.  Id-less (legacy)
+        // spans are never collapsed.
+        let merged = Response::trace(vec![shared.clone(), flat_span(2, "parse", 1, 2)])
+            .with_server_spans(vec![
+                shared,
+                flat_span(2, "parse", 1, 2),
+                tree_span(2, "encode", 0x2a, 0x20, 0x1f),
+            ]);
+        match merged {
+            Response::Trace { spans, .. } => {
+                assert_eq!(spans.iter().filter(|s| s.span == "serve").count(), 1);
+                assert_eq!(spans.iter().filter(|s| s.span == "parse").count(), 2);
+                assert_eq!(spans.iter().filter(|s| s.span == "encode").count(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn trace_ndjson_matches_the_tracer_renderer() {
-        let record = SpanRecord {
+        let flat = SpanRecord {
             request: 3,
-            name: "queue-wait",
+            name: "queue-wait".into(),
             start_us: 7,
             end_us: 19,
+            trace: 0,
+            span_id: 0,
+            parent: 0,
+            origin: Some("in-process".into()),
         };
-        let wire = TraceSpan::from(&record);
+        let traced = SpanRecord {
+            request: 4,
+            name: "serve".into(),
+            start_us: 20,
+            end_us: 90,
+            trace: 0x2a,
+            span_id: 0x1f,
+            parent: 0x10,
+            origin: Some("unix:/tmp/a.sock".into()),
+        };
+        let records = vec![flat, traced];
+        let wire: Vec<TraceSpan> = records.iter().map(TraceSpan::from).collect();
         assert_eq!(
-            TraceSpan::to_ndjson(std::slice::from_ref(&wire)),
-            silobs::Tracer::to_ndjson(&[record]),
+            TraceSpan::to_ndjson(&wire),
+            silobs::Tracer::to_ndjson(&records),
             "wire renderer and in-process renderer must agree byte-for-byte"
         );
     }

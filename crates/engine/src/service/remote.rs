@@ -6,7 +6,7 @@
 //! The JSON encoder escapes every control character, so an encoded message
 //! can never contain a raw newline and the framing is unambiguous.
 
-use super::proto::{Request, Response, ServiceError, PROTOCOL_VERSION};
+use super::proto::{Request, Response, ServiceError, TraceHeader, PROTOCOL_VERSION};
 use super::{Addr, Service};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -260,6 +260,20 @@ impl RemoteService {
     /// arrived).  Callers that meter traffic use this instead of
     /// re-encoding the decoded response to guess at its size.
     pub fn call_counted(&self, request: Request) -> (Response, u64) {
+        // When the caller is itself serving a traced request (the ambient
+        // context carries a trace id), propagate it on the wire so the
+        // callee's spans come back and join this daemon's tree.  Requests
+        // that already carry a header, or kinds that cannot, pass through
+        // untouched — an untraced caller sends byte-identical lines.
+        let request = match silobs::current_context() {
+            Some(ctx) if ctx.trace != 0 && request.trace_header().is_none() => {
+                request.with_trace(TraceHeader {
+                    id: ctx.trace,
+                    parent: ctx.parent,
+                })
+            }
+            _ => request,
+        };
         let line = request.encode();
         match self.exchange(&line) {
             Ok(reply) => {

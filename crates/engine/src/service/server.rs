@@ -32,7 +32,10 @@
 use super::aserver;
 use super::proto::{Request, Response, ServerStats, ServiceError, TraceSpan, PROTOCOL_VERSION};
 use super::{threaded, Addr, Service};
-use silobs::{Counter, Gauge, MetricsSnapshot, Registry, ShardedHistogram, Tracer};
+use silobs::{
+    Counter, FlightRecorder, Gauge, MetricsSnapshot, Registry, ShardedHistogram, TraceContext,
+    Tracer,
+};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -40,7 +43,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which serving strategy a [`Server`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,13 +67,34 @@ impl ServerKind {
 }
 
 /// Construction knobs of a [`Server`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ServerOptions {
     /// Serving strategy (default: threaded).
     pub kind: ServerKind,
     /// Worker threads of the async event loop's pool; `0` sizes it from
     /// the machine's parallelism.  Ignored by the threaded server.
     pub workers: usize,
+    /// Requests whose service call outlasts this many microseconds have
+    /// their span tree captured into the tracer's slow buffer (`silp
+    /// --trace-dump` keeps them past ring churn).  `0` disables.
+    pub slow_us: u64,
+    /// Flight recorder sampling interval in milliseconds (default 1000 —
+    /// one sample per second); `0` disables the recorder thread.
+    pub recorder_interval_ms: u64,
+    /// How many samples the flight recorder retains (default 256).
+    pub recorder_capacity: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            kind: ServerKind::default(),
+            workers: 0,
+            slow_us: 0,
+            recorder_interval_ms: 1000,
+            recorder_capacity: 256,
+        }
+    }
 }
 
 /// Live daemon-side instrumentation, shared between the serving loop
@@ -92,20 +116,24 @@ pub(crate) struct ServerCounters {
     queue_depth: Gauge,
     pending_lines: Gauge,
     tracer: Arc<Tracer>,
+    recorder: Arc<FlightRecorder>,
+    /// Service calls slower than this many microseconds are captured into
+    /// the tracer's slow buffer; 0 disables.
+    slow_us: u64,
     started: Instant,
 }
 
 impl ServerCounters {
-    fn new(kind: ServerKind) -> ServerCounters {
-        ServerCounters::with_started(kind, Instant::now())
+    fn new(options: &ServerOptions) -> ServerCounters {
+        ServerCounters::with_started(options, Instant::now())
     }
 
     /// [`ServerCounters::new`] with an explicit start instant (tests back-
     /// date it to pin the uptime the snapshot must report).
-    fn with_started(kind: ServerKind, started: Instant) -> ServerCounters {
+    fn with_started(options: &ServerOptions, started: Instant) -> ServerCounters {
         let registry = Registry::new();
         ServerCounters {
-            kind,
+            kind: options.kind,
             accepted: registry.counter("server.accepted"),
             active: registry.gauge("server.active"),
             requests: registry.counter("server.requests"),
@@ -113,6 +141,8 @@ impl ServerCounters {
             queue_depth: registry.gauge("server.queue_depth"),
             pending_lines: registry.gauge("server.pending_lines"),
             tracer: Arc::new(Tracer::default()),
+            recorder: Arc::new(FlightRecorder::new(options.recorder_capacity.max(2))),
+            slow_us: options.slow_us,
             registry,
             started,
         }
@@ -163,10 +193,26 @@ impl ServerCounters {
         }
     }
 
-    /// The `server.*` metrics namespace, as spliced into `Metrics`
-    /// responses.
+    /// The `server.*` metrics namespace (plus the server tracer's
+    /// `trace.*` counters), as spliced into `Metrics` responses.  The
+    /// service exports its own tracer's counters too; the splice sums
+    /// them into daemon-wide totals.
     fn metrics(&self) -> MetricsSnapshot {
-        self.registry.collect().summarize()
+        let mut raw = self.registry.collect();
+        self.tracer.export_metrics(&mut raw);
+        raw.summarize()
+    }
+
+    /// One flight-recorder tick: the server registry, the server tracer's
+    /// counters, and everything the service can read, merged raw so
+    /// histogram deltas are exact.
+    fn sample_recorder(&self, service: &(dyn Service + Send + Sync)) {
+        let mut raw = self.registry.collect();
+        self.tracer.export_metrics(&mut raw);
+        if let Some(service_raw) = service.raw_metrics() {
+            raw.absorb(&service_raw);
+        }
+        self.recorder.sample(raw);
     }
 }
 
@@ -223,12 +269,20 @@ impl Server {
             },
             ..options
         };
+        let counters = Arc::new(ServerCounters::new(&options));
+        // Name this daemon on both tracers, so spans piggybacked to a
+        // remote caller say where they were recorded.  First set wins:
+        // a service shared across servers keeps its first address.
+        counters.tracer().set_origin(&resolved.to_string());
+        if let Some(tracer) = service.service_tracer() {
+            tracer.set_origin(&resolved.to_string());
+        }
         Ok(Server {
             listener,
             service,
             shutdown: Arc::new(AtomicBool::new(false)),
             addr: resolved,
-            counters: Arc::new(ServerCounters::new(options.kind)),
+            counters,
             options,
         })
     }
@@ -285,6 +339,7 @@ pub(crate) fn serve_listener(
         Listener::Unix(_, path) => Some(path.clone()),
         Listener::Tcp(_) => None,
     };
+    let sampler = spawn_recorder_sampler(&service, &shutdown, &counters, &options);
     match options.kind {
         ServerKind::Threaded => threaded::serve(listener, service, shutdown, addr, counters),
         #[cfg(target_os = "linux")]
@@ -294,9 +349,41 @@ pub(crate) fn serve_listener(
         #[cfg(not(target_os = "linux"))]
         ServerKind::Async => threaded::serve(listener, service, shutdown, addr, counters),
     }
+    if let Some(sampler) = sampler {
+        let _ = sampler.join();
+    }
     if let Some(path) = socket_path {
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// The flight recorder's sampler: one raw metrics read per interval into
+/// the bounded ring, for as long as the daemon serves.  Sleeps in short
+/// chunks so shutdown stays prompt at any interval.
+fn spawn_recorder_sampler(
+    service: &Arc<dyn Service + Send + Sync>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<ServerCounters>,
+    options: &ServerOptions,
+) -> Option<JoinHandle<()>> {
+    if options.recorder_interval_ms == 0 {
+        return None;
+    }
+    let service = service.clone();
+    let shutdown = shutdown.clone();
+    let counters = counters.clone();
+    let interval = Duration::from_millis(options.recorder_interval_ms);
+    Some(std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            counters.sample_recorder(service.as_ref());
+            let mut slept = Duration::ZERO;
+            while slept < interval && !shutdown.load(Ordering::SeqCst) {
+                let chunk = (interval - slept).min(Duration::from_millis(50));
+                std::thread::sleep(chunk);
+                slept += chunk;
+            }
+        }
+    }))
 }
 
 /// Control handle for a spawned [`Server`].
@@ -379,29 +466,71 @@ pub(crate) fn handle_line(
                 false,
             ),
             Ok(Request::Shutdown { .. }) => (Response::shutting_down(), true),
+            Ok(Request::MetricsHistory { .. }) => (
+                Response::metrics_history(counters.recorder.history()),
+                false,
+            ),
             Ok(request) => {
+                // Every daemon-served request runs under a trace: either
+                // the one the caller propagated on the wire, or a fresh id
+                // minted here — so `silp --trace` sees trees without
+                // clients having to opt in.  The "serve" root span covers
+                // the whole service call; engine spans recorded inside
+                // nest under it via the thread-local parent.
+                let header = request.trace_header();
+                let trace = header.map(|h| h.id).unwrap_or_else(silobs::mint_trace_id);
+                let ctx = TraceContext {
+                    request: id,
+                    trace,
+                    parent: header.map_or(0, |h| h.parent),
+                };
                 let start = silobs::ticks();
-                let mut response = service.call(request);
-                counters
-                    .serve_us
-                    .record(silobs::ticks().saturating_sub(start));
+                let mut response = silobs::with_context(ctx, || {
+                    let _serve = counters.tracer.start("serve");
+                    service.call(request)
+                });
+                let elapsed = silobs::ticks().saturating_sub(start);
+                counters.serve_us.record(elapsed);
                 // Decorate only the response kinds that carry daemon-side
                 // state — never the Analyze/Process hot path.
                 if let Response::Stats { server, .. } = &mut response {
                     *server = Some(counters.snapshot_at(uptime_ticks));
                 }
-                let response = match response {
+                let mut response = match response {
                     Response::Metrics { .. } => response.with_server_metrics(counters.metrics()),
                     Response::Trace { .. } => response.with_server_spans(
                         counters
                             .tracer
-                            .snapshot()
+                            .snapshot_all()
                             .iter()
                             .map(TraceSpan::from)
                             .collect(),
                     ),
                     other => other,
                 };
+                // Piggyback this hop's spans only to callers that sent a
+                // trace header (daemon-to-daemon hops): plain clients keep
+                // byte-identical responses, while the origin daemon
+                // assembles the cross-daemon tree from these.
+                if header.is_some() {
+                    let mut spans: Vec<TraceSpan> = counters
+                        .tracer
+                        .spans_for(trace, id)
+                        .iter()
+                        .map(TraceSpan::from)
+                        .collect();
+                    if let Some(tracer) = service.service_tracer() {
+                        spans.extend(tracer.spans_for(trace, id).iter().map(TraceSpan::from));
+                    }
+                    response = response.with_trace_spans(spans);
+                }
+                if counters.slow_us > 0 && elapsed > counters.slow_us {
+                    let mut capture = counters.tracer.spans_for(trace, id);
+                    if let Some(tracer) = service.service_tracer() {
+                        capture.extend(tracer.spans_for(trace, id));
+                    }
+                    counters.tracer.capture_slow(capture);
+                }
                 (response, false)
             }
         };
@@ -452,7 +581,11 @@ mod tests {
         let started = Instant::now()
             .checked_sub(Duration::from_secs(10))
             .expect("clock predates process start");
-        let counters = ServerCounters::with_started(ServerKind::Threaded, started);
+        let options = ServerOptions {
+            kind: ServerKind::Threaded,
+            ..ServerOptions::default()
+        };
+        let counters = ServerCounters::with_started(&options, started);
         let service = Slow(LocalService::new(EngineConfig::default()));
         let id = counters.tracer().mint();
         let line = match handle_line(&service, &counters, id, &Request::stats().encode()) {
@@ -474,7 +607,7 @@ mod tests {
 
     #[test]
     fn handle_line_attributes_spans_to_the_minted_id() {
-        let counters = ServerCounters::new(ServerKind::Threaded);
+        let counters = ServerCounters::new(&ServerOptions::default());
         let service = LocalService::new(EngineConfig::default());
         let id = counters.tracer().mint();
         match handle_line(&service, &counters, id, &Request::clear_caches().encode()) {
@@ -485,8 +618,76 @@ mod tests {
         let names: Vec<&str> = spans
             .iter()
             .filter(|span| span.request == id)
-            .map(|span| span.name)
+            .map(|span| span.name.as_ref())
             .collect();
-        assert_eq!(names, vec!["parse", "encode"]);
+        assert_eq!(names, vec!["parse", "serve", "encode"]);
+    }
+
+    /// A service call outlasting `--slow-us` lands its span tree in the
+    /// slow buffer: visible via `snapshot_all`, counted by the
+    /// `trace.slow_captures` metric.
+    #[test]
+    fn slow_requests_are_captured_past_ring_churn() {
+        let options = ServerOptions {
+            slow_us: 1, // the 1.2s Slow service always trips this
+            ..ServerOptions::default()
+        };
+        let counters = ServerCounters::new(&options);
+        let service = Slow(LocalService::new(EngineConfig::default()));
+        let id = counters.tracer().mint();
+        match handle_line(&service, &counters, id, &Request::analyze("f(){}").encode()) {
+            LineOutcome::Respond(_) => {}
+            LineOutcome::ShutdownAfter(_) => panic!("analyze must keep serving"),
+        }
+        let dump = counters.tracer().snapshot_all();
+        let captured = dump
+            .iter()
+            .filter(|span| span.request == id && span.name == "serve")
+            .count();
+        assert!(captured > 0, "slow serve span survives in the dump");
+        let metrics = counters.metrics();
+        assert_eq!(metrics.counter("trace.slow_captures"), Some(1));
+    }
+
+    /// The recorder sampler path: two manual ticks produce a monotone
+    /// `server.requests` series a `metrics_history` response can diff.
+    #[test]
+    fn metrics_history_answers_from_the_recorder() {
+        let counters = ServerCounters::new(&ServerOptions::default());
+        let service = LocalService::new(EngineConfig::default());
+        let id = counters.tracer().mint();
+        counters.sample_recorder(&service);
+        match handle_line(&service, &counters, id, &Request::analyze("f(){}").encode()) {
+            LineOutcome::Respond(_) => {}
+            LineOutcome::ShutdownAfter(_) => panic!("analyze must keep serving"),
+        }
+        counters.sample_recorder(&service);
+        let line = match handle_line(
+            &service,
+            &counters,
+            counters.tracer().mint(),
+            &Request::metrics_history().encode(),
+        ) {
+            LineOutcome::Respond(line) => line,
+            LineOutcome::ShutdownAfter(_) => panic!("metrics_history must keep serving"),
+        };
+        match Response::decode(&line).expect("metrics_history response decodes") {
+            Response::MetricsHistory { samples, .. } => {
+                assert!(samples.len() >= 2, "both manual ticks retained");
+                let requests: Vec<u64> = samples
+                    .iter()
+                    .map(|sample| sample.metrics.counter("server.requests").unwrap_or(0))
+                    .collect();
+                assert!(
+                    requests.windows(2).all(|pair| pair[0] <= pair[1]),
+                    "counter series is monotone: {requests:?}"
+                );
+                assert!(
+                    requests.last() > requests.first(),
+                    "the analyze in between moved the counter"
+                );
+            }
+            other => panic!("expected metrics history, got {other:?}"),
+        }
     }
 }

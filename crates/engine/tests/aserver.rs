@@ -32,6 +32,7 @@ fn spawn_async(addr: &Addr, shards: usize) -> (Arc<ShardedService>, ServerHandle
         ServerOptions {
             kind: ServerKind::Async,
             workers: 0,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -140,6 +141,7 @@ fn async_soak_tcp_64_clients_match_oracle() {
         ServerOptions {
             kind: ServerKind::Async,
             workers: 0,
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -273,7 +275,11 @@ fn async_and_threaded_answer_identical_bytes() {
         let server = Server::bind_with(
             &temp_socket(name),
             service,
-            ServerOptions { kind, workers: 0 },
+            ServerOptions {
+                kind,
+                workers: 0,
+                ..ServerOptions::default()
+            },
         )
         .unwrap();
         server.spawn()

@@ -574,3 +574,121 @@ fn trace_dump_emits_ndjson_spans() {
     }
     daemon.stop();
 }
+
+/// The tracer's health counters ride every `--metrics` table: the ring's
+/// overflow count and the slow-capture count are visible whether the
+/// service is in-process or a daemon.
+#[test]
+fn metrics_include_trace_health_counters() {
+    let output = silp()
+        .args(["--metrics", "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("trace.dropped_spans"), "{stderr}");
+    assert!(stderr.contains("trace.slow_captures"), "{stderr}");
+}
+
+/// `--trace <req>` renders one request's span tree: a header naming the
+/// trace, the `serve` root covering the service call, and the engine's
+/// spans indented beneath it with per-hop durations.
+#[test]
+fn silp_trace_renders_an_indented_tree() {
+    let daemon = Daemon::launch("tree", "2");
+    let warmup = silp()
+        .args(["--connect", daemon.addr.as_str(), "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(warmup.status.success(), "{}", stderr_of(&warmup));
+
+    // Pick the request id of the analyze out of the dump — the request
+    // whose fixpoint span the engine recorded (the handshake's stats
+    // request is served and traced too, but does no analysis).
+    let dump = silp()
+        .args(["--connect", daemon.addr.as_str(), "--trace-dump"])
+        .output()
+        .unwrap();
+    assert!(dump.status.success(), "{}", stderr_of(&dump));
+    let dump = String::from_utf8_lossy(&dump.stdout).to_string();
+    let request = dump
+        .lines()
+        .find(|line| line.contains("\"span\":\"fixpoint\""))
+        .and_then(|line| line.strip_prefix("{\"request\":"))
+        .and_then(|rest| rest.split(',').next())
+        .expect("a fixpoint span in the dump")
+        .to_string();
+
+    let output = silp()
+        .args(["--connect", daemon.addr.as_str(), "--trace", &request])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(
+        stdout.starts_with("trace "),
+        "daemon-served requests are traced:\n{stdout}"
+    );
+    assert!(stdout.contains(&format!("request {request}")), "{stdout}");
+    let indent = |name: &str| {
+        stdout
+            .lines()
+            .find(|line| line.trim_start().starts_with(name))
+            .map(|line| line.len() - line.trim_start().len())
+            .unwrap_or_else(|| panic!("missing {name} in:\n{stdout}"))
+    };
+    assert!(
+        indent("fixpoint") > indent("serve"),
+        "engine spans nest under the serve root:\n{stdout}"
+    );
+    assert!(stdout.contains("µs"), "per-hop durations render: {stdout}");
+    daemon.stop();
+}
+
+/// `--top` against a live daemon: with a fast recorder interval, two
+/// frames render rates and per-interval quantiles computed as deltas
+/// between at least two flight-recorder samples.
+#[test]
+fn silp_top_renders_live_recorder_deltas() {
+    let daemon = Daemon::launch_with("top", "2", &["--recorder-interval", "50"]);
+    let warmup = silp()
+        .args(["--connect", daemon.addr.as_str(), "--workload", "tree_sum"])
+        .output()
+        .unwrap();
+    assert!(warmup.status.success(), "{}", stderr_of(&warmup));
+
+    let output = silp()
+        .args([
+            "--connect",
+            daemon.addr.as_str(),
+            "--top",
+            "--refresh",
+            "60",
+            "--iterations",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stdout = String::from_utf8_lossy(&output.stdout).to_string();
+    assert_eq!(
+        stdout.matches("sild top —").count(),
+        2,
+        "two frames:\n{stdout}"
+    );
+    assert!(stdout.contains("req/s"), "{stdout}");
+    assert!(stdout.contains("serve p99"), "{stdout}");
+    assert!(stdout.contains("queue depth"), "{stdout}");
+    // Every frame names its sample window, proving the frame was computed
+    // from at least two recorder samples rather than lifetime totals.
+    assert_eq!(stdout.matches("samples, window").count(), 2, "{stdout}");
+    daemon.stop();
+}
+
+/// `--top` without a daemon is a parse error: only daemons host recorders.
+#[test]
+fn silp_top_requires_connect() {
+    let output = silp().args(["--top"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(stderr_of(&output).contains("--top needs --connect"));
+}

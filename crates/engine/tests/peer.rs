@@ -485,3 +485,89 @@ fn background_gossip_loop_learns_and_shuts_down() {
 
     warm_handle.shutdown();
 }
+
+/// The trace-tree acceptance path: a client request served by an origin
+/// daemon, routed through a shard, missing locally and fetched from a warm
+/// peer, leaves ONE assembled span tree on the origin — the origin's
+/// `serve` root, its `peer-fetch` hop, and under that hop the peer's own
+/// `serve` span, adopted off the wire and tagged with the peer's address.
+#[test]
+fn traced_peer_fetch_assembles_one_cross_daemon_tree() {
+    use sil_engine::service::TraceSpan;
+
+    let (warm_service, warm_handle) = spawn_daemon("trace-warm");
+    let src = Workload::TreeSum.source(5);
+    analyze(&warm_service, &src);
+
+    // The origin is a full daemon (its server mints the trace), peered to
+    // the warm one.
+    let origin_service = Arc::new(ShardedService::new(2, EngineConfig::default()));
+    let ring = test_ring(&origin_service, vec![warm_handle.addr().clone()]);
+    ring.gossip_once();
+    let origin_server = Server::bind(&temp_socket("trace-origin"), origin_service).unwrap();
+    let origin_addr = origin_server.addr().to_string();
+    let warm_addr = warm_handle.addr().to_string();
+    let origin_handle = origin_server.spawn();
+
+    let client = RemoteService::connect(&origin_addr).unwrap();
+    match client.call(Request::analyze(&src)) {
+        Response::Analyzed { summary, .. } => {
+            assert!(summary.cache_hit, "the peer fetch serves as a hit")
+        }
+        other => panic!("expected analyzed, got {other:?}"),
+    }
+
+    let spans: Vec<TraceSpan> = match client.call(Request::trace_dump()) {
+        Response::Trace { spans, .. } => spans,
+        other => panic!("expected trace, got {other:?}"),
+    };
+
+    // The origin's serve root for the analyze, and the trace it minted.
+    let serve = spans
+        .iter()
+        .find(|s| s.span == "serve" && s.origin == origin_addr)
+        .expect("the origin's serve root is in its dump");
+    assert_ne!(serve.trace, 0, "daemon-served requests are traced");
+    let tree: Vec<&TraceSpan> = spans.iter().filter(|s| s.trace == serve.trace).collect();
+
+    let fetch = tree
+        .iter()
+        .find(|s| s.span == "peer-fetch")
+        .expect("the fetch hop joins the tree");
+    assert_eq!(fetch.origin, origin_addr, "the hop ran on the origin");
+
+    // The peer's serve span came back piggybacked on the peer_entry
+    // response and was adopted: same trace, parented under the origin's
+    // peer-fetch span, tagged with the peer's listen address.
+    let remote = tree
+        .iter()
+        .find(|s| s.span == "serve" && s.origin == warm_addr)
+        .expect("the peer's serve span was adopted into the origin's dump");
+    assert_eq!(
+        remote.parent, fetch.span_id,
+        "the remote hop nests under the origin's peer-fetch span"
+    );
+    assert_ne!(remote.span_id, 0);
+    assert!(remote.end_us >= remote.start_us);
+
+    // One tree, not two: every span of the trace reaches the serve root
+    // by walking parents within the trace (or is the root itself).
+    for span in &tree {
+        let mut cursor = *span;
+        let mut hops = 0;
+        while cursor.span_id != serve.span_id {
+            let Some(parent) = tree.iter().find(|s| s.span_id == cursor.parent) else {
+                panic!(
+                    "span {} (origin {}) does not reach the serve root",
+                    cursor.span, cursor.origin
+                );
+            };
+            cursor = parent;
+            hops += 1;
+            assert!(hops < 64, "parent cycle in the assembled tree");
+        }
+    }
+
+    origin_handle.shutdown();
+    warm_handle.shutdown();
+}

@@ -181,6 +181,38 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The distribution of samples recorded between `earlier` and `self`
+    /// (two cumulative snapshots of the same histogram): per-bucket
+    /// subtraction, which is exact because buckets only ever grow.  The
+    /// interval's true min/max are not recoverable from cumulative
+    /// snapshots, so they are reconstructed from the outermost nonempty
+    /// delta buckets' bounds — within one bucket width of the truth,
+    /// the same error budget quantiles already carry.  This is what turns
+    /// a flight recorder's cumulative samples into per-interval latency
+    /// quantiles.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        debug_assert_eq!(self.buckets.len(), earlier.buckets.len());
+        let mut out = HistogramSnapshot::empty();
+        let mut count = 0u64;
+        for (index, (now, then)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            let n = now.saturating_sub(*then);
+            if n == 0 {
+                continue;
+            }
+            out.buckets[index] = n;
+            count += n;
+            let (low, high) = bucket_bounds(index);
+            out.min = out.min.min(low);
+            out.max = out.max.max(high.min(self.max));
+        }
+        out.count = count;
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if count > 0 {
+            out.min = out.min.max(self.min);
+        }
+        out
+    }
+
     /// The value at quantile `q` in `[0, 1]`: the midpoint of the bucket
     /// holding the `ceil(q·count)`-th smallest sample, clamped to the
     /// exact observed `[min, max]`.  Returns 0 on an empty histogram.
@@ -386,6 +418,34 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn delta_recovers_the_interval_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in 10_001..=11_000u64 {
+            h.record(v);
+        }
+        let interval = h.snapshot().delta(&earlier);
+        assert_eq!(interval.count(), 1000);
+        assert_eq!(interval.sum(), (10_001..=11_000u64).sum::<u64>());
+        // The interval's quantiles reflect only the new samples, not the
+        // cumulative distribution (whose p50 would sit near 10 000 too,
+        // but whose min is 1).
+        // Reconstructed bounds are within one bucket width of the truth —
+        // far above the cumulative min of 1, no higher than the true max.
+        assert!(interval.min() >= 9_000, "min = {}", interval.min());
+        assert!(interval.max() <= 11_000, "max = {}", interval.max());
+        let p50 = interval.p50();
+        assert!((10_001..=11_100).contains(&p50), "interval p50 = {p50}");
+        // No new samples → an empty interval.
+        let same = h.snapshot().delta(&h.snapshot());
+        assert!(same.is_empty());
+        assert_eq!(same.p99(), 0);
     }
 
     #[test]

@@ -200,6 +200,34 @@ impl RawMetrics {
         }
     }
 
+    /// Collapse to the compact wire shape with **interval** histogram
+    /// summaries: counters and gauges stay cumulative (consumers diff
+    /// them between samples), but each histogram is summarized over only
+    /// the samples recorded since `earlier` (a previous read of the same
+    /// instruments), via [`HistogramSnapshot::delta`].  This is the
+    /// flight recorder's sample shape — a true per-interval p99 instead
+    /// of an ever-flattening lifetime quantile.
+    pub fn summarize_interval(&self, earlier: &RawMetrics) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, snapshot)| {
+                    let interval = match earlier
+                        .histograms
+                        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+                    {
+                        Ok(at) => snapshot.delta(&earlier.histograms[at].1),
+                        Err(_) => snapshot.clone(),
+                    };
+                    (name.clone(), HistogramSummary::of(&interval))
+                })
+                .collect(),
+        }
+    }
+
     /// Collapse to the compact wire shape: histograms become quantile
     /// summaries.
     pub fn summarize(&self) -> MetricsSnapshot {

@@ -1,31 +1,80 @@
 //! Lightweight structured tracing: per-request span records in a bounded
-//! ring buffer.
+//! ring buffer, stitched into **trace trees** that can cross daemons.
 //!
 //! A request id is minted once where the request enters the process (the
 //! server's line framing, or the engine itself for in-process use) and
 //! propagated through a thread-local ([`with_request`]) — both serving
 //! strategies dispatch to the engine synchronously on the handling
 //! thread, so the thread-local is exactly as wide as the request.  Layers
-//! record named spans against [`current_request`]; the ring keeps the most
-//! recent spans and drops the oldest, so tracing is always on and never
-//! grows without bound.
+//! record named spans against the current context; the ring keeps the
+//! most recent spans and drops the oldest (counted in
+//! [`Tracer::dropped_spans`]), so tracing is always on and never grows
+//! without bound.
+//!
+//! On top of the flat ring, spans carry three tree-building fields:
+//!
+//! - a **trace id**, minted once per causal story ([`mint_trace_id`],
+//!   seeded per process so ids from different daemons do not collide) and
+//!   forwarded across the wire, so every hop of a request — shard
+//!   dispatch, peer fetch, the remote daemon's own serving — lands in the
+//!   same tree;
+//! - a **span id** minted per span; and
+//! - a **parent** span id: [`Tracer::start`] publishes its freshly minted
+//!   span id as the thread-local parent for its scope, so nested
+//!   [`SpanTimer`]s parent naturally and a remote callee can parent its
+//!   root under the caller's in-flight span.
+//!
+//! Spans fetched back from another daemon are [`Tracer::adopt`]ed into
+//! the local ring with their `origin` (the remote daemon's listen
+//! address) preserved, so one dump renders the whole cross-daemon tree.
+//! Requests slower than a configured threshold can be
+//! [`Tracer::capture_slow`]ed into a dedicated bounded buffer that the
+//! main ring's churn never evicts.
 
 use crate::clock::ticks;
+use crate::metrics::RawMetrics;
+use std::borrow::Cow;
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// One completed span: a named interval attributed to a request.
-/// Timestamps are process ticks (microseconds, see [`crate::ticks`]).
+/// The per-thread trace context: which request this thread is serving,
+/// which trace (if any) it belongs to, and the span id new spans should
+/// parent under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The daemon-local request id; 0 never occurs in a live context.
+    pub request: u64,
+    /// The cluster-wide trace id; 0 means "untraced" (no tree).
+    pub trace: u64,
+    /// The span id new spans parent under; 0 means "root".
+    pub parent: u64,
+}
+
+/// One completed span: a named interval attributed to a request, with
+/// optional tree coordinates.  Timestamps are process ticks
+/// (microseconds, see [`crate::ticks`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// The request this span belongs to; 0 means "no request context".
     pub request: u64,
-    /// Static span name (`parse`, `fixpoint`, `queue-wait`, ...).
-    pub name: &'static str,
+    /// Span name (`parse`, `fixpoint`, `queue-wait`, ...).  Borrowed for
+    /// locally recorded spans; owned for spans adopted off the wire.
+    pub name: Cow<'static, str>,
     pub start_us: u64,
     pub end_us: u64,
+    /// The trace this span belongs to; 0 means untraced.
+    pub trace: u64,
+    /// This span's own id (unique per process seed; 0 never occurs for
+    /// spans recorded through this module).
+    pub span_id: u64,
+    /// The parent span id; 0 means this span is a root of its trace.
+    pub parent: u64,
+    /// Which daemon recorded the span.  `None` means "this tracer" and is
+    /// resolved to the tracer's origin on snapshot; `Some` is preserved
+    /// verbatim for spans adopted from a remote daemon.
+    pub origin: Option<Arc<str>>,
 }
 
 impl SpanRecord {
@@ -35,34 +84,97 @@ impl SpanRecord {
 }
 
 thread_local! {
-    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
 }
 
-/// Run `f` with `id` as the current request id on this thread, restoring
-/// the previous id (supporting nesting) on exit.
+/// Run `f` with `id` as the current request id on this thread (untraced),
+/// restoring the previous context (supporting nesting) on exit.
 pub fn with_request<R>(id: u64, f: impl FnOnce() -> R) -> R {
-    let previous = CURRENT_REQUEST.with(|current| current.replace(id));
+    with_context(
+        TraceContext {
+            request: id,
+            trace: 0,
+            parent: 0,
+        },
+        f,
+    )
+}
+
+/// Run `f` under `ctx` on this thread, restoring the previous context
+/// (supporting nesting) on exit.
+pub fn with_context<R>(ctx: TraceContext, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT.with(|current| current.replace(Some(ctx)));
     let result = f();
-    CURRENT_REQUEST.with(|current| current.set(previous));
+    CURRENT.with(|current| current.set(previous));
     result
 }
 
-/// The request id set by the innermost [`with_request`] on this thread.
-pub fn current_request() -> Option<u64> {
-    let id = CURRENT_REQUEST.with(Cell::get);
-    if id == 0 {
-        None
-    } else {
-        Some(id)
+/// [`with_context`] when the context may be absent — the shape needed to
+/// forward a captured context into a scoped worker thread.
+pub fn with_context_opt<R>(ctx: Option<TraceContext>, f: impl FnOnce() -> R) -> R {
+    match ctx {
+        Some(ctx) => with_context(ctx, f),
+        None => f(),
     }
 }
 
-/// A bounded ring of [`SpanRecord`]s plus the request-id mint.
+/// The context set by the innermost [`with_context`] on this thread.
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
+/// The request id set by the innermost [`with_request`]/[`with_context`]
+/// on this thread.
+pub fn current_request() -> Option<u64> {
+    current_context().map(|ctx| ctx.request)
+}
+
+/// Mint a process-unique span id.  The counter is seeded from the pid and
+/// the wall clock so two daemons' id ranges are disjoint in practice —
+/// a trace assembled from several daemons never sees a collision.
+pub fn mint_span_id() -> u64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    let next = NEXT.get_or_init(|| AtomicU64::new(seed()));
+    loop {
+        let id = next.fetch_add(1, Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Mint a cluster-unique trace id (same id space as span ids).
+pub fn mint_trace_id() -> u64 {
+    mint_span_id()
+}
+
+/// splitmix64 of (pid, now): a well-spread 64-bit starting point.
+fn seed() -> u64 {
+    let pid = std::process::id() as u64;
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = pid.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ now;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many slow-request captures the dedicated buffer retains.
+const SLOW_CAPTURES: usize = 32;
+
+/// A bounded ring of [`SpanRecord`]s plus the request-id mint, a
+/// dedicated buffer of slow-request captures, and eviction counters.
 #[derive(Debug)]
 pub struct Tracer {
     ring: Mutex<VecDeque<SpanRecord>>,
     capacity: usize,
+    slow: Mutex<VecDeque<Vec<SpanRecord>>>,
     next_id: AtomicU64,
+    dropped: AtomicU64,
+    slow_captures: AtomicU64,
+    origin: OnceLock<Arc<str>>,
 }
 
 impl Default for Tracer {
@@ -77,7 +189,11 @@ impl Tracer {
         Tracer {
             ring: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
+            slow: Mutex::new(VecDeque::new()),
             next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            slow_captures: AtomicU64::new(0),
+            origin: OnceLock::new(),
         }
     }
 
@@ -85,73 +201,260 @@ impl Tracer {
         self.capacity
     }
 
+    /// Name this tracer's daemon (its listen address).  First call wins;
+    /// before any call the origin is `"in-process"`.
+    pub fn set_origin(&self, origin: &str) {
+        let _ = self.origin.set(Arc::from(origin));
+    }
+
+    /// The identity stamped on this tracer's own spans.
+    pub fn origin(&self) -> Arc<str> {
+        self.origin.get_or_init(|| Arc::from("in-process")).clone()
+    }
+
     /// Mint a fresh request id (1, 2, 3, ... — never 0).
     pub fn mint(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Record a completed span, evicting the oldest record when full.
+    /// Spans evicted from the ring to make room — the count behind the
+    /// `trace.dropped_spans` metric.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Slow requests captured into the dedicated buffer.
+    pub fn slow_captures(&self) -> u64 {
+        self.slow_captures.load(Ordering::Relaxed)
+    }
+
+    /// Export this tracer's eviction counters into a raw metrics read.
+    /// Counters sum on name collision, so a server and its service each
+    /// exporting their own tracer yields the daemon-wide totals.
+    pub fn export_metrics(&self, raw: &mut RawMetrics) {
+        raw.push_counter("trace.dropped_spans", self.dropped_spans());
+        raw.push_counter("trace.slow_captures", self.slow_captures());
+    }
+
+    /// Record a completed span with no tree coordinates (the shape of
+    /// spans minted before any context exists, like async queue-wait).
     pub fn record(&self, request: u64, name: &'static str, start_us: u64, end_us: u64) {
-        let mut ring = self.ring.lock().unwrap();
-        if ring.len() == self.capacity {
-            ring.pop_front();
-        }
-        ring.push_back(SpanRecord {
+        self.record_span(SpanRecord {
             request,
-            name,
+            name: Cow::Borrowed(name),
             start_us,
             end_us,
+            trace: 0,
+            span_id: mint_span_id(),
+            parent: 0,
+            origin: None,
         });
     }
 
-    /// Start a span attributed to [`current_request`] (or request 0);
-    /// it records itself when the returned guard drops.
+    /// Record a completed span, evicting (and counting) the oldest record
+    /// when full.
+    pub fn record_span(&self, span: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// Start a span attributed to the current context (or request 0); it
+    /// records itself when the returned guard drops.  For the guard's
+    /// lifetime the thread-local parent is this span's id, so nested
+    /// spans — including spans recorded by a *remote* daemon the thread
+    /// calls into — become its children.
     pub fn start(&self, name: &'static str) -> SpanTimer<'_> {
+        let ctx = current_context();
+        let span_id = mint_span_id();
+        if let Some(ctx) = ctx {
+            CURRENT.with(|current| {
+                current.set(Some(TraceContext {
+                    parent: span_id,
+                    ..ctx
+                }))
+            });
+        }
         SpanTimer {
             tracer: self,
             name,
-            request: current_request().unwrap_or(0),
+            ctx,
+            span_id,
             start_us: ticks(),
         }
     }
 
-    /// The retained spans, oldest first.
+    /// Copy `spans` (a slow request's tree, gathered across tracers) into
+    /// the dedicated slow buffer, which holds the 32 most recent captures
+    /// regardless of main-ring churn.
+    pub fn capture_slow(&self, spans: Vec<SpanRecord>) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut slow = self.slow.lock().unwrap();
+        if slow.len() == SLOW_CAPTURES {
+            slow.pop_front();
+        }
+        slow.push_back(spans);
+        self.slow_captures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adopt spans fetched from another daemon: records with an ill-formed
+    /// name or origin are dropped, and span ids already present are
+    /// skipped so re-fetching a hop never duplicates its subtree.
+    pub fn adopt(&self, spans: Vec<SpanRecord>) {
+        let mut seen: HashSet<u64> = {
+            let ring = self.ring.lock().unwrap();
+            ring.iter().map(|s| s.span_id).collect()
+        };
+        for span in spans {
+            if span.span_id == 0 || !seen.insert(span.span_id) {
+                continue;
+            }
+            if !wire_safe(&span.name) || !span.origin.as_deref().is_some_and(wire_safe) {
+                continue;
+            }
+            self.record_span(span);
+        }
+    }
+
+    /// The retained ring spans, oldest first, origins resolved.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        self.ring.lock().unwrap().iter().copied().collect()
+        let origin = self.origin();
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|span| resolve(span, &origin))
+            .collect()
+    }
+
+    /// Ring spans plus slow captures, deduplicated by span id — the view
+    /// a trace dump serves, where a captured slow request outlives its
+    /// ring eviction.
+    pub fn snapshot_all(&self) -> Vec<SpanRecord> {
+        let mut spans = self.snapshot();
+        let mut seen: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let origin = self.origin();
+        let slow = self.slow.lock().unwrap();
+        for capture in slow.iter() {
+            for span in capture {
+                if seen.insert(span.span_id) {
+                    spans.push(resolve(span, &origin));
+                }
+            }
+        }
+        spans
+    }
+
+    /// Every retained span belonging to `trace`, plus untraced spans
+    /// attributed to `request` (async queue-wait is recorded before the
+    /// wire header is parsed, so it links by request id only).  Origins
+    /// resolved — this is the shape piggybacked to a remote caller.
+    pub fn spans_for(&self, trace: u64, request: u64) -> Vec<SpanRecord> {
+        let origin = self.origin();
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|span| {
+                (trace != 0 && span.trace == trace) || (span.trace == 0 && span.request == request)
+            })
+            .map(|span| resolve(span, &origin))
+            .collect()
     }
 
     /// Render spans as ndjson, one object per line (trailing newline
-    /// included when nonempty).  Span names are static identifiers, so no
-    /// JSON escaping is required.
+    /// included when nonempty).  Span names and origins are identifiers
+    /// and addresses (adoption rejects anything else), so no JSON
+    /// escaping is required.  Untraced spans keep the historical field
+    /// set plus `origin`; traced spans add their tree coordinates as hex.
     pub fn to_ndjson(spans: &[SpanRecord]) -> String {
         let mut out = String::new();
         for span in spans {
             out.push_str(&format!(
-                "{{\"request\":{},\"span\":\"{}\",\"start_us\":{},\"end_us\":{},\"duration_us\":{}}}\n",
+                "{{\"request\":{},\"span\":\"{}\",\"start_us\":{},\"end_us\":{},\"duration_us\":{}",
                 span.request,
                 span.name,
                 span.start_us,
                 span.end_us,
                 span.duration_us()
             ));
+            if span.trace != 0 {
+                out.push_str(&format!(
+                    ",\"trace\":\"{:x}\",\"span_id\":\"{:x}\",\"parent\":\"{:x}\"",
+                    span.trace, span.span_id, span.parent
+                ));
+            }
+            out.push_str(&format!(
+                ",\"origin\":\"{}\"}}\n",
+                span.origin.as_deref().unwrap_or("in-process")
+            ));
         }
         out
     }
 }
 
-/// Drop guard returned by [`Tracer::start`]; records the span on drop.
+fn resolve(span: &SpanRecord, origin: &Arc<str>) -> SpanRecord {
+    let mut span = span.clone();
+    if span.origin.is_none() {
+        span.origin = Some(origin.clone());
+    }
+    span
+}
+
+/// Safe to embed unescaped in JSON and ndjson: span names (`peer-fetch`)
+/// and daemon addresses (`unix:/tmp/a.sock`, `127.0.0.1:4400`).
+fn wire_safe(text: &str) -> bool {
+    !text.is_empty()
+        && text.len() <= 128
+        && text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':' | '/'))
+}
+
+/// Drop guard returned by [`Tracer::start`]; records the span on drop and
+/// restores the thread-local parent it displaced.
 #[derive(Debug)]
 pub struct SpanTimer<'a> {
     tracer: &'a Tracer,
     name: &'static str,
-    request: u64,
+    ctx: Option<TraceContext>,
+    span_id: u64,
     start_us: u64,
+}
+
+impl SpanTimer<'_> {
+    /// This span's id — what a cross-daemon callee's root will name as
+    /// its parent.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
 }
 
 impl Drop for SpanTimer<'_> {
     fn drop(&mut self) {
-        self.tracer
-            .record(self.request, self.name, self.start_us, ticks());
+        let end_us = ticks();
+        let (request, trace, parent) = match self.ctx {
+            Some(ctx) => {
+                CURRENT.with(|current| current.set(Some(ctx)));
+                (ctx.request, ctx.trace, ctx.parent)
+            }
+            None => (0, 0, 0),
+        };
+        self.tracer.record_span(SpanRecord {
+            request,
+            name: Cow::Borrowed(self.name),
+            start_us: self.start_us,
+            end_us,
+            trace,
+            span_id: self.span_id,
+            parent,
+            origin: None,
+        });
     }
 }
 
@@ -168,7 +471,7 @@ mod tests {
     }
 
     #[test]
-    fn ring_is_bounded_and_drops_oldest() {
+    fn ring_is_bounded_and_counts_dropped_spans() {
         let tracer = Tracer::new(3);
         for i in 0..5u64 {
             tracer.record(i, "parse", i * 10, i * 10 + 1);
@@ -179,6 +482,12 @@ mod tests {
             spans.iter().map(|s| s.request).collect::<Vec<_>>(),
             vec![2, 3, 4]
         );
+        assert_eq!(tracer.dropped_spans(), 2);
+        let mut raw = RawMetrics::new();
+        tracer.export_metrics(&mut raw);
+        let snap = raw.summarize();
+        assert_eq!(snap.counter("trace.dropped_spans"), Some(2));
+        assert_eq!(snap.counter("trace.slow_captures"), Some(0));
     }
 
     #[test]
@@ -208,6 +517,88 @@ mod tests {
     }
 
     #[test]
+    fn nested_timers_parent_under_the_enclosing_span() {
+        let tracer = Tracer::new(8);
+        let ctx = TraceContext {
+            request: 1,
+            trace: mint_trace_id(),
+            parent: 0,
+        };
+        with_context(ctx, || {
+            let outer = tracer.start("serve");
+            let outer_id = outer.span_id();
+            {
+                let inner = tracer.start("fixpoint");
+                assert_eq!(current_context().unwrap().parent, inner.span_id());
+            }
+            // Dropping the inner timer restores the outer span as parent.
+            assert_eq!(current_context().unwrap().parent, outer_id);
+            drop(outer);
+            assert_eq!(current_context().unwrap().parent, 0);
+        });
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "fixpoint").unwrap();
+        let outer = spans.iter().find(|s| s.name == "serve").unwrap();
+        assert_eq!(inner.parent, outer.span_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.trace, ctx.trace);
+    }
+
+    #[test]
+    fn slow_captures_survive_ring_eviction() {
+        let tracer = Tracer::new(2);
+        tracer.record(1, "fixpoint", 0, 9000);
+        let capture = tracer.spans_for(0, 1);
+        assert_eq!(capture.len(), 1);
+        tracer.capture_slow(capture);
+        assert_eq!(tracer.slow_captures(), 1);
+        // Churn the ring until the original span is gone.
+        for i in 0..4u64 {
+            tracer.record(50 + i, "parse", 0, 1);
+        }
+        assert!(tracer.snapshot().iter().all(|s| s.name != "fixpoint"));
+        let all = tracer.snapshot_all();
+        assert!(all.iter().any(|s| s.name == "fixpoint"));
+        // No duplicates when the span is still in the ring.
+        tracer.record(9, "encode", 0, 1);
+        tracer.capture_slow(tracer.spans_for(0, 9));
+        let all = tracer.snapshot_all();
+        assert_eq!(all.iter().filter(|s| s.name == "encode").count(), 1);
+    }
+
+    #[test]
+    fn adopt_skips_duplicates_and_unsafe_records() {
+        let tracer = Tracer::new(8);
+        let span = SpanRecord {
+            request: 3,
+            name: Cow::Owned("peer-serve".to_string()),
+            start_us: 5,
+            end_us: 9,
+            trace: 7,
+            span_id: 11,
+            parent: 2,
+            origin: Some(Arc::from("unix:/tmp/peer.sock")),
+        };
+        tracer.adopt(vec![span.clone(), span.clone()]);
+        assert_eq!(tracer.snapshot().len(), 1);
+        tracer.adopt(vec![span.clone()]);
+        assert_eq!(tracer.snapshot().len(), 1, "re-adoption must dedup");
+        let hostile = SpanRecord {
+            name: Cow::Owned("bad\"name".to_string()),
+            span_id: 12,
+            ..span.clone()
+        };
+        let unoriginated = SpanRecord {
+            origin: None,
+            span_id: 13,
+            ..span
+        };
+        tracer.adopt(vec![hostile, unoriginated]);
+        assert_eq!(tracer.snapshot().len(), 1);
+    }
+
+    #[test]
     fn ndjson_is_one_object_per_line() {
         let tracer = Tracer::new(8);
         tracer.record(1, "parse", 10, 25);
@@ -217,8 +608,32 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"request\":1,\"span\":\"parse\",\"start_us\":10,\"end_us\":25,\"duration_us\":15}"
+            "{\"request\":1,\"span\":\"parse\",\"start_us\":10,\"end_us\":25,\
+             \"duration_us\":15,\"origin\":\"in-process\"}"
         );
         assert!(lines[1].contains("\"span\":\"fixpoint\""));
+    }
+
+    #[test]
+    fn ndjson_traced_spans_carry_tree_coordinates_and_origin() {
+        let tracer = Tracer::new(8);
+        tracer.set_origin("unix:/tmp/a.sock");
+        tracer.record_span(SpanRecord {
+            request: 2,
+            name: Cow::Borrowed("serve"),
+            start_us: 4,
+            end_us: 10,
+            trace: 0x2a,
+            span_id: 0x1f,
+            parent: 0x10,
+            origin: None,
+        });
+        let dump = Tracer::to_ndjson(&tracer.snapshot());
+        assert_eq!(
+            dump,
+            "{\"request\":2,\"span\":\"serve\",\"start_us\":4,\"end_us\":10,\
+             \"duration_us\":6,\"trace\":\"2a\",\"span_id\":\"1f\",\"parent\":\"10\",\
+             \"origin\":\"unix:/tmp/a.sock\"}\n"
+        );
     }
 }
